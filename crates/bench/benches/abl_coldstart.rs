@@ -1,0 +1,106 @@
+//! Ablation (Appendix A, which the paper left under development): cold
+//! starts, traffic lulls, and the retention threshold.
+//!
+//! Three scenarios drive a Bouncer directly (no simulator), printing its
+//! decisions so each mechanism is visible in isolation:
+//!
+//! 1. **Cold start** — a brand-new type arrives before any measurements
+//!    exist: Bouncer admits leniently, then uses the *general* histogram +
+//!    `default` SLO once other types have warmed it, and finally the type's
+//!    own histogram + own SLO.
+//! 2. **Traffic lull, retention off** — a warm type goes quiet for several
+//!    intervals: its histogram empties and the type regresses to warm-up
+//!    treatment.
+//! 3. **Traffic lull, retention on** — the same lull with
+//!    `retention_min_samples > 0`: the pre-lull histogram is kept ("we
+//!    prefer stale data to no data") and decisions stay sharp through the
+//!    lull.
+
+use bouncer_bench::table::Table;
+use bouncer_core::prelude::*;
+use bouncer_metrics::time::{millis, secs};
+
+/// A fixture with a cheap `background` type and the type under test.
+fn fixture(retention: u64) -> (Bouncer, TypeId, TypeId) {
+    let mut reg = TypeRegistry::new();
+    let background = reg.register("background");
+    let subject = reg.register("subject");
+    let slos = SloConfig::builder(&reg)
+        .default_slo(Slo::p50_p90(millis(100), millis(300)))
+        .set(background, Slo::p50_p90(millis(18), millis(50)))
+        .set(subject, Slo::p50_p90(millis(18), millis(50)))
+        .build();
+    let mut cfg = BouncerConfig::with_parallelism(8);
+    cfg.retention_min_samples = retention;
+    cfg.warmup_min_samples = 8;
+    (Bouncer::new(slos, cfg), background, subject)
+}
+
+fn describe(b: &Bouncer, ty: TypeId, now: u64) -> (String, String) {
+    let decision = if b.admit(ty, now).is_accept() {
+        "accept"
+    } else {
+        "REJECT"
+    };
+    let basis = if b.is_warming_up_at(ty, now) {
+        "general histogram + default SLO"
+    } else {
+        "own histogram + own SLO"
+    };
+    (decision.into(), basis.into())
+}
+
+fn main() {
+    // Scenario 1: cold start.
+    let (b, background, subject) = fixture(0);
+    let mut t1 = Table::new(vec!["phase", "decision", "estimate basis"]);
+    let (d, basis) = describe(&b, subject, 0);
+    t1.row(vec!["t=0s: nothing measured anywhere".into(), d, basis]);
+    // Background type warms the general histogram with 30ms samples —
+    // above subject's own SLO p50 but below the default SLO.
+    for _ in 0..100 {
+        b.on_completed(background, millis(30), millis(500));
+    }
+    b.on_tick(secs(1));
+    let (d, basis) = describe(&b, subject, secs(1));
+    t1.row(vec![
+        "t=1s: background warm, subject still unseen".into(),
+        d,
+        basis,
+    ]);
+    // Subject's own measurements arrive: 30ms > its own 18ms SLO p50.
+    for _ in 0..100 {
+        b.on_completed(subject, millis(30), secs(1) + millis(500));
+    }
+    b.on_tick(secs(2));
+    let (d, basis) = describe(&b, subject, secs(2));
+    t1.row(vec!["t=2s: subject warm (30ms > 18ms SLO)".into(), d, basis]);
+    t1.print("Appendix A scenario 1 — cold start: lenient, then general, then own");
+
+    // Scenarios 2 and 3: a lull after a warm period, retention off vs on.
+    for (title, retention) in [
+        ("Appendix A scenario 2 — lull with retention OFF (swap-to-empty)", 0u64),
+        ("Appendix A scenario 3 — lull with retention ON (stale data kept)", 16),
+    ] {
+        let (b, _background, subject) = fixture(retention);
+        let mut t = Table::new(vec!["phase", "decision", "estimate basis"]);
+        for _ in 0..100 {
+            b.on_completed(subject, millis(30), millis(500));
+        }
+        b.on_tick(secs(1));
+        let (d, basis) = describe(&b, subject, secs(1));
+        t.row(vec!["after warm interval (pt=30ms)".into(), d, basis]);
+        // Lull: three interval boundaries with no subject traffic.
+        b.on_tick(secs(2));
+        b.on_tick(secs(3));
+        b.on_tick(secs(4));
+        let (d, basis) = describe(&b, subject, secs(4));
+        t.row(vec!["after 3-interval lull".into(), d, basis]);
+        t.print(title);
+    }
+
+    println!("\npaper (Appendix A): during warm-up use the general histogram and the");
+    println!("default SLO; across lulls \"we prefer stale data to no data\" — but see");
+    println!("BouncerConfig::with_parallelism for why retention defaults to off");
+    println!("(rejection-driven starvation can poison a retained histogram).");
+}

@@ -1,0 +1,71 @@
+//! Ablation (§7 extension): dual-buffer vs sliding-window processing-time
+//! histograms.
+//!
+//! The paper's deployed Bouncer reads the previous interval's histogram
+//! (dual buffer, §3 fn. 4) and proposes sliding windows as future work.
+//! This ablation runs both modes across the rate sweep and reports the
+//! SLO metric (rt_p50 of `slow`), rejection totals, and the decision-path
+//! cost difference is covered by the `overhead` Criterion bench.
+//!
+//! Expected: nearly identical steady-state behavior (the workload is
+//! stationary); the sliding window's fresher estimates slightly smooth the
+//! starvation/recovery oscillations at extreme rates.
+
+use std::sync::Arc;
+
+use bouncer_bench::runmode::RunMode;
+use bouncer_bench::simstudy::{SimStudy, PARALLELISM, RATE_FACTORS};
+use bouncer_bench::table::{ms_opt, pct, Table};
+use bouncer_core::prelude::*;
+
+fn main() {
+    let mode = RunMode::from_env();
+    println!("{}", mode.banner());
+    let study = SimStudy::new();
+    let slow = study.ty("slow");
+
+    let make = |histogram_mode: HistogramMode| {
+        let mut cfg = BouncerConfig::with_parallelism(PARALLELISM);
+        cfg.histogram_mode = histogram_mode;
+        Bouncer::new(study.slos(), cfg)
+    };
+
+    let mut table = Table::new(vec![
+        "factor",
+        "dual rt_p50",
+        "sliding rt_p50",
+        "dual rej_all %",
+        "sliding rej_all %",
+        "dual rej_slow %",
+        "sliding rej_slow %",
+    ]);
+    for &factor in &RATE_FACTORS {
+        let dual = study.run_avg(
+            &|_s| Arc::new(make(HistogramMode::DualBuffer)) as Arc<dyn AdmissionPolicy>,
+            factor,
+            &mode,
+        );
+        let sliding = study.run_avg(
+            &|_s| {
+                Arc::new(make(HistogramMode::Sliding { intervals: 4 })) as Arc<dyn AdmissionPolicy>
+            },
+            factor,
+            &mode,
+        );
+        table.row(vec![
+            format!("{factor:.2}x"),
+            ms_opt(dual.rt_p50(slow)),
+            ms_opt(sliding.rt_p50(slow)),
+            pct(dual.rej_all_pct),
+            pct(sliding.rej_all_pct),
+            pct(dual.rej_pct[slow.index()]),
+            pct(sliding.rej_pct[slow.index()]),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    table.print("Histogram-mode ablation — Bouncer, dual-buffer (§3) vs sliding window (§7)");
+    println!("expected: matching steady-state shapes; sliding reads cost ~20x more");
+    println!("(snapshot+merge per read — see the `overhead` bench), which is why");
+    println!("the paper deployed the dual-buffer scheme.");
+}

@@ -1,0 +1,88 @@
+//! Appendix B.1: why the paper's SLOs use p50/p90 rather than p99.
+//!
+//! "Garbage collection pauses regularly cause relatively high pt_p99 …
+//! When a query type's histogram stores an elevated pt_p99 (i.e., close to
+//! or larger than SLO_p99), most of the queries of this type will be
+//! rejected in the next time interval until the histogram is updated.
+//! Instead, we found pt_p50 and pt_p90 to be less susceptible to garbage
+//! collection stalling."
+//!
+//! We reproduce the estimator-stability argument: feed a dual-buffer
+//! histogram lognormal processing times with occasional GC-like pauses
+//! (1 % of samples inflated by 100–300 ms), swap per interval, and measure
+//! the per-interval coefficient of variation of p50, p90, and p99 — and
+//! how often each percentile estimate would cross an SLO set with 25 %
+//! headroom over its true (pause-free) value, i.e. how many whole
+//! intervals of needless rejections an `SLO_pX` at that percentile would
+//! cause.
+
+use bouncer_bench::runmode::RunMode;
+use bouncer_bench::table::{pct, Table};
+use bouncer_metrics::time::millis_f64;
+use bouncer_metrics::DualHistogram;
+use bouncer_workload::dist::LogNormal;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let mode = RunMode::from_env();
+    println!("{}", mode.banner());
+
+    let dist = LogNormal::from_median_p90(12.51, 44.26); // Table 1 "slow"
+    let pause_prob = 0.01; // one GC hiccup per ~100 queries
+    let intervals = if mode.full { 600 } else { 120 };
+    let samples_per_interval = 1_500;
+
+    let mut rng = SmallRng::seed_from_u64(0x6C);
+    let hist = DualHistogram::new();
+    let mut series: Vec<[f64; 3]> = Vec::new(); // per-interval [p50,p90,p99] ms
+
+    for _ in 0..intervals {
+        for _ in 0..samples_per_interval {
+            let mut ms = dist.sample(&mut rng);
+            if rng.random::<f64>() < pause_prob {
+                ms += 100.0 + 200.0 * rng.random::<f64>(); // GC pause
+            }
+            hist.record(millis_f64(ms));
+        }
+        hist.swap();
+        let p = |q: f64| hist.value_at_quantile(q).unwrap() as f64 / 1e6;
+        series.push([p(0.50), p(0.90), p(0.99)]);
+    }
+
+    let labels = ["p50", "p90", "p99"];
+    // Pause-free truths for the SLO-breach check.
+    let truths = [dist.quantile(0.50), dist.quantile(0.90), dist.quantile(0.99)];
+
+    let mut table = Table::new(vec![
+        "percentile",
+        "mean (ms)",
+        "stddev (ms)",
+        "CV %",
+        "intervals over 1.25x truth %",
+    ]);
+    for i in 0..3 {
+        let values: Vec<f64> = series.iter().map(|s| s[i]).collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var =
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        let sd = var.sqrt();
+        // An SLO with 25% headroom over the pause-free truth — generous by
+        // production standards — would reject whole intervals whenever the
+        // estimate crosses it.
+        let breaches = values.iter().filter(|&&v| v > 1.25 * truths[i]).count();
+        table.row(vec![
+            labels[i].to_string(),
+            format!("{mean:.1}"),
+            format!("{sd:.1}"),
+            pct(100.0 * sd / mean),
+            pct(100.0 * breaches as f64 / values.len() as f64),
+        ]);
+    }
+
+    table.print("Appendix B.1 — per-interval percentile stability under GC-like pauses");
+    println!("paper's argument: p50/p90 estimates stay stable across intervals while");
+    println!("p99 is regularly inflated by pauses — an SLO_p99 would cause whole");
+    println!("intervals of needless rejections. Expect CV(p99) >> CV(p50), and");
+    println!("SLO crossings concentrated in the p99 row.");
+}

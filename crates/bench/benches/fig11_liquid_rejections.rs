@@ -1,0 +1,71 @@
+//! Figure 11 (§5.4): overall rejection percentage on the real system.
+//!
+//! Brokers run the policy under test; shards always run AcceptFraction
+//! (80 %); the load generator drives the published QT1..QT11 mix at five
+//! rates spanning under-load to ~1.7× saturation (the paper's 36K–180K QPS,
+//! normalized to this machine's measured capacity).
+//!
+//! Paper shape: rejections grow with load for every policy; Bouncer's
+//! variants reject 15–30 % less than MaxQL/MaxQWT (similar to each other),
+//! and AcceptFraction rejects the most (conservative 80 % threshold); the
+//! brokers — not the shards — produce the vast majority of rejections.
+
+use bouncer_bench::liquidstudy::{
+    accept_fraction_factory, bouncer_aa_factory, bouncer_htu_factory, maxql_factory,
+    maxqwt_factory, LiquidStudy, RATE_FACTORS,
+};
+use bouncer_bench::runmode::RunMode;
+use bouncer_bench::table::{pct, Table};
+
+fn main() {
+    let mode = RunMode::from_env();
+    println!("{}", mode.banner());
+    let study = LiquidStudy::new(&mode);
+    println!(
+        "measured capacity: {:.0} QPS (in-proc mini-cluster, {} shards x {} engines, {} brokers x {} engines)",
+        study.capacity_qps,
+        study.cluster_cfg.n_shards,
+        study.cluster_cfg.shard.engines,
+        study.cluster_cfg.n_brokers,
+        study.cluster_cfg.broker.engines,
+    );
+
+    let policies = [
+        ("Bouncer+AA(0.05)", bouncer_aa_factory()),
+        ("Bouncer+HTU(1.0)", bouncer_htu_factory()),
+        ("MaxQL(800)", maxql_factory()),
+        ("MaxQWT(12ms)", maxqwt_factory()),
+        ("AcceptFraction(80%)", accept_fraction_factory()),
+    ];
+
+    let mut table = Table::new(vec![
+        "rate", "QPS", "B+AA", "B+HTU", "MaxQL", "MaxQWT", "AcceptFrac",
+    ]);
+    let mut shard_share = Vec::new();
+    for &(label, factor) in &RATE_FACTORS {
+        let rate = study.capacity_qps * factor;
+        let mut row = vec![label.to_string(), format!("{rate:.0}")];
+        for (_, factory) in &policies {
+            let point = study.run_point(factory.as_ref(), rate, 42, &mode);
+            row.push(pct(point.overall_rejection_pct()));
+            let broker_rej: u64 = point.rejected.iter().sum();
+            shard_share.push((broker_rej, point.shard_rejections));
+            eprint!(".");
+        }
+        table.row(row);
+    }
+    eprintln!();
+
+    table.print("Figure 11 — overall rejections on the LIquid-like cluster, %");
+    let (b, s) = shard_share
+        .iter()
+        .fold((0u64, 0u64), |(a, c), &(x, y)| (a + x, c + y));
+    println!(
+        "rejections by tier: broker {} vs shard {} ({:.1}% broker-side; paper: brokers produce the vast majority)",
+        b,
+        s,
+        100.0 * b as f64 / (b + s).max(1) as f64
+    );
+    println!("paper: Bouncer variants 15-30% fewer rejections than MaxQL/MaxQWT;");
+    println!("AcceptFraction the most (80% threshold).");
+}

@@ -1,0 +1,21 @@
+//! Shared experiment harness for regenerating the paper's tables and
+//! figures.
+//!
+//! Every bench target in `benches/` (custom harness, run via `cargo bench`)
+//! builds on these pieces:
+//!
+//! * [`runmode`] — run-size selection: quick (CI-scale, default) vs full
+//!   (paper-scale, `BOUNCER_BENCH_FULL=1`);
+//! * [`simstudy`] — the §5.3 simulation study setup (Table 1 mix, Table 2
+//!   policy parameters, multi-seed averaging);
+//! * [`liquidstudy`] — the §5.4 real-system setup (mini-LIquid cluster,
+//!   published QT1..QT11 mix, capacity-normalized rates, open-loop load);
+//! * [`table`] — aligned text tables so each bench prints the same rows or
+//!   series the paper reports, with the paper's values alongside.
+
+#![warn(missing_docs)]
+
+pub mod liquidstudy;
+pub mod runmode;
+pub mod simstudy;
+pub mod table;

@@ -1,0 +1,80 @@
+//! Quick vs full run sizes.
+//!
+//! Quick mode (default) keeps `cargo bench` runnable in minutes while
+//! preserving every qualitative shape; full mode (`BOUNCER_BENCH_FULL=1`)
+//! matches the paper's run sizes (1.5 M simulated queries per point, 5 runs
+//! per cell, longer cluster measurements).
+
+use std::time::Duration;
+
+/// Run-size knobs derived from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct RunMode {
+    /// Simulated queries measured per run (paper: 1.5 M).
+    pub sim_measured: u64,
+    /// Simulated warm-up queries per run.
+    pub sim_warmup: u64,
+    /// Runs averaged per cell (paper: 5).
+    pub runs: u64,
+    /// Measured wall-clock duration per cluster data point.
+    pub liquid_measure: Duration,
+    /// Cluster warm-up duration per data point (paper: 1 min).
+    pub liquid_warmup: Duration,
+    /// `true` in full (paper-scale) mode.
+    pub full: bool,
+}
+
+impl RunMode {
+    /// Reads `BOUNCER_BENCH_FULL` from the environment.
+    pub fn from_env() -> Self {
+        if std::env::var("BOUNCER_BENCH_FULL").map(|v| v == "1").unwrap_or(false) {
+            Self {
+                sim_measured: 1_500_000,
+                sim_warmup: 100_000,
+                runs: 5,
+                liquid_measure: Duration::from_secs(60),
+                liquid_warmup: Duration::from_secs(10),
+                full: true,
+            }
+        } else {
+            Self {
+                sim_measured: 200_000,
+                sim_warmup: 50_000,
+                runs: 3,
+                liquid_measure: Duration::from_secs(10),
+                liquid_warmup: Duration::from_secs(3),
+                full: false,
+            }
+        }
+    }
+
+    /// A banner line describing the mode.
+    pub fn banner(&self) -> String {
+        format!(
+            "mode: {} ({} sim queries/run, {} runs/cell, {:?} per cluster point; set BOUNCER_BENCH_FULL=1 for paper-scale runs)",
+            if self.full { "FULL" } else { "QUICK" },
+            self.sim_measured,
+            self.runs,
+            self.liquid_measure,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_is_default_shape() {
+        // Cannot touch the process env safely in tests; construct directly.
+        let quick = RunMode {
+            sim_measured: 200_000,
+            sim_warmup: 50_000,
+            runs: 3,
+            liquid_measure: Duration::from_secs(10),
+            liquid_warmup: Duration::from_secs(3),
+            full: false,
+        };
+        assert!(quick.banner().contains("QUICK"));
+    }
+}

@@ -1,0 +1,244 @@
+//! The §5.3 simulation-study setup, shared by the figure/table benches.
+//!
+//! Fixed pieces from the paper: a simulated broker with `P = 100` engine
+//! processes; the Table 1 query mix; Table 2 policy parameters
+//! (`SLO_p50 = 18 ms`, `SLO_p90 = 50 ms` for every type; MaxQL limit 400;
+//! MaxQWT limit 15 ms; AcceptFraction threshold 95 %); rates swept as
+//! multiples of `QPS_full_load`; each cell averaged over several seeded
+//! runs.
+
+use std::sync::Arc;
+
+use bouncer_core::prelude::*;
+use bouncer_metrics::time::millis;
+use bouncer_sim::{run, SimConfig, SimResult};
+use bouncer_workload::mix::paper_table1_mix;
+use bouncer_workload::QueryMix;
+
+use crate::runmode::RunMode;
+
+/// The simulated engine parallelism (`P`), per the paper.
+pub const PARALLELISM: u32 = 100;
+
+/// The rate factors of Table 3 (multiples of `QPS_full_load`).
+pub const RATE_FACTORS: [f64; 13] = [
+    0.90, 0.95, 1.00, 1.05, 1.10, 1.15, 1.20, 1.25, 1.30, 1.35, 1.40, 1.45, 1.50,
+];
+
+/// Names of the Table 1 types, in registry order after `default`.
+pub const TYPE_NAMES: [&str; 4] = ["fast", "medium fast", "medium slow", "slow"];
+
+/// Shared study fixture.
+pub struct SimStudy {
+    /// The type registry (default + Table 1 types).
+    pub registry: TypeRegistry,
+    /// The Table 1 query mix.
+    pub mix: QueryMix,
+    /// `QPS_full_load` at `P = 100` (≈ 15.1 kQPS).
+    pub full_load: f64,
+}
+
+impl SimStudy {
+    /// Builds the fixture.
+    pub fn new() -> Self {
+        let mut registry = TypeRegistry::new();
+        let mix = paper_table1_mix(&mut registry);
+        let full_load = mix.qps_full_load(PARALLELISM);
+        Self {
+            registry,
+            mix,
+            full_load,
+        }
+    }
+
+    /// Resolves a Table 1 type by name.
+    pub fn ty(&self, name: &str) -> TypeId {
+        self.registry.resolve(name).expect("unknown type")
+    }
+
+    /// The uniform Table 2 SLO: `{p50 = 18 ms, p90 = 50 ms}` for all types.
+    pub fn slos(&self) -> SloConfig {
+        SloConfig::uniform(&self.registry, Slo::p50_p90(millis(18), millis(50)))
+    }
+
+    /// Basic Bouncer, Table 2 configuration.
+    pub fn bouncer(&self) -> Bouncer {
+        Bouncer::new(self.slos(), BouncerConfig::with_parallelism(PARALLELISM))
+    }
+
+    /// Bouncer + acceptance-allowance (§4.1).
+    pub fn bouncer_allowance(&self, a: f64, seed: u64) -> AcceptanceAllowance<Bouncer> {
+        AcceptanceAllowance::new(self.bouncer(), self.registry.len(), a, seed)
+    }
+
+    /// Bouncer + helping-the-underserved (§4.2).
+    pub fn bouncer_underserved(&self, alpha: f64, seed: u64) -> HelpingTheUnderserved<Bouncer> {
+        HelpingTheUnderserved::new(self.bouncer(), self.registry.len(), alpha, seed)
+    }
+
+    /// MaxQL with the Table 2 limit (400).
+    pub fn maxql(&self) -> MaxQueueLength {
+        MaxQueueLength::new(400)
+    }
+
+    /// MaxQWT with the Table 2 limit (15 ms).
+    pub fn maxqwt(&self) -> MaxQueueWaitTime {
+        MaxQueueWaitTime::new(millis(15), PARALLELISM)
+    }
+
+    /// AcceptFraction with the Table 2 threshold (95 %).
+    pub fn accept_fraction(&self, seed: u64) -> AcceptFraction {
+        let mut cfg = AcceptFractionConfig::new(0.95, PARALLELISM);
+        cfg.seed = seed;
+        AcceptFraction::new(cfg)
+    }
+
+    /// One simulation run at `factor × QPS_full_load`.
+    pub fn run_once(
+        &self,
+        policy: &dyn AdmissionPolicy,
+        factor: f64,
+        seed: u64,
+        mode: &RunMode,
+    ) -> SimResult {
+        let mut cfg = SimConfig::paper(self.full_load * factor, seed);
+        cfg.measured_queries = mode.sim_measured;
+        cfg.warmup_queries = mode.sim_warmup;
+        run(policy, &self.mix, &cfg)
+    }
+
+    /// Averages `mode.runs` seeded runs of the policy built by `make` (which
+    /// receives the seed, so probabilistic policies vary per run).
+    pub fn run_avg(
+        &self,
+        make: &dyn Fn(u64) -> Arc<dyn AdmissionPolicy>,
+        factor: f64,
+        mode: &RunMode,
+    ) -> AvgResult {
+        let mut acc = AvgResult::zero(self.registry.len());
+        for i in 0..mode.runs {
+            let seed = 0xB0B0 + 7919 * i;
+            let policy = make(seed);
+            let result = self.run_once(&policy, factor, seed, mode);
+            acc.add(&result, &self.registry);
+        }
+        acc.finish(mode.runs);
+        acc
+    }
+}
+
+impl Default for SimStudy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Metrics averaged over seeded runs (the paper reports 5-run averages).
+#[derive(Debug, Clone)]
+pub struct AvgResult {
+    /// Per-type rejection percentage, indexed by `TypeId::index()`.
+    pub rej_pct: Vec<f64>,
+    /// Overall rejection percentage.
+    pub rej_all_pct: f64,
+    /// Per-type median response time (ms) of serviced queries; `NaN` when a
+    /// type had none.
+    pub rt_p50_ms: Vec<f64>,
+    /// Per-type p90 response time (ms).
+    pub rt_p90_ms: Vec<f64>,
+    /// Per-type median processing time (ms).
+    pub pt_p50_ms: Vec<f64>,
+    /// Engine utilization percentage.
+    pub util_pct: f64,
+    counts: Vec<u64>, // runs contributing response-time samples per type
+}
+
+impl AvgResult {
+    fn zero(n_types: usize) -> Self {
+        Self {
+            rej_pct: vec![0.0; n_types],
+            rej_all_pct: 0.0,
+            rt_p50_ms: vec![0.0; n_types],
+            rt_p90_ms: vec![0.0; n_types],
+            pt_p50_ms: vec![0.0; n_types],
+            util_pct: 0.0,
+            counts: vec![0; n_types],
+        }
+    }
+
+    fn add(&mut self, r: &SimResult, registry: &TypeRegistry) {
+        for (ty, _) in registry.iter() {
+            let i = ty.index();
+            self.rej_pct[i] += r.rejection_pct(ty);
+            if let Some(p50) = r.response_ms(ty, 0.5) {
+                self.rt_p50_ms[i] += p50;
+                self.rt_p90_ms[i] += r.response_ms(ty, 0.9).unwrap_or(p50);
+                self.pt_p50_ms[i] += r.processing_ms(ty, 0.5).unwrap_or(0.0);
+                self.counts[i] += 1;
+            }
+        }
+        self.rej_all_pct += r.overall_rejection_pct();
+        self.util_pct += r.utilization_pct();
+    }
+
+    fn finish(&mut self, runs: u64) {
+        let n = runs as f64;
+        for v in &mut self.rej_pct {
+            *v /= n;
+        }
+        self.rej_all_pct /= n;
+        self.util_pct /= n;
+        for i in 0..self.rt_p50_ms.len() {
+            let c = self.counts[i] as f64;
+            if c > 0.0 {
+                self.rt_p50_ms[i] /= c;
+                self.rt_p90_ms[i] /= c;
+                self.pt_p50_ms[i] /= c;
+            } else {
+                self.rt_p50_ms[i] = f64::NAN;
+                self.rt_p90_ms[i] = f64::NAN;
+                self.pt_p50_ms[i] = f64::NAN;
+            }
+        }
+    }
+
+    /// Median response time (ms) for `ty`, `None` if no run serviced it.
+    pub fn rt_p50(&self, ty: TypeId) -> Option<f64> {
+        let v = self.rt_p50_ms[ty.index()];
+        (!v.is_nan()).then_some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runmode::RunMode;
+    use std::time::Duration;
+
+    fn tiny_mode() -> RunMode {
+        RunMode {
+            sim_measured: 30_000,
+            sim_warmup: 10_000,
+            runs: 2,
+            liquid_measure: Duration::from_secs(1),
+            liquid_warmup: Duration::from_secs(1),
+            full: false,
+        }
+    }
+
+    #[test]
+    fn fixture_matches_paper_capacity() {
+        let s = SimStudy::new();
+        assert!((s.full_load - 15_100.0).abs() < 1_000.0);
+        assert_eq!(s.registry.len(), 5);
+    }
+
+    #[test]
+    fn run_avg_aggregates_metrics() {
+        let s = SimStudy::new();
+        let avg = s.run_avg(&|_seed| Arc::new(s.bouncer()), 1.2, &tiny_mode());
+        let slow = s.ty("slow");
+        assert!(avg.rej_pct[slow.index()] > 10.0);
+        assert!(avg.util_pct > 50.0);
+        assert!(avg.rt_p50(slow).is_some() || avg.rej_pct[slow.index()] > 99.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Aligned text tables for experiment output.
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align the rest.
+                let w = widths[i];
+                let pad = w.saturating_sub(cell.chars().count());
+                let numeric = cell
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit() || c == '-' || c == '+' || c == '.')
+                    .unwrap_or(false);
+                if numeric {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                } else {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table under a title banner, and — when
+    /// `BOUNCER_BENCH_CSV_DIR` is set — also saves it as a CSV artifact
+    /// named after the title.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title}");
+        print!("{}", self.render());
+        if let Ok(dir) = std::env::var("BOUNCER_BENCH_CSV_DIR") {
+            let slug: String = title
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect::<String>()
+                .split('_')
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join("_");
+            let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+            if std::fs::create_dir_all(&dir).is_ok() {
+                if let Err(e) = std::fs::write(&path, self.to_csv()) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                }
+            }
+        }
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting where needed).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats milliseconds with one decimal.
+pub fn ms(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats an optional millisecond value.
+pub fn ms_opt(v: Option<f64>) -> String {
+    v.map(ms).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1.00"]);
+        t.row(vec!["b", "123.45"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[2].starts_with("alpha"));
+        assert!(lines[3].ends_with("123.45"));
+    }
+
+    #[test]
+    fn rows_are_padded_to_header() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["plain", "with,comma"]);
+        t.row(vec!["with\"quote", "x"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(11.297), "11.30");
+        assert_eq!(ms(18.04), "18.0");
+        assert_eq!(ms_opt(None), "-");
+    }
+}

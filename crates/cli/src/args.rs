@@ -1,0 +1,143 @@
+//! `--key value` argument parsing.
+
+use std::collections::BTreeMap;
+
+/// Parse failure: unknown flag, missing value, or a value of the wrong type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parsed `--key value` arguments with typed accessors.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    /// Bare flags (`--help`) with no value.
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name). `allowed` is the
+    /// full set of recognized keys; anything else is an error.
+    pub fn parse<I, S>(raw: I, allowed: &[&str]) -> Result<Args, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut values = BTreeMap::new();
+        let mut flags = Vec::new();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ParseError(format!("unexpected positional argument `{arg}`")));
+            };
+            if !allowed.contains(&key) {
+                return Err(ParseError(format!(
+                    "unknown flag `--{key}`; known flags: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(key.to_owned(), iter.next().unwrap());
+                }
+                _ => flags.push(key.to_owned()),
+            }
+        }
+        Ok(Args { values, flags })
+    }
+
+    /// `true` if the bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// String value of a key, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// `f64` value with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ParseError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("--{key} expects a number, got `{v}`"))),
+        }
+    }
+
+    /// `u64` value with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ParseError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("--{key} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// String value with a default.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALLOWED: &[&str] = &["policy", "rate-factor", "seed", "help"];
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = Args::parse(["--policy", "bouncer", "--rate-factor", "1.2"], ALLOWED).unwrap();
+        assert_eq!(a.get("policy"), Some("bouncer"));
+        assert_eq!(a.f64_or("rate-factor", 1.0).unwrap(), 1.2);
+        assert_eq!(a.u64_or("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn bare_flags_are_flags() {
+        let a = Args::parse(["--help"], ALLOWED).unwrap();
+        assert!(a.flag("help"));
+        assert!(!a.flag("policy"));
+    }
+
+    #[test]
+    fn unknown_flags_error_with_suggestions() {
+        let err = Args::parse(["--polcy", "bouncer"], ALLOWED).unwrap_err();
+        assert!(err.0.contains("unknown flag `--polcy`"));
+        assert!(err.0.contains("--policy"));
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        let err = Args::parse(["bouncer"], ALLOWED).unwrap_err();
+        assert!(err.0.contains("positional"));
+    }
+
+    #[test]
+    fn type_errors_name_the_flag() {
+        let a = Args::parse(["--rate-factor", "fast"], ALLOWED).unwrap();
+        let err = a.f64_or("rate-factor", 1.0).unwrap_err();
+        assert!(err.0.contains("--rate-factor"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_bare() {
+        let a = Args::parse(["--help", "--policy", "maxql"], ALLOWED).unwrap();
+        assert!(a.flag("help"));
+        assert_eq!(a.get("policy"), Some("maxql"));
+    }
+}

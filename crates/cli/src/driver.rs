@@ -1,0 +1,335 @@
+//! Builds the chosen policy, runs the simulation, renders results.
+
+use std::sync::Arc;
+
+use bouncer_core::prelude::*;
+use bouncer_metrics::time::{as_millis_f64, millis_f64};
+use bouncer_sim::{run, SimConfig};
+use bouncer_workload::mix::paper_table1_mix;
+
+use crate::args::{Args, ParseError};
+
+const ALLOWED: &[&str] = &[
+    "policy",
+    "rate-factor",
+    "rate-qps",
+    "queries",
+    "warmup",
+    "seed",
+    "parallelism",
+    "slo-p50-ms",
+    "slo-p90-ms",
+    "slo-spec",
+    "allowance",
+    "alpha",
+    "queue-limit",
+    "wait-limit-ms",
+    "max-utilization",
+    "help",
+];
+
+const HELP: &str = "\
+bouncer-sim-cli — drive the paper's simulation study from the command line
+
+USAGE:
+    bouncer-sim-cli [--policy <name>] [--rate-factor <f>] [flags...]
+
+POLICIES (--policy):
+    bouncer (default)   SLO-aware admission control (the paper's policy)
+    bouncer+aa          Bouncer + acceptance-allowance (--allowance, default 0.05)
+    bouncer+htu         Bouncer + helping-the-underserved (--alpha, default 1.0)
+    maxql               max queue length (--queue-limit, default 400)
+    maxqwt              max queue wait time (--wait-limit-ms, default 15)
+    acceptfraction      utilization threshold (--max-utilization, default 0.95)
+    gatekeeper          literature capacity baseline
+    always              no admission control
+
+WORKLOAD:
+    the paper's Table 1 mix (fast/medium fast/medium slow/slow), P engine
+    processes (--parallelism, default 100), Poisson arrivals.
+
+RATES:
+    --rate-factor <f>   multiple of QPS_full_load (default 1.2)
+    --rate-qps <qps>    absolute rate (overrides --rate-factor)
+
+RUN SHAPE:
+    --queries <n>       measured queries (default 300000)
+    --warmup <n>        warm-up queries (default 50000)
+    --seed <n>          RNG seed (default 42)
+
+SLOs (uniform across types, like the paper's study):
+    --slo-p50-ms <ms>   default 18
+    --slo-p90-ms <ms>   default 50
+    --slo-spec <spec>   per-type SLOs in the paper's notation, overriding
+                        the uniform flags, e.g.
+                        'slow:{p50=25ms,p90=80ms},default:{p50=18ms,p90=50ms}'
+                        (types: fast, medium fast, medium slow, slow)
+";
+
+/// Which policy the user picked, with its parameters resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyChoice {
+    /// Basic Bouncer.
+    Bouncer,
+    /// Bouncer + acceptance-allowance A.
+    BouncerAllowance(f64),
+    /// Bouncer + helping-the-underserved α.
+    BouncerUnderserved(f64),
+    /// MaxQL with a queue limit.
+    MaxQl(u64),
+    /// MaxQWT with a wait limit (ns).
+    MaxQwt(u64),
+    /// AcceptFraction with a utilization threshold.
+    AcceptFraction(f64),
+    /// Gatekeeper-style capacity baseline.
+    Gatekeeper,
+    /// No admission control.
+    Always,
+}
+
+impl PolicyChoice {
+    /// Resolves the `--policy` name plus its parameter flags.
+    pub fn from_args(args: &Args) -> Result<PolicyChoice, ParseError> {
+        let name = args.str_or("policy", "bouncer");
+        Ok(match name {
+            "bouncer" => PolicyChoice::Bouncer,
+            "bouncer+aa" => PolicyChoice::BouncerAllowance(args.f64_or("allowance", 0.05)?),
+            "bouncer+htu" => PolicyChoice::BouncerUnderserved(args.f64_or("alpha", 1.0)?),
+            "maxql" => PolicyChoice::MaxQl(args.u64_or("queue-limit", 400)?),
+            "maxqwt" => {
+                PolicyChoice::MaxQwt(millis_f64(args.f64_or("wait-limit-ms", 15.0)?))
+            }
+            "acceptfraction" => {
+                PolicyChoice::AcceptFraction(args.f64_or("max-utilization", 0.95)?)
+            }
+            "gatekeeper" => PolicyChoice::Gatekeeper,
+            "always" => PolicyChoice::Always,
+            other => {
+                return Err(ParseError(format!(
+                    "unknown policy `{other}` (see --help for the list)"
+                )))
+            }
+        })
+    }
+}
+
+/// Runs the CLI against raw arguments; returns the text to print and a
+/// process exit code.
+pub fn run_cli<I, S>(raw: I) -> (String, i32)
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    match run_inner(raw) {
+        Ok(report) => (report, 0),
+        Err(e) => (format!("error: {e}\n\n{HELP}"), 2),
+    }
+}
+
+fn run_inner<I, S>(raw: I) -> Result<String, ParseError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = Args::parse(raw, ALLOWED)?;
+    if args.flag("help") {
+        return Ok(HELP.to_owned());
+    }
+
+    let parallelism = args.u64_or("parallelism", 100)? as u32;
+    if parallelism == 0 {
+        return Err(ParseError("--parallelism must be positive".into()));
+    }
+    let mut registry = TypeRegistry::new();
+    let mix = paper_table1_mix(&mut registry);
+    let full_load = mix.qps_full_load(parallelism);
+    let rate = match args.get("rate-qps") {
+        Some(_) => args.f64_or("rate-qps", 0.0)?,
+        None => full_load * args.f64_or("rate-factor", 1.2)?,
+    };
+    if rate <= 0.0 {
+        return Err(ParseError("the rate must be positive".into()));
+    }
+
+    let slos = match args.get("slo-spec") {
+        Some(spec) => bouncer_core::slo_spec::apply_slo_spec(&registry, spec)
+            .map_err(|e| ParseError(e.to_string()))?,
+        None => {
+            let slo = Slo::p50_p90(
+                millis_f64(args.f64_or("slo-p50-ms", 18.0)?),
+                millis_f64(args.f64_or("slo-p90-ms", 50.0)?),
+            );
+            SloConfig::uniform(&registry, slo)
+        }
+    };
+    let seed = args.u64_or("seed", 42)?;
+
+    let choice = PolicyChoice::from_args(&args)?;
+    let bouncer = || Bouncer::new(slos.clone(), BouncerConfig::with_parallelism(parallelism));
+    let policy: Arc<dyn AdmissionPolicy> = match choice {
+        PolicyChoice::Bouncer => Arc::new(bouncer()),
+        PolicyChoice::BouncerAllowance(a) => {
+            Arc::new(AcceptanceAllowance::new(bouncer(), registry.len(), a, seed))
+        }
+        PolicyChoice::BouncerUnderserved(alpha) => Arc::new(HelpingTheUnderserved::new(
+            bouncer(),
+            registry.len(),
+            alpha,
+            seed,
+        )),
+        PolicyChoice::MaxQl(limit) => Arc::new(MaxQueueLength::new(limit)),
+        PolicyChoice::MaxQwt(limit) => Arc::new(MaxQueueWaitTime::new(limit, parallelism)),
+        PolicyChoice::AcceptFraction(util) => {
+            let mut cfg = AcceptFractionConfig::new(util, parallelism);
+            cfg.seed = seed;
+            Arc::new(AcceptFraction::new(cfg))
+        }
+        PolicyChoice::Gatekeeper => Arc::new(GatekeeperStyle::new(
+            registry.len(),
+            GatekeeperConfig::new(parallelism),
+        )),
+        PolicyChoice::Always => Arc::new(AlwaysAccept::new()),
+    };
+
+    let cfg = SimConfig {
+        parallelism,
+        rate_qps: rate,
+        measured_queries: args.u64_or("queries", 300_000)?,
+        warmup_queries: args.u64_or("warmup", 50_000)?,
+        seed,
+        ..SimConfig::paper(rate, seed)
+    };
+    let result = run(&policy, &mix, &cfg);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "policy: {}   rate: {:.0} QPS ({:.2}x of full load {:.0})\n",
+        policy.name(),
+        rate,
+        rate / full_load,
+        full_load,
+    ));
+    out.push_str(&format!(
+        "measured {} queries over {:.2}s simulated; utilization {:.1}%\n\n",
+        result.stats.total_received(),
+        result.duration as f64 / 1e9,
+        result.utilization_pct(),
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>10} {:>12} {:>12} {:>12}\n",
+        "type", "received", "rejected%", "rt_p50(ms)", "rt_p90(ms)", "pt_p50(ms)"
+    ));
+    for (ty, name) in registry.iter() {
+        let t = &result.stats.per_type[ty.index()];
+        if t.received == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>10.2} {:>12.1} {:>12.1} {:>12.1}\n",
+            name,
+            t.received,
+            100.0 * t.rejection_ratio(),
+            t.response.value_at_quantile(0.5).map(as_millis_f64).unwrap_or(f64::NAN),
+            t.response.value_at_quantile(0.9).map(as_millis_f64).unwrap_or(f64::NAN),
+            t.processing.value_at_quantile(0.5).map(as_millis_f64).unwrap_or(f64::NAN),
+        ));
+    }
+    out.push_str(&format!(
+        "\noverall: {:.2}% rejected\n",
+        result.overall_rejection_pct()
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage() {
+        let (out, code) = run_cli(["--help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("bouncer+aa"));
+    }
+
+    #[test]
+    fn unknown_policy_is_an_error() {
+        let (out, code) = run_cli(["--policy", "nope"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown policy"));
+    }
+
+    #[test]
+    fn policy_choice_resolves_parameters() {
+        let args = Args::parse(
+            ["--policy", "bouncer+aa", "--allowance", "0.1"],
+            ALLOWED,
+        )
+        .unwrap();
+        assert_eq!(
+            PolicyChoice::from_args(&args).unwrap(),
+            PolicyChoice::BouncerAllowance(0.1)
+        );
+        let args = Args::parse(["--policy", "maxqwt", "--wait-limit-ms", "12"], ALLOWED).unwrap();
+        assert_eq!(
+            PolicyChoice::from_args(&args).unwrap(),
+            PolicyChoice::MaxQwt(12_000_000)
+        );
+    }
+
+    #[test]
+    fn small_run_produces_a_report() {
+        let (out, code) = run_cli([
+            "--policy",
+            "bouncer",
+            "--queries",
+            "20000",
+            "--warmup",
+            "5000",
+            "--rate-factor",
+            "1.2",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("policy: bouncer"));
+        assert!(out.contains("slow"));
+        assert!(out.contains("overall:"));
+    }
+
+    #[test]
+    fn rate_qps_overrides_factor() {
+        let (out, code) = run_cli([
+            "--rate-qps",
+            "5000",
+            "--queries",
+            "5000",
+            "--warmup",
+            "1000",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("rate: 5000 QPS"));
+    }
+
+    #[test]
+    fn slo_spec_flag_is_parsed_and_validated() {
+        let (out, code) = run_cli([
+            "--slo-spec",
+            "slow:{p50=25ms,p90=80ms},default:{p50=18ms,p90=50ms}",
+            "--queries",
+            "10000",
+            "--warmup",
+            "2000",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let (out, code) = run_cli(["--slo-spec", "bogus:{p50=1ms}"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown query type"), "{out}");
+    }
+
+    #[test]
+    fn invalid_parallelism_rejected() {
+        let (out, code) = run_cli(["--parallelism", "0"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("parallelism"));
+    }
+}

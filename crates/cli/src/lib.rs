@@ -1,0 +1,13 @@
+//! Argument parsing and run orchestration for the `bouncer-sim` CLI.
+//!
+//! A small hand-rolled parser (no external argument-parsing dependency):
+//! `--key value` pairs with typed accessors, validated against the set of
+//! known flags so typos fail loudly.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod driver;
+
+pub use args::{Args, ParseError};
+pub use driver::{run_cli, PolicyChoice};

@@ -1,0 +1,13 @@
+//! `bouncer-sim-cli`: run the paper's simulation study from the command line.
+//!
+//! ```sh
+//! cargo run --release -p bouncer-cli -- --policy bouncer --rate-factor 1.3
+//! cargo run --release -p bouncer-cli -- --policy maxqwt --wait-limit-ms 12
+//! cargo run --release -p bouncer-cli -- --help
+//! ```
+
+fn main() {
+    let (out, code) = bouncer_cli::run_cli(std::env::args().skip(1));
+    print!("{out}");
+    std::process::exit(code);
+}

@@ -1,0 +1,369 @@
+//! The admission gate: policy + FIFO queue + statistics, wired together.
+//!
+//! [`Gate`] is the runtime embodiment of Figure 1 for real (threaded) hosts:
+//! transport threads call [`Gate::offer`] with incoming queries, engine
+//! threads loop on [`Gate::take`] / do the work / [`Gate::complete`]. All
+//! policy hooks and measurement points fire in the right order from these
+//! three calls, so a host implementation cannot get the bookkeeping wrong.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bouncer_metrics::{Clock, Nanos};
+
+use crate::framework::queue::{AdmissionQueue, Discipline, Entry, PopOutcome};
+use crate::framework::stats::ServerStats;
+use crate::policy::{AdmissionPolicy, RejectReason};
+use crate::types::TypeId;
+
+/// Gate configuration.
+#[derive(Debug, Clone, Default)]
+pub struct GateConfig {
+    /// The `L_limit` queue-length safeguard (§5.4). `None` = unbounded.
+    pub max_queue_len: Option<usize>,
+    /// Service discipline for the queue (FIFO in the paper's deployment;
+    /// per-type priorities per the §7 extension).
+    pub discipline: Discipline,
+}
+
+/// A query handed to an engine thread by [`Gate::take`].
+#[derive(Debug)]
+pub struct Admitted<T> {
+    /// The query's type.
+    pub ty: TypeId,
+    /// When the query entered the queue.
+    pub enqueued_at: Nanos,
+    /// When the engine thread dequeued it (wait = dequeued − enqueued).
+    pub dequeued_at: Nanos,
+    /// Caller payload.
+    pub payload: T,
+}
+
+/// Outcome of [`Gate::take`].
+#[derive(Debug)]
+pub enum TakeOutcome<T> {
+    /// A query to process.
+    Query(Admitted<T>),
+    /// An admitted query whose deadline passed while it waited; the host
+    /// should reply with a timeout error without processing it ("brokers
+    /// and shards also enforce expiration times for admitted queries",
+    /// §5.1).
+    Expired(Admitted<T>),
+    /// The gate was closed and the queue drained.
+    Closed,
+    /// The timeout elapsed.
+    TimedOut,
+}
+
+/// The admission-controlled entrance of a host.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bouncer_core::framework::{Gate, GateConfig, TakeOutcome};
+/// use bouncer_core::policy::MaxQueueLength;
+/// use bouncer_core::types::DEFAULT_TYPE;
+/// use bouncer_metrics::MonotonicClock;
+///
+/// let gate: Gate<&str> = Gate::new(
+///     Arc::new(MaxQueueLength::new(128)),
+///     1,
+///     Arc::new(MonotonicClock::new()),
+///     GateConfig::default(),
+/// );
+/// gate.offer(DEFAULT_TYPE, "payload").unwrap();
+/// if let TakeOutcome::Query(q) = gate.take(None) {
+///     // ... process ...
+///     gate.complete(q.ty, q.enqueued_at, q.dequeued_at);
+/// }
+/// assert_eq!(gate.stats().snapshot(1, 1).per_type[0].completed, 1);
+/// ```
+pub struct Gate<T> {
+    policy: Arc<dyn AdmissionPolicy>,
+    queue: AdmissionQueue<T>,
+    stats: Arc<ServerStats>,
+    clock: Arc<dyn Clock>,
+}
+
+impl<T> Gate<T> {
+    /// Creates a gate in front of `policy`, tracking `n_types` query types.
+    pub fn new(
+        policy: Arc<dyn AdmissionPolicy>,
+        n_types: usize,
+        clock: Arc<dyn Clock>,
+        cfg: GateConfig,
+    ) -> Self {
+        Self {
+            policy,
+            queue: AdmissionQueue::with_discipline(cfg.max_queue_len, cfg.discipline),
+            stats: Arc::new(ServerStats::new(n_types)),
+            clock,
+        }
+    }
+
+    /// Offers an incoming query to the policy. On acceptance the query is
+    /// enqueued; on rejection the reason is returned together with the
+    /// payload so the host can reply with an error response immediately
+    /// (the early rejection of §2).
+    pub fn offer(&self, ty: TypeId, payload: T) -> Result<(), (RejectReason, T)> {
+        self.offer_with_deadline(ty, payload, None)
+    }
+
+    /// Like [`Gate::offer`], with an absolute expiration time: if the query
+    /// is still queued past `deadline`, engines drop it undone.
+    pub fn offer_with_deadline(
+        &self,
+        ty: TypeId,
+        payload: T,
+        deadline: Option<Nanos>,
+    ) -> Result<(), (RejectReason, T)> {
+        let now = self.clock.now();
+        self.stats.on_received(ty);
+        match self.policy.admit(ty, now) {
+            crate::policy::Decision::Reject(reason) => {
+                self.stats.on_rejected(ty, reason);
+                Err((reason, payload))
+            }
+            crate::policy::Decision::Accept => {
+                let entry = Entry {
+                    ty,
+                    enqueued_at: now,
+                    deadline,
+                    payload,
+                };
+                match self.queue.push(entry) {
+                    Ok(()) => {
+                        self.stats.on_accepted(ty);
+                        self.policy.on_enqueued(ty, now);
+                        Ok(())
+                    }
+                    Err(entry) => {
+                        // The L_limit safeguard overrode the policy.
+                        self.stats.on_rejected(ty, RejectReason::QueueFull);
+                        Err((RejectReason::QueueFull, entry.payload))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Engine-thread side: dequeues the next admitted query, recording its
+    /// queue wait (Point 2).
+    pub fn take(&self, timeout: Option<Duration>) -> TakeOutcome<T> {
+        match self.queue.pop(timeout) {
+            PopOutcome::Entry(entry) => {
+                let now = self.clock.now();
+                let wait = now.saturating_sub(entry.enqueued_at);
+                self.policy.on_dequeued(entry.ty, wait, now);
+                let admitted = Admitted {
+                    ty: entry.ty,
+                    enqueued_at: entry.enqueued_at,
+                    dequeued_at: now,
+                    payload: entry.payload,
+                };
+                if entry.deadline.is_some_and(|d| now > d) {
+                    self.stats.on_expired(entry.ty);
+                    TakeOutcome::Expired(admitted)
+                } else {
+                    TakeOutcome::Query(admitted)
+                }
+            }
+            PopOutcome::Closed => TakeOutcome::Closed,
+            PopOutcome::TimedOut => TakeOutcome::TimedOut,
+        }
+    }
+
+    /// Engine-thread side: reports a processed query (Point 3), feeding the
+    /// policy's processing-time measurements and the host statistics.
+    pub fn complete(&self, ty: TypeId, enqueued_at: Nanos, dequeued_at: Nanos) {
+        let now = self.clock.now();
+        let processing = now.saturating_sub(dequeued_at);
+        let wait = dequeued_at.saturating_sub(enqueued_at);
+        self.policy.on_completed(ty, processing, now);
+        self.stats.on_completed(ty, wait, processing);
+    }
+
+    /// Runs policy maintenance; hosts call this from a [`Ticker`] or their
+    /// own timer loop.
+    ///
+    /// [`Ticker`]: crate::framework::Ticker
+    pub fn tick(&self) {
+        self.policy.on_tick(self.clock.now());
+    }
+
+    /// The host statistics recorder.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// The admission policy behind the gate.
+    pub fn policy(&self) -> &Arc<dyn AdmissionPolicy> {
+        &self.policy
+    }
+
+    /// The clock this gate stamps times with.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Current FIFO queue length.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Closes the gate: engine threads drain and exit, new offers fail.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AlwaysAccept, Decision, MaxQueueLength};
+    use bouncer_metrics::{ManualClock, MonotonicClock};
+
+    #[test]
+    fn offer_take_complete_round_trip() {
+        let clock = Arc::new(ManualClock::new());
+        let gate: Gate<&str> = Gate::new(
+            Arc::new(AlwaysAccept::new()),
+            1,
+            clock.clone(),
+            GateConfig::default(),
+        );
+        gate.offer(TypeId(0), "q1").unwrap();
+        clock.set(1_000_000); // 1ms queue wait
+        let q = match gate.take(None) {
+            TakeOutcome::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(q.payload, "q1");
+        clock.set(5_000_000); // 4ms processing
+        gate.complete(q.ty, q.enqueued_at, q.dequeued_at);
+
+        let snap = gate.stats().snapshot(clock.now(), 1);
+        assert_eq!(snap.per_type[0].completed, 1);
+        let rt = snap.per_type[0].response.value_at_quantile(0.5).unwrap();
+        assert!(rt.abs_diff(5_000_000) < 200_000, "rt={rt}");
+        let wait = snap.per_type[0].wait.value_at_quantile(0.5).unwrap();
+        assert!(wait.abs_diff(1_000_000) < 50_000, "wait={wait}");
+    }
+
+    #[test]
+    fn rejection_returns_payload_and_reason() {
+        let clock = Arc::new(ManualClock::new());
+        let gate: Gate<u32> = Gate::new(
+            Arc::new(MaxQueueLength::new(1)),
+            1,
+            clock,
+            GateConfig::default(),
+        );
+        gate.offer(TypeId(0), 1).unwrap();
+        let (reason, payload) = gate.offer(TypeId(0), 2).unwrap_err();
+        assert_eq!(reason, RejectReason::QueueLengthLimit);
+        assert_eq!(payload, 2);
+        let snap = gate.stats().snapshot(1, 1);
+        assert_eq!(snap.total_rejected(), 1);
+    }
+
+    #[test]
+    fn queue_full_safeguard_overrides_policy() {
+        let clock = Arc::new(ManualClock::new());
+        let gate: Gate<u32> = Gate::new(
+            Arc::new(AlwaysAccept::new()),
+            1,
+            clock,
+            GateConfig {
+                max_queue_len: Some(1),
+                ..GateConfig::default()
+            },
+        );
+        gate.offer(TypeId(0), 1).unwrap();
+        let (reason, _) = gate.offer(TypeId(0), 2).unwrap_err();
+        assert_eq!(reason, RejectReason::QueueFull);
+    }
+
+    #[test]
+    fn policy_sees_queue_through_hooks() {
+        // MaxQL's view of the queue must match the gate's real queue.
+        let clock = Arc::new(ManualClock::new());
+        let policy = Arc::new(MaxQueueLength::new(100));
+        let gate: Gate<u32> = Gate::new(policy.clone(), 1, clock, GateConfig::default());
+        for i in 0..5 {
+            gate.offer(TypeId(0), i).unwrap();
+        }
+        assert_eq!(policy.queue_len(), 5);
+        assert_eq!(gate.queue_len(), 5);
+        if let TakeOutcome::Query(q) = gate.take(None) {
+            gate.complete(q.ty, q.enqueued_at, q.dequeued_at);
+        }
+        assert_eq!(policy.queue_len(), 4);
+    }
+
+    #[test]
+    fn expired_queries_are_dropped_undone() {
+        let clock = Arc::new(ManualClock::new());
+        let gate: Gate<u32> = Gate::new(
+            Arc::new(AlwaysAccept::new()),
+            1,
+            clock.clone(),
+            GateConfig::default(),
+        );
+        gate.offer_with_deadline(TypeId(0), 1, Some(1_000_000)).unwrap();
+        gate.offer_with_deadline(TypeId(0), 2, Some(10_000_000)).unwrap();
+        clock.set(5_000_000); // past the first deadline, not the second
+        match gate.take(None) {
+            TakeOutcome::Expired(q) => assert_eq!(q.payload, 1),
+            other => panic!("{other:?}"),
+        }
+        match gate.take(None) {
+            TakeOutcome::Query(q) => assert_eq!(q.payload, 2),
+            other => panic!("{other:?}"),
+        }
+        let snap = gate.stats().snapshot(clock.now(), 1);
+        assert_eq!(snap.per_type[0].expired, 1);
+        assert_eq!(snap.per_type[0].completed, 0);
+    }
+
+    #[test]
+    fn threaded_engine_drains_gate() {
+        let clock = Arc::new(MonotonicClock::new());
+        let gate: Arc<Gate<u64>> = Arc::new(Gate::new(
+            Arc::new(AlwaysAccept::new()),
+            1,
+            clock,
+            GateConfig::default(),
+        ));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    loop {
+                        match gate.take(None) {
+                            TakeOutcome::Query(q) => {
+                                gate.complete(q.ty, q.enqueued_at, q.dequeued_at);
+                                n += 1;
+                            }
+                            TakeOutcome::Expired(_) => unreachable!("no deadlines set"),
+                            TakeOutcome::Closed => return n,
+                            TakeOutcome::TimedOut => {}
+                        }
+                    }
+                })
+            })
+            .collect();
+        for i in 0..1_000 {
+            gate.offer(TypeId(0), i).unwrap();
+        }
+        // Wait for the queue to drain before closing so nothing is lost.
+        while gate.queue_len() > 0 {
+            std::thread::yield_now();
+        }
+        gate.close();
+        let done: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(done, 1_000);
+        let decision = gate.policy().admit(TypeId(0), 0);
+        assert_eq!(decision, Decision::Accept);
+    }
+}

@@ -1,0 +1,93 @@
+//! Human-readable rendering of host statistics.
+//!
+//! Operators read per-type acceptance/latency tables constantly (every
+//! figure in the paper's evaluation is one); this renders a
+//! [`StatsSnapshot`] against a [`TypeRegistry`] so examples, CLIs, and
+//! admin endpoints print the same thing.
+
+use bouncer_metrics::time::as_millis_f64;
+
+use crate::framework::stats::StatsSnapshot;
+use crate::types::TypeRegistry;
+
+/// Renders a per-type summary table: received / rejected % / serviced /
+/// expired / rt percentiles. Types with no traffic are omitted.
+pub fn render_snapshot(snap: &StatsSnapshot, registry: &TypeRegistry) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>9} {:>10} {:>9} {:>8} {:>11} {:>11}\n",
+        "type", "received", "rejected%", "serviced", "expired", "rt_p50(ms)", "rt_p90(ms)"
+    ));
+    for (ty, name) in registry.iter() {
+        let Some(t) = snap.per_type.get(ty.index()) else {
+            continue;
+        };
+        if t.received == 0 && t.completed == 0 {
+            continue;
+        }
+        let fmt_q = |q: f64| {
+            t.response
+                .value_at_quantile(q)
+                .map(|v| format!("{:.1}", as_millis_f64(v)))
+                .unwrap_or_else(|| "-".into())
+        };
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>10.2} {:>9} {:>8} {:>11} {:>11}\n",
+            name,
+            t.received,
+            100.0 * t.rejection_ratio(),
+            t.completed,
+            t.expired,
+            fmt_q(0.5),
+            fmt_q(0.9),
+        ));
+    }
+    out.push_str(&format!(
+        "overall: {:.2}% rejected; utilization {:.1}%\n",
+        100.0 * snap.overall_rejection_ratio(),
+        100.0 * snap.utilization,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::stats::ServerStats;
+    use crate::policy::RejectReason;
+    use crate::types::TypeRegistry;
+    use bouncer_metrics::time::{millis, secs};
+
+    #[test]
+    fn renders_active_types_only() {
+        let mut registry = TypeRegistry::new();
+        let a = registry.register("Alpha");
+        let _b = registry.register("Beta"); // never used
+        let stats = ServerStats::new(registry.len());
+        for _ in 0..4 {
+            stats.on_received(a);
+        }
+        stats.on_rejected(a, RejectReason::PredictedSloViolation);
+        stats.on_completed(a, millis(2), millis(10));
+
+        let text = render_snapshot(&stats.snapshot(secs(1), 2), &registry);
+        assert!(text.contains("Alpha"));
+        assert!(!text.contains("Beta"));
+        assert!(text.contains("overall: 25.00% rejected"));
+        // rt_p50 = 12ms (2 wait + 10 processing), within histogram
+        // quantization (~1.6%).
+        assert!(
+            text.contains("11.9") || text.contains("12.0") || text.contains("12.1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_header_and_totals() {
+        let registry = TypeRegistry::new();
+        let stats = ServerStats::new(1);
+        let text = render_snapshot(&stats.snapshot(secs(1), 1), &registry);
+        assert!(text.contains("type"));
+        assert!(text.contains("overall: 0.00% rejected"));
+    }
+}

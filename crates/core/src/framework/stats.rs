@@ -1,0 +1,346 @@
+//! Server-side measurement collection for experiments and operations.
+//!
+//! Separate from the policies' own internal metrics: this is the ground
+//! truth the evaluation reports — per-type response-time percentiles,
+//! rejection ratios by reason, throughput, and engine utilization. Recording
+//! can be toggled so warm-up traffic is excluded from results, mirroring the
+//! paper's warm-up phases (§5.3, §5.4).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use bouncer_metrics::histogram::HistogramSnapshot;
+use bouncer_metrics::time::Nanos;
+use bouncer_metrics::AtomicHistogram;
+
+use crate::policy::RejectReason;
+use crate::types::TypeId;
+
+const N_REASONS: usize = RejectReason::ALL.len();
+
+struct TypeCounters {
+    received: AtomicU64,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    expired: AtomicU64,
+    rejected: [AtomicU64; N_REASONS],
+    response: AtomicHistogram,
+    wait: AtomicHistogram,
+    processing: AtomicHistogram,
+}
+
+impl TypeCounters {
+    fn new() -> Self {
+        Self {
+            received: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            rejected: std::array::from_fn(|_| AtomicU64::new(0)),
+            response: AtomicHistogram::new(),
+            wait: AtomicHistogram::new(),
+            processing: AtomicHistogram::new(),
+        }
+    }
+
+    fn reset(&self) {
+        self.received.store(0, Ordering::Relaxed);
+        self.accepted.store(0, Ordering::Relaxed);
+        self.completed.store(0, Ordering::Relaxed);
+        self.expired.store(0, Ordering::Relaxed);
+        for r in &self.rejected {
+            r.store(0, Ordering::Relaxed);
+        }
+        self.response.reset();
+        self.wait.reset();
+        self.processing.reset();
+    }
+}
+
+/// Thread-safe experiment/operations statistics for one host.
+pub struct ServerStats {
+    per_type: Vec<TypeCounters>,
+    /// Sum of processing durations, for utilization = busy / (P · span).
+    busy: AtomicU64,
+    /// When collection (last) started, for span computation.
+    started_at: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl ServerStats {
+    /// Creates collection for `n_types` query types, enabled, with the
+    /// measurement span starting at time 0.
+    pub fn new(n_types: usize) -> Self {
+        assert!(n_types > 0);
+        Self {
+            per_type: (0..n_types).map(|_| TypeCounters::new()).collect(),
+            busy: AtomicU64::new(0),
+            started_at: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Number of tracked types.
+    pub fn n_types(&self) -> usize {
+        self.per_type.len()
+    }
+
+    /// Pauses recording (warm-up traffic).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Resumes recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Clears all counters and restarts the measurement span at `now`.
+    pub fn reset(&self, now: Nanos) {
+        for t in &self.per_type {
+            t.reset();
+        }
+        self.busy.store(0, Ordering::Relaxed);
+        self.started_at.store(now, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn recording(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// A query arrived (before the admission decision).
+    #[inline]
+    pub fn on_received(&self, ty: TypeId) {
+        if self.recording() {
+            self.per_type[ty.index()].received.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A query was admitted into the queue (Point 1).
+    #[inline]
+    pub fn on_accepted(&self, ty: TypeId) {
+        if self.recording() {
+            self.per_type[ty.index()].accepted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A query was rejected (Point 1).
+    #[inline]
+    pub fn on_rejected(&self, ty: TypeId, reason: RejectReason) {
+        if self.recording() {
+            self.per_type[ty.index()].rejected[reason.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// An admitted query expired in the queue and was dropped undone.
+    #[inline]
+    pub fn on_expired(&self, ty: TypeId) {
+        if self.recording() {
+            self.per_type[ty.index()].expired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A query finished: records wait (Point 2), processing and response
+    /// time (Point 3). `rt = wait + processing` per Eq. 1 with ξ = 0.
+    #[inline]
+    pub fn on_completed(&self, ty: TypeId, wait: Nanos, processing: Nanos) {
+        // Busy time always counts: utilization is a property of the engine,
+        // not of the measured request population.
+        self.busy.fetch_add(processing, Ordering::Relaxed);
+        if self.recording() {
+            let t = &self.per_type[ty.index()];
+            t.completed.fetch_add(1, Ordering::Relaxed);
+            t.wait.record(wait);
+            t.processing.record(processing);
+            t.response.record(wait.saturating_add(processing));
+        }
+    }
+
+    /// Snapshot of everything, with `span = now - started_at` and
+    /// utilization computed against `parallelism` engine processes.
+    pub fn snapshot(&self, now: Nanos, parallelism: u32) -> StatsSnapshot {
+        let started = self.started_at.load(Ordering::Relaxed);
+        let span = now.saturating_sub(started);
+        let busy = self.busy.load(Ordering::Relaxed);
+        let utilization = if span == 0 {
+            0.0
+        } else {
+            busy as f64 / (span as f64 * parallelism as f64)
+        };
+        StatsSnapshot {
+            per_type: self
+                .per_type
+                .iter()
+                .map(|t| TypeStats {
+                    received: t.received.load(Ordering::Relaxed),
+                    accepted: t.accepted.load(Ordering::Relaxed),
+                    completed: t.completed.load(Ordering::Relaxed),
+                    expired: t.expired.load(Ordering::Relaxed),
+                    rejected_by_reason: std::array::from_fn(|i| {
+                        t.rejected[i].load(Ordering::Relaxed)
+                    }),
+                    response: t.response.snapshot(),
+                    wait: t.wait.snapshot(),
+                    processing: t.processing.snapshot(),
+                })
+                .collect(),
+            span,
+            utilization,
+        }
+    }
+}
+
+/// Immutable snapshot of a host's statistics.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Per-type statistics, indexed by `TypeId::index()`.
+    pub per_type: Vec<TypeStats>,
+    /// Measurement span in nanoseconds.
+    pub span: Nanos,
+    /// Engine utilization in `[0, 1]` (busy time over `P · span`).
+    pub utilization: f64,
+}
+
+impl StatsSnapshot {
+    /// Total queries received across types.
+    pub fn total_received(&self) -> u64 {
+        self.per_type.iter().map(|t| t.received).sum()
+    }
+
+    /// Total rejections across types and reasons.
+    pub fn total_rejected(&self) -> u64 {
+        self.per_type.iter().map(|t| t.rejected()).sum()
+    }
+
+    /// Overall rejection ratio in `[0, 1]`.
+    pub fn overall_rejection_ratio(&self) -> f64 {
+        let r = self.total_received();
+        if r == 0 {
+            0.0
+        } else {
+            self.total_rejected() as f64 / r as f64
+        }
+    }
+
+    /// Per-type rejection ratio in `[0, 1]`.
+    pub fn rejection_ratio(&self, ty: TypeId) -> f64 {
+        self.per_type[ty.index()].rejection_ratio()
+    }
+}
+
+/// Per-type statistics within a [`StatsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct TypeStats {
+    /// Queries received (admitted + rejected).
+    pub received: u64,
+    /// Queries admitted into the queue.
+    pub accepted: u64,
+    /// Queries fully processed.
+    pub completed: u64,
+    /// Admitted queries dropped after expiring in the queue.
+    pub expired: u64,
+    /// Rejections by [`RejectReason::index`].
+    pub rejected_by_reason: [u64; N_REASONS],
+    /// Response-time distribution of serviced queries.
+    pub response: HistogramSnapshot,
+    /// Queue-wait distribution of serviced queries.
+    pub wait: HistogramSnapshot,
+    /// Processing-time distribution of serviced queries.
+    pub processing: HistogramSnapshot,
+}
+
+impl TypeStats {
+    /// Total rejections across reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_by_reason.iter().sum()
+    }
+
+    /// Rejection ratio in `[0, 1]` (0 when nothing was received).
+    pub fn rejection_ratio(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.rejected() as f64 / self.received as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bouncer_metrics::time::{millis, secs};
+
+    #[test]
+    fn counts_flow_through() {
+        let s = ServerStats::new(2);
+        s.on_received(TypeId(0));
+        s.on_accepted(TypeId(0));
+        s.on_completed(TypeId(0), millis(2), millis(8));
+        s.on_received(TypeId(1));
+        s.on_rejected(TypeId(1), RejectReason::PredictedSloViolation);
+
+        let snap = s.snapshot(secs(1), 1);
+        assert_eq!(snap.per_type[0].received, 1);
+        assert_eq!(snap.per_type[0].completed, 1);
+        assert_eq!(snap.per_type[1].rejected(), 1);
+        assert_eq!(snap.total_received(), 2);
+        assert_eq!(snap.total_rejected(), 1);
+        assert!((snap.overall_rejection_ratio() - 0.5).abs() < 1e-9);
+        // Response = wait + processing = 10ms.
+        let rt = snap.per_type[0].response.value_at_quantile(0.5).unwrap();
+        assert!(rt.abs_diff(millis(10)) < millis(1));
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let s = ServerStats::new(1);
+        // 2 queries x 250ms busy on P=1 over 1s -> 50%.
+        s.on_completed(TypeId(0), 0, millis(250));
+        s.on_completed(TypeId(0), 0, millis(250));
+        let snap = s.snapshot(secs(1), 1);
+        assert!((snap.utilization - 0.5).abs() < 1e-9);
+        // With P=2 the same busy time is 25%.
+        let snap = s.snapshot(secs(1), 2);
+        assert!((snap.utilization - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_stats_ignore_warmup_traffic() {
+        let s = ServerStats::new(1);
+        s.disable();
+        s.on_received(TypeId(0));
+        s.on_completed(TypeId(0), 0, millis(10));
+        s.enable();
+        s.on_received(TypeId(0));
+        let snap = s.snapshot(secs(1), 1);
+        assert_eq!(snap.per_type[0].received, 1);
+        assert_eq!(snap.per_type[0].completed, 0);
+    }
+
+    #[test]
+    fn reset_restarts_span() {
+        let s = ServerStats::new(1);
+        s.on_completed(TypeId(0), 0, secs(1));
+        s.reset(secs(10));
+        let snap = s.snapshot(secs(11), 1);
+        assert_eq!(snap.span, secs(1));
+        assert_eq!(snap.utilization, 0.0);
+        assert_eq!(snap.total_received(), 0);
+    }
+
+    #[test]
+    fn rejection_ratio_by_type() {
+        let s = ServerStats::new(2);
+        for _ in 0..4 {
+            s.on_received(TypeId(1));
+        }
+        s.on_rejected(TypeId(1), RejectReason::QueueFull);
+        let snap = s.snapshot(secs(1), 1);
+        assert!((snap.rejection_ratio(TypeId(1)) - 0.25).abs() < 1e-9);
+        assert_eq!(snap.rejection_ratio(TypeId(0)), 0.0);
+        assert_eq!(
+            snap.per_type[1].rejected_by_reason[RejectReason::QueueFull.index()],
+            1
+        );
+    }
+}

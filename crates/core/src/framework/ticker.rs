@@ -1,0 +1,106 @@
+//! Background maintenance timer for real-time hosts.
+//!
+//! Policies do periodic work — Bouncer swaps its dual-buffer histograms
+//! every interval, AcceptFraction recomputes its fraction every second. In
+//! the simulator these fire from scheduled events; on a real host a
+//! [`Ticker`] thread drives [`AdmissionPolicy::on_tick`] at a fixed period.
+//!
+//! [`AdmissionPolicy::on_tick`]: crate::policy::AdmissionPolicy::on_tick
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bouncer_metrics::Clock;
+
+use crate::policy::AdmissionPolicy;
+
+/// A background thread calling `policy.on_tick(clock.now())` at a fixed
+/// period until dropped or [`Ticker::stop`]ped.
+pub struct Ticker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Ticker {
+    /// Spawns the ticker thread.
+    pub fn spawn(
+        policy: Arc<dyn AdmissionPolicy>,
+        clock: Arc<dyn Clock>,
+        period: Duration,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("admission-ticker".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    std::thread::sleep(period);
+                    policy.on_tick(clock.now());
+                }
+            })
+            .expect("failed to spawn ticker thread");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops and joins the ticker thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Decision;
+    use crate::types::TypeId;
+    use bouncer_metrics::{MonotonicClock, Nanos};
+    use std::sync::atomic::AtomicU64;
+
+    struct CountTicks(AtomicU64);
+    impl AdmissionPolicy for CountTicks {
+        fn name(&self) -> &str {
+            "count-ticks"
+        }
+        fn admit(&self, _ty: TypeId, _now: Nanos) -> Decision {
+            Decision::Accept
+        }
+        fn on_tick(&self, _now: Nanos) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn ticks_fire_and_stop() {
+        let policy = Arc::new(CountTicks(AtomicU64::new(0)));
+        let ticker = Ticker::spawn(
+            policy.clone(),
+            Arc::new(MonotonicClock::new()),
+            Duration::from_millis(2),
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        ticker.stop();
+        let ticks = policy.0.load(Ordering::Relaxed);
+        assert!(ticks >= 3, "ticks={ticks}");
+        // No more ticks after stop.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(policy.0.load(Ordering::Relaxed), ticks);
+    }
+}

@@ -1,0 +1,292 @@
+//! The Acceptance Fraction (AcceptFraction) policy (§5.2.3).
+//!
+//! A capacity-centric policy: it periodically computes the fraction of
+//! queries the host should accept,
+//!
+//! ```text
+//! f = min(1.0, MaxUtil · |PU| / (qps_mavg · pt_mavg))
+//! ```
+//!
+//! and then accepts each query with probability `f`. The numerator is the
+//! *available* processing capacity (fixed at configuration time), the
+//! denominator the *demanded* capacity (recomputed every update interval
+//! from moving averages over a sliding window, default D = 60 s, Δ = 1 s).
+//! When the demanded capacity is zero, `f = min(1, ∞) = 1` (the paper relies
+//! on floating-point semantics for this; so do we).
+//!
+//! In LIquid this policy additionally "estimates the mean queue wait time of
+//! every query using Eq. 5 … and rejects the queries expected to time out in
+//! the queue"; enable that with [`AcceptFractionConfig::queue_timeout`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use bouncer_metrics::time::{as_secs_f64, secs, Nanos};
+use bouncer_metrics::MovingStats;
+
+use crate::policy::{AdmissionPolicy, Decision, RejectReason};
+use crate::rng::AtomicRng;
+use crate::types::TypeId;
+
+/// Configuration for [`AcceptFraction`].
+#[derive(Debug, Clone)]
+pub struct AcceptFractionConfig {
+    /// `MaxUtil ∈ (0, 1]`: the maximum utilization threshold.
+    pub max_utilization: f64,
+    /// `|PU|`: processing units set aside for query processing (CPU cores on
+    /// shards, engine processes on brokers).
+    pub processing_units: u32,
+    /// How often the demanded processing capacity (and thus `f`) is
+    /// recomputed. The paper uses 1 s.
+    pub update_interval: Nanos,
+    /// Sliding-window duration `D` for the moving averages.
+    pub window_duration: Nanos,
+    /// Sliding-window step `Δ`.
+    pub window_step: Nanos,
+    /// If set, also reject queries whose estimated queue wait (Eq. 5)
+    /// exceeds this expiration time — LIquid's deployment mode.
+    pub queue_timeout: Option<Nanos>,
+    /// Seed for the probabilistic accept/reject draws.
+    pub seed: u64,
+}
+
+impl AcceptFractionConfig {
+    /// The paper's defaults: 1 s update interval, D = 60 s, Δ = 1 s, no
+    /// queue-timeout rejection.
+    pub fn new(max_utilization: f64, processing_units: u32) -> Self {
+        Self {
+            max_utilization,
+            processing_units,
+            update_interval: secs(1),
+            window_duration: secs(60),
+            window_step: secs(1),
+            queue_timeout: None,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Probabilistically sheds the fraction of traffic exceeding the host's
+/// available processing capacity.
+pub struct AcceptFraction {
+    cfg: AcceptFractionConfig,
+    /// Available processing capacity: `MaxUtil · |PU|`, fixed.
+    apc: f64,
+    /// Moving stats over processing times (mean -> `pt_mavg`).
+    pt_mavg: MovingStats,
+    /// Moving stats over arrivals (rate -> `qps_mavg`).
+    arrivals: MovingStats,
+    /// Current acceptance fraction `f`, stored as `f64` bits.
+    fraction: AtomicU64,
+    last_update: AtomicU64,
+    len: AtomicI64,
+    rng: AtomicRng,
+}
+
+impl AcceptFraction {
+    /// Creates the policy.
+    pub fn new(cfg: AcceptFractionConfig) -> Self {
+        assert!(
+            cfg.max_utilization > 0.0 && cfg.max_utilization <= 1.0,
+            "MaxUtil must be in (0,1], got {}",
+            cfg.max_utilization
+        );
+        assert!(cfg.processing_units > 0, "|PU| must be positive");
+        Self {
+            apc: cfg.max_utilization * cfg.processing_units as f64,
+            pt_mavg: MovingStats::new(cfg.window_duration, cfg.window_step),
+            arrivals: MovingStats::new(cfg.window_duration, cfg.window_step),
+            fraction: AtomicU64::new(1.0f64.to_bits()),
+            last_update: AtomicU64::new(0),
+            len: AtomicI64::new(0),
+            rng: AtomicRng::new(cfg.seed),
+            cfg,
+        }
+    }
+
+    /// The acceptance fraction `f` computed at the last update.
+    pub fn fraction(&self) -> f64 {
+        f64::from_bits(self.fraction.load(Ordering::Relaxed))
+    }
+
+    /// Recomputes `f` from the current moving averages.
+    fn update_fraction(&self, now: Nanos) {
+        let qps = self.arrivals.rate_per_sec(now);
+        let pt_secs = as_secs_f64(self.pt_mavg.mean(now).unwrap_or(0.0) as Nanos);
+        // dpc may be zero; IEEE division then yields +inf and f = 1.0,
+        // exactly as the paper prescribes (§5.2.3, footnote 6).
+        let dpc = qps * pt_secs;
+        let f = (self.apc / dpc).min(1.0);
+        self.fraction.store(f.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Eq. 5 wait estimate used for the queue-timeout rejection.
+    fn estimated_wait(&self, now: Nanos) -> f64 {
+        let l = self.len.load(Ordering::Relaxed).max(0) as f64;
+        l * self.pt_mavg.mean(now).unwrap_or(0.0) / self.cfg.processing_units as f64
+    }
+}
+
+impl AdmissionPolicy for AcceptFraction {
+    fn name(&self) -> &str {
+        "accept-fraction"
+    }
+
+    fn admit(&self, _ty: TypeId, now: Nanos) -> Decision {
+        // Every incoming query contributes to the demanded-capacity rate.
+        self.arrivals.record(0, now);
+
+        if let Some(timeout) = self.cfg.queue_timeout {
+            if self.estimated_wait(now) > timeout as f64 {
+                return Decision::Reject(RejectReason::PredictedTimeout);
+            }
+        }
+
+        let f = self.fraction();
+        if f >= 1.0 || self.rng.chance(f) {
+            Decision::Accept
+        } else {
+            Decision::Reject(RejectReason::CapacityFraction)
+        }
+    }
+
+    #[inline]
+    fn on_enqueued(&self, _ty: TypeId, _now: Nanos) {
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_dequeued(&self, _ty: TypeId, _wait: Nanos, _now: Nanos) {
+        self.len.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_completed(&self, _ty: TypeId, processing: Nanos, now: Nanos) {
+        self.pt_mavg.record(processing, now);
+    }
+
+    fn on_tick(&self, now: Nanos) {
+        let last = self.last_update.load(Ordering::Acquire);
+        if now.saturating_sub(last) < self.cfg.update_interval {
+            return;
+        }
+        if self
+            .last_update
+            .compare_exchange(last, now, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.update_fraction(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bouncer_metrics::time::millis;
+
+    /// Simulates `qps` arrivals/sec with `pt` processing times for `dur`
+    /// seconds, ticking every second, then returns the policy.
+    fn warmed(max_util: f64, pu: u32, qps: u64, pt: Nanos, dur_secs: u64) -> AcceptFraction {
+        let p = AcceptFraction::new(AcceptFractionConfig::new(max_util, pu));
+        let gap = secs(1) / qps;
+        for s in 0..dur_secs {
+            for i in 0..qps {
+                let now = secs(s) + i * gap;
+                let _ = p.admit(TypeId(0), now);
+                p.on_completed(TypeId(0), pt, now);
+            }
+            p.on_tick(secs(s + 1));
+        }
+        p
+    }
+
+    #[test]
+    fn under_capacity_accepts_everything() {
+        // Demand: 100 qps x 10ms = 1.0 PU; available: 0.95 x 4 = 3.8.
+        let p = warmed(0.95, 4, 100, millis(10), 10);
+        assert!((p.fraction() - 1.0).abs() < 1e-9);
+        let accepted = (0..1000)
+            .filter(|i| p.admit(TypeId(0), secs(10) + i * millis(1)).is_accept())
+            .count();
+        assert_eq!(accepted, 1000);
+    }
+
+    #[test]
+    fn over_capacity_sheds_the_excess_fraction() {
+        // Demand: 1000 qps x 10ms = 10 PU; available: 0.95 x 4 = 3.8.
+        // f ~ 0.38.
+        let p = warmed(0.95, 4, 1000, millis(10), 10);
+        let f = p.fraction();
+        assert!((f - 0.38).abs() < 0.05, "f={f}");
+        let n = 20_000u64;
+        let accepted = (0..n)
+            .filter(|i| p.admit(TypeId(0), secs(10) + i * micros_50()).is_accept())
+            .count();
+        let ratio = accepted as f64 / n as f64;
+        assert!((ratio - f).abs() < 0.05, "ratio={ratio} f={f}");
+    }
+
+    fn micros_50() -> Nanos {
+        50_000
+    }
+
+    #[test]
+    fn fraction_starts_at_one() {
+        let p = AcceptFraction::new(AcceptFractionConfig::new(0.8, 8));
+        assert_eq!(p.fraction(), 1.0);
+        assert!(p.admit(TypeId(0), 0).is_accept());
+    }
+
+    #[test]
+    fn zero_demand_keeps_fraction_at_one() {
+        let p = AcceptFraction::new(AcceptFractionConfig::new(0.8, 8));
+        // Ticks with no arrivals: dpc = 0 -> f = min(1, inf) = 1.
+        p.on_tick(secs(1));
+        p.on_tick(secs(2));
+        assert_eq!(p.fraction(), 1.0);
+    }
+
+    #[test]
+    fn queue_timeout_mode_rejects_predicted_timeouts() {
+        let mut cfg = AcceptFractionConfig::new(1.0, 1);
+        cfg.queue_timeout = Some(millis(100));
+        let p = AcceptFraction::new(cfg);
+        for i in 0..100 {
+            p.on_completed(TypeId(0), millis(20), i * millis(10));
+        }
+        for _ in 0..4 {
+            p.on_enqueued(TypeId(0), secs(1));
+        }
+        // 4 x 20ms / 1 = 80ms <= 100ms: accepted.
+        assert!(p.admit(TypeId(0), secs(1)).is_accept());
+        for _ in 0..2 {
+            p.on_enqueued(TypeId(0), secs(1));
+        }
+        // 6 x 20ms = 120ms > 100ms: predicted timeout.
+        assert_eq!(
+            p.admit(TypeId(0), secs(1)),
+            Decision::Reject(RejectReason::PredictedTimeout)
+        );
+    }
+
+    #[test]
+    fn update_is_paced_by_interval() {
+        let p = AcceptFraction::new(AcceptFractionConfig::new(0.5, 1));
+        // Saturating demand...
+        for i in 0..1000 {
+            let _ = p.admit(TypeId(0), i * millis(1));
+            p.on_completed(TypeId(0), millis(50), i * millis(1));
+        }
+        // ...but no full interval elapsed: f still 1.
+        p.on_tick(millis(500));
+        assert_eq!(p.fraction(), 1.0);
+        p.on_tick(secs(1));
+        assert!(p.fraction() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MaxUtil must be in (0,1]")]
+    fn rejects_invalid_utilization() {
+        let _ = AcceptFraction::new(AcceptFractionConfig::new(0.0, 1));
+    }
+}

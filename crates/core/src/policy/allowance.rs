@@ -1,0 +1,247 @@
+//! The acceptance-allowance starvation-avoidance strategy (§4.1, Algorithm 2).
+//!
+//! "This strategy ensures that a small percentage of queries of each type is
+//! always admitted. … Setting A = 0.01 means that we are willing to give
+//! 'free passes' to up to 1 % of the queries of each type over the span of
+//! the sliding window."
+//!
+//! The call to the wrapped policy splits the strategy in two parts: the
+//! first accepts when the type's windowed acceptance ratio has fallen under
+//! the allowance `A`; the second overrides rejections "on the spot"
+//! uniformly at random with probability `A`. Besides relieving query types
+//! from systemic service denial, the free passes keep Bouncer's
+//! processing-time histograms populated.
+
+use bouncer_metrics::time::{millis, secs, Nanos};
+use bouncer_metrics::WindowedCounters;
+
+use crate::policy::{AdmissionPolicy, Decision};
+use crate::rng::AtomicRng;
+use crate::types::TypeId;
+
+/// Wraps an admission policy with the acceptance-allowance strategy.
+///
+/// Generic over the inner policy; the paper pairs it with [`Bouncer`]
+/// (`Bouncer.CanAdmit(Q)` in Algorithm 2) but nothing in the strategy
+/// depends on Bouncer specifically.
+///
+/// ```
+/// use bouncer_core::prelude::*;
+/// use bouncer_metrics::time::millis;
+///
+/// let mut registry = TypeRegistry::new();
+/// let ty = registry.register("GraphDistance");
+/// let slos = SloConfig::uniform(&registry, Slo::p50_p90(millis(18), millis(50)));
+/// let bouncer = Bouncer::new(slos, BouncerConfig::with_parallelism(64));
+/// // Guarantee ~5% of each type gets through even under starvation:
+/// let policy = AcceptanceAllowance::new(bouncer, registry.len(), 0.05, 42);
+/// assert!(policy.admit(ty, 0).is_accept()); // cold start is lenient
+/// ```
+///
+/// [`Bouncer`]: crate::policy::Bouncer
+pub struct AcceptanceAllowance<P> {
+    inner: P,
+    window: WindowedCounters,
+    allowance: f64,
+    rng: AtomicRng,
+    name: String,
+}
+
+impl<P: AdmissionPolicy> AcceptanceAllowance<P> {
+    /// Wraps `inner` with allowance `A ∈ [0, 1]` (the paper expects small
+    /// values, 0.01–0.1) over a sliding window of the paper's default shape
+    /// (D = 1 s, Δ = 10 ms).
+    pub fn new(inner: P, n_types: usize, allowance: f64, seed: u64) -> Self {
+        Self::with_window(inner, n_types, allowance, secs(1), millis(10), seed)
+    }
+
+    /// Wraps `inner` with an explicit sliding-window duration `D` and step
+    /// `Δ`, `D ≫ Δ`.
+    pub fn with_window(
+        inner: P,
+        n_types: usize,
+        allowance: f64,
+        window_duration: Nanos,
+        window_step: Nanos,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&allowance),
+            "allowance must be in [0,1], got {allowance}"
+        );
+        let name = format!("{}+allowance", inner.name());
+        Self {
+            inner,
+            window: WindowedCounters::new(n_types, window_duration, window_step),
+            allowance,
+            rng: AtomicRng::new(seed),
+            name,
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The configured allowance `A`.
+    pub fn allowance(&self) -> f64 {
+        self.allowance
+    }
+
+    /// The windowed acceptance ratio `aqc/rqc` for `ty`, or `None` when no
+    /// queries of the type were received within the window.
+    pub fn acceptance_ratio(&self, ty: TypeId, now: Nanos) -> Option<f64> {
+        let (aqc, rqc) = self.window.counts(ty.index(), now);
+        (rqc > 0).then(|| aqc as f64 / rqc as f64)
+    }
+}
+
+impl<P: AdmissionPolicy> AdmissionPolicy for AcceptanceAllowance<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn admit(&self, ty: TypeId, now: Nanos) -> Decision {
+        // Algorithm 2, step by step.
+        let (aqc, rqc) = self.window.counts(ty.index(), now);
+
+        let mut decision = if rqc == 0 {
+            // Nothing received within the window: accept to (re)establish
+            // measurements for the type.
+            Decision::Accept
+        } else if (aqc as f64 / rqc as f64) < self.allowance {
+            // Historical part: the type is under its allowance.
+            Decision::Accept
+        } else {
+            Decision::Reject(crate::policy::RejectReason::PredictedSloViolation)
+        };
+
+        if !decision.is_accept() {
+            decision = self.inner.admit(ty, now); // ask the policy
+        }
+
+        if !decision.is_accept() && self.rng.chance(self.allowance) {
+            // "On the spot" free pass.
+            decision = Decision::Accept;
+        }
+
+        self.window.record(ty.index(), decision.is_accept(), now);
+        decision
+    }
+
+    fn on_enqueued(&self, ty: TypeId, now: Nanos) {
+        self.inner.on_enqueued(ty, now);
+    }
+    fn on_dequeued(&self, ty: TypeId, wait: Nanos, now: Nanos) {
+        self.inner.on_dequeued(ty, wait, now);
+    }
+    fn on_completed(&self, ty: TypeId, processing: Nanos, now: Nanos) {
+        self.inner.on_completed(ty, processing, now);
+    }
+    fn on_tick(&self, now: Nanos) {
+        self.inner.on_tick(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AlwaysAccept, RejectReason};
+    use bouncer_metrics::time::micros;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A policy that always rejects — the adversarial inner policy for
+    /// exercising the strategy in isolation.
+    struct AlwaysReject(AtomicU64);
+    impl AdmissionPolicy for AlwaysReject {
+        fn name(&self) -> &str {
+            "always-reject"
+        }
+        fn admit(&self, _ty: TypeId, _now: Nanos) -> Decision {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            Decision::Reject(RejectReason::PredictedSloViolation)
+        }
+    }
+
+    #[test]
+    fn guarantees_roughly_the_allowance_under_total_rejection() {
+        let p = AcceptanceAllowance::new(AlwaysReject(AtomicU64::new(0)), 1, 0.05, 42);
+        let ty = TypeId(0);
+        let n = 200_000u64;
+        let mut accepted = 0u64;
+        for i in 0..n {
+            // ~20k QPS over a 1s/10ms window.
+            let now = i * micros(50);
+            if p.admit(ty, now).is_accept() {
+                accepted += 1;
+            }
+        }
+        let ratio = accepted as f64 / n as f64;
+        // Historical top-up plus on-the-spot passes: close to A, and never
+        // below it by much.
+        assert!(ratio > 0.045 && ratio < 0.15, "ratio={ratio}");
+    }
+
+    #[test]
+    fn first_query_in_empty_window_is_accepted() {
+        let p = AcceptanceAllowance::new(AlwaysReject(AtomicU64::new(0)), 1, 0.01, 1);
+        assert!(p.admit(TypeId(0), 0).is_accept());
+    }
+
+    #[test]
+    fn does_not_interfere_when_inner_accepts() {
+        let p = AcceptanceAllowance::new(AlwaysAccept::new(), 2, 0.02, 7);
+        for i in 0..1_000 {
+            assert!(p.admit(TypeId(1), i * micros(100)).is_accept());
+        }
+    }
+
+    #[test]
+    fn zero_allowance_defers_entirely_to_inner() {
+        let p = AcceptanceAllowance::new(AlwaysReject(AtomicU64::new(0)), 1, 0.0, 3);
+        // First query: window empty -> accepted (measurement bootstrap).
+        assert!(p.admit(TypeId(0), 0).is_accept());
+        // Afterwards the acceptance ratio is 1.0 > 0.0, the inner rejects,
+        // and no on-the-spot pass can fire.
+        for i in 1..1_000 {
+            assert!(!p.admit(TypeId(0), i * micros(100)).is_accept());
+        }
+    }
+
+    #[test]
+    fn allowance_is_per_type() {
+        let p = AcceptanceAllowance::new(AlwaysReject(AtomicU64::new(0)), 3, 0.05, 5);
+        let mut accepted = [0u64; 3];
+        for i in 0..60_000u64 {
+            let ty = TypeId((i % 3) as u32);
+            if p.admit(ty, i * micros(50)).is_accept() {
+                accepted[ty.index()] += 1;
+            }
+        }
+        for (t, &a) in accepted.iter().enumerate() {
+            let ratio = a as f64 / 20_000.0;
+            assert!(ratio > 0.04, "type {t} starved: ratio={ratio}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "allowance must be in [0,1]")]
+    fn rejects_invalid_allowance() {
+        let _ = AcceptanceAllowance::new(AlwaysAccept::new(), 1, 1.5, 0);
+    }
+
+    #[test]
+    fn acceptance_ratio_reflects_window() {
+        let p = AcceptanceAllowance::new(AlwaysAccept::new(), 1, 0.05, 9);
+        assert_eq!(p.acceptance_ratio(TypeId(0), 0), None);
+        p.admit(TypeId(0), 0);
+        assert_eq!(p.acceptance_ratio(TypeId(0), 1), Some(1.0));
+    }
+
+    #[test]
+    fn name_composes() {
+        let p = AcceptanceAllowance::new(AlwaysAccept::new(), 1, 0.05, 0);
+        assert_eq!(p.name(), "always-accept+allowance");
+    }
+}

@@ -1,0 +1,44 @@
+//! A pass-through policy: accepts every query.
+//!
+//! Used as the no-admission-control baseline in experiments (showing the
+//! unprotected system's collapse under overload) and by the LIquid cluster's
+//! capacity probe, which needs the system's raw saturation throughput.
+
+use bouncer_metrics::Nanos;
+
+use crate::policy::{AdmissionPolicy, Decision};
+use crate::types::TypeId;
+
+/// Accepts everything; implements no overload protection.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlwaysAccept;
+
+impl AlwaysAccept {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl AdmissionPolicy for AlwaysAccept {
+    fn name(&self) -> &str {
+        "always-accept"
+    }
+
+    #[inline]
+    fn admit(&self, _ty: TypeId, _now: Nanos) -> Decision {
+        Decision::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_everything() {
+        let p = AlwaysAccept::new();
+        assert!(p.admit(TypeId(0), 0).is_accept());
+        assert_eq!(p.name(), "always-accept");
+    }
+}

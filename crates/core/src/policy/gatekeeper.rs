@@ -1,0 +1,227 @@
+//! A Gatekeeper-style capacity baseline from the literature (§6 / §7).
+//!
+//! Gatekeeper (Elnikety et al. 2004, discussed in the paper's related work)
+//! "lets the system serve a sustained throughput without exceeding its
+//! capacity, and uses moving averages to estimate mean response times":
+//! each query type's cost is estimated online, the admitted-but-unfinished
+//! demand is tracked, and a query is admitted only while total in-flight
+//! demand stays under a capacity threshold. The paper leaves evaluating
+//! Bouncer "against other policies in the literature" as future work (§7);
+//! this implementation supports that comparison.
+//!
+//! Differences from Bouncer it shares with the paper's characterization:
+//! it is type-*aware* for cost estimation but enforces no latency SLOs —
+//! it bounds *load*, not response time — and it does not reject early on
+//! percentile estimates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bouncer_metrics::time::{secs, Nanos};
+use bouncer_metrics::MovingStats;
+
+use crate::policy::{AdmissionPolicy, Decision, RejectReason};
+use crate::types::TypeId;
+
+/// Configuration for [`GatekeeperStyle`].
+#[derive(Debug, Clone)]
+pub struct GatekeeperConfig {
+    /// Engine processes (`P`); capacity = `P` seconds of work per second.
+    pub parallelism: u32,
+    /// Admit while in-flight demand ≤ `beta · P · horizon`. `beta` is the
+    /// load threshold (Gatekeeper tuned an analogous multiprogramming
+    /// limit empirically); `1.0` means "one horizon's worth of work".
+    pub beta: f64,
+    /// The demand horizon: how much backlog (in time-to-drain) is allowed.
+    pub horizon: Nanos,
+    /// Moving-average window for per-type cost estimates.
+    pub window_duration: Nanos,
+    /// Moving-average step.
+    pub window_step: Nanos,
+}
+
+impl GatekeeperConfig {
+    /// Defaults: β = 1.0, 100 ms backlog horizon, 60 s / 1 s window.
+    pub fn new(parallelism: u32) -> Self {
+        Self {
+            parallelism,
+            beta: 1.0,
+            horizon: 100_000_000,
+            window_duration: secs(60),
+            window_step: secs(1),
+        }
+    }
+}
+
+struct TypeState {
+    /// Moving average of processing times for this type.
+    cost: MovingStats,
+    /// Queries admitted and not yet completed.
+    in_flight: AtomicU64,
+}
+
+/// Admits while estimated in-flight demand stays under the capacity bound.
+pub struct GatekeeperStyle {
+    cfg: GatekeeperConfig,
+    per_type: Vec<TypeState>,
+    /// Cost estimate for types with no data yet: the all-types average.
+    general: MovingStats,
+}
+
+impl GatekeeperStyle {
+    /// Creates the policy for `n_types` query types.
+    pub fn new(n_types: usize, cfg: GatekeeperConfig) -> Self {
+        assert!(cfg.parallelism > 0, "parallelism must be positive");
+        assert!(cfg.beta > 0.0, "beta must be positive");
+        let per_type = (0..n_types)
+            .map(|_| TypeState {
+                cost: MovingStats::new(cfg.window_duration, cfg.window_step),
+                in_flight: AtomicU64::new(0),
+            })
+            .collect();
+        Self {
+            general: MovingStats::new(cfg.window_duration, cfg.window_step),
+            per_type,
+            cfg,
+        }
+    }
+
+    fn cost_estimate(&self, ty: TypeId, now: Nanos) -> f64 {
+        self.per_type[ty.index()]
+            .cost
+            .mean(now)
+            .or_else(|| self.general.mean(now))
+            .unwrap_or(0.0)
+    }
+
+    /// Total estimated in-flight demand in engine-nanoseconds.
+    pub fn in_flight_demand(&self, now: Nanos) -> f64 {
+        self.per_type
+            .iter()
+            .map(|s| s.in_flight.load(Ordering::Relaxed) as f64 * s.cost.mean(now).unwrap_or(0.0))
+            .sum()
+    }
+
+    /// The admission bound in engine-nanoseconds.
+    pub fn capacity_bound(&self) -> f64 {
+        self.cfg.beta * self.cfg.parallelism as f64 * self.cfg.horizon as f64
+    }
+}
+
+impl AdmissionPolicy for GatekeeperStyle {
+    fn name(&self) -> &str {
+        "gatekeeper-style"
+    }
+
+    fn admit(&self, ty: TypeId, now: Nanos) -> Decision {
+        let projected = self.in_flight_demand(now) + self.cost_estimate(ty, now);
+        if projected <= self.capacity_bound() {
+            Decision::Accept
+        } else {
+            Decision::Reject(RejectReason::CapacityFraction)
+        }
+    }
+
+    #[inline]
+    fn on_enqueued(&self, ty: TypeId, _now: Nanos) {
+        self.per_type[ty.index()]
+            .in_flight
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_completed(&self, ty: TypeId, processing: Nanos, now: Nanos) {
+        let state = &self.per_type[ty.index()];
+        // Saturating: a completion for a query admitted before a reset.
+        let _ = state
+            .in_flight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+        state.cost.record(processing, now);
+        self.general.record(processing, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bouncer_metrics::time::millis;
+
+    fn warmed(parallelism: u32, horizon: Nanos) -> GatekeeperStyle {
+        let mut cfg = GatekeeperConfig::new(parallelism);
+        cfg.horizon = horizon;
+        let g = GatekeeperStyle::new(2, cfg);
+        for i in 0..100 {
+            g.on_completed(TypeId::from_index(0), millis(10), i * millis(10));
+            g.on_completed(TypeId::from_index(1), millis(50), i * millis(10));
+        }
+        g
+    }
+
+    #[test]
+    fn cold_start_admits() {
+        let g = GatekeeperStyle::new(1, GatekeeperConfig::new(1));
+        assert!(g.admit(TypeId::from_index(0), 0).is_accept());
+    }
+
+    #[test]
+    fn admits_until_demand_reaches_the_bound() {
+        // P=2, horizon 100ms -> bound 200ms of demand; type 0 costs 10ms.
+        let g = warmed(2, millis(100));
+        let ty = TypeId::from_index(0);
+        let mut admitted = 0;
+        for _ in 0..100 {
+            if !g.admit(ty, secs(2)).is_accept() {
+                break;
+            }
+            g.on_enqueued(ty, secs(2));
+            admitted += 1;
+        }
+        // 19 x 10ms + 10ms projected = 200ms <= bound; the 20th pushes over.
+        assert!((19..=20).contains(&admitted), "admitted={admitted}");
+    }
+
+    #[test]
+    fn expensive_types_consume_the_budget_faster() {
+        let g = warmed(2, millis(100));
+        let cheap = TypeId::from_index(0); // 10ms
+        let costly = TypeId::from_index(1); // 50ms
+        let count = |ty: TypeId| {
+            let g = warmed(2, millis(100));
+            let mut n = 0;
+            while g.admit(ty, secs(2)).is_accept() && n < 1000 {
+                g.on_enqueued(ty, secs(2));
+                n += 1;
+            }
+            n
+        };
+        let n_cheap = count(cheap);
+        let n_costly = count(costly);
+        assert!(n_cheap > 3 * n_costly, "cheap={n_cheap} costly={n_costly}");
+        let _ = g;
+    }
+
+    #[test]
+    fn completions_release_budget() {
+        let g = warmed(1, millis(50));
+        let ty = TypeId::from_index(0);
+        while g.admit(ty, secs(2)).is_accept() {
+            g.on_enqueued(ty, secs(2));
+        }
+        assert!(!g.admit(ty, secs(2)).is_accept());
+        g.on_completed(ty, millis(10), secs(2));
+        g.on_completed(ty, millis(10), secs(2));
+        assert!(g.admit(ty, secs(2)).is_accept());
+    }
+
+    #[test]
+    fn unknown_types_use_the_general_estimate() {
+        let mut cfg = GatekeeperConfig::new(1);
+        cfg.horizon = millis(100);
+        let g = GatekeeperStyle::new(3, cfg);
+        for i in 0..50 {
+            g.on_completed(TypeId::from_index(0), millis(20), i * millis(20));
+        }
+        // Type 2 has no data; its cost estimate falls back to ~20ms.
+        let ty = TypeId::from_index(2);
+        assert!((g.cost_estimate(ty, secs(1)) - millis(20) as f64).abs() < 1e6);
+    }
+}

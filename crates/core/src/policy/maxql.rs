@@ -1,0 +1,111 @@
+//! The Maximum Queue Length (MaxQL) policy (§5.2.1).
+//!
+//! "It simply accepts an incoming query only if the FIFO queue's length is
+//! less than a configurable length limit (l < L_limit)." Oblivious to query
+//! types; the queue length is the only signal.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use bouncer_metrics::Nanos;
+
+use crate::policy::{AdmissionPolicy, Decision, RejectReason};
+use crate::types::TypeId;
+
+/// Accepts while the FIFO queue is shorter than a fixed limit.
+#[derive(Debug)]
+pub struct MaxQueueLength {
+    limit: u64,
+    /// Current queue length, maintained through the enqueue/dequeue hooks.
+    /// `i64` tolerates the transient enqueue/dequeue hook races; reads clamp.
+    len: AtomicI64,
+}
+
+impl MaxQueueLength {
+    /// Creates the policy with queue length limit `L_limit`.
+    pub fn new(limit: u64) -> Self {
+        assert!(limit > 0, "queue length limit must be positive");
+        Self {
+            limit,
+            len: AtomicI64::new(0),
+        }
+    }
+
+    /// The current queue length as this policy sees it.
+    pub fn queue_len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+impl AdmissionPolicy for MaxQueueLength {
+    fn name(&self) -> &str {
+        "maxql"
+    }
+
+    #[inline]
+    fn admit(&self, _ty: TypeId, _now: Nanos) -> Decision {
+        if self.queue_len() < self.limit {
+            Decision::Accept
+        } else {
+            Decision::Reject(RejectReason::QueueLengthLimit)
+        }
+    }
+
+    #[inline]
+    fn on_enqueued(&self, _ty: TypeId, _now: Nanos) {
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_dequeued(&self, _ty: TypeId, _wait: Nanos, _now: Nanos) {
+        self.len.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_below_limit_rejects_at_limit() {
+        let p = MaxQueueLength::new(3);
+        for _ in 0..3 {
+            assert!(p.admit(TypeId(0), 0).is_accept());
+            p.on_enqueued(TypeId(0), 0);
+        }
+        assert_eq!(
+            p.admit(TypeId(0), 0),
+            Decision::Reject(RejectReason::QueueLengthLimit)
+        );
+        p.on_dequeued(TypeId(0), 0, 0);
+        assert!(p.admit(TypeId(0), 0).is_accept());
+    }
+
+    #[test]
+    fn is_type_oblivious() {
+        let p = MaxQueueLength::new(1);
+        p.on_enqueued(TypeId(0), 0);
+        // A different type is rejected just the same.
+        assert!(!p.admit(TypeId(1), 0).is_accept());
+    }
+
+    #[test]
+    fn queue_len_tracks_hooks() {
+        let p = MaxQueueLength::new(10);
+        p.on_enqueued(TypeId(0), 0);
+        p.on_enqueued(TypeId(1), 0);
+        assert_eq!(p.queue_len(), 2);
+        p.on_dequeued(TypeId(0), 5, 5);
+        assert_eq!(p.queue_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue length limit must be positive")]
+    fn zero_limit_is_invalid() {
+        let _ = MaxQueueLength::new(0);
+    }
+}

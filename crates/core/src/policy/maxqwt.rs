@@ -1,0 +1,195 @@
+//! The Maximum Queue Wait Time (MaxQWT) policy (§5.2.2).
+//!
+//! "It admits an incoming query Q only if the estimate for Q's mean queue
+//! wait time is less than or equal to a configurable time limit
+//! (ewt_mean ≤ T_limit)", with Eq. 5:
+//!
+//! ```text
+//! ewt_mean = l · pt_mavg / P
+//! ```
+//!
+//! where `l` is the FIFO queue's current length, `pt_mavg` the moving
+//! average of processing times over a sliding window (default D = 60 s,
+//! Δ = 1 s), and `P` the number of engine processes.
+//!
+//! The paper's §5.5 asks how MaxQWT fares when wait-time limits are set *per
+//! query type*; [`MaxQueueWaitTime::with_per_type_limits`] implements that
+//! variant (Figure 14).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use bouncer_metrics::time::{secs, Nanos};
+use bouncer_metrics::MovingStats;
+
+use crate::policy::{AdmissionPolicy, Decision, RejectReason};
+use crate::types::TypeId;
+
+/// Admits while the estimated mean queue wait time is within a limit.
+pub struct MaxQueueWaitTime {
+    /// Wait-time limit per type; a single-element vector means one global
+    /// limit (the paper's default implementation, type-oblivious).
+    limits: Vec<Nanos>,
+    parallelism: u32,
+    pt_mavg: MovingStats,
+    len: AtomicI64,
+}
+
+impl MaxQueueWaitTime {
+    /// One global wait-time limit, the paper's configuration, with the
+    /// default sliding window (D = 60 s, Δ = 1 s).
+    pub fn new(limit: Nanos, parallelism: u32) -> Self {
+        Self::with_window(vec![limit], parallelism, secs(60), secs(1))
+    }
+
+    /// Per-type wait-time limits (§5.5 / Figure 14). `limits[i]` applies to
+    /// the type with index `i`.
+    pub fn with_per_type_limits(limits: Vec<Nanos>, parallelism: u32) -> Self {
+        Self::with_window(limits, parallelism, secs(60), secs(1))
+    }
+
+    /// Full control over limits and the moving-average window.
+    pub fn with_window(
+        limits: Vec<Nanos>,
+        parallelism: u32,
+        window_duration: Nanos,
+        window_step: Nanos,
+    ) -> Self {
+        assert!(!limits.is_empty(), "need at least one wait-time limit");
+        assert!(parallelism > 0, "parallelism must be positive");
+        Self {
+            limits,
+            parallelism,
+            pt_mavg: MovingStats::new(window_duration, window_step),
+            len: AtomicI64::new(0),
+        }
+    }
+
+    fn limit_for(&self, ty: TypeId) -> Nanos {
+        if self.limits.len() == 1 {
+            self.limits[0]
+        } else {
+            self.limits[ty.index()]
+        }
+    }
+
+    /// Eq. 5: the current mean queue wait estimate, `l · pt_mavg / P`.
+    pub fn estimated_wait_mean(&self, now: Nanos) -> f64 {
+        let l = self.len.load(Ordering::Relaxed).max(0) as f64;
+        let pt = self.pt_mavg.mean(now).unwrap_or(0.0);
+        l * pt / self.parallelism as f64
+    }
+}
+
+impl AdmissionPolicy for MaxQueueWaitTime {
+    fn name(&self) -> &str {
+        "maxqwt"
+    }
+
+    #[inline]
+    fn admit(&self, ty: TypeId, now: Nanos) -> Decision {
+        if self.estimated_wait_mean(now) <= self.limit_for(ty) as f64 {
+            Decision::Accept
+        } else {
+            Decision::Reject(RejectReason::WaitTimeLimit)
+        }
+    }
+
+    #[inline]
+    fn on_enqueued(&self, _ty: TypeId, _now: Nanos) {
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_dequeued(&self, _ty: TypeId, _wait: Nanos, _now: Nanos) {
+        self.len.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_completed(&self, _ty: TypeId, processing: Nanos, now: Nanos) {
+        self.pt_mavg.record(processing, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bouncer_metrics::time::millis;
+
+    fn warmed(limit: Nanos, parallelism: u32, pt: Nanos) -> MaxQueueWaitTime {
+        let p = MaxQueueWaitTime::new(limit, parallelism);
+        for i in 0..100 {
+            p.on_completed(TypeId(0), pt, i * millis(10));
+        }
+        p
+    }
+
+    #[test]
+    fn accepts_with_empty_queue() {
+        let p = warmed(millis(15), 4, millis(10));
+        assert!(p.admit(TypeId(0), secs(1)).is_accept());
+    }
+
+    #[test]
+    fn rejects_when_wait_estimate_exceeds_limit() {
+        // 8 queued x 10ms / 4 = 20ms > 15ms.
+        let p = warmed(millis(15), 4, millis(10));
+        for _ in 0..8 {
+            p.on_enqueued(TypeId(0), secs(1));
+        }
+        assert_eq!(
+            p.admit(TypeId(0), secs(1)),
+            Decision::Reject(RejectReason::WaitTimeLimit)
+        );
+        // 6 x 10 / 4 = 15ms == limit -> accepted (<= comparison).
+        p.on_dequeued(TypeId(0), 0, secs(1));
+        p.on_dequeued(TypeId(0), 0, secs(1));
+        assert!(p.admit(TypeId(0), secs(1)).is_accept());
+    }
+
+    #[test]
+    fn cold_policy_accepts() {
+        let p = MaxQueueWaitTime::new(millis(1), 1);
+        for _ in 0..100 {
+            p.on_enqueued(TypeId(0), 0);
+        }
+        // No processing-time samples yet: pt_mavg = 0 -> estimate 0.
+        assert!(p.admit(TypeId(0), 0).is_accept());
+    }
+
+    #[test]
+    fn global_limit_is_type_oblivious() {
+        let p = warmed(millis(15), 1, millis(10));
+        for _ in 0..2 {
+            p.on_enqueued(TypeId(0), secs(1));
+        }
+        // 2 x 10ms / 1 = 20ms > 15ms for *any* type.
+        assert!(!p.admit(TypeId(0), secs(1)).is_accept());
+        assert!(!p.admit(TypeId(5), secs(1)).is_accept());
+    }
+
+    #[test]
+    fn per_type_limits_differentiate() {
+        let p = MaxQueueWaitTime::with_per_type_limits(vec![millis(5), millis(50)], 1);
+        for i in 0..100 {
+            p.on_completed(TypeId(0), millis(10), i * millis(10));
+        }
+        p.on_enqueued(TypeId(0), secs(1)); // estimate = 10ms
+        assert!(!p.admit(TypeId(0), secs(1)).is_accept());
+        assert!(p.admit(TypeId(1), secs(1)).is_accept());
+    }
+
+    #[test]
+    fn moving_average_follows_load() {
+        let p = MaxQueueWaitTime::with_window(vec![millis(15)], 1, secs(10), secs(1));
+        for i in 0..50 {
+            p.on_completed(TypeId(0), millis(5), i * millis(100));
+        }
+        p.on_enqueued(TypeId(0), secs(5));
+        assert!(p.admit(TypeId(0), secs(5)).is_accept()); // 5ms <= 15ms
+        // Processing times deteriorate to 30ms; old samples expire.
+        for i in 0..200 {
+            p.on_completed(TypeId(0), millis(30), secs(6) + i * millis(100));
+        }
+        assert!(!p.admit(TypeId(0), secs(26)).is_accept()); // 30ms > 15ms
+    }
+}

@@ -1,0 +1,173 @@
+//! Admission-control policies.
+//!
+//! All policies implement [`AdmissionPolicy`] and are driven by the framework
+//! (Figure 1) through the same four measurement points the paper describes:
+//! the admit decision itself, plus recording hooks after enqueue (Point 1),
+//! after dequeue (Point 2 — queue wait time), and after processing completes
+//! (Point 3 — processing time). Periodic maintenance (histogram swaps,
+//! acceptance-fraction updates) happens in [`AdmissionPolicy::on_tick`].
+
+mod accept_fraction;
+mod allowance;
+mod always;
+mod bouncer;
+mod gatekeeper;
+mod maxql;
+mod maxqwt;
+mod underserved;
+
+pub use accept_fraction::{AcceptFraction, AcceptFractionConfig};
+pub use allowance::AcceptanceAllowance;
+pub use always::AlwaysAccept;
+pub use bouncer::{Bouncer, BouncerConfig, DecisionRule, HistogramMode};
+pub use gatekeeper::{GatekeeperConfig, GatekeeperStyle};
+pub use maxql::MaxQueueLength;
+pub use maxqwt::MaxQueueWaitTime;
+pub use underserved::HelpingTheUnderserved;
+
+use bouncer_metrics::Nanos;
+
+use crate::types::TypeId;
+
+/// Why a query was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// Bouncer predicts the query would violate one of its percentile
+    /// response-time targets (Algorithm 1).
+    PredictedSloViolation,
+    /// MaxQL: the FIFO queue has reached its length limit.
+    QueueLengthLimit,
+    /// MaxQWT: the estimated mean queue wait time exceeds the limit.
+    WaitTimeLimit,
+    /// AcceptFraction: probabilistically shed to keep utilization under the
+    /// threshold.
+    CapacityFraction,
+    /// AcceptFraction (LIquid mode): the query is expected to time out while
+    /// still waiting in the queue.
+    PredictedTimeout,
+    /// The framework's bounded queue was full (`L_limit` safeguard, §5.4).
+    QueueFull,
+}
+
+impl RejectReason {
+    /// All reasons, for dense per-reason counters.
+    pub const ALL: [RejectReason; 6] = [
+        RejectReason::PredictedSloViolation,
+        RejectReason::QueueLengthLimit,
+        RejectReason::WaitTimeLimit,
+        RejectReason::CapacityFraction,
+        RejectReason::PredictedTimeout,
+        RejectReason::QueueFull,
+    ];
+
+    /// Dense index of this reason within [`RejectReason::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            RejectReason::PredictedSloViolation => 0,
+            RejectReason::QueueLengthLimit => 1,
+            RejectReason::WaitTimeLimit => 2,
+            RejectReason::CapacityFraction => 3,
+            RejectReason::PredictedTimeout => 4,
+            RejectReason::QueueFull => 5,
+        }
+    }
+
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::PredictedSloViolation => "predicted-slo-violation",
+            RejectReason::QueueLengthLimit => "queue-length-limit",
+            RejectReason::WaitTimeLimit => "wait-time-limit",
+            RejectReason::CapacityFraction => "capacity-fraction",
+            RejectReason::PredictedTimeout => "predicted-timeout",
+            RejectReason::QueueFull => "queue-full",
+        }
+    }
+}
+
+/// Outcome of an admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Admit the query into the FIFO queue.
+    Accept,
+    /// Drop the query and reply with an error response straight away —
+    /// the fail-early-and-cheaply rejection of §2.
+    Reject(RejectReason),
+}
+
+impl Decision {
+    /// `true` for [`Decision::Accept`].
+    #[inline]
+    pub fn is_accept(self) -> bool {
+        matches!(self, Decision::Accept)
+    }
+}
+
+/// An admission-control policy plugged into the Figure 1 framework.
+///
+/// Implementations must be thread-safe: in the real system many transport
+/// threads call [`admit`](Self::admit) concurrently while engine threads
+/// invoke the recording hooks.
+pub trait AdmissionPolicy: Send + Sync {
+    /// Short policy name for reports (e.g. `"bouncer"`).
+    fn name(&self) -> &str;
+
+    /// Decides whether to accept or reject a query of type `ty` arriving at
+    /// time `now`. Called before the query enters the FIFO queue.
+    fn admit(&self, ty: TypeId, now: Nanos) -> Decision;
+
+    /// A query of type `ty` was placed in the FIFO queue (Point 1).
+    fn on_enqueued(&self, _ty: TypeId, _now: Nanos) {}
+
+    /// A query was pulled from the queue after waiting `wait` (Point 2).
+    fn on_dequeued(&self, _ty: TypeId, _wait: Nanos, _now: Nanos) {}
+
+    /// A query finished processing in `processing` time (Point 3).
+    fn on_completed(&self, _ty: TypeId, _processing: Nanos, _now: Nanos) {}
+
+    /// Periodic maintenance; the framework calls this on a timer (real
+    /// system) or from scheduled events (simulator). Policies must tolerate
+    /// arbitrary call frequency and use `now` to pace internal work.
+    fn on_tick(&self, _now: Nanos) {}
+}
+
+/// Blanket implementation so policies can be shared behind `Arc`.
+impl<P: AdmissionPolicy + ?Sized> AdmissionPolicy for std::sync::Arc<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn admit(&self, ty: TypeId, now: Nanos) -> Decision {
+        (**self).admit(ty, now)
+    }
+    fn on_enqueued(&self, ty: TypeId, now: Nanos) {
+        (**self).on_enqueued(ty, now)
+    }
+    fn on_dequeued(&self, ty: TypeId, wait: Nanos, now: Nanos) {
+        (**self).on_dequeued(ty, wait, now)
+    }
+    fn on_completed(&self, ty: TypeId, processing: Nanos, now: Nanos) {
+        (**self).on_completed(ty, processing, now)
+    }
+    fn on_tick(&self, now: Nanos) {
+        (**self).on_tick(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_reason_indices_are_dense() {
+        for (i, r) in RejectReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert!(!r.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn decision_is_accept() {
+        assert!(Decision::Accept.is_accept());
+        assert!(!Decision::Reject(RejectReason::QueueFull).is_accept());
+    }
+}

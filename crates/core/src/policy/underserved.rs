@@ -1,0 +1,248 @@
+//! The "helping the underserved" starvation-avoidance strategy (§4.2,
+//! Algorithm 3).
+//!
+//! Rather than a fixed per-type allowance, this strategy helps query types
+//! that have been rejected more than others: a type is deemed unfavorably
+//! treated when its windowed acceptance ratio `AR` is below the *average*
+//! acceptance ratio `AAR` across all types. A rejection by the wrapped
+//! policy is then overridden with probability
+//!
+//! ```text
+//! x = (AAR − AR) / AAR,      p = α · x / (1 + x)
+//! ```
+//!
+//! — a bounded, smoothed "help" (`p < α/2` whenever `x ≤ 1`), instead of the
+//! naive `(AAR − AR)/AAR` which would approach 1 for fully starved types and
+//! give them excessive help.
+
+use bouncer_metrics::time::{millis, secs, Nanos};
+use bouncer_metrics::WindowedCounters;
+
+use crate::policy::{AdmissionPolicy, Decision};
+use crate::rng::AtomicRng;
+use crate::types::TypeId;
+
+/// Wraps an admission policy with the helping-the-underserved strategy.
+pub struct HelpingTheUnderserved<P> {
+    inner: P,
+    window: WindowedCounters,
+    /// Scaling factor α ∈ (0, 1].
+    alpha: f64,
+    rng: AtomicRng,
+    name: String,
+}
+
+impl<P: AdmissionPolicy> HelpingTheUnderserved<P> {
+    /// Wraps `inner` with scaling factor `alpha ∈ (0, 1]` over the paper's
+    /// default sliding window (D = 1 s, Δ = 10 ms).
+    pub fn new(inner: P, n_types: usize, alpha: f64, seed: u64) -> Self {
+        Self::with_window(inner, n_types, alpha, secs(1), millis(10), seed)
+    }
+
+    /// Wraps `inner` with an explicit window duration `D` and step `Δ`.
+    pub fn with_window(
+        inner: P,
+        n_types: usize,
+        alpha: f64,
+        window_duration: Nanos,
+        window_step: Nanos,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
+        let name = format!("{}+underserved", inner.name());
+        Self {
+            inner,
+            window: WindowedCounters::new(n_types, window_duration, window_step),
+            alpha,
+            rng: AtomicRng::new(seed),
+            name,
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The configured scaling factor α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `(AR(ty), AAR)` as Algorithm 3 computes them: per-type ratios use a
+    /// `max(received, 1)` denominator and the average runs over **all**
+    /// registered types, seen or not.
+    pub fn ratios(&self, ty: TypeId, now: Nanos) -> (f64, f64) {
+        let mut sum = 0.0;
+        let mut ar = 0.0;
+        let mut n = 0usize;
+        self.window.for_each_type(now, |t, accepted, received| {
+            let ratio = accepted as f64 / received.max(1) as f64;
+            if t == ty.index() {
+                ar = ratio;
+            }
+            sum += ratio;
+            n += 1;
+        });
+        (ar, sum / n.max(1) as f64)
+    }
+}
+
+impl<P: AdmissionPolicy> AdmissionPolicy for HelpingTheUnderserved<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn admit(&self, ty: TypeId, now: Nanos) -> Decision {
+        // Algorithm 3: ask the policy first, then maybe override.
+        let mut decision = self.inner.admit(ty, now);
+
+        if !decision.is_accept() {
+            let (ar, aar) = self.ratios(ty, now);
+            if ar < aar {
+                let x = (aar - ar) / aar;
+                let p = self.alpha * x / (1.0 + x);
+                if self.rng.chance(p) {
+                    decision = Decision::Accept;
+                }
+            }
+        }
+
+        self.window.record(ty.index(), decision.is_accept(), now);
+        decision
+    }
+
+    fn on_enqueued(&self, ty: TypeId, now: Nanos) {
+        self.inner.on_enqueued(ty, now);
+    }
+    fn on_dequeued(&self, ty: TypeId, wait: Nanos, now: Nanos) {
+        self.inner.on_dequeued(ty, wait, now);
+    }
+    fn on_completed(&self, ty: TypeId, processing: Nanos, now: Nanos) {
+        self.inner.on_completed(ty, processing, now);
+    }
+    fn on_tick(&self, now: Nanos) {
+        self.inner.on_tick(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AlwaysAccept, RejectReason};
+    use bouncer_metrics::time::micros;
+
+    /// Rejects queries of the type given at construction, accepts the rest.
+    struct RejectType(u32);
+    impl AdmissionPolicy for RejectType {
+        fn name(&self) -> &str {
+            "reject-type"
+        }
+        fn admit(&self, ty: TypeId, _now: Nanos) -> Decision {
+            if ty.index() == self.0 as usize {
+                Decision::Reject(RejectReason::PredictedSloViolation)
+            } else {
+                Decision::Accept
+            }
+        }
+    }
+
+    /// Drives a 2-type workload where the inner policy rejects type 1 and
+    /// accepts type 0, and returns type 1's acceptance ratio.
+    fn run_biased(alpha: f64, seed: u64) -> f64 {
+        let p = HelpingTheUnderserved::new(RejectType(1), 2, alpha, seed);
+        let mut accepted = 0u64;
+        let n = 100_000u64;
+        for i in 0..n {
+            let now = i * micros(50);
+            let ty = TypeId((i % 2) as u32);
+            let a = p.admit(ty, now).is_accept();
+            if ty.index() == 1 && a {
+                accepted += 1;
+            }
+        }
+        accepted as f64 / (n / 2) as f64
+    }
+
+    #[test]
+    fn underserved_type_gets_probabilistic_help() {
+        // AR(1)->~p, AAR ~ (1+p)/2, x=(AAR-AR)/AAR. At equilibrium
+        // p = alpha*x/(1+x); for alpha=1, solving numerically gives ~0.24.
+        let ratio = run_biased(1.0, 42);
+        assert!(ratio > 0.15 && ratio < 0.35, "ratio={ratio}");
+    }
+
+    #[test]
+    fn help_scales_with_alpha() {
+        let low = run_biased(0.1, 7);
+        let high = run_biased(1.0, 7);
+        assert!(
+            high > 2.0 * low,
+            "expected monotone help: low={low} high={high}"
+        );
+        assert!(low > 0.005, "low={low}");
+    }
+
+    #[test]
+    fn no_override_when_all_types_equally_treated() {
+        // Inner rejects *everything*: all ratios are 0, AR == AAR, so the
+        // strategy never overrides.
+        struct RejectAll;
+        impl AdmissionPolicy for RejectAll {
+            fn name(&self) -> &str {
+                "reject-all"
+            }
+            fn admit(&self, _ty: TypeId, _now: Nanos) -> Decision {
+                Decision::Reject(RejectReason::PredictedSloViolation)
+            }
+        }
+        let p = HelpingTheUnderserved::new(RejectAll, 2, 1.0, 3);
+        let accepted = (0..10_000u64)
+            .filter(|i| p.admit(TypeId((i % 2) as u32), i * micros(100)).is_accept())
+            .count();
+        assert_eq!(accepted, 0);
+    }
+
+    #[test]
+    fn passes_accepts_through_untouched() {
+        let p = HelpingTheUnderserved::new(AlwaysAccept::new(), 2, 1.0, 5);
+        for i in 0..1_000u64 {
+            assert!(p.admit(TypeId(0), i * micros(100)).is_accept());
+        }
+    }
+
+    #[test]
+    fn ratios_average_includes_unseen_types() {
+        let p = HelpingTheUnderserved::new(AlwaysAccept::new(), 4, 1.0, 1);
+        p.admit(TypeId(0), 0); // accepted; types 1-3 unseen
+        let (ar, aar) = p.ratios(TypeId(0), 1);
+        assert_eq!(ar, 1.0);
+        // AAR = (1 + 0 + 0 + 0) / 4.
+        assert!((aar - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn override_probability_is_bounded_by_half_alpha() {
+        // With AR = 0 and AAR > 0, x = 1 and p = alpha/2 — the paper's
+        // p_max = alpha * 1/2 (Table 5 note).
+        let alpha = 0.6f64;
+        let x: f64 = 1.0;
+        let p = alpha * x / (1.0 + x);
+        assert!((p - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn rejects_invalid_alpha() {
+        let _ = HelpingTheUnderserved::new(AlwaysAccept::new(), 1, 0.0, 0);
+    }
+
+    #[test]
+    fn name_composes() {
+        let p = HelpingTheUnderserved::new(AlwaysAccept::new(), 1, 1.0, 0);
+        assert_eq!(p.name(), "always-accept+underserved");
+    }
+}

@@ -1,0 +1,262 @@
+//! Latency service level objectives on percentile response times.
+//!
+//! "These latency SLOs are typically defined in terms of percentiles (e.g.,
+//! p50 = 10 ms and p90 = 60 ms), and having separate SLOs for different
+//! classes of queries is common." (§1)
+//!
+//! The paper's formulation uses p50 and p90 but notes it "can be easily
+//! modified to support SLOs with other percentile response times (e.g. p99)
+//! in lieu of or in addition to p50 and p90" (§3); an [`Slo`] here is an
+//! arbitrary small set of `(percentile, target)` pairs and Algorithm 1's
+//! disjunction runs over all of them.
+
+use bouncer_metrics::time::{as_millis_f64, Nanos};
+
+use crate::types::{TypeId, TypeRegistry, DEFAULT_TYPE};
+
+/// A percentile in the open interval (0, 1), e.g. `0.5` for p50.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentile(f64);
+
+impl Percentile {
+    /// The median, p50.
+    pub const P50: Percentile = Percentile(0.50);
+    /// p90.
+    pub const P90: Percentile = Percentile(0.90);
+    /// p95.
+    pub const P95: Percentile = Percentile(0.95);
+    /// p99.
+    pub const P99: Percentile = Percentile(0.99);
+
+    /// Creates a percentile from a quantile in (0, 1).
+    ///
+    /// # Panics
+    /// Panics if `q` is not strictly between 0 and 1.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "percentile must be in (0,1), got {q}");
+        Self(q)
+    }
+
+    /// The quantile as a fraction in (0, 1).
+    #[inline]
+    pub fn quantile(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Percentile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{:.0}", self.0 * 100.0)
+    }
+}
+
+/// A latency SLO: one or more percentile response-time targets, all of which
+/// a query class is expected to meet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slo {
+    targets: Vec<(Percentile, Nanos)>,
+}
+
+impl Slo {
+    /// An SLO with no targets (never rejects on its own). Mostly useful as a
+    /// permissive default while onboarding new query types (Appendix B.2).
+    pub fn unbounded() -> Self {
+        Self {
+            targets: Vec::new(),
+        }
+    }
+
+    /// Builder-style: adds a percentile target.
+    #[must_use]
+    pub fn with(mut self, p: Percentile, target: Nanos) -> Self {
+        self.targets.push((p, target));
+        self
+    }
+
+    /// The paper's common shape: `{p50 = a, p90 = b}`.
+    pub fn p50_p90(p50: Nanos, p90: Nanos) -> Self {
+        Self::unbounded()
+            .with(Percentile::P50, p50)
+            .with(Percentile::P90, p90)
+    }
+
+    /// A single-percentile SLO.
+    pub fn single(p: Percentile, target: Nanos) -> Self {
+        Self::unbounded().with(p, target)
+    }
+
+    /// The `(percentile, target)` pairs of this SLO.
+    #[inline]
+    pub fn targets(&self) -> &[(Percentile, Nanos)] {
+        &self.targets
+    }
+
+    /// The target for an exact percentile, if present.
+    pub fn target(&self, p: Percentile) -> Option<Nanos> {
+        self.targets
+            .iter()
+            .find(|(tp, _)| (tp.quantile() - p.quantile()).abs() < 1e-9)
+            .map(|&(_, t)| t)
+    }
+}
+
+impl std::fmt::Display for Slo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, (p, t)) in self.targets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}={:.1}ms", as_millis_f64(*t))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Per-query-type SLO assignment, with the `default` type's SLO doubling as
+/// the fallback for types without an explicit setting.
+///
+/// "Multiple query types often share the same SLO … operators can establish a
+/// manageable sized set of SLOs and assign each SLO to multiple query types"
+/// (Appendix B.2) — `SloConfig` clones are cheap relative to configuration
+/// time, so sharing is just assigning the same `Slo` value.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    per_type: Vec<Slo>,
+}
+
+impl SloConfig {
+    /// Starts building an SLO configuration for the types in `registry`.
+    pub fn builder(registry: &TypeRegistry) -> SloConfigBuilder {
+        SloConfigBuilder {
+            n_types: registry.len(),
+            default_slo: Slo::unbounded(),
+            per_type: vec![None; registry.len()],
+        }
+    }
+
+    /// A uniform configuration: every type (including `default`) gets `slo`.
+    pub fn uniform(registry: &TypeRegistry, slo: Slo) -> Self {
+        Self {
+            per_type: vec![slo; registry.len()],
+        }
+    }
+
+    /// The SLO that applies to `ty`.
+    #[inline]
+    pub fn slo_for(&self, ty: TypeId) -> &Slo {
+        &self.per_type[ty.index()]
+    }
+
+    /// The SLO of the `default` catch-all type, used during warm-up
+    /// (Appendix A).
+    #[inline]
+    pub fn default_slo(&self) -> &Slo {
+        &self.per_type[DEFAULT_TYPE.index()]
+    }
+
+    /// Number of types covered.
+    #[inline]
+    pub fn n_types(&self) -> usize {
+        self.per_type.len()
+    }
+}
+
+/// Builder for [`SloConfig`].
+#[derive(Debug)]
+pub struct SloConfigBuilder {
+    n_types: usize,
+    default_slo: Slo,
+    per_type: Vec<Option<Slo>>,
+}
+
+impl SloConfigBuilder {
+    /// Sets the SLO of the `default` type, which is also the fallback for
+    /// registered types without an explicit SLO.
+    #[must_use]
+    pub fn default_slo(mut self, slo: Slo) -> Self {
+        self.default_slo = slo;
+        self
+    }
+
+    /// Sets the SLO for a specific type.
+    #[must_use]
+    pub fn set(mut self, ty: TypeId, slo: Slo) -> Self {
+        self.per_type[ty.index()] = Some(slo);
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SloConfig {
+        let default_slo = self.default_slo;
+        let mut per_type: Vec<Slo> = self
+            .per_type
+            .into_iter()
+            .map(|s| s.unwrap_or_else(|| default_slo.clone()))
+            .collect();
+        per_type[DEFAULT_TYPE.index()] = default_slo;
+        debug_assert_eq!(per_type.len(), self.n_types);
+        SloConfig { per_type }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bouncer_metrics::time::millis;
+
+    #[test]
+    fn slo_targets_and_lookup() {
+        let slo = Slo::p50_p90(millis(18), millis(50));
+        assert_eq!(slo.target(Percentile::P50), Some(millis(18)));
+        assert_eq!(slo.target(Percentile::P90), Some(millis(50)));
+        assert_eq!(slo.target(Percentile::P99), None);
+        assert_eq!(slo.targets().len(), 2);
+    }
+
+    #[test]
+    fn slo_supports_arbitrary_percentiles() {
+        let slo = Slo::unbounded()
+            .with(Percentile::P99, millis(100))
+            .with(Percentile::new(0.999), millis(500));
+        assert_eq!(slo.targets().len(), 2);
+        assert_eq!(slo.target(Percentile::P99), Some(millis(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0,1)")]
+    fn percentile_rejects_out_of_range() {
+        let _ = Percentile::new(1.0);
+    }
+
+    #[test]
+    fn config_falls_back_to_default() {
+        let mut reg = TypeRegistry::new();
+        let fast = reg.register("Fast");
+        let slow = reg.register("Slow");
+        let cfg = SloConfig::builder(&reg)
+            .default_slo(Slo::p50_p90(millis(30), millis(400)))
+            .set(fast, Slo::p50_p90(millis(10), millis(90)))
+            .build();
+        assert_eq!(cfg.slo_for(fast).target(Percentile::P50), Some(millis(10)));
+        // Slow was never set: falls back to the default SLO.
+        assert_eq!(cfg.slo_for(slow).target(Percentile::P50), Some(millis(30)));
+        assert_eq!(cfg.default_slo().target(Percentile::P90), Some(millis(400)));
+        assert_eq!(cfg.n_types(), 3);
+    }
+
+    #[test]
+    fn uniform_config_covers_all_types() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register("A");
+        let cfg = SloConfig::uniform(&reg, Slo::p50_p90(millis(18), millis(50)));
+        assert_eq!(cfg.slo_for(a), cfg.default_slo());
+    }
+
+    #[test]
+    fn display_formats_readably() {
+        let slo = Slo::p50_p90(millis(18), millis(50));
+        assert_eq!(slo.to_string(), "{p50=18.0ms, p90=50.0ms}");
+        assert_eq!(Percentile::P90.to_string(), "p90");
+    }
+}

@@ -1,0 +1,169 @@
+//! Query types and their registry.
+//!
+//! "We assume that every request includes a short string indicating the type
+//! of the query it carries (e.g., part of the REST URL endpoint's path or the
+//! name of a datalog-like rule)." (§3) The policy configuration names the
+//! recognized types; `default` is the catch-all for everything else.
+//!
+//! Strings are interned once, at configuration time, into dense [`TypeId`]s
+//! so every hot-path structure is a flat array indexed by type — no string
+//! hashing on the per-query decision path.
+
+use std::collections::HashMap;
+
+/// Dense identifier of a query type. `TypeId(0)` is always the `default`
+/// catch-all type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub(crate) u32);
+
+/// The catch-all `default` query type (§3): queries whose type string is not
+/// recognized resolve to it, and its SLO doubles as the warm-up SLO during
+/// cold starts (Appendix A).
+pub const DEFAULT_TYPE: TypeId = TypeId(0);
+
+/// Name under which the catch-all type is registered.
+pub const DEFAULT_TYPE_NAME: &str = "default";
+
+impl TypeId {
+    /// The dense index of this type, suitable for indexing per-type arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TypeId` from a dense index.
+    ///
+    /// Prefer resolving through a [`TypeRegistry`]; this constructor exists
+    /// for simulators and experiment harnesses that address types
+    /// positionally (e.g. iterating a mix's classes).
+    #[inline]
+    pub const fn from_index(index: u32) -> Self {
+        TypeId(index)
+    }
+}
+
+/// Interns query-type strings into dense [`TypeId`]s.
+///
+/// Built once at configuration time; lookups afterwards are read-only and the
+/// registry is shared freely across threads.
+///
+/// ```
+/// use bouncer_core::types::{TypeRegistry, DEFAULT_TYPE};
+///
+/// let mut registry = TypeRegistry::new();
+/// let friends = registry.register("GetFriends");
+/// assert_eq!(registry.resolve("GetFriends"), Some(friends));
+/// // Unrecognized type strings fall back to the catch-all `default` (§3).
+/// assert_eq!(registry.resolve_or_default("BrandNewQuery"), DEFAULT_TYPE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TypeRegistry {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl TypeRegistry {
+    /// Creates a registry containing only the `default` type.
+    pub fn new() -> Self {
+        let mut r = Self {
+            names: Vec::new(),
+            index: HashMap::new(),
+        };
+        let id = r.register(DEFAULT_TYPE_NAME);
+        debug_assert_eq!(id, DEFAULT_TYPE);
+        r
+    }
+
+    /// Registers a query type, returning its id. Registering an existing
+    /// name returns the previously assigned id.
+    pub fn register(&mut self, name: &str) -> TypeId {
+        if let Some(&id) = self.index.get(name) {
+            return TypeId(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        TypeId(id)
+    }
+
+    /// Looks up a registered type by name.
+    pub fn resolve(&self, name: &str) -> Option<TypeId> {
+        self.index.get(name).copied().map(TypeId)
+    }
+
+    /// Looks up a type by name, falling back to [`DEFAULT_TYPE`] — the
+    /// behavior a server applies to requests with unrecognized type strings.
+    #[inline]
+    pub fn resolve_or_default(&self, name: &str) -> TypeId {
+        self.resolve(name).unwrap_or(DEFAULT_TYPE)
+    }
+
+    /// The name of a type id.
+    pub fn name(&self, id: TypeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered types, including `default`.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always `false`: the `default` type exists from construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TypeId(i as u32), n.as_str()))
+    }
+}
+
+impl Default for TypeRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_type_is_id_zero() {
+        let r = TypeRegistry::new();
+        assert_eq!(r.resolve(DEFAULT_TYPE_NAME), Some(DEFAULT_TYPE));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.name(DEFAULT_TYPE), "default");
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut r = TypeRegistry::new();
+        let a = r.register("GetFriends");
+        let b = r.register("GetFriends");
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut r = TypeRegistry::new();
+        let a = r.register("A");
+        let b = r.register("B");
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        let collected: Vec<_> = r.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(collected, ["default", "A", "B"]);
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_default() {
+        let r = TypeRegistry::new();
+        assert_eq!(r.resolve("nope"), None);
+        assert_eq!(r.resolve_or_default("nope"), DEFAULT_TYPE);
+    }
+}

@@ -1,0 +1,127 @@
+//! Concurrency smoke tests: policies under simultaneous decision, hook, and
+//! maintenance traffic — the shape of load they face on a real broker,
+//! where "transport threads call admit concurrently while engine threads
+//! invoke the recording hooks".
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bouncer_core::prelude::*;
+use bouncer_metrics::time::{millis, secs};
+
+fn slos(n: usize) -> (TypeRegistry, SloConfig) {
+    let mut reg = TypeRegistry::new();
+    for i in 0..n {
+        reg.register(&format!("t{i}"));
+    }
+    let slos = SloConfig::uniform(&reg, Slo::p50_p90(millis(18), millis(50)));
+    (reg, slos)
+}
+
+/// Hammers a policy from many threads: deciders, engine-hook callers, and a
+/// ticker, all racing. Success = no panic, no deadlock, and the policy still
+/// makes sane decisions afterwards.
+fn hammer(policy: Arc<dyn AdmissionPolicy>, n_types: u32) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let decisions = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..3u64 {
+            let policy = Arc::clone(&policy);
+            let stop = Arc::clone(&stop);
+            let decisions = Arc::clone(&decisions);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let ty = TypeId::from_index(((t * 7 + i) % n_types as u64) as u32);
+                    let _ = policy.admit(ty, i * 1_000);
+                    decisions.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        for t in 0..2u64 {
+            let policy = Arc::clone(&policy);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let ty = TypeId::from_index(((t * 3 + i) % n_types as u64) as u32);
+                    policy.on_enqueued(ty, i * 1_000);
+                    policy.on_dequeued(ty, 500, i * 1_000 + 500);
+                    policy.on_completed(ty, millis(1 + (i % 30)), i * 1_000 + 900);
+                    i += 1;
+                }
+            });
+        }
+        {
+            let policy = Arc::clone(&policy);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut now = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    now += millis(100);
+                    policy.on_tick(now);
+                    std::thread::yield_now();
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(decisions.load(Ordering::Relaxed) > 1_000);
+    // Still functional afterwards.
+    let _ = policy.admit(TypeId::from_index(0), secs(100));
+}
+
+#[test]
+fn bouncer_survives_concurrent_traffic() {
+    let (_reg, slos) = slos(4);
+    hammer(
+        Arc::new(Bouncer::new(slos, BouncerConfig::with_parallelism(8))),
+        5,
+    );
+}
+
+#[test]
+fn bouncer_sliding_mode_survives_concurrent_traffic() {
+    let (_reg, slos) = slos(4);
+    let mut cfg = BouncerConfig::with_parallelism(8);
+    cfg.histogram_mode = HistogramMode::Sliding { intervals: 4 };
+    hammer(Arc::new(Bouncer::new(slos, cfg)), 5);
+}
+
+#[test]
+fn allowance_wrapper_survives_concurrent_traffic() {
+    let (reg, slos) = slos(4);
+    let bouncer = Bouncer::new(slos, BouncerConfig::with_parallelism(8));
+    hammer(
+        Arc::new(AcceptanceAllowance::new(bouncer, reg.len(), 0.05, 1)),
+        5,
+    );
+}
+
+#[test]
+fn underserved_wrapper_survives_concurrent_traffic() {
+    let (reg, slos) = slos(4);
+    let bouncer = Bouncer::new(slos, BouncerConfig::with_parallelism(8));
+    hammer(
+        Arc::new(HelpingTheUnderserved::new(bouncer, reg.len(), 1.0, 1)),
+        5,
+    );
+}
+
+#[test]
+fn accept_fraction_survives_concurrent_traffic() {
+    hammer(
+        Arc::new(AcceptFraction::new(AcceptFractionConfig::new(0.9, 8))),
+        5,
+    );
+}
+
+#[test]
+fn gatekeeper_survives_concurrent_traffic() {
+    hammer(
+        Arc::new(GatekeeperStyle::new(5, GatekeeperConfig::new(8))),
+        5,
+    );
+}

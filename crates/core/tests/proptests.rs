@@ -1,0 +1,214 @@
+//! Property-based tests on the admission policies' invariants.
+
+use std::sync::Arc;
+
+use bouncer_core::framework::{AdmissionQueue, Entry};
+use bouncer_core::prelude::*;
+use bouncer_metrics::time::{millis, secs};
+use proptest::prelude::*;
+
+/// A Bouncer over one type, fed `samples` (ms) and swapped so estimates are
+/// live.
+fn warmed_bouncer(samples: &[u64], slo_p50: u64, slo_p90: u64, parallelism: u32) -> Bouncer {
+    let mut reg = TypeRegistry::new();
+    let t = reg.register("t");
+    let slos = SloConfig::uniform(&reg, Slo::p50_p90(millis(slo_p50), millis(slo_p90)));
+    let mut cfg = BouncerConfig::with_parallelism(parallelism);
+    cfg.warmup_min_samples = 1;
+    let b = Bouncer::new(slos, cfg);
+    for &s in samples {
+        b.on_completed(t, millis(s), 0);
+    }
+    b.on_tick(secs(1));
+    b
+}
+
+proptest! {
+    /// Deeper queues can only make Bouncer stricter: if a query is rejected
+    /// at some backlog, it is also rejected at any deeper backlog
+    /// (ewt_mean in Eq. 2 is monotone in every queue count).
+    #[test]
+    fn bouncer_rejection_monotone_in_backlog(
+        samples in prop::collection::vec(1u64..100, 8..64),
+        backlogs in prop::collection::vec(0u32..64, 2..6),
+    ) {
+        let b = warmed_bouncer(&samples, 20, 60, 4);
+        let t = TypeId::from_index(1);
+        let mut sorted = backlogs.clone();
+        sorted.sort_unstable();
+        let mut last_accept = true;
+        let mut current = 0u32;
+        for depth in sorted {
+            while current < depth {
+                b.on_enqueued(t, secs(1));
+                current += 1;
+            }
+            let accept = b.admit(t, secs(1)).is_accept();
+            prop_assert!(
+                accept <= last_accept,
+                "accept flipped back on at depth {depth}"
+            );
+            last_accept = accept;
+        }
+    }
+
+    /// Loosening every SLO target can only turn rejections into accepts,
+    /// never the reverse.
+    #[test]
+    fn bouncer_accepts_monotone_in_slo(
+        samples in prop::collection::vec(1u64..100, 8..64),
+        p50 in 1u64..200,
+        p90 in 1u64..400,
+        slack in 1u64..200,
+        backlog in 0u32..32,
+    ) {
+        let p90 = p90.max(p50);
+        let tight = warmed_bouncer(&samples, p50, p90, 4);
+        let loose = warmed_bouncer(&samples, p50 + slack, p90 + slack, 4);
+        let t = TypeId::from_index(1);
+        for _ in 0..backlog {
+            tight.on_enqueued(t, secs(1));
+            loose.on_enqueued(t, secs(1));
+        }
+        let tight_accepts = tight.admit(t, secs(1)).is_accept();
+        let loose_accepts = loose.admit(t, secs(1)).is_accept();
+        prop_assert!(tight_accepts <= loose_accepts);
+    }
+
+    /// Bouncer is deterministic: identical state, identical decision.
+    #[test]
+    fn bouncer_is_deterministic(
+        samples in prop::collection::vec(1u64..100, 8..64),
+        backlog in 0u32..32,
+    ) {
+        let make = || {
+            let b = warmed_bouncer(&samples, 20, 60, 4);
+            for _ in 0..backlog {
+                b.on_enqueued(TypeId::from_index(1), secs(1));
+            }
+            b
+        };
+        let a = make().admit(TypeId::from_index(1), secs(1));
+        let b = make().admit(TypeId::from_index(1), secs(1));
+        prop_assert_eq!(a, b);
+    }
+
+    /// More engine parallelism never makes Bouncer stricter (Eq. 2 divides
+    /// the queued demand by P).
+    #[test]
+    fn bouncer_accepts_monotone_in_parallelism(
+        samples in prop::collection::vec(1u64..100, 8..64),
+        backlog in 0u32..48,
+    ) {
+        let small = warmed_bouncer(&samples, 20, 60, 2);
+        let large = warmed_bouncer(&samples, 20, 60, 16);
+        let t = TypeId::from_index(1);
+        for _ in 0..backlog {
+            small.on_enqueued(t, secs(1));
+            large.on_enqueued(t, secs(1));
+        }
+        prop_assert!(
+            small.admit(t, secs(1)).is_accept() <= large.admit(t, secs(1)).is_accept()
+        );
+    }
+
+    /// MaxQL matches a reference counter over arbitrary enqueue/dequeue
+    /// interleavings.
+    #[test]
+    fn maxql_matches_reference_model(
+        limit in 1u64..32,
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let p = MaxQueueLength::new(limit);
+        let mut model_len = 0u64;
+        for enqueue in ops {
+            if enqueue {
+                p.on_enqueued(TypeId::from_index(0), 0);
+                model_len += 1;
+            } else if model_len > 0 {
+                p.on_dequeued(TypeId::from_index(0), 0, 0);
+                model_len -= 1;
+            }
+            let expected = model_len < limit;
+            prop_assert_eq!(p.admit(TypeId::from_index(0), 0).is_accept(), expected);
+        }
+    }
+
+    /// The FIFO queue delivers entries in push order, regardless of the
+    /// interleaving of pushes and pops.
+    #[test]
+    fn admission_queue_is_fifo(
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let q: AdmissionQueue<u64> = AdmissionQueue::new(None);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        for push in ops {
+            if push {
+                q.push(Entry { ty: TypeId::from_index(0), enqueued_at: 0, deadline: None, payload: next_push })
+                    .unwrap();
+                next_push += 1;
+            } else if next_pop < next_push {
+                match q.try_pop() {
+                    Some(e) => {
+                        prop_assert_eq!(e.payload, next_pop);
+                        next_pop += 1;
+                    }
+                    None => prop_assert!(false, "queue should not be empty"),
+                }
+            }
+        }
+        prop_assert_eq!(q.len() as u64, next_push - next_pop);
+    }
+
+    /// The acceptance-allowance historical branch always admits when the
+    /// windowed acceptance ratio is below A (the strategy's hard floor).
+    #[test]
+    fn allowance_floor_is_honored(
+        a_percent in 1u32..30,
+        rejections in 1u64..500,
+    ) {
+        struct RejectAll;
+        impl AdmissionPolicy for RejectAll {
+            fn name(&self) -> &str { "reject-all" }
+            fn admit(&self, _ty: TypeId, _now: u64) -> Decision {
+                Decision::Reject(RejectReason::PredictedSloViolation)
+            }
+        }
+        let a = a_percent as f64 / 100.0;
+        let p = AcceptanceAllowance::new(RejectAll, 1, a, 1);
+        let t = TypeId::from_index(0);
+        // Pack all decisions into one window; first is accepted (empty
+        // window), then the floor keeps the ratio near A.
+        let mut accepted = 0u64;
+        for i in 0..rejections {
+            if p.admit(t, i * 1_000).is_accept() {
+                accepted += 1;
+            }
+            // Invariant: whenever the ratio has dipped below A, the next
+            // query must be accepted. Checked indirectly: ratio never falls
+            // below A by more than one query's worth.
+            let ratio = accepted as f64 / (i + 1) as f64;
+            prop_assert!(
+                ratio >= a - 1.0 / (i + 1) as f64 - 1e-9,
+                "ratio {ratio} fell below allowance {a} at query {i}"
+            );
+        }
+    }
+
+    /// Arc-wrapped policies forward every hook (smoke property over the
+    /// blanket impl).
+    #[test]
+    fn arc_blanket_impl_forwards(backlog in 0u32..16) {
+        let inner = Arc::new(MaxQueueLength::new(8));
+        let as_dyn: Arc<dyn AdmissionPolicy> = inner.clone();
+        for _ in 0..backlog {
+            as_dyn.on_enqueued(TypeId::from_index(0), 0);
+        }
+        prop_assert_eq!(inner.queue_len(), backlog as u64);
+        prop_assert_eq!(
+            as_dyn.admit(TypeId::from_index(0), 0).is_accept(),
+            backlog < 8
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Calibration probe: per-type query latencies and cluster capacity.
+use bouncer_core::policy::AlwaysAccept;
+use liquid::cluster::{Cluster, ClusterConfig};
+use liquid::query::{Query, QueryKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let cfg = ClusterConfig::default();
+    let cluster = Cluster::spawn(&cfg, |_r, _p| Arc::new(AlwaysAccept::new()));
+    let n = cluster.vertices();
+    let mut rng = SmallRng::seed_from_u64(1);
+    println!("graph: {} vertices", n);
+    for kind in QueryKind::ALL {
+        let mut lat: Vec<f64> = Vec::new();
+        for _ in 0..300 {
+            let q = Query::random(kind, n, &mut rng);
+            let t0 = Instant::now();
+            let _ = cluster.execute(q);
+            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = lat.iter().sum::<f64>() / lat.len() as f64;
+        println!("{:5} mean={:.3}ms p50={:.3}ms p90={:.3}ms", kind.name(), mean, lat[150], lat[270]);
+    }
+    // Capacity with published mix proportions.
+    use bouncer_workload::mix::LIQUID_MIX_PROPORTIONS;
+    let cum: Vec<f64> = LIQUID_MIX_PROPORTIONS.iter().scan(0.0, |a, &(_, p)| { *a += p; Some(*a) }).collect();
+    let total: f64 = cum[cum.len()-1];
+    let qps = cluster.probe_capacity(Duration::from_secs(3), 64, move |rng| {
+        use rand::RngExt;
+        let u: f64 = rng.random::<f64>() * total;
+        let idx = cum.partition_point(|&c| c < u).min(10);
+        Query::random(QueryKind::ALL[idx], n, rng)
+    });
+    println!("capacity (mix, closed loop 64 workers): {:.0} QPS", qps);
+    cluster.shutdown();
+}

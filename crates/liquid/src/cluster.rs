@@ -1,0 +1,358 @@
+//! Cluster orchestration: spawn shards and brokers, wire transports, probe
+//! capacity.
+//!
+//! Mirrors the paper's §5.4 deployment: every broker is configured with the
+//! same (pluggable) admission policy, while "the shards always run
+//! AcceptFraction" guarding CPU, their limiting resource.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bouncer_core::policy::{AcceptFraction, AcceptFractionConfig, AdmissionPolicy};
+use bouncer_core::types::TypeRegistry;
+use bouncer_metrics::{Clock, MonotonicClock};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::broker::{liquid_registry, Broker, BrokerConfig, ClientOutcome};
+use crate::graph::{Graph, GraphConfig};
+use crate::query::Query;
+use crate::shard::{ShardConfig, ShardHost};
+use crate::transport::{InProcShardClient, ShardClient, TcpShardClient, TcpShardServer};
+
+/// How brokers reach shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Direct in-process calls (default for experiments).
+    InProc,
+    /// Real TCP over loopback with framed multiplexing.
+    Tcp,
+}
+
+/// Cluster parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of shard hosts.
+    pub n_shards: usize,
+    /// Number of broker hosts.
+    pub n_brokers: usize,
+    /// Synthetic graph parameters.
+    pub graph: GraphConfig,
+    /// Per-shard host configuration.
+    pub shard: ShardConfig,
+    /// Per-broker host configuration.
+    pub broker: BrokerConfig,
+    /// Broker→shard transport.
+    pub transport: TransportKind,
+    /// AcceptFraction utilization threshold on shards (the paper uses 80 %).
+    pub shard_max_utilization: f64,
+    /// Connections per broker→shard pair for the TCP transport.
+    pub tcp_connections: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: 2,
+            n_brokers: 1,
+            graph: GraphConfig::default(),
+            shard: ShardConfig::default(),
+            broker: BrokerConfig::default(),
+            transport: TransportKind::InProc,
+            shard_max_utilization: 0.8,
+            tcp_connections: 4,
+        }
+    }
+}
+
+/// A running mini-LIquid cluster.
+pub struct Cluster {
+    registry: TypeRegistry,
+    vertices: u32,
+    brokers: Vec<Arc<Broker>>,
+    shards: Vec<Arc<ShardHost>>,
+    servers: Vec<TcpShardServer>,
+    round_robin: AtomicUsize,
+}
+
+impl Cluster {
+    /// Builds the graph, spawns the shard tier (AcceptFraction policies),
+    /// then the broker tier with policies from `broker_policy` (called once
+    /// per broker with the type registry and the broker's engine count —
+    /// Bouncer and MaxQWT need the parallelism `P`).
+    pub fn spawn(
+        cfg: &ClusterConfig,
+        broker_policy: impl Fn(&TypeRegistry, u32) -> Arc<dyn AdmissionPolicy>,
+    ) -> Self {
+        assert!(cfg.n_shards > 0 && cfg.n_brokers > 0);
+        let registry = liquid_registry();
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let graph = Graph::generate(&cfg.graph);
+        let vertices = graph.vertex_count();
+
+        let shards: Vec<Arc<ShardHost>> = (0..cfg.n_shards)
+            .map(|s| {
+                let policy = Arc::new(AcceptFraction::new(AcceptFractionConfig::new(
+                    cfg.shard_max_utilization,
+                    cfg.shard.engines,
+                )));
+                ShardHost::spawn(
+                    graph.shard_slice(s, cfg.n_shards),
+                    policy,
+                    clock.clone(),
+                    cfg.shard.clone(),
+                )
+            })
+            .collect();
+
+        let mut servers = Vec::new();
+        let make_clients = |servers: &mut Vec<TcpShardServer>| -> Vec<Arc<dyn ShardClient>> {
+            match cfg.transport {
+                TransportKind::InProc => shards
+                    .iter()
+                    .map(|h| {
+                        Arc::new(InProcShardClient::new(Arc::clone(h))) as Arc<dyn ShardClient>
+                    })
+                    .collect(),
+                TransportKind::Tcp => {
+                    if servers.is_empty() {
+                        for h in &shards {
+                            servers.push(
+                                TcpShardServer::serve(Arc::clone(h), "127.0.0.1:0")
+                                    .expect("failed to serve shard"),
+                            );
+                        }
+                    }
+                    servers
+                        .iter()
+                        .map(|s| {
+                            Arc::new(
+                                TcpShardClient::connect(s.addr(), cfg.tcp_connections)
+                                    .expect("failed to connect shard"),
+                            ) as Arc<dyn ShardClient>
+                        })
+                        .collect()
+                }
+            }
+        };
+
+        let brokers: Vec<Arc<Broker>> = (0..cfg.n_brokers)
+            .map(|_| {
+                let policy = broker_policy(&registry, cfg.broker.engines);
+                Broker::spawn(
+                    make_clients(&mut servers),
+                    policy,
+                    clock.clone(),
+                    cfg.broker.clone(),
+                )
+            })
+            .collect();
+
+        Self {
+            registry,
+            vertices,
+            brokers,
+            shards,
+            servers,
+            round_robin: AtomicUsize::new(0),
+        }
+    }
+
+    /// The cluster's query-type registry (`default` + QT1..QT11).
+    pub fn registry(&self) -> &TypeRegistry {
+        &self.registry
+    }
+
+    /// Vertices in the stored graph.
+    pub fn vertices(&self) -> u32 {
+        self.vertices
+    }
+
+    /// Executes a query on the next broker, round-robin — standing in for
+    /// the load balancer spreading traffic "evenly divided among the
+    /// brokers" (§5.4).
+    pub fn execute(&self, q: Query) -> ClientOutcome {
+        let idx = self.round_robin.fetch_add(1, Ordering::Relaxed) % self.brokers.len();
+        self.brokers[idx].execute(q)
+    }
+
+    /// Executes a query on a specific broker.
+    pub fn execute_on(&self, broker: usize, q: Query) -> ClientOutcome {
+        self.brokers[broker].execute(q)
+    }
+
+    /// Offers a query on the next broker (round-robin) with the outcome
+    /// delivered as `(token, outcome)` on `tx` — the open-loop submission
+    /// path (see [`Broker::submit_tagged`]).
+    pub fn submit_tagged(
+        &self,
+        q: Query,
+        tx: crossbeam::channel::Sender<(u64, ClientOutcome)>,
+        token: u64,
+    ) {
+        let idx = self.round_robin.fetch_add(1, Ordering::Relaxed) % self.brokers.len();
+        self.brokers[idx].submit_tagged(q, tx, token);
+    }
+
+    /// The broker hosts.
+    pub fn brokers(&self) -> &[Arc<Broker>] {
+        &self.brokers
+    }
+
+    /// The shard hosts.
+    pub fn shards(&self) -> &[Arc<ShardHost>] {
+        &self.shards
+    }
+
+    /// Resets statistics on every host (e.g. after warm-up).
+    pub fn reset_stats(&self) {
+        for b in &self.brokers {
+            b.stats().reset(0);
+        }
+        for s in &self.shards {
+            s.stats().reset(0);
+        }
+    }
+
+    /// Measures the cluster's saturation throughput: `workers` closed-loop
+    /// clients hammer random queries (drawn by `sample`) for `duration`,
+    /// and the completion rate is the capacity estimate — the empirical
+    /// stand-in for the paper's absolute rate axis (its 36K–180K QPS are
+    /// normalized to this in our experiments; see DESIGN.md §1).
+    pub fn probe_capacity<F>(&self, duration: Duration, workers: usize, sample: F) -> f64
+    where
+        F: Fn(&mut SmallRng) -> Query + Sync,
+    {
+        let completed = AtomicU64::new(0);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let completed = &completed;
+                let sample = &sample;
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0xCAFE + w as u64);
+                    while start.elapsed() < duration {
+                        let q = sample(&mut rng);
+                        if matches!(self.execute(q), ClientOutcome::Ok(_)) {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        completed.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+    }
+
+    /// Stops every host and TCP server.
+    pub fn shutdown(self) {
+        for server in &self.servers {
+            server.stop();
+        }
+        for b in self.brokers {
+            b.shutdown();
+        }
+        for s in self.shards {
+            s.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryKind;
+    use bouncer_core::policy::AlwaysAccept;
+
+    fn tiny_config() -> ClusterConfig {
+        ClusterConfig {
+            n_shards: 2,
+            n_brokers: 2,
+            graph: GraphConfig {
+                vertices: 1_000,
+                edges_per_vertex: 3,
+                seed: 4,
+            },
+            shard: ShardConfig {
+                engines: 2,
+                ..ShardConfig::default()
+            },
+            broker: BrokerConfig {
+                engines: 2,
+                ..BrokerConfig::default()
+            },
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn cluster_answers_queries_in_proc() {
+        let cluster = Cluster::spawn(&tiny_config(), |_reg, _p| Arc::new(AlwaysAccept::new()));
+        for u in 0..20 {
+            let out = cluster.execute(Query {
+                kind: QueryKind::Qt1Degree,
+                u,
+                v: 0,
+            });
+            assert!(matches!(out, ClientOutcome::Ok(_)), "{out:?}");
+        }
+        // Round robin touched both brokers.
+        let b0 = cluster.brokers()[0].stats().snapshot(1, 1).total_received();
+        let b1 = cluster.brokers()[1].stats().snapshot(1, 1).total_received();
+        assert_eq!(b0 + b1, 20);
+        assert!(b0 > 0 && b1 > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cluster_answers_queries_over_tcp() {
+        let cfg = ClusterConfig {
+            transport: TransportKind::Tcp,
+            tcp_connections: 2,
+            ..tiny_config()
+        };
+        let cluster = Cluster::spawn(&cfg, |_reg, _p| Arc::new(AlwaysAccept::new()));
+        for u in 0..20 {
+            let out = cluster.execute(Query {
+                kind: QueryKind::Qt5MutualCount,
+                u,
+                v: u + 1,
+            });
+            assert!(matches!(out, ClientOutcome::Ok(_)), "{out:?}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_and_inproc_agree_on_results() {
+        let inproc = Cluster::spawn(&tiny_config(), |_reg, _p| Arc::new(AlwaysAccept::new()));
+        let tcp_cfg = ClusterConfig {
+            transport: TransportKind::Tcp,
+            ..tiny_config()
+        };
+        let tcp = Cluster::spawn(&tcp_cfg, |_reg, _p| Arc::new(AlwaysAccept::new()));
+        for kind in [
+            QueryKind::Qt1Degree,
+            QueryKind::Qt5MutualCount,
+            QueryKind::Qt7TwoHopCount,
+            QueryKind::Qt10Distance3,
+        ] {
+            for u in [3u32, 77, 500] {
+                let q = Query { kind, u, v: u + 9 };
+                assert_eq!(inproc.execute(q), tcp.execute(q), "{kind:?} u={u}");
+            }
+        }
+        inproc.shutdown();
+        tcp.shutdown();
+    }
+
+    #[test]
+    fn capacity_probe_reports_positive_throughput() {
+        let cluster = Cluster::spawn(&tiny_config(), |_reg, _p| Arc::new(AlwaysAccept::new()));
+        let qps = cluster.probe_capacity(Duration::from_millis(300), 4, |rng| {
+            Query::random(QueryKind::Qt1Degree, 1_000, rng)
+        });
+        assert!(qps > 100.0, "qps={qps}");
+        cluster.shutdown();
+    }
+}

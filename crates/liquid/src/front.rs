@@ -1,0 +1,304 @@
+//! The brokers' network front door.
+//!
+//! LIquid's "broker hosts offer REST endpoints for clients to send query
+//! requests" (§5.1); here the equivalent entry point speaks the same
+//! length-prefixed binary protocol as the shard tier, so external processes
+//! can drive a cluster over real sockets end to end. Early rejections
+//! travel back as a dedicated status byte, giving remote clients the same
+//! fail-fast signal in-process callers get (§2).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::broker::{Broker, ClientOutcome};
+use crate::query::Query;
+use crate::wire::{
+    decode_query, decode_query_reply, encode_query, encode_query_reply, read_frame, write_frame,
+    Status,
+};
+
+/// Serves a broker over TCP.
+pub struct TcpBrokerServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpBrokerServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving `broker`.
+    pub fn serve(broker: Arc<Broker>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name(format!("broker-listener-{addr}"))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => spawn_connection(Arc::clone(&broker), stream),
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(Self { addr, stop })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn spawn_connection(broker: Arc<Broker>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    type PendingReply = (u64, Receiver<ClientOutcome>);
+    let (tx, rx): (Sender<PendingReply>, Receiver<PendingReply>) = unbounded();
+
+    std::thread::spawn(move || {
+        while let Ok(frame) = read_frame(&mut read_half) {
+            match decode_query(frame) {
+                Ok((id, query)) => {
+                    let outcome_rx = broker.submit(query);
+                    if tx.send((id, outcome_rx)).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    let mut write_half = stream;
+    std::thread::spawn(move || {
+        for (id, outcome_rx) in rx.iter() {
+            let (status, value) = match outcome_rx.recv() {
+                Ok(ClientOutcome::Ok(v)) => (Status::Ok, v),
+                Ok(ClientOutcome::Rejected(_)) | Ok(ClientOutcome::ShardRejected) => {
+                    (Status::Rejected, 0)
+                }
+                Ok(ClientOutcome::Expired) | Ok(ClientOutcome::Failed) | Err(_) => {
+                    (Status::Error, 0)
+                }
+            };
+            let frame = encode_query_reply(id, status, value);
+            if write_frame(&mut write_half, &frame).is_err() || write_half.flush().is_err() {
+                break;
+            }
+        }
+    });
+}
+
+/// Outcome of a remotely executed query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteOutcome {
+    /// Serviced; scalar result.
+    Ok(u64),
+    /// Rejected by admission control (broker or shard tier).
+    Rejected,
+    /// Failed, expired, or transport error.
+    Error,
+}
+
+type Pending = Arc<Mutex<HashMap<u64, Sender<RemoteOutcome>>>>;
+
+struct FrontConn {
+    writer: Mutex<TcpStream>,
+    pending: Pending,
+}
+
+/// TCP client to a broker front door, multiplexing over a connection pool.
+pub struct TcpBrokerClient {
+    conns: Vec<FrontConn>,
+    next_conn: AtomicUsize,
+    next_id: AtomicU64,
+}
+
+impl TcpBrokerClient {
+    /// Opens `connections` sockets to a broker server.
+    pub fn connect(addr: SocketAddr, connections: usize) -> std::io::Result<Self> {
+        assert!(connections > 0);
+        let mut conns = Vec::with_capacity(connections);
+        for _ in 0..connections {
+            let stream = TcpStream::connect(addr)?;
+            let _ = stream.set_nodelay(true);
+            let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
+            let mut read_half = stream.try_clone()?;
+            let reader_pending = Arc::clone(&pending);
+            std::thread::spawn(move || {
+                while let Ok(frame) = read_frame(&mut read_half) {
+                    let Ok((id, status, value)) = decode_query_reply(frame) else {
+                        break;
+                    };
+                    let Some(tx) = reader_pending.lock().remove(&id) else {
+                        continue;
+                    };
+                    let outcome = match status {
+                        Status::Ok => RemoteOutcome::Ok(value),
+                        Status::Rejected => RemoteOutcome::Rejected,
+                        Status::Error => RemoteOutcome::Error,
+                    };
+                    let _ = tx.send(outcome);
+                }
+                for (_, tx) in reader_pending.lock().drain() {
+                    let _ = tx.send(RemoteOutcome::Error);
+                }
+            });
+            conns.push(FrontConn {
+                writer: Mutex::new(stream),
+                pending,
+            });
+        }
+        Ok(Self {
+            conns,
+            next_conn: AtomicUsize::new(0),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Sends a query; the channel yields its outcome.
+    pub fn submit(&self, query: Query) -> Receiver<RemoteOutcome> {
+        let (tx, rx) = bounded(1);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let conn =
+            &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()];
+        conn.pending.lock().insert(id, tx);
+        let frame = encode_query(id, &query);
+        let mut writer = conn.writer.lock();
+        let result = write_frame(&mut *writer, &frame).and_then(|_| writer.flush());
+        drop(writer);
+        if result.is_err() {
+            if let Some(tx) = conn.pending.lock().remove(&id) {
+                let _ = tx.send(RemoteOutcome::Error);
+            }
+        }
+        rx
+    }
+
+    /// Sends a query and waits for its outcome.
+    pub fn execute(&self, query: Query) -> RemoteOutcome {
+        self.submit(query).recv().unwrap_or(RemoteOutcome::Error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use crate::graph::{Graph, GraphConfig};
+    use crate::query::QueryKind;
+    use crate::shard::{ShardConfig, ShardHost};
+    use crate::transport::{InProcShardClient, ShardClient};
+    use bouncer_core::policy::{AlwaysAccept, MaxQueueLength};
+    use bouncer_metrics::MonotonicClock;
+
+    fn serve_cluster(
+        broker_policy: Arc<dyn bouncer_core::policy::AdmissionPolicy>,
+    ) -> (Graph, Arc<ShardHost>, Arc<Broker>, TcpBrokerServer) {
+        let g = Graph::generate(&GraphConfig {
+            vertices: 2_000,
+            edges_per_vertex: 4,
+            seed: 8,
+        });
+        let clock: Arc<MonotonicClock> = Arc::new(MonotonicClock::new());
+        let shard = ShardHost::spawn(
+            g.shard_slice(0, 1),
+            Arc::new(AlwaysAccept::new()),
+            clock.clone(),
+            ShardConfig::default(),
+        );
+        let clients: Vec<Arc<dyn ShardClient>> =
+            vec![Arc::new(InProcShardClient::new(Arc::clone(&shard)))];
+        let broker = Broker::spawn(clients, broker_policy, clock, BrokerConfig::default());
+        let server = TcpBrokerServer::serve(Arc::clone(&broker), "127.0.0.1:0").unwrap();
+        (g, shard, broker, server)
+    }
+
+    #[test]
+    fn remote_queries_round_trip() {
+        let (g, shard, broker, server) = serve_cluster(Arc::new(AlwaysAccept::new()));
+        let client = TcpBrokerClient::connect(server.addr(), 2).unwrap();
+        for u in [1u32, 50, 500] {
+            let got = client.execute(Query {
+                kind: QueryKind::Qt1Degree,
+                u,
+                v: 0,
+            });
+            assert_eq!(got, RemoteOutcome::Ok(g.degree(u) as u64));
+        }
+        server.stop();
+        broker.shutdown();
+        shard.shutdown();
+    }
+
+    #[test]
+    fn remote_rejections_carry_the_status() {
+        // Broker queue capacity 0 via MaxQL(1) + an engine kept busy is
+        // racy; instead reject everything with a zero-length queue policy:
+        // MaxQL(1) with one query parked is equivalent — simplest reliable
+        // rejection is a queue length limit of 1 with a slow first query.
+        // Here: AlwaysAccept but zero-length gate is internal; use MaxQL(1)
+        // then burst and expect at least one rejection.
+        let (_g, shard, broker, server) = serve_cluster(Arc::new(MaxQueueLength::new(1)));
+        let client = TcpBrokerClient::connect(server.addr(), 2).unwrap();
+        let receivers: Vec<_> = (0..64)
+            .map(|u| {
+                client.submit(Query {
+                    kind: QueryKind::Qt11Distance4,
+                    u,
+                    v: u + 1,
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = receivers.into_iter().map(|rx| rx.recv().unwrap()).collect();
+        assert!(outcomes.iter().any(|o| matches!(o, RemoteOutcome::Ok(_))));
+        assert!(outcomes.contains(&RemoteOutcome::Rejected));
+        server.stop();
+        broker.shutdown();
+        shard.shutdown();
+    }
+
+    #[test]
+    fn concurrent_remote_clients_multiplex() {
+        let (g, shard, broker, server) = serve_cluster(Arc::new(AlwaysAccept::new()));
+        let client = Arc::new(TcpBrokerClient::connect(server.addr(), 3).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let client = Arc::clone(&client);
+                let g = &g;
+                scope.spawn(move || {
+                    for i in 0..50u32 {
+                        let u = (t * 50 + i) % 2_000;
+                        let got = client.execute(Query {
+                            kind: QueryKind::Qt1Degree,
+                            u,
+                            v: 0,
+                        });
+                        assert_eq!(got, RemoteOutcome::Ok(g.degree(u) as u64));
+                    }
+                });
+            }
+        });
+        server.stop();
+        broker.shutdown();
+        shard.shutdown();
+    }
+}

@@ -1,0 +1,263 @@
+//! The in-memory graph store and its synthetic generator.
+//!
+//! LIquid serves LinkedIn's Economic Graph; we substitute a synthetic
+//! social-style graph grown by preferential attachment (Barabási–Albert),
+//! whose power-law degree distribution gives per-query work the same
+//! heavy-tailed spread that makes per-type processing-time distributions
+//! lognormal-ish in production (§5.3). The graph is partitioned across
+//! shards by vertex id, like LIquid "breaks up the graph into multiple data
+//! shards and assigns them to separate shard hosts".
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Vertex identifier.
+pub type VertexId = u32;
+
+/// Synthetic graph parameters.
+#[derive(Debug, Clone)]
+pub struct GraphConfig {
+    /// Number of vertices.
+    pub vertices: u32,
+    /// Edges attached per new vertex (preferential attachment `m`).
+    pub edges_per_vertex: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        Self {
+            vertices: 200_000,
+            edges_per_vertex: 10,
+            seed: 0x11D,
+        }
+    }
+}
+
+/// An undirected graph as sorted adjacency lists.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adjacency: Vec<Vec<VertexId>>,
+}
+
+impl Graph {
+    /// Generates a preferential-attachment graph.
+    ///
+    /// New vertices connect to `m` endpoints drawn from a pool containing
+    /// every prior edge endpoint, so the probability of attaching to a
+    /// vertex is proportional to its degree — yielding a power-law degree
+    /// distribution.
+    pub fn generate(cfg: &GraphConfig) -> Self {
+        let n = cfg.vertices as usize;
+        let m = cfg.edges_per_vertex.max(1) as usize;
+        assert!(n > m, "need more vertices than edges per vertex");
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut adjacency: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        // Endpoint pool: each vertex appears once per incident edge.
+        let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+
+        // Seed clique over the first m+1 vertices.
+        for a in 0..=m {
+            for b in (a + 1)..=m {
+                adjacency[a].push(b as VertexId);
+                adjacency[b].push(a as VertexId);
+                pool.push(a as VertexId);
+                pool.push(b as VertexId);
+            }
+        }
+
+        for v in (m + 1)..n {
+            let mut targets = Vec::with_capacity(m);
+            let mut guard = 0;
+            while targets.len() < m && guard < 16 * m {
+                let t = pool[rng.random_range(0..pool.len())];
+                guard += 1;
+                if t as usize != v && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            for &t in &targets {
+                adjacency[v].push(t);
+                adjacency[t as usize].push(v as VertexId);
+                pool.push(v as VertexId);
+                pool.push(t);
+            }
+        }
+
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Self { adjacency }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> u32 {
+        self.adjacency.len() as u32
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> u64 {
+        self.adjacency.iter().map(|l| l.len() as u64).sum::<u64>() / 2
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adjacency[v as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.adjacency[v as usize].len() as u32
+    }
+
+    /// Whether the edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adjacency[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Extracts the shard-local slice: adjacency lists of the vertices owned
+    /// by `shard` out of `n_shards` (ownership = `v % n_shards`).
+    pub fn shard_slice(&self, shard: usize, n_shards: usize) -> ShardData {
+        assert!(shard < n_shards);
+        let owned: Vec<(VertexId, Vec<VertexId>)> = self
+            .adjacency
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| v % n_shards == shard)
+            .map(|(v, list)| (v as VertexId, list.clone()))
+            .collect();
+        ShardData {
+            n_shards,
+            shard,
+            vertices: self.vertex_count(),
+            owned,
+        }
+    }
+
+    /// The shard owning vertex `v` under modulo partitioning.
+    #[inline]
+    pub fn owner(v: VertexId, n_shards: usize) -> usize {
+        v as usize % n_shards
+    }
+}
+
+/// One shard's slice of the graph: adjacency lists for owned vertices only.
+#[derive(Debug, Clone)]
+pub struct ShardData {
+    n_shards: usize,
+    shard: usize,
+    vertices: u32,
+    /// `(vertex, neighbors)` for owned vertices, in vertex order.
+    owned: Vec<(VertexId, Vec<VertexId>)>,
+}
+
+impl ShardData {
+    /// The shard index this slice belongs to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total vertices in the full graph.
+    pub fn total_vertices(&self) -> u32 {
+        self.vertices
+    }
+
+    /// Sorted neighbors of an owned vertex; `None` if `v` is not owned here.
+    pub fn neighbors(&self, v: VertexId) -> Option<&[VertexId]> {
+        if Graph::owner(v, self.n_shards) != self.shard {
+            return None;
+        }
+        let idx = (v as usize) / self.n_shards;
+        self.owned.get(idx).map(|(ov, list)| {
+            debug_assert_eq!(*ov, v);
+            list.as_slice()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Graph {
+        Graph::generate(&GraphConfig {
+            vertices: 2_000,
+            edges_per_vertex: 4,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn generation_produces_connected_adjacency() {
+        let g = small();
+        assert_eq!(g.vertex_count(), 2_000);
+        // Every vertex has at least one neighbor (attached at creation).
+        for v in 0..g.vertex_count() {
+            assert!(g.degree(v) >= 1, "vertex {v} isolated");
+        }
+        // Roughly m edges per vertex.
+        let e = g.edge_count();
+        assert!(e > 6_000 && e < 9_000, "edges={e}");
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_sorted() {
+        let g = small();
+        for v in 0..g.vertex_count() {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
+            for &u in ns {
+                assert!(g.has_edge(u, v), "asymmetric edge {v}-{u}");
+                assert_ne!(u, v, "self loop at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = Graph::generate(&GraphConfig {
+            vertices: 20_000,
+            edges_per_vertex: 4,
+            seed: 3,
+        });
+        let mut degrees: Vec<u32> = (0..g.vertex_count()).map(|v| g.degree(v)).collect();
+        degrees.sort_unstable();
+        let median = degrees[degrees.len() / 2];
+        let max = *degrees.last().unwrap();
+        // Power-law: the hubs dwarf the median vertex.
+        assert!(max > 20 * median, "median={median} max={max}");
+    }
+
+    #[test]
+    fn shard_slices_partition_the_graph() {
+        let g = small();
+        let n_shards = 4;
+        let slices: Vec<ShardData> = (0..n_shards).map(|s| g.shard_slice(s, n_shards)).collect();
+        for v in 0..g.vertex_count() {
+            let owner = Graph::owner(v, n_shards);
+            for (s, slice) in slices.iter().enumerate() {
+                let got = slice.neighbors(v);
+                if s == owner {
+                    assert_eq!(got.unwrap(), g.neighbors(v));
+                } else {
+                    assert!(got.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        for v in 0..a.vertex_count() {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+}

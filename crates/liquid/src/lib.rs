@@ -1,0 +1,41 @@
+//! An in-memory sharded graph database standing in for the paper's LIquid
+//! cluster (§5.1, §5.4).
+//!
+//! LIquid's architecture, as the paper describes it, is what matters for the
+//! admission-control evaluation and is faithfully reproduced here:
+//!
+//! * a **two-tier** deployment — *brokers* accept client queries and
+//!   *shards* store slices of the graph in memory;
+//! * answering a query takes **one or more communication rounds** between a
+//!   broker and the shards, with the broker combining sub-query results
+//!   between rounds;
+//! * **every host runs the admission-control framework** (a policy, a FIFO
+//!   queue, and a fixed number of query-engine processes), so queueing
+//!   happens at both tiers — the effect behind Figure 13, where processing
+//!   time observed by brokers *rises with load* because the shard tier
+//!   itself queues;
+//! * brokers run the policy under evaluation, shards run AcceptFraction.
+//!
+//! What is substituted relative to LinkedIn's production system (see
+//! DESIGN.md §1): the Economic Graph becomes a synthetic power-law graph;
+//! the production query types QT1..QT11 become graph-query templates of
+//! ascending cost; hosts are thread groups in one process, connected by an
+//! in-process transport or by real TCP with length-prefixed frames.
+
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod cluster;
+pub mod front;
+pub mod graph;
+pub mod query;
+pub mod shard;
+pub mod transport;
+pub mod wire;
+
+pub use broker::Broker;
+pub use front::{RemoteOutcome, TcpBrokerClient, TcpBrokerServer};
+pub use cluster::{Cluster, ClusterConfig, TransportKind};
+pub use graph::{Graph, GraphConfig};
+pub use query::{Query, QueryKind};
+pub use shard::ShardHost;

@@ -1,0 +1,197 @@
+//! Client queries (the QT1..QT11 templates) and shard sub-queries.
+//!
+//! The paper anonymizes its 11 production query types but tells us what
+//! matters: they are "sorted by cost in ascending order", span "diversity in
+//! processing time", and a query is answered in "one or more communication
+//! rounds between the broker and the shards" (§5.1, §5.4). We realize them
+//! as graph-query templates whose cost grows with fan-out and round count —
+//! from a single degree lookup (QT1) to a four-hop distance search (QT11).
+
+use rand::{Rng, RngExt};
+
+use crate::graph::VertexId;
+
+/// The client query types, in ascending cost order like the paper's mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum QueryKind {
+    /// QT1 — degree of a vertex (1 sub-query).
+    Qt1Degree,
+    /// QT2 — edge existence check (1 sub-query).
+    Qt2EdgeExists,
+    /// QT3 — first page of a vertex's neighbors (1 sub-query).
+    Qt3NeighborsPage,
+    /// QT4 — full neighbor list with broker-side post-processing.
+    Qt4NeighborsFull,
+    /// QT5 — count of mutual neighbors of two vertices (parallel fetch +
+    /// sorted intersection).
+    Qt5MutualCount,
+    /// QT6 — degrees of a sample of a vertex's neighbors (2 rounds).
+    Qt6NeighborDegrees,
+    /// QT7 — distinct-vertex count of the two-hop neighborhood (2 rounds,
+    /// wide fan-out).
+    Qt7TwoHopCount,
+    /// QT8 — triangles through a vertex (neighbor intersections fan-out).
+    Qt8TriangleCount,
+    /// QT9 — overlap of two vertices' two-hop networks (2 wide rounds).
+    Qt9CommonNetwork,
+    /// QT10 — bounded BFS graph distance, up to 3 hops (≤3 rounds).
+    Qt10Distance3,
+    /// QT11 — bounded BFS graph distance, up to 4 hops with wider frontier
+    /// (≤4 rounds) — the costliest type, like the paper's QT11.
+    Qt11Distance4,
+}
+
+impl QueryKind {
+    /// All kinds in ascending cost order (QT1..QT11).
+    pub const ALL: [QueryKind; 11] = [
+        QueryKind::Qt1Degree,
+        QueryKind::Qt2EdgeExists,
+        QueryKind::Qt3NeighborsPage,
+        QueryKind::Qt4NeighborsFull,
+        QueryKind::Qt5MutualCount,
+        QueryKind::Qt6NeighborDegrees,
+        QueryKind::Qt7TwoHopCount,
+        QueryKind::Qt8TriangleCount,
+        QueryKind::Qt9CommonNetwork,
+        QueryKind::Qt10Distance3,
+        QueryKind::Qt11Distance4,
+    ];
+
+    /// The paper's anonymized name ("QT1".."QT11").
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Qt1Degree => "QT1",
+            QueryKind::Qt2EdgeExists => "QT2",
+            QueryKind::Qt3NeighborsPage => "QT3",
+            QueryKind::Qt4NeighborsFull => "QT4",
+            QueryKind::Qt5MutualCount => "QT5",
+            QueryKind::Qt6NeighborDegrees => "QT6",
+            QueryKind::Qt7TwoHopCount => "QT7",
+            QueryKind::Qt8TriangleCount => "QT8",
+            QueryKind::Qt9CommonNetwork => "QT9",
+            QueryKind::Qt10Distance3 => "QT10",
+            QueryKind::Qt11Distance4 => "QT11",
+        }
+    }
+
+    /// Dense index (0-based) within [`QueryKind::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Kind from dense index.
+    pub fn from_index(i: usize) -> Option<QueryKind> {
+        QueryKind::ALL.get(i).copied()
+    }
+}
+
+/// A client query: a kind plus up to two vertex arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Query template.
+    pub kind: QueryKind,
+    /// Primary vertex argument.
+    pub u: VertexId,
+    /// Secondary vertex argument (used by pairwise templates).
+    pub v: VertexId,
+}
+
+impl Query {
+    /// Draws random vertex arguments for a query of `kind` over a graph of
+    /// `n_vertices`.
+    pub fn random<R: Rng + ?Sized>(kind: QueryKind, n_vertices: u32, rng: &mut R) -> Self {
+        let u = rng.random_range(0..n_vertices);
+        let mut v = rng.random_range(0..n_vertices);
+        if v == u {
+            v = (v + 1) % n_vertices;
+        }
+        Self { kind, u, v }
+    }
+}
+
+/// Result of a client query, reduced to a scalar (count, distance, flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryResult {
+    /// The scalar answer. For distance queries, `u64::MAX` means
+    /// "unreachable within the hop bound".
+    pub value: u64,
+}
+
+/// A sub-query a broker sends to one shard. Batched forms (`*Many`) carry
+/// every vertex of the round's frontier owned by that shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubQuery {
+    /// Neighbors of one vertex.
+    Neighbors(VertexId),
+    /// Degree of one vertex.
+    Degree(VertexId),
+    /// Does the edge `(u, v)` exist? (Sent to `u`'s owner.)
+    HasEdge(VertexId, VertexId),
+    /// Neighbors of several owned vertices.
+    NeighborsMany(Vec<VertexId>),
+    /// Degrees of several owned vertices.
+    DegreeMany(Vec<VertexId>),
+    /// `|neighbors(v) ∩ ids|` with `ids` sorted ascending.
+    CountIntersect(VertexId, Vec<VertexId>),
+}
+
+impl SubQuery {
+    /// A proportional work-size hint used for shard-side accounting.
+    pub fn batch_len(&self) -> usize {
+        match self {
+            SubQuery::Neighbors(_) | SubQuery::Degree(_) | SubQuery::HasEdge(..) => 1,
+            SubQuery::NeighborsMany(vs) | SubQuery::DegreeMany(vs) => vs.len(),
+            SubQuery::CountIntersect(_, ids) => ids.len().max(1),
+        }
+    }
+}
+
+/// A shard's answer to a [`SubQuery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubResponse {
+    /// A single neighbor list.
+    Ids(Vec<VertexId>),
+    /// One list per requested vertex, in request order.
+    IdLists(Vec<Vec<VertexId>>),
+    /// Degrees, in request order.
+    Counts(Vec<u32>),
+    /// A scalar count.
+    Count(u64),
+    /// A boolean answer.
+    Flag(bool),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kinds_are_dense_and_named() {
+        for (i, k) in QueryKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(QueryKind::from_index(i), Some(*k));
+            assert_eq!(k.name(), format!("QT{}", i + 1));
+        }
+        assert_eq!(QueryKind::from_index(11), None);
+    }
+
+    #[test]
+    fn random_queries_have_distinct_vertices() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let q = Query::random(QueryKind::Qt5MutualCount, 100, &mut rng);
+            assert!(q.u < 100 && q.v < 100);
+            assert_ne!(q.u, q.v);
+        }
+    }
+
+    #[test]
+    fn batch_len_reflects_fanout() {
+        assert_eq!(SubQuery::Neighbors(1).batch_len(), 1);
+        assert_eq!(SubQuery::NeighborsMany(vec![1, 2, 3]).batch_len(), 3);
+        assert_eq!(SubQuery::CountIntersect(1, vec![1, 2]).batch_len(), 2);
+    }
+}

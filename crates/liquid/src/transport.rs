@@ -1,0 +1,291 @@
+//! Broker→shard transports: in-process and TCP.
+//!
+//! Experiments default to the in-process transport (deterministic, no
+//! kernel in the measurement path); the TCP transport exercises the same
+//! code over real sockets with length-prefixed frames and correlation-id
+//! multiplexing, for deployments where hosts are separate processes.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::query::SubQuery;
+use crate::shard::{ShardHost, SubOutcome};
+use crate::wire::{
+    decode_subquery, decode_subreply, encode_subquery, encode_subreply, read_frame, write_frame,
+    Status,
+};
+
+/// A handle a broker uses to reach one shard.
+pub trait ShardClient: Send + Sync {
+    /// Offers a sub-query; the returned channel yields its outcome.
+    fn submit(&self, sub: SubQuery) -> Receiver<SubOutcome>;
+}
+
+/// Same-process transport: calls into the shard host directly.
+pub struct InProcShardClient {
+    host: Arc<ShardHost>,
+}
+
+impl InProcShardClient {
+    /// Wraps a shard host.
+    pub fn new(host: Arc<ShardHost>) -> Self {
+        Self { host }
+    }
+}
+
+impl ShardClient for InProcShardClient {
+    fn submit(&self, sub: SubQuery) -> Receiver<SubOutcome> {
+        self.host.submit(sub)
+    }
+}
+
+/// Serves a shard host over TCP.
+pub struct TcpShardServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpShardServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `host`. Returns once the listener is ready.
+    pub fn serve(host: Arc<ShardHost>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name(format!("shard-listener-{addr}"))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => spawn_connection(Arc::clone(&host), stream),
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(Self { addr, stop })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections (existing ones drain naturally when
+    /// clients disconnect).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// One connection: a reader that decodes requests and submits them, and a
+/// responder that writes outcomes back in submission order. Responses are
+/// therefore delivered in request order per connection — acceptable because
+/// the shard's own FIFO queue completes them in roughly that order anyway.
+fn spawn_connection(host: Arc<ShardHost>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    type PendingReply = (u64, Receiver<SubOutcome>);
+    let (tx, rx): (Sender<PendingReply>, Receiver<PendingReply>) = unbounded();
+
+    std::thread::spawn(move || {
+        while let Ok(frame) = read_frame(&mut read_half) {
+            match decode_subquery(frame) {
+                Ok((id, sub)) => {
+                    let outcome_rx = host.submit(sub);
+                    if tx.send((id, outcome_rx)).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break, // protocol violation: drop the connection
+            }
+        }
+    });
+
+    let mut write_half = stream;
+    std::thread::spawn(move || {
+        for (id, outcome_rx) in rx.iter() {
+            let (status, resp) = match outcome_rx.recv() {
+                Ok(SubOutcome::Ok(resp)) => (Status::Ok, Some(resp)),
+                Ok(SubOutcome::Rejected) => (Status::Rejected, None),
+                Ok(SubOutcome::Error) | Err(_) => (Status::Error, None),
+            };
+            let frame = encode_subreply(id, status, resp.as_ref());
+            if write_frame(&mut write_half, &frame).is_err() {
+                break;
+            }
+            if write_half.flush().is_err() {
+                break;
+            }
+        }
+    });
+}
+
+type Pending = Arc<Mutex<HashMap<u64, Sender<SubOutcome>>>>;
+
+struct TcpConn {
+    writer: Mutex<TcpStream>,
+    pending: Pending,
+}
+
+/// TCP client to one shard, multiplexing requests over a small pool of
+/// connections by correlation id.
+pub struct TcpShardClient {
+    conns: Vec<TcpConn>,
+    next_conn: AtomicUsize,
+    next_id: AtomicU64,
+}
+
+impl TcpShardClient {
+    /// Opens `connections` sockets to a shard server.
+    pub fn connect(addr: SocketAddr, connections: usize) -> std::io::Result<Self> {
+        assert!(connections > 0);
+        let mut conns = Vec::with_capacity(connections);
+        for _ in 0..connections {
+            let stream = TcpStream::connect(addr)?;
+            let _ = stream.set_nodelay(true);
+            let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
+            let mut read_half = stream.try_clone()?;
+            let reader_pending = Arc::clone(&pending);
+            std::thread::spawn(move || {
+                while let Ok(frame) = read_frame(&mut read_half) {
+                    let Ok((id, status, resp)) = decode_subreply(frame) else {
+                        break;
+                    };
+                    let Some(tx) = reader_pending.lock().remove(&id) else {
+                        continue;
+                    };
+                    let outcome = match (status, resp) {
+                        (Status::Ok, Some(resp)) => SubOutcome::Ok(resp),
+                        (Status::Rejected, _) => SubOutcome::Rejected,
+                        _ => SubOutcome::Error,
+                    };
+                    let _ = tx.send(outcome);
+                }
+                // Connection gone: fail everything still pending.
+                for (_, tx) in reader_pending.lock().drain() {
+                    let _ = tx.send(SubOutcome::Error);
+                }
+            });
+            conns.push(TcpConn {
+                writer: Mutex::new(stream),
+                pending,
+            });
+        }
+        Ok(Self {
+            conns,
+            next_conn: AtomicUsize::new(0),
+            next_id: AtomicU64::new(1),
+        })
+    }
+}
+
+impl ShardClient for TcpShardClient {
+    fn submit(&self, sub: SubQuery) -> Receiver<SubOutcome> {
+        let (tx, rx) = bounded(1);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let conn =
+            &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()];
+        conn.pending.lock().insert(id, tx);
+        let frame = encode_subquery(id, &sub);
+        let mut writer = conn.writer.lock();
+        let write_result = write_frame(&mut *writer, &frame).and_then(|_| writer.flush());
+        drop(writer);
+        if write_result.is_err() {
+            if let Some(tx) = conn.pending.lock().remove(&id) {
+                let _ = tx.send(SubOutcome::Error);
+            }
+        }
+        rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, GraphConfig};
+    use crate::query::SubResponse;
+    use crate::shard::ShardConfig;
+    use bouncer_core::policy::AlwaysAccept;
+    use bouncer_metrics::MonotonicClock;
+
+    fn test_host() -> (Graph, Arc<ShardHost>) {
+        let g = Graph::generate(&GraphConfig {
+            vertices: 500,
+            edges_per_vertex: 3,
+            seed: 9,
+        });
+        let host = ShardHost::spawn(
+            g.shard_slice(0, 1),
+            Arc::new(AlwaysAccept::new()),
+            Arc::new(MonotonicClock::new()),
+            ShardConfig::default(),
+        );
+        (g, host)
+    }
+
+    #[test]
+    fn inproc_client_round_trips() {
+        let (g, host) = test_host();
+        let client = InProcShardClient::new(Arc::clone(&host));
+        let rx = client.submit(SubQuery::Degree(5));
+        assert_eq!(
+            rx.recv().unwrap(),
+            SubOutcome::Ok(SubResponse::Count(g.degree(5) as u64))
+        );
+        host.shutdown();
+    }
+
+    #[test]
+    fn tcp_client_round_trips_over_real_sockets() {
+        let (g, host) = test_host();
+        let server = TcpShardServer::serve(Arc::clone(&host), "127.0.0.1:0").unwrap();
+        let client = TcpShardClient::connect(server.addr(), 2).unwrap();
+
+        // Interleave several requests to exercise multiplexing.
+        let receivers: Vec<_> = (0..50)
+            .map(|v| client.submit(SubQuery::Degree(v)))
+            .collect();
+        for (v, rx) in receivers.into_iter().enumerate() {
+            assert_eq!(
+                rx.recv().unwrap(),
+                SubOutcome::Ok(SubResponse::Count(g.degree(v as u32) as u64)),
+                "vertex {v}"
+            );
+        }
+        server.stop();
+        host.shutdown();
+    }
+
+    #[test]
+    fn tcp_transports_large_batches() {
+        let (g, host) = test_host();
+        let server = TcpShardServer::serve(Arc::clone(&host), "127.0.0.1:0").unwrap();
+        let client = TcpShardClient::connect(server.addr(), 1).unwrap();
+        let vs: Vec<u32> = (0..500).collect();
+        let rx = client.submit(SubQuery::NeighborsMany(vs.clone()));
+        match rx.recv().unwrap() {
+            SubOutcome::Ok(SubResponse::IdLists(lists)) => {
+                assert_eq!(lists.len(), 500);
+                assert_eq!(lists[42], g.neighbors(42));
+            }
+            other => panic!("{other:?}"),
+        }
+        server.stop();
+        host.shutdown();
+    }
+}

@@ -1,0 +1,402 @@
+//! Binary wire protocol for the TCP transport.
+//!
+//! LIquid's brokers "offer REST endpoints"; the equivalent role here —
+//! a network boundary in front of each host with its own serialization
+//! cost — is played by a compact length-prefixed binary protocol:
+//!
+//! ```text
+//! frame      := u32_be length, payload[length]
+//! rpc        := u64 correlation-id, u8 tag, body
+//! ```
+//!
+//! The same envelope carries broker-bound client queries and shard-bound
+//! sub-queries; correlation ids let one connection multiplex many in-flight
+//! requests (responses may arrive out of order).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::graph::VertexId;
+use crate::query::{Query, QueryKind, SubQuery, SubResponse};
+
+/// Hard cap on frame payloads (guards against corrupt length prefixes).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Decode failure: malformed or truncated payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Outcome status on reply envelopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The request was serviced.
+    Ok,
+    /// Admission control rejected the request (the early error response of
+    /// §2).
+    Rejected,
+    /// The host failed to process the request.
+    Error,
+}
+
+impl Status {
+    fn to_u8(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Rejected => 1,
+            Status::Error => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, DecodeError> {
+        match b {
+            0 => Ok(Status::Ok),
+            1 => Ok(Status::Rejected),
+            2 => Ok(Status::Error),
+            _ => Err(DecodeError("bad status byte")),
+        }
+    }
+}
+
+fn put_ids(buf: &mut BytesMut, ids: &[VertexId]) {
+    buf.put_u32(ids.len() as u32);
+    for &v in ids {
+        buf.put_u32(v);
+    }
+}
+
+fn get_ids(buf: &mut Bytes) -> Result<Vec<VertexId>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError("truncated id list length"));
+    }
+    let n = buf.get_u32() as usize;
+    if buf.remaining() < n * 4 {
+        return Err(DecodeError("truncated id list"));
+    }
+    Ok((0..n).map(|_| buf.get_u32()).collect())
+}
+
+/// Encodes a sub-query request envelope.
+pub fn encode_subquery(id: u64, sub: &SubQuery) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + 4 * sub.batch_len());
+    buf.put_u64(id);
+    match sub {
+        SubQuery::Neighbors(v) => {
+            buf.put_u8(0);
+            buf.put_u32(*v);
+        }
+        SubQuery::Degree(v) => {
+            buf.put_u8(1);
+            buf.put_u32(*v);
+        }
+        SubQuery::HasEdge(u, v) => {
+            buf.put_u8(2);
+            buf.put_u32(*u);
+            buf.put_u32(*v);
+        }
+        SubQuery::NeighborsMany(vs) => {
+            buf.put_u8(3);
+            put_ids(&mut buf, vs);
+        }
+        SubQuery::DegreeMany(vs) => {
+            buf.put_u8(4);
+            put_ids(&mut buf, vs);
+        }
+        SubQuery::CountIntersect(v, ids) => {
+            buf.put_u8(5);
+            buf.put_u32(*v);
+            put_ids(&mut buf, ids);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a sub-query request envelope.
+pub fn decode_subquery(mut buf: Bytes) -> Result<(u64, SubQuery), DecodeError> {
+    if buf.remaining() < 9 {
+        return Err(DecodeError("truncated sub-query header"));
+    }
+    let id = buf.get_u64();
+    let tag = buf.get_u8();
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(DecodeError("truncated sub-query body"))
+        } else {
+            Ok(())
+        }
+    };
+    let sub = match tag {
+        0 => {
+            need(&buf, 4)?;
+            SubQuery::Neighbors(buf.get_u32())
+        }
+        1 => {
+            need(&buf, 4)?;
+            SubQuery::Degree(buf.get_u32())
+        }
+        2 => {
+            need(&buf, 8)?;
+            SubQuery::HasEdge(buf.get_u32(), buf.get_u32())
+        }
+        3 => SubQuery::NeighborsMany(get_ids(&mut buf)?),
+        4 => SubQuery::DegreeMany(get_ids(&mut buf)?),
+        5 => {
+            need(&buf, 4)?;
+            let v = buf.get_u32();
+            SubQuery::CountIntersect(v, get_ids(&mut buf)?)
+        }
+        _ => return Err(DecodeError("bad sub-query tag")),
+    };
+    Ok((id, sub))
+}
+
+/// Encodes a sub-query reply envelope.
+pub fn encode_subreply(id: u64, status: Status, resp: Option<&SubResponse>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32);
+    buf.put_u64(id);
+    buf.put_u8(status.to_u8());
+    if let Some(resp) = resp {
+        match resp {
+            SubResponse::Ids(ids) => {
+                buf.put_u8(0);
+                put_ids(&mut buf, ids);
+            }
+            SubResponse::IdLists(lists) => {
+                buf.put_u8(1);
+                buf.put_u32(lists.len() as u32);
+                for l in lists {
+                    put_ids(&mut buf, l);
+                }
+            }
+            SubResponse::Counts(cs) => {
+                buf.put_u8(2);
+                buf.put_u32(cs.len() as u32);
+                for &c in cs {
+                    buf.put_u32(c);
+                }
+            }
+            SubResponse::Count(c) => {
+                buf.put_u8(3);
+                buf.put_u64(*c);
+            }
+            SubResponse::Flag(b) => {
+                buf.put_u8(4);
+                buf.put_u8(*b as u8);
+            }
+        }
+    } else {
+        buf.put_u8(255);
+    }
+    buf.freeze()
+}
+
+/// Decodes a sub-query reply envelope.
+pub fn decode_subreply(mut buf: Bytes) -> Result<(u64, Status, Option<SubResponse>), DecodeError> {
+    if buf.remaining() < 10 {
+        return Err(DecodeError("truncated sub-reply header"));
+    }
+    let id = buf.get_u64();
+    let status = Status::from_u8(buf.get_u8())?;
+    let tag = buf.get_u8();
+    let resp = match tag {
+        0 => Some(SubResponse::Ids(get_ids(&mut buf)?)),
+        1 => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError("truncated list count"));
+            }
+            let n = buf.get_u32() as usize;
+            let mut lists = Vec::with_capacity(n);
+            for _ in 0..n {
+                lists.push(get_ids(&mut buf)?);
+            }
+            Some(SubResponse::IdLists(lists))
+        }
+        2 => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError("truncated counts"));
+            }
+            let n = buf.get_u32() as usize;
+            if buf.remaining() < n * 4 {
+                return Err(DecodeError("truncated counts body"));
+            }
+            Some(SubResponse::Counts((0..n).map(|_| buf.get_u32()).collect()))
+        }
+        3 => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError("truncated count"));
+            }
+            Some(SubResponse::Count(buf.get_u64()))
+        }
+        4 => {
+            if buf.remaining() < 1 {
+                return Err(DecodeError("truncated flag"));
+            }
+            Some(SubResponse::Flag(buf.get_u8() != 0))
+        }
+        255 => None,
+        _ => return Err(DecodeError("bad sub-reply tag")),
+    };
+    Ok((id, status, resp))
+}
+
+/// Encodes a client query request envelope.
+pub fn encode_query(id: u64, q: &Query) -> Bytes {
+    let mut buf = BytesMut::with_capacity(21);
+    buf.put_u64(id);
+    buf.put_u8(q.kind.index() as u8);
+    buf.put_u32(q.u);
+    buf.put_u32(q.v);
+    buf.freeze()
+}
+
+/// Decodes a client query request envelope.
+pub fn decode_query(mut buf: Bytes) -> Result<(u64, Query), DecodeError> {
+    if buf.remaining() < 17 {
+        return Err(DecodeError("truncated query"));
+    }
+    let id = buf.get_u64();
+    let kind =
+        QueryKind::from_index(buf.get_u8() as usize).ok_or(DecodeError("bad query kind"))?;
+    Ok((
+        id,
+        Query {
+            kind,
+            u: buf.get_u32(),
+            v: buf.get_u32(),
+        },
+    ))
+}
+
+/// Encodes a client query reply envelope.
+pub fn encode_query_reply(id: u64, status: Status, value: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(17);
+    buf.put_u64(id);
+    buf.put_u8(status.to_u8());
+    buf.put_u64(value);
+    buf.freeze()
+}
+
+/// Decodes a client query reply envelope.
+pub fn decode_query_reply(mut buf: Bytes) -> Result<(u64, Status, u64), DecodeError> {
+    if buf.remaining() < 17 {
+        return Err(DecodeError("truncated query reply"));
+    }
+    Ok((buf.get_u64(), Status::from_u8(buf.get_u8())?, buf.get_u64()))
+}
+
+/// Writes a length-prefixed frame to a stream.
+pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads a length-prefixed frame from a stream.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Bytes> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Bytes::from(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subquery_round_trips() {
+        let cases = [
+            SubQuery::Neighbors(7),
+            SubQuery::Degree(9),
+            SubQuery::HasEdge(1, 2),
+            SubQuery::NeighborsMany(vec![1, 2, 3]),
+            SubQuery::DegreeMany(vec![]),
+            SubQuery::CountIntersect(5, vec![1, 4, 9]),
+        ];
+        for (i, sub) in cases.iter().enumerate() {
+            let bytes = encode_subquery(i as u64, sub);
+            let (id, got) = decode_subquery(bytes).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&got, sub);
+        }
+    }
+
+    #[test]
+    fn subreply_round_trips() {
+        let cases = [
+            (Status::Ok, Some(SubResponse::Ids(vec![1, 2]))),
+            (Status::Ok, Some(SubResponse::IdLists(vec![vec![1], vec![]]))),
+            (Status::Ok, Some(SubResponse::Counts(vec![3, 4, 5]))),
+            (Status::Ok, Some(SubResponse::Count(42))),
+            (Status::Ok, Some(SubResponse::Flag(true))),
+            (Status::Rejected, None),
+            (Status::Error, None),
+        ];
+        for (i, (status, resp)) in cases.iter().enumerate() {
+            let bytes = encode_subreply(i as u64, *status, resp.as_ref());
+            let (id, s, r) = decode_subreply(bytes).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(s, *status);
+            assert_eq!(&r, resp);
+        }
+    }
+
+    #[test]
+    fn query_round_trips() {
+        for kind in QueryKind::ALL {
+            let q = Query { kind, u: 11, v: 22 };
+            let (id, got) = decode_query(encode_query(3, &q)).unwrap();
+            assert_eq!(id, 3);
+            assert_eq!(got, q);
+        }
+        let (id, s, v) = decode_query_reply(encode_query_reply(4, Status::Ok, 99)).unwrap();
+        assert_eq!((id, s, v), (4, Status::Ok, 99));
+    }
+
+    #[test]
+    fn truncated_payloads_error_cleanly() {
+        assert!(decode_subquery(Bytes::from_static(&[0, 1, 2])).is_err());
+        assert!(decode_subreply(Bytes::from_static(&[0; 9])).is_err());
+        assert!(decode_query(Bytes::from_static(&[0; 5])).is_err());
+        // Bad tags.
+        let mut b = BytesMut::new();
+        b.put_u64(1);
+        b.put_u8(99);
+        b.put_u32(0);
+        assert!(decode_subquery(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), b"");
+        assert!(read_frame(&mut cursor).is_err()); // EOF
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

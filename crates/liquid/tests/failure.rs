@@ -1,0 +1,169 @@
+//! Failure injection: the cluster's behavior when pieces go away.
+//!
+//! The paper motivates admission control partly with "unplanned reduction
+//! in the system's capacity … from network outages, node failures" (§1);
+//! these tests check that our substrate degrades the way a production
+//! system must — failed sub-queries become failed queries, not hangs or
+//! panics, and the surviving hosts keep serving.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bouncer_core::policy::AlwaysAccept;
+use bouncer_metrics::MonotonicClock;
+use liquid::broker::{Broker, BrokerConfig, ClientOutcome};
+use liquid::graph::{Graph, GraphConfig};
+use liquid::query::{Query, QueryKind, SubQuery};
+use liquid::shard::{ShardConfig, ShardHost, SubOutcome};
+use liquid::transport::{InProcShardClient, ShardClient, TcpShardClient, TcpShardServer};
+
+fn graph() -> Graph {
+    Graph::generate(&GraphConfig {
+        vertices: 5_000,
+        edges_per_vertex: 5,
+        seed: 13,
+    })
+}
+
+fn spawn_shards(g: &Graph, n: usize) -> Vec<Arc<ShardHost>> {
+    let clock: Arc<MonotonicClock> = Arc::new(MonotonicClock::new());
+    (0..n)
+        .map(|s| {
+            ShardHost::spawn(
+                g.shard_slice(s, n),
+                Arc::new(AlwaysAccept::new()),
+                clock.clone(),
+                ShardConfig::default(),
+            )
+        })
+        .collect()
+}
+
+/// A dead shard (closed gate) fails queries that need it, while queries
+/// answerable by the surviving shard still succeed.
+#[test]
+fn queries_survive_a_shard_outage_partially() {
+    let g = graph();
+    let shards = spawn_shards(&g, 2);
+    let clients: Vec<Arc<dyn ShardClient>> = shards
+        .iter()
+        .map(|h| Arc::new(InProcShardClient::new(Arc::clone(h))) as Arc<dyn ShardClient>)
+        .collect();
+    let broker = Broker::spawn(
+        clients,
+        Arc::new(AlwaysAccept::new()),
+        Arc::new(MonotonicClock::new()),
+        BrokerConfig {
+            subquery_timeout: Duration::from_millis(500),
+            ..BrokerConfig::default()
+        },
+    );
+
+    // Kill shard 1 (odd vertices).
+    Arc::clone(&shards[1]).shutdown();
+
+    // Degree of an even vertex: shard 0 answers.
+    let ok = broker.execute(Query {
+        kind: QueryKind::Qt1Degree,
+        u: 4,
+        v: 0,
+    });
+    assert!(matches!(ok, ClientOutcome::Ok(_)), "{ok:?}");
+
+    // Degree of an odd vertex: the dead shard can't answer. Its closed
+    // gate refuses the sub-query, which surfaces to the client as a
+    // shard-side rejection — the same fail-fast signal as load shedding,
+    // and the right trigger for client failover either way. No hang.
+    let dead = broker.execute(Query {
+        kind: QueryKind::Qt1Degree,
+        u: 5,
+        v: 0,
+    });
+    assert!(
+        matches!(dead, ClientOutcome::ShardRejected | ClientOutcome::Failed),
+        "{dead:?}"
+    );
+
+    broker.shutdown();
+    Arc::clone(&shards[0]).shutdown();
+}
+
+/// Submissions to a closed shard host fail fast as rejections, not hangs.
+#[test]
+fn closed_shard_rejects_submissions_immediately() {
+    let g = graph();
+    let shards = spawn_shards(&g, 1);
+    let host = Arc::clone(&shards[0]);
+    Arc::clone(&host).shutdown();
+    let rx = host.submit(SubQuery::Degree(0));
+    // The gate is closed: the push fails and a rejection is delivered.
+    assert_eq!(
+        rx.recv_timeout(Duration::from_secs(1)).unwrap(),
+        SubOutcome::Rejected
+    );
+}
+
+/// Dropping a TCP shard server mid-conversation fails in-flight and future
+/// requests with errors instead of deadlocking the broker-side client.
+#[test]
+fn tcp_disconnect_fails_pending_requests() {
+    let g = graph();
+    let shards = spawn_shards(&g, 1);
+    let server = TcpShardServer::serve(Arc::clone(&shards[0]), "127.0.0.1:0").unwrap();
+    let client = TcpShardClient::connect(server.addr(), 1).unwrap();
+
+    // Healthy round trip first.
+    let rx = client.submit(SubQuery::Degree(2));
+    assert!(matches!(
+        rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+        SubOutcome::Ok(_)
+    ));
+
+    // Take the backend down: stop accepting AND close the shard host so the
+    // per-connection handlers drain and sockets die.
+    server.stop();
+    Arc::clone(&shards[0]).shutdown();
+
+    // New submissions either error on write or get failed by the reader
+    // thread's drain path; either way the channel resolves quickly.
+    let rx = client.submit(SubQuery::Degree(4));
+    match rx.recv_timeout(Duration::from_secs(5)) {
+        Ok(SubOutcome::Error) | Ok(SubOutcome::Rejected) => {}
+        Ok(other) => panic!("unexpected outcome after disconnect: {other:?}"),
+        Err(_) => panic!("request hung after server shutdown"),
+    }
+}
+
+/// A broker closed while clients wait resolves their channels (drop side)
+/// rather than leaving them blocked forever.
+#[test]
+fn broker_shutdown_resolves_waiting_clients() {
+    let g = graph();
+    let shards = spawn_shards(&g, 1);
+    let clients: Vec<Arc<dyn ShardClient>> = shards
+        .iter()
+        .map(|h| Arc::new(InProcShardClient::new(Arc::clone(h))) as Arc<dyn ShardClient>)
+        .collect();
+    let broker = Broker::spawn(
+        clients,
+        Arc::new(AlwaysAccept::new()),
+        Arc::new(MonotonicClock::new()),
+        BrokerConfig::default(),
+    );
+    let rx = broker.submit(Query {
+        kind: QueryKind::Qt1Degree,
+        u: 2,
+        v: 0,
+    });
+    // The submitted query may complete or the channel may drop on close —
+    // but it must resolve within the timeout.
+    broker.shutdown();
+    match rx.recv_timeout(Duration::from_secs(2)) {
+        Ok(_) => {}
+        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {}
+        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+            panic!("client left hanging across broker shutdown")
+        }
+    }
+    Arc::clone(&shards[0]).shutdown();
+}

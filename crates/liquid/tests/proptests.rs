@@ -1,0 +1,158 @@
+//! Property-based tests: wire-protocol round trips and fuzz, graph
+//! invariants, and shard/broker agreement.
+
+use bytes::Bytes;
+use liquid::graph::{Graph, GraphConfig};
+use liquid::query::{Query, QueryKind, SubQuery, SubResponse};
+use liquid::wire::{
+    decode_query, decode_query_reply, decode_subquery, decode_subreply, encode_query,
+    encode_query_reply, encode_subquery, encode_subreply, read_frame, write_frame, Status,
+};
+use proptest::prelude::*;
+
+fn arb_ids() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(any::<u32>(), 0..64)
+}
+
+fn arb_subquery() -> impl Strategy<Value = SubQuery> {
+    prop_oneof![
+        any::<u32>().prop_map(SubQuery::Neighbors),
+        any::<u32>().prop_map(SubQuery::Degree),
+        (any::<u32>(), any::<u32>()).prop_map(|(u, v)| SubQuery::HasEdge(u, v)),
+        arb_ids().prop_map(SubQuery::NeighborsMany),
+        arb_ids().prop_map(SubQuery::DegreeMany),
+        (any::<u32>(), arb_ids()).prop_map(|(v, ids)| SubQuery::CountIntersect(v, ids)),
+    ]
+}
+
+fn arb_subresponse() -> impl Strategy<Value = SubResponse> {
+    prop_oneof![
+        arb_ids().prop_map(SubResponse::Ids),
+        prop::collection::vec(arb_ids(), 0..8).prop_map(SubResponse::IdLists),
+        prop::collection::vec(any::<u32>(), 0..32).prop_map(SubResponse::Counts),
+        any::<u64>().prop_map(SubResponse::Count),
+        any::<bool>().prop_map(SubResponse::Flag),
+    ]
+}
+
+proptest! {
+    /// Every sub-query round-trips through the wire codec.
+    #[test]
+    fn subquery_codec_round_trips(id in any::<u64>(), sub in arb_subquery()) {
+        let (got_id, got) = decode_subquery(encode_subquery(id, &sub)).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, sub);
+    }
+
+    /// Every sub-reply round-trips, with and without a body.
+    #[test]
+    fn subreply_codec_round_trips(
+        id in any::<u64>(),
+        status_pick in 0u8..3,
+        resp in prop::option::of(arb_subresponse()),
+    ) {
+        let status = match status_pick {
+            0 => Status::Ok,
+            1 => Status::Rejected,
+            _ => Status::Error,
+        };
+        let (got_id, got_status, got_resp) =
+            decode_subreply(encode_subreply(id, status, resp.as_ref())).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got_status, status);
+        prop_assert_eq!(got_resp, resp);
+    }
+
+    /// Query and query-reply envelopes round-trip.
+    #[test]
+    fn query_codec_round_trips(
+        id in any::<u64>(),
+        kind_idx in 0usize..11,
+        u in any::<u32>(),
+        v in any::<u32>(),
+        value in any::<u64>(),
+    ) {
+        let q = Query { kind: QueryKind::from_index(kind_idx).unwrap(), u, v };
+        let (gid, gq) = decode_query(encode_query(id, &q)).unwrap();
+        prop_assert_eq!((gid, gq), (id, q));
+        let (rid, s, rv) = decode_query_reply(encode_query_reply(id, Status::Ok, value)).unwrap();
+        prop_assert_eq!((rid, s, rv), (id, Status::Ok, value));
+    }
+
+    /// Arbitrary bytes never panic the decoders — they error or parse.
+    #[test]
+    fn decoders_tolerate_garbage(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let b = Bytes::from(bytes);
+        let _ = decode_subquery(b.clone());
+        let _ = decode_subreply(b.clone());
+        let _ = decode_query(b.clone());
+        let _ = decode_query_reply(b);
+    }
+
+    /// Frames written back-to-back are read back intact, in order.
+    #[test]
+    fn frame_stream_round_trips(payloads in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..256), 1..10,
+    )) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for p in &payloads {
+            let frame = read_frame(&mut cursor).unwrap();
+            prop_assert_eq!(frame.as_ref(), p.as_slice());
+        }
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Generated graphs are simple (no self-loops, no duplicate edges),
+    /// symmetric, and within the expected edge budget, for any seed.
+    #[test]
+    fn graph_generation_invariants(seed in any::<u64>(), m in 2u32..6) {
+        let g = Graph::generate(&GraphConfig {
+            vertices: 300,
+            edges_per_vertex: m,
+            seed,
+        });
+        let mut edges = 0u64;
+        for v in 0..g.vertex_count() {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted+dedup at {v}");
+            for &u in ns {
+                prop_assert_ne!(u, v, "self loop");
+                prop_assert!(g.has_edge(u, v), "symmetry {v}-{u}");
+            }
+            edges += ns.len() as u64;
+        }
+        edges /= 2;
+        // Preferential attachment adds at most m edges per new vertex plus
+        // the seed clique.
+        let n = 300u64;
+        let m = m as u64;
+        prop_assert!(edges <= n * m + m * (m + 1) / 2);
+        prop_assert!(edges >= n.saturating_sub(m + 1), "graph too sparse: {edges}");
+    }
+
+    /// Shard slices partition the graph: each vertex's adjacency lives on
+    /// exactly its owner shard.
+    #[test]
+    fn shard_partition_is_exact(seed in any::<u64>(), n_shards in 1usize..6) {
+        let g = Graph::generate(&GraphConfig {
+            vertices: 200,
+            edges_per_vertex: 3,
+            seed,
+        });
+        let slices: Vec<_> = (0..n_shards).map(|s| g.shard_slice(s, n_shards)).collect();
+        for v in 0..g.vertex_count() {
+            let mut holders = 0;
+            for slice in &slices {
+                if let Some(ns) = slice.neighbors(v) {
+                    prop_assert_eq!(ns, g.neighbors(v));
+                    holders += 1;
+                }
+            }
+            prop_assert_eq!(holders, 1, "vertex {} held by {} shards", v, holders);
+        }
+    }
+}

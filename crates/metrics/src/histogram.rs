@@ -1,0 +1,458 @@
+//! Concurrent log-linear histogram for processing-time distributions.
+//!
+//! Bouncer "adopts the natural approach of maintaining approximations for
+//! these distributions in histograms, one per query type" (§3). The policy
+//! sits on the critical path of every query, so recording must be cheap and
+//! thread-safe: buckets are `AtomicU64`s and recording is a single relaxed
+//! `fetch_add` plus mean/extremum bookkeeping — no locks.
+//!
+//! # Bucket layout
+//!
+//! The value range is covered by a log-linear scheme (the same idea as
+//! HdrHistogram): values below 32 map exactly; above that, each power-of-two
+//! range is split into 32 linear sub-buckets, giving a worst-case relative
+//! quantization error of about 1.6 % — far below the estimation error the
+//! paper deliberately accepts in Eq. 2–4. With nanosecond units the full
+//! `u64` range needs only 1 920 buckets (15 KiB per histogram).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of low-order bits of precision: 2^5 = 32 linear sub-buckets per
+/// power-of-two range.
+const PRECISION_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << PRECISION_BITS; // 32
+/// Total bucket count: 32 exact values + 59 log ranges x 32 sub-buckets.
+const BUCKETS: usize = ((64 - PRECISION_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Maps a value to its bucket index.
+#[inline]
+fn index_of(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        value as usize
+    } else {
+        let g = 63 - value.leading_zeros() as u64; // g >= PRECISION_BITS
+        let sub = (value >> (g - PRECISION_BITS as u64)) & (SUB_BUCKETS - 1);
+        ((g - PRECISION_BITS as u64 + 1) * SUB_BUCKETS + sub) as usize
+    }
+}
+
+/// The midpoint of the value range covered by a bucket index — the value we
+/// report for samples that landed in that bucket.
+#[inline]
+fn value_of(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        index
+    } else {
+        let g = index / SUB_BUCKETS - 1 + PRECISION_BITS as u64;
+        let sub = index % SUB_BUCKETS;
+        let width = 1u64 << (g - PRECISION_BITS as u64);
+        (1u64 << g) + sub * width + width / 2
+    }
+}
+
+/// A thread-safe histogram with lock-free recording.
+///
+/// Reads (`mean`, `value_at_quantile`) use relaxed loads and may observe a
+/// momentarily inconsistent count/bucket pair under concurrent writes; the
+/// resulting error is bounded by the handful of in-flight samples, which is
+/// well within the accuracy the policy already trades away for speed (§3).
+/// Use [`AtomicHistogram::snapshot`] when exact self-consistency matters.
+pub struct AtomicHistogram {
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHistogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let counts = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            counts,
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[index_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// `true` if no samples have been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Arithmetic mean of the recorded samples (exact, not quantized), or
+    /// `None` if empty.
+    #[inline]
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.total.load(Ordering::Relaxed);
+        if n == 0 {
+            return None;
+        }
+        Some(self.sum.load(Ordering::Relaxed) as f64 / n as f64)
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// The value at quantile `q` (`0.0..=1.0`), or `None` if empty.
+    ///
+    /// Uses the "lowest value with cumulative count >= ceil(q * n)" rule, so
+    /// `q = 0.5` on {1, 2, 3, 4} reports (the bucket of) 2.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total.load(Ordering::Relaxed);
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some(value_of(i));
+            }
+        }
+        // Concurrent writers may have bumped `total` after we summed the
+        // buckets; fall back to the highest non-empty bucket.
+        self.highest_bucket_value()
+    }
+
+    fn highest_bucket_value(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, c)| c.load(Ordering::Relaxed) > 0)
+            .map(|(i, _)| value_of(i))
+    }
+
+    /// Clears all samples.
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.total.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Copies the current contents into an immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            total,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An immutable, self-consistent copy of a histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if the snapshot holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// The value at quantile `q` (`0.0..=1.0`), or `None` if empty.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(value_of(i));
+            }
+        }
+        unreachable!("rank <= total by construction")
+    }
+
+    /// Merges another snapshot into this one — e.g. to aggregate per-host
+    /// statistics across the brokers of a cluster.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = AtomicHistogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(31));
+        assert_eq!(h.value_at_quantile(0.0), Some(0));
+        assert_eq!(h.value_at_quantile(1.0), Some(31));
+    }
+
+    #[test]
+    fn index_value_round_trip_bounds_error() {
+        // Every value must land in a bucket whose representative value is
+        // within the bucket's width (relative error <= 1/32).
+        for &v in &[
+            1u64,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            123_456,
+            1_000_000,
+            987_654_321,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let rep = value_of(index_of(v));
+            let err = rep.abs_diff(v) as f64 / v as f64;
+            assert!(err <= 1.0 / 32.0, "value {v} rep {rep} err {err}");
+        }
+    }
+
+    #[test]
+    fn indices_are_monotone_and_in_range() {
+        let mut last = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 2 {
+            let i = index_of(v);
+            assert!(i >= last, "index not monotone at {v}");
+            assert!(i < BUCKETS);
+            last = i;
+            v = v.saturating_mul(2).saturating_add(v / 3 + 1);
+        }
+        assert!(index_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn median_of_known_distribution() {
+        let h = AtomicHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1_000); // 1ms..1000ms in us-scale ns
+        }
+        let p50 = h.value_at_quantile(0.5).unwrap();
+        let expected = 500_000u64;
+        let err = p50.abs_diff(expected) as f64 / expected as f64;
+        assert!(err < 0.04, "p50={p50} err={err}");
+        let p90 = h.value_at_quantile(0.9).unwrap();
+        let err = p90.abs_diff(900_000) as f64 / 900_000.0;
+        assert!(err < 0.04, "p90={p90} err={err}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let h = AtomicHistogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(33);
+        assert_eq!(h.mean(), Some(21.0));
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let h = AtomicHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.value_at_quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = AtomicHistogram::new();
+        h.record(5);
+        h.record(500);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.value_at_quantile(0.9), None);
+    }
+
+    #[test]
+    fn snapshot_matches_live() {
+        let h = AtomicHistogram::new();
+        for v in [3u64, 1_000, 50_000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), h.mean());
+        assert_eq!(s.value_at_quantile(0.5), h.value_at_quantile(0.5));
+        assert_eq!(s.min(), Some(3));
+        assert_eq!(s.max(), Some(1_000_000));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+    }
+
+    #[test]
+    fn merged_snapshots_equal_combined_recording() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        let all = AtomicHistogram::new();
+        for v in 0..1000u64 {
+            let target = if v % 2 == 0 { &a } else { &b };
+            target.record(v * 997);
+            all.record(v * 997);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let expected = all.snapshot();
+        assert_eq!(merged.count(), expected.count());
+        assert_eq!(merged.mean(), expected.mean());
+        assert_eq!(merged.min(), expected.min());
+        assert_eq!(merged.max(), expected.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(merged.value_at_quantile(q), expected.value_at_quantile(q));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = AtomicHistogram::new();
+        for v in 0..10_000u64 {
+            h.record(v * v % 1_000_003);
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.value_at_quantile(q).unwrap();
+            assert!(v >= last, "quantile regression at q={q}");
+            last = v;
+        }
+    }
+}

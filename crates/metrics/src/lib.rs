@@ -1,0 +1,39 @@
+//! Measurement substrate for the Bouncer admission-control reproduction.
+//!
+//! Every admission policy in the paper is *measurement-based*: decisions are
+//! driven by statistics gathered from recent query executions. This crate
+//! provides those building blocks, shared by the simulator (virtual time) and
+//! the LIquid-like real system (wall-clock time):
+//!
+//! * [`time`] / [`clock`] — a nanosecond time base and pluggable clocks, so
+//!   the same policy code runs under simulated and real time.
+//! * [`histogram`] — a concurrent log-linear histogram (HdrHistogram-style)
+//!   with lock-free recording and cheap mean/percentile queries.
+//! * [`dual_buffer`] — the paper's dual-buffer technique (§3, footnote 4):
+//!   one histogram is read while a second is populated; the two are swapped
+//!   atomically at the end of each time interval.
+//! * [`sliding`] — a sliding-window histogram (§7's proposed alternative to
+//!   non-overlapping windows), used by the histogram-mode ablation.
+//! * [`window`] — per-query-type sliding-window accepted/received counters
+//!   (the `SW` structure of Algorithms 2 and 3), with O(1) rolling totals.
+//! * [`moving`] — sliding-window moving averages of processing time and
+//!   arrival rate (`pt_mavg`, `qps_mavg`) used by MaxQWT and AcceptFraction.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod dual_buffer;
+pub mod histogram;
+pub mod moving;
+pub(crate) mod ring;
+pub mod sliding;
+pub mod time;
+pub mod window;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use dual_buffer::DualHistogram;
+pub use histogram::{AtomicHistogram, HistogramSnapshot};
+pub use moving::MovingStats;
+pub use sliding::SlidingHistogram;
+pub use time::Nanos;
+pub use window::WindowedCounters;

@@ -1,0 +1,198 @@
+//! Sliding-window moving statistics: `pt_mavg` and `qps_mavg`.
+//!
+//! MaxQWT (§5.2.2) estimates the mean queue wait time from "the moving
+//! average of query processing times in a sliding window of duration `D` and
+//! time step `Δ`, with `D ≫ Δ`" (Eq. 5), and AcceptFraction (§5.2.3)
+//! additionally needs "the moving average of the incoming traffic rate in
+//! queries per second". Both default to D = 60 s, Δ = 1 s in the paper.
+//!
+//! One [`MovingStats`] instance provides both: each recorded sample
+//! contributes to a windowed (count, sum) pair, so `mean()` gives `pt_mavg`
+//! over the samples and `rate_per_sec()` gives `qps_mavg` when every arrival
+//! records a sample.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use crate::ring::RingRotator;
+use crate::time::{Nanos, SECOND};
+
+struct Slot {
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Windowed (count, sum) statistics with O(1) reads.
+pub struct MovingStats {
+    slots: Box<[Slot]>,
+    /// Rolling totals; `i64` for the same benign race tolerance as
+    /// [`crate::window::WindowedCounters`] — reads clamp at zero.
+    count_total: AtomicI64,
+    sum_total: AtomicI64,
+    rotator: RingRotator,
+    duration: Nanos,
+    /// Time of the first recorded sample (`u64::MAX` until then), used to
+    /// avoid over-dividing the rate before a full window has elapsed.
+    started: AtomicU64,
+}
+
+impl std::fmt::Debug for MovingStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MovingStats")
+            .field("duration", &self.duration)
+            .finish()
+    }
+}
+
+impl MovingStats {
+    /// Creates a window of `duration` advanced in steps of `step`.
+    pub fn new(duration: Nanos, step: Nanos) -> Self {
+        assert!(step > 0 && duration >= 2 * step, "window must span >= 2 steps");
+        let n_slots = (duration / step) as usize;
+        Self {
+            slots: (0..n_slots)
+                .map(|_| Slot {
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                })
+                .collect(),
+            count_total: AtomicI64::new(0),
+            sum_total: AtomicI64::new(0),
+            rotator: RingRotator::new(step, n_slots),
+            duration,
+            started: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    #[inline]
+    fn rotate(&self, now: Nanos) {
+        self.rotator.maybe_rotate(now, |idx| {
+            let slot = &self.slots[idx];
+            let c = slot.count.swap(0, Ordering::AcqRel);
+            if c != 0 {
+                self.count_total.fetch_sub(c as i64, Ordering::AcqRel);
+            }
+            let s = slot.sum.swap(0, Ordering::AcqRel);
+            if s != 0 {
+                self.sum_total.fetch_sub(s as i64, Ordering::AcqRel);
+            }
+        });
+    }
+
+    /// Records one sample (e.g. a query's processing time in nanoseconds).
+    #[inline]
+    pub fn record(&self, value: u64, now: Nanos) {
+        self.rotate(now);
+        self.started.fetch_min(now, Ordering::AcqRel);
+        let idx = self.rotator.physical_index(self.rotator.slot_number(now));
+        let slot = &self.slots[idx];
+        self.count_total.fetch_add(1, Ordering::AcqRel);
+        self.sum_total.fetch_add(value as i64, Ordering::AcqRel);
+        slot.count.fetch_add(1, Ordering::AcqRel);
+        slot.sum.fetch_add(value, Ordering::AcqRel);
+    }
+
+    /// Number of samples currently inside the window.
+    #[inline]
+    pub fn count(&self, now: Nanos) -> u64 {
+        self.rotate(now);
+        self.count_total.load(Ordering::Acquire).max(0) as u64
+    }
+
+    /// Moving average of the samples in the window (`pt_mavg`), or `None` if
+    /// the window is empty.
+    #[inline]
+    pub fn mean(&self, now: Nanos) -> Option<f64> {
+        self.rotate(now);
+        let c = self.count_total.load(Ordering::Acquire).max(0);
+        if c == 0 {
+            return None;
+        }
+        let s = self.sum_total.load(Ordering::Acquire).max(0);
+        Some(s as f64 / c as f64)
+    }
+
+    /// Moving average of the sample arrival rate in events per second
+    /// (`qps_mavg` when every arrival records a sample).
+    ///
+    /// Before a full window has elapsed since the first sample, divides by
+    /// the elapsed time instead of the window duration so early readings are
+    /// not biased low.
+    pub fn rate_per_sec(&self, now: Nanos) -> f64 {
+        self.rotate(now);
+        let c = self.count_total.load(Ordering::Acquire).max(0) as f64;
+        let started = self.started.load(Ordering::Acquire);
+        if started == u64::MAX {
+            return 0.0;
+        }
+        let step = self.duration / self.slots.len() as u64;
+        let elapsed = now.saturating_sub(started).clamp(step, self.duration);
+        c * SECOND as f64 / elapsed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{millis, secs};
+
+    #[test]
+    fn mean_over_window() {
+        let m = MovingStats::new(secs(60), secs(1));
+        m.record(10, 0);
+        m.record(20, millis(500));
+        m.record(60, secs(2));
+        assert_eq!(m.mean(secs(3)), Some(30.0));
+        assert_eq!(m.count(secs(3)), 3);
+    }
+
+    #[test]
+    fn empty_window_has_no_mean() {
+        let m = MovingStats::new(secs(60), secs(1));
+        assert_eq!(m.mean(0), None);
+        assert_eq!(m.count(0), 0);
+        assert_eq!(m.rate_per_sec(0), 0.0);
+    }
+
+    #[test]
+    fn samples_expire() {
+        let m = MovingStats::new(secs(10), secs(1));
+        m.record(100, 0);
+        assert_eq!(m.mean(secs(5)), Some(100.0));
+        assert_eq!(m.mean(secs(11)), None);
+    }
+
+    #[test]
+    fn rate_uses_elapsed_before_full_window() {
+        let m = MovingStats::new(secs(60), secs(1));
+        for i in 0..100 {
+            m.record(1, millis(i * 10)); // 100 samples in 1s
+        }
+        let r = m.rate_per_sec(secs(1));
+        assert!((r - 100.0).abs() < 15.0, "rate={r}");
+    }
+
+    #[test]
+    fn rate_uses_window_when_warm() {
+        let m = MovingStats::new(secs(10), secs(1));
+        // 10 samples/s for 20s; only the last 10s stay in the window.
+        for i in 0..200 {
+            m.record(1, millis(i * 100));
+        }
+        let r = m.rate_per_sec(secs(20));
+        assert!((r - 10.0).abs() < 2.0, "rate={r}");
+    }
+
+    #[test]
+    fn rolling_mean_follows_recent_values() {
+        let m = MovingStats::new(secs(10), secs(1));
+        for i in 0..10 {
+            m.record(100, secs(i));
+        }
+        for i in 10..20 {
+            m.record(500, secs(i));
+        }
+        // At t=20s, all 100-valued samples have expired.
+        let mean = m.mean(secs(20)).unwrap();
+        assert!(mean > 480.0, "mean={mean}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Internal helper: time-based ring rotation shared by the sliding-window
+//! structures ([`crate::window`], [`crate::moving`]).
+//!
+//! A window of duration `D` with step `Δ` is a ring of `D/Δ` slots. Writers
+//! and readers call [`RingRotator::maybe_rotate`] with the current time; when
+//! the time has moved into a new slot, expired slots are flushed through a
+//! caller-provided closure under a mutex (rotation is rare — once per `Δ` —
+//! while counting itself stays lock-free).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::time::Nanos;
+
+pub(crate) struct RingRotator {
+    slot_duration: Nanos,
+    n_slots: u64,
+    /// Highest slot number that has been rotated to.
+    cursor: AtomicU64,
+    lock: Mutex<()>,
+}
+
+impl RingRotator {
+    pub(crate) fn new(slot_duration: Nanos, n_slots: usize) -> Self {
+        assert!(slot_duration > 0, "slot duration must be positive");
+        assert!(n_slots >= 2, "need at least two slots");
+        Self {
+            slot_duration,
+            n_slots: n_slots as u64,
+            cursor: AtomicU64::new(0),
+            lock: Mutex::new(()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn slot_number(&self, now: Nanos) -> u64 {
+        now / self.slot_duration
+    }
+
+    #[inline]
+    pub(crate) fn physical_index(&self, slot_number: u64) -> usize {
+        (slot_number % self.n_slots) as usize
+    }
+
+    /// If `now` falls in a newer slot than the cursor, flushes every expired
+    /// slot through `flush(physical_index)` and advances the cursor.
+    ///
+    /// Returns `true` if a rotation happened.
+    #[inline]
+    pub(crate) fn maybe_rotate(&self, now: Nanos, flush: impl FnMut(usize)) -> bool {
+        let slot_no = self.slot_number(now);
+        if slot_no <= self.cursor.load(Ordering::Acquire) {
+            return false;
+        }
+        self.rotate_slow(slot_no, flush)
+    }
+
+    #[cold]
+    fn rotate_slow(&self, slot_no: u64, mut flush: impl FnMut(usize)) -> bool {
+        let _guard = self.lock.lock();
+        let cursor = self.cursor.load(Ordering::Acquire);
+        if slot_no <= cursor {
+            return false; // another thread rotated first
+        }
+        // Each physical slot needs flushing at most once, so when the gap
+        // exceeds the ring size only the trailing `n_slots` numbers matter.
+        let first = (cursor + 1).max(slot_no.saturating_sub(self.n_slots - 1));
+        for s in first..=slot_no {
+            flush(self.physical_index(s));
+        }
+        self.cursor.store(slot_no, Ordering::Release);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_once_per_slot() {
+        let r = RingRotator::new(10, 4);
+        let mut flushed = Vec::new();
+        assert!(!r.maybe_rotate(5, |i| flushed.push(i)));
+        assert!(r.maybe_rotate(10, |i| flushed.push(i)));
+        assert_eq!(flushed, vec![1]);
+        assert!(!r.maybe_rotate(15, |i| flushed.push(i)));
+        assert!(r.maybe_rotate(25, |i| flushed.push(i)));
+        assert_eq!(flushed, vec![1, 2]);
+    }
+
+    #[test]
+    fn large_gap_flushes_each_slot_once() {
+        let r = RingRotator::new(10, 4);
+        let mut flushed = Vec::new();
+        assert!(r.maybe_rotate(1_000, |i| flushed.push(i)));
+        flushed.sort_unstable();
+        assert_eq!(flushed, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn multi_slot_gap_flushes_intermediate_slots() {
+        let r = RingRotator::new(10, 8);
+        r.maybe_rotate(10, |_| {});
+        let mut flushed = Vec::new();
+        r.maybe_rotate(45, |i| flushed.push(i));
+        assert_eq!(flushed, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Sliding-window histogram: the paper's proposed alternative to
+//! non-overlapping dual-buffer windows (§7 future work: "update processing
+//! time histograms in a sliding window, instead of non-overlapping
+//! windows").
+//!
+//! A ring of `K` interval sub-histograms; recording goes into the slot for
+//! the current interval, reads merge the last `K` completed-plus-current
+//! intervals. Compared with [`DualHistogram`](crate::DualHistogram):
+//!
+//! * reads see a window of `K·interval` trailing data instead of exactly
+//!   the previous interval — smoother percentiles, slower reaction;
+//! * fresh samples are visible immediately (no swap boundary);
+//! * reads are much more expensive — each read snapshots and merges every
+//!   sub-histogram — which is why the paper's production system used the
+//!   dual-buffer scheme.
+//!
+//! Rotation reuses the same time-based ring discipline as the window
+//! counters; an interval with no activity is cleared lazily when the ring
+//! wraps back onto its slot.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::histogram::AtomicHistogram;
+use crate::time::Nanos;
+
+/// A histogram over a sliding window of `K` intervals.
+pub struct SlidingHistogram {
+    slots: Box<[AtomicHistogram]>,
+    /// Slot-number (now / interval) currently stored in each slot.
+    epochs: Box<[AtomicU64]>,
+    interval: Nanos,
+    rotate_lock: Mutex<()>,
+    cursor: AtomicU64,
+}
+
+impl std::fmt::Debug for SlidingHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlidingHistogram")
+            .field("intervals", &self.slots.len())
+            .field("interval_ns", &self.interval)
+            .finish()
+    }
+}
+
+impl SlidingHistogram {
+    /// Creates a window of `intervals` sub-histograms, each covering
+    /// `interval` nanoseconds.
+    pub fn new(intervals: usize, interval: Nanos) -> Self {
+        assert!(intervals >= 2, "need at least two intervals");
+        assert!(interval > 0, "interval must be positive");
+        Self {
+            slots: (0..intervals).map(|_| AtomicHistogram::new()).collect(),
+            epochs: (0..intervals).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            interval,
+            rotate_lock: Mutex::new(()),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn slot_no(&self, now: Nanos) -> u64 {
+        now / self.interval
+    }
+
+    /// Clears slots whose data has fallen out of the window.
+    fn rotate(&self, now: Nanos) {
+        let current = self.slot_no(now);
+        if self.cursor.load(Ordering::Acquire) >= current {
+            return;
+        }
+        let _guard = self.rotate_lock.lock();
+        let cursor = self.cursor.load(Ordering::Acquire);
+        if cursor >= current {
+            return;
+        }
+        let k = self.slots.len() as u64;
+        let first = (cursor + 1).max(current.saturating_sub(k - 1));
+        for s in first..=current {
+            let idx = (s % k) as usize;
+            self.slots[idx].reset();
+            self.epochs[idx].store(s, Ordering::Release);
+        }
+        self.cursor.store(current, Ordering::Release);
+    }
+
+    /// Records a sample at time `now`.
+    #[inline]
+    pub fn record(&self, value: u64, now: Nanos) {
+        self.rotate(now);
+        let s = self.slot_no(now);
+        let idx = (s % self.slots.len() as u64) as usize;
+        // The very first interval is never rotated into existence; claim
+        // its epoch on first use.
+        let _ = self.epochs[idx].compare_exchange(
+            u64::MAX,
+            s,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        // A racing rotation may clear this sample; bounded, benign loss —
+        // the same tolerance every estimator in this crate accepts.
+        self.slots[idx].record(value);
+    }
+
+    /// Visits the sub-histograms currently inside the window.
+    fn live_slots(&self, now: Nanos) -> impl Iterator<Item = &AtomicHistogram> {
+        let current = self.slot_no(now);
+        let k = self.slots.len() as u64;
+        self.slots.iter().enumerate().filter_map(move |(i, h)| {
+            let epoch = self.epochs[i].load(Ordering::Acquire);
+            (epoch != u64::MAX && epoch + k > current).then_some(h)
+        })
+    }
+
+    /// Samples currently inside the window.
+    pub fn count(&self, now: Nanos) -> u64 {
+        self.rotate(now);
+        self.live_slots(now).map(|h| h.count()).sum()
+    }
+
+    /// Mean over the window, or `None` if empty.
+    pub fn mean(&self, now: Nanos) -> Option<f64> {
+        self.rotate(now);
+        let mut total = 0u64;
+        let mut weighted = 0.0;
+        for h in self.live_slots(now) {
+            let n = h.count();
+            if let Some(m) = h.mean() {
+                total += n;
+                weighted += m * n as f64;
+            }
+        }
+        (total > 0).then(|| weighted / total as f64)
+    }
+
+    /// Quantile over the window, or `None` if empty.
+    ///
+    /// Merges sub-histogram snapshots; `K`× the cost of a single-histogram
+    /// read, as the module docs warn.
+    pub fn value_at_quantile(&self, q: f64, now: Nanos) -> Option<u64> {
+        self.rotate(now);
+        let mut merged: Option<crate::histogram::HistogramSnapshot> = None;
+        for h in self.live_slots(now) {
+            let snap = h.snapshot();
+            match &mut merged {
+                Some(acc) => acc.merge(&snap),
+                None => merged = Some(snap),
+            }
+        }
+        merged.and_then(|m| m.value_at_quantile(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn fresh_samples_are_visible_immediately() {
+        let h = SlidingHistogram::new(4, secs(1));
+        h.record(100, 0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.mean(0), Some(100.0));
+        // Log-linear quantization: within one bucket width of the value.
+        let p50 = h.value_at_quantile(0.5, 0).unwrap();
+        assert!(p50.abs_diff(100) <= 4, "p50={p50}");
+    }
+
+    #[test]
+    fn window_merges_recent_intervals() {
+        let h = SlidingHistogram::new(3, secs(1));
+        h.record(10, 0); // interval 0
+        h.record(20, secs(1)); // interval 1
+        h.record(30, secs(2)); // interval 2
+        assert_eq!(h.count(secs(2)), 3);
+        assert_eq!(h.mean(secs(2)), Some(20.0));
+    }
+
+    #[test]
+    fn old_intervals_fall_out() {
+        let h = SlidingHistogram::new(3, secs(1));
+        h.record(1_000, 0);
+        h.record(10, secs(2));
+        // At t=3s, interval 0 has left the 3-interval window.
+        assert_eq!(h.count(secs(3)), 1);
+        assert_eq!(h.mean(secs(3)), Some(10.0));
+        // At t=5s, everything is gone.
+        assert_eq!(h.count(secs(5)), 0);
+        assert_eq!(h.mean(secs(5)), None);
+        assert_eq!(h.value_at_quantile(0.9, secs(5)), None);
+    }
+
+    #[test]
+    fn long_gap_clears_all_slots() {
+        let h = SlidingHistogram::new(4, secs(1));
+        for i in 0..8 {
+            h.record(i, secs(i));
+        }
+        assert_eq!(h.count(secs(1_000)), 0);
+    }
+
+    #[test]
+    fn quantiles_merge_across_intervals() {
+        let h = SlidingHistogram::new(4, secs(1));
+        for v in 0..100u64 {
+            h.record(v * 1_000, secs(v % 3));
+        }
+        let p50 = h.value_at_quantile(0.5, secs(2)).unwrap();
+        assert!((p50 as i64 - 49_000).unsigned_abs() < 3_000, "p50={p50}");
+    }
+
+    #[test]
+    fn smoother_than_dual_buffer_under_shift() {
+        // A level shift at t=3s: sliding window (4 intervals) moves
+        // gradually; reads mix old and new data.
+        let h = SlidingHistogram::new(4, secs(1));
+        for i in 0..3 {
+            for _ in 0..100 {
+                h.record(10_000, secs(i));
+            }
+        }
+        for _ in 0..100 {
+            h.record(50_000, secs(3));
+        }
+        let mean = h.mean(secs(3)).unwrap();
+        assert!((mean - 20_000.0).abs() < 500.0, "mean={mean}");
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        use std::sync::Arc;
+        let h = Arc::new(SlidingHistogram::new(4, 1_000_000));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..20_000u64 {
+                        h.record(t * 100 + i % 50, i * 100);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(h.count(2_000_000) > 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Nanosecond time base shared by simulated and real clocks.
+//!
+//! All latencies, wait times, and timestamps in this workspace are plain
+//! `u64` nanosecond counts relative to an arbitrary epoch (simulation start
+//! or process start). A type alias rather than a newtype keeps the arithmetic
+//! in estimator hot paths (Eq. 2–4 of the paper) free of wrapper noise.
+
+/// Nanoseconds since an arbitrary epoch, or a duration in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROSECOND: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// Converts whole microseconds to [`Nanos`].
+#[inline]
+pub const fn micros(us: u64) -> Nanos {
+    us * MICROSECOND
+}
+
+/// Converts whole milliseconds to [`Nanos`].
+#[inline]
+pub const fn millis(ms: u64) -> Nanos {
+    ms * MILLISECOND
+}
+
+/// Converts whole seconds to [`Nanos`].
+#[inline]
+pub const fn secs(s: u64) -> Nanos {
+    s * SECOND
+}
+
+/// Converts fractional milliseconds to [`Nanos`], rounding to nearest.
+#[inline]
+pub fn millis_f64(ms: f64) -> Nanos {
+    (ms * MILLISECOND as f64).round() as Nanos
+}
+
+/// Converts [`Nanos`] to fractional milliseconds (for reporting).
+#[inline]
+pub fn as_millis_f64(ns: Nanos) -> f64 {
+    ns as f64 / MILLISECOND as f64
+}
+
+/// Converts [`Nanos`] to fractional seconds (for reporting).
+#[inline]
+pub fn as_secs_f64(ns: Nanos) -> f64 {
+    ns as f64 / SECOND as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(micros(7), 7_000);
+        assert_eq!(millis(7), 7_000_000);
+        assert_eq!(secs(7), 7_000_000_000);
+        assert_eq!(millis_f64(1.5), 1_500_000);
+        assert_eq!(as_millis_f64(millis(18)), 18.0);
+        assert_eq!(as_secs_f64(secs(3)), 3.0);
+    }
+
+    #[test]
+    fn fractional_millis_round() {
+        assert_eq!(millis_f64(0.0005), 500);
+        // Rounds to nearest nanosecond.
+        assert_eq!(millis_f64(0.000_000_4), 0);
+        assert_eq!(millis_f64(0.000_000_6), 1);
+    }
+}

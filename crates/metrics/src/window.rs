@@ -1,0 +1,244 @@
+//! Sliding-window accepted/received counters per query type — the `SW`
+//! structure of Algorithms 2 and 3.
+//!
+//! "The strategy operates on a sliding window `SW` with duration `D` and time
+//! step `Δ`, where `D ≫ Δ` (e.g. D = 1 s and Δ = 10 ms). The sliding window
+//! tracks the number of accepted queries (`aqc`) and received queries (`rqc`)
+//! per query type." (§4.1)
+//!
+//! Counting is lock-free; a per-type *rolling total* is maintained alongside
+//! the ring slots so `accepted_count` / `received_count` — and the all-types
+//! average acceptance ratio that Algorithm 3 computes on every overridden
+//! rejection — are O(1) atomic loads instead of O(slots) sums.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use crate::ring::RingRotator;
+use crate::time::Nanos;
+
+struct Slot {
+    accepted: Box<[AtomicU64]>,
+    received: Box<[AtomicU64]>,
+}
+
+impl Slot {
+    fn new(n_types: usize) -> Self {
+        Self {
+            accepted: (0..n_types).map(|_| AtomicU64::new(0)).collect(),
+            received: (0..n_types).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Per-query-type accepted/received counts over a sliding window.
+pub struct WindowedCounters {
+    slots: Box<[Slot]>,
+    /// Rolling totals; `i64` because a racing flush can transiently observe
+    /// a slot increment before the matching total increment. Reads clamp at
+    /// zero, bounding the error to the handful of in-flight operations.
+    accepted_total: Box<[AtomicI64]>,
+    received_total: Box<[AtomicI64]>,
+    rotator: RingRotator,
+    n_types: usize,
+}
+
+impl std::fmt::Debug for WindowedCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedCounters")
+            .field("n_types", &self.n_types)
+            .finish()
+    }
+}
+
+impl WindowedCounters {
+    /// Creates a window of duration `duration` advanced in steps of `step`,
+    /// tracking `n_types` query types. `duration` should be much larger than
+    /// `step` (the paper suggests D = 1 s, Δ = 10 ms).
+    pub fn new(n_types: usize, duration: Nanos, step: Nanos) -> Self {
+        assert!(n_types > 0, "need at least one query type");
+        assert!(step > 0 && duration >= 2 * step, "window must span >= 2 steps");
+        let n_slots = (duration / step) as usize;
+        Self {
+            slots: (0..n_slots).map(|_| Slot::new(n_types)).collect(),
+            accepted_total: (0..n_types).map(|_| AtomicI64::new(0)).collect(),
+            received_total: (0..n_types).map(|_| AtomicI64::new(0)).collect(),
+            rotator: RingRotator::new(step, n_slots),
+            n_types,
+        }
+    }
+
+    /// Number of query types this window tracks.
+    #[inline]
+    pub fn n_types(&self) -> usize {
+        self.n_types
+    }
+
+    #[inline]
+    fn rotate(&self, now: Nanos) {
+        self.rotator.maybe_rotate(now, |idx| {
+            let slot = &self.slots[idx];
+            for t in 0..self.n_types {
+                let a = slot.accepted[t].swap(0, Ordering::AcqRel);
+                if a != 0 {
+                    self.accepted_total[t].fetch_sub(a as i64, Ordering::AcqRel);
+                }
+                let r = slot.received[t].swap(0, Ordering::AcqRel);
+                if r != 0 {
+                    self.received_total[t].fetch_sub(r as i64, Ordering::AcqRel);
+                }
+            }
+        });
+    }
+
+    /// Records one received query of type `type_idx`, and whether it was
+    /// accepted. (`SW.IncrementQueryCount` / `SW.IncrementAcceptedQueryCount`.)
+    #[inline]
+    pub fn record(&self, type_idx: usize, accepted: bool, now: Nanos) {
+        self.rotate(now);
+        let idx = self.rotator.physical_index(self.rotator.slot_number(now));
+        let slot = &self.slots[idx];
+        // Totals first: a flush that races with us may then miss the slot
+        // increment (leaving the sample counted until the next wrap) but can
+        // never drive a total negative by more than the in-flight ops.
+        self.received_total[type_idx].fetch_add(1, Ordering::AcqRel);
+        slot.received[type_idx].fetch_add(1, Ordering::AcqRel);
+        if accepted {
+            self.accepted_total[type_idx].fetch_add(1, Ordering::AcqRel);
+            slot.accepted[type_idx].fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Accepted queries of `type_idx` within the window (`GetAcceptedQueryCount`).
+    #[inline]
+    pub fn accepted_count(&self, type_idx: usize, now: Nanos) -> u64 {
+        self.rotate(now);
+        self.accepted_total[type_idx].load(Ordering::Acquire).max(0) as u64
+    }
+
+    /// Received (accepted + rejected) queries of `type_idx` within the window
+    /// (`GetQueryCount`).
+    #[inline]
+    pub fn received_count(&self, type_idx: usize, now: Nanos) -> u64 {
+        self.rotate(now);
+        self.received_total[type_idx].load(Ordering::Acquire).max(0) as u64
+    }
+
+    /// Both counts with a single rotation check.
+    #[inline]
+    pub fn counts(&self, type_idx: usize, now: Nanos) -> (u64, u64) {
+        self.rotate(now);
+        (
+            self.accepted_total[type_idx].load(Ordering::Acquire).max(0) as u64,
+            self.received_total[type_idx].load(Ordering::Acquire).max(0) as u64,
+        )
+    }
+
+    /// Visits `(accepted, received)` for every type with one rotation check —
+    /// used by Algorithm 3's average-acceptance-ratio computation.
+    #[inline]
+    pub fn for_each_type(&self, now: Nanos, mut f: impl FnMut(usize, u64, u64)) {
+        self.rotate(now);
+        for t in 0..self.n_types {
+            f(
+                t,
+                self.accepted_total[t].load(Ordering::Acquire).max(0) as u64,
+                self.received_total[t].load(Ordering::Acquire).max(0) as u64,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: Nanos = 1_000; // 1000ns window
+    const STEP: Nanos = 10;
+
+    #[test]
+    fn counts_accumulate_within_window() {
+        let w = WindowedCounters::new(2, D, STEP);
+        w.record(0, true, 0);
+        w.record(0, false, 1);
+        w.record(1, true, 2);
+        assert_eq!(w.counts(0, 5), (1, 2));
+        assert_eq!(w.counts(1, 5), (1, 1));
+    }
+
+    #[test]
+    fn counts_expire_after_window() {
+        let w = WindowedCounters::new(1, D, STEP);
+        w.record(0, true, 0);
+        assert_eq!(w.received_count(0, 500), 1);
+        // After a full window duration the slot has been recycled.
+        assert_eq!(w.received_count(0, D + STEP), 0);
+        assert_eq!(w.accepted_count(0, D + STEP), 0);
+    }
+
+    #[test]
+    fn partial_expiry_drops_only_old_slots() {
+        let w = WindowedCounters::new(1, D, STEP);
+        w.record(0, true, 0); // slot 0
+        w.record(0, true, 500); // slot 50
+        // At t=1005 slot 0 (covering [0,10)) has expired, slot 50 has not.
+        assert_eq!(w.accepted_count(0, 1_005), 1);
+        // At t=1505 both are gone.
+        assert_eq!(w.accepted_count(0, 1_505), 0);
+    }
+
+    #[test]
+    fn for_each_type_reports_all() {
+        let w = WindowedCounters::new(3, D, STEP);
+        w.record(0, true, 0);
+        w.record(2, false, 0);
+        let mut seen = Vec::new();
+        w.for_each_type(1, |t, a, r| seen.push((t, a, r)));
+        assert_eq!(seen, vec![(0, 1, 1), (1, 0, 0), (2, 0, 1)]);
+    }
+
+    #[test]
+    fn rejected_only_affects_received() {
+        let w = WindowedCounters::new(1, D, STEP);
+        for i in 0..10 {
+            w.record(0, false, i);
+        }
+        assert_eq!(w.counts(0, 20), (0, 10));
+    }
+
+    #[test]
+    fn long_idle_period_clears_everything() {
+        let w = WindowedCounters::new(2, D, STEP);
+        for i in 0..100 {
+            w.record(i as usize % 2, true, i);
+        }
+        assert_eq!(w.counts(0, 100), (50, 50));
+        // Jump far beyond any multiple of the ring size.
+        assert_eq!(w.counts(0, 1_000_000), (0, 0));
+        assert_eq!(w.counts(1, 1_000_000), (0, 0));
+    }
+
+    #[test]
+    fn totals_match_slot_sums_under_concurrency() {
+        use std::sync::Arc;
+        let w = Arc::new(WindowedCounters::new(4, 1_000_000, 10_000));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for i in 0..50_000u64 {
+                        w.record(t, i % 3 != 0, i * 17 % 900_000);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All records landed within one window duration, nothing expired.
+        for t in 0..4 {
+            let (a, r) = w.counts(t, 900_000);
+            assert_eq!(r, 50_000);
+            assert!(a > 30_000 && a < 35_000, "a={a}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the measurement substrate.
+
+use bouncer_metrics::histogram::AtomicHistogram;
+use bouncer_metrics::window::WindowedCounters;
+use bouncer_metrics::MovingStats;
+use proptest::prelude::*;
+
+/// Exact quantile on sorted data using the same "lowest value with cumulative
+/// count >= ceil(q*n)" rule the histogram implements.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// The histogram's quantile must stay within its quantization error
+    /// (one part in 32) of the exact quantile of the recorded samples.
+    #[test]
+    fn histogram_quantile_tracks_exact(
+        mut values in prop::collection::vec(0u64..=10_000_000_000, 1..500),
+        qs in prop::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let h = AtomicHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in qs {
+            let approx = h.value_at_quantile(q).unwrap();
+            let exact = exact_quantile(&values, q);
+            // Bucket midpoints can deviate by half a bucket width either way.
+            let tolerance = (exact / 32).max(1);
+            prop_assert!(
+                approx.abs_diff(exact) <= tolerance,
+                "q={q} approx={approx} exact={exact}"
+            );
+        }
+    }
+
+    /// Count and mean are exact regardless of the values recorded.
+    #[test]
+    fn histogram_count_and_mean_are_exact(
+        values in prop::collection::vec(0u64..=1_000_000_000, 1..300),
+    ) {
+        let h = AtomicHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let exact_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean().unwrap() - exact_mean).abs() < 1e-6);
+        prop_assert_eq!(h.min(), values.iter().min().copied());
+        prop_assert_eq!(h.max(), values.iter().max().copied());
+    }
+
+    /// Quantiles are monotone in q for arbitrary data.
+    #[test]
+    fn histogram_quantiles_monotone(
+        values in prop::collection::vec(0u64..=u64::MAX / 2, 1..200),
+    ) {
+        let h = AtomicHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let v = h.value_at_quantile(i as f64 / 20.0).unwrap();
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// Windowed counters match a brute-force recount over the same event
+    /// sequence, for any sequence of (type, accepted, time-delta) events.
+    #[test]
+    fn window_counts_match_bruteforce(
+        events in prop::collection::vec(
+            (0usize..4, any::<bool>(), 0u64..200),
+            1..300,
+        ),
+    ) {
+        const DURATION: u64 = 1_000;
+        const STEP: u64 = 50;
+        let w = WindowedCounters::new(4, DURATION, STEP);
+        let mut now = 0u64;
+        let mut log: Vec<(u64, usize, bool)> = Vec::new();
+        for (ty, acc, dt) in events {
+            now += dt;
+            w.record(ty, acc, now);
+            log.push((now, ty, acc));
+        }
+        // The window retains exactly the slots for slot numbers in
+        // (slot(now) - n_slots, slot(now)]: an event at time t is live iff
+        // slot(t) > slot(now) - n_slots.
+        let n_slots = DURATION / STEP;
+        let cur_slot = now / STEP;
+        for ty in 0..4 {
+            let mut acc = 0u64;
+            let mut recv = 0u64;
+            for &(t, ety, ea) in &log {
+                let live = t / STEP + n_slots > cur_slot;
+                if live && ety == ty {
+                    recv += 1;
+                    if ea {
+                        acc += 1;
+                    }
+                }
+            }
+            let (wa, wr) = w.counts(ty, now);
+            prop_assert_eq!((wa, wr), (acc, recv), "type {}", ty);
+        }
+    }
+
+    /// Moving stats mean equals the brute-force mean of live samples.
+    #[test]
+    fn moving_mean_matches_bruteforce(
+        events in prop::collection::vec((1u64..1_000_000, 0u64..500), 1..200),
+    ) {
+        const DURATION: u64 = 5_000;
+        const STEP: u64 = 100;
+        let m = MovingStats::new(DURATION, STEP);
+        let mut now = 0u64;
+        let mut log: Vec<(u64, u64)> = Vec::new();
+        for (value, dt) in events {
+            now += dt;
+            m.record(value, now);
+            log.push((now, value));
+        }
+        let n_slots = DURATION / STEP;
+        let cur_slot = now / STEP;
+        let live: Vec<u64> = log
+            .iter()
+            .filter(|&&(t, _)| t / STEP + n_slots > cur_slot)
+            .map(|&(_, v)| v)
+            .collect();
+        prop_assert_eq!(m.count(now), live.len() as u64);
+        match m.mean(now) {
+            None => prop_assert!(live.is_empty()),
+            Some(mean) => {
+                let exact = live.iter().map(|&v| v as f64).sum::<f64>() / live.len() as f64;
+                prop_assert!((mean - exact).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The event loop: arrivals, completions, and periodic ticks over a FIFO
+//! queue drained by `P` simulated engine processes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::queue::{SimDiscipline, SimQueue};
+
+use bouncer_core::framework::ServerStats;
+use bouncer_core::policy::{AdmissionPolicy, RejectReason};
+use bouncer_core::types::TypeId;
+use bouncer_metrics::time::{millis, Nanos, SECOND};
+use bouncer_workload::dist::Exponential;
+use bouncer_workload::mix::QueryMix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::result::SimResult;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// `P`: number of query-engine processes (the paper simulates 100).
+    pub parallelism: u32,
+    /// Offered traffic rate, queries per second.
+    pub rate_qps: f64,
+    /// Queries generated *after* warm-up; the paper's runs produce 1.5 M.
+    pub measured_queries: u64,
+    /// Warm-up queries preceding measurement ("preceded by a warm-up phase
+    /// to avoid capturing cold start effects").
+    pub warmup_queries: u64,
+    /// RNG seed (arrivals, types, processing times, policy coin flips are
+    /// separate draws from this stream, so runs are reproducible).
+    pub seed: u64,
+    /// How often policy maintenance runs (histogram swaps etc.).
+    pub tick_interval: Nanos,
+    /// Optional `L_limit` bound on the FIFO queue (§5.4 uses 800; the
+    /// simulation study leaves it unbounded).
+    pub max_queue_len: Option<usize>,
+    /// Queue service discipline (the paper's deployment is FIFO; the
+    /// priority and SJF variants support the §7 scheduling ablation).
+    pub discipline: SimDiscipline,
+    /// Optional time-varying rate: `(from_time, multiplier)` steps applied
+    /// on top of `rate_qps`, sorted by time. Models the traffic surges that
+    /// motivate the paper (§1): e.g. `[(0, 1.0), (10s, 1.5), (30s, 1.0)]`
+    /// is a 20-second 1.5× surge. Empty = constant rate.
+    pub rate_steps: Vec<(Nanos, f64)>,
+}
+
+impl SimConfig {
+    /// The §5.3 setup: `P = 100`, 1.5 M measured queries, 100 k warm-up,
+    /// 100 ms ticks, unbounded queue.
+    pub fn paper(rate_qps: f64, seed: u64) -> Self {
+        Self {
+            parallelism: 100,
+            rate_qps,
+            measured_queries: 1_500_000,
+            warmup_queries: 100_000,
+            seed,
+            tick_interval: millis(100),
+            max_queue_len: None,
+            discipline: SimDiscipline::Fifo,
+            rate_steps: Vec::new(),
+        }
+    }
+
+    /// A scaled-down variant for tests and quick sweeps: same shape, fewer
+    /// queries.
+    pub fn quick(rate_qps: f64, seed: u64) -> Self {
+        Self {
+            measured_queries: 150_000,
+            warmup_queries: 30_000,
+            ..Self::paper(rate_qps, seed)
+        }
+    }
+}
+
+/// A pending event in virtual time. Ordering: earliest first; sequence
+/// number breaks ties deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    at: Nanos,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A query of the given type and processing time arrives.
+    Arrival { ty: TypeId, pt: Nanos },
+    /// An engine process finishes the query it started.
+    Completion {
+        ty: TypeId,
+        pt: Nanos,
+        enqueued_at: Nanos,
+        dequeued_at: Nanos,
+    },
+    /// Periodic policy maintenance.
+    Tick,
+}
+
+/// Runs one simulation: drives `policy` with Poisson arrivals from `mix`
+/// until `cfg.measured_queries` post-warm-up queries have arrived, then
+/// drains, and returns the measured statistics.
+pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> SimResult {
+    assert!(cfg.parallelism > 0 && cfg.rate_qps > 0.0);
+    let n_types = mix.max_type_index();
+    let stats = ServerStats::new(n_types);
+    stats.disable(); // warm-up first
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    debug_assert!(
+        cfg.rate_steps.windows(2).all(|w| w[0].0 <= w[1].0),
+        "rate_steps must be sorted by time"
+    );
+    // Current rate multiplier per the surge profile (step function).
+    let multiplier_at = |now: Nanos| -> f64 {
+        cfg.rate_steps
+            .iter()
+            .rev()
+            .find(|&&(from, _)| now >= from)
+            .map(|&(_, m)| m)
+            .unwrap_or(1.0)
+    };
+    let gap_at = |now: Nanos, rng: &mut SmallRng| -> Nanos {
+        let rate = cfg.rate_qps * multiplier_at(now);
+        let arrivals = Exponential::new(rate / SECOND as f64); // events per ns
+        (arrivals.sample(rng) as Nanos).max(1)
+    };
+
+    let mut heap: BinaryHeap<Reverse<(EventKey, u64)>> = BinaryHeap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut seq = 0u64;
+    let mut schedule = |heap: &mut BinaryHeap<Reverse<(EventKey, u64)>>,
+                        events: &mut Vec<Event>,
+                        at: Nanos,
+                        ev: Event| {
+        let idx = events.len() as u64;
+        events.push(ev);
+        heap.push(Reverse((EventKey { at, seq }, idx)));
+        seq += 1;
+    };
+
+    let mut queue = SimQueue::new(cfg.discipline.clone());
+    let mut idle = cfg.parallelism;
+
+    let total_arrivals = cfg.warmup_queries + cfg.measured_queries;
+    let mut generated = 0u64;
+    let mut measuring_since: Option<Nanos> = None;
+
+    // Seed the event stream.
+    {
+        let class = mix.sample_class(&mut rng);
+        let pt = class.sample_processing(&mut rng);
+        let at = gap_at(0, &mut rng);
+        schedule(&mut heap, &mut events, at, Event::Arrival { ty: class.ty, pt });
+    }
+    schedule(&mut heap, &mut events, cfg.tick_interval, Event::Tick);
+
+    let mut now: Nanos = 0;
+    let mut in_flight = 0u64; // queued + processing
+
+    while let Some(Reverse((key, idx))) = heap.pop() {
+        now = key.at;
+        match events[idx as usize] {
+            Event::Tick => {
+                policy.on_tick(now);
+                // Keep ticking while work remains.
+                if generated < total_arrivals || in_flight > 0 {
+                    schedule(&mut heap, &mut events, now + cfg.tick_interval, Event::Tick);
+                }
+            }
+            Event::Arrival { ty, pt } => {
+                generated += 1;
+                if generated == cfg.warmup_queries + 1 && measuring_since.is_none() {
+                    stats.reset(now);
+                    stats.enable();
+                    measuring_since = Some(now);
+                }
+
+                stats.on_received(ty);
+                let mut decision = policy.admit(ty, now);
+                if decision.is_accept() {
+                    if let Some(limit) = cfg.max_queue_len {
+                        if queue.len() >= limit {
+                            decision = bouncer_core::policy::Decision::Reject(
+                                RejectReason::QueueFull,
+                            );
+                        }
+                    }
+                }
+                match decision {
+                    bouncer_core::policy::Decision::Reject(reason) => {
+                        stats.on_rejected(ty, reason);
+                    }
+                    bouncer_core::policy::Decision::Accept => {
+                        stats.on_accepted(ty);
+                        in_flight += 1;
+                        policy.on_enqueued(ty, now);
+                        if idle > 0 {
+                            // An idle process picks it up immediately.
+                            idle -= 1;
+                            policy.on_dequeued(ty, 0, now);
+                            schedule(
+                                &mut heap,
+                                &mut events,
+                                now + pt,
+                                Event::Completion {
+                                    ty,
+                                    pt,
+                                    enqueued_at: now,
+                                    dequeued_at: now,
+                                },
+                            );
+                        } else {
+                            queue.push(ty, pt, now);
+                        }
+                    }
+                }
+
+                if generated < total_arrivals {
+                    let class = mix.sample_class(&mut rng);
+                    let pt = class.sample_processing(&mut rng);
+                    let gap = gap_at(now, &mut rng);
+                    schedule(
+                        &mut heap,
+                        &mut events,
+                        now + gap,
+                        Event::Arrival { ty: class.ty, pt },
+                    );
+                }
+            }
+            Event::Completion {
+                ty,
+                pt,
+                enqueued_at,
+                dequeued_at,
+            } => {
+                policy.on_completed(ty, pt, now);
+                let wait = dequeued_at - enqueued_at;
+                stats.on_completed(ty, wait, pt);
+                in_flight -= 1;
+
+                if let Some(next) = queue.pop() {
+                    let wait = now - next.enqueued_at;
+                    policy.on_dequeued(next.ty, wait, now);
+                    schedule(
+                        &mut heap,
+                        &mut events,
+                        now + next.pt,
+                        Event::Completion {
+                            ty: next.ty,
+                            pt: next.pt,
+                            enqueued_at: next.enqueued_at,
+                            dequeued_at: now,
+                        },
+                    );
+                } else {
+                    idle += 1;
+                }
+            }
+        }
+    }
+
+    let started = measuring_since.unwrap_or(0);
+    SimResult {
+        policy_name: policy.name().to_owned(),
+        rate_qps: cfg.rate_qps,
+        stats: stats.snapshot(now, cfg.parallelism),
+        duration: now.saturating_sub(started),
+    }
+}

@@ -1,0 +1,204 @@
+//! Simulated queue with pluggable service disciplines.
+//!
+//! The paper's LIquid serves admitted queries in FIFO order and leaves
+//! other disciplines as future work (§6/§7). The simulator supports three,
+//! for the scheduling ablation:
+//!
+//! * [`SimDiscipline::Fifo`] — the paper's order;
+//! * [`SimDiscipline::PriorityByType`] — §7's priority extension;
+//! * [`SimDiscipline::ShortestJobFirst`] — the discipline Gatekeeper
+//!   (Elnikety et al., §6) pairs with its admission control. Only the
+//!   simulator can implement true SJF, since it knows each query's
+//!   processing time a priori; a real system would need predictions.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use bouncer_core::types::TypeId;
+use bouncer_metrics::Nanos;
+
+/// Service discipline for the simulated queue.
+#[derive(Debug, Clone, Default)]
+pub enum SimDiscipline {
+    /// First-come, first-served (the paper's deployment).
+    #[default]
+    Fifo,
+    /// Higher-priority types first; FIFO within a level.
+    /// `priorities[TypeId::index()]`, missing entries = 0.
+    PriorityByType(Vec<u8>),
+    /// Shortest processing time first (oracle SJF).
+    ShortestJobFirst,
+}
+
+/// One waiting query.
+#[derive(Debug, Clone, Copy)]
+pub struct SimQueued {
+    /// Query type.
+    pub ty: TypeId,
+    /// Pre-drawn processing time.
+    pub pt: Nanos,
+    /// Enqueue timestamp.
+    pub enqueued_at: Nanos,
+}
+
+#[derive(Debug)]
+struct Ranked {
+    /// Cost key: *lower* cost is served first (`Reverse` turns the
+    /// max-heap into a min-heap on this).
+    cost: Reverse<u64>,
+    /// FIFO tie-break: older first.
+    seq: Reverse<u64>,
+    item: SimQueued,
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.seq == other.seq
+    }
+}
+impl Eq for Ranked {}
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost.cmp(&other.cost).then(self.seq.cmp(&other.seq))
+    }
+}
+
+enum Store {
+    Fifo(VecDeque<SimQueued>),
+    Ranked {
+        heap: BinaryHeap<Ranked>,
+        priorities: Option<Vec<u8>>,
+        next_seq: u64,
+    },
+}
+
+/// The simulated admitted-query queue.
+pub struct SimQueue {
+    store: Store,
+}
+
+impl SimQueue {
+    /// Creates a queue with the given discipline.
+    pub fn new(discipline: SimDiscipline) -> Self {
+        let store = match discipline {
+            SimDiscipline::Fifo => Store::Fifo(VecDeque::new()),
+            SimDiscipline::PriorityByType(priorities) => Store::Ranked {
+                heap: BinaryHeap::new(),
+                priorities: Some(priorities),
+                next_seq: 0,
+            },
+            SimDiscipline::ShortestJobFirst => Store::Ranked {
+                heap: BinaryHeap::new(),
+                priorities: None,
+                next_seq: 0,
+            },
+        };
+        Self { store }
+    }
+
+    /// Number of waiting queries.
+    pub fn len(&self) -> usize {
+        match &self.store {
+            Store::Fifo(q) => q.len(),
+            Store::Ranked { heap, .. } => heap.len(),
+        }
+    }
+
+    /// `true` when no queries wait.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a query.
+    pub fn push(&mut self, ty: TypeId, pt: Nanos, enqueued_at: Nanos) {
+        let item = SimQueued { ty, pt, enqueued_at };
+        match &mut self.store {
+            Store::Fifo(q) => q.push_back(item),
+            Store::Ranked {
+                heap,
+                priorities,
+                next_seq,
+            } => {
+                // Priority mode: higher priority = lower cost. SJF mode:
+                // the processing time is the cost.
+                let cost = match priorities {
+                    Some(p) => u64::MAX - p.get(ty.index()).copied().unwrap_or(0) as u64,
+                    None => pt,
+                };
+                heap.push(Ranked {
+                    cost: Reverse(cost),
+                    seq: Reverse(*next_seq),
+                    item,
+                });
+                *next_seq += 1;
+            }
+        }
+    }
+
+    /// Dequeues the next query per the discipline.
+    pub fn pop(&mut self) -> Option<SimQueued> {
+        match &mut self.store {
+            Store::Fifo(q) => q.pop_front(),
+            Store::Ranked { heap, .. } => heap.pop().map(|r| r.item),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(i: u32) -> TypeId {
+        TypeId::from_index(i)
+    }
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut q = SimQueue::new(SimDiscipline::Fifo);
+        for i in 0..5 {
+            q.push(ty(0), 100, i);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().enqueued_at, i);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn priority_serves_high_types_first_fifo_within() {
+        let mut q = SimQueue::new(SimDiscipline::PriorityByType(vec![0, 7]));
+        q.push(ty(0), 1, 10);
+        q.push(ty(1), 1, 20);
+        q.push(ty(0), 1, 30);
+        q.push(ty(1), 1, 40);
+        let order: Vec<Nanos> = std::iter::from_fn(|| q.pop().map(|i| i.enqueued_at)).collect();
+        assert_eq!(order, vec![20, 40, 10, 30]);
+    }
+
+    #[test]
+    fn sjf_serves_shortest_first_fifo_on_ties() {
+        let mut q = SimQueue::new(SimDiscipline::ShortestJobFirst);
+        q.push(ty(0), 500, 1);
+        q.push(ty(0), 100, 2);
+        q.push(ty(0), 300, 3);
+        q.push(ty(0), 100, 4);
+        let order: Vec<Nanos> = std::iter::from_fn(|| q.pop().map(|i| i.enqueued_at)).collect();
+        assert_eq!(order, vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = SimQueue::new(SimDiscipline::ShortestJobFirst);
+        assert_eq!(q.len(), 0);
+        q.push(ty(0), 10, 0);
+        q.push(ty(0), 20, 1);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

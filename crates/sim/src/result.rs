@@ -1,0 +1,83 @@
+//! Simulation results and the accessors experiments report on.
+
+use bouncer_core::framework::StatsSnapshot;
+use bouncer_core::types::TypeId;
+use bouncer_metrics::time::{as_millis_f64, Nanos};
+
+/// Measured outcome of one simulation run (post-warm-up window only).
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The policy that gated admissions.
+    pub policy_name: String,
+    /// The offered rate, queries per second.
+    pub rate_qps: f64,
+    /// Host statistics over the measured window.
+    pub stats: StatsSnapshot,
+    /// Measured window duration (virtual nanoseconds).
+    pub duration: Nanos,
+}
+
+impl SimResult {
+    /// Response-time quantile for serviced queries of `ty`, in ms.
+    pub fn response_ms(&self, ty: TypeId, q: f64) -> Option<f64> {
+        self.stats.per_type[ty.index()]
+            .response
+            .value_at_quantile(q)
+            .map(as_millis_f64)
+    }
+
+    /// Processing-time quantile for serviced queries of `ty`, in ms.
+    pub fn processing_ms(&self, ty: TypeId, q: f64) -> Option<f64> {
+        self.stats.per_type[ty.index()]
+            .processing
+            .value_at_quantile(q)
+            .map(as_millis_f64)
+    }
+
+    /// Per-type rejection percentage (0–100).
+    pub fn rejection_pct(&self, ty: TypeId) -> f64 {
+        self.stats.rejection_ratio(ty) * 100.0
+    }
+
+    /// Overall rejection percentage (0–100).
+    pub fn overall_rejection_pct(&self) -> f64 {
+        self.stats.overall_rejection_ratio() * 100.0
+    }
+
+    /// Engine utilization percentage (0–100).
+    pub fn utilization_pct(&self) -> f64 {
+        self.stats.utilization * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bouncer_core::framework::ServerStats;
+    use bouncer_core::policy::RejectReason;
+    use bouncer_metrics::time::{millis, secs};
+
+    #[test]
+    fn accessors_derive_from_snapshot() {
+        let stats = ServerStats::new(2);
+        for _ in 0..10 {
+            stats.on_received(TypeId::from_index(1));
+        }
+        stats.on_rejected(TypeId::from_index(1), RejectReason::PredictedSloViolation);
+        stats.on_completed(TypeId::from_index(1), millis(5), millis(15));
+        let r = SimResult {
+            policy_name: "x".into(),
+            rate_qps: 1000.0,
+            stats: stats.snapshot(secs(1), 10),
+            duration: secs(1),
+        };
+        assert!((r.rejection_pct(TypeId::from_index(1)) - 10.0).abs() < 1e-9);
+        assert!((r.overall_rejection_pct() - 10.0).abs() < 1e-9);
+        let rt = r.response_ms(TypeId::from_index(1), 0.5).unwrap();
+        assert!((rt - 20.0).abs() < 1.0, "rt={rt}");
+        let pt = r.processing_ms(TypeId::from_index(1), 0.5).unwrap();
+        assert!((pt - 15.0).abs() < 1.0, "pt={pt}");
+        assert!(r.utilization_pct() > 0.0);
+        assert_eq!(r.response_ms(TypeId::from_index(0), 0.5), None);
+    }
+}

@@ -1,0 +1,249 @@
+//! Random distributions used by the paper's workloads.
+//!
+//! Implemented from first principles on top of `rand`'s uniform source (the
+//! `rand_distr` companion crate is outside this workspace's approved
+//! dependency set, and the three distributions needed are small):
+//!
+//! * standard normal via Box–Muller,
+//! * [`LogNormal`] — processing times (§5.3, Table 1),
+//! * [`Exponential`] — inter-arrival gaps ("generated from an exponential
+//!   distribution to simulate traffic burstiness", §5.3).
+//!
+//! [`LogNormal`] supports fitting from published summary statistics: the
+//! paper's Table 1 reports per-type `(mean, p50, p90)`, and fitting `(p50,
+//! p90)` exactly reproduces the reported means within a few percent — see
+//! the `table1` tests in [`crate::mix`].
+
+use rand::{Rng, RngExt};
+
+/// z-value of the standard normal at the 90th percentile.
+pub const Z90: f64 = 1.281_551_565_545;
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+#[inline]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Inverse CDF of the standard normal (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 over (0, 1)).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// A lognormal distribution: `exp(μ + σZ)` with `Z ~ N(0,1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// From the underlying normal's parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Self { mu, sigma }
+    }
+
+    /// Fits the distribution to a given median (= p50) and 90th percentile.
+    ///
+    /// `median = e^μ` and `p90 = e^(μ + z₉₀σ)`, so
+    /// `μ = ln(median)`, `σ = ln(p90/median) / z₉₀`.
+    pub fn from_median_p90(median: f64, p90: f64) -> Self {
+        assert!(median > 0.0 && p90 >= median, "need 0 < median <= p90");
+        Self::new(median.ln(), (p90 / median).ln() / Z90)
+    }
+
+    /// Fits the distribution to a given mean and median.
+    ///
+    /// `mean = e^(μ + σ²/2)` and `median = e^μ`, so
+    /// `μ = ln(median)`, `σ = sqrt(2 ln(mean/median))`.
+    pub fn from_mean_median(mean: f64, median: f64) -> Self {
+        assert!(median > 0.0 && mean >= median, "need 0 < median <= mean");
+        Self::new(median.ln(), (2.0 * (mean / median).ln()).sqrt())
+    }
+
+    /// The distribution mean, `e^(μ + σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// The distribution median, `e^μ`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The value at quantile `q ∈ (0, 1)`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        (self.mu + self.sigma * normal_quantile(q)).exp()
+    }
+
+    /// Draws a sample.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// An exponential distribution with the given rate (events per unit time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates the distribution; `rate` must be positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive, got {rate}");
+        Self { rate }
+    }
+
+    /// The mean inter-event gap, `1/rate`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws a sample via inverse-CDF.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xB0C5)
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.9) - Z90).abs() < 1e-8);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-5);
+        assert!((normal_quantile(0.025) + 1.959_964).abs() < 1e-5);
+        assert!((normal_quantile(0.001) + 3.090_232).abs() < 1e-5);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn lognormal_fit_from_median_p90_round_trips() {
+        let d = LogNormal::from_median_p90(12.51, 44.26);
+        assert!((d.median() - 12.51).abs() < 1e-9);
+        assert!((d.quantile(0.9) - 44.26).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lognormal_fit_from_mean_median_round_trips() {
+        let d = LogNormal::from_mean_median(20.05, 12.51);
+        assert!((d.mean() - 20.05).abs() < 1e-9);
+        assert!((d.median() - 12.51).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_samples_match_parameters() {
+        let d = LogNormal::from_median_p90(7.40, 26.44);
+        let mut r = rng();
+        let n = 200_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = samples[n / 2];
+        let p90 = samples[n * 9 / 10];
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((p50 - 7.40).abs() / 7.40 < 0.03, "p50={p50}");
+        assert!((p90 - 26.44).abs() / 26.44 < 0.03, "p90={p90}");
+        assert!((mean - d.mean()).abs() / d.mean() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_mean_and_memorylessness_shape() {
+        let e = Exponential::new(2.0);
+        assert_eq!(e.mean(), 0.5);
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| e.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+        // P(X > t) = e^(-2t): check t = 0.5 -> ~0.3679.
+        let frac = samples.iter().filter(|&&x| x > 0.5).count() as f64 / n as f64;
+        assert!((frac - 0.3679).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn degenerate_lognormal_is_constant() {
+        let d = LogNormal::new(2.0_f64.ln(), 0.0);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert!((d.sample(&mut r) - 2.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload generation for the Bouncer reproduction.
+//!
+//! * [`dist`] — the random distributions the paper's workloads are built
+//!   from: lognormal processing times ("its processing times follow a
+//!   lognormal distribution, which approximates those of real production
+//!   queries", §5.3) and exponential inter-arrival times ("to simulate
+//!   traffic burstiness").
+//! * [`mix`] — query mixes: per-type proportions plus processing-time
+//!   distributions, including the paper's Table 1 simulation mix and the
+//!   published QT1..QT11 production proportions of §5.4.
+//! * [`generator`] — an open-loop (wrk2-style) load generator for driving a
+//!   real target at a fixed average rate with Poisson arrivals, measuring
+//!   latency from the *intended* send time so coordinated omission cannot
+//!   hide queueing delay.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod generator;
+pub mod mix;
+
+pub use dist::{Exponential, LogNormal};
+pub use generator::{run_open_loop, LoadGenConfig, LoadReport, QueryOutcome};
+pub use mix::{paper_table1_mix, QueryClass, QueryMix};

@@ -1,0 +1,121 @@
+//! Property-based tests for distribution fitting and mix construction.
+
+use bouncer_core::types::TypeRegistry;
+use bouncer_workload::dist::{normal_quantile, Exponential, LogNormal};
+use bouncer_workload::mix::{QueryClass, QueryMix};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Fitting from (median, p90) recovers both statistics exactly, for any
+    /// valid pair.
+    #[test]
+    fn lognormal_median_p90_fit_is_exact(
+        median in 0.01f64..1000.0,
+        ratio in 1.0f64..50.0,
+    ) {
+        let p90 = median * ratio;
+        let d = LogNormal::from_median_p90(median, p90);
+        prop_assert!((d.median() - median).abs() / median < 1e-9);
+        // The inverse-CDF approximation error (~1e-9 in z) is amplified by
+        // exp(sigma * z); 1e-6 relative covers the largest sigma here.
+        prop_assert!((d.quantile(0.9) - p90).abs() / p90 < 1e-6);
+    }
+
+    /// Fitting from (mean, median) recovers both exactly.
+    #[test]
+    fn lognormal_mean_median_fit_is_exact(
+        median in 0.01f64..1000.0,
+        ratio in 1.0f64..20.0,
+    ) {
+        let mean = median * ratio;
+        let d = LogNormal::from_mean_median(mean, median);
+        prop_assert!((d.mean() - mean).abs() / mean < 1e-9);
+        prop_assert!((d.median() - median).abs() / median < 1e-9);
+    }
+
+    /// Quantiles are monotone in q for any lognormal.
+    #[test]
+    fn lognormal_quantiles_monotone(mu in -5.0f64..5.0, sigma in 0.0f64..3.0) {
+        let d = LogNormal::new(mu, sigma);
+        let mut last = 0.0f64;
+        for i in 1..20 {
+            let q = d.quantile(i as f64 / 20.0);
+            prop_assert!(q >= last);
+            last = q;
+        }
+    }
+
+    /// The inverse normal CDF is odd around 0.5 and monotone.
+    #[test]
+    fn normal_quantile_symmetry(p in 0.001f64..0.5) {
+        let lo = normal_quantile(p);
+        let hi = normal_quantile(1.0 - p);
+        prop_assert!((lo + hi).abs() < 1e-7, "lo={lo} hi={hi}");
+        prop_assert!(lo <= 0.0 && hi >= 0.0);
+    }
+
+    /// Exponential samples are positive with the right mean, any rate.
+    #[test]
+    fn exponential_sample_mean(rate in 0.1f64..100.0, seed in any::<u64>()) {
+        let e = Exponential::new(rate);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = e.sample(&mut rng);
+            prop_assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        // SE of the mean is 1/(rate*sqrt(n)); allow 5 sigma.
+        let tolerance = 5.0 / (rate * (n as f64).sqrt());
+        prop_assert!((mean - 1.0 / rate).abs() < tolerance, "mean={mean}");
+    }
+
+    /// Mix normalization: any proportion vector summing to ~1 yields exact
+    /// post-normalization proportions and a working sampler.
+    #[test]
+    fn mix_normalizes_and_samples(
+        weights in prop::collection::vec(1u32..100, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let total: u32 = weights.iter().sum();
+        let mut reg = TypeRegistry::new();
+        let classes: Vec<QueryClass> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| QueryClass {
+                ty: reg.register(&format!("t{i}")),
+                name: format!("t{i}"),
+                proportion: w as f64 / total as f64,
+                processing_ms: LogNormal::new(0.0, 0.5),
+            })
+            .collect();
+        let mix = QueryMix::new(classes);
+        let sum: f64 = mix.classes().iter().map(|c| c.proportion).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-12);
+        // Sampling returns only registered classes.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let c = mix.sample_class(&mut rng);
+            prop_assert!(c.ty.index() >= 1 && c.ty.index() <= mix.classes().len());
+        }
+    }
+
+    /// `qps_full_load` scales linearly with parallelism.
+    #[test]
+    fn full_load_scales_with_parallelism(p in 1u32..1000) {
+        let mut reg = TypeRegistry::new();
+        let mix = QueryMix::new(vec![QueryClass {
+            ty: reg.register("x"),
+            name: "x".into(),
+            proportion: 1.0,
+            processing_ms: LogNormal::from_median_p90(10.0, 20.0),
+        }]);
+        let one = mix.qps_full_load(1);
+        let many = mix.qps_full_load(p);
+        prop_assert!((many - one * p as f64).abs() / many < 1e-9);
+    }
+}

@@ -1,0 +1,108 @@
+//! A complete LIquid-like graph service over real TCP, guarded by Bouncer.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example graph_service
+//! ```
+//!
+//! Spawns a mini cluster — shard hosts serving graph slices over TCP with
+//! AcceptFraction admission control, a broker running Bouncer with the
+//! acceptance-allowance strategy — exposes the broker itself over TCP (the
+//! paper's REST-endpoint analog), and drives it from multiplexed TCP
+//! clients: the complete network path, admission control at every tier.
+
+use std::sync::Arc;
+
+use bouncer_repro::core::prelude::*;
+use bouncer_repro::metrics::time::millis;
+use liquid::cluster::{Cluster, ClusterConfig, TransportKind};
+use liquid::front::{RemoteOutcome, TcpBrokerClient, TcpBrokerServer};
+use liquid::graph::GraphConfig;
+use liquid::query::{Query, QueryKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = ClusterConfig {
+        n_shards: 2,
+        n_brokers: 1,
+        graph: GraphConfig {
+            vertices: 50_000,
+            edges_per_vertex: 8,
+            seed: 1,
+        },
+        transport: TransportKind::Tcp,
+        ..ClusterConfig::default()
+    };
+
+    println!("spawning {} shards + {} broker over TCP...", cfg.n_shards, cfg.n_brokers);
+    let cluster = Cluster::spawn(&cfg, |registry, engines| {
+        let slos = SloConfig::uniform(registry, Slo::p50_p90(millis(18), millis(50)));
+        let bouncer = Bouncer::new(slos, BouncerConfig::with_parallelism(engines));
+        Arc::new(AcceptanceAllowance::new(bouncer, registry.len(), 0.05, 7))
+    });
+    let vertices = cluster.vertices();
+
+    // Expose the broker over TCP — external clients reach the cluster the
+    // way the paper's clients reach LIquid's REST endpoints.
+    let front = TcpBrokerServer::serve(std::sync::Arc::clone(&cluster.brokers()[0]), "127.0.0.1:0")
+        .expect("failed to serve broker");
+    println!("broker front door listening on {}", front.addr());
+    let client =
+        std::sync::Arc::new(TcpBrokerClient::connect(front.addr(), 4).expect("connect failed"));
+
+    // A burst of queries across every template, issued from a few remote
+    // client threads to put pressure on the queues.
+    println!("issuing 4,000 mixed queries from 8 remote client threads...\n");
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let client = std::sync::Arc::clone(&client);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t);
+                for i in 0..500u32 {
+                    let kind = QueryKind::ALL[(i as usize + t as usize) % 11];
+                    let q = Query::random(kind, vertices, &mut rng);
+                    let _ = client.execute(q);
+                }
+            });
+        }
+    });
+
+    let snap = cluster.brokers()[0]
+        .stats()
+        .snapshot(1, cluster.brokers()[0].parallelism());
+    println!(
+        "{:<6} {:>9} {:>9} {:>10} {:>12}",
+        "type", "received", "rejected", "serviced", "rt_p50 (ms)"
+    );
+    for (i, t) in snap.per_type.iter().enumerate().skip(1) {
+        if t.received == 0 {
+            continue;
+        }
+        let name = cluster.registry().name(TypeId::from_index(i as u32));
+        println!(
+            "{:<6} {:>9} {:>9} {:>10} {:>12.2}",
+            name,
+            t.received,
+            t.rejected(),
+            t.completed,
+            t.response
+                .value_at_quantile(0.5)
+                .map(|ns| ns as f64 / 1e6)
+                .unwrap_or(f64::NAN),
+        );
+    }
+
+    match client.execute(Query {
+        kind: QueryKind::Qt10Distance3,
+        u: 1,
+        v: 4_242,
+    }) {
+        RemoteOutcome::Ok(d) => println!("\ngraph distance 1 -> 4242: {d} hops"),
+        other => println!("\ndistance query outcome: {other:?}"),
+    }
+
+    front.stop();
+    cluster.shutdown();
+    println!("cluster stopped cleanly.");
+}

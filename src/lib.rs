@@ -1,0 +1,6 @@
+//! Root crate: re-exports the workspace for examples and integration tests.
+pub use bouncer_core as core;
+pub use bouncer_metrics as metrics;
+pub use bouncer_sim as sim;
+pub use bouncer_workload as workload;
+pub use liquid;
