@@ -164,10 +164,69 @@ fn bench_full_gate_path(c: &mut Criterion) {
     });
 }
 
+fn bench_observability(c: &mut Criterion) {
+    // The observability layer must stay off the admission hot path: a gate
+    // built without a sink (the default NullSink, `enabled() == false`)
+    // should cost the same as the seed's uninstrumented gate, and even an
+    // enabled sink should add only the consumer's own work.
+    use bouncer_core::framework::{Gate, GateConfig, TakeOutcome};
+    use bouncer_core::obs::{Event, EventSink};
+    use bouncer_metrics::MonotonicClock;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// An enabled sink with a near-zero `emit`, isolating the layer's own
+    /// overhead (event construction + dispatch) from any real consumer.
+    #[derive(Debug, Default)]
+    struct CountingSink(AtomicU64);
+
+    impl EventSink for CountingSink {
+        fn emit(&self, _event: &Event) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let make_gate = |sink: Option<Arc<dyn EventSink>>| -> (Gate<u32>, TypeId) {
+        let (bouncer, reg) = warmed_bouncer(11);
+        let ty = reg.resolve("QT5").unwrap();
+        let gate = match sink {
+            None => Gate::new(
+                Arc::new(bouncer),
+                reg.len(),
+                Arc::new(MonotonicClock::new()),
+                GateConfig::default(),
+            ),
+            Some(sink) => Gate::new_with_sink(
+                Arc::new(bouncer),
+                reg.len(),
+                Arc::new(MonotonicClock::new()),
+                GateConfig::default(),
+                sink,
+            ),
+        };
+        (gate, ty)
+    };
+    let cycle = |gate: &Gate<u32>, ty: TypeId| {
+        if gate.offer(black_box(ty), 1).is_ok() {
+            if let TakeOutcome::Query(q) = gate.take(None) {
+                gate.complete(q.ty, q.enqueued_at, q.dequeued_at);
+            }
+        }
+    };
+
+    let (gate, ty) = make_gate(None);
+    c.bench_function("gate_cycle_sink_disabled", |b| b.iter(|| cycle(&gate, ty)));
+
+    let counter = Arc::new(CountingSink::default());
+    let (gate, ty) = make_gate(Some(counter.clone()));
+    c.bench_function("gate_cycle_sink_counting", |b| b.iter(|| cycle(&gate, ty)));
+    assert!(counter.0.load(Ordering::Relaxed) > 0, "sink never fired");
+}
+
 criterion_group!(
     benches,
     bench_policies,
     bench_primitives,
-    bench_full_gate_path
+    bench_full_gate_path,
+    bench_observability
 );
 criterion_main!(benches);

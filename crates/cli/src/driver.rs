@@ -25,6 +25,8 @@ const ALLOWED: &[&str] = &[
     "queue-limit",
     "wait-limit-ms",
     "max-utilization",
+    "events-out",
+    "metrics-out",
     "help",
 ];
 
@@ -64,6 +66,13 @@ SLOs (uniform across types, like the paper's study):
                         the uniform flags, e.g.
                         'slow:{p50=25ms,p90=80ms},default:{p50=18ms,p90=50ms}'
                         (types: fast, medium fast, medium slow, slow)
+
+OBSERVABILITY (see OBSERVABILITY.md for formats):
+    --events-out <path>   write every query-lifecycle and policy event as
+                          JSONL (one JSON object per line, virtual-time
+                          timestamps)
+    --metrics-out <path>  write the run's final statistics in the
+                          Prometheus text exposition format
 ";
 
 /// Which policy the user picked, with its parameters resolved.
@@ -191,7 +200,7 @@ where
         PolicyChoice::Always => Arc::new(AlwaysAccept::new()),
     };
 
-    let cfg = SimConfig {
+    let mut cfg = SimConfig {
         parallelism,
         rate_qps: rate,
         measured_queries: args.u64_or("queries", 300_000)?,
@@ -199,7 +208,19 @@ where
         seed,
         ..SimConfig::paper(rate, seed)
     };
+    if let Some(path) = args.get("events-out") {
+        let sink = JsonlSink::create(path)
+            .map_err(|e| ParseError(format!("--events-out `{path}`: {e}")))?;
+        cfg.sink = Some(Arc::new(sink));
+    }
     let result = run(&policy, &mix, &cfg);
+
+    if let Some(path) = args.get("metrics-out") {
+        let names: Vec<&str> = registry.iter().map(|(_, name)| name).collect();
+        let text = render_prometheus(&result.stats, &names);
+        std::fs::write(path, text)
+            .map_err(|e| ParseError(format!("--metrics-out `{path}`: {e}")))?;
+    }
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -238,6 +259,12 @@ where
         "\noverall: {:.2}% rejected\n",
         result.overall_rejection_pct()
     ));
+    if let Some(path) = args.get("events-out") {
+        out.push_str(&format!("events written to {path} (JSONL)\n"));
+    }
+    if let Some(path) = args.get("metrics-out") {
+        out.push_str(&format!("metrics written to {path} (Prometheus text)\n"));
+    }
     Ok(out)
 }
 
@@ -324,6 +351,66 @@ mod tests {
         let (out, code) = run_cli(["--slo-spec", "bogus:{p50=1ms}"]);
         assert_eq!(code, 2);
         assert!(out.contains("unknown query type"), "{out}");
+    }
+
+    #[test]
+    fn events_and_metrics_flags_write_valid_files() {
+        use bouncer_core::obs::{parse_json, validate_prometheus};
+
+        let dir = std::env::temp_dir();
+        let events_path = dir.join(format!("bouncer-cli-events-{}.jsonl", std::process::id()));
+        let metrics_path = dir.join(format!("bouncer-cli-metrics-{}.prom", std::process::id()));
+
+        let (out, code) = run_cli([
+            "--policy",
+            "maxql",
+            "--queue-limit",
+            "5",
+            "--rate-factor",
+            "1.5",
+            "--queries",
+            "20000",
+            "--warmup",
+            "2000",
+            "--events-out",
+            events_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("events written to"));
+        assert!(out.contains("metrics written to"));
+
+        // Every JSONL line parses, and the overload run shed something.
+        let events = std::fs::read_to_string(&events_path).unwrap();
+        let mut rejected = 0usize;
+        let mut lines = 0usize;
+        for line in events.lines() {
+            let v = parse_json(line).unwrap_or_else(|e| panic!("bad line `{line}`: {e}"));
+            assert!(v.get("event").and_then(|e| e.as_str()).is_some());
+            assert!(v.get("at_ns").and_then(|a| a.as_u64()).is_some());
+            if v.get("event").and_then(|e| e.as_str()) == Some("rejected") {
+                assert_eq!(
+                    v.get("reason").and_then(|r| r.as_str()),
+                    Some("queue-length-limit")
+                );
+                rejected += 1;
+            }
+            lines += 1;
+        }
+        assert!(lines > 20_000, "expected a full event log, got {lines} lines");
+        assert!(rejected > 0, "the 1.5x run should have shed queries");
+
+        // The metrics file passes the strict format checker and reconciles
+        // with the log.
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        let samples = validate_prometheus(&metrics).expect("invalid Prometheus text");
+        assert!(samples > 0);
+        assert!(metrics.contains("bouncer_queries_rejected_total"));
+        assert!(metrics.contains("reason=\"queue-length-limit\""));
+
+        let _ = std::fs::remove_file(&events_path);
+        let _ = std::fs::remove_file(&metrics_path);
     }
 
     #[test]

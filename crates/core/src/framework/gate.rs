@@ -13,6 +13,7 @@ use bouncer_metrics::{Clock, Nanos};
 
 use crate::framework::queue::{AdmissionQueue, Discipline, Entry, PopOutcome};
 use crate::framework::stats::ServerStats;
+use crate::obs::{null_sink, Event, EventSink};
 use crate::policy::{AdmissionPolicy, RejectReason};
 use crate::types::TypeId;
 
@@ -82,21 +83,41 @@ pub struct Gate<T> {
     queue: AdmissionQueue<T>,
     stats: Arc<ServerStats>,
     clock: Arc<dyn Clock>,
+    sink: Arc<dyn EventSink>,
 }
 
 impl<T> Gate<T> {
-    /// Creates a gate in front of `policy`, tracking `n_types` query types.
+    /// Creates a gate in front of `policy`, tracking `n_types` query types,
+    /// with observability disabled (the [`NullSink`]).
+    ///
+    /// [`NullSink`]: crate::obs::NullSink
     pub fn new(
         policy: Arc<dyn AdmissionPolicy>,
         n_types: usize,
         clock: Arc<dyn Clock>,
         cfg: GateConfig,
     ) -> Self {
+        Self::new_with_sink(policy, n_types, clock, cfg, null_sink())
+    }
+
+    /// Like [`Gate::new`], emitting query-lifecycle events into `sink`.
+    /// The sink is also handed to the policy (via
+    /// [`AdmissionPolicy::attach_sink`]) for its per-interval maintenance
+    /// events.
+    pub fn new_with_sink(
+        policy: Arc<dyn AdmissionPolicy>,
+        n_types: usize,
+        clock: Arc<dyn Clock>,
+        cfg: GateConfig,
+        sink: Arc<dyn EventSink>,
+    ) -> Self {
+        policy.attach_sink(Arc::clone(&sink));
         Self {
             policy,
             queue: AdmissionQueue::with_discipline(cfg.max_queue_len, cfg.discipline),
             stats: Arc::new(ServerStats::new(n_types)),
             clock,
+            sink,
         }
     }
 
@@ -121,6 +142,9 @@ impl<T> Gate<T> {
         match self.policy.admit(ty, now) {
             crate::policy::Decision::Reject(reason) => {
                 self.stats.on_rejected(ty, reason);
+                if self.sink.enabled() {
+                    self.sink.emit(&Event::Rejected { at: now, ty, reason });
+                }
                 Err((reason, payload))
             }
             crate::policy::Decision::Accept => {
@@ -134,11 +158,26 @@ impl<T> Gate<T> {
                     Ok(()) => {
                         self.stats.on_accepted(ty);
                         self.policy.on_enqueued(ty, now);
+                        if self.sink.enabled() {
+                            self.sink.emit(&Event::Admitted { at: now, ty });
+                            self.sink.emit(&Event::Enqueued {
+                                at: now,
+                                ty,
+                                queue_len: self.queue.len(),
+                            });
+                        }
                         Ok(())
                     }
                     Err(entry) => {
                         // The L_limit safeguard overrode the policy.
                         self.stats.on_rejected(ty, RejectReason::QueueFull);
+                        if self.sink.enabled() {
+                            self.sink.emit(&Event::Rejected {
+                                at: now,
+                                ty,
+                                reason: RejectReason::QueueFull,
+                            });
+                        }
                         Err((RejectReason::QueueFull, entry.payload))
                     }
                 }
@@ -162,8 +201,15 @@ impl<T> Gate<T> {
                 };
                 if entry.deadline.is_some_and(|d| now > d) {
                     self.stats.on_expired(entry.ty);
+                    if self.sink.enabled() {
+                        self.sink.emit(&Event::Expired { at: now, ty: admitted.ty, wait });
+                    }
                     TakeOutcome::Expired(admitted)
                 } else {
+                    if self.sink.enabled() {
+                        self.sink.emit(&Event::Dequeued { at: now, ty: admitted.ty, wait });
+                        self.sink.emit(&Event::Started { at: now, ty: admitted.ty });
+                    }
                     TakeOutcome::Query(admitted)
                 }
             }
@@ -180,6 +226,15 @@ impl<T> Gate<T> {
         let wait = dequeued_at.saturating_sub(enqueued_at);
         self.policy.on_completed(ty, processing, now);
         self.stats.on_completed(ty, wait, processing);
+        if self.sink.enabled() {
+            self.sink.emit(&Event::Completed {
+                at: now,
+                ty,
+                wait,
+                processing,
+                rt: wait.saturating_add(processing),
+            });
+        }
     }
 
     /// Runs policy maintenance; hosts call this from a [`Ticker`] or their
@@ -203,6 +258,11 @@ impl<T> Gate<T> {
     /// The clock this gate stamps times with.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    /// The event sink lifecycle events are emitted into.
+    pub fn sink(&self) -> &Arc<dyn EventSink> {
+        &self.sink
     }
 
     /// Current FIFO queue length.
@@ -323,6 +383,44 @@ mod tests {
         let snap = gate.stats().snapshot(clock.now(), 1);
         assert_eq!(snap.per_type[0].expired, 1);
         assert_eq!(snap.per_type[0].completed, 0);
+    }
+
+    #[test]
+    fn sink_sees_the_full_lifecycle() {
+        use crate::obs::MemorySink;
+
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(MemorySink::new());
+        let gate: Gate<&str> = Gate::new_with_sink(
+            Arc::new(MaxQueueLength::new(1)),
+            1,
+            clock.clone(),
+            GateConfig::default(),
+            sink.clone(),
+        );
+        gate.offer(TypeId(0), "served").unwrap();
+        let (_, _) = gate.offer(TypeId(0), "shed").unwrap_err();
+        clock.set(2_000_000);
+        let q = match gate.take(None) {
+            TakeOutcome::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        clock.set(3_000_000);
+        gate.complete(q.ty, q.enqueued_at, q.dequeued_at);
+
+        let names: Vec<&str> = sink.events().iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            ["admitted", "enqueued", "rejected", "dequeued", "started", "completed"]
+        );
+        match sink.events()[5] {
+            Event::Completed { wait, processing, rt, .. } => {
+                assert_eq!(wait, 2_000_000);
+                assert_eq!(processing, 1_000_000);
+                assert_eq!(rt, 3_000_000);
+            }
+            ref other => panic!("{other:?}"),
+        }
     }
 
     #[test]

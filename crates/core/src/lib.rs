@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod framework;
+pub mod obs;
 pub mod policy;
 pub mod rng;
 pub mod slo;
@@ -50,6 +51,9 @@ pub mod types;
 /// Convenient glob-import surface for downstream crates and examples.
 pub mod prelude {
     pub use crate::framework::{Discipline, Gate, GateConfig, ServerStats, StatsSnapshot};
+    pub use crate::obs::{
+        null_sink, render_prometheus, Event, EventSink, JsonlSink, MemorySink, NullSink,
+    };
     pub use crate::policy::{
         AcceptFraction, AcceptFractionConfig, AcceptanceAllowance, AdmissionPolicy, AlwaysAccept,
         Bouncer, BouncerConfig, Decision, DecisionRule, GatekeeperConfig, GatekeeperStyle,

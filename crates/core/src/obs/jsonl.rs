@@ -1,0 +1,290 @@
+//! The JSONL event-log sink: one JSON object per line, hand-rolled so the
+//! workspace stays dependency-free.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+use super::{Event, EventSink};
+
+impl Event {
+    /// Renders the event as a single-line JSON object.
+    ///
+    /// Common fields: `event` (the [`Event::name`]) and `at_ns`. Lifecycle
+    /// events add `type` (the dense type index); policy events add
+    /// `policy`. Variant payloads keep their field names with `_ns`
+    /// suffixes on durations. See `OBSERVABILITY.md` for the full field
+    /// reference.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"event\":\"{}\",\"at_ns\":{}", self.name(), self.at());
+        if let Some(ty) = self.ty() {
+            let _ = write!(s, ",\"type\":{}", ty.index());
+        }
+        match *self {
+            Event::Admitted { .. } | Event::Started { .. } => {}
+            Event::Rejected { reason, .. } => {
+                let _ = write!(s, ",\"reason\":\"{}\"", reason.label());
+            }
+            Event::Enqueued { queue_len, .. } => {
+                let _ = write!(s, ",\"queue_len\":{queue_len}");
+            }
+            Event::Dequeued { wait, .. } | Event::Expired { wait, .. } => {
+                let _ = write!(s, ",\"wait_ns\":{wait}");
+            }
+            Event::Completed {
+                wait, processing, rt, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"wait_ns\":{wait},\"processing_ns\":{processing},\"rt_ns\":{rt}"
+                );
+            }
+            Event::HistogramSwap { policy, .. } => {
+                let _ = write!(s, ",\"policy\":\"{}\"", escape(policy));
+            }
+            Event::ThresholdUpdate {
+                policy, threshold, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"policy\":\"{}\",\"threshold\":{}",
+                    escape(policy),
+                    fmt_f64(threshold)
+                );
+            }
+            Event::MovingAvgRefresh {
+                policy, mean_ns, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"policy\":\"{}\",\"mean_ns\":{}",
+                    escape(policy),
+                    fmt_f64(mean_ns)
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// JSON-escapes a string (quotes, backslashes, control characters).
+fn escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so it parses back as a JSON number (never NaN/inf —
+/// those become 0, JSON has no representation for them).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// An [`EventSink`] appending one JSON object per line to a writer.
+///
+/// Writes are buffered and serialized behind a mutex; the buffer is
+/// flushed on [`EventSink::flush`] and on drop. I/O errors after
+/// construction are ignored — observability must never take the serving
+/// path down.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    /// Creates (truncating) `path` and logs events to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::new(Box::new(file)))
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink { .. }")
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json();
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .out
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_json;
+    use super::*;
+    use crate::policy::RejectReason;
+    use crate::types::TypeId;
+    use std::sync::Arc;
+
+    /// Every variant, for exhaustive encode/parse coverage.
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::Admitted { at: 10, ty: TypeId(1) },
+            Event::Rejected {
+                at: 11,
+                ty: TypeId(2),
+                reason: RejectReason::PredictedSloViolation,
+            },
+            Event::Enqueued {
+                at: 12,
+                ty: TypeId(1),
+                queue_len: 3,
+            },
+            Event::Dequeued {
+                at: 15,
+                ty: TypeId(1),
+                wait: 3,
+            },
+            Event::Started { at: 15, ty: TypeId(1) },
+            Event::Completed {
+                at: 20,
+                ty: TypeId(1),
+                wait: 3,
+                processing: 5,
+                rt: 8,
+            },
+            Event::Expired {
+                at: 30,
+                ty: TypeId(0),
+                wait: 25,
+            },
+            Event::HistogramSwap { at: 40, policy: "bouncer" },
+            Event::ThresholdUpdate {
+                at: 41,
+                policy: "acceptfraction",
+                threshold: 0.875,
+            },
+            Event::MovingAvgRefresh {
+                at: 42,
+                policy: "maxqwt",
+                mean_ns: 1_500_000.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for event in samples() {
+            let line = event.to_json();
+            let v = parse_json(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(v.get("event").and_then(|e| e.as_str()), Some(event.name()));
+            assert_eq!(
+                v.get("at_ns").and_then(|a| a.as_u64()),
+                Some(event.at()),
+                "{line}"
+            );
+            match event.ty() {
+                Some(ty) => assert_eq!(
+                    v.get("type").and_then(|t| t.as_u64()),
+                    Some(ty.index() as u64)
+                ),
+                None => assert!(v.get("type").is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_fields_survive() {
+        let line = Event::Completed {
+            at: 99,
+            ty: TypeId(3),
+            wait: 7,
+            processing: 11,
+            rt: 18,
+        }
+        .to_json();
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("wait_ns").and_then(|x| x.as_u64()), Some(7));
+        assert_eq!(v.get("processing_ns").and_then(|x| x.as_u64()), Some(11));
+        assert_eq!(v.get("rt_ns").and_then(|x| x.as_u64()), Some(18));
+
+        let line = Event::Rejected {
+            at: 1,
+            ty: TypeId(0),
+            reason: RejectReason::QueueFull,
+        }
+        .to_json();
+        let v = parse_json(&line).unwrap();
+        assert_eq!(
+            v.get("reason").and_then(|r| r.as_str()),
+            Some("queue-full")
+        );
+    }
+
+    #[test]
+    fn escaping_is_parseable() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_event() {
+        let path = std::env::temp_dir().join(format!(
+            "bouncer-jsonl-test-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            for event in samples() {
+                sink.emit(&event);
+            }
+            let sink: Arc<dyn EventSink> = Arc::new(sink);
+            assert!(sink.enabled());
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), samples().len());
+        for line in lines {
+            parse_json(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

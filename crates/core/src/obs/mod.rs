@@ -1,0 +1,366 @@
+//! Query-lifecycle observability: structured events and metrics export.
+//!
+//! The framework and the policies describe what happens to every query —
+//! admitted, rejected (and why), enqueued, dequeued, completed, expired —
+//! plus the per-interval policy maintenance the paper's §3–§5 revolve
+//! around (dual-buffer histogram swaps, acceptance-fraction threshold
+//! updates, moving-average refreshes). This module gives those moments a
+//! typed representation ([`Event`]) and a pluggable consumer
+//! ([`EventSink`]) so the same instrumentation serves the simulator (with
+//! virtual timestamps), the LIquid-like cluster (wall-clock timestamps),
+//! and the CLI.
+//!
+//! Two shippable sinks are provided:
+//!
+//! * [`JsonlSink`] — one JSON object per line, for offline analysis
+//!   (`--events-out` in the CLI).
+//! * [`render_prometheus`] — the Prometheus text exposition format
+//!   rendered from a [`StatsSnapshot`] (`--metrics-out` in the CLI).
+//!
+//! # Cost when disabled
+//!
+//! Every emission site is guarded by [`EventSink::enabled`]; the default
+//! [`NullSink`] returns `false` from a non-capturing method, so a gate
+//! without observability does one virtual call per batch of emissions and
+//! never constructs an [`Event`]. `crates/bench/benches/overhead.rs`
+//! keeps this on a leash.
+//!
+//! [`StatsSnapshot`]: crate::framework::StatsSnapshot
+
+mod json;
+mod jsonl;
+mod prometheus;
+
+pub use json::{parse_json, JsonValue};
+pub use jsonl::JsonlSink;
+pub use prometheus::{render_prometheus, validate_prometheus};
+
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use bouncer_metrics::Nanos;
+
+use crate::policy::RejectReason;
+use crate::types::TypeId;
+
+/// One observable moment in a query's life or a policy's maintenance.
+///
+/// All timestamps are whatever clock the emitting component runs on:
+/// virtual nanoseconds under the simulator, monotonic wall-clock
+/// nanoseconds in the threaded hosts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// The policy accepted the query (Point 1, before it enters the queue).
+    Admitted {
+        /// Decision time.
+        at: Nanos,
+        /// The query's type.
+        ty: TypeId,
+    },
+    /// The policy (or the `L_limit` safeguard) turned the query away.
+    Rejected {
+        /// Decision time.
+        at: Nanos,
+        /// The query's type.
+        ty: TypeId,
+        /// Why it was turned away.
+        reason: RejectReason,
+    },
+    /// The admitted query was placed in the FIFO queue.
+    Enqueued {
+        /// Enqueue time.
+        at: Nanos,
+        /// The query's type.
+        ty: TypeId,
+        /// Queue length right after the insert (this query included).
+        queue_len: usize,
+    },
+    /// An engine pulled the query out of the queue (Point 2).
+    Dequeued {
+        /// Dequeue time.
+        at: Nanos,
+        /// The query's type.
+        ty: TypeId,
+        /// Time spent waiting in the queue.
+        wait: Nanos,
+    },
+    /// The engine began processing the query.
+    Started {
+        /// Processing start time.
+        at: Nanos,
+        /// The query's type.
+        ty: TypeId,
+    },
+    /// The query finished processing (Point 3).
+    Completed {
+        /// Completion time.
+        at: Nanos,
+        /// The query's type.
+        ty: TypeId,
+        /// Queue wait component of the response time.
+        wait: Nanos,
+        /// Processing component of the response time.
+        processing: Nanos,
+        /// Response time, `wait + processing` (Eq. 1 with ξ = 0).
+        rt: Nanos,
+    },
+    /// An admitted query sat past its deadline and was dropped undone.
+    Expired {
+        /// The time the engine discovered the expiry.
+        at: Nanos,
+        /// The query's type.
+        ty: TypeId,
+        /// How long it had waited by then.
+        wait: Nanos,
+    },
+    /// A policy swapped its dual-buffer histograms (Bouncer's per-interval
+    /// refresh, §3.3).
+    HistogramSwap {
+        /// Swap time.
+        at: Nanos,
+        /// `AdmissionPolicy::name()` of the emitting policy.
+        policy: &'static str,
+    },
+    /// A policy recomputed an admission threshold (AcceptFraction's
+    /// acceptance fraction, §5.2.3).
+    ThresholdUpdate {
+        /// Update time.
+        at: Nanos,
+        /// `AdmissionPolicy::name()` of the emitting policy.
+        policy: &'static str,
+        /// The new threshold value (dimensionless).
+        threshold: f64,
+    },
+    /// A policy's sliding moving average rolled forward (MaxQWT's
+    /// `pt_mavg`, Eq. 5).
+    MovingAvgRefresh {
+        /// Refresh time.
+        at: Nanos,
+        /// `AdmissionPolicy::name()` of the emitting policy.
+        policy: &'static str,
+        /// The refreshed mean, in nanoseconds (0 when no samples).
+        mean_ns: f64,
+    },
+}
+
+impl Event {
+    /// The event's snake_case name, as used in the JSONL `event` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Admitted { .. } => "admitted",
+            Event::Rejected { .. } => "rejected",
+            Event::Enqueued { .. } => "enqueued",
+            Event::Dequeued { .. } => "dequeued",
+            Event::Started { .. } => "started",
+            Event::Completed { .. } => "completed",
+            Event::Expired { .. } => "expired",
+            Event::HistogramSwap { .. } => "histogram_swap",
+            Event::ThresholdUpdate { .. } => "threshold_update",
+            Event::MovingAvgRefresh { .. } => "moving_avg_refresh",
+        }
+    }
+
+    /// The event's timestamp.
+    pub fn at(&self) -> Nanos {
+        match *self {
+            Event::Admitted { at, .. }
+            | Event::Rejected { at, .. }
+            | Event::Enqueued { at, .. }
+            | Event::Dequeued { at, .. }
+            | Event::Started { at, .. }
+            | Event::Completed { at, .. }
+            | Event::Expired { at, .. }
+            | Event::HistogramSwap { at, .. }
+            | Event::ThresholdUpdate { at, .. }
+            | Event::MovingAvgRefresh { at, .. } => at,
+        }
+    }
+
+    /// The query type, for lifecycle events; `None` for policy events.
+    pub fn ty(&self) -> Option<TypeId> {
+        match *self {
+            Event::Admitted { ty, .. }
+            | Event::Rejected { ty, .. }
+            | Event::Enqueued { ty, .. }
+            | Event::Dequeued { ty, .. }
+            | Event::Started { ty, .. }
+            | Event::Completed { ty, .. }
+            | Event::Expired { ty, .. } => Some(ty),
+            Event::HistogramSwap { .. }
+            | Event::ThresholdUpdate { .. }
+            | Event::MovingAvgRefresh { .. } => None,
+        }
+    }
+}
+
+/// A consumer of [`Event`]s.
+///
+/// `Debug` is a supertrait so sinks can ride inside `#[derive(Debug)]`
+/// configuration structs (`SimConfig`, `ClusterConfig`). Implementations
+/// must be thread-safe: transport and engine threads emit concurrently.
+pub trait EventSink: Send + Sync + fmt::Debug {
+    /// Cheap pre-check emission sites call before constructing an
+    /// [`Event`]. Return `false` to keep event construction entirely off
+    /// the hot path.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event. Only called when [`EventSink::enabled`] is
+    /// `true` at the emission site.
+    fn emit(&self, event: &Event);
+
+    /// Flushes any buffered output. Default: nothing to flush.
+    fn flush(&self) {}
+}
+
+/// The do-nothing sink: [`EventSink::enabled`] is `false`, so emission
+/// sites skip event construction altogether.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn emit(&self, _event: &Event) {}
+}
+
+/// A shared handle to the disabled sink.
+pub fn null_sink() -> Arc<dyn EventSink> {
+    Arc::new(NullSink)
+}
+
+/// An in-memory sink that records every event, for tests and examples.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(*event);
+    }
+}
+
+/// A late-bound sink holder for policies.
+///
+/// Policies are constructed before the gate (and therefore before the
+/// sink) exists, so they hold a `SinkSlot` that the framework fills in via
+/// [`AdmissionPolicy::attach_sink`]. Policies read the slot only from
+/// `on_tick` — a cold path — so the interior `Mutex` never contends with
+/// admission decisions.
+///
+/// [`AdmissionPolicy::attach_sink`]: crate::policy::AdmissionPolicy::attach_sink
+#[derive(Debug, Default)]
+pub struct SinkSlot {
+    sink: Mutex<Option<Arc<dyn EventSink>>>,
+}
+
+impl SinkSlot {
+    /// An empty slot; emissions are no-ops until a sink is attached.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) the sink.
+    pub fn attach(&self, sink: Arc<dyn EventSink>) {
+        *self.sink.lock().unwrap_or_else(PoisonError::into_inner) = Some(sink);
+    }
+
+    /// Emits through the attached sink, if any and enabled. `event` is
+    /// built lazily so empty/disabled slots pay nothing beyond the lock.
+    pub fn emit(&self, event: impl FnOnce() -> Event) {
+        let guard = self.sink.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(sink) = guard.as_ref() {
+            if sink.enabled() {
+                sink.emit(&event());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = null_sink();
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let sink = MemorySink::new();
+        sink.emit(&Event::Admitted { at: 1, ty: TypeId(0) });
+        sink.emit(&Event::Completed {
+            at: 5,
+            ty: TypeId(0),
+            wait: 1,
+            processing: 3,
+            rt: 4,
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name(), "admitted");
+        assert_eq!(events[1].name(), "completed");
+        assert_eq!(events[1].at(), 5);
+        assert_eq!(events[0].ty(), Some(TypeId(0)));
+    }
+
+    #[test]
+    fn sink_slot_emits_only_once_attached() {
+        let slot = SinkSlot::new();
+        let counted = Arc::new(MemorySink::new());
+        slot.emit(|| unreachable!("no sink attached"));
+        slot.attach(counted.clone());
+        slot.emit(|| Event::HistogramSwap { at: 7, policy: "bouncer" });
+        assert_eq!(counted.len(), 1);
+    }
+
+    #[test]
+    fn policy_events_have_no_type() {
+        let e = Event::ThresholdUpdate {
+            at: 1,
+            policy: "acceptfraction",
+            threshold: 0.8,
+        };
+        assert_eq!(e.ty(), None);
+        assert_eq!(e.name(), "threshold_update");
+    }
+}

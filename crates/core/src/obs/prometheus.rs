@@ -1,0 +1,354 @@
+//! Prometheus text exposition format, rendered from a [`StatsSnapshot`].
+//!
+//! The renderer produces the classic text format (version 0.0.4): `# HELP`
+//! and `# TYPE` comments followed by samples, counters suffixed `_total`,
+//! base units (seconds, ratios), and the three latency distributions as
+//! summaries with `quantile` labels. [`validate_prometheus`] is a strict
+//! checker for tests and for the CLI's own output.
+
+use std::fmt::Write as _;
+
+use bouncer_metrics::histogram::HistogramSnapshot;
+use bouncer_metrics::time::as_secs_f64;
+
+use crate::framework::StatsSnapshot;
+use crate::policy::RejectReason;
+
+/// The quantiles exported for each latency summary.
+const QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Renders `snap` in the Prometheus text format.
+///
+/// `type_names[i]` labels the type with dense index `i`; indexes past the
+/// end of `type_names` fall back to `type_<i>`. Types that saw no traffic
+/// are omitted entirely to keep scrapes small.
+pub fn render_prometheus(snap: &StatsSnapshot, type_names: &[&str]) -> String {
+    let name_of = |i: usize| -> String {
+        type_names
+            .get(i)
+            .map(|n| escape_label(n))
+            .unwrap_or_else(|| format!("type_{i}"))
+    };
+    let active: Vec<usize> = (0..snap.per_type.len())
+        .filter(|&i| {
+            let t = &snap.per_type[i];
+            t.received > 0 || t.completed > 0
+        })
+        .collect();
+
+    let mut out = String::with_capacity(4096);
+
+    for (metric, help, field) in [
+        (
+            "bouncer_queries_received_total",
+            "Queries received, before the admission decision.",
+            0usize,
+        ),
+        (
+            "bouncer_queries_accepted_total",
+            "Queries admitted into the FIFO queue.",
+            1,
+        ),
+        (
+            "bouncer_queries_completed_total",
+            "Queries fully processed.",
+            2,
+        ),
+        (
+            "bouncer_queries_expired_total",
+            "Admitted queries dropped after expiring in the queue.",
+            3,
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {metric} {help}");
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        for &i in &active {
+            let t = &snap.per_type[i];
+            let v = [t.received, t.accepted, t.completed, t.expired][field];
+            let _ = writeln!(out, "{metric}{{type=\"{}\"}} {v}", name_of(i));
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bouncer_queries_rejected_total Queries rejected, by reason."
+    );
+    let _ = writeln!(out, "# TYPE bouncer_queries_rejected_total counter");
+    for &i in &active {
+        let t = &snap.per_type[i];
+        for reason in RejectReason::ALL {
+            let count = t.rejected_by_reason[reason.index()];
+            if count > 0 {
+                let _ = writeln!(
+                    out,
+                    "bouncer_queries_rejected_total{{type=\"{}\",reason=\"{}\"}} {count}",
+                    name_of(i),
+                    reason.label()
+                );
+            }
+        }
+    }
+
+    for (metric, help, pick) in [
+        (
+            "bouncer_response_time_seconds",
+            "Response time (queue wait + processing) of serviced queries.",
+            0usize,
+        ),
+        (
+            "bouncer_queue_wait_seconds",
+            "Queue wait time of serviced queries.",
+            1,
+        ),
+        (
+            "bouncer_processing_time_seconds",
+            "Processing time of serviced queries.",
+            2,
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {metric} {help}");
+        let _ = writeln!(out, "# TYPE {metric} summary");
+        for &i in &active {
+            let t = &snap.per_type[i];
+            let hist: &HistogramSnapshot = [&t.response, &t.wait, &t.processing][pick];
+            let ty = name_of(i);
+            for q in QUANTILES {
+                if let Some(v) = hist.value_at_quantile(q) {
+                    let _ = writeln!(
+                        out,
+                        "{metric}{{type=\"{ty}\",quantile=\"{q}\"}} {}",
+                        as_secs_f64(v)
+                    );
+                }
+            }
+            let sum = hist.mean().unwrap_or(0.0) * hist.count() as f64 / 1e9;
+            let _ = writeln!(out, "{metric}_sum{{type=\"{ty}\"}} {sum}");
+            let _ = writeln!(out, "{metric}_count{{type=\"{ty}\"}} {}", hist.count());
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bouncer_engine_utilization_ratio Busy time over P x span, in [0, 1]."
+    );
+    let _ = writeln!(out, "# TYPE bouncer_engine_utilization_ratio gauge");
+    let _ = writeln!(out, "bouncer_engine_utilization_ratio {}", snap.utilization);
+
+    let _ = writeln!(
+        out,
+        "# HELP bouncer_measurement_span_seconds Length of the measurement window."
+    );
+    let _ = writeln!(out, "# TYPE bouncer_measurement_span_seconds gauge");
+    let _ = writeln!(
+        out,
+        "bouncer_measurement_span_seconds {}",
+        as_secs_f64(snap.span)
+    );
+
+    out
+}
+
+/// Escapes a label value (backslash, quote, newline) per the text format.
+fn escape_label(raw: &str) -> String {
+    raw.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Validates Prometheus text-format output; returns the number of samples.
+///
+/// Checks that every sample line is `name[{labels}] value` with a valid
+/// metric name, well-formed quoted labels, and a parseable float value —
+/// and that each sample's metric family was declared by a preceding
+/// `# TYPE` line (`_sum`/`_count`/`_bucket` suffixes resolve to their base
+/// family).
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut declared: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or(format!("line {lineno}: bare # TYPE"))?;
+            let kind = parts.next().ok_or(format!("line {lineno}: # TYPE missing kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                return Err(format!("line {lineno}: unknown metric kind `{kind}`"));
+            }
+            declared.push(name.to_owned());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+
+        let name_end = line
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+            .unwrap_or(line.len());
+        let name = &line[..name_end];
+        if name.is_empty() || name.chars().next().unwrap().is_ascii_digit() {
+            return Err(format!("line {lineno}: invalid metric name in `{line}`"));
+        }
+        let mut rest = &line[name_end..];
+
+        if let Some(after) = rest.strip_prefix('{') {
+            let close = find_label_close(after)
+                .ok_or(format!("line {lineno}: unterminated label set"))?;
+            validate_labels(&after[..close]).map_err(|e| format!("line {lineno}: {e}"))?;
+            rest = &after[close + 1..];
+        }
+
+        let value = rest.trim();
+        if value.parse::<f64>().is_err()
+            && !matches!(value, "+Inf" | "-Inf" | "NaN")
+        {
+            return Err(format!("line {lineno}: unparseable value `{value}`"));
+        }
+
+        let family = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .or_else(|| name.strip_suffix("_bucket"))
+            .unwrap_or(name);
+        if !declared.iter().any(|d| d == family || d == name) {
+            return Err(format!("line {lineno}: sample `{name}` has no # TYPE"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// Index of the unquoted `}` closing a label set (respects escapes).
+fn find_label_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut in_quotes = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_quotes => i += 1, // skip the escaped byte
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Validates `key="value"` pairs separated by commas.
+fn validate_labels(s: &str) -> Result<(), String> {
+    if s.is_empty() {
+        return Ok(());
+    }
+    let mut rest = s;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{rest}`"))?;
+        let key = &rest[..eq];
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(format!("bad label name `{key}`"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("unquoted label value after `{key}`"));
+        }
+        // Scan the quoted value, honoring escapes.
+        let bytes = rest.as_bytes();
+        let mut i = 1;
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("unterminated value for `{key}`")),
+                Some(b'\\') => i += 2,
+                Some(b'"') => break,
+                Some(_) => i += 1,
+            }
+        }
+        rest = &rest[i + 1..];
+        match rest.strip_prefix(',') {
+            Some(next) => rest = next,
+            None if rest.is_empty() => return Ok(()),
+            None => return Err(format!("junk after label value: `{rest}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::ServerStats;
+    use crate::policy::RejectReason;
+    use crate::types::TypeId;
+    use bouncer_metrics::time::{millis, secs};
+
+    fn populated_snapshot() -> StatsSnapshot {
+        let stats = ServerStats::new(3);
+        for _ in 0..10 {
+            stats.on_received(TypeId(0));
+            stats.on_accepted(TypeId(0));
+            stats.on_completed(TypeId(0), millis(2), millis(8));
+        }
+        stats.on_received(TypeId(1));
+        stats.on_rejected(TypeId(1), RejectReason::PredictedSloViolation);
+        stats.on_received(TypeId(1));
+        stats.on_rejected(TypeId(1), RejectReason::QueueFull);
+        // TypeId(2) stays silent and must not appear in the output.
+        stats.snapshot(secs(2), 4)
+    }
+
+    #[test]
+    fn rendered_output_validates() {
+        let text = render_prometheus(&populated_snapshot(), &["fast", "medium fast"]);
+        let samples = validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(samples > 10, "only {samples} samples:\n{text}");
+    }
+
+    #[test]
+    fn counters_and_labels_are_present() {
+        let text = render_prometheus(&populated_snapshot(), &["fast", "medium fast"]);
+        assert!(text.contains("bouncer_queries_received_total{type=\"fast\"} 10"));
+        assert!(text.contains(
+            "bouncer_queries_rejected_total{type=\"medium fast\",reason=\"predicted-slo-violation\"} 1"
+        ));
+        assert!(text.contains("bouncer_queries_rejected_total{type=\"medium fast\",reason=\"queue-full\"} 1"));
+        assert!(text.contains("bouncer_response_time_seconds{type=\"fast\",quantile=\"0.5\"}"));
+        assert!(text.contains("bouncer_response_time_seconds_count{type=\"fast\"} 10"));
+        assert!(text.contains("bouncer_engine_utilization_ratio"));
+        // Silent type omitted; fallback naming unused here.
+        assert!(!text.contains("type_2"));
+    }
+
+    #[test]
+    fn missing_names_fall_back_to_index() {
+        let text = render_prometheus(&populated_snapshot(), &["fast"]);
+        assert!(text.contains("type=\"type_1\""));
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn label_escaping_stays_valid() {
+        let text = render_prometheus(&populated_snapshot(), &["fa\"st", "b\\ack"]);
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        assert!(validate_prometheus("no_type_decl 1").is_err());
+        assert!(validate_prometheus("# TYPE m counter\nm{unclosed 1").is_err());
+        assert!(validate_prometheus("# TYPE m counter\nm{a=\"b\"} notanumber").is_err());
+        assert!(validate_prometheus("# TYPE m wat\nm 1").is_err());
+        assert_eq!(validate_prometheus("# TYPE m counter\nm{a=\"b\"} 1").unwrap(), 1);
+    }
+
+    #[test]
+    fn summary_suffixes_resolve_to_family() {
+        let text = "# TYPE s summary\ns_sum{type=\"a\"} 1.5\ns_count{type=\"a\"} 3\n";
+        assert_eq!(validate_prometheus(text).unwrap(), 2);
+    }
+}

@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use bouncer_metrics::time::{as_secs_f64, secs, Nanos};
 use bouncer_metrics::MovingStats;
 
+use crate::obs::{Event, SinkSlot};
 use crate::policy::{AdmissionPolicy, Decision, RejectReason};
 use crate::rng::AtomicRng;
 use crate::types::TypeId;
@@ -80,6 +81,7 @@ pub struct AcceptFraction {
     last_update: AtomicU64,
     len: AtomicI64,
     rng: AtomicRng,
+    sink: SinkSlot,
 }
 
 impl AcceptFraction {
@@ -99,6 +101,7 @@ impl AcceptFraction {
             last_update: AtomicU64::new(0),
             len: AtomicI64::new(0),
             rng: AtomicRng::new(cfg.seed),
+            sink: SinkSlot::new(),
             cfg,
         }
     }
@@ -117,6 +120,11 @@ impl AcceptFraction {
         let dpc = qps * pt_secs;
         let f = (self.apc / dpc).min(1.0);
         self.fraction.store(f.to_bits(), Ordering::Relaxed);
+        self.sink.emit(|| Event::ThresholdUpdate {
+            at: now,
+            policy: "accept-fraction",
+            threshold: f,
+        });
     }
 
     /// Eq. 5 wait estimate used for the queue-timeout rejection.
@@ -176,6 +184,10 @@ impl AdmissionPolicy for AcceptFraction {
         {
             self.update_fraction(now);
         }
+    }
+
+    fn attach_sink(&self, sink: std::sync::Arc<dyn crate::obs::EventSink>) {
+        self.sink.attach(sink);
     }
 }
 

@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use bouncer_metrics::time::{secs, Nanos};
 use bouncer_metrics::{DualHistogram, SlidingHistogram};
 
+use crate::obs::{Event, SinkSlot};
 use crate::policy::{AdmissionPolicy, Decision, RejectReason};
 use crate::slo::{Percentile, Slo, SloConfig};
 use crate::types::TypeId;
@@ -212,6 +213,7 @@ pub struct Bouncer {
     /// Processing times across all types, used while a type is cold.
     general: Estimator,
     last_swap: AtomicU64,
+    sink: SinkSlot,
 }
 
 impl Bouncer {
@@ -234,6 +236,7 @@ impl Bouncer {
             slos,
             cfg,
             last_swap: AtomicU64::new(0),
+            sink: SinkSlot::new(),
         }
     }
 
@@ -412,6 +415,12 @@ impl AdmissionPolicy for Bouncer {
             state.hist.on_interval();
         }
         self.general.on_interval();
+        self.sink
+            .emit(|| Event::HistogramSwap { at: now, policy: "bouncer" });
+    }
+
+    fn attach_sink(&self, sink: std::sync::Arc<dyn crate::obs::EventSink>) {
+        self.sink.attach(sink);
     }
 }
 

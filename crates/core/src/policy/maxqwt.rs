@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use bouncer_metrics::time::{secs, Nanos};
 use bouncer_metrics::MovingStats;
 
+use crate::obs::{Event, SinkSlot};
 use crate::policy::{AdmissionPolicy, Decision, RejectReason};
 use crate::types::TypeId;
 
@@ -32,6 +33,7 @@ pub struct MaxQueueWaitTime {
     parallelism: u32,
     pt_mavg: MovingStats,
     len: AtomicI64,
+    sink: SinkSlot,
 }
 
 impl MaxQueueWaitTime {
@@ -61,6 +63,7 @@ impl MaxQueueWaitTime {
             parallelism,
             pt_mavg: MovingStats::new(window_duration, window_step),
             len: AtomicI64::new(0),
+            sink: SinkSlot::new(),
         }
     }
 
@@ -107,6 +110,20 @@ impl AdmissionPolicy for MaxQueueWaitTime {
     #[inline]
     fn on_completed(&self, _ty: TypeId, processing: Nanos, now: Nanos) {
         self.pt_mavg.record(processing, now);
+    }
+
+    fn on_tick(&self, now: Nanos) {
+        // The sliding window advances lazily on reads; the tick reports the
+        // refreshed `pt_mavg` so operators can watch Eq. 5's moving input.
+        self.sink.emit(|| Event::MovingAvgRefresh {
+            at: now,
+            policy: "maxqwt",
+            mean_ns: self.pt_mavg.mean(now).unwrap_or(0.0),
+        });
+    }
+
+    fn attach_sink(&self, sink: std::sync::Arc<dyn crate::obs::EventSink>) {
+        self.sink.attach(sink);
     }
 }
 

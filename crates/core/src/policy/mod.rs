@@ -129,6 +129,14 @@ pub trait AdmissionPolicy: Send + Sync {
     /// system) or from scheduled events (simulator). Policies must tolerate
     /// arbitrary call frequency and use `now` to pace internal work.
     fn on_tick(&self, _now: Nanos) {}
+
+    /// Installs an event sink for the policy's per-interval maintenance
+    /// events (histogram swaps, threshold updates, moving-average
+    /// refreshes). The framework calls this when a gate is built with a
+    /// sink; the default ignores it — policies without interval events
+    /// need no storage. Wrapper policies must forward to their inner
+    /// policy.
+    fn attach_sink(&self, _sink: std::sync::Arc<dyn crate::obs::EventSink>) {}
 }
 
 /// Blanket implementation so policies can be shared behind `Arc`.
@@ -150,6 +158,9 @@ impl<P: AdmissionPolicy + ?Sized> AdmissionPolicy for std::sync::Arc<P> {
     }
     fn on_tick(&self, now: Nanos) {
         (**self).on_tick(now)
+    }
+    fn attach_sink(&self, sink: std::sync::Arc<dyn crate::obs::EventSink>) {
+        (**self).attach_sink(sink)
     }
 }
 

@@ -127,6 +127,10 @@ impl<P: AdmissionPolicy> AdmissionPolicy for HelpingTheUnderserved<P> {
     fn on_tick(&self, now: Nanos) {
         self.inner.on_tick(now);
     }
+
+    fn attach_sink(&self, sink: std::sync::Arc<dyn crate::obs::EventSink>) {
+        self.inner.attach_sink(sink);
+    }
 }
 
 #[cfg(test)]

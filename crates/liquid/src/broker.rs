@@ -18,6 +18,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bouncer_core::framework::{Gate, GateConfig, ServerStats, TakeOutcome, Ticker};
+use bouncer_core::obs::{null_sink, EventSink};
 use bouncer_core::policy::{AdmissionPolicy, RejectReason};
 use bouncer_core::types::{TypeId, TypeRegistry};
 use bouncer_metrics::Clock;
@@ -111,6 +112,9 @@ pub struct BrokerConfig {
     /// never expire — the paper's evaluation uses "generous expiration
     /// times to ensure they do not time out").
     pub query_deadline: Option<Duration>,
+    /// Optional observability sink for this host's gate (lifecycle events
+    /// with wall-clock timestamps, plus the policy's interval events).
+    pub sink: Option<Arc<dyn EventSink>>,
 }
 
 impl Default for BrokerConfig {
@@ -121,6 +125,7 @@ impl Default for BrokerConfig {
             tick_period: Duration::from_millis(100),
             subquery_timeout: Duration::from_secs(10),
             query_deadline: None,
+            sink: None,
         }
     }
 }
@@ -146,7 +151,7 @@ impl Broker {
         assert!(cfg.engines > 0);
         assert!(!shards.is_empty());
         let registry = liquid_registry();
-        let gate: Arc<Gate<Job>> = Arc::new(Gate::new(
+        let gate: Arc<Gate<Job>> = Arc::new(Gate::new_with_sink(
             policy.clone(),
             registry.len(),
             clock.clone(),
@@ -154,6 +159,7 @@ impl Broker {
                 max_queue_len: cfg.max_queue_len,
                 ..GateConfig::default()
             },
+            cfg.sink.clone().unwrap_or_else(null_sink),
         ));
         let shards = Arc::new(shards);
         let engines = (0..cfg.engines)

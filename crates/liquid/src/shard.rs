@@ -12,6 +12,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bouncer_core::framework::{Gate, GateConfig, ServerStats, TakeOutcome, Ticker};
+use bouncer_core::obs::{null_sink, EventSink};
 use bouncer_core::policy::AdmissionPolicy;
 use bouncer_core::types::DEFAULT_TYPE;
 use bouncer_metrics::Clock;
@@ -45,6 +46,9 @@ pub struct ShardConfig {
     pub max_queue_len: Option<usize>,
     /// Policy maintenance period.
     pub tick_period: Duration,
+    /// Optional observability sink for this host's gate (lifecycle events
+    /// with wall-clock timestamps, plus the policy's interval events).
+    pub sink: Option<Arc<dyn EventSink>>,
 }
 
 impl Default for ShardConfig {
@@ -53,6 +57,7 @@ impl Default for ShardConfig {
             engines: 2,
             max_queue_len: Some(800),
             tick_period: Duration::from_millis(100),
+            sink: None,
         }
     }
 }
@@ -75,7 +80,7 @@ impl ShardHost {
         cfg: ShardConfig,
     ) -> Arc<Self> {
         assert!(cfg.engines > 0);
-        let gate: Arc<Gate<Job>> = Arc::new(Gate::new(
+        let gate: Arc<Gate<Job>> = Arc::new(Gate::new_with_sink(
             policy.clone(),
             1, // shard-side stats are type-oblivious, like its policy
             clock.clone(),
@@ -83,6 +88,7 @@ impl ShardHost {
                 max_queue_len: cfg.max_queue_len,
                 ..GateConfig::default()
             },
+            cfg.sink.clone().unwrap_or_else(null_sink),
         ));
         let data = Arc::new(data);
         let engines = (0..cfg.engines)

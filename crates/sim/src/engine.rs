@@ -3,10 +3,12 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::queue::{SimDiscipline, SimQueue};
 
 use bouncer_core::framework::ServerStats;
+use bouncer_core::obs::{null_sink, Event as ObsEvent, EventSink};
 use bouncer_core::policy::{AdmissionPolicy, RejectReason};
 use bouncer_core::types::TypeId;
 use bouncer_metrics::time::{millis, Nanos, SECOND};
@@ -45,6 +47,11 @@ pub struct SimConfig {
     /// motivate the paper (§1): e.g. `[(0, 1.0), (10s, 1.5), (30s, 1.0)]`
     /// is a 20-second 1.5× surge. Empty = constant rate.
     pub rate_steps: Vec<(Nanos, f64)>,
+    /// Optional observability sink; lifecycle events are emitted with
+    /// virtual-time timestamps, and the sink is attached to the policy for
+    /// its per-interval maintenance events. `None` (the default) costs
+    /// nothing on the arrival/completion paths.
+    pub sink: Option<Arc<dyn EventSink>>,
 }
 
 impl SimConfig {
@@ -61,6 +68,7 @@ impl SimConfig {
             max_queue_len: None,
             discipline: SimDiscipline::Fifo,
             rate_steps: Vec::new(),
+            sink: None,
         }
     }
 
@@ -106,6 +114,10 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
     let n_types = mix.max_type_index();
     let stats = ServerStats::new(n_types);
     stats.disable(); // warm-up first
+
+    let sink: Arc<dyn EventSink> = cfg.sink.clone().unwrap_or_else(null_sink);
+    policy.attach_sink(Arc::clone(&sink));
+    let observing = sink.enabled();
 
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     debug_assert!(
@@ -191,15 +203,28 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
                 match decision {
                     bouncer_core::policy::Decision::Reject(reason) => {
                         stats.on_rejected(ty, reason);
+                        if observing {
+                            sink.emit(&ObsEvent::Rejected { at: now, ty, reason });
+                        }
                     }
                     bouncer_core::policy::Decision::Accept => {
                         stats.on_accepted(ty);
                         in_flight += 1;
                         policy.on_enqueued(ty, now);
+                        if observing {
+                            sink.emit(&ObsEvent::Admitted { at: now, ty });
+                        }
                         if idle > 0 {
                             // An idle process picks it up immediately.
                             idle -= 1;
                             policy.on_dequeued(ty, 0, now);
+                            if observing {
+                                // The queue was empty (an engine was idle),
+                                // so the query passes straight through it.
+                                sink.emit(&ObsEvent::Enqueued { at: now, ty, queue_len: 1 });
+                                sink.emit(&ObsEvent::Dequeued { at: now, ty, wait: 0 });
+                                sink.emit(&ObsEvent::Started { at: now, ty });
+                            }
                             schedule(
                                 &mut heap,
                                 &mut events,
@@ -213,6 +238,13 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
                             );
                         } else {
                             queue.push(ty, pt, now);
+                            if observing {
+                                sink.emit(&ObsEvent::Enqueued {
+                                    at: now,
+                                    ty,
+                                    queue_len: queue.len(),
+                                });
+                            }
                         }
                     }
                 }
@@ -239,10 +271,23 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
                 let wait = dequeued_at - enqueued_at;
                 stats.on_completed(ty, wait, pt);
                 in_flight -= 1;
+                if observing {
+                    sink.emit(&ObsEvent::Completed {
+                        at: now,
+                        ty,
+                        wait,
+                        processing: pt,
+                        rt: wait.saturating_add(pt),
+                    });
+                }
 
                 if let Some(next) = queue.pop() {
                     let wait = now - next.enqueued_at;
                     policy.on_dequeued(next.ty, wait, now);
+                    if observing {
+                        sink.emit(&ObsEvent::Dequeued { at: now, ty: next.ty, wait });
+                        sink.emit(&ObsEvent::Started { at: now, ty: next.ty });
+                    }
                     schedule(
                         &mut heap,
                         &mut events,
@@ -260,6 +305,8 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
             }
         }
     }
+
+    sink.flush();
 
     let started = measuring_since.unwrap_or(0);
     SimResult {

@@ -1,0 +1,101 @@
+//! The query-lifecycle observability layer, end to end.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+//!
+//! Runs a short overloaded simulation with Bouncer at the door and two
+//! consumers attached:
+//!
+//! * a [`JsonlSink`] capturing every lifecycle and policy event as one JSON
+//!   object per line (what the CLI's `--events-out` writes), and
+//! * [`render_prometheus`], turning the run's final `StatsSnapshot` into
+//!   the Prometheus text exposition format (what `--metrics-out` writes).
+//!
+//! The event log is then re-read to reconstruct a per-type admit/reject
+//! tally — the kind of offline diagnosis OBSERVABILITY.md walks through.
+
+use std::sync::Arc;
+
+use bouncer_repro::core::obs::{parse_json, render_prometheus, validate_prometheus, JsonlSink};
+use bouncer_repro::core::prelude::*;
+use bouncer_repro::metrics::time::millis;
+use bouncer_repro::sim::{run, SimConfig};
+use bouncer_repro::workload::mix::paper_table1_mix;
+
+fn main() {
+    let mut registry = TypeRegistry::new();
+    let mix = paper_table1_mix(&mut registry);
+    let capacity = mix.qps_full_load(100);
+
+    // 1. A JSONL event log on disk, exactly like `--events-out`.
+    let events_path = std::env::temp_dir().join("bouncer-observability-demo.jsonl");
+    let sink = JsonlSink::create(&events_path).expect("cannot create event log");
+
+    let slos = SloConfig::uniform(&registry, Slo::p50_p90(millis(18), millis(50)));
+    let bouncer = Bouncer::new(slos, BouncerConfig::with_parallelism(100));
+
+    let mut cfg = SimConfig::quick(capacity * 1.35, 7);
+    cfg.measured_queries = 100_000;
+    cfg.warmup_queries = 20_000;
+    cfg.sink = Some(Arc::new(sink));
+
+    println!(
+        "running bouncer at 1.35x of capacity ({:.0} QPS), events -> {}\n",
+        capacity * 1.35,
+        events_path.display()
+    );
+    let result = run(&bouncer, &mix, &cfg);
+
+    // 2. Re-read the log: every line is one JSON event.
+    let log = std::fs::read_to_string(&events_path).expect("event log vanished");
+    let mut admitted = vec![0u64; registry.len()];
+    let mut rejected = vec![0u64; registry.len()];
+    let mut swaps = 0u64;
+    for line in log.lines() {
+        let v = parse_json(line).expect("sink wrote invalid JSON");
+        let event = v.get("event").and_then(|e| e.as_str()).unwrap();
+        let ty = v.get("type").and_then(|t| t.as_u64()).map(|t| t as usize);
+        match (event, ty) {
+            ("admitted", Some(t)) => admitted[t] += 1,
+            ("rejected", Some(t)) => rejected[t] += 1,
+            ("histogram_swap", _) => swaps += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "{} events logged ({} bouncer histogram swaps)\n",
+        log.lines().count(),
+        swaps
+    );
+    println!("{:<14} {:>10} {:>10} {:>10}", "type", "admitted", "rejected", "shed%");
+    for (ty, name) in registry.iter() {
+        let (a, r) = (admitted[ty.index()], rejected[ty.index()]);
+        if a + r == 0 {
+            continue;
+        }
+        println!(
+            "{:<14} {:>10} {:>10} {:>9.1}%",
+            name,
+            a,
+            r,
+            100.0 * r as f64 / (a + r) as f64
+        );
+    }
+
+    // 3. The same run's aggregate statistics as Prometheus text.
+    let names: Vec<&str> = registry.iter().map(|(_, n)| n).collect();
+    let metrics = render_prometheus(&result.stats, &names);
+    let samples = validate_prometheus(&metrics).expect("renderer produced invalid text");
+    println!("\nprometheus exposition ({samples} samples); excerpt:");
+    for line in metrics
+        .lines()
+        .filter(|l| l.contains("rejected") || l.contains("utilization"))
+        .take(12)
+    {
+        println!("  {line}");
+    }
+
+    let _ = std::fs::remove_file(&events_path);
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local gate: release build, all tests, clippy as errors.
+#
+# The build environment is fully offline (external crates are satisfied by
+# the stubs under vendor/ — see vendor/README.md), so every cargo call pins
+# --offline; nothing here ever touches the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -145,9 +145,9 @@ fn overload_produces_broker_side_early_rejections() {
         &mix,
         cluster.registry().len(),
         &LoadGenConfig {
-            rate_qps: 3_000.0, // far beyond this small cluster's capacity
+            rate_qps: 12_000.0, // far beyond this small cluster's capacity
             duration: Duration::from_secs(2),
-            workers: 32,
+            workers: 64,
             seed: 9,
         },
         |ty, rng| {

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock micro-benchmark harness with the API surface the
+//! workspace's `overhead` bench uses: [`Criterion::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. No warm-up modelling, outlier analysis, or HTML reports —
+//! each benchmark is timed in batches for a fixed wall-clock budget and
+//! the mean with min/max batch bounds is printed to stdout.
+//!
+//! `CRITERION_BUDGET_MS` (env var) overrides the per-benchmark
+//! measurement budget (default 300 ms).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions; registers named benchmarks.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` with a [`Bencher`] and prints `id` with per-iteration
+    /// timing statistics.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.budget,
+            batches: Vec::new(),
+            total_iters: 0,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    budget: Duration,
+    /// Per-batch mean nanoseconds per iteration.
+    batches: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate a batch size targeting roughly 1ms per batch so the
+        // clock is read off the hot path.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.batches.push(elapsed.as_nanos() as f64 / batch as f64);
+            self.total_iters += batch;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.batches.is_empty() {
+            println!("{id:<44} (no measurements)");
+            return;
+        }
+        let mean = self.batches.iter().sum::<f64>() / self.batches.len() as f64;
+        let min = self.batches.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.batches.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{id:<44} time: [{} {} {}]  ({} iters)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            self.total_iters
+        );
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit, criterion-style.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: a function that runs each listed
+/// benchmark function against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("tiny/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        std::env::set_var("CRITERION_BUDGET_MS", "10");
+        let mut c = Criterion::default();
+        tiny_bench(&mut c);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_ns(12.3456), "12.35 ns");
+        assert_eq!(fmt_ns(12_345.6), "12.346 µs");
+        assert!(fmt_ns(12_345_678.0).ends_with("ms"));
+    }
+}
