@@ -82,6 +82,45 @@ fn bench_policies(c: &mut Criterion) {
     });
 }
 
+/// The tentpole measurement: the interval-cached `admit` (a handful of
+/// relaxed loads reading the estimate table) against the retained
+/// recompute-from-scratch reference (Eq. 2 loop over every type plus two
+/// histogram quantile scans), across type-count scales. The cached path
+/// must stay flat in the number of types; the reference grows linearly.
+/// `cold` variants decide for a type still in warm-up (general-histogram
+/// fallback), the worst case for the cache-refresh bookkeeping.
+fn bench_admit_hot_path(c: &mut Criterion) {
+    for n_types in [1usize, 12, 64, 256] {
+        let (bouncer, reg) = warmed_bouncer(n_types);
+        let ty = reg.resolve("QT1").unwrap();
+        c.bench_function(&format!("admit_hot_path/cached/{n_types}_types"), |b| {
+            b.iter(|| black_box(bouncer.can_admit(black_box(ty), secs(1))))
+        });
+        c.bench_function(&format!("admit_hot_path/reference/{n_types}_types"), |b| {
+            b.iter(|| black_box(bouncer.can_admit_reference(black_box(ty), secs(1))))
+        });
+    }
+
+    // Cold: no completions recorded at all, every type reads the general
+    // fallback and the permissive cold-start leniency applies.
+    for n_types in [12usize, 64] {
+        let mut reg = TypeRegistry::new();
+        for i in 0..n_types {
+            reg.register(&format!("QT{}", i + 1));
+        }
+        let slos = SloConfig::uniform(&reg, Slo::p50_p90(millis(18), millis(50)));
+        let bouncer = Bouncer::new(slos, BouncerConfig::with_parallelism(100));
+        let ty = reg.resolve("QT1").unwrap();
+        c.bench_function(&format!("admit_hot_path/cached_cold/{n_types}_types"), |b| {
+            b.iter(|| black_box(bouncer.can_admit(black_box(ty), secs(1))))
+        });
+        c.bench_function(
+            &format!("admit_hot_path/reference_cold/{n_types}_types"),
+            |b| b.iter(|| black_box(bouncer.can_admit_reference(black_box(ty), secs(1)))),
+        );
+    }
+}
+
 fn bench_primitives(c: &mut Criterion) {
     let hist = AtomicHistogram::new();
     for v in 0..10_000u64 {
@@ -225,6 +264,7 @@ fn bench_observability(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_policies,
+    bench_admit_hot_path,
     bench_primitives,
     bench_full_gate_path,
     bench_observability

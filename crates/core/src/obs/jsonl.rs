@@ -65,6 +65,23 @@ impl Event {
                     fmt_f64(mean_ns)
                 );
             }
+            Event::EstimateRefresh {
+                policy,
+                warm,
+                mean_ns,
+                pt_tail_ns,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"policy\":\"{}\",\"warm\":{warm},\"mean_ns\":{}",
+                    escape(policy),
+                    fmt_f64(mean_ns)
+                );
+                if let Some(pt) = pt_tail_ns {
+                    let _ = write!(s, ",\"pt_tail_ns\":{pt}");
+                }
+            }
         }
         s.push('}');
         s
@@ -204,6 +221,22 @@ mod tests {
                 at: 42,
                 policy: "maxqwt",
                 mean_ns: 1_500_000.5,
+            },
+            Event::EstimateRefresh {
+                at: 43,
+                policy: "bouncer",
+                ty: TypeId(1),
+                warm: true,
+                mean_ns: 2_000_000.25,
+                pt_tail_ns: Some(5_000_000),
+            },
+            Event::EstimateRefresh {
+                at: 44,
+                policy: "bouncer",
+                ty: TypeId(0),
+                warm: false,
+                mean_ns: 0.0,
+                pt_tail_ns: None,
             },
         ]
     }

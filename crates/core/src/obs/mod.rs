@@ -141,6 +141,25 @@ pub enum Event {
         /// The refreshed mean, in nanoseconds (0 when no samples).
         mean_ns: f64,
     },
+    /// A policy rebuilt one query type's entry in its interval-cached
+    /// estimate table (Bouncer's per-swap refresh of the cached Eq. 2–4
+    /// inputs); emitted once per type at each rebuild.
+    EstimateRefresh {
+        /// Rebuild time.
+        at: Nanos,
+        /// `AdmissionPolicy::name()` of the emitting policy.
+        policy: &'static str,
+        /// The query type this entry prices.
+        ty: TypeId,
+        /// `false` while the type still decides via the general histogram
+        /// and the `default` SLO (Appendix A warm-up).
+        warm: bool,
+        /// The cached `pt_mean`, in nanoseconds (0 when everything is cold).
+        mean_ns: f64,
+        /// The cached percentile estimate for the SLO's last (tail) target,
+        /// when resolved — e.g. `pt_p90` under a p50/p90 SLO.
+        pt_tail_ns: Option<Nanos>,
+    },
 }
 
 impl Event {
@@ -157,6 +176,7 @@ impl Event {
             Event::HistogramSwap { .. } => "histogram_swap",
             Event::ThresholdUpdate { .. } => "threshold_update",
             Event::MovingAvgRefresh { .. } => "moving_avg_refresh",
+            Event::EstimateRefresh { .. } => "estimate_refresh",
         }
     }
 
@@ -172,7 +192,8 @@ impl Event {
             | Event::Expired { at, .. }
             | Event::HistogramSwap { at, .. }
             | Event::ThresholdUpdate { at, .. }
-            | Event::MovingAvgRefresh { at, .. } => at,
+            | Event::MovingAvgRefresh { at, .. }
+            | Event::EstimateRefresh { at, .. } => at,
         }
     }
 
@@ -185,7 +206,8 @@ impl Event {
             | Event::Dequeued { ty, .. }
             | Event::Started { ty, .. }
             | Event::Completed { ty, .. }
-            | Event::Expired { ty, .. } => Some(ty),
+            | Event::Expired { ty, .. }
+            | Event::EstimateRefresh { ty, .. } => Some(ty),
             Event::HistogramSwap { .. }
             | Event::ThresholdUpdate { .. }
             | Event::MovingAvgRefresh { .. } => None,

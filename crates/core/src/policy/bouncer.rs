@@ -24,10 +24,11 @@
 //! buffer with too few samples is retained rather than replaced by an empty
 //! one ("we prefer stale data to no data").
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use bouncer_metrics::estimate::{fp_to_ns, mean_to_fp};
 use bouncer_metrics::time::{secs, Nanos};
-use bouncer_metrics::{DualHistogram, SlidingHistogram};
+use bouncer_metrics::{DualHistogram, EstimateTable, SlidingHistogram};
 
 use crate::obs::{Event, SinkSlot};
 use crate::policy::{AdmissionPolicy, Decision, RejectReason};
@@ -196,6 +197,44 @@ impl Estimator {
             Estimator::Sliding(h) => (h.count(now) >= min).then(|| h.mean(now)).flatten(),
         }
     }
+
+    /// Batch form of [`Estimator::quantile`]: one cumulative scan for all
+    /// `qs`, used by the estimate-table rebuild. Semantics match per-`q`
+    /// calls exactly (the Some/None outcome depends only on the counts, not
+    /// on `q`).
+    fn quantiles(&self, qs: &[f64], now: Nanos, min: u64, out: &mut [Option<Nanos>]) {
+        match self {
+            Estimator::Dual(h) => {
+                if h.read_count() >= min {
+                    h.values_at_quantiles(qs, out);
+                } else if h.populating_count() >= min {
+                    h.populating_quantiles(qs, out);
+                } else {
+                    out.fill(None);
+                }
+            }
+            Estimator::Sliding(h) => {
+                if h.count(now) >= min {
+                    h.values_at_quantiles(qs, now, out);
+                } else {
+                    out.fill(None);
+                }
+            }
+        }
+    }
+
+    /// `true` while reads at a fixed `now` may still change *without* an
+    /// interval boundary: a dual buffer serves the populating buffer until
+    /// the frozen one is sufficiently populated (the warm-up bridge), and a
+    /// sliding window sees every fresh sample immediately. Non-volatile
+    /// estimators change their reads only at swap points — the invariant
+    /// the estimate table's caching rests on.
+    fn is_volatile(&self, min: u64) -> bool {
+        match self {
+            Estimator::Dual(h) => h.read_count() < min,
+            Estimator::Sliding(_) => true,
+        }
+    }
 }
 
 struct TypeState {
@@ -206,12 +245,37 @@ struct TypeState {
 }
 
 /// The Bouncer admission-control policy.
+///
+/// # The interval-cached hot path
+///
+/// The decision path (`admit`/`can_admit`) does **not** recompute Eq. 2–4:
+/// it reads an [`EstimateTable`] — per-type cached means and resolved
+/// `(pt_pX, SLO_pX)` pairs — plus a running demand counter maintained by
+/// `on_enqueued`/`on_dequeued`, making the decision O(SLO targets) in a
+/// handful of relaxed loads, independent of type count and histogram size.
+/// The cache is exact, not approximate (modulo the fixed-point mean
+/// representation, < 4 ps per queued query): non-volatile estimators change
+/// their reads only at swap points, where `on_tick` rebuilds the whole
+/// table, and volatile ones (warm-up bridge, sliding windows) are refreshed
+/// on the completions and interval boundaries that move them. The
+/// recompute-from-scratch path is retained as
+/// [`Bouncer::can_admit_reference`] for equivalence testing and before/after
+/// benchmarking.
 pub struct Bouncer {
     slos: SloConfig,
     cfg: BouncerConfig,
     per_type: Vec<TypeState>,
     /// Processing times across all types, used while a type is cold.
     general: Estimator,
+    /// The interval-cached estimates + demand counter behind `can_admit`.
+    table: EstimateTable,
+    /// Number of types currently cold (reading the general fallback); lets
+    /// `on_completed` skip the refresh-all-cold sweep in the steady state.
+    cold_types: AtomicUsize,
+    /// Sliding mode only: the interval number (`now / histogram_interval`)
+    /// the table was last rebuilt for; crossing a boundary triggers a lazy
+    /// rebuild because slot expiry changes sliding reads with time alone.
+    last_refresh_slot: AtomicU64,
     last_swap: AtomicU64,
     sink: SinkSlot,
 }
@@ -224,14 +288,22 @@ impl Bouncer {
         if let HistogramMode::Sliding { intervals } = cfg.histogram_mode {
             assert!(intervals >= 2, "sliding mode needs >= 2 intervals");
         }
-        let per_type = (0..slos.n_types())
+        let per_type: Vec<TypeState> = (0..slos.n_types())
             .map(|_| TypeState {
                 hist: Estimator::new(&cfg),
                 queued: AtomicU64::new(0),
             })
             .collect();
+        let max_targets = (0..slos.n_types())
+            .map(|i| slos.slo_for(TypeId::from_index(i as u32)).targets().len())
+            .chain(std::iter::once(slos.default_slo().targets().len()))
+            .max()
+            .unwrap_or(0);
         Self {
             general: Estimator::new(&cfg),
+            table: EstimateTable::new(per_type.len(), max_targets),
+            cold_types: AtomicUsize::new(per_type.len()),
+            last_refresh_slot: AtomicU64::new(0),
             per_type,
             slos,
             cfg,
@@ -343,7 +415,52 @@ impl Bouncer {
 
     /// Algorithm 1, exposed under the paper's name for the starvation
     /// avoidance strategies (`Bouncer.CanAdmit(Q)`).
+    ///
+    /// This is the O(1) fast path: a lookup in the interval-cached
+    /// [`EstimateTable`] plus one comparison per SLO target, never touching
+    /// a histogram. [`Bouncer::can_admit_reference`] recomputes the same
+    /// decision from scratch.
     pub fn can_admit(&self, ty: TypeId, now: Nanos) -> Decision {
+        if matches!(self.cfg.histogram_mode, HistogramMode::Sliding { .. }) {
+            self.maybe_rebuild_for_slot(now);
+        }
+        let entry = self.table.entry(ty.index());
+        // Eq. 2 from the running demand counter, shaped exactly like the
+        // reference's `demand / P` division.
+        let ewt = self.table.demand_ns() / self.cfg.parallelism as f64;
+        let mut violated = 0usize;
+        let mut evaluated = 0usize;
+        for k in 0..entry.n_targets() {
+            let (pt, target) = entry.target(k);
+            // A `None` slot means neither the type nor the general histogram
+            // had data: cold-start leniency (Appendix A).
+            let Some(pt) = pt else {
+                continue;
+            };
+            evaluated += 1;
+            if ewt + pt as f64 > target as f64 {
+                violated += 1;
+                if self.cfg.decision_rule == DecisionRule::RejectIfAnyViolated {
+                    return Decision::Reject(RejectReason::PredictedSloViolation);
+                }
+            }
+        }
+        let reject_all = self.cfg.decision_rule == DecisionRule::RejectIfAllViolated
+            && evaluated > 0
+            && violated == evaluated;
+        if reject_all {
+            Decision::Reject(RejectReason::PredictedSloViolation)
+        } else {
+            Decision::Accept
+        }
+    }
+
+    /// The seed's exact decision path: recomputes Eq. 2 over every type and
+    /// re-reads the percentile histograms on each call. Kept as the
+    /// reference the cached [`Bouncer::can_admit`] is equivalence-tested
+    /// against (`crates/core/tests/estimate_equivalence.rs`) and as the
+    /// "before" side of the `admit_hot_path` benchmark.
+    pub fn can_admit_reference(&self, ty: TypeId, now: Nanos) -> Decision {
         let ewt = self.estimated_wait_mean_at(now);
         let slo = self.effective_slo(ty, now);
         let mut violated = 0usize;
@@ -371,6 +488,103 @@ impl Bouncer {
             Decision::Accept
         }
     }
+
+    /// Recomputes one type's table entry from the estimators at `now`:
+    /// cached mean (compensating the demand counter for the queries already
+    /// queued), warm flag, and the resolved `(pt_pX, limit)` pairs under the
+    /// SLO in effect.
+    fn refresh_entry(&self, i: usize, now: Nanos) {
+        let min = self.min_samples();
+        let state = &self.per_type[i];
+        let ty = TypeId::from_index(i as u32);
+
+        let mean = state
+            .hist
+            .mean(now, min)
+            .or_else(|| self.general.mean(now, min))
+            .unwrap_or(0.0);
+        self.table
+            .set_mean(i, mean_to_fp(mean), state.queued.load(Ordering::Relaxed));
+
+        let warm = state.hist.usable_count(now, min) >= min;
+        if warm != self.table.entry(i).is_warm() {
+            self.table.set_warm(i, warm);
+            if warm {
+                self.cold_types.fetch_sub(1, Ordering::Relaxed);
+            } else {
+                self.cold_types.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let slo = if warm {
+            self.slos.slo_for(ty)
+        } else {
+            self.slos.default_slo()
+        };
+        let targets = slo.targets();
+        // One cumulative scan prices every percentile; SLOs have a handful
+        // of targets, so a stack buffer covers the practical case.
+        const STACK: usize = 8;
+        let mut qs_buf = [0.0f64; STACK];
+        let mut own_buf = [None; STACK];
+        let mut gen_buf = [None; STACK];
+        let n = targets.len();
+        if n <= STACK {
+            let qs = &mut qs_buf[..n];
+            for (slot, &(p, _)) in qs.iter_mut().zip(targets) {
+                *slot = p.quantile();
+            }
+            let own = &mut own_buf[..n];
+            state.hist.quantiles(qs, now, min, own);
+            // Some/None depends only on counts: the own slots are either all
+            // resolved or all empty, so one general pass covers the gaps.
+            if own.iter().any(Option::is_none) {
+                self.general.quantiles(qs, now, min, &mut gen_buf[..n]);
+            }
+            let mut resolved = [(None, 0u64); STACK];
+            for (k, &(_, limit)) in targets.iter().enumerate() {
+                resolved[k] = (own[k].or(gen_buf[k]), limit);
+            }
+            self.table.set_targets(i, &resolved[..n]);
+        } else {
+            let resolved: Vec<(Option<Nanos>, Nanos)> = targets
+                .iter()
+                .map(|&(p, limit)| (self.processing_quantile_at(ty, p, now), limit))
+                .collect();
+            self.table.set_targets(i, &resolved);
+        }
+    }
+
+    /// Rebuilds every table entry and re-anchors the demand counter to an
+    /// exactly recomputed `Σ queued × mean` — called at swap points and
+    /// sliding interval boundaries.
+    fn rebuild_table(&self, now: Nanos) {
+        for i in 0..self.per_type.len() {
+            self.refresh_entry(i, now);
+        }
+        self.table
+            .reanchor_demand(self.per_type.iter().map(|s| s.queued.load(Ordering::Relaxed)));
+    }
+
+    /// Sliding mode's lazy boundary rebuild: a sliding read changes when
+    /// `now` crosses into a new interval (slots expire by time alone), so
+    /// the first decision of each interval rebuilds the table. Within one
+    /// interval, sliding reads are pure functions of the recorded data and
+    /// the per-completion refreshes keep the table exact.
+    fn maybe_rebuild_for_slot(&self, now: Nanos) {
+        let slot = now / self.cfg.histogram_interval;
+        let last = self.last_refresh_slot.load(Ordering::Acquire);
+        if slot == last {
+            return;
+        }
+        if self
+            .last_refresh_slot
+            .compare_exchange(last, slot, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.rebuild_table(now);
+        }
+    }
 }
 
 impl AdmissionPolicy for Bouncer {
@@ -386,17 +600,36 @@ impl AdmissionPolicy for Bouncer {
     #[inline]
     fn on_enqueued(&self, ty: TypeId, _now: Nanos) {
         self.per_type[ty.index()].queued.fetch_add(1, Ordering::Relaxed);
+        self.table.on_enqueued(ty.index());
     }
 
     #[inline]
     fn on_dequeued(&self, ty: TypeId, _wait: Nanos, _now: Nanos) {
         self.per_type[ty.index()].queued.fetch_sub(1, Ordering::Relaxed);
+        self.table.on_dequeued(ty.index());
     }
 
-    #[inline]
     fn on_completed(&self, ty: TypeId, processing: Nanos, now: Nanos) {
-        self.per_type[ty.index()].hist.record(processing, now);
+        let i = ty.index();
+        self.per_type[i].hist.record(processing, now);
         self.general.record(processing, now);
+        // Keep the cache exact through the warm-up bridge: a volatile
+        // estimator's reads move with this very sample, so re-price the
+        // affected entries now instead of waiting for the next swap.
+        let min = self.min_samples();
+        if self.per_type[i].hist.is_volatile(min) {
+            self.refresh_entry(i, now);
+        }
+        // A volatile *general* estimator changes the fallback every cold
+        // type reads; in the steady state (`cold_types == 0`, general
+        // frozen) this costs two relaxed loads.
+        if self.general.is_volatile(min) && self.cold_types.load(Ordering::Relaxed) > 0 {
+            for j in 0..self.per_type.len() {
+                if j != i && !self.table.entry(j).is_warm() {
+                    self.refresh_entry(j, now);
+                }
+            }
+        }
     }
 
     fn on_tick(&self, now: Nanos) {
@@ -415,8 +648,25 @@ impl AdmissionPolicy for Bouncer {
             state.hist.on_interval();
         }
         self.general.on_interval();
+        self.last_refresh_slot
+            .store(now / self.cfg.histogram_interval, Ordering::Release);
+        self.rebuild_table(now);
         self.sink
             .emit(|| Event::HistogramSwap { at: now, policy: "bouncer" });
+        for i in 0..self.per_type.len() {
+            self.sink.emit(|| {
+                let entry = self.table.entry(i);
+                let n = entry.n_targets();
+                Event::EstimateRefresh {
+                    at: now,
+                    policy: "bouncer",
+                    ty: TypeId::from_index(i as u32),
+                    warm: entry.is_warm(),
+                    mean_ns: fp_to_ns(entry.mean_fp()),
+                    pt_tail_ns: if n > 0 { entry.target(n - 1).0 } else { None },
+                }
+            });
+        }
     }
 
     fn attach_sink(&self, sink: std::sync::Arc<dyn crate::obs::EventSink>) {

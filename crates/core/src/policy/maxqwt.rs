@@ -16,7 +16,7 @@
 //! query type*; [`MaxQueueWaitTime::with_per_type_limits`] implements that
 //! variant (Figure 14).
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use bouncer_metrics::time::{secs, Nanos};
 use bouncer_metrics::MovingStats;
@@ -26,6 +26,14 @@ use crate::policy::{AdmissionPolicy, Decision, RejectReason};
 use crate::types::TypeId;
 
 /// Admits while the estimated mean queue wait time is within a limit.
+///
+/// The decision path caches `pt_mavg` per window step: within one step the
+/// moving average is read once and reused (new completions land in the
+/// average but are only re-priced at the next step boundary or tick — a
+/// staleness of at most Δ, the same granularity the window itself rolls
+/// at), so `admit` is three relaxed loads in the steady state. The queue
+/// length `l` stays live. [`MaxQueueWaitTime::estimated_wait_mean`] remains
+/// the uncached reference read.
 pub struct MaxQueueWaitTime {
     /// Wait-time limit per type; a single-element vector means one global
     /// limit (the paper's default implementation, type-oblivious).
@@ -33,6 +41,13 @@ pub struct MaxQueueWaitTime {
     parallelism: u32,
     pt_mavg: MovingStats,
     len: AtomicI64,
+    /// Window step Δ, the granularity of the cached-mean refresh.
+    window_step: Nanos,
+    /// `f64::to_bits` of the cached `pt_mavg` mean.
+    cached_mean_bits: AtomicU64,
+    /// The window-step number (`now / Δ`) the cache was refreshed in;
+    /// `u64::MAX` until the first read.
+    cached_step: AtomicU64,
     sink: SinkSlot,
 }
 
@@ -58,11 +73,15 @@ impl MaxQueueWaitTime {
     ) -> Self {
         assert!(!limits.is_empty(), "need at least one wait-time limit");
         assert!(parallelism > 0, "parallelism must be positive");
+        assert!(window_step > 0, "window step must be positive");
         Self {
             limits,
             parallelism,
             pt_mavg: MovingStats::new(window_duration, window_step),
             len: AtomicI64::new(0),
+            window_step,
+            cached_mean_bits: AtomicU64::new(0),
+            cached_step: AtomicU64::new(u64::MAX),
             sink: SinkSlot::new(),
         }
     }
@@ -75,11 +94,35 @@ impl MaxQueueWaitTime {
         }
     }
 
-    /// Eq. 5: the current mean queue wait estimate, `l · pt_mavg / P`.
+    /// Eq. 5: the current mean queue wait estimate, `l · pt_mavg / P` —
+    /// the uncached reference read (`admit` uses the step-cached mean).
     pub fn estimated_wait_mean(&self, now: Nanos) -> f64 {
         let l = self.len.load(Ordering::Relaxed).max(0) as f64;
         let pt = self.pt_mavg.mean(now).unwrap_or(0.0);
         l * pt / self.parallelism as f64
+    }
+
+    /// The `pt_mavg` read behind `admit`: refreshed once per window step
+    /// (and on every tick), reused for every decision within the step.
+    #[inline]
+    fn cached_mean(&self, now: Nanos) -> f64 {
+        let step = now / self.window_step;
+        if self.cached_step.load(Ordering::Relaxed) == step {
+            f64::from_bits(self.cached_mean_bits.load(Ordering::Relaxed))
+        } else {
+            self.refresh_cached_mean(now, step)
+        }
+    }
+
+    #[cold]
+    fn refresh_cached_mean(&self, now: Nanos, step: u64) -> f64 {
+        let mean = self.pt_mavg.mean(now).unwrap_or(0.0);
+        // Mean before step: a racing reader in the same step may pair the
+        // new step with the old mean for one decision — a transient one
+        // window-step of staleness, which this cache trades away anyway.
+        self.cached_mean_bits.store(mean.to_bits(), Ordering::Relaxed);
+        self.cached_step.store(step, Ordering::Relaxed);
+        mean
     }
 }
 
@@ -90,7 +133,9 @@ impl AdmissionPolicy for MaxQueueWaitTime {
 
     #[inline]
     fn admit(&self, ty: TypeId, now: Nanos) -> Decision {
-        if self.estimated_wait_mean(now) <= self.limit_for(ty) as f64 {
+        let l = self.len.load(Ordering::Relaxed).max(0) as f64;
+        let est = l * self.cached_mean(now) / self.parallelism as f64;
+        if est <= self.limit_for(ty) as f64 {
             Decision::Accept
         } else {
             Decision::Reject(RejectReason::WaitTimeLimit)
@@ -113,12 +158,14 @@ impl AdmissionPolicy for MaxQueueWaitTime {
     }
 
     fn on_tick(&self, now: Nanos) {
-        // The sliding window advances lazily on reads; the tick reports the
-        // refreshed `pt_mavg` so operators can watch Eq. 5's moving input.
+        // The sliding window advances lazily on reads; the tick re-prices
+        // the decision cache and reports the refreshed `pt_mavg` so
+        // operators can watch Eq. 5's moving input.
+        let mean = self.refresh_cached_mean(now, now / self.window_step);
         self.sink.emit(|| Event::MovingAvgRefresh {
             at: now,
             policy: "maxqwt",
-            mean_ns: self.pt_mavg.mean(now).unwrap_or(0.0),
+            mean_ns: mean,
         });
     }
 
@@ -193,6 +240,38 @@ mod tests {
         p.on_enqueued(TypeId(0), secs(1)); // estimate = 10ms
         assert!(!p.admit(TypeId(0), secs(1)).is_accept());
         assert!(p.admit(TypeId(1), secs(1)).is_accept());
+    }
+
+    #[test]
+    fn cached_mean_refreshes_at_step_boundaries_and_on_tick() {
+        let p = MaxQueueWaitTime::with_window(vec![millis(15)], 1, secs(10), secs(1));
+        for i in 0..50 {
+            p.on_completed(TypeId(0), millis(5), i * millis(10));
+        }
+        p.on_enqueued(TypeId(0), secs(1));
+        // First decision of step 1 prices pt_mavg = 5ms: 1 x 5 / 1 <= 15ms.
+        assert!(p.admit(TypeId(0), secs(1)).is_accept());
+        // New completions within the same step are not re-priced yet...
+        for _ in 0..500 {
+            p.on_completed(TypeId(0), millis(100), secs(1) + millis(1));
+        }
+        assert!(p.admit(TypeId(0), secs(1) + millis(2)).is_accept());
+        // ...but the uncached reference already sees them...
+        assert!(p.estimated_wait_mean(secs(1) + millis(2)) > millis(15) as f64);
+        // ...and a tick re-prices the cache without a step change.
+        p.on_tick(secs(1) + millis(3));
+        assert!(!p.admit(TypeId(0), secs(1) + millis(4)).is_accept());
+        // A step boundary alone also refreshes.
+        let p2 = MaxQueueWaitTime::with_window(vec![millis(15)], 1, secs(10), secs(1));
+        for i in 0..50 {
+            p2.on_completed(TypeId(0), millis(5), i * millis(10));
+        }
+        p2.on_enqueued(TypeId(0), secs(1));
+        assert!(p2.admit(TypeId(0), secs(1)).is_accept());
+        for _ in 0..500 {
+            p2.on_completed(TypeId(0), millis(100), secs(1) + millis(1));
+        }
+        assert!(!p2.admit(TypeId(0), secs(2)).is_accept());
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Exhaustive equivalence check between Bouncer's interval-cached decision
+//! path ([`Bouncer::can_admit`]) and the recompute-from-scratch reference
+//! ([`Bouncer::can_admit_reference`]).
+//!
+//! The cached path is designed to be *exact*, not approximate: under random
+//! interleavings of completions, enqueues, dequeues, ticks, and time
+//! advances, both paths must return the identical [`Decision`] for every
+//! type after every single operation — through warm-up transitions, general
+//! -histogram fallback, retention, and (in sliding mode) lazy window
+//! expiry.
+//!
+//! The vendored `proptest` stub runs `PROPTEST_CASES` (default 64) cases
+//! per property with no override knob, so this harness drives its own
+//! seeded loop: at least [`MIN_CASES`] random interleavings per
+//! (decision rule × histogram mode) combination.
+
+use bouncer_core::prelude::*;
+use bouncer_metrics::time::{millis, secs, Nanos};
+use proptest::test_runner::TestRng;
+
+/// Minimum random interleavings per (rule × mode) combination. The
+/// environment variable `PROPTEST_CASES` can raise (never lower) this.
+const MIN_CASES: u32 = 1_000;
+
+/// Types exercised per case.
+const N_TYPES: usize = 3;
+
+/// Operations per interleaving.
+const OPS_PER_CASE: usize = 28;
+
+fn cases() -> u32 {
+    proptest::test_runner::cases().max(MIN_CASES)
+}
+
+/// Builds a Bouncer over [`N_TYPES`] types with small, randomized warm-up
+/// and retention thresholds so a short interleaving crosses cold → warm
+/// (and, with retention, swap-retained) regimes.
+fn build(rule: DecisionRule, mode: HistogramMode, rng: &mut TestRng) -> Bouncer {
+    let mut reg = TypeRegistry::new();
+    let t0 = reg.register("qt0");
+    let t1 = reg.register("qt1");
+    let t2 = reg.register("qt2");
+    // Tight-ish SLOs around the 1..=60 ms processing times generated below,
+    // so decisions actually flip between accept and reject.
+    let slos = SloConfig::builder(&reg)
+        .default_slo(Slo::p50_p90(millis(40), millis(120)))
+        .set(t0, Slo::p50_p90(millis(10), millis(30)))
+        .set(t1, Slo::p50_p90(millis(25), millis(70)))
+        .set(t2, Slo::single(Percentile::P99, millis(90)))
+        .build();
+    let cfg = BouncerConfig {
+        parallelism: 1 + rng.below(4) as u32,
+        histogram_interval: secs(1),
+        retention_min_samples: rng.below(4), // 0 = paper default, >0 = Appendix A
+        warmup_min_samples: 2 + rng.below(5),
+        decision_rule: rule,
+        histogram_mode: mode,
+    };
+    Bouncer::new(slos, cfg)
+}
+
+/// One random interleaving; asserts cached == reference for every type
+/// after every operation.
+fn run_case(rule: DecisionRule, mode: HistogramMode, rng: &mut TestRng, case: u32) {
+    let b = build(rule, mode, rng);
+    let mut now: Nanos = 0;
+    let mut queued = [0u64; N_TYPES];
+    for op in 0..OPS_PER_CASE {
+        let ty = TypeId::from_index(rng.below(N_TYPES as u64) as u32);
+        match rng.below(6) {
+            // Completions are the most interesting op (they move volatile
+            // estimators), so give them two slots.
+            0 | 1 => b.on_completed(ty, millis(1 + rng.below(60)), now),
+            2 => {
+                b.on_enqueued(ty, now);
+                queued[ty.index()] += 1;
+            }
+            3 => {
+                if queued[ty.index()] > 0 {
+                    b.on_dequeued(ty, 0, now);
+                    queued[ty.index()] -= 1;
+                } else {
+                    b.on_enqueued(ty, now);
+                    queued[ty.index()] += 1;
+                }
+            }
+            4 => b.on_tick(now),
+            // Advance time: 0..700 ms steps cross histogram-interval
+            // boundaries mid-sequence (dual-buffer swaps happen via
+            // on_tick, but sliding windows expire with time alone).
+            _ => now += millis(rng.below(700)),
+        }
+        for i in 0..N_TYPES {
+            let t = TypeId::from_index(i as u32);
+            let cached = b.can_admit(t, now);
+            let reference = b.can_admit_reference(t, now);
+            assert_eq!(
+                cached, reference,
+                "case {case} op {op}: cached vs reference diverged for \
+                 type {i} at now={now} (rule {rule:?}, mode {mode:?}, \
+                 warming_up={})",
+                b.is_warming_up_at(t, now),
+            );
+        }
+    }
+}
+
+fn run_mode(rule: DecisionRule, mode: HistogramMode, seed_name: &str) {
+    let mut rng = TestRng::deterministic(seed_name);
+    for case in 0..cases() {
+        run_case(rule, mode, &mut rng, case);
+    }
+}
+
+#[test]
+fn cached_matches_reference_dual_any_violated() {
+    run_mode(
+        DecisionRule::RejectIfAnyViolated,
+        HistogramMode::DualBuffer,
+        "estimate_equivalence::dual_any",
+    );
+}
+
+#[test]
+fn cached_matches_reference_dual_all_violated() {
+    run_mode(
+        DecisionRule::RejectIfAllViolated,
+        HistogramMode::DualBuffer,
+        "estimate_equivalence::dual_all",
+    );
+}
+
+#[test]
+fn cached_matches_reference_sliding_any_violated() {
+    run_mode(
+        DecisionRule::RejectIfAnyViolated,
+        HistogramMode::Sliding { intervals: 3 },
+        "estimate_equivalence::sliding_any",
+    );
+}
+
+#[test]
+fn cached_matches_reference_sliding_all_violated() {
+    run_mode(
+        DecisionRule::RejectIfAllViolated,
+        HistogramMode::Sliding { intervals: 2 },
+        "estimate_equivalence::sliding_all",
+    );
+}

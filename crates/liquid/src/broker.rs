@@ -23,6 +23,7 @@ use bouncer_core::policy::{AdmissionPolicy, RejectReason};
 use bouncer_core::types::{TypeId, TypeRegistry};
 use bouncer_metrics::Clock;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
 
 use crate::graph::VertexId;
 use crate::query::{Query, QueryKind, SubQuery, SubResponse};
@@ -133,7 +134,10 @@ impl Default for BrokerConfig {
 /// A running broker host.
 pub struct Broker {
     gate: Arc<Gate<Job>>,
-    engines: Vec<JoinHandle<()>>,
+    /// Engine threads, joined (exactly once) by [`Broker::shutdown`]. Held
+    /// behind a mutex so shutdown joins regardless of how many `Arc` clones
+    /// of the broker are still alive.
+    engines: Mutex<Vec<JoinHandle<()>>>,
     _ticker: Ticker,
     parallelism: u32,
     query_deadline: Option<Duration>,
@@ -176,7 +180,7 @@ impl Broker {
         let ticker = Ticker::spawn(policy, clock, cfg.tick_period);
         Arc::new(Self {
             gate,
-            engines,
+            engines: Mutex::new(engines),
             _ticker: ticker,
             parallelism: cfg.engines,
             query_deadline: cfg.query_deadline,
@@ -240,13 +244,23 @@ impl Broker {
     }
 
     /// Stops the engines and waits for them to exit.
-    pub fn shutdown(mut self: Arc<Self>) {
+    ///
+    /// Always joins, no matter how many `Arc` clones of the broker are
+    /// still held elsewhere (the seed only joined when the caller happened
+    /// to hold the last strong reference, silently leaking the engine
+    /// threads otherwise). Idempotent: later calls find no handles left.
+    pub fn shutdown(&self) {
         self.gate.close();
-        if let Some(broker) = Arc::get_mut(&mut self) {
-            for handle in broker.engines.drain(..) {
-                let _ = handle.join();
-            }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.engines.lock());
+        for handle in handles {
+            let _ = handle.join();
         }
+    }
+
+    /// Number of engine threads not yet joined — 0 after
+    /// [`Broker::shutdown`] returns.
+    pub fn engines_running(&self) -> usize {
+        self.engines.lock().len()
     }
 }
 
@@ -769,6 +783,27 @@ mod tests {
         assert_eq!(out, ClientOutcome::Rejected(RejectReason::QueueFull));
         let _ = g;
         teardown(hosts, broker);
+    }
+
+    #[test]
+    fn shutdown_joins_engines_even_with_extra_arc_clones() {
+        let (_g, hosts, broker) = mini_cluster(2);
+        assert_eq!(
+            broker.engines_running(),
+            BrokerConfig::default().engines as usize
+        );
+        // Keep extra strong references alive across shutdown — the seed's
+        // `Arc::get_mut` guard silently skipped the joins in this case.
+        let extra_broker = Arc::clone(&broker);
+        let extra_hosts: Vec<_> = hosts.iter().map(Arc::clone).collect();
+        teardown(hosts, broker);
+        assert_eq!(extra_broker.engines_running(), 0);
+        for h in &extra_hosts {
+            assert_eq!(h.engines_running(), 0);
+        }
+        // Idempotent: a second shutdown finds nothing left to join.
+        extra_broker.shutdown();
+        assert_eq!(extra_broker.engines_running(), 0);
     }
 
     #[test]

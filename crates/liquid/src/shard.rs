@@ -17,6 +17,7 @@ use bouncer_core::policy::AdmissionPolicy;
 use bouncer_core::types::DEFAULT_TYPE;
 use bouncer_metrics::Clock;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
 
 use crate::graph::ShardData;
 use crate::query::{SubQuery, SubResponse};
@@ -65,7 +66,10 @@ impl Default for ShardConfig {
 /// A running shard host.
 pub struct ShardHost {
     gate: Arc<Gate<Job>>,
-    engines: Vec<JoinHandle<()>>,
+    /// Engine threads, joined (exactly once) by [`ShardHost::shutdown`].
+    /// Held behind a mutex so shutdown joins regardless of how many `Arc`
+    /// clones of the host are still alive.
+    engines: Mutex<Vec<JoinHandle<()>>>,
     _ticker: Ticker,
     parallelism: u32,
 }
@@ -104,7 +108,7 @@ impl ShardHost {
         let ticker = Ticker::spawn(policy, clock, cfg.tick_period);
         Arc::new(Self {
             gate,
-            engines,
+            engines: Mutex::new(engines),
             _ticker: ticker,
             parallelism: cfg.engines,
         })
@@ -142,15 +146,23 @@ impl ShardHost {
     }
 
     /// Stops the engines and waits for them to exit.
-    pub fn shutdown(mut self: Arc<Self>) {
+    ///
+    /// Always joins, no matter how many `Arc` clones of the host are still
+    /// held elsewhere (the seed only joined when the caller happened to
+    /// hold the last strong reference, silently leaking the engine threads
+    /// otherwise). Idempotent: later calls find no handles left.
+    pub fn shutdown(&self) {
         self.gate.close();
-        // Callers should hold the last strong reference at shutdown; if not,
-        // engines still exit because the queue is closed.
-        if let Some(host) = Arc::get_mut(&mut self) {
-            for handle in host.engines.drain(..) {
-                let _ = handle.join();
-            }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.engines.lock());
+        for handle in handles {
+            let _ = handle.join();
         }
+    }
+
+    /// Number of engine threads not yet joined — 0 after
+    /// [`ShardHost::shutdown`] returns.
+    pub fn engines_running(&self) -> usize {
+        self.engines.lock().len()
     }
 }
 
@@ -323,6 +335,20 @@ mod tests {
         assert!(outcomes.contains(&SubOutcome::Rejected));
         assert!(outcomes.iter().any(|o| matches!(o, SubOutcome::Ok(_))));
         host.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_engines_even_with_extra_arc_clones() {
+        let (_g, host) = spawn_shard(0, 1);
+        assert_eq!(host.engines_running(), ShardConfig::default().engines as usize);
+        // Keep a second strong reference alive across shutdown — the seed's
+        // `Arc::get_mut` guard silently skipped the joins in this case.
+        let extra = Arc::clone(&host);
+        host.shutdown();
+        assert_eq!(extra.engines_running(), 0);
+        // Idempotent: a second shutdown finds nothing left to join.
+        extra.shutdown();
+        assert_eq!(extra.engines_running(), 0);
     }
 
     #[test]

@@ -122,6 +122,13 @@ impl DualHistogram {
         self.frozen().value_at_quantile(q)
     }
 
+    /// Several quantiles of the frozen buffer in one cumulative scan (see
+    /// [`AtomicHistogram::values_at_quantiles`]).
+    #[inline]
+    pub fn values_at_quantiles(&self, qs: &[f64], out: &mut [Option<u64>]) {
+        self.frozen().values_at_quantiles(qs, out)
+    }
+
     /// Snapshot of the frozen buffer.
     pub fn read_snapshot(&self) -> HistogramSnapshot {
         self.frozen().snapshot()
@@ -148,6 +155,12 @@ impl DualHistogram {
     #[inline]
     pub fn populating_quantile(&self, q: f64) -> Option<u64> {
         self.active().value_at_quantile(q)
+    }
+
+    /// Several quantiles of the populating buffer in one cumulative scan.
+    #[inline]
+    pub fn populating_quantiles(&self, qs: &[f64], out: &mut [Option<u64>]) {
+        self.active().values_at_quantiles(qs, out)
     }
 }
 

@@ -15,14 +15,14 @@
 //! paper deliberately accepts in Eq. 2–4. With nanosecond units the full
 //! `u64` range needs only 1 920 buckets (15 KiB per histogram).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of low-order bits of precision: 2^5 = 32 linear sub-buckets per
 /// power-of-two range.
 const PRECISION_BITS: u32 = 5;
 const SUB_BUCKETS: u64 = 1 << PRECISION_BITS; // 32
 /// Total bucket count: 32 exact values + 59 log ranges x 32 sub-buckets.
-const BUCKETS: usize = ((64 - PRECISION_BITS as usize) + 1) * SUB_BUCKETS as usize;
+pub(crate) const BUCKETS: usize = ((64 - PRECISION_BITS as usize) + 1) * SUB_BUCKETS as usize;
 
 /// Maps a value to its bucket index.
 #[inline]
@@ -39,7 +39,7 @@ fn index_of(value: u64) -> usize {
 /// The midpoint of the value range covered by a bucket index — the value we
 /// report for samples that landed in that bucket.
 #[inline]
-fn value_of(index: usize) -> u64 {
+pub(crate) fn value_of(index: usize) -> u64 {
     let index = index as u64;
     if index < SUB_BUCKETS {
         index
@@ -64,6 +64,11 @@ pub struct AtomicHistogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// High-water mark: one past the highest bucket index that has ever held
+    /// a sample since the last `reset`. Quantile scans stop here instead of
+    /// walking all ~1 920 buckets — with millisecond-scale latencies the
+    /// occupied prefix is a few hundred buckets at most.
+    hwm: AtomicUsize,
 }
 
 impl std::fmt::Debug for AtomicHistogram {
@@ -85,13 +90,19 @@ impl AtomicHistogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            hwm: AtomicUsize::new(0),
         }
     }
 
     /// Records one sample.
     #[inline]
     pub fn record(&self, value: u64) {
-        self.counts[index_of(value)].fetch_add(1, Ordering::Relaxed);
+        let i = index_of(value);
+        // Raise the high-water mark before the bucket so a reader that sees
+        // the new count usually sees the new mark too; the rare miss falls
+        // back to the full-range scan below.
+        self.hwm.fetch_max(i + 1, Ordering::Relaxed);
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
@@ -150,16 +161,60 @@ impl AtomicHistogram {
         }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * total as f64).ceil() as u64).max(1);
+        let hwm = self.hwm.load(Ordering::Relaxed).min(BUCKETS);
         let mut cumulative = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
+        for (i, c) in self.counts[..hwm].iter().enumerate() {
             cumulative += c.load(Ordering::Relaxed);
             if cumulative >= rank {
                 return Some(value_of(i));
             }
         }
-        // Concurrent writers may have bumped `total` after we summed the
-        // buckets; fall back to the highest non-empty bucket.
+        // Concurrent writers may have bumped `total` (or the mark) after we
+        // read them; fall back to the highest non-empty bucket, full range.
         self.highest_bucket_value()
+    }
+
+    /// One cumulative pass answering several quantiles at once — the
+    /// estimate-table rebuild asks for every SLO percentile of a type in a
+    /// single scan instead of one scan per percentile. `out[i]` receives the
+    /// value at `qs[i]`; the slices must have equal length. `qs` need not be
+    /// sorted (SLO target lists are tiny, so each bucket checks all pending
+    /// entries).
+    pub fn values_at_quantiles(&self, qs: &[f64], out: &mut [Option<u64>]) {
+        assert_eq!(qs.len(), out.len(), "qs/out length mismatch");
+        let total = self.total.load(Ordering::Relaxed);
+        if total == 0 {
+            out.fill(None);
+            return;
+        }
+        out.fill(None);
+        let mut remaining = qs.len();
+        let hwm = self.hwm.load(Ordering::Relaxed).min(BUCKETS);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts[..hwm].iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            for (q, slot) in qs.iter().zip(out.iter_mut()) {
+                if slot.is_none() {
+                    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+                    if cumulative >= rank {
+                        *slot = Some(value_of(i));
+                        remaining -= 1;
+                    }
+                }
+            }
+            if remaining == 0 {
+                return;
+            }
+        }
+        if remaining > 0 {
+            // Concurrent-writer shortfall (same as `value_at_quantile`).
+            let fallback = self.highest_bucket_value();
+            for slot in out.iter_mut() {
+                if slot.is_none() {
+                    *slot = fallback;
+                }
+            }
+        }
     }
 
     fn highest_bucket_value(&self) -> Option<u64> {
@@ -171,6 +226,19 @@ impl AtomicHistogram {
             .map(|(i, _)| value_of(i))
     }
 
+    /// Relaxed load of one bucket — lets the sliding window run cumulative
+    /// scans directly across its sub-histograms without snapshotting them.
+    #[inline]
+    pub(crate) fn bucket(&self, i: usize) -> u64 {
+        self.counts[i].load(Ordering::Relaxed)
+    }
+
+    /// The live high-water mark, clamped to the bucket range.
+    #[inline]
+    pub(crate) fn hwm_bound(&self) -> usize {
+        self.hwm.load(Ordering::Relaxed).min(BUCKETS)
+    }
+
     /// Clears all samples.
     pub fn reset(&self) {
         for c in self.counts.iter() {
@@ -180,6 +248,7 @@ impl AtomicHistogram {
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        self.hwm.store(0, Ordering::Relaxed);
     }
 
     /// Copies the current contents into an immutable snapshot.
@@ -190,12 +259,16 @@ impl AtomicHistogram {
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
         let total = counts.iter().sum();
+        // The copy is exact, so recompute the mark from it rather than trust
+        // the racy live one.
+        let hwm = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
         HistogramSnapshot {
             counts,
             total,
             sum: self.sum.load(Ordering::Relaxed),
             min: self.min.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
+            hwm,
         }
     }
 }
@@ -214,6 +287,9 @@ pub struct HistogramSnapshot {
     sum: u64,
     min: u64,
     max: u64,
+    /// One past the highest non-empty bucket (exact: computed from the
+    /// copied counts), bounding quantile scans.
+    hwm: usize,
 }
 
 impl HistogramSnapshot {
@@ -262,13 +338,13 @@ impl HistogramSnapshot {
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.total as f64).ceil() as u64).max(1);
         let mut cumulative = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
+        for (i, c) in self.counts[..self.hwm].iter().enumerate() {
             cumulative += c;
             if cumulative >= rank {
                 return Some(value_of(i));
             }
         }
-        unreachable!("rank <= total by construction")
+        unreachable!("rank <= total by construction, and hwm covers every non-empty bucket")
     }
 
     /// Merges another snapshot into this one — e.g. to aggregate per-host
@@ -281,6 +357,7 @@ impl HistogramSnapshot {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.hwm = self.hwm.max(other.hwm);
     }
 }
 
@@ -439,6 +516,43 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(merged.value_at_quantile(q), expected.value_at_quantile(q));
         }
+    }
+
+    #[test]
+    fn high_water_mark_tracks_highest_bucket_and_resets() {
+        let h = AtomicHistogram::new();
+        h.record(5);
+        assert_eq!(h.hwm.load(Ordering::Relaxed), index_of(5) + 1);
+        h.record(1_000_000);
+        assert_eq!(h.hwm.load(Ordering::Relaxed), index_of(1_000_000) + 1);
+        // Lower values never move the mark back down.
+        h.record(50);
+        assert_eq!(h.hwm.load(Ordering::Relaxed), index_of(1_000_000) + 1);
+        h.reset();
+        assert_eq!(h.hwm.load(Ordering::Relaxed), 0);
+        // Bounded and unbounded scans agree after reuse.
+        h.record(77);
+        assert_eq!(h.value_at_quantile(1.0), Some(value_of(index_of(77))));
+    }
+
+    #[test]
+    fn multi_quantile_pass_matches_individual_lookups() {
+        let h = AtomicHistogram::new();
+        for v in 1..=5000u64 {
+            h.record(v * 317);
+        }
+        // Deliberately unsorted and with duplicates.
+        let qs = [0.99, 0.5, 0.9, 0.5, 0.0, 1.0];
+        let mut out = [None; 6];
+        h.values_at_quantiles(&qs, &mut out);
+        for (q, got) in qs.iter().zip(out.iter()) {
+            assert_eq!(*got, h.value_at_quantile(*q), "q={q}");
+        }
+
+        let empty = AtomicHistogram::new();
+        let mut out = [Some(1)];
+        empty.values_at_quantiles(&[0.5], &mut out);
+        assert_eq!(out, [None]);
     }
 
     #[test]

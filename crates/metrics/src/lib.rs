@@ -12,6 +12,9 @@
 //! * [`dual_buffer`] — the paper's dual-buffer technique (§3, footnote 4):
 //!   one histogram is read while a second is populated; the two are swapped
 //!   atomically at the end of each time interval.
+//! * [`estimate`] — the interval-cached estimate table + running demand
+//!   counter that keep the admission decision O(1) in type count and
+//!   histogram size (rebuilt at dual-buffer swap points).
 //! * [`sliding`] — a sliding-window histogram (§7's proposed alternative to
 //!   non-overlapping windows), used by the histogram-mode ablation.
 //! * [`window`] — per-query-type sliding-window accepted/received counters
@@ -23,6 +26,7 @@
 
 pub mod clock;
 pub mod dual_buffer;
+pub mod estimate;
 pub mod histogram;
 pub mod moving;
 pub(crate) mod ring;
@@ -32,6 +36,7 @@ pub mod window;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use dual_buffer::DualHistogram;
+pub use estimate::{EstimateEntry, EstimateTable};
 pub use histogram::{AtomicHistogram, HistogramSnapshot};
 pub use moving::MovingStats;
 pub use sliding::SlidingHistogram;

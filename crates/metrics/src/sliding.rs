@@ -10,9 +10,9 @@
 //! * reads see a window of `K·interval` trailing data instead of exactly
 //!   the previous interval — smoother percentiles, slower reaction;
 //! * fresh samples are visible immediately (no swap boundary);
-//! * reads are much more expensive — each read snapshots and merges every
-//!   sub-histogram — which is why the paper's production system used the
-//!   dual-buffer scheme.
+//! * reads are more expensive — each read runs a cumulative scan across
+//!   every sub-histogram — which is why the paper's production system used
+//!   the dual-buffer scheme.
 //!
 //! Rotation reuses the same time-based ring discipline as the window
 //! counters; an interval with no activity is cleared lazily when the ring
@@ -136,19 +136,64 @@ impl SlidingHistogram {
 
     /// Quantile over the window, or `None` if empty.
     ///
-    /// Merges sub-histogram snapshots; `K`× the cost of a single-histogram
-    /// read, as the module docs warn.
+    /// Still a `K`-way read, but runs one cumulative scan directly across
+    /// the live sub-histograms, bounded by their high-water marks — no
+    /// snapshot copies or merges (the seed allocated and merged `K` full
+    /// 1 920-bucket snapshots per read).
     pub fn value_at_quantile(&self, q: f64, now: Nanos) -> Option<u64> {
+        let mut out = [None];
+        self.values_at_quantiles(&[q], now, &mut out);
+        out[0]
+    }
+
+    /// One cross-slot cumulative pass answering several quantiles at once;
+    /// the estimate-table rebuild uses this to price every SLO percentile of
+    /// a type in a single scan. Same contract as
+    /// [`AtomicHistogram::values_at_quantiles`].
+    pub fn values_at_quantiles(&self, qs: &[f64], now: Nanos, out: &mut [Option<u64>]) {
+        use crate::histogram::{value_of, BUCKETS};
+        assert_eq!(qs.len(), out.len(), "qs/out length mismatch");
         self.rotate(now);
-        let mut merged: Option<crate::histogram::HistogramSnapshot> = None;
-        for h in self.live_slots(now) {
-            let snap = h.snapshot();
-            match &mut merged {
-                Some(acc) => acc.merge(&snap),
-                None => merged = Some(snap),
+        out.fill(None);
+        let live: Vec<&AtomicHistogram> = self.live_slots(now).collect();
+        let mut total = 0u64;
+        let mut hwm = 0usize;
+        for h in &live {
+            total += h.count();
+            hwm = hwm.max(h.hwm_bound());
+        }
+        if total == 0 {
+            return;
+        }
+        let mut remaining = qs.len();
+        let mut cumulative = 0u64;
+        for i in 0..hwm {
+            cumulative += live.iter().map(|h| h.bucket(i)).sum::<u64>();
+            for (q, slot) in qs.iter().zip(out.iter_mut()) {
+                if slot.is_none() {
+                    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+                    if cumulative >= rank {
+                        *slot = Some(value_of(i));
+                        remaining -= 1;
+                    }
+                }
+            }
+            if remaining == 0 {
+                return;
             }
         }
-        merged.and_then(|m| m.value_at_quantile(q))
+        if remaining > 0 {
+            // Concurrent-writer shortfall: highest non-empty bucket, full range.
+            let fallback = (0..BUCKETS)
+                .rev()
+                .find(|&i| live.iter().any(|h| h.bucket(i) > 0))
+                .map(value_of);
+            for slot in out.iter_mut() {
+                if slot.is_none() {
+                    *slot = fallback;
+                }
+            }
+        }
     }
 }
 
@@ -226,6 +271,20 @@ mod tests {
         }
         let mean = h.mean(secs(3)).unwrap();
         assert!((mean - 20_000.0).abs() < 500.0, "mean={mean}");
+    }
+
+    #[test]
+    fn multi_quantile_pass_matches_individual_lookups() {
+        let h = SlidingHistogram::new(4, secs(1));
+        for v in 0..500u64 {
+            h.record(v * 997, secs(v % 3));
+        }
+        let qs = [0.9, 0.1, 0.5, 1.0];
+        let mut out = [None; 4];
+        h.values_at_quantiles(&qs, secs(2), &mut out);
+        for (q, got) in qs.iter().zip(out.iter()) {
+            assert_eq!(*got, h.value_at_quantile(*q, secs(2)), "q={q}");
+        }
     }
 
     #[test]

@@ -16,4 +16,49 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke: admit_hot_path (cached vs reference)"
+# Short-budget run of the admission hot-path group; the cached column is
+# the shipped admit() path, the reference column the retained
+# recompute-from-scratch implementation (the "before"). Results land in
+# BENCH_admit.json at the repo root.
+BENCH_OUT=$(CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-50}" \
+    cargo bench -q --offline -p bouncer-bench --bench overhead 2>&1 \
+    | grep '^admit_hot_path/') || {
+    echo "admit_hot_path bench produced no output" >&2
+    exit 1
+}
+printf '%s\n' "$BENCH_OUT" | awk '
+    # Lines look like:
+    #   admit_hot_path/cached/64_types  time: [7.3 ns 8.0 ns 9.1 ns]  (123 iters)
+    # Emit one JSON object keyed by variant/scale with ns-normalized stats.
+    function ns(v, u) {
+        if (u == "ns") return v
+        if (u == "µs" || u == "us") return v * 1000
+        if (u == "ms") return v * 1000000
+        return v
+    }
+    {
+        gsub(/[\[\]]/, "")
+        split($1, path, "/")
+        variant = path[2]; scale = path[3]
+        lo = ns($3 + 0, $4); mean = ns($5 + 0, $6); hi = ns($7 + 0, $8)
+        key = variant "/" scale
+        keys[++n] = key
+        means[key] = mean; los[key] = lo; his[key] = hi
+    }
+    END {
+        printf "{\n  \"bench\": \"admit_hot_path\",\n  \"unit\": \"ns\",\n"
+        printf "  \"note\": \"cached = shipped admit() fast path (after); reference = recompute-from-scratch (before)\",\n"
+        printf "  \"results\": {\n"
+        for (i = 1; i <= n; i++) {
+            k = keys[i]
+            printf "    \"%s\": {\"min\": %.2f, \"mean\": %.2f, \"max\": %.2f}%s\n", \
+                k, los[k], means[k], his[k], (i < n ? "," : "")
+        }
+        printf "  }\n}\n"
+    }
+' > BENCH_admit.json
+echo "    wrote BENCH_admit.json:"
+sed 's/^/    /' BENCH_admit.json
+
 echo "==> all checks passed"
