@@ -261,12 +261,83 @@ fn bench_observability(c: &mut Criterion) {
     assert!(counter.0.load(Ordering::Relaxed) > 0, "sink never fired");
 }
 
+fn bench_trace_overhead(c: &mut Criterion) {
+    // Tracing must stay off the admission hot path. Three tiers:
+    // `disabled_check` is what every query pays when no tracer is
+    // configured (the broker's `Option` test — should be ~free);
+    // `begin_finish_unsampled` is the per-query cost when a tracer exists
+    // but head sampling drops the query (counter bump + buffered-then-
+    // discarded trace); `begin_record_finish_sampled` is the full price of
+    // a kept trace, including span buffering and sink dispatch.
+    use bouncer_core::obs::{Event, EventSink, SpanKind, SpanStatus};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Debug, Default)]
+    struct CountingSink(AtomicU64);
+    impl EventSink for CountingSink {
+        fn emit(&self, _event: &Event) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let mut reg = TypeRegistry::new();
+    let ty = reg.register("QT1");
+
+    c.bench_function("trace_overhead/disabled_check", |b| {
+        let tracer: Option<Arc<Tracer>> = None;
+        b.iter(|| black_box(black_box(&tracer).as_deref().filter(|t| t.enabled())))
+    });
+
+    let sink = Arc::new(CountingSink::default());
+    let unsampled = Tracer::new(
+        sink.clone(),
+        TracerConfig {
+            sample_every: u64::MAX,
+            slo_violation_ns: None,
+        },
+    );
+    // The very first head draw always samples (0 is a multiple of any N);
+    // burn it so the measured loop is the pure dropped path.
+    let qt = unsampled.begin(Some(ty), 0, None);
+    unsampled.finish(qt, SpanStatus::Ok, 500);
+    let primed = sink.0.load(Ordering::Relaxed);
+    c.bench_function("trace_overhead/begin_finish_unsampled", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            let qt = unsampled.begin(Some(black_box(ty)), now, None);
+            unsampled.finish(qt, SpanStatus::Ok, now + 500);
+        })
+    });
+    assert_eq!(
+        sink.0.load(Ordering::Relaxed),
+        primed,
+        "unsampled must not emit"
+    );
+
+    let sink = Arc::new(CountingSink::default());
+    let sampled = Tracer::new(sink.clone(), TracerConfig::default());
+    c.bench_function("trace_overhead/begin_record_finish_sampled", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            let mut qt = sampled.begin(Some(black_box(ty)), now, None);
+            qt.record_child(SpanKind::Admission, now, now + 100);
+            qt.record_child(SpanKind::BrokerQueue, now + 100, now + 200);
+            qt.record_child(SpanKind::BrokerService, now + 200, now + 500);
+            sampled.finish(qt, SpanStatus::Ok, now + 500);
+        })
+    });
+    assert!(sink.0.load(Ordering::Relaxed) > 0, "sampled traces must emit");
+}
+
 criterion_group!(
     benches,
     bench_policies,
     bench_admit_hot_path,
     bench_primitives,
     bench_full_gate_path,
-    bench_observability
+    bench_observability,
+    bench_trace_overhead
 );
 criterion_main!(benches);

@@ -27,8 +27,32 @@ const ALLOWED: &[&str] = &[
     "max-utilization",
     "events-out",
     "metrics-out",
+    "traces-out",
+    "trace-sample",
+    "trace-slo-ms",
     "help",
 ];
+
+const TRACE_REPORT_ALLOWED: &[&str] = &["traces-in", "strict", "help"];
+
+const TRACE_REPORT_HELP: &str = "\
+bouncer-sim-cli trace-report — reconstruct span trees from a trace JSONL
+file and break each query's latency down along its critical path
+
+USAGE:
+    bouncer-sim-cli trace-report --traces-in <path> [--strict]
+
+FLAGS:
+    --traces-in <path>  span JSONL, as written by --traces-out or any
+                        JsonlSink attached to a Tracer
+    --strict            exit non-zero when any span tree is incomplete
+                        (orphaned spans or traces without a root)
+
+The report aggregates per-component latency (admission, broker queue,
+shard queue, shard service, transport, aggregation) at p50/p95/p99 and
+names the straggler shard per fan-out round — the Fig. 13 diagnosis of
+where milliseconds go as load rises. See OBSERVABILITY.md.
+";
 
 const HELP: &str = "\
 bouncer-sim-cli — drive the paper's simulation study from the command line
@@ -73,6 +97,16 @@ OBSERVABILITY (see OBSERVABILITY.md for formats):
                           timestamps)
     --metrics-out <path>  write the run's final statistics in the
                           Prometheus text exposition format
+    --traces-out <path>   write distributed-tracing spans as JSONL
+                          (virtual-time span trees; feed to trace-report)
+    --trace-sample <n>    head-sample 1 in n queries (default 1 = all;
+                          0 = never; rejected queries are always kept)
+    --trace-slo-ms <ms>   also keep every trace whose response time
+                          exceeds this bound, regardless of sampling
+
+SUBCOMMANDS:
+    trace-report          analyze a span JSONL file; see
+                          `bouncer-sim-cli trace-report --help`
 ";
 
 /// Which policy the user picked, with its parameters resolved.
@@ -129,10 +163,56 @@ where
     I: IntoIterator<Item = S>,
     S: Into<String>,
 {
+    // Subcommands dispatch on the first raw argument, before flag parsing
+    // (the flag parser rejects positionals).
+    let raw: Vec<String> = raw.into_iter().map(Into::into).collect();
+    if raw.first().map(String::as_str) == Some("trace-report") {
+        return match run_trace_report(&raw[1..]) {
+            Ok(out) => out,
+            Err(e) => (format!("error: {e}\n\n{TRACE_REPORT_HELP}"), 2),
+        };
+    }
     match run_inner(raw) {
         Ok(report) => (report, 0),
         Err(e) => (format!("error: {e}\n\n{HELP}"), 2),
     }
+}
+
+/// The `trace-report` subcommand: span JSONL in, critical-path latency
+/// breakdown out. Returns `(text, exit_code)`; with `--strict`, incomplete
+/// span trees exit 1 so scripts can gate on trace integrity.
+fn run_trace_report(raw: &[String]) -> Result<(String, i32), ParseError> {
+    use bouncer_core::obs::trace_report::{analyze, parse_spans, render_report};
+
+    let args = Args::parse(raw.iter().cloned(), TRACE_REPORT_ALLOWED)?;
+    if args.flag("help") {
+        return Ok((TRACE_REPORT_HELP.to_owned(), 0));
+    }
+    let path = args
+        .get("traces-in")
+        .ok_or_else(|| ParseError("trace-report requires --traces-in <path>".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ParseError(format!("--traces-in `{path}`: {e}")))?;
+    let records = parse_spans(&text).map_err(ParseError)?;
+    if records.is_empty() {
+        return Err(ParseError(format!("`{path}` contains no span records")));
+    }
+    let report = analyze(records);
+    let mut out = render_report(&report);
+    let code = if args.flag("strict") && !report.all_complete() {
+        out.push_str(&format!(
+            "\nstrict: FAILED — {} orphan span(s), {} rootless trace(s), \
+             {}/{} trees complete\n",
+            report.orphan_spans,
+            report.rootless_traces,
+            report.complete,
+            report.traces,
+        ));
+        1
+    } else {
+        0
+    };
+    Ok((out, code))
 }
 
 fn run_inner<I, S>(raw: I) -> Result<String, ParseError>
@@ -213,11 +293,32 @@ where
             .map_err(|e| ParseError(format!("--events-out `{path}`: {e}")))?;
         cfg.sink = Some(Arc::new(sink));
     }
+    let tracer = match args.get("traces-out") {
+        Some(path) => {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| ParseError(format!("--traces-out `{path}`: {e}")))?;
+            let tcfg = TracerConfig {
+                sample_every: args.u64_or("trace-sample", 1)?,
+                slo_violation_ns: match args.get("trace-slo-ms") {
+                    Some(_) => Some(millis_f64(args.f64_or("trace-slo-ms", 0.0)?)),
+                    None => None,
+                },
+            };
+            let tracer = Arc::new(Tracer::new(Arc::new(sink), tcfg));
+            cfg.tracer = Some(tracer.clone());
+            Some(tracer)
+        }
+        None => None,
+    };
     let result = run(&policy, &mix, &cfg);
 
     if let Some(path) = args.get("metrics-out") {
         let names: Vec<&str> = registry.iter().map(|(_, name)| name).collect();
-        let text = render_prometheus(&result.stats, &names);
+        let counters = tracer.as_ref().map(|t| TraceCounters {
+            sampled: t.sampled_total(),
+            dropped: t.dropped_total(),
+        });
+        let text = render_prometheus_with_traces(&result.stats, &names, counters.as_ref());
         std::fs::write(path, text)
             .map_err(|e| ParseError(format!("--metrics-out `{path}`: {e}")))?;
     }
@@ -264,6 +365,14 @@ where
     }
     if let Some(path) = args.get("metrics-out") {
         out.push_str(&format!("metrics written to {path} (Prometheus text)\n"));
+    }
+    if let (Some(path), Some(t)) = (args.get("traces-out"), tracer.as_ref()) {
+        out.push_str(&format!(
+            "traces written to {path} (JSONL; {} sampled, {} dropped) — \
+             analyze with `trace-report --traces-in {path}`\n",
+            t.sampled_total(),
+            t.dropped_total(),
+        ));
     }
     Ok(out)
 }
@@ -411,6 +520,82 @@ mod tests {
 
         let _ = std::fs::remove_file(&events_path);
         let _ = std::fs::remove_file(&metrics_path);
+    }
+
+    #[test]
+    fn traces_out_flag_writes_spans_trace_report_reads_them() {
+        let dir = std::env::temp_dir();
+        let traces_path = dir.join(format!("bouncer-cli-traces-{}.jsonl", std::process::id()));
+        let metrics_path = dir.join(format!("bouncer-cli-tmetrics-{}.prom", std::process::id()));
+
+        let (out, code) = run_cli([
+            "--policy",
+            "maxql",
+            "--queue-limit",
+            "5",
+            "--rate-factor",
+            "1.5",
+            "--queries",
+            "5000",
+            "--warmup",
+            "500",
+            "--trace-sample",
+            "10",
+            "--traces-out",
+            traces_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("traces written to"));
+
+        // The sampler counters ride along in the Prometheus file.
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("bouncer_trace_sampled_total"));
+        assert!(metrics.contains("bouncer_trace_dropped_total"));
+
+        // The subcommand reads the file back and renders the breakdown;
+        // sim traces are complete by construction, so --strict passes.
+        let (report, code) = run_cli([
+            "trace-report",
+            "--traces-in",
+            traces_path.to_str().unwrap(),
+            "--strict",
+        ]);
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("trace-report"), "{report}");
+        assert!(report.contains("broker queue"), "{report}");
+
+        let _ = std::fs::remove_file(&traces_path);
+        let _ = std::fs::remove_file(&metrics_path);
+    }
+
+    #[test]
+    fn trace_report_requires_input_and_flags_incomplete_trees() {
+        let (out, code) = run_cli(["trace-report"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("--traces-in"), "{out}");
+
+        let (out, code) = run_cli(["trace-report", "--help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("--strict"), "{out}");
+
+        // A span whose parent never appears is an incomplete tree.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bouncer-cli-orphans-{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"event\":\"span\",\"at_ns\":5,\"trace\":1,\"span\":2,\"parent\":99,\
+             \"kind\":\"broker_queue\",\"start_ns\":0,\"end_ns\":5,\"status\":\"ok\"}\n",
+        )
+        .unwrap();
+        let (out, code) = run_cli(["trace-report", "--traces-in", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        let (out, code) =
+            run_cli(["trace-report", "--traces-in", path.to_str().unwrap(), "--strict"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("strict: FAILED"), "{out}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub mod types;
 pub mod prelude {
     pub use crate::framework::{Discipline, Gate, GateConfig, ServerStats, StatsSnapshot};
     pub use crate::obs::{
-        null_sink, render_prometheus, Event, EventSink, JsonlSink, MemorySink, NullSink,
+        null_sink, render_prometheus, render_prometheus_with_traces, Event, EventSink, JsonlSink,
+        MemorySink, NullSink, TraceContext, TraceCounters, Tracer, TracerConfig,
     };
     pub use crate::policy::{
         AcceptFraction, AcceptFractionConfig, AcceptanceAllowance, AdmissionPolicy, AlwaysAccept,

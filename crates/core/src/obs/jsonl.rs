@@ -82,6 +82,33 @@ impl Event {
                     let _ = write!(s, ",\"pt_tail_ns\":{pt}");
                 }
             }
+            Event::Span {
+                trace,
+                span,
+                parent,
+                kind,
+                start,
+                end,
+                status,
+                ..
+            } => {
+                let _ = write!(s, ",\"trace\":{},\"span\":{}", trace.0, span.0);
+                if let Some(p) = parent {
+                    let _ = write!(s, ",\"parent\":{}", p.0);
+                }
+                let _ = write!(s, ",\"kind\":\"{}\"", kind.label());
+                if let Some(r) = kind.round() {
+                    let _ = write!(s, ",\"round\":{r}");
+                }
+                if let Some(sh) = kind.shard() {
+                    let _ = write!(s, ",\"shard\":{sh}");
+                }
+                let _ = write!(
+                    s,
+                    ",\"start_ns\":{start},\"end_ns\":{end},\"status\":\"{}\"",
+                    status.label()
+                );
+            }
         }
         s.push('}');
         s
@@ -173,7 +200,7 @@ impl Drop for JsonlSink {
 
 #[cfg(test)]
 mod tests {
-    use super::super::parse_json;
+    use super::super::{parse_json, SpanId, SpanKind, SpanStatus, TraceId};
     use super::*;
     use crate::policy::RejectReason;
     use crate::types::TypeId;
@@ -237,6 +264,28 @@ mod tests {
                 warm: false,
                 mean_ns: 0.0,
                 pt_tail_ns: None,
+            },
+            Event::Span {
+                at: 60,
+                trace: TraceId(9001),
+                span: SpanId(9002),
+                parent: None,
+                kind: SpanKind::Query,
+                start: 45,
+                end: 60,
+                ty: Some(TypeId(4)),
+                status: SpanStatus::Ok,
+            },
+            Event::Span {
+                at: 58,
+                trace: TraceId(9001),
+                span: SpanId(9003),
+                parent: Some(SpanId(9002)),
+                kind: SpanKind::ShardService { shard: 3 },
+                start: 50,
+                end: 58,
+                ty: None,
+                status: SpanStatus::Ok,
             },
         ]
     }

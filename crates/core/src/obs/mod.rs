@@ -30,10 +30,16 @@
 mod json;
 mod jsonl;
 mod prometheus;
+mod trace;
+pub mod trace_report;
 
 pub use json::{parse_json, JsonValue};
 pub use jsonl::JsonlSink;
-pub use prometheus::{render_prometheus, validate_prometheus};
+pub use prometheus::{render_prometheus, render_prometheus_with_traces, validate_prometheus, TraceCounters};
+pub use trace::{
+    new_span_id, new_trace_id, QueryTrace, SpanId, SpanKind, SpanStatus, TraceContext, TraceId,
+    Tracer, TracerConfig,
+};
 
 use std::fmt;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -160,6 +166,29 @@ pub enum Event {
         /// when resolved — e.g. `pt_p90` under a p50/p90 SLO.
         pt_tail_ns: Option<Nanos>,
     },
+    /// One closed tracing span: a causally-linked segment of a query's
+    /// life (see [`SpanKind`] for the taxonomy). Emitted on close, so
+    /// `at == end`.
+    Span {
+        /// Emission time (the span's close).
+        at: Nanos,
+        /// The trace this span belongs to.
+        trace: TraceId,
+        /// The span's own id.
+        span: SpanId,
+        /// The parent span, `None` on trace roots.
+        parent: Option<SpanId>,
+        /// What the span represents.
+        kind: SpanKind,
+        /// Span open time.
+        start: Nanos,
+        /// Span close time.
+        end: Nanos,
+        /// The query's type, stamped on root spans where known.
+        ty: Option<TypeId>,
+        /// How the traced work ended (always `Ok` on non-root spans).
+        status: SpanStatus,
+    },
 }
 
 impl Event {
@@ -177,6 +206,7 @@ impl Event {
             Event::ThresholdUpdate { .. } => "threshold_update",
             Event::MovingAvgRefresh { .. } => "moving_avg_refresh",
             Event::EstimateRefresh { .. } => "estimate_refresh",
+            Event::Span { .. } => "span",
         }
     }
 
@@ -193,7 +223,8 @@ impl Event {
             | Event::HistogramSwap { at, .. }
             | Event::ThresholdUpdate { at, .. }
             | Event::MovingAvgRefresh { at, .. }
-            | Event::EstimateRefresh { at, .. } => at,
+            | Event::EstimateRefresh { at, .. }
+            | Event::Span { at, .. } => at,
         }
     }
 
@@ -208,6 +239,7 @@ impl Event {
             | Event::Completed { ty, .. }
             | Event::Expired { ty, .. }
             | Event::EstimateRefresh { ty, .. } => Some(ty),
+            Event::Span { ty, .. } => ty,
             Event::HistogramSwap { .. }
             | Event::ThresholdUpdate { .. }
             | Event::MovingAvgRefresh { .. } => None,

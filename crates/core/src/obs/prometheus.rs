@@ -17,12 +17,32 @@ use crate::policy::RejectReason;
 /// The quantiles exported for each latency summary.
 const QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
 
+/// Tracing-sampler totals, exported alongside the query stats so scrape
+/// dashboards can see whether (and how hard) sampling is biting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Traces emitted (`Tracer::sampled_total`).
+    pub sampled: u64,
+    /// Traces discarded by sampling (`Tracer::dropped_total`).
+    pub dropped: u64,
+}
+
 /// Renders `snap` in the Prometheus text format.
 ///
 /// `type_names[i]` labels the type with dense index `i`; indexes past the
 /// end of `type_names` fall back to `type_<i>`. Types that saw no traffic
 /// are omitted entirely to keep scrapes small.
 pub fn render_prometheus(snap: &StatsSnapshot, type_names: &[&str]) -> String {
+    render_prometheus_with_traces(snap, type_names, None)
+}
+
+/// [`render_prometheus`], optionally appending the tracing-sampler counter
+/// pair (`bouncer_trace_sampled_total` / `bouncer_trace_dropped_total`).
+pub fn render_prometheus_with_traces(
+    snap: &StatsSnapshot,
+    type_names: &[&str],
+    traces: Option<&TraceCounters>,
+) -> String {
     let name_of = |i: usize| -> String {
         type_names
             .get(i)
@@ -144,6 +164,21 @@ pub fn render_prometheus(snap: &StatsSnapshot, type_names: &[&str]) -> String {
         "bouncer_measurement_span_seconds {}",
         as_secs_f64(snap.span)
     );
+
+    if let Some(tc) = traces {
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_trace_sampled_total Traces emitted by the tracing sampler."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_trace_sampled_total counter");
+        let _ = writeln!(out, "bouncer_trace_sampled_total {}", tc.sampled);
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_trace_dropped_total Traces discarded by the tracing sampler."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_trace_dropped_total counter");
+        let _ = writeln!(out, "bouncer_trace_dropped_total {}", tc.dropped);
+    }
 
     out
 }
@@ -350,5 +385,24 @@ mod tests {
     fn summary_suffixes_resolve_to_family() {
         let text = "# TYPE s summary\ns_sum{type=\"a\"} 1.5\ns_count{type=\"a\"} 3\n";
         assert_eq!(validate_prometheus(text).unwrap(), 2);
+    }
+
+    #[test]
+    fn trace_counters_render_and_validate() {
+        let counters = TraceCounters {
+            sampled: 12,
+            dropped: 345,
+        };
+        let text =
+            render_prometheus_with_traces(&populated_snapshot(), &["fast"], Some(&counters));
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(text.contains("# TYPE bouncer_trace_sampled_total counter"));
+        assert!(text.contains("bouncer_trace_sampled_total 12"));
+        assert!(text.contains("# TYPE bouncer_trace_dropped_total counter"));
+        assert!(text.contains("bouncer_trace_dropped_total 345"));
+        // Without counters the pair is absent and output still validates.
+        let text = render_prometheus(&populated_snapshot(), &["fast"]);
+        validate_prometheus(&text).unwrap();
+        assert!(!text.contains("bouncer_trace_sampled_total"));
     }
 }

@@ -1,0 +1,594 @@
+//! End-to-end distributed tracing: causal spans across front, broker
+//! fan-out rounds, and shards.
+//!
+//! The paper's §5.4 diagnosis (Fig. 13) is that *processing time itself
+//! rises with load because the shard tier queues internally* — a fact the
+//! flat per-host lifecycle events cannot attribute. This module adds the
+//! causal layer: a [`TraceId`]/[`SpanId`] context is minted where a query
+//! enters the system (generator, TCP front client, or broker), propagated
+//! through every sub-query (by value in process, as a versioned trailing
+//! field on the wire), and every hop opens a span — front dispatch, broker
+//! admission + queue, each fan-out round, per-shard sub-query queue and
+//! service, and the aggregation gaps between rounds.
+//!
+//! Spans are emitted on close as [`Event::Span`] records through the same
+//! [`EventSink`] the lifecycle events use, so the simulator stamps them
+//! with virtual time and the threaded hosts with wall-clock time, and one
+//! JSONL file carries both. Reconstruction and the Fig. 13-style
+//! "where the milliseconds went" report live in
+//! [`trace_report`](super::trace_report).
+//!
+//! # Sampling
+//!
+//! Tracing must stay safe at the overload rates the benches drive, so the
+//! [`Tracer`] applies head-based 1-in-N sampling ([`TracerConfig::sample_every`])
+//! when a trace is rooted locally, and *always* emits traces that end
+//! rejected, expired, or failed — plus, optionally, traces whose
+//! end-to-end time breaches [`TracerConfig::slo_violation_ns`]. To make
+//! the retroactive cases possible, the broker buffers its spans in a
+//! per-query [`QueryTrace`] and decides at finalization; only the shard
+//! tier emits eagerly, and only when the context's `sampled` bit says the
+//! trace is definitely being collected (so retroactively-emitted traces
+//! are broker-complete and never contain orphan references).
+//!
+//! When no tracer is configured the hosts never construct a
+//! [`QueryTrace`]; the disabled path is one `Option` test, kept off the
+//! admission hot path by `crates/bench/benches/overhead.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bouncer_metrics::Nanos;
+
+use super::{Event, EventSink};
+use crate::types::TypeId;
+
+/// Globally unique identifier of one end-to-end trace (one client query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Globally unique identifier of one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// Process-local id sequence; the process id is mixed into the top bits so
+/// ids minted on both sides of a TCP deployment never collide, while the
+/// result stays below 2^53 and survives a JSON `f64` round trip exactly.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn mint() -> u64 {
+    let seq = NEXT_ID.fetch_add(1, Ordering::Relaxed) & ((1 << 42) - 1);
+    (((std::process::id() as u64) & 0x7ff) << 42) | seq
+}
+
+/// Mints a fresh trace id.
+pub fn new_trace_id() -> TraceId {
+    TraceId(mint())
+}
+
+/// Mints a fresh span id.
+pub fn new_span_id() -> SpanId {
+    SpanId(mint())
+}
+
+/// The causal context a query or sub-query carries between components.
+///
+/// `parent` is the span the receiving component should attach its own
+/// spans under. `sampled` means "this trace is definitely being collected"
+/// — downstream components may emit eagerly; when it is `false` the trace
+/// may still surface retroactively (rejection/SLO violation) from the
+/// buffering side alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace this work belongs to.
+    pub trace: TraceId,
+    /// The span to parent new spans under.
+    pub parent: SpanId,
+    /// Whether the trace is definitely being collected.
+    pub sampled: bool,
+}
+
+/// What a span represents — one hop or phase of a query's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Root minted by a remote client (generator / TCP front client):
+    /// submission to outcome, as the caller saw it.
+    Client,
+    /// Front server work between decoding a query off the wire and handing
+    /// it to the broker.
+    FrontDispatch,
+    /// The broker-side root: offered to the gate through final outcome.
+    Query,
+    /// The admission decision itself (gate offer).
+    Admission,
+    /// Waiting in the broker's queue between admission and engine pickup.
+    BrokerQueue,
+    /// Engine execution of the query plan, fan-out rounds included.
+    BrokerService,
+    /// One fan-out round: first sub-query sent to last reply received. A
+    /// round is as slow as its straggler shard.
+    Round(u16),
+    /// One sub-query as the broker sees it: send to reply (includes
+    /// transport and the shard's queue + service).
+    SubQuery {
+        /// The shard the sub-query was routed to.
+        shard: u16,
+    },
+    /// Waiting in the shard host's queue.
+    ShardQueue {
+        /// The shard that queued the sub-query.
+        shard: u16,
+    },
+    /// Shard engine execution of the sub-query.
+    ShardService {
+        /// The shard that served the sub-query.
+        shard: u16,
+    },
+    /// Broker compute between a closed round and the next send (reply
+    /// aggregation / frontier construction).
+    Aggregation(u16),
+}
+
+impl SpanKind {
+    /// The kind's snake_case name, as used in the JSONL `kind` field.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Client => "client",
+            SpanKind::FrontDispatch => "front_dispatch",
+            SpanKind::Query => "query",
+            SpanKind::Admission => "admission",
+            SpanKind::BrokerQueue => "broker_queue",
+            SpanKind::BrokerService => "broker_service",
+            SpanKind::Round(_) => "round",
+            SpanKind::SubQuery { .. } => "subquery",
+            SpanKind::ShardQueue { .. } => "shard_queue",
+            SpanKind::ShardService { .. } => "shard_service",
+            SpanKind::Aggregation(_) => "aggregation",
+        }
+    }
+
+    /// The fan-out round index, for round-scoped kinds.
+    pub fn round(&self) -> Option<u16> {
+        match *self {
+            SpanKind::Round(r) | SpanKind::Aggregation(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The shard index, for shard-scoped kinds.
+    pub fn shard(&self) -> Option<u16> {
+        match *self {
+            SpanKind::SubQuery { shard }
+            | SpanKind::ShardQueue { shard }
+            | SpanKind::ShardService { shard } => Some(shard),
+            _ => None,
+        }
+    }
+}
+
+/// How the traced work ended. Carried on root spans; non-root spans are
+/// always `Ok` (a failed sub-query surfaces as the root's status).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanStatus {
+    /// Completed normally.
+    Ok,
+    /// Turned away at admission (broker or shard).
+    Rejected,
+    /// Admitted but dropped past its deadline.
+    Expired,
+    /// Failed mid-execution (shard error, transport loss).
+    Failed,
+}
+
+impl SpanStatus {
+    /// The status's lowercase name, as used in the JSONL `status` field.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "ok",
+            SpanStatus::Rejected => "rejected",
+            SpanStatus::Expired => "expired",
+            SpanStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Sampling policy for a [`Tracer`].
+#[derive(Debug, Clone, Copy)]
+pub struct TracerConfig {
+    /// Head-based sampling: collect 1 in `sample_every` locally-rooted
+    /// traces. `0` disables head sampling entirely (only the always-sample
+    /// cases below are emitted). Default: 1 (collect everything).
+    pub sample_every: u64,
+    /// Retroactively emit any trace whose end-to-end time reaches this
+    /// bound, even when head sampling skipped it. Such traces contain the
+    /// broker-buffered spans only (no eager shard spans), which is still a
+    /// complete tree. Default: `None`.
+    pub slo_violation_ns: Option<Nanos>,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        Self {
+            sample_every: 1,
+            slo_violation_ns: None,
+        }
+    }
+}
+
+/// One query's buffered trace: the root plus every span recorded while the
+/// query moved through the broker (or simulator).
+///
+/// Buffering instead of emitting lets the [`Tracer`] decide at
+/// finalization whether the trace is kept — which is what makes
+/// "always sample rejected / expired / SLO-violating" possible without
+/// sampling everything.
+#[derive(Debug)]
+pub struct QueryTrace {
+    trace: TraceId,
+    root: SpanId,
+    parent: Option<SpanId>,
+    ty: Option<TypeId>,
+    start: Nanos,
+    head_sampled: bool,
+    spans: Vec<(SpanKind, SpanId, SpanId, Nanos, Nanos)>,
+}
+
+impl QueryTrace {
+    /// The trace this query belongs to.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    /// The root span id (what child spans parent under).
+    pub fn root_span(&self) -> SpanId {
+        self.root
+    }
+
+    /// When the root opened.
+    pub fn start(&self) -> Nanos {
+        self.start
+    }
+
+    /// Whether head sampling selected this trace (downstream components may
+    /// emit eagerly).
+    pub fn head_sampled(&self) -> bool {
+        self.head_sampled
+    }
+
+    /// A context for downstream work parented under `parent`.
+    pub fn ctx_for(&self, parent: SpanId) -> TraceContext {
+        TraceContext {
+            trace: self.trace,
+            parent,
+            sampled: self.head_sampled,
+        }
+    }
+
+    /// Buffers one closed span.
+    pub fn record(&mut self, kind: SpanKind, span: SpanId, parent: SpanId, start: Nanos, end: Nanos) {
+        self.spans.push((kind, span, parent, start, end));
+    }
+
+    /// Buffers one closed span parented directly under the root; returns
+    /// its freshly minted id.
+    pub fn record_child(&mut self, kind: SpanKind, start: Nanos, end: Nanos) -> SpanId {
+        let span = new_span_id();
+        self.record(kind, span, self.root, start, end);
+        span
+    }
+}
+
+/// The sampling gatekeeper and span emitter.
+///
+/// One `Tracer` is shared by every component of a deployment (broker,
+/// shards, front, generator) so all spans land in one sink and the
+/// sampled/dropped counters describe the whole system. The counters are
+/// bumped once per *root* finalization ([`Tracer::finish`]), i.e. at
+/// broker-query granularity.
+#[derive(Debug)]
+pub struct Tracer {
+    sink: Arc<dyn EventSink>,
+    cfg: TracerConfig,
+    head: AtomicU64,
+    sampled: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    /// A tracer emitting through `sink` under the given sampling policy.
+    pub fn new(sink: Arc<dyn EventSink>, cfg: TracerConfig) -> Self {
+        Self {
+            sink,
+            cfg,
+            head: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the underlying sink collects anything. Hosts check this once
+    /// per query; `false` means no [`QueryTrace`] is ever constructed.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// The sampling policy in force.
+    pub fn config(&self) -> TracerConfig {
+        self.cfg
+    }
+
+    /// Draws one head-sampling decision (1 in
+    /// [`TracerConfig::sample_every`]).
+    pub fn head_decision(&self) -> bool {
+        let n = self.cfg.sample_every;
+        n != 0 && self.head.fetch_add(1, Ordering::Relaxed).is_multiple_of(n)
+    }
+
+    /// Opens a query root. With an incoming sampled context the root joins
+    /// that trace under `ctx.parent`; otherwise a fresh trace is minted and
+    /// head sampling decides eager collection. An incoming *unsampled*
+    /// context is ignored (a retroactively-emitted root must not reference
+    /// a parent that was never emitted).
+    pub fn begin(&self, ty: Option<TypeId>, start: Nanos, ctx: Option<TraceContext>) -> QueryTrace {
+        match ctx.filter(|c| c.sampled) {
+            Some(c) => QueryTrace {
+                trace: c.trace,
+                root: new_span_id(),
+                parent: Some(c.parent),
+                ty,
+                start,
+                head_sampled: true,
+                spans: Vec::new(),
+            },
+            None => QueryTrace {
+                trace: new_trace_id(),
+                root: new_span_id(),
+                parent: None,
+                ty,
+                start,
+                head_sampled: self.head_decision(),
+                spans: Vec::new(),
+            },
+        }
+    }
+
+    /// Eagerly emits one closed span (the shard tier's path; only valid
+    /// when the context's `sampled` bit is set). Returns the minted id.
+    pub fn emit_span(
+        &self,
+        trace: TraceId,
+        kind: SpanKind,
+        parent: SpanId,
+        start: Nanos,
+        end: Nanos,
+    ) -> SpanId {
+        let span = new_span_id();
+        self.sink.emit(&Event::Span {
+            at: end,
+            trace,
+            span,
+            parent: Some(parent),
+            kind,
+            start,
+            end,
+            ty: None,
+            status: SpanStatus::Ok,
+        });
+        span
+    }
+
+    /// Eagerly emits a root span that was never buffered (the remote
+    /// client's [`SpanKind::Client`] root). Does not touch the
+    /// sampled/dropped counters — those count broker-root finalizations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_root(
+        &self,
+        trace: TraceId,
+        span: SpanId,
+        kind: SpanKind,
+        ty: Option<TypeId>,
+        start: Nanos,
+        end: Nanos,
+        status: SpanStatus,
+    ) {
+        self.sink.emit(&Event::Span {
+            at: end,
+            trace,
+            span,
+            parent: None,
+            kind,
+            start,
+            end,
+            ty,
+            status,
+        });
+    }
+
+    /// Finalizes a query trace: applies the sampling policy (head decision,
+    /// always-sample non-`Ok` outcomes, optional SLO-violation bound) and
+    /// either emits the root plus every buffered span or drops the lot.
+    pub fn finish(&self, qt: QueryTrace, status: SpanStatus, end: Nanos) {
+        let slo_violated = self
+            .cfg
+            .slo_violation_ns
+            .is_some_and(|thr| end.saturating_sub(qt.start) >= thr);
+        if !(qt.head_sampled || status != SpanStatus::Ok || slo_violated) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.sampled.fetch_add(1, Ordering::Relaxed);
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.emit(&Event::Span {
+            at: end,
+            trace: qt.trace,
+            span: qt.root,
+            parent: qt.parent,
+            kind: SpanKind::Query,
+            start: qt.start,
+            end,
+            ty: qt.ty,
+            status,
+        });
+        for (kind, span, parent, start, span_end) in qt.spans {
+            self.sink.emit(&Event::Span {
+                at: span_end,
+                trace: qt.trace,
+                span,
+                parent: Some(parent),
+                kind,
+                start,
+                end: span_end,
+                ty: None,
+                status: SpanStatus::Ok,
+            });
+        }
+    }
+
+    /// Traces emitted so far (`bouncer_trace_sampled_total`).
+    pub fn sampled_total(&self) -> u64 {
+        self.sampled.load(Ordering::Relaxed)
+    }
+
+    /// Traces discarded by sampling so far (`bouncer_trace_dropped_total`).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::MemorySink;
+    use super::*;
+
+    fn mem_tracer(cfg: TracerConfig) -> (Arc<MemorySink>, Tracer) {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone(), cfg);
+        (sink, tracer)
+    }
+
+    fn span_kinds(sink: &MemorySink) -> Vec<&'static str> {
+        sink.events()
+            .iter()
+            .map(|e| match e {
+                Event::Span { kind, .. } => kind.label(),
+                other => other.name(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ids_are_unique_and_json_safe() {
+        let a = new_trace_id();
+        let b = new_trace_id();
+        assert_ne!(a, b);
+        assert!(a.0 < (1 << 53) && b.0 < (1 << 53));
+        let s = new_span_id();
+        assert!(s.0 < (1 << 53));
+    }
+
+    #[test]
+    fn head_sampling_keeps_one_in_n() {
+        let (_, tracer) = mem_tracer(TracerConfig {
+            sample_every: 4,
+            slo_violation_ns: None,
+        });
+        let kept: usize = (0..16).filter(|_| tracer.head_decision()).count();
+        assert_eq!(kept, 4);
+        let (_, never) = mem_tracer(TracerConfig {
+            sample_every: 0,
+            slo_violation_ns: None,
+        });
+        assert!(!(0..16).any(|_| never.head_decision()));
+    }
+
+    #[test]
+    fn sampled_trace_emits_root_and_buffered_spans() {
+        let (sink, tracer) = mem_tracer(TracerConfig::default());
+        let mut qt = tracer.begin(Some(TypeId(2)), 100, None);
+        assert!(qt.head_sampled());
+        qt.record_child(SpanKind::Admission, 100, 110);
+        qt.record_child(SpanKind::BrokerQueue, 110, 150);
+        tracer.finish(qt, SpanStatus::Ok, 300);
+        assert_eq!(span_kinds(&sink), vec!["query", "admission", "broker_queue"]);
+        assert_eq!(tracer.sampled_total(), 1);
+        assert_eq!(tracer.dropped_total(), 0);
+    }
+
+    #[test]
+    fn unsampled_ok_trace_is_dropped_but_rejected_is_kept() {
+        let (sink, tracer) = mem_tracer(TracerConfig {
+            sample_every: 0,
+            slo_violation_ns: None,
+        });
+        let qt = tracer.begin(None, 0, None);
+        assert!(!qt.head_sampled());
+        tracer.finish(qt, SpanStatus::Ok, 50);
+        assert!(sink.is_empty());
+        assert_eq!(tracer.dropped_total(), 1);
+
+        let mut qt = tracer.begin(None, 0, None);
+        qt.record_child(SpanKind::Admission, 0, 5);
+        tracer.finish(qt, SpanStatus::Rejected, 5);
+        assert_eq!(span_kinds(&sink), vec!["query", "admission"]);
+        assert_eq!(tracer.sampled_total(), 1);
+    }
+
+    #[test]
+    fn slo_violation_is_retroactively_sampled() {
+        let (sink, tracer) = mem_tracer(TracerConfig {
+            sample_every: 0,
+            slo_violation_ns: Some(1_000),
+        });
+        let fast = tracer.begin(None, 0, None);
+        tracer.finish(fast, SpanStatus::Ok, 999);
+        assert!(sink.is_empty());
+        let slow = tracer.begin(None, 0, None);
+        tracer.finish(slow, SpanStatus::Ok, 1_000);
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn sampled_context_is_adopted_and_unsampled_context_is_ignored() {
+        let (_, tracer) = mem_tracer(TracerConfig {
+            sample_every: 0,
+            slo_violation_ns: None,
+        });
+        let parent = new_span_id();
+        let upstream = TraceContext {
+            trace: TraceId(7),
+            parent,
+            sampled: true,
+        };
+        let qt = tracer.begin(None, 0, Some(upstream));
+        assert_eq!(qt.trace_id(), TraceId(7));
+        assert!(qt.head_sampled(), "joining a sampled trace forces emission");
+
+        let unsampled = TraceContext {
+            trace: TraceId(7),
+            parent,
+            sampled: false,
+        };
+        let qt = tracer.begin(None, 0, Some(unsampled));
+        assert_ne!(qt.trace_id(), TraceId(7), "unsampled upstream is not joined");
+        assert!(!qt.head_sampled());
+    }
+
+    #[test]
+    fn ctx_for_carries_trace_and_sampling() {
+        let (_, tracer) = mem_tracer(TracerConfig::default());
+        let qt = tracer.begin(None, 0, None);
+        let parent = new_span_id();
+        let ctx = qt.ctx_for(parent);
+        assert_eq!(ctx.trace, qt.trace_id());
+        assert_eq!(ctx.parent, parent);
+        assert!(ctx.sampled);
+    }
+}

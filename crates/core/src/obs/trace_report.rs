@@ -1,0 +1,614 @@
+//! Trace reconstruction and the Fig. 13-style latency breakdown.
+//!
+//! Consumes the JSONL span records emitted by
+//! [`trace`](super::trace), reassembles each trace's span tree, walks the
+//! **critical path** (a fan-out round is as slow as its straggler shard),
+//! and attributes every query's end-to-end response time to components:
+//! admission, broker queue, shard queue, shard service, transport,
+//! aggregation, broker compute, and a residual. Per-trace breakdowns are
+//! aggregated at p50/p95/p99 into the "where the milliseconds went"
+//! report the CLI's `trace-report` subcommand prints — the tool that makes
+//! the paper's §5.4 diagnosis (shard-tier queueing masquerading as rising
+//! processing time) a one-command observation.
+//!
+//! By construction, the per-trace components sum to the root span's
+//! duration exactly: each structural level contributes its own residual
+//! (`transport` inside a round, `broker_compute` inside the service span,
+//! `other` under the root), so nothing is double-counted or lost.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use bouncer_metrics::Nanos;
+
+use super::json::{parse_json, JsonValue};
+
+/// One span, as parsed back from a JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The trace the span belongs to.
+    pub trace: u64,
+    /// The span's own id.
+    pub span: u64,
+    /// The parent span id, absent on roots.
+    pub parent: Option<u64>,
+    /// The span kind label (`query`, `round`, `shard_service`, ...).
+    pub kind: String,
+    /// The fan-out round index, on round-scoped spans.
+    pub round: Option<u16>,
+    /// The shard index, on shard-scoped spans.
+    pub shard: Option<u16>,
+    /// Span open time.
+    pub start: Nanos,
+    /// Span close time.
+    pub end: Nanos,
+    /// Root status label (`ok`, `rejected`, `expired`, `failed`).
+    pub status: String,
+    /// The query type's dense index, when the emitter knew it.
+    pub ty: Option<u64>,
+}
+
+impl SpanRecord {
+    /// The span's duration.
+    pub fn dur(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key).and_then(|x| x.as_u64())
+}
+
+/// Parses span records out of a JSONL event stream.
+///
+/// Non-span events (the lifecycle and policy records sharing the file) are
+/// skipped; a line that is not valid JSON, or a span line missing a
+/// required field, is an error.
+pub fn parse_spans(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("event").and_then(|e| e.as_str()) != Some("span") {
+            continue;
+        }
+        let req = |key: &str| {
+            field_u64(&v, key).ok_or_else(|| format!("line {}: span missing `{key}`", i + 1))
+        };
+        out.push(SpanRecord {
+            trace: req("trace")?,
+            span: req("span")?,
+            parent: field_u64(&v, "parent"),
+            kind: v
+                .get("kind")
+                .and_then(|k| k.as_str())
+                .ok_or_else(|| format!("line {}: span missing `kind`", i + 1))?
+                .to_owned(),
+            round: field_u64(&v, "round").map(|r| r as u16),
+            shard: field_u64(&v, "shard").map(|s| s as u16),
+            start: req("start_ns")?,
+            end: req("end_ns")?,
+            status: v
+                .get("status")
+                .and_then(|s| s.as_str())
+                .unwrap_or("ok")
+                .to_owned(),
+            ty: field_u64(&v, "type"),
+        });
+    }
+    Ok(out)
+}
+
+/// One reassembled trace: its spans plus tree diagnostics.
+#[derive(Debug)]
+pub struct TraceTree {
+    /// The trace id.
+    pub trace: u64,
+    /// Every span observed for this trace.
+    pub spans: Vec<SpanRecord>,
+    /// Index of the root span (no parent; earliest start wins), when one
+    /// was observed.
+    pub root: Option<usize>,
+    /// Spans whose recorded parent never appeared in this trace.
+    pub orphans: usize,
+}
+
+impl TraceTree {
+    /// `true` when the tree reconstructed completely: a root exists and no
+    /// span references a missing parent.
+    pub fn is_complete(&self) -> bool {
+        self.root.is_some() && self.orphans == 0
+    }
+}
+
+/// The result of grouping raw span records into trees.
+#[derive(Debug)]
+pub struct Assembly {
+    /// One entry per distinct trace id, ordered by first appearance.
+    pub traces: Vec<TraceTree>,
+    /// Total spans consumed.
+    pub total_spans: usize,
+    /// Spans (across all traces) whose parent is missing.
+    pub orphan_spans: usize,
+    /// Traces with no root span at all.
+    pub rootless_traces: usize,
+}
+
+/// Groups span records by trace and checks every parent reference.
+pub fn assemble(records: Vec<SpanRecord>) -> Assembly {
+    let total_spans = records.len();
+    let mut order: Vec<u64> = Vec::new();
+    let mut by_trace: HashMap<u64, Vec<SpanRecord>> = HashMap::new();
+    for r in records {
+        by_trace.entry(r.trace).or_insert_with(|| {
+            order.push(r.trace);
+            Vec::new()
+        });
+        by_trace.get_mut(&r.trace).expect("just inserted").push(r);
+    }
+    let mut traces = Vec::with_capacity(order.len());
+    let mut orphan_spans = 0;
+    let mut rootless_traces = 0;
+    for trace in order {
+        let spans = by_trace.remove(&trace).expect("grouped above");
+        let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.span).collect();
+        let orphans = spans
+            .iter()
+            .filter(|s| s.parent.is_some_and(|p| !ids.contains(&p)))
+            .count();
+        let root = spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent.is_none())
+            .min_by_key(|(_, s)| s.start)
+            .map(|(i, _)| i);
+        orphan_spans += orphans;
+        if root.is_none() {
+            rootless_traces += 1;
+        }
+        traces.push(TraceTree {
+            trace,
+            spans,
+            root,
+            orphans,
+        });
+    }
+    Assembly {
+        traces,
+        total_spans,
+        orphan_spans,
+        rootless_traces,
+    }
+}
+
+/// Where one query's milliseconds went. All fields are nanoseconds except
+/// the bookkeeping at the bottom; the duration components sum to `total`.
+#[derive(Debug, Clone, Default)]
+pub struct Breakdown {
+    /// End-to-end duration of the trace's root span.
+    pub total: Nanos,
+    /// Admission decision time.
+    pub admission: Nanos,
+    /// Broker queue wait.
+    pub broker_queue: Nanos,
+    /// Critical-path shard queue wait (straggler shard, summed over rounds).
+    pub shard_queue: Nanos,
+    /// Critical-path shard service time (straggler shard, summed over rounds).
+    pub shard_service: Nanos,
+    /// Round time not inside the straggler's shard spans: wire/channel
+    /// transport plus sub-query send/dispatch skew.
+    pub transport: Nanos,
+    /// Broker compute between rounds (reply aggregation, frontier building).
+    pub aggregation: Nanos,
+    /// Broker service time not inside any round or aggregation span (plan
+    /// logic before the first and after the last fan-out).
+    pub broker_compute: Nanos,
+    /// Root time outside admission + queue + service: front dispatch and
+    /// client-to-broker transport on remote traces, ~0 otherwise.
+    pub other: Nanos,
+    /// Number of fan-out rounds observed.
+    pub rounds: usize,
+    /// `(round, shard)` of the straggler in each round — the critical path.
+    pub stragglers: Vec<(u16, u16)>,
+    /// Root status label.
+    pub status: String,
+    /// The query type's dense index, when recorded.
+    pub ty: Option<u64>,
+}
+
+impl Breakdown {
+    /// Sum of every duration component (equals `total` by construction,
+    /// modulo clamping of negative residuals to zero).
+    pub fn component_sum(&self) -> Nanos {
+        self.admission
+            + self.broker_queue
+            + self.shard_queue
+            + self.shard_service
+            + self.transport
+            + self.aggregation
+            + self.broker_compute
+            + self.other
+    }
+}
+
+/// Computes one trace's latency breakdown; `None` when the tree has no
+/// root to measure against.
+pub fn breakdown(tree: &TraceTree) -> Option<Breakdown> {
+    let root = &tree.spans[tree.root?];
+    let mut b = Breakdown {
+        total: root.dur(),
+        status: root.status.clone(),
+        ty: root.ty,
+        ..Breakdown::default()
+    };
+    // The root may be the remote client's span with the broker `query` span
+    // below it; type/status ride on whichever root the trace has, but the
+    // type is only stamped broker-side, so fall back to the query span.
+    let mut service_total: Nanos = 0;
+    let mut rounds_total: Nanos = 0;
+    let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for s in &tree.spans {
+        if let Some(p) = s.parent {
+            children.entry(p).or_default().push(s);
+        }
+        match s.kind.as_str() {
+            "admission" => b.admission += s.dur(),
+            "broker_queue" => b.broker_queue += s.dur(),
+            "broker_service" => service_total += s.dur(),
+            "aggregation" => b.aggregation += s.dur(),
+            "query" if b.ty.is_none() => b.ty = s.ty,
+            _ => {}
+        }
+    }
+    let mut round_spans: Vec<&SpanRecord> = tree
+        .spans
+        .iter()
+        .filter(|s| s.kind == "round")
+        .collect();
+    round_spans.sort_by_key(|r| r.round.unwrap_or(0));
+    for round in round_spans {
+        b.rounds += 1;
+        rounds_total += round.dur();
+        let straggler = children
+            .get(&round.span)
+            .into_iter()
+            .flatten()
+            .filter(|s| s.kind == "subquery")
+            .max_by_key(|s| s.end);
+        let (mut sq, mut ss) = (0, 0);
+        if let Some(strag) = straggler {
+            for child in children.get(&strag.span).into_iter().flatten() {
+                match child.kind.as_str() {
+                    "shard_queue" => sq += child.dur(),
+                    "shard_service" => ss += child.dur(),
+                    _ => {}
+                }
+            }
+            b.stragglers
+                .push((round.round.unwrap_or(0), strag.shard.unwrap_or(0)));
+        }
+        b.shard_queue += sq;
+        b.shard_service += ss;
+        b.transport += round.dur().saturating_sub(sq + ss);
+    }
+    b.broker_compute = service_total.saturating_sub(rounds_total + b.aggregation);
+    // The root-level residual: total minus admission, queue, and the whole
+    // service span (which already contains the round / aggregation /
+    // compute parts). On remote traces this is front dispatch plus
+    // client-to-broker transport; with no service span (a rejection) it
+    // degenerates to ~0.
+    b.other = b
+        .total
+        .saturating_sub(b.admission + b.broker_queue + service_total);
+    Some(b)
+}
+
+/// The aggregated report over every reconstructed trace.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// Distinct traces observed.
+    pub traces: usize,
+    /// Traces that reconstructed completely (root present, zero orphans).
+    pub complete: usize,
+    /// Spans referencing a parent that never appeared.
+    pub orphan_spans: usize,
+    /// Traces with no root span.
+    pub rootless_traces: usize,
+    /// Total spans consumed.
+    pub total_spans: usize,
+    /// Root status label → count.
+    pub by_status: Vec<(String, usize)>,
+    /// One breakdown per rooted trace.
+    pub breakdowns: Vec<Breakdown>,
+    /// Shard index → number of rounds it was the straggler of.
+    pub straggler_counts: Vec<(u16, usize)>,
+}
+
+impl TraceReport {
+    /// `true` when every trace reconstructed completely.
+    pub fn all_complete(&self) -> bool {
+        self.orphan_spans == 0 && self.rootless_traces == 0
+    }
+}
+
+/// Assembles, breaks down, and aggregates a batch of span records.
+pub fn analyze(records: Vec<SpanRecord>) -> TraceReport {
+    let assembly = assemble(records);
+    let mut by_status: HashMap<String, usize> = HashMap::new();
+    let mut straggler_counts: HashMap<u16, usize> = HashMap::new();
+    let mut breakdowns = Vec::new();
+    let mut complete = 0;
+    for tree in &assembly.traces {
+        if tree.is_complete() {
+            complete += 1;
+        }
+        if let Some(b) = breakdown(tree) {
+            *by_status.entry(b.status.clone()).or_default() += 1;
+            for &(_, shard) in &b.stragglers {
+                *straggler_counts.entry(shard).or_default() += 1;
+            }
+            breakdowns.push(b);
+        }
+    }
+    let mut by_status: Vec<(String, usize)> = by_status.into_iter().collect();
+    by_status.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut straggler_counts: Vec<(u16, usize)> = straggler_counts.into_iter().collect();
+    straggler_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    TraceReport {
+        traces: assembly.traces.len(),
+        complete,
+        orphan_spans: assembly.orphan_spans,
+        rootless_traces: assembly.rootless_traces,
+        total_spans: assembly.total_spans,
+        by_status,
+        breakdowns,
+        straggler_counts,
+    }
+}
+
+fn percentile(sorted: &[Nanos], q: f64) -> Nanos {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn ms(ns: Nanos) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the Fig. 13-style "where the milliseconds went" text report.
+pub fn render_report(report: &TraceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace-report: where the milliseconds went");
+    let _ = writeln!(
+        out,
+        "  traces: {} ({} complete, {} orphan spans, {} rootless), {} spans",
+        report.traces,
+        report.complete,
+        report.orphan_spans,
+        report.rootless_traces,
+        report.total_spans
+    );
+    let statuses: Vec<String> = report
+        .by_status
+        .iter()
+        .map(|(s, n)| format!("{s} {n}"))
+        .collect();
+    let _ = writeln!(out, "  status: {}", statuses.join(", "));
+    // Aggregate over completed queries only: rejected/expired traces have a
+    // near-zero breakdown and would drag every percentile toward 0.
+    let pool: Vec<&Breakdown> = report
+        .breakdowns
+        .iter()
+        .filter(|b| b.status == "ok")
+        .collect();
+    let pool: Vec<&Breakdown> = if pool.is_empty() {
+        report.breakdowns.iter().collect()
+    } else {
+        pool
+    };
+    if pool.is_empty() {
+        let _ = writeln!(out, "  (no rooted traces to aggregate)");
+        return out;
+    }
+    let total_mean: f64 = pool.iter().map(|b| b.total as f64).sum::<f64>() / pool.len() as f64;
+    let _ = writeln!(
+        out,
+        "  breakdown over {} queries (component / end-to-end share by mean):",
+        pool.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "component", "p50 ms", "p95 ms", "p99 ms", "mean ms", "share"
+    );
+    type Component = (&'static str, fn(&Breakdown) -> Nanos);
+    let components: [Component; 8] = [
+        ("admission", |b| b.admission),
+        ("broker queue", |b| b.broker_queue),
+        ("shard queue", |b| b.shard_queue),
+        ("shard service", |b| b.shard_service),
+        ("transport", |b| b.transport),
+        ("aggregation", |b| b.aggregation),
+        ("broker compute", |b| b.broker_compute),
+        ("other", |b| b.other),
+    ];
+    for (name, get) in components {
+        let mut vals: Vec<Nanos> = pool.iter().map(|b| get(b)).collect();
+        vals.sort_unstable();
+        let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+        let share = if total_mean > 0.0 { 100.0 * mean / total_mean } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>7.1}%",
+            name,
+            ms(percentile(&vals, 0.50)),
+            ms(percentile(&vals, 0.95)),
+            ms(percentile(&vals, 0.99)),
+            mean / 1e6,
+            share
+        );
+    }
+    let mut totals: Vec<Nanos> = pool.iter().map(|b| b.total).collect();
+    totals.sort_unstable();
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>7.1}%",
+        "end-to-end",
+        ms(percentile(&totals, 0.50)),
+        ms(percentile(&totals, 0.95)),
+        ms(percentile(&totals, 0.99)),
+        total_mean / 1e6,
+        100.0
+    );
+    if !report.straggler_counts.is_empty() {
+        let tags: Vec<String> = report
+            .straggler_counts
+            .iter()
+            .map(|(shard, n)| format!("shard {shard} ×{n}"))
+            .collect();
+        let _ = writeln!(out, "  critical-path stragglers: {}", tags.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        trace: u64,
+        span: u64,
+        parent: Option<u64>,
+        kind: &str,
+        start: Nanos,
+        end: Nanos,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace,
+            span,
+            parent,
+            kind: kind.to_owned(),
+            round: None,
+            shard: None,
+            start,
+            end,
+            status: "ok".to_owned(),
+            ty: None,
+        }
+    }
+
+    /// One two-round query: round 0 fans out to shards 0/1 (1 straggles),
+    /// round 1 hits shard 0 only, with aggregation between the rounds.
+    fn sample_trace() -> Vec<SpanRecord> {
+        let mut v = vec![
+            span(1, 10, None, "query", 0, 1_000),
+            span(1, 11, Some(10), "admission", 0, 10),
+            span(1, 12, Some(10), "broker_queue", 10, 110),
+            span(1, 13, Some(10), "broker_service", 110, 1_000),
+        ];
+        let mut round0 = span(1, 14, Some(13), "round", 120, 520);
+        round0.round = Some(0);
+        v.push(round0);
+        let mut sub_a = span(1, 15, Some(14), "subquery", 120, 320);
+        sub_a.shard = Some(0);
+        v.push(sub_a);
+        let mut sub_b = span(1, 16, Some(14), "subquery", 125, 520);
+        sub_b.shard = Some(1);
+        v.push(sub_b);
+        let mut sq = span(1, 17, Some(16), "shard_queue", 150, 250);
+        sq.shard = Some(1);
+        v.push(sq);
+        let mut ss = span(1, 18, Some(16), "shard_service", 250, 500);
+        ss.shard = Some(1);
+        v.push(ss);
+        let mut agg = span(1, 19, Some(13), "aggregation", 520, 600);
+        agg.round = Some(0);
+        v.push(agg);
+        let mut round1 = span(1, 20, Some(13), "round", 600, 900);
+        round1.round = Some(1);
+        v.push(round1);
+        let mut sub_c = span(1, 21, Some(20), "subquery", 600, 900);
+        sub_c.shard = Some(0);
+        v.push(sub_c);
+        let mut sq1 = span(1, 22, Some(21), "shard_queue", 610, 650);
+        sq1.shard = Some(0);
+        v.push(sq1);
+        let mut ss1 = span(1, 23, Some(21), "shard_service", 650, 890);
+        ss1.shard = Some(0);
+        v.push(ss1);
+        v
+    }
+
+    #[test]
+    fn assembles_complete_trees() {
+        let a = assemble(sample_trace());
+        assert_eq!(a.traces.len(), 1);
+        assert_eq!(a.orphan_spans, 0);
+        assert_eq!(a.rootless_traces, 0);
+        assert!(a.traces[0].is_complete());
+    }
+
+    #[test]
+    fn detects_orphans_and_rootless_traces() {
+        let mut records = sample_trace();
+        records.push(span(1, 99, Some(777), "shard_queue", 0, 1));
+        records.push(span(2, 100, Some(101), "subquery", 0, 1));
+        let a = assemble(records);
+        assert_eq!(a.orphan_spans, 2);
+        assert_eq!(a.rootless_traces, 1);
+        assert!(!a.traces[0].is_complete());
+    }
+
+    #[test]
+    fn breakdown_attributes_critical_path_and_sums_to_total() {
+        let a = assemble(sample_trace());
+        let b = breakdown(&a.traces[0]).unwrap();
+        assert_eq!(b.total, 1_000);
+        assert_eq!(b.admission, 10);
+        assert_eq!(b.broker_queue, 100);
+        // Round 0 straggler is shard 1 (queue 100, service 250); round 1's
+        // only sub is shard 0 (queue 40, service 240).
+        assert_eq!(b.stragglers, vec![(0, 1), (1, 0)]);
+        assert_eq!(b.shard_queue, 140);
+        assert_eq!(b.shard_service, 490);
+        // transport: round0 400 - 350 = 50; round1 300 - 280 = 20.
+        assert_eq!(b.transport, 70);
+        assert_eq!(b.aggregation, 80);
+        // service 890 - rounds 700 - aggregation 80 = 110.
+        assert_eq!(b.broker_compute, 110);
+        // total 1000 - admission 10 - queue 100 - service 890 = 0.
+        assert_eq!(b.other, 0);
+        assert_eq!(b.component_sum(), b.total);
+    }
+
+    #[test]
+    fn parse_skips_non_span_lines_and_rejects_bad_json() {
+        let text = r#"{"event":"admitted","at_ns":5,"type":1}
+{"event":"span","at_ns":9,"trace":1,"span":2,"kind":"query","start_ns":3,"end_ns":9,"status":"ok"}
+"#;
+        let spans = parse_spans(text).unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, "query");
+        assert_eq!(spans[0].dur(), 6);
+        assert!(parse_spans("not json\n").is_err());
+        assert!(parse_spans(r#"{"event":"span","trace":1}"#).is_err());
+    }
+
+    #[test]
+    fn report_renders_and_counts() {
+        let report = analyze(sample_trace());
+        assert_eq!(report.traces, 1);
+        assert!(report.all_complete());
+        assert_eq!(report.straggler_counts, vec![(0, 1), (1, 1)]);
+        let text = render_report(&report);
+        assert!(text.contains("where the milliseconds went"));
+        assert!(text.contains("shard queue"));
+        assert!(text.contains("end-to-end"));
+    }
+}

@@ -12,16 +12,20 @@
 //! queueing — which is why the paper's Figure 13 sees per-type processing
 //! time rise with load on the real system but not in the ideal simulator.
 
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bouncer_core::framework::{Gate, GateConfig, ServerStats, TakeOutcome, Ticker};
-use bouncer_core::obs::{null_sink, EventSink};
+use bouncer_core::obs::{
+    new_span_id, null_sink, EventSink, QueryTrace, SpanId, SpanKind, SpanStatus, TraceContext,
+    Tracer,
+};
 use bouncer_core::policy::{AdmissionPolicy, RejectReason};
 use bouncer_core::types::{TypeId, TypeRegistry};
-use bouncer_metrics::Clock;
+use bouncer_metrics::{Clock, Nanos};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -96,6 +100,8 @@ impl Responder {
 struct Job {
     query: Query,
     respond: Responder,
+    /// Buffered trace, present only when the broker has an enabled tracer.
+    trace: Option<QueryTrace>,
 }
 
 /// Broker configuration.
@@ -116,6 +122,11 @@ pub struct BrokerConfig {
     /// Optional observability sink for this host's gate (lifecycle events
     /// with wall-clock timestamps, plus the policy's interval events).
     pub sink: Option<Arc<dyn EventSink>>,
+    /// Optional distributed tracer. The broker roots a [`QueryTrace`] per
+    /// offered query (joining an incoming sampled context when present),
+    /// records admission/queue/round/sub-query spans, and finalizes at the
+    /// outcome. `None` keeps tracing entirely off the admission path.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for BrokerConfig {
@@ -127,6 +138,7 @@ impl Default for BrokerConfig {
             subquery_timeout: Duration::from_secs(10),
             query_deadline: None,
             sink: None,
+            tracer: None,
         }
     }
 }
@@ -141,6 +153,7 @@ pub struct Broker {
     _ticker: Ticker,
     parallelism: u32,
     query_deadline: Option<Duration>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Broker {
@@ -166,14 +179,17 @@ impl Broker {
             cfg.sink.clone().unwrap_or_else(null_sink),
         ));
         let shards = Arc::new(shards);
+        // A tracer whose sink is disabled behaves as no tracer at all.
+        let tracer = cfg.tracer.filter(|t| t.enabled());
         let engines = (0..cfg.engines)
             .map(|i| {
                 let gate = Arc::clone(&gate);
                 let shards = Arc::clone(&shards);
                 let timeout = cfg.subquery_timeout;
+                let tracer = tracer.clone();
                 std::thread::Builder::new()
                     .name(format!("broker-engine{i}"))
-                    .spawn(move || engine_loop(&gate, &shards, timeout))
+                    .spawn(move || engine_loop(&gate, &shards, timeout, tracer.as_deref()))
                     .expect("failed to spawn broker engine")
             })
             .collect();
@@ -184,14 +200,25 @@ impl Broker {
             _ticker: ticker,
             parallelism: cfg.engines,
             query_deadline: cfg.query_deadline,
+            tracer,
         })
     }
 
     /// Offers a client query; the returned channel yields its outcome. A
     /// broker-side rejection is delivered immediately.
     pub fn submit(&self, query: Query) -> Receiver<ClientOutcome> {
+        self.submit_with_ctx(query, None)
+    }
+
+    /// Like [`Broker::submit`], joining an incoming trace context (the
+    /// front server's path; in-process callers pass `None`).
+    pub fn submit_with_ctx(
+        &self,
+        query: Query,
+        ctx: Option<TraceContext>,
+    ) -> Receiver<ClientOutcome> {
         let (tx, rx) = bounded(1);
-        self.offer(query, Responder::Oneshot(tx));
+        self.offer(query, Responder::Oneshot(tx), ctx);
         rx
     }
 
@@ -199,18 +226,40 @@ impl Broker {
     /// channel as `(token, outcome)`. Rejections are delivered immediately,
     /// like [`Broker::submit`].
     pub fn submit_tagged(&self, query: Query, tx: Sender<(u64, ClientOutcome)>, token: u64) {
-        self.offer(query, Responder::Tagged(tx, token));
+        self.offer(query, Responder::Tagged(tx, token), None);
     }
 
-    fn offer(&self, query: Query, respond: Responder) {
+    /// [`Broker::submit_tagged`] with an incoming trace context.
+    pub fn submit_tagged_with_ctx(
+        &self,
+        query: Query,
+        tx: Sender<(u64, ClientOutcome)>,
+        token: u64,
+        ctx: Option<TraceContext>,
+    ) {
+        self.offer(query, Responder::Tagged(tx, token), ctx);
+    }
+
+    fn offer(&self, query: Query, respond: Responder, ctx: Option<TraceContext>) {
         let ty = kind_type_id(query.kind);
+        let trace = self
+            .tracer
+            .as_ref()
+            .map(|t| t.begin(Some(ty), self.gate.clock().now(), ctx));
         let deadline = self
             .query_deadline
             .map(|d| self.gate.clock().now() + d.as_nanos() as u64);
         if let Err((reason, job)) =
             self.gate
-                .offer_with_deadline(ty, Job { query, respond }, deadline)
+                .offer_with_deadline(ty, Job { query, respond, trace }, deadline)
         {
+            if let (Some(tracer), Some(mut qt)) = (self.tracer.as_ref(), job.trace) {
+                // Early rejections are always emitted, whatever head
+                // sampling decided.
+                let now = self.gate.clock().now();
+                qt.record_child(SpanKind::Admission, qt.start(), now);
+                tracer.finish(qt, SpanStatus::Rejected, now);
+            }
             job.respond.send(ClientOutcome::Rejected(reason));
         }
     }
@@ -231,6 +280,16 @@ impl Broker {
     /// The admission policy behind the gate.
     pub fn policy(&self) -> &Arc<dyn AdmissionPolicy> {
         self.gate.policy()
+    }
+
+    /// The distributed tracer, when one was configured with an enabled sink.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// The clock this broker timestamps with.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        self.gate.clock()
     }
 
     /// Engine parallelism (`|PU|`).
@@ -264,22 +323,62 @@ impl Broker {
     }
 }
 
-fn engine_loop(gate: &Gate<Job>, shards: &[Arc<dyn ShardClient>], timeout: Duration) {
-    let ctx = PlanCtx { shards, timeout };
+fn engine_loop(
+    gate: &Gate<Job>,
+    shards: &[Arc<dyn ShardClient>],
+    timeout: Duration,
+    tracer: Option<&Tracer>,
+) {
+    let ctx = PlanCtx {
+        shards,
+        timeout,
+        clock: gate.clock(),
+        trace: RefCell::new(None),
+    };
     loop {
         match gate.take(Some(Duration::from_millis(100))) {
             TakeOutcome::Query(admitted) => {
-                let outcome = match execute_plan(&ctx, admitted.payload.query) {
+                let (ty, enqueued_at, dequeued_at) =
+                    (admitted.ty, admitted.enqueued_at, admitted.dequeued_at);
+                let Job { query, respond, trace } = admitted.payload;
+                if let Some(mut qt) = trace {
+                    // The admission span covers the gate offer; the queue
+                    // span covers enqueue→engine pickup. Both timestamps
+                    // come from the gate's own bookkeeping.
+                    qt.record_child(SpanKind::Admission, qt.start(), enqueued_at);
+                    qt.record_child(SpanKind::BrokerQueue, enqueued_at, dequeued_at);
+                    *ctx.trace.borrow_mut() = Some(PlanTrace::new(qt, dequeued_at));
+                }
+                let result = execute_plan(&ctx, query);
+                gate.complete(ty, enqueued_at, dequeued_at);
+                if let Some(pt) = ctx.trace.borrow_mut().take() {
+                    if let Some(tracer) = tracer {
+                        let status = match &result {
+                            Ok(_) => SpanStatus::Ok,
+                            Err(PlanError::ShardRejected) => SpanStatus::Rejected,
+                            Err(PlanError::ShardFailed) => SpanStatus::Failed,
+                        };
+                        pt.finish(tracer, status, gate.clock().now());
+                    }
+                }
+                let outcome = match result {
                     Ok(value) => ClientOutcome::Ok(value),
                     Err(PlanError::ShardRejected) => ClientOutcome::ShardRejected,
                     Err(PlanError::ShardFailed) => ClientOutcome::Failed,
                 };
-                gate.complete(admitted.ty, admitted.enqueued_at, admitted.dequeued_at);
-                admitted.payload.respond.send(outcome);
+                respond.send(outcome);
             }
             TakeOutcome::Expired(admitted) => {
                 // Dropped undone: reply with a timeout error immediately.
-                admitted.payload.respond.send(ClientOutcome::Expired);
+                let enqueued_at = admitted.enqueued_at;
+                let Job { respond, trace, .. } = admitted.payload;
+                if let (Some(tracer), Some(mut qt)) = (tracer, trace) {
+                    let now = gate.clock().now();
+                    qt.record_child(SpanKind::Admission, qt.start(), enqueued_at);
+                    qt.record_child(SpanKind::BrokerQueue, enqueued_at, now);
+                    tracer.finish(qt, SpanStatus::Expired, now);
+                }
+                respond.send(ClientOutcome::Expired);
             }
             TakeOutcome::TimedOut => {}
             TakeOutcome::Closed => return,
@@ -297,43 +396,227 @@ const COMMON_CAP: usize = 128;
 const BFS3_CAP: usize = 512;
 const BFS4_CAP: usize = 1024;
 
+/// Per-query trace state while the engine runs the plan: segments the
+/// execution into fan-out rounds (a round opens at the first send after the
+/// previous round closed, and closes when every sub-query of the round has
+/// been waited for) with [`SpanKind::Aggregation`] spans filling the
+/// broker-compute gaps between rounds.
+struct PlanTrace {
+    qt: QueryTrace,
+    /// Pre-minted id of the [`SpanKind::BrokerService`] span (recorded at
+    /// finish); rounds and aggregation spans parent under it.
+    service_span: SpanId,
+    service_start: Nanos,
+    round_idx: u16,
+    /// The open round, as `(span id, start)`.
+    round: Option<(SpanId, Nanos)>,
+    /// Sub-queries sent in the open round and not yet waited for, as
+    /// `(span id, shard, sent at)`. Drained entries become
+    /// [`SpanKind::SubQuery`] spans; anything still here at finish is
+    /// recorded then, so eagerly-emitted shard spans always find their
+    /// parent even when an error path abandons receivers.
+    outstanding: Vec<(SpanId, u16, Nanos)>,
+    /// Where the current between-rounds aggregation segment began.
+    segment_start: Nanos,
+}
+
+impl PlanTrace {
+    fn new(qt: QueryTrace, dequeued_at: Nanos) -> Self {
+        Self {
+            qt,
+            service_span: new_span_id(),
+            service_start: dequeued_at,
+            round_idx: 0,
+            round: None,
+            outstanding: Vec::new(),
+            segment_start: dequeued_at,
+        }
+    }
+
+    /// Called per sub-query send; returns the sub-query's span id (the
+    /// parent shard-side spans attach under).
+    fn on_send(&mut self, shard: u16, now: Nanos) -> SpanId {
+        if self.round.is_none() {
+            if self.round_idx > 0 {
+                // The gap since the previous round closed was broker
+                // compute: reply aggregation / frontier construction.
+                self.qt.record(
+                    SpanKind::Aggregation(self.round_idx - 1),
+                    new_span_id(),
+                    self.service_span,
+                    self.segment_start,
+                    now,
+                );
+            }
+            self.round = Some((new_span_id(), now));
+        }
+        let sub_span = new_span_id();
+        self.outstanding.push((sub_span, shard, now));
+        sub_span
+    }
+
+    /// Called once per sub-query wait (success or failure).
+    fn on_recv(&mut self, sub_span: SpanId, now: Nanos) {
+        let Some(pos) = self.outstanding.iter().position(|&(s, _, _)| s == sub_span) else {
+            return;
+        };
+        let (span, shard, sent_at) = self.outstanding.swap_remove(pos);
+        let (round_span, _) = self.round.expect("recv with no open round");
+        self.qt
+            .record(SpanKind::SubQuery { shard }, span, round_span, sent_at, now);
+        if self.outstanding.is_empty() {
+            self.close_round(now);
+        }
+    }
+
+    fn close_round(&mut self, now: Nanos) {
+        if let Some((round_span, round_start)) = self.round.take() {
+            self.qt.record(
+                SpanKind::Round(self.round_idx),
+                round_span,
+                self.service_span,
+                round_start,
+                now,
+            );
+            self.round_idx += 1;
+            self.segment_start = now;
+        }
+    }
+
+    /// Records the service span, any abandoned sub-queries and the still
+    /// open round, then hands the trace to the tracer's sampling decision.
+    fn finish(mut self, tracer: &Tracer, status: SpanStatus, now: Nanos) {
+        for (span, shard, sent_at) in std::mem::take(&mut self.outstanding) {
+            if let Some((round_span, _)) = self.round {
+                self.qt
+                    .record(SpanKind::SubQuery { shard }, span, round_span, sent_at, now);
+            }
+        }
+        self.close_round(now);
+        let root = self.qt.root_span();
+        self.qt.record(
+            SpanKind::BrokerService,
+            self.service_span,
+            root,
+            self.service_start,
+            now,
+        );
+        tracer.finish(self.qt, status, now);
+    }
+}
+
+/// An in-flight sub-query: the outcome channel plus, when tracing, the
+/// sub-query span to close at the wait.
+struct PendingSub {
+    rx: Receiver<SubOutcome>,
+    sub_span: Option<SpanId>,
+}
+
 struct PlanCtx<'a> {
     shards: &'a [Arc<dyn ShardClient>],
     timeout: Duration,
+    clock: &'a Arc<dyn Clock>,
+    /// The running query's trace, if the broker traces. `RefCell` because
+    /// the plan helpers take `&self` recursively.
+    trace: RefCell<Option<PlanTrace>>,
 }
 
 impl PlanCtx<'_> {
-    fn owner(&self, v: VertexId) -> &dyn ShardClient {
-        &*self.shards[v as usize % self.shards.len()]
+    fn shard_of(&self, v: VertexId) -> usize {
+        v as usize % self.shards.len()
     }
 
-    fn wait(&self, rx: Receiver<SubOutcome>) -> Result<SubResponse, PlanError> {
-        match rx.recv_timeout(self.timeout) {
+    /// Sends one sub-query, threading the trace context through whichever
+    /// transport the shard client wraps.
+    fn send(&self, shard: usize, sub: SubQuery) -> PendingSub {
+        let mut trace = self.trace.borrow_mut();
+        let (ctx, sub_span) = match trace.as_mut() {
+            Some(pt) => {
+                let sub_span = pt.on_send(shard as u16, self.clock.now());
+                (Some(pt.qt.ctx_for(sub_span)), Some(sub_span))
+            }
+            None => (None, None),
+        };
+        drop(trace);
+        PendingSub {
+            rx: self.shards[shard].submit(sub, ctx),
+            sub_span,
+        }
+    }
+
+    fn wait(&self, pending: PendingSub) -> Result<SubResponse, PlanError> {
+        let result = match pending.rx.recv_timeout(self.timeout) {
             Ok(SubOutcome::Ok(resp)) => Ok(resp),
             Ok(SubOutcome::Rejected) => Err(PlanError::ShardRejected),
             Ok(SubOutcome::Error) | Err(_) => Err(PlanError::ShardFailed),
+        };
+        if let Some(sub_span) = pending.sub_span {
+            if let Some(pt) = self.trace.borrow_mut().as_mut() {
+                pt.on_recv(sub_span, self.clock.now());
+            }
+        }
+        result
+    }
+
+    /// Waits every pending sub-query (so rounds close and no sub-query span
+    /// is silently abandoned), yielding the responses or the first error.
+    fn wait_all(&self, pendings: Vec<PendingSub>) -> Result<Vec<SubResponse>, PlanError> {
+        let mut out = Vec::with_capacity(pendings.len());
+        let mut first_err = None;
+        for pending in pendings {
+            match self.wait(pending) {
+                Ok(resp) => out.push(resp),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            None => Ok(out),
+            Some(e) => Err(e),
         }
     }
 
     fn neighbors(&self, v: VertexId) -> Result<Vec<VertexId>, PlanError> {
-        match self.wait(self.owner(v).submit(SubQuery::Neighbors(v)))? {
+        let pending = self.send(self.shard_of(v), SubQuery::Neighbors(v));
+        match self.wait(pending)? {
             SubResponse::Ids(ids) => Ok(ids),
             _ => Err(PlanError::ShardFailed),
         }
     }
 
     fn degree(&self, v: VertexId) -> Result<u64, PlanError> {
-        match self.wait(self.owner(v).submit(SubQuery::Degree(v)))? {
+        let pending = self.send(self.shard_of(v), SubQuery::Degree(v));
+        match self.wait(pending)? {
             SubResponse::Count(c) => Ok(c),
             _ => Err(PlanError::ShardFailed),
         }
     }
 
     fn has_edge(&self, u: VertexId, v: VertexId) -> Result<bool, PlanError> {
-        match self.wait(self.owner(u).submit(SubQuery::HasEdge(u, v)))? {
+        let pending = self.send(self.shard_of(u), SubQuery::HasEdge(u, v));
+        match self.wait(pending)? {
             SubResponse::Flag(b) => Ok(b),
             _ => Err(PlanError::ShardFailed),
         }
+    }
+
+    /// Both neighbor lists in one parallel round.
+    fn neighbors_pair(
+        &self,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<(Vec<VertexId>, Vec<VertexId>), PlanError> {
+        let pu = self.send(self.shard_of(u), SubQuery::Neighbors(u));
+        let pv = self.send(self.shard_of(v), SubQuery::Neighbors(v));
+        let mut responses = self.wait_all(vec![pu, pv])?;
+        let nv = match responses.pop() {
+            Some(SubResponse::Ids(ids)) => ids,
+            _ => return Err(PlanError::ShardFailed),
+        };
+        let nu = match responses.pop() {
+            Some(SubResponse::Ids(ids)) => ids,
+            _ => return Err(PlanError::ShardFailed),
+        };
+        Ok((nu, nv))
     }
 
     /// One communication round: neighbor lists for every frontier vertex,
@@ -345,16 +628,16 @@ impl PlanCtx<'_> {
             per_shard[v as usize % n_shards].push(v);
         }
         // Fan out...
-        let receivers: Vec<(usize, Receiver<SubOutcome>)> = per_shard
+        let (targets, pendings): (Vec<usize>, Vec<PendingSub>) = per_shard
             .iter()
             .enumerate()
             .filter(|(_, vs)| !vs.is_empty())
-            .map(|(s, vs)| (s, self.shards[s].submit(SubQuery::NeighborsMany(vs.clone()))))
-            .collect();
+            .map(|(s, vs)| (s, self.send(s, SubQuery::NeighborsMany(vs.clone()))))
+            .unzip();
         // ...gather, then reassemble in frontier order.
         let mut per_shard_lists: Vec<Option<Vec<Vec<VertexId>>>> = vec![None; n_shards];
-        for (s, rx) in receivers {
-            match self.wait(rx)? {
+        for (s, resp) in targets.into_iter().zip(self.wait_all(pendings)?) {
+            match resp {
                 SubResponse::IdLists(lists) => per_shard_lists[s] = Some(lists),
                 _ => return Err(PlanError::ShardFailed),
             }
@@ -377,15 +660,15 @@ impl PlanCtx<'_> {
         for &v in vs {
             per_shard[v as usize % n_shards].push(v);
         }
-        let receivers: Vec<(usize, Receiver<SubOutcome>)> = per_shard
+        let (targets, pendings): (Vec<usize>, Vec<PendingSub>) = per_shard
             .iter()
             .enumerate()
             .filter(|(_, vs)| !vs.is_empty())
-            .map(|(s, vs)| (s, self.shards[s].submit(SubQuery::DegreeMany(vs.clone()))))
-            .collect();
+            .map(|(s, vs)| (s, self.send(s, SubQuery::DegreeMany(vs.clone()))))
+            .unzip();
         let mut per_shard_counts: Vec<Option<Vec<u32>>> = vec![None; n_shards];
-        for (s, rx) in receivers {
-            match self.wait(rx)? {
+        for (s, resp) in targets.into_iter().zip(self.wait_all(pendings)?) {
+            match resp {
                 SubResponse::Counts(counts) => per_shard_counts[s] = Some(counts),
                 _ => return Err(PlanError::ShardFailed),
             }
@@ -420,16 +703,7 @@ fn execute_plan(ctx: &PlanCtx<'_>, q: Query) -> Result<u64, PlanError> {
             Ok(n.len() as u64 ^ (checksum & 0xFF)) // len dominates; checksum folds in
         }
         QueryKind::Qt5MutualCount => {
-            let rx_u = ctx.owner(q.u).submit(SubQuery::Neighbors(q.u));
-            let rx_v = ctx.owner(q.v).submit(SubQuery::Neighbors(q.v));
-            let nu = match ctx.wait(rx_u)? {
-                SubResponse::Ids(ids) => ids,
-                _ => return Err(PlanError::ShardFailed),
-            };
-            let nv = match ctx.wait(rx_v)? {
-                SubResponse::Ids(ids) => ids,
-                _ => return Err(PlanError::ShardFailed),
-            };
+            let (nu, nv) = ctx.neighbors_pair(q.u, q.v)?;
             Ok(sorted_intersection_count(&nu, &nv))
         }
         QueryKind::Qt6NeighborDegrees => {
@@ -458,16 +732,13 @@ fn execute_plan(ctx: &PlanCtx<'_>, q: Query) -> Result<u64, PlanError> {
         QueryKind::Qt8TriangleCount => {
             let n = ctx.neighbors(q.u)?;
             let sample: Vec<VertexId> = n.iter().copied().take(TRIANGLE_CAP).collect();
-            let receivers: Vec<Receiver<SubOutcome>> = sample
+            let pendings: Vec<PendingSub> = sample
                 .iter()
-                .map(|&w| {
-                    ctx.owner(w)
-                        .submit(SubQuery::CountIntersect(w, n.clone()))
-                })
+                .map(|&w| ctx.send(ctx.shard_of(w), SubQuery::CountIntersect(w, n.clone())))
                 .collect();
             let mut total = 0u64;
-            for rx in receivers {
-                match ctx.wait(rx)? {
+            for resp in ctx.wait_all(pendings)? {
+                match resp {
                     SubResponse::Count(c) => total += c,
                     _ => return Err(PlanError::ShardFailed),
                 }
@@ -475,16 +746,7 @@ fn execute_plan(ctx: &PlanCtx<'_>, q: Query) -> Result<u64, PlanError> {
             Ok(total / 2) // each triangle counted from both endpoints
         }
         QueryKind::Qt9CommonNetwork => {
-            let rx_u = ctx.owner(q.u).submit(SubQuery::Neighbors(q.u));
-            let rx_v = ctx.owner(q.v).submit(SubQuery::Neighbors(q.v));
-            let mut nu = match ctx.wait(rx_u)? {
-                SubResponse::Ids(ids) => ids,
-                _ => return Err(PlanError::ShardFailed),
-            };
-            let mut nv = match ctx.wait(rx_v)? {
-                SubResponse::Ids(ids) => ids,
-                _ => return Err(PlanError::ShardFailed),
-            };
+            let (mut nu, mut nv) = ctx.neighbors_pair(q.u, q.v)?;
             nu.truncate(COMMON_CAP);
             nv.truncate(COMMON_CAP);
             let mut network_u: HashSet<VertexId> = HashSet::with_capacity(2048);

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bouncer_core::obs::EventSink;
+use bouncer_core::obs::{EventSink, Tracer};
 use bouncer_core::policy::{AcceptFraction, AcceptFractionConfig, AdmissionPolicy};
 use bouncer_core::types::TypeRegistry;
 use bouncer_metrics::{Clock, MonotonicClock};
@@ -53,6 +53,10 @@ pub struct ClusterConfig {
     /// Optional cluster-wide observability sink, installed on every broker
     /// and shard gate unless that host's own config already names one.
     pub sink: Option<Arc<dyn EventSink>>,
+    /// Optional cluster-wide tracer, installed on every broker and shard
+    /// unless that host's own config already names one. Every host shares
+    /// the cluster clock, so span timestamps are directly comparable.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for ClusterConfig {
@@ -67,6 +71,7 @@ impl Default for ClusterConfig {
             shard_max_utilization: 0.8,
             tcp_connections: 4,
             sink: None,
+            tracer: None,
         }
     }
 }
@@ -75,6 +80,7 @@ impl Default for ClusterConfig {
 pub struct Cluster {
     registry: TypeRegistry,
     vertices: u32,
+    clock: Arc<dyn Clock>,
     brokers: Vec<Arc<Broker>>,
     shards: Vec<Arc<ShardHost>>,
     servers: Vec<TcpShardServer>,
@@ -100,9 +106,15 @@ impl Cluster {
         if shard_cfg.sink.is_none() {
             shard_cfg.sink = cfg.sink.clone();
         }
+        if shard_cfg.tracer.is_none() {
+            shard_cfg.tracer = cfg.tracer.clone();
+        }
         let mut broker_cfg = cfg.broker.clone();
         if broker_cfg.sink.is_none() {
             broker_cfg.sink = cfg.sink.clone();
+        }
+        if broker_cfg.tracer.is_none() {
+            broker_cfg.tracer = cfg.tracer.clone();
         }
 
         let shards: Vec<Arc<ShardHost>> = (0..cfg.n_shards)
@@ -166,11 +178,19 @@ impl Cluster {
         Self {
             registry,
             vertices,
+            clock,
             brokers,
             shards,
             servers,
             round_robin: AtomicUsize::new(0),
         }
+    }
+
+    /// The clock every host in this cluster stamps events and spans with.
+    /// Traced clients ([`crate::front::TcpBrokerClient::connect_traced`])
+    /// must share it for their span timestamps to be comparable.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// The cluster's query-type registry (`default` + QT1..QT11).
@@ -389,6 +409,70 @@ mod tests {
         // Wall-clock timestamps are non-decreasing per emitting gate; the
         // merged stream at least starts at a real (nonzero) time.
         assert!(events.iter().all(|e| e.at() > 0));
+    }
+
+    #[test]
+    fn cluster_tracer_produces_rooted_span_trees() {
+        use bouncer_core::obs::{Event, MemorySink, SpanKind, Tracer, TracerConfig};
+        use std::collections::HashSet;
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Arc::new(Tracer::new(sink.clone(), TracerConfig::default()));
+        let cfg = ClusterConfig {
+            tracer: Some(tracer.clone()),
+            ..tiny_config()
+        };
+        let cluster = Cluster::spawn(&cfg, |_reg, _p| Arc::new(AlwaysAccept::new()));
+        for u in 0..10 {
+            let out = cluster.execute(Query {
+                kind: QueryKind::Qt7TwoHopCount,
+                u,
+                v: 0,
+            });
+            assert!(matches!(out, ClientOutcome::Ok(_)), "{out:?}");
+        }
+        cluster.shutdown();
+        assert_eq!(tracer.sampled_total(), 10);
+
+        let events = sink.events();
+        let spans: Vec<_> = events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Span {
+                    trace,
+                    span,
+                    parent,
+                    kind,
+                    start,
+                    end,
+                    ..
+                } => Some((trace, span, parent, kind, start, end)),
+                _ => None,
+            })
+            .collect();
+        let roots: Vec<_> = spans.iter().filter(|s| s.2.is_none()).collect();
+        assert_eq!(roots.len(), 10, "one root per traced query");
+        assert!(roots.iter().all(|s| matches!(s.3, SpanKind::Query)));
+        // Every parent reference resolves within the same trace: no orphans.
+        for &(trace, _, parent, kind, start, end) in &spans {
+            let ids: HashSet<_> = spans
+                .iter()
+                .filter(|s| s.0 == trace)
+                .map(|s| s.1)
+                .collect();
+            if let Some(p) = parent {
+                assert!(ids.contains(&p), "orphan {kind:?} in {trace:?}");
+            }
+            assert!(end >= start);
+        }
+        // QT7 is a two-round plan: shard spans and at least two rounds
+        // should appear somewhere in the stream.
+        let kind_count = |pred: fn(&SpanKind) -> bool| {
+            spans.iter().filter(|s| pred(&s.3)).count()
+        };
+        assert!(kind_count(|k| matches!(k, SpanKind::Round(_))) >= 2);
+        assert!(kind_count(|k| matches!(k, SpanKind::ShardQueue { .. })) > 0);
+        assert!(kind_count(|k| matches!(k, SpanKind::ShardService { .. })) > 0);
+        assert!(kind_count(|k| matches!(k, SpanKind::SubQuery { .. })) > 0);
     }
 
     #[test]

@@ -13,6 +13,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use bouncer_core::obs::{
+    new_span_id, new_trace_id, SpanId, SpanKind, SpanStatus, TraceContext, TraceId, Tracer,
+};
+use bouncer_metrics::{Clock, Nanos};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -74,10 +78,33 @@ fn spawn_connection(broker: Arc<Broker>, stream: TcpStream) {
     let (tx, rx): (Sender<PendingReply>, Receiver<PendingReply>) = unbounded();
 
     std::thread::spawn(move || {
+        let tracer = broker.tracer().cloned();
         while let Ok(frame) = read_frame(&mut read_half) {
+            // Stamp before decoding so the front-dispatch span covers the
+            // decode itself; the clock read only happens when tracing.
+            let t0 = tracer.as_ref().map(|_| broker.clock().now());
             match decode_query(frame) {
-                Ok((id, query)) => {
-                    let outcome_rx = broker.submit(query);
+                Ok((id, query, ctx)) => {
+                    let ctx = match (&tracer, ctx) {
+                        // A sampled incoming context: record this hop and
+                        // re-parent the broker under it.
+                        (Some(tracer), Some(ctx)) if ctx.sampled => {
+                            let span = tracer.emit_span(
+                                ctx.trace,
+                                SpanKind::FrontDispatch,
+                                ctx.parent,
+                                t0.unwrap_or_default(),
+                                broker.clock().now(),
+                            );
+                            Some(TraceContext {
+                                trace: ctx.trace,
+                                parent: span,
+                                sampled: true,
+                            })
+                        }
+                        (_, ctx) => ctx,
+                    };
+                    let outcome_rx = broker.submit_with_ctx(query, ctx);
                     if tx.send((id, outcome_rx)).is_err() {
                         break;
                     }
@@ -118,7 +145,19 @@ pub enum RemoteOutcome {
     Error,
 }
 
-type Pending = Arc<Mutex<HashMap<u64, Sender<RemoteOutcome>>>>;
+/// The client-side root span of an in-flight traced query: emitted when the
+/// reply lands (or the connection dies).
+type ClientSpan = (TraceId, SpanId, Nanos);
+
+type Pending = Arc<Mutex<HashMap<u64, (Sender<RemoteOutcome>, Option<ClientSpan>)>>>;
+
+/// The tracer plus the clock the client's [`SpanKind::Client`] root spans
+/// are stamped with. For timestamps comparable with the server's spans, the
+/// clock must be shared with the broker (same-epoch [`MonotonicClock`]);
+/// otherwise only the client spans' durations are meaningful.
+///
+/// [`MonotonicClock`]: bouncer_metrics::MonotonicClock
+type TraceHandles = (Arc<Tracer>, Arc<dyn Clock>);
 
 struct FrontConn {
     writer: Mutex<TcpStream>,
@@ -130,11 +169,33 @@ pub struct TcpBrokerClient {
     conns: Vec<FrontConn>,
     next_conn: AtomicUsize,
     next_id: AtomicU64,
+    trace: Option<TraceHandles>,
 }
 
 impl TcpBrokerClient {
     /// Opens `connections` sockets to a broker server.
     pub fn connect(addr: SocketAddr, connections: usize) -> std::io::Result<Self> {
+        Self::connect_inner(addr, connections, None)
+    }
+
+    /// Like [`TcpBrokerClient::connect`], minting a trace per submission
+    /// (subject to `tracer`'s head sampling) and emitting a
+    /// [`SpanKind::Client`] root span when each reply lands. The trace
+    /// context travels to the server as the versioned trailing wire field.
+    pub fn connect_traced(
+        addr: SocketAddr,
+        connections: usize,
+        tracer: Arc<Tracer>,
+        clock: Arc<dyn Clock>,
+    ) -> std::io::Result<Self> {
+        Self::connect_inner(addr, connections, Some((tracer, clock)))
+    }
+
+    fn connect_inner(
+        addr: SocketAddr,
+        connections: usize,
+        trace: Option<TraceHandles>,
+    ) -> std::io::Result<Self> {
         assert!(connections > 0);
         let mut conns = Vec::with_capacity(connections);
         for _ in 0..connections {
@@ -143,12 +204,13 @@ impl TcpBrokerClient {
             let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
             let mut read_half = stream.try_clone()?;
             let reader_pending = Arc::clone(&pending);
+            let reader_trace = trace.clone();
             std::thread::spawn(move || {
                 while let Ok(frame) = read_frame(&mut read_half) {
                     let Ok((id, status, value)) = decode_query_reply(frame) else {
                         break;
                     };
-                    let Some(tx) = reader_pending.lock().remove(&id) else {
+                    let Some((tx, span)) = reader_pending.lock().remove(&id) else {
                         continue;
                     };
                     let outcome = match status {
@@ -156,9 +218,12 @@ impl TcpBrokerClient {
                         Status::Rejected => RemoteOutcome::Rejected,
                         Status::Error => RemoteOutcome::Error,
                     };
+                    emit_client_root(&reader_trace, span, client_status(outcome));
                     let _ = tx.send(outcome);
                 }
-                for (_, tx) in reader_pending.lock().drain() {
+                // Connection gone: fail everything still pending.
+                for (_, (tx, span)) in reader_pending.lock().drain() {
+                    emit_client_root(&reader_trace, span, SpanStatus::Failed);
                     let _ = tx.send(RemoteOutcome::Error);
                 }
             });
@@ -171,6 +236,7 @@ impl TcpBrokerClient {
             conns,
             next_conn: AtomicUsize::new(0),
             next_id: AtomicU64::new(1),
+            trace,
         })
     }
 
@@ -180,13 +246,24 @@ impl TcpBrokerClient {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let conn =
             &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()];
-        conn.pending.lock().insert(id, tx);
-        let frame = encode_query(id, &query);
+        let span: Option<ClientSpan> = self.trace.as_ref().and_then(|(tracer, clock)| {
+            tracer
+                .head_decision()
+                .then(|| (new_trace_id(), new_span_id(), clock.now()))
+        });
+        conn.pending.lock().insert(id, (tx, span));
+        let ctx = span.map(|(trace, parent, _)| TraceContext {
+            trace,
+            parent,
+            sampled: true,
+        });
+        let frame = encode_query(id, &query, ctx.as_ref());
         let mut writer = conn.writer.lock();
         let result = write_frame(&mut *writer, &frame).and_then(|_| writer.flush());
         drop(writer);
         if result.is_err() {
-            if let Some(tx) = conn.pending.lock().remove(&id) {
+            if let Some((tx, span)) = conn.pending.lock().remove(&id) {
+                emit_client_root(&self.trace, span, SpanStatus::Failed);
                 let _ = tx.send(RemoteOutcome::Error);
             }
         }
@@ -196,6 +273,30 @@ impl TcpBrokerClient {
     /// Sends a query and waits for its outcome.
     pub fn execute(&self, query: Query) -> RemoteOutcome {
         self.submit(query).recv().unwrap_or(RemoteOutcome::Error)
+    }
+}
+
+/// The root-span status a remote outcome maps to.
+fn client_status(outcome: RemoteOutcome) -> SpanStatus {
+    match outcome {
+        RemoteOutcome::Ok(_) => SpanStatus::Ok,
+        RemoteOutcome::Rejected => SpanStatus::Rejected,
+        RemoteOutcome::Error => SpanStatus::Failed,
+    }
+}
+
+/// Closes a pending submission's [`SpanKind::Client`] root, if it has one.
+fn emit_client_root(trace: &Option<TraceHandles>, span: Option<ClientSpan>, status: SpanStatus) {
+    if let (Some((tracer, clock)), Some((trace_id, span_id, start))) = (trace, span) {
+        tracer.emit_root(
+            trace_id,
+            span_id,
+            SpanKind::Client,
+            None,
+            start,
+            clock.now(),
+            status,
+        );
     }
 }
 

@@ -12,7 +12,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bouncer_core::framework::{Gate, GateConfig, ServerStats, TakeOutcome, Ticker};
-use bouncer_core::obs::{null_sink, EventSink};
+use bouncer_core::obs::{null_sink, EventSink, SpanKind, TraceContext, Tracer};
 use bouncer_core::policy::AdmissionPolicy;
 use bouncer_core::types::DEFAULT_TYPE;
 use bouncer_metrics::Clock;
@@ -36,6 +36,8 @@ pub enum SubOutcome {
 struct Job {
     sub: SubQuery,
     reply: Sender<SubOutcome>,
+    /// Trace context of the parent sub-query span, when the query is traced.
+    ctx: Option<TraceContext>,
 }
 
 /// Configuration for a shard host.
@@ -50,6 +52,10 @@ pub struct ShardConfig {
     /// Optional observability sink for this host's gate (lifecycle events
     /// with wall-clock timestamps, plus the policy's interval events).
     pub sink: Option<Arc<dyn EventSink>>,
+    /// Optional tracer. Shard engines emit `shard_queue` / `shard_service`
+    /// spans for sub-queries whose incoming context has the `sampled` bit
+    /// set; without a tracer the per-sub-query cost is one `Option` test.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for ShardConfig {
@@ -59,6 +65,7 @@ impl Default for ShardConfig {
             max_queue_len: Some(800),
             tick_period: Duration::from_millis(100),
             sink: None,
+            tracer: None,
         }
     }
 }
@@ -95,13 +102,15 @@ impl ShardHost {
             cfg.sink.clone().unwrap_or_else(null_sink),
         ));
         let data = Arc::new(data);
+        let tracer = cfg.tracer.filter(|t| t.enabled());
         let engines = (0..cfg.engines)
             .map(|i| {
                 let gate = Arc::clone(&gate);
                 let data = Arc::clone(&data);
+                let tracer = tracer.clone();
                 std::thread::Builder::new()
                     .name(format!("shard{}-engine{}", data.shard(), i))
-                    .spawn(move || engine_loop(&gate, &data))
+                    .spawn(move || engine_loop(&gate, &data, tracer.as_deref()))
                     .expect("failed to spawn shard engine")
             })
             .collect();
@@ -117,12 +126,25 @@ impl ShardHost {
     /// Offers a sub-query; the returned channel yields its outcome. A
     /// rejection is delivered immediately (the early rejection of §2).
     pub fn submit(&self, sub: SubQuery) -> Receiver<SubOutcome> {
+        self.submit_traced(sub, None)
+    }
+
+    /// [`ShardHost::submit`] with an incoming trace context. When the
+    /// context's `sampled` bit is set (and the host has a tracer), the
+    /// serving engine emits `shard_queue` / `shard_service` spans parented
+    /// under `ctx.parent`.
+    pub fn submit_traced(
+        &self,
+        sub: SubQuery,
+        ctx: Option<TraceContext>,
+    ) -> Receiver<SubOutcome> {
         let (tx, rx) = bounded(1);
         if let Err((_reason, job)) = self.gate.offer(
             DEFAULT_TYPE,
             Job {
                 sub,
                 reply: tx.clone(),
+                ctx,
             },
         ) {
             let _ = job.reply.send(SubOutcome::Rejected);
@@ -166,7 +188,8 @@ impl ShardHost {
     }
 }
 
-fn engine_loop(gate: &Gate<Job>, data: &ShardData) {
+fn engine_loop(gate: &Gate<Job>, data: &ShardData, tracer: Option<&Tracer>) {
+    let shard = data.shard() as u16;
     loop {
         match gate.take(Some(Duration::from_millis(100))) {
             TakeOutcome::Query(admitted) => {
@@ -175,6 +198,26 @@ fn engine_loop(gate: &Gate<Job>, data: &ShardData) {
                     None => SubOutcome::Error,
                 };
                 gate.complete(admitted.ty, admitted.enqueued_at, admitted.dequeued_at);
+                // Eager span emission, before the reply so the broker never
+                // finalizes a trace whose shard spans are still in flight.
+                if let (Some(tracer), Some(ctx)) = (tracer, admitted.payload.ctx) {
+                    if ctx.sampled {
+                        tracer.emit_span(
+                            ctx.trace,
+                            SpanKind::ShardQueue { shard },
+                            ctx.parent,
+                            admitted.enqueued_at,
+                            admitted.dequeued_at,
+                        );
+                        tracer.emit_span(
+                            ctx.trace,
+                            SpanKind::ShardService { shard },
+                            ctx.parent,
+                            admitted.dequeued_at,
+                            gate.clock().now(),
+                        );
+                    }
+                }
                 let _ = admitted.payload.reply.send(outcome);
             }
             TakeOutcome::Expired(admitted) => {

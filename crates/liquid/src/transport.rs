@@ -11,6 +11,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use bouncer_core::obs::TraceContext;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -23,8 +24,10 @@ use crate::wire::{
 
 /// A handle a broker uses to reach one shard.
 pub trait ShardClient: Send + Sync {
-    /// Offers a sub-query; the returned channel yields its outcome.
-    fn submit(&self, sub: SubQuery) -> Receiver<SubOutcome>;
+    /// Offers a sub-query; the returned channel yields its outcome. The
+    /// optional trace context rides along — by value in process, as the
+    /// versioned trailing wire field over TCP.
+    fn submit(&self, sub: SubQuery, ctx: Option<TraceContext>) -> Receiver<SubOutcome>;
 }
 
 /// Same-process transport: calls into the shard host directly.
@@ -40,8 +43,8 @@ impl InProcShardClient {
 }
 
 impl ShardClient for InProcShardClient {
-    fn submit(&self, sub: SubQuery) -> Receiver<SubOutcome> {
-        self.host.submit(sub)
+    fn submit(&self, sub: SubQuery, ctx: Option<TraceContext>) -> Receiver<SubOutcome> {
+        self.host.submit_traced(sub, ctx)
     }
 }
 
@@ -105,8 +108,8 @@ fn spawn_connection(host: Arc<ShardHost>, stream: TcpStream) {
     std::thread::spawn(move || {
         while let Ok(frame) = read_frame(&mut read_half) {
             match decode_subquery(frame) {
-                Ok((id, sub)) => {
-                    let outcome_rx = host.submit(sub);
+                Ok((id, sub, ctx)) => {
+                    let outcome_rx = host.submit_traced(sub, ctx);
                     if tx.send((id, outcome_rx)).is_err() {
                         break;
                     }
@@ -195,13 +198,13 @@ impl TcpShardClient {
 }
 
 impl ShardClient for TcpShardClient {
-    fn submit(&self, sub: SubQuery) -> Receiver<SubOutcome> {
+    fn submit(&self, sub: SubQuery, ctx: Option<TraceContext>) -> Receiver<SubOutcome> {
         let (tx, rx) = bounded(1);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let conn =
             &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()];
         conn.pending.lock().insert(id, tx);
-        let frame = encode_subquery(id, &sub);
+        let frame = encode_subquery(id, &sub, ctx.as_ref());
         let mut writer = conn.writer.lock();
         let write_result = write_frame(&mut *writer, &frame).and_then(|_| writer.flush());
         drop(writer);
@@ -242,7 +245,7 @@ mod tests {
     fn inproc_client_round_trips() {
         let (g, host) = test_host();
         let client = InProcShardClient::new(Arc::clone(&host));
-        let rx = client.submit(SubQuery::Degree(5));
+        let rx = client.submit(SubQuery::Degree(5), None);
         assert_eq!(
             rx.recv().unwrap(),
             SubOutcome::Ok(SubResponse::Count(g.degree(5) as u64))
@@ -258,7 +261,7 @@ mod tests {
 
         // Interleave several requests to exercise multiplexing.
         let receivers: Vec<_> = (0..50)
-            .map(|v| client.submit(SubQuery::Degree(v)))
+            .map(|v| client.submit(SubQuery::Degree(v), None))
             .collect();
         for (v, rx) in receivers.into_iter().enumerate() {
             assert_eq!(
@@ -277,7 +280,7 @@ mod tests {
         let server = TcpShardServer::serve(Arc::clone(&host), "127.0.0.1:0").unwrap();
         let client = TcpShardClient::connect(server.addr(), 1).unwrap();
         let vs: Vec<u32> = (0..500).collect();
-        let rx = client.submit(SubQuery::NeighborsMany(vs.clone()));
+        let rx = client.submit(SubQuery::NeighborsMany(vs.clone()), None);
         match rx.recv().unwrap() {
             SubOutcome::Ok(SubResponse::IdLists(lists)) => {
                 assert_eq!(lists.len(), 500);

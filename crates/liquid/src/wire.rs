@@ -12,7 +12,24 @@
 //! The same envelope carries broker-bound client queries and shard-bound
 //! sub-queries; correlation ids let one connection multiplex many in-flight
 //! requests (responses may arrive out of order).
+//!
+//! # Trace context
+//!
+//! Request envelopes (queries and sub-queries) may carry a **versioned
+//! trailing trace-context field** so distributed traces survive the TCP
+//! boundary:
+//!
+//! ```text
+//! trace_ctx  := u8 version (=1), u64 trace, u64 parent, u8 flags (bit0 = sampled)
+//! ```
+//!
+//! The field sits after the request body. Decoders that predate it never
+//! required buffer exhaustion, so old peers simply ignore it, and a new
+//! decoder reading an old frame sees zero remaining bytes and yields
+//! `None` — the extension is backward- and forward-compatible. A present
+//! but unknown version (or a truncated context) is a [`DecodeError`].
 
+use bouncer_core::obs::{SpanId, TraceContext, TraceId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::graph::VertexId;
@@ -64,6 +81,39 @@ impl Status {
     }
 }
 
+/// Wire version of the trailing trace-context field.
+const TRACE_CTX_VERSION: u8 = 1;
+
+fn put_trace_ctx(buf: &mut BytesMut, ctx: Option<&TraceContext>) {
+    if let Some(ctx) = ctx {
+        buf.put_u8(TRACE_CTX_VERSION);
+        buf.put_u64(ctx.trace.0);
+        buf.put_u64(ctx.parent.0);
+        buf.put_u8(u8::from(ctx.sampled));
+    }
+}
+
+fn get_trace_ctx(buf: &mut Bytes) -> Result<Option<TraceContext>, DecodeError> {
+    if buf.remaining() == 0 {
+        return Ok(None);
+    }
+    let version = buf.get_u8();
+    if version != TRACE_CTX_VERSION {
+        return Err(DecodeError("unknown trace-context version"));
+    }
+    if buf.remaining() < 17 {
+        return Err(DecodeError("truncated trace context"));
+    }
+    let trace = TraceId(buf.get_u64());
+    let parent = SpanId(buf.get_u64());
+    let flags = buf.get_u8();
+    Ok(Some(TraceContext {
+        trace,
+        parent,
+        sampled: flags & 1 != 0,
+    }))
+}
+
 fn put_ids(buf: &mut BytesMut, ids: &[VertexId]) {
     buf.put_u32(ids.len() as u32);
     for &v in ids {
@@ -82,9 +132,10 @@ fn get_ids(buf: &mut Bytes) -> Result<Vec<VertexId>, DecodeError> {
     Ok((0..n).map(|_| buf.get_u32()).collect())
 }
 
-/// Encodes a sub-query request envelope.
-pub fn encode_subquery(id: u64, sub: &SubQuery) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + 4 * sub.batch_len());
+/// Encodes a sub-query request envelope, with an optional trailing trace
+/// context.
+pub fn encode_subquery(id: u64, sub: &SubQuery, ctx: Option<&TraceContext>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(34 + 4 * sub.batch_len());
     buf.put_u64(id);
     match sub {
         SubQuery::Neighbors(v) => {
@@ -114,11 +165,15 @@ pub fn encode_subquery(id: u64, sub: &SubQuery) -> Bytes {
             put_ids(&mut buf, ids);
         }
     }
+    put_trace_ctx(&mut buf, ctx);
     buf.freeze()
 }
 
-/// Decodes a sub-query request envelope.
-pub fn decode_subquery(mut buf: Bytes) -> Result<(u64, SubQuery), DecodeError> {
+/// Decodes a sub-query request envelope (trailing trace context included,
+/// when present).
+pub fn decode_subquery(
+    mut buf: Bytes,
+) -> Result<(u64, SubQuery, Option<TraceContext>), DecodeError> {
     if buf.remaining() < 9 {
         return Err(DecodeError("truncated sub-query header"));
     }
@@ -153,7 +208,8 @@ pub fn decode_subquery(mut buf: Bytes) -> Result<(u64, SubQuery), DecodeError> {
         }
         _ => return Err(DecodeError("bad sub-query tag")),
     };
-    Ok((id, sub))
+    let ctx = get_trace_ctx(&mut buf)?;
+    Ok((id, sub, ctx))
 }
 
 /// Encodes a sub-query reply envelope.
@@ -245,32 +301,34 @@ pub fn decode_subreply(mut buf: Bytes) -> Result<(u64, Status, Option<SubRespons
     Ok((id, status, resp))
 }
 
-/// Encodes a client query request envelope.
-pub fn encode_query(id: u64, q: &Query) -> Bytes {
-    let mut buf = BytesMut::with_capacity(21);
+/// Encodes a client query request envelope, with an optional trailing
+/// trace context.
+pub fn encode_query(id: u64, q: &Query, ctx: Option<&TraceContext>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(35);
     buf.put_u64(id);
     buf.put_u8(q.kind.index() as u8);
     buf.put_u32(q.u);
     buf.put_u32(q.v);
+    put_trace_ctx(&mut buf, ctx);
     buf.freeze()
 }
 
-/// Decodes a client query request envelope.
-pub fn decode_query(mut buf: Bytes) -> Result<(u64, Query), DecodeError> {
+/// Decodes a client query request envelope (trailing trace context
+/// included, when present).
+pub fn decode_query(mut buf: Bytes) -> Result<(u64, Query, Option<TraceContext>), DecodeError> {
     if buf.remaining() < 17 {
         return Err(DecodeError("truncated query"));
     }
     let id = buf.get_u64();
     let kind =
         QueryKind::from_index(buf.get_u8() as usize).ok_or(DecodeError("bad query kind"))?;
-    Ok((
-        id,
-        Query {
-            kind,
-            u: buf.get_u32(),
-            v: buf.get_u32(),
-        },
-    ))
+    let q = Query {
+        kind,
+        u: buf.get_u32(),
+        v: buf.get_u32(),
+    };
+    let ctx = get_trace_ctx(&mut buf)?;
+    Ok((id, q, ctx))
 }
 
 /// Encodes a client query reply envelope.
@@ -327,11 +385,22 @@ mod tests {
             SubQuery::DegreeMany(vec![]),
             SubQuery::CountIntersect(5, vec![1, 4, 9]),
         ];
+        let ctx = TraceContext {
+            trace: TraceId(77),
+            parent: SpanId(88),
+            sampled: true,
+        };
         for (i, sub) in cases.iter().enumerate() {
-            let bytes = encode_subquery(i as u64, sub);
-            let (id, got) = decode_subquery(bytes).unwrap();
+            let bytes = encode_subquery(i as u64, sub, None);
+            let (id, got, got_ctx) = decode_subquery(bytes).unwrap();
             assert_eq!(id, i as u64);
             assert_eq!(&got, sub);
+            assert_eq!(got_ctx, None);
+
+            let bytes = encode_subquery(i as u64, sub, Some(&ctx));
+            let (_, got, got_ctx) = decode_subquery(bytes).unwrap();
+            assert_eq!(&got, sub);
+            assert_eq!(got_ctx, Some(ctx));
         }
     }
 
@@ -357,14 +426,54 @@ mod tests {
 
     #[test]
     fn query_round_trips() {
+        let ctx = TraceContext {
+            trace: TraceId(123),
+            parent: SpanId(456),
+            sampled: false,
+        };
         for kind in QueryKind::ALL {
             let q = Query { kind, u: 11, v: 22 };
-            let (id, got) = decode_query(encode_query(3, &q)).unwrap();
+            let (id, got, got_ctx) = decode_query(encode_query(3, &q, None)).unwrap();
             assert_eq!(id, 3);
             assert_eq!(got, q);
+            assert_eq!(got_ctx, None);
+            let (_, got, got_ctx) = decode_query(encode_query(3, &q, Some(&ctx))).unwrap();
+            assert_eq!(got, q);
+            assert_eq!(got_ctx, Some(ctx));
         }
         let (id, s, v) = decode_query_reply(encode_query_reply(4, Status::Ok, 99)).unwrap();
         assert_eq!((id, s, v), (4, Status::Ok, 99));
+    }
+
+    #[test]
+    fn trace_ctx_rejects_bad_version_and_truncation() {
+        let q = Query {
+            kind: QueryKind::ALL[0],
+            u: 1,
+            v: 2,
+        };
+        let ctx = TraceContext {
+            trace: TraceId(9),
+            parent: SpanId(10),
+            sampled: true,
+        };
+        let full = encode_query(1, &q, Some(&ctx));
+        let raw = full.as_slice();
+        // Truncate inside the trailing context: every prefix that cuts the
+        // context short must error, never panic.
+        for cut in 18..raw.len() {
+            assert!(
+                decode_query(Bytes::from(raw[..cut].to_vec())).is_err(),
+                "prefix of {cut} bytes should be rejected"
+            );
+        }
+        // Corrupt the version byte (first byte after the 17-byte body).
+        let mut bad = raw.to_vec();
+        bad[17] = 2;
+        assert_eq!(
+            decode_query(Bytes::from(bad)),
+            Err(DecodeError("unknown trace-context version"))
+        );
     }
 
     #[test]

@@ -113,7 +113,7 @@ fn tcp_disconnect_fails_pending_requests() {
     let client = TcpShardClient::connect(server.addr(), 1).unwrap();
 
     // Healthy round trip first.
-    let rx = client.submit(SubQuery::Degree(2));
+    let rx = client.submit(SubQuery::Degree(2), None);
     assert!(matches!(
         rx.recv_timeout(Duration::from_secs(2)).unwrap(),
         SubOutcome::Ok(_)
@@ -126,7 +126,7 @@ fn tcp_disconnect_fails_pending_requests() {
 
     // New submissions either error on write or get failed by the reader
     // thread's drain path; either way the channel resolves quickly.
-    let rx = client.submit(SubQuery::Degree(4));
+    let rx = client.submit(SubQuery::Degree(4), None);
     match rx.recv_timeout(Duration::from_secs(5)) {
         Ok(SubOutcome::Error) | Ok(SubOutcome::Rejected) => {}
         Ok(other) => panic!("unexpected outcome after disconnect: {other:?}"),

@@ -1,6 +1,7 @@
 //! Property-based tests: wire-protocol round trips and fuzz, graph
 //! invariants, and shard/broker agreement.
 
+use bouncer_core::obs::{SpanId, TraceContext, TraceId};
 use bytes::Bytes;
 use liquid::graph::{Graph, GraphConfig};
 use liquid::query::{Query, QueryKind, SubQuery, SubResponse};
@@ -12,6 +13,16 @@ use proptest::prelude::*;
 
 fn arb_ids() -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(any::<u32>(), 0..64)
+}
+
+fn arb_ctx() -> impl Strategy<Value = Option<TraceContext>> {
+    prop::option::of((any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+        |(trace, parent, sampled)| TraceContext {
+            trace: TraceId(trace),
+            parent: SpanId(parent),
+            sampled,
+        },
+    ))
 }
 
 fn arb_subquery() -> impl Strategy<Value = SubQuery> {
@@ -36,12 +47,19 @@ fn arb_subresponse() -> impl Strategy<Value = SubResponse> {
 }
 
 proptest! {
-    /// Every sub-query round-trips through the wire codec.
+    /// Every sub-query round-trips through the wire codec, with and
+    /// without a trailing trace context.
     #[test]
-    fn subquery_codec_round_trips(id in any::<u64>(), sub in arb_subquery()) {
-        let (got_id, got) = decode_subquery(encode_subquery(id, &sub)).unwrap();
+    fn subquery_codec_round_trips(
+        id in any::<u64>(),
+        sub in arb_subquery(),
+        ctx in arb_ctx(),
+    ) {
+        let (got_id, got, got_ctx) =
+            decode_subquery(encode_subquery(id, &sub, ctx.as_ref())).unwrap();
         prop_assert_eq!(got_id, id);
         prop_assert_eq!(got, sub);
+        prop_assert_eq!(got_ctx, ctx);
     }
 
     /// Every sub-reply round-trips, with and without a body.
@@ -63,7 +81,8 @@ proptest! {
         prop_assert_eq!(got_resp, resp);
     }
 
-    /// Query and query-reply envelopes round-trip.
+    /// Query and query-reply envelopes round-trip, the query with and
+    /// without a trailing trace context.
     #[test]
     fn query_codec_round_trips(
         id in any::<u64>(),
@@ -71,10 +90,11 @@ proptest! {
         u in any::<u32>(),
         v in any::<u32>(),
         value in any::<u64>(),
+        ctx in arb_ctx(),
     ) {
         let q = Query { kind: QueryKind::from_index(kind_idx).unwrap(), u, v };
-        let (gid, gq) = decode_query(encode_query(id, &q)).unwrap();
-        prop_assert_eq!((gid, gq), (id, q));
+        let (gid, gq, gctx) = decode_query(encode_query(id, &q, ctx.as_ref())).unwrap();
+        prop_assert_eq!((gid, gq, gctx), (id, q, ctx));
         let (rid, s, rv) = decode_query_reply(encode_query_reply(id, Status::Ok, value)).unwrap();
         prop_assert_eq!((rid, s, rv), (id, Status::Ok, value));
     }
@@ -87,6 +107,39 @@ proptest! {
         let _ = decode_subreply(b.clone());
         let _ = decode_query(b.clone());
         let _ = decode_query_reply(b);
+    }
+
+    /// Every strict prefix of a valid encoded frame either decodes (when
+    /// the cut only dropped an optional tail) or errors — never panics.
+    #[test]
+    fn truncated_frames_never_panic(
+        id in any::<u64>(),
+        sub in arb_subquery(),
+        resp in prop::option::of(arb_subresponse()),
+        ctx in arb_ctx(),
+    ) {
+        let q = encode_subquery(id, &sub, ctx.as_ref());
+        for cut in 0..q.as_slice().len() {
+            let _ = decode_subquery(Bytes::from(q.as_slice()[..cut].to_vec()));
+        }
+        let r = encode_subreply(id, Status::Ok, resp.as_ref());
+        for cut in 0..r.as_slice().len() {
+            let _ = decode_subreply(Bytes::from(r.as_slice()[..cut].to_vec()));
+        }
+    }
+
+    /// A framed stream cut mid-frame errors out of `read_frame` cleanly.
+    #[test]
+    fn truncated_frame_stream_errors(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        keep in 0usize..68,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let keep = keep.min(buf.len().saturating_sub(1));
+        buf.truncate(keep);
+        let mut cursor = std::io::Cursor::new(buf);
+        prop_assert!(read_frame(&mut cursor).is_err());
     }
 
     /// Frames written back-to-back are read back intact, in order.

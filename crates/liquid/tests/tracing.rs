@@ -1,0 +1,119 @@
+//! End-to-end distributed tracing acceptance: a traced TCP cluster must
+//! yield complete span trees (client root → front dispatch → broker query
+//! → rounds → shard spans) whose latency breakdown accounts for the
+//! measured end-to-end time.
+
+use std::sync::Arc;
+
+use bouncer_core::obs::trace_report::{analyze, parse_spans};
+use bouncer_core::obs::{MemorySink, Tracer, TracerConfig};
+use bouncer_core::policy::AlwaysAccept;
+use liquid::broker::BrokerConfig;
+use liquid::cluster::{Cluster, ClusterConfig, TransportKind};
+use liquid::front::{RemoteOutcome, TcpBrokerClient, TcpBrokerServer};
+use liquid::graph::GraphConfig;
+use liquid::query::{Query, QueryKind};
+use liquid::shard::ShardConfig;
+
+#[test]
+fn traced_tcp_cluster_yields_complete_trees_with_accounted_latency() {
+    let sink = Arc::new(MemorySink::new());
+    let tracer = Arc::new(Tracer::new(sink.clone(), TracerConfig::default()));
+    let cfg = ClusterConfig {
+        n_shards: 2,
+        n_brokers: 1,
+        transport: TransportKind::Tcp,
+        tcp_connections: 2,
+        graph: GraphConfig {
+            vertices: 2_000,
+            edges_per_vertex: 4,
+            seed: 9,
+        },
+        shard: ShardConfig {
+            engines: 2,
+            ..ShardConfig::default()
+        },
+        broker: BrokerConfig {
+            engines: 2,
+            ..BrokerConfig::default()
+        },
+        tracer: Some(tracer.clone()),
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::spawn(&cfg, |_reg, _p| Arc::new(AlwaysAccept::new()));
+    // The full remote path: TCP front door in front of the broker, and a
+    // traced client sharing the cluster clock so client-side and
+    // broker-side span timestamps are directly comparable.
+    let server =
+        TcpBrokerServer::serve(Arc::clone(&cluster.brokers()[0]), "127.0.0.1:0").unwrap();
+    let client = TcpBrokerClient::connect_traced(
+        server.addr(),
+        2,
+        tracer.clone(),
+        Arc::clone(cluster.clock()),
+    )
+    .unwrap();
+
+    const N: usize = 60;
+    let kinds = [
+        QueryKind::Qt1Degree,
+        QueryKind::Qt5MutualCount,
+        QueryKind::Qt7TwoHopCount,
+        QueryKind::Qt10Distance3,
+    ];
+    for i in 0..N {
+        let q = Query {
+            kind: kinds[i % kinds.len()],
+            u: (i as u32 * 13) % 2_000,
+            v: (i as u32 * 13 + 7) % 2_000,
+        };
+        let out = client.execute(q);
+        assert!(matches!(out, RemoteOutcome::Ok(_)), "query {i}: {out:?}");
+    }
+    server.stop();
+    cluster.shutdown();
+    tracer.flush();
+    assert_eq!(tracer.sampled_total(), N as u64, "sample_every=1 keeps all");
+    assert_eq!(tracer.dropped_total(), 0);
+
+    // Reassemble through the same JSONL path `trace-report` consumes.
+    let lines: Vec<String> = sink.events().iter().map(|e| e.to_json()).collect();
+    let records = parse_spans(&lines.join("\n")).unwrap();
+    let report = analyze(records);
+    assert_eq!(report.traces, N, "one tree per traced query");
+    assert_eq!(report.orphan_spans, 0, "every span's parent must resolve");
+    assert_eq!(report.rootless_traces, 0);
+    assert!(report.all_complete());
+
+    // The breakdown must account for the measured end-to-end time: the
+    // components sum to within 5% of each root span's duration (the
+    // acceptance bound; the decomposition is exact by construction).
+    assert_eq!(report.breakdowns.len(), N);
+    for b in &report.breakdowns {
+        assert_eq!(b.status, "ok");
+        let sum = b.component_sum();
+        let diff = sum.abs_diff(b.total);
+        assert!(
+            diff as f64 <= 0.05 * b.total as f64,
+            "breakdown sum {sum} vs end-to-end {} (diff {diff})",
+            b.total
+        );
+        // Remote traces spend real time on the wire; the client-side
+        // residual lives in `other`.
+        assert!(b.total > 0);
+    }
+    // The multi-round plans exercised the critical-path machinery: at
+    // least one trace has ≥2 fan-out rounds with a straggler per round.
+    assert!(
+        report
+            .breakdowns
+            .iter()
+            .any(|b| b.rounds >= 2 && b.stragglers.len() == b.rounds),
+        "expected a multi-round trace with stragglers"
+    );
+    // Shard-tier time is visible somewhere (the Fig. 13 signal).
+    assert!(report
+        .breakdowns
+        .iter()
+        .any(|b| b.shard_queue + b.shard_service > 0));
+}

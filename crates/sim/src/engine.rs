@@ -2,13 +2,15 @@
 //! queue drained by `P` simulated engine processes.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use crate::queue::{SimDiscipline, SimQueue};
 
 use bouncer_core::framework::ServerStats;
-use bouncer_core::obs::{null_sink, Event as ObsEvent, EventSink};
+use bouncer_core::obs::{
+    null_sink, Event as ObsEvent, EventSink, QueryTrace, SpanKind, SpanStatus, Tracer,
+};
 use bouncer_core::policy::{AdmissionPolicy, RejectReason};
 use bouncer_core::types::TypeId;
 use bouncer_metrics::time::{millis, Nanos, SECOND};
@@ -52,6 +54,11 @@ pub struct SimConfig {
     /// its per-interval maintenance events. `None` (the default) costs
     /// nothing on the arrival/completion paths.
     pub sink: Option<Arc<dyn EventSink>>,
+    /// Optional distributed tracer: each simulated query becomes a span
+    /// tree (root + admission + queue + service) stamped with *virtual*
+    /// time, so `trace-report` reads simulator and threaded-host traces
+    /// identically. Subject to the tracer's sampling policy.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl SimConfig {
@@ -69,6 +76,7 @@ impl SimConfig {
             discipline: SimDiscipline::Fifo,
             rate_steps: Vec::new(),
             sink: None,
+            tracer: None,
         }
     }
 
@@ -101,6 +109,8 @@ enum Event {
         pt: Nanos,
         enqueued_at: Nanos,
         dequeued_at: Nanos,
+        /// Key into the in-flight trace table, when tracing.
+        trace: Option<u32>,
     },
     /// Periodic policy maintenance.
     Tick,
@@ -118,6 +128,10 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
     let sink: Arc<dyn EventSink> = cfg.sink.clone().unwrap_or_else(null_sink);
     policy.attach_sink(Arc::clone(&sink));
     let observing = sink.enabled();
+    let tracer = cfg.tracer.as_deref().filter(|t| t.enabled());
+    // In-flight query traces, keyed by a dense counter the events carry.
+    let mut traces: HashMap<u32, QueryTrace> = HashMap::new();
+    let mut next_trace_key: u32 = 0;
 
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     debug_assert!(
@@ -200,11 +214,19 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
                         }
                     }
                 }
+                // The admission span is instantaneous in virtual time: the
+                // simulated decision costs nothing (the ideal-system
+                // contrast the paper's Fig. 13 draws).
+                let mut qt = tracer.map(|t| t.begin(Some(ty), now, None));
                 match decision {
                     bouncer_core::policy::Decision::Reject(reason) => {
                         stats.on_rejected(ty, reason);
                         if observing {
                             sink.emit(&ObsEvent::Rejected { at: now, ty, reason });
+                        }
+                        if let (Some(tracer), Some(mut qt)) = (tracer, qt.take()) {
+                            qt.record_child(SpanKind::Admission, now, now);
+                            tracer.finish(qt, SpanStatus::Rejected, now);
                         }
                     }
                     bouncer_core::policy::Decision::Accept => {
@@ -214,6 +236,12 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
                         if observing {
                             sink.emit(&ObsEvent::Admitted { at: now, ty });
                         }
+                        let trace = qt.take().map(|qt| {
+                            let key = next_trace_key;
+                            next_trace_key = next_trace_key.wrapping_add(1);
+                            traces.insert(key, qt);
+                            key
+                        });
                         if idle > 0 {
                             // An idle process picks it up immediately.
                             idle -= 1;
@@ -234,10 +262,11 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
                                     pt,
                                     enqueued_at: now,
                                     dequeued_at: now,
+                                    trace,
                                 },
                             );
                         } else {
-                            queue.push(ty, pt, now);
+                            queue.push_traced(ty, pt, now, trace);
                             if observing {
                                 sink.emit(&ObsEvent::Enqueued {
                                     at: now,
@@ -266,6 +295,7 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
                 pt,
                 enqueued_at,
                 dequeued_at,
+                trace,
             } => {
                 policy.on_completed(ty, pt, now);
                 let wait = dequeued_at - enqueued_at;
@@ -279,6 +309,14 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
                         processing: pt,
                         rt: wait.saturating_add(pt),
                     });
+                }
+                if let Some(key) = trace {
+                    if let (Some(tracer), Some(mut qt)) = (tracer, traces.remove(&key)) {
+                        qt.record_child(SpanKind::Admission, qt.start(), qt.start());
+                        qt.record_child(SpanKind::BrokerQueue, enqueued_at, dequeued_at);
+                        qt.record_child(SpanKind::BrokerService, dequeued_at, now);
+                        tracer.finish(qt, SpanStatus::Ok, now);
+                    }
                 }
 
                 if let Some(next) = queue.pop() {
@@ -297,6 +335,7 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
                             pt: next.pt,
                             enqueued_at: next.enqueued_at,
                             dequeued_at: now,
+                            trace: next.trace,
                         },
                     );
                 } else {
@@ -307,6 +346,9 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
     }
 
     sink.flush();
+    if let Some(tracer) = tracer {
+        tracer.flush();
+    }
 
     let started = measuring_since.unwrap_or(0);
     SimResult {

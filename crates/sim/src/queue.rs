@@ -39,6 +39,8 @@ pub struct SimQueued {
     pub pt: Nanos,
     /// Enqueue timestamp.
     pub enqueued_at: Nanos,
+    /// Key into the simulator's in-flight trace table, when tracing.
+    pub trace: Option<u32>,
 }
 
 #[derive(Debug)]
@@ -116,7 +118,17 @@ impl SimQueue {
 
     /// Enqueues a query.
     pub fn push(&mut self, ty: TypeId, pt: Nanos, enqueued_at: Nanos) {
-        let item = SimQueued { ty, pt, enqueued_at };
+        self.push_traced(ty, pt, enqueued_at, None);
+    }
+
+    /// Enqueues a query carrying its trace-table key.
+    pub fn push_traced(&mut self, ty: TypeId, pt: Nanos, enqueued_at: Nanos, trace: Option<u32>) {
+        let item = SimQueued {
+            ty,
+            pt,
+            enqueued_at,
+            trace,
+        };
         match &mut self.store {
             Store::Fifo(q) => q.push_back(item),
             Store::Ranked {

@@ -131,6 +131,52 @@ fn policy_rejections_carry_the_policy_reason() {
 }
 
 #[test]
+fn traced_simulation_produces_exact_virtual_time_breakdowns() {
+    use bouncer_core::obs::trace_report::{assemble, breakdown, parse_spans};
+    use bouncer_core::obs::{Tracer, TracerConfig};
+
+    let (_reg, mix) = table1();
+    let sink = Arc::new(MemorySink::new());
+    let tracer = Arc::new(Tracer::new(sink.clone(), TracerConfig::default()));
+    // Overloaded enough that queueing (and some shedding) appears.
+    let mut cfg = SimConfig::quick(mix.qps_full_load(4) * 1.5, 15);
+    cfg.parallelism = 4;
+    cfg.warmup_queries = 0;
+    cfg.measured_queries = 1_000;
+    cfg.tracer = Some(tracer.clone());
+    let result = run(&MaxQueueLength::new(8), &mix, &cfg);
+    assert!(result.stats.total_rejected() > 0, "expected shedding");
+
+    assert_eq!(tracer.sampled_total(), 1_000, "sample_every=1 keeps all");
+    assert_eq!(tracer.dropped_total(), 0);
+
+    // Round-trip through the JSONL encoding, exactly as `trace-report`
+    // consumes a file.
+    let lines: Vec<String> = sink.events().iter().map(|e| e.to_json()).collect();
+    let spans = parse_spans(&lines.join("\n")).unwrap();
+    let assembly = assemble(spans);
+    assert_eq!(assembly.traces.len(), 1_000);
+    assert_eq!(assembly.orphan_spans, 0);
+    assert_eq!(assembly.rootless_traces, 0);
+
+    let mut rejected = 0u64;
+    for tree in &assembly.traces {
+        assert!(tree.is_complete());
+        let b = breakdown(tree).expect("rooted tree");
+        // Virtual time is exact: the components must sum to the root
+        // duration to the nanosecond.
+        assert_eq!(b.component_sum(), b.total, "inexact breakdown");
+        if b.status == "rejected" {
+            rejected += 1;
+        } else {
+            assert_eq!(b.admission, 0, "simulated admission is instantaneous");
+            assert_eq!(b.total, b.broker_queue + b.broker_compute);
+        }
+    }
+    assert_eq!(rejected, result.stats.total_rejected());
+}
+
+#[test]
 fn policies_emit_interval_events_through_the_attached_sink() {
     let (reg, mix) = table1();
 

@@ -15,11 +15,15 @@
 //! matches a single-source generator.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bouncer_core::obs::{
+    new_span_id, new_trace_id, SpanKind, SpanStatus, TraceContext, Tracer,
+};
 use bouncer_core::types::TypeId;
 use bouncer_metrics::histogram::HistogramSnapshot;
-use bouncer_metrics::AtomicHistogram;
+use bouncer_metrics::{AtomicHistogram, Clock};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -132,6 +136,28 @@ pub fn run_open_loop<F>(mix: &QueryMix, n_types: usize, cfg: &LoadGenConfig, tar
 where
     F: Fn(TypeId, &mut SmallRng) -> QueryOutcome + Sync,
 {
+    run_open_loop_traced(mix, n_types, cfg, None, |ty, rng, _ctx| target(ty, rng))
+}
+
+/// The tracer and clock a traced load generation stamps its
+/// [`SpanKind::Client`] root spans with. Share the clock with the system
+/// under test so client and server span timestamps are comparable.
+pub type GenTrace = (Arc<Tracer>, Arc<dyn Clock>);
+
+/// [`run_open_loop`] with distributed tracing: requests selected by the
+/// tracer's head sampling carry a [`TraceContext`] rooted at a
+/// client span (emitted when the target returns), which the target should
+/// propagate into the system under test.
+pub fn run_open_loop_traced<F>(
+    mix: &QueryMix,
+    n_types: usize,
+    cfg: &LoadGenConfig,
+    trace: Option<GenTrace>,
+    target: F,
+) -> LoadReport
+where
+    F: Fn(TypeId, &mut SmallRng, Option<TraceContext>) -> QueryOutcome + Sync,
+{
     assert!(cfg.workers > 0, "need at least one worker");
     assert!(cfg.rate_qps > 0.0, "rate must be positive");
     let counters: Vec<TypeCounters> = (0..n_types)
@@ -152,6 +178,7 @@ where
         for w in 0..cfg.workers {
             let counters = &counters;
             let target = &target;
+            let trace = trace.clone();
             let gaps = Exponential::new(per_worker_rate);
             let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(w as u64 * 0x9E37));
             scope.spawn(move || {
@@ -161,7 +188,38 @@ where
                     let class = mix.sample_class(&mut rng);
                     let c = &counters[class.ty.index()];
                     c.sent.fetch_add(1, Ordering::Relaxed);
-                    match target(class.ty, &mut rng) {
+                    // Head-sample here, at the system's edge: a sampled
+                    // request carries a client-rooted context end to end.
+                    let span = trace.as_ref().and_then(|(tracer, clock)| {
+                        tracer
+                            .head_decision()
+                            .then(|| (new_trace_id(), new_span_id(), clock.now()))
+                    });
+                    let ctx = span.map(|(trace_id, parent, _)| TraceContext {
+                        trace: trace_id,
+                        parent,
+                        sampled: true,
+                    });
+                    let outcome = target(class.ty, &mut rng, ctx);
+                    if let (Some((tracer, clock)), Some((trace_id, span_id, t0))) =
+                        (trace.as_ref(), span)
+                    {
+                        let status = match outcome {
+                            QueryOutcome::Ok => SpanStatus::Ok,
+                            QueryOutcome::Rejected => SpanStatus::Rejected,
+                            QueryOutcome::Error => SpanStatus::Failed,
+                        };
+                        tracer.emit_root(
+                            trace_id,
+                            span_id,
+                            SpanKind::Client,
+                            Some(class.ty),
+                            t0,
+                            clock.now(),
+                            status,
+                        );
+                    }
+                    match outcome {
                         QueryOutcome::Ok => {
                             // wrk2 semantics: latency from the intended time.
                             let latency = intended.elapsed();

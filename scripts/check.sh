@@ -61,4 +61,16 @@ printf '%s\n' "$BENCH_OUT" | awk '
 echo "    wrote BENCH_admit.json:"
 sed 's/^/    /' BENCH_admit.json
 
+echo "==> tracing smoke: traced cluster -> trace-report --strict"
+# A small traced in-process cluster writes its span JSONL, and the
+# trace-report subcommand re-assembles the trees; --strict makes any
+# orphaned span or rootless trace a hard failure.
+TRACE_SMOKE=$(mktemp -t bouncer-trace-smoke.XXXXXX.jsonl)
+trap 'rm -f "$TRACE_SMOKE"' EXIT
+cargo run -q --release --offline --example traced_cluster -- "$TRACE_SMOKE" \
+    | sed 's/^/    /'
+cargo run -q --release --offline -p bouncer-cli -- \
+    trace-report --traces-in "$TRACE_SMOKE" --strict \
+    | sed -n '1,3p;$p' | sed 's/^/    /'
+
 echo "==> all checks passed"
