@@ -1,0 +1,167 @@
+//! The broker→shard data-path benchmark behind `BENCH_datapath.json`.
+//!
+//! Measures the per-query cost of the fan-out/fan-in pipeline at 4 shards
+//! under the published QT1..QT11 mix, on both transports, in two variants:
+//!
+//! * `batched`   — the shipped path: one `SubQueryBatch` per (round, shard),
+//!   shared `Arc` payloads, flattened [`IdLists`] replies, pooled frames.
+//! * `unbatched` — the retained reference (`batch_fanout: false`), which
+//!   reproduces the pre-batching data path: one message + one reply channel
+//!   per sub-query, per-sub-query payload copies, and per-vertex list
+//!   materialization. This is the "before" column.
+//!
+//! Two metrics per (transport, variant): wall-clock time per query
+//! (criterion), and global-allocator allocation events per query
+//! (`*_allocs` rows, printed in the same line format so
+//! `scripts/check.sh` parses both into one JSON file — those entries are
+//! counts, not nanoseconds).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bouncer_bench::liquidstudy::liquid_mix;
+use bouncer_core::policy::AlwaysAccept;
+use criterion::{black_box, criterion_group, criterion_main, fmt_ns, Criterion};
+use liquid::broker::BrokerConfig;
+use liquid::cluster::{Cluster, ClusterConfig, TransportKind};
+use liquid::graph::GraphConfig;
+use liquid::query::{Query, QueryKind};
+use liquid::shard::ShardConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Counts allocation events (alloc + realloc) across every thread — the
+/// broker engines, shard engines, and transport threads all work on behalf
+/// of the measured queries, so their allocations are part of the data path.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+fn cluster_config(transport: TransportKind, batch_fanout: bool) -> ClusterConfig {
+    ClusterConfig {
+        n_shards: 4,
+        n_brokers: 1,
+        // A smaller graph than the study default keeps smoke runs quick
+        // while the BFS- and network-heavy mix still dominates the fan-out.
+        graph: GraphConfig {
+            vertices: 20_000,
+            edges_per_vertex: 8,
+            seed: 0x11D,
+        },
+        shard: ShardConfig {
+            engines: 2,
+            ..ShardConfig::default()
+        },
+        broker: BrokerConfig {
+            engines: 2,
+            batch_fanout,
+            ..BrokerConfig::default()
+        },
+        transport,
+        tcp_connections: 2,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Queries drawn from the published mix — the same distribution the
+/// overload points (1.25×–2.08× capacity) replay, so per-query cost is
+/// weighted exactly like the §5.4 study traffic.
+fn mix_queries(vertices: u32, count: usize) -> Vec<Query> {
+    let mix = liquid_mix();
+    let mut rng = SmallRng::seed_from_u64(0xDA7A);
+    (0..count)
+        .map(|_| {
+            let class = mix.sample_class(&mut rng);
+            let kind = QueryKind::from_index(class.ty.index() - 1).expect("kind");
+            Query::random(kind, vertices, &mut rng)
+        })
+        .collect()
+}
+
+/// Allocation events per query over `passes` sequential sweeps of the mix,
+/// after one warm-up sweep so pools and hash sets reach steady state.
+fn allocs_per_query(cluster: &Cluster, queries: &[Query], passes: usize) -> (f64, u64) {
+    for &q in queries {
+        black_box(cluster.execute(q));
+    }
+    let before = ALLOC_EVENTS.load(Ordering::SeqCst);
+    let mut executed = 0u64;
+    for _ in 0..passes {
+        for &q in queries {
+            black_box(cluster.execute(q));
+            executed += 1;
+        }
+    }
+    let after = ALLOC_EVENTS.load(Ordering::SeqCst);
+    ((after - before) as f64 / executed as f64, executed)
+}
+
+/// Prints an allocation-count row in criterion's line format so the
+/// check.sh awk block ingests it alongside the timing rows. The value is
+/// a count; fmt_ns's unit scaling is undone by the parser's ns
+/// normalization, so the JSON number equals the raw count.
+fn report_allocs(id: &str, per_query: f64, iters: u64) {
+    println!(
+        "{id:<44} time: [{} {} {}]  ({} iters)",
+        fmt_ns(per_query),
+        fmt_ns(per_query),
+        fmt_ns(per_query),
+        iters
+    );
+}
+
+fn bench_datapath(c: &mut Criterion) {
+    let smoke = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .is_some_and(|ms| ms <= 100);
+    let n_queries = if smoke { 48 } else { 192 };
+    let alloc_passes = if smoke { 2 } else { 5 };
+
+    for (transport, tname) in [(TransportKind::InProc, "inproc"), (TransportKind::Tcp, "tcp")] {
+        for (batch, vname) in [(true, "batched"), (false, "unbatched")] {
+            let cluster = Cluster::spawn(&cluster_config(transport, batch), |_reg, _p| {
+                Arc::new(AlwaysAccept::new())
+            });
+            let queries = mix_queries(cluster.vertices(), n_queries);
+
+            let mut i = 0usize;
+            c.bench_function(&format!("liquid_datapath/{tname}/{vname}"), |b| {
+                b.iter(|| {
+                    let q = queries[i % queries.len()];
+                    i += 1;
+                    black_box(cluster.execute(q))
+                })
+            });
+
+            let (per_query, executed) = allocs_per_query(&cluster, &queries, alloc_passes);
+            report_allocs(
+                &format!("liquid_datapath/{tname}/{vname}_allocs"),
+                per_query,
+                executed,
+            );
+            cluster.shutdown();
+        }
+    }
+}
+
+criterion_group!(benches, bench_datapath);
+criterion_main!(benches);

@@ -51,7 +51,10 @@ FLAGS:
 The report aggregates per-component latency (admission, broker queue,
 shard queue, shard service, transport, aggregation) at p50/p95/p99 and
 names the straggler shard per fan-out round — the Fig. 13 diagnosis of
-where milliseconds go as load rises. See OBSERVABILITY.md.
+where milliseconds go as load rises. With the cluster's batched fan-out
+(the default), one subquery span covers a round's whole batch to a
+shard; the straggler is still the round's latest reply, so the
+breakdown needs no special handling. See OBSERVABILITY.md.
 ";
 
 const HELP: &str = "\

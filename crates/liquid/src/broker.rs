@@ -30,7 +30,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::graph::VertexId;
-use crate::query::{Query, QueryKind, SubQuery, SubResponse};
+use crate::query::{IdLists, Query, QueryKind, SubQuery, SubResponse};
 use crate::shard::SubOutcome;
 use crate::transport::ShardClient;
 
@@ -127,6 +127,11 @@ pub struct BrokerConfig {
     /// records admission/queue/round/sub-query spans, and finalizes at the
     /// outcome. `None` keeps tracing entirely off the admission path.
     pub tracer: Option<Arc<Tracer>>,
+    /// Coalesce each round's sub-queries to one shard into a single batch
+    /// (one message, one reply channel, one shard admission decision).
+    /// `false` falls back to one message per sub-query — kept for
+    /// batched-vs-unbatched equivalence testing and benchmarking.
+    pub batch_fanout: bool,
 }
 
 impl Default for BrokerConfig {
@@ -139,6 +144,7 @@ impl Default for BrokerConfig {
             query_deadline: None,
             sink: None,
             tracer: None,
+            batch_fanout: true,
         }
     }
 }
@@ -187,9 +193,10 @@ impl Broker {
                 let shards = Arc::clone(&shards);
                 let timeout = cfg.subquery_timeout;
                 let tracer = tracer.clone();
+                let batch = cfg.batch_fanout;
                 std::thread::Builder::new()
                     .name(format!("broker-engine{i}"))
-                    .spawn(move || engine_loop(&gate, &shards, timeout, tracer.as_deref()))
+                    .spawn(move || engine_loop(&gate, &shards, timeout, batch, tracer.as_deref()))
                     .expect("failed to spawn broker engine")
             })
             .collect();
@@ -327,11 +334,13 @@ fn engine_loop(
     gate: &Gate<Job>,
     shards: &[Arc<dyn ShardClient>],
     timeout: Duration,
+    batch: bool,
     tracer: Option<&Tracer>,
 ) {
     let ctx = PlanCtx {
         shards,
         timeout,
+        batch,
         clock: gate.clock(),
         trace: RefCell::new(None),
     };
@@ -512,9 +521,20 @@ struct PendingSub {
     sub_span: Option<SpanId>,
 }
 
+/// An in-flight per-shard batch: one channel for the whole group. The
+/// batch's [`SpanKind::SubQuery`] span covers every item it carries.
+struct PendingBatch {
+    rx: Receiver<Vec<SubOutcome>>,
+    n: usize,
+    sub_span: Option<SpanId>,
+}
+
 struct PlanCtx<'a> {
     shards: &'a [Arc<dyn ShardClient>],
     timeout: Duration,
+    /// Coalesce per-shard fan-out into batches (see
+    /// [`BrokerConfig::batch_fanout`]).
+    batch: bool,
     clock: &'a Arc<dyn Clock>,
     /// The running query's trace, if the broker traces. `RefCell` because
     /// the plan helpers take `&self` recursively.
@@ -541,6 +561,118 @@ impl PlanCtx<'_> {
         PendingSub {
             rx: self.shards[shard].submit(sub, ctx),
             sub_span,
+        }
+    }
+
+    /// Sends a round's sub-queries to one shard as a single batch (one
+    /// trace span, one admission unit, one reply channel).
+    fn send_batch(&self, shard: usize, subs: Vec<SubQuery>) -> PendingBatch {
+        let n = subs.len();
+        let mut trace = self.trace.borrow_mut();
+        let (ctx, sub_span) = match trace.as_mut() {
+            Some(pt) => {
+                let sub_span = pt.on_send(shard as u16, self.clock.now());
+                (Some(pt.qt.ctx_for(sub_span)), Some(sub_span))
+            }
+            None => (None, None),
+        };
+        drop(trace);
+        PendingBatch {
+            rx: self.shards[shard].submit_batch(subs, ctx),
+            n,
+            sub_span,
+        }
+    }
+
+    /// Waits one batch, closing its span; a reply of the wrong width is a
+    /// protocol violation and fails the plan.
+    fn wait_batch(&self, pending: PendingBatch) -> Result<Vec<SubOutcome>, PlanError> {
+        let result = match pending.rx.recv_timeout(self.timeout) {
+            Ok(outcomes) if outcomes.len() == pending.n => Ok(outcomes),
+            Ok(_) | Err(_) => Err(PlanError::ShardFailed),
+        };
+        if let Some(sub_span) = pending.sub_span {
+            if let Some(pt) = self.trace.borrow_mut().as_mut() {
+                pt.on_recv(sub_span, self.clock.now());
+            }
+        }
+        result
+    }
+
+    /// One communication round over arbitrary `(shard, sub-query)` items:
+    /// groups the items per shard (batched mode), sends every group before
+    /// waiting any, and yields the responses in `items` order. In
+    /// unbatched mode each item travels as its own message; either way a
+    /// shard sees its items in `items` order.
+    fn scatter(&self, items: Vec<(usize, SubQuery)>) -> Result<Vec<SubResponse>, PlanError> {
+        if !self.batch {
+            // The fallback reproduces the pre-batching data path faithfully —
+            // one message and one reply channel per sub-query, each carrying
+            // its own copy of any shared payload (the old `n.clone()` per
+            // `CountIntersect` target) — so the `liquid_datapath` bench
+            // measures an honest before/after.
+            let pendings: Vec<PendingSub> = items
+                .into_iter()
+                .map(|(s, sub)| self.send(s, deep_copy_payload(sub)))
+                .collect();
+            return self.wait_all(pendings);
+        }
+        let n_shards = self.shards.len();
+        let mut shard_order: Vec<usize> = Vec::new(); // shards in first-use order
+        let mut per_shard: Vec<Vec<SubQuery>> = vec![Vec::new(); n_shards];
+        let mut slots: Vec<usize> = Vec::with_capacity(items.len()); // owning shard per item
+        for (s, sub) in items {
+            if per_shard[s].is_empty() {
+                shard_order.push(s);
+            }
+            slots.push(s);
+            per_shard[s].push(sub);
+        }
+        // Fan out every group before waiting on any...
+        let groups: Vec<(usize, PendingBatch)> = shard_order
+            .into_iter()
+            .map(|s| {
+                let subs = std::mem::take(&mut per_shard[s]);
+                (s, self.send_batch(s, subs))
+            })
+            .collect();
+        // ...then gather every group even after an error, so the round's
+        // spans close and no receiver is abandoned mid-flight.
+        let mut outcomes: Vec<Option<std::vec::IntoIter<SubOutcome>>> = vec![None; n_shards];
+        let mut first_err = None;
+        for (s, pending) in groups {
+            match self.wait_batch(pending) {
+                Ok(os) => outcomes[s] = Some(os.into_iter()),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Reassemble in items order: a shard's outcomes come back in its
+        // submission order, so a per-shard cursor (the iterator) suffices.
+        let mut out = Vec::with_capacity(slots.len());
+        for s in slots {
+            let iter = outcomes[s].as_mut().ok_or(PlanError::ShardFailed)?;
+            match iter.next().ok_or(PlanError::ShardFailed)? {
+                SubOutcome::Ok(resp) => out.push(resp),
+                SubOutcome::Rejected => return Err(PlanError::ShardRejected),
+                SubOutcome::Error => return Err(PlanError::ShardFailed),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Hands a per-shard vertex group to a sub-query: the batched path
+    /// moves the vector (one `Arc` build, no copy left behind), while the
+    /// fallback copies it and leaves the original alive — exactly the
+    /// pre-batching `vs.clone()`, retained so benchmarks compare a real
+    /// "before".
+    fn take_or_copy_group(&self, vs: &mut Vec<VertexId>) -> Arc<[VertexId]> {
+        if self.batch {
+            std::mem::take(vs).into()
+        } else {
+            vs.as_slice().into()
         }
     }
 
@@ -599,15 +731,17 @@ impl PlanCtx<'_> {
         }
     }
 
-    /// Both neighbor lists in one parallel round.
+    /// Both neighbor lists in one parallel round (one batch when both
+    /// vertices live on the same shard).
     fn neighbors_pair(
         &self,
         u: VertexId,
         v: VertexId,
     ) -> Result<(Vec<VertexId>, Vec<VertexId>), PlanError> {
-        let pu = self.send(self.shard_of(u), SubQuery::Neighbors(u));
-        let pv = self.send(self.shard_of(v), SubQuery::Neighbors(v));
-        let mut responses = self.wait_all(vec![pu, pv])?;
+        let mut responses = self.scatter(vec![
+            (self.shard_of(u), SubQuery::Neighbors(u)),
+            (self.shard_of(v), SubQuery::Neighbors(v)),
+        ])?;
         let nv = match responses.pop() {
             Some(SubResponse::Ids(ids)) => ids,
             _ => return Err(PlanError::ShardFailed),
@@ -620,22 +754,34 @@ impl PlanCtx<'_> {
     }
 
     /// One communication round: neighbor lists for every frontier vertex,
-    /// batched per owning shard and issued in parallel.
-    fn neighbors_many(&self, frontier: &[VertexId]) -> Result<Vec<Vec<VertexId>>, PlanError> {
+    /// grouped per owning shard (one `NeighborsMany` each) and issued in
+    /// parallel. Calls `each` once per frontier vertex, **in frontier
+    /// order**, with that vertex's neighbor list — the lists stay in the
+    /// shards' flattened [`IdLists`] buffers, so no per-vertex `Vec` is
+    /// ever materialized broker-side.
+    fn neighbors_many<F: FnMut(&[VertexId])>(
+        &self,
+        frontier: &[VertexId],
+        mut each: F,
+    ) -> Result<(), PlanError> {
         let n_shards = self.shards.len();
         let mut per_shard: Vec<Vec<VertexId>> = vec![Vec::new(); n_shards];
         for &v in frontier {
             per_shard[v as usize % n_shards].push(v);
         }
-        // Fan out...
+        // Fan out (the group vectors move into the sub-queries — no clone;
+        // the fallback copies each group like the pre-batching `vs.clone()`)...
         let (targets, pendings): (Vec<usize>, Vec<PendingSub>) = per_shard
-            .iter()
+            .iter_mut()
             .enumerate()
             .filter(|(_, vs)| !vs.is_empty())
-            .map(|(s, vs)| (s, self.send(s, SubQuery::NeighborsMany(vs.clone()))))
+            .map(|(s, vs)| {
+                let group = self.take_or_copy_group(vs);
+                (s, self.send(s, SubQuery::NeighborsMany(group)))
+            })
             .unzip();
-        // ...gather, then reassemble in frontier order.
-        let mut per_shard_lists: Vec<Option<Vec<Vec<VertexId>>>> = vec![None; n_shards];
+        // ...gather, then walk the lists back out in frontier order.
+        let mut per_shard_lists: Vec<Option<IdLists>> = vec![None; n_shards];
         for (s, resp) in targets.into_iter().zip(self.wait_all(pendings)?) {
             match resp {
                 SubResponse::IdLists(lists) => per_shard_lists[s] = Some(lists),
@@ -643,15 +789,23 @@ impl PlanCtx<'_> {
             }
         }
         let mut cursors = vec![0usize; n_shards];
-        let mut out = Vec::with_capacity(frontier.len());
         for &v in frontier {
             let s = v as usize % n_shards;
-            let lists = per_shard_lists[s].as_mut().ok_or(PlanError::ShardFailed)?;
-            let i = cursors[s];
+            let lists = per_shard_lists[s].as_ref().ok_or(PlanError::ShardFailed)?;
+            let list = lists.get(cursors[s]).ok_or(PlanError::ShardFailed)?;
             cursors[s] += 1;
-            out.push(std::mem::take(lists.get_mut(i).ok_or(PlanError::ShardFailed)?));
+            if self.batch {
+                each(list);
+            } else {
+                // The pre-batching response format carried one `Vec` per
+                // frontier vertex; the fallback re-materializes that
+                // per-vertex allocation so the datapath bench's "before"
+                // keeps the old allocation profile.
+                let owned = list.to_vec();
+                each(&owned);
+            }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn degrees_many(&self, vs: &[VertexId]) -> Result<Vec<u32>, PlanError> {
@@ -661,10 +815,13 @@ impl PlanCtx<'_> {
             per_shard[v as usize % n_shards].push(v);
         }
         let (targets, pendings): (Vec<usize>, Vec<PendingSub>) = per_shard
-            .iter()
+            .iter_mut()
             .enumerate()
             .filter(|(_, vs)| !vs.is_empty())
-            .map(|(s, vs)| (s, self.send(s, SubQuery::DegreeMany(vs.clone()))))
+            .map(|(s, vs)| {
+                let group = self.take_or_copy_group(vs);
+                (s, self.send(s, SubQuery::DegreeMany(group)))
+            })
             .unzip();
         let mut per_shard_counts: Vec<Option<Vec<u32>>> = vec![None; n_shards];
         for (s, resp) in targets.into_iter().zip(self.wait_all(pendings)?) {
@@ -683,6 +840,20 @@ impl PlanCtx<'_> {
             out.push(*counts.get(i).ok_or(PlanError::ShardFailed)?);
         }
         Ok(out)
+    }
+}
+
+/// Replaces a shared (`Arc`) payload with a freshly-allocated copy. The
+/// unbatched fallback sends this instead of sharing, reproducing the
+/// per-sub-query payload clones of the pre-batching data path.
+fn deep_copy_payload(sub: SubQuery) -> SubQuery {
+    match sub {
+        SubQuery::NeighborsMany(ids) => SubQuery::NeighborsMany(ids.iter().copied().collect()),
+        SubQuery::DegreeMany(ids) => SubQuery::DegreeMany(ids.iter().copied().collect()),
+        SubQuery::CountIntersect(v, ids) => {
+            SubQuery::CountIntersect(v, ids.iter().copied().collect())
+        }
+        other => other,
     }
 }
 
@@ -721,23 +892,24 @@ fn execute_plan(ctx: &PlanCtx<'_>, q: Query) -> Result<u64, PlanError> {
             if frontier.is_empty() {
                 return Ok(0);
             }
-            let lists = ctx.neighbors_many(&frontier)?;
             let mut seen: HashSet<VertexId> = HashSet::with_capacity(1024);
-            for list in &lists {
-                seen.extend(list.iter().copied());
-            }
+            ctx.neighbors_many(&frontier, |list| seen.extend(list.iter().copied()))?;
             seen.remove(&q.u);
             Ok(seen.len() as u64)
         }
         QueryKind::Qt8TriangleCount => {
-            let n = ctx.neighbors(q.u)?;
-            let sample: Vec<VertexId> = n.iter().copied().take(TRIANGLE_CAP).collect();
-            let pendings: Vec<PendingSub> = sample
+            // One shared, reference-counted neighbor list: every shard's
+            // intersection sub-query borrows the same allocation instead of
+            // cloning the full list per target (and scatter coalesces the
+            // per-shard sub-queries into batches).
+            let n: Arc<[VertexId]> = ctx.neighbors(q.u)?.into();
+            let items: Vec<(usize, SubQuery)> = n
                 .iter()
-                .map(|&w| ctx.send(ctx.shard_of(w), SubQuery::CountIntersect(w, n.clone())))
+                .take(TRIANGLE_CAP)
+                .map(|&w| (ctx.shard_of(w), SubQuery::CountIntersect(w, Arc::clone(&n))))
                 .collect();
             let mut total = 0u64;
-            for resp in ctx.wait_all(pendings)? {
+            for resp in ctx.scatter(items)? {
                 match resp {
                     SubResponse::Count(c) => total += c,
                     _ => return Err(PlanError::ShardFailed),
@@ -751,20 +923,18 @@ fn execute_plan(ctx: &PlanCtx<'_>, q: Query) -> Result<u64, PlanError> {
             nv.truncate(COMMON_CAP);
             let mut network_u: HashSet<VertexId> = HashSet::with_capacity(2048);
             if !nu.is_empty() {
-                for list in ctx.neighbors_many(&nu)? {
-                    network_u.extend(list);
-                }
+                ctx.neighbors_many(&nu, |list| network_u.extend(list.iter().copied()))?;
             }
             let mut overlap = 0u64;
             let mut network_v: HashSet<VertexId> = HashSet::with_capacity(2048);
             if !nv.is_empty() {
-                for list in ctx.neighbors_many(&nv)? {
-                    for w in list {
+                ctx.neighbors_many(&nv, |list| {
+                    for &w in list {
                         if network_v.insert(w) && network_u.contains(&w) {
                             overlap += 1;
                         }
                     }
-                }
+                })?;
             }
             Ok(overlap)
         }
@@ -790,17 +960,24 @@ fn bfs_distance(
     let mut frontier = vec![from];
     for hop in 1..=max_hops {
         frontier.truncate(frontier_cap);
-        let lists = ctx.neighbors_many(&frontier)?;
         let mut next = Vec::with_capacity(1024);
-        for list in lists {
-            for w in list {
+        let mut found = false;
+        ctx.neighbors_many(&frontier, |list| {
+            if found {
+                return;
+            }
+            for &w in list {
                 if w == to {
-                    return Ok(hop as u64);
+                    found = true;
+                    return;
                 }
                 if visited.insert(w) {
                     next.push(w);
                 }
             }
+        })?;
+        if found {
+            return Ok(hop as u64);
         }
         if next.is_empty() {
             break;

@@ -23,8 +23,8 @@ use parking_lot::Mutex;
 use crate::broker::{Broker, ClientOutcome};
 use crate::query::Query;
 use crate::wire::{
-    decode_query, decode_query_reply, encode_query, encode_query_reply, read_frame, write_frame,
-    Status,
+    begin_frame, decode_query, decode_query_reply, encode_query_into, encode_query_reply_into,
+    end_frame, read_frame_into, BufferPool, Status,
 };
 
 /// Serves a broker over TCP.
@@ -79,11 +79,12 @@ fn spawn_connection(broker: Arc<Broker>, stream: TcpStream) {
 
     std::thread::spawn(move || {
         let tracer = broker.tracer().cloned();
-        while let Ok(frame) = read_frame(&mut read_half) {
+        let mut scratch = Vec::new();
+        while let Ok(n) = read_frame_into(&mut read_half, &mut scratch) {
             // Stamp before decoding so the front-dispatch span covers the
             // decode itself; the clock read only happens when tracing.
             let t0 = tracer.as_ref().map(|_| broker.clock().now());
-            match decode_query(frame) {
+            match decode_query(&scratch[..n]) {
                 Ok((id, query, ctx)) => {
                     let ctx = match (&tracer, ctx) {
                         // A sampled incoming context: record this hop and
@@ -116,6 +117,9 @@ fn spawn_connection(broker: Arc<Broker>, stream: TcpStream) {
 
     let mut write_half = stream;
     std::thread::spawn(move || {
+        // One reusable frame buffer: replies are fixed-size, so this loop
+        // stops allocating after the first reply.
+        let mut frame = Vec::new();
         for (id, outcome_rx) in rx.iter() {
             let (status, value) = match outcome_rx.recv() {
                 Ok(ClientOutcome::Ok(v)) => (Status::Ok, v),
@@ -126,8 +130,11 @@ fn spawn_connection(broker: Arc<Broker>, stream: TcpStream) {
                     (Status::Error, 0)
                 }
             };
-            let frame = encode_query_reply(id, status, value);
-            if write_frame(&mut write_half, &frame).is_err() || write_half.flush().is_err() {
+            frame.clear();
+            let start = begin_frame(&mut frame);
+            encode_query_reply_into(&mut frame, id, status, value);
+            end_frame(&mut frame, start);
+            if write_half.write_all(&frame).is_err() || write_half.flush().is_err() {
                 break;
             }
         }
@@ -170,6 +177,8 @@ pub struct TcpBrokerClient {
     next_conn: AtomicUsize,
     next_id: AtomicU64,
     trace: Option<TraceHandles>,
+    /// Recycled encode buffers for submitter threads (see [`BufferPool`]).
+    pool: Arc<BufferPool>,
 }
 
 impl TcpBrokerClient {
@@ -206,8 +215,9 @@ impl TcpBrokerClient {
             let reader_pending = Arc::clone(&pending);
             let reader_trace = trace.clone();
             std::thread::spawn(move || {
-                while let Ok(frame) = read_frame(&mut read_half) {
-                    let Ok((id, status, value)) = decode_query_reply(frame) else {
+                let mut scratch = Vec::new();
+                while let Ok(n) = read_frame_into(&mut read_half, &mut scratch) {
+                    let Ok((id, status, value)) = decode_query_reply(&scratch[..n]) else {
                         break;
                     };
                     let Some((tx, span)) = reader_pending.lock().remove(&id) else {
@@ -237,6 +247,7 @@ impl TcpBrokerClient {
             next_conn: AtomicUsize::new(0),
             next_id: AtomicU64::new(1),
             trace,
+            pool: BufferPool::for_transport(),
         })
     }
 
@@ -257,9 +268,12 @@ impl TcpBrokerClient {
             parent,
             sampled: true,
         });
-        let frame = encode_query(id, &query, ctx.as_ref());
+        let mut frame = self.pool.get();
+        let start = begin_frame(&mut frame);
+        encode_query_into(&mut frame, id, &query, ctx.as_ref());
+        end_frame(&mut frame, start);
         let mut writer = conn.writer.lock();
-        let result = write_frame(&mut *writer, &frame).and_then(|_| writer.flush());
+        let result = writer.write_all(&frame).and_then(|_| writer.flush());
         drop(writer);
         if result.is_err() {
             if let Some((tx, span)) = conn.pending.lock().remove(&id) {

@@ -7,6 +7,8 @@
 //! as graph-query templates whose cost grows with fan-out and round count —
 //! from a single degree lookup (QT1) to a four-hop distance search (QT11).
 
+use std::sync::Arc;
+
 use rand::{Rng, RngExt};
 
 use crate::graph::VertexId;
@@ -120,6 +122,10 @@ pub struct QueryResult {
 
 /// A sub-query a broker sends to one shard. Batched forms (`*Many`) carry
 /// every vertex of the round's frontier owned by that shard.
+///
+/// List payloads are `Arc<[VertexId]>` so a fan-out that sends the same
+/// read-only list to several shards (QT8's neighbor list, the BFS
+/// frontiers) shares one allocation instead of cloning a `Vec` per target.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubQuery {
     /// Neighbors of one vertex.
@@ -129,11 +135,11 @@ pub enum SubQuery {
     /// Does the edge `(u, v)` exist? (Sent to `u`'s owner.)
     HasEdge(VertexId, VertexId),
     /// Neighbors of several owned vertices.
-    NeighborsMany(Vec<VertexId>),
+    NeighborsMany(Arc<[VertexId]>),
     /// Degrees of several owned vertices.
-    DegreeMany(Vec<VertexId>),
+    DegreeMany(Arc<[VertexId]>),
     /// `|neighbors(v) ∩ ids|` with `ids` sorted ascending.
-    CountIntersect(VertexId, Vec<VertexId>),
+    CountIntersect(VertexId, Arc<[VertexId]>),
 }
 
 impl SubQuery {
@@ -147,13 +153,91 @@ impl SubQuery {
     }
 }
 
+/// A flattened list-of-lists: every id in one contiguous buffer plus one
+/// end offset per list, so a round's N neighbor lists cost two allocations
+/// instead of N+1. Lists keep their push order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdLists {
+    /// Exclusive end offset of each list within `ids`.
+    ends: Vec<u32>,
+    /// All lists, concatenated.
+    ids: Vec<VertexId>,
+}
+
+impl IdLists {
+    /// An empty collection with room for `lists` lists totalling `ids` ids.
+    pub fn with_capacity(lists: usize, ids: usize) -> Self {
+        Self {
+            ends: Vec::with_capacity(lists),
+            ids: Vec::with_capacity(ids),
+        }
+    }
+
+    /// Number of lists.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// `true` when no list has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Total ids across all lists.
+    pub fn total_ids(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Appends one list.
+    pub fn push(&mut self, list: &[VertexId]) {
+        self.ids.extend_from_slice(list);
+        self.ends.push(self.ids.len() as u32);
+    }
+
+    /// Appends one id to the list currently being built; the list is not
+    /// visible until sealed with [`IdLists::seal_list`]. Decoders use this
+    /// to build lists element-by-element without a staging `Vec`.
+    pub fn push_id(&mut self, id: VertexId) {
+        self.ids.push(id);
+    }
+
+    /// Seals the ids appended via [`IdLists::push_id`] since the previous
+    /// seal (or construction) into one list.
+    pub fn seal_list(&mut self) {
+        self.ends.push(self.ids.len() as u32);
+    }
+
+    /// The `i`-th list, in push order.
+    pub fn get(&self, i: usize) -> Option<&[VertexId]> {
+        let end = *self.ends.get(i)? as usize;
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        self.ids.get(start..end)
+    }
+
+    /// Iterates the lists in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &[VertexId]> {
+        (0..self.len()).map(|i| self.get(i).unwrap_or(&[]))
+    }
+}
+
+impl<S: AsRef<[VertexId]>> FromIterator<S> for IdLists {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Self {
+        let mut out = IdLists::default();
+        for list in iter {
+            out.push(list.as_ref());
+        }
+        out
+    }
+}
+
 /// A shard's answer to a [`SubQuery`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubResponse {
     /// A single neighbor list.
     Ids(Vec<VertexId>),
-    /// One list per requested vertex, in request order.
-    IdLists(Vec<Vec<VertexId>>),
+    /// One list per requested vertex, in request order (flattened — see
+    /// [`IdLists`]).
+    IdLists(IdLists),
     /// Degrees, in request order.
     Counts(Vec<u32>),
     /// A scalar count.
@@ -191,7 +275,26 @@ mod tests {
     #[test]
     fn batch_len_reflects_fanout() {
         assert_eq!(SubQuery::Neighbors(1).batch_len(), 1);
-        assert_eq!(SubQuery::NeighborsMany(vec![1, 2, 3]).batch_len(), 3);
-        assert_eq!(SubQuery::CountIntersect(1, vec![1, 2]).batch_len(), 2);
+        assert_eq!(SubQuery::NeighborsMany(vec![1, 2, 3].into()).batch_len(), 3);
+        assert_eq!(SubQuery::CountIntersect(1, vec![1, 2].into()).batch_len(), 2);
+    }
+
+    #[test]
+    fn id_lists_flatten_and_index() {
+        let mut lists = IdLists::with_capacity(3, 8);
+        assert!(lists.is_empty());
+        lists.push(&[1, 2, 3]);
+        lists.push(&[]);
+        lists.push(&[9]);
+        assert_eq!(lists.len(), 3);
+        assert_eq!(lists.total_ids(), 4);
+        assert_eq!(lists.get(0), Some(&[1, 2, 3][..]));
+        assert_eq!(lists.get(1), Some(&[][..]));
+        assert_eq!(lists.get(2), Some(&[9][..]));
+        assert_eq!(lists.get(3), None);
+        let collected: Vec<&[u32]> = lists.iter().collect();
+        assert_eq!(collected, vec![&[1, 2, 3][..], &[][..], &[9][..]]);
+        let from_iter: IdLists = [vec![1u32, 2, 3], vec![], vec![9]].into_iter().collect();
+        assert_eq!(from_iter, lists);
     }
 }

@@ -20,7 +20,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::graph::ShardData;
-use crate::query::{SubQuery, SubResponse};
+use crate::query::{IdLists, SubQuery, SubResponse};
 
 /// Outcome of a sub-query as observed by the calling broker.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,11 +33,38 @@ pub enum SubOutcome {
     Error,
 }
 
-struct Job {
-    sub: SubQuery,
-    reply: Sender<SubOutcome>,
-    /// Trace context of the parent sub-query span, when the query is traced.
-    ctx: Option<TraceContext>,
+/// A unit of admitted work: one sub-query, or a round's whole batch from
+/// one broker. A batch is one gate offer (one admission decision, one FIFO
+/// entry) and one reply send, so fan-out cost no longer scales channel
+/// allocations with the number of sub-queries.
+enum Job {
+    Single {
+        sub: SubQuery,
+        reply: Sender<SubOutcome>,
+        /// Trace context of the parent sub-query span, when traced.
+        ctx: Option<TraceContext>,
+    },
+    Batch {
+        subs: Vec<SubQuery>,
+        reply: Sender<Vec<SubOutcome>>,
+        /// Trace context of the parent (per-shard) sub-query span.
+        ctx: Option<TraceContext>,
+    },
+}
+
+impl Job {
+    /// Delivers the admission-rejection outcome (the early error response
+    /// of §2): per-item `Rejected` for a batch.
+    fn reject(self) {
+        match self {
+            Job::Single { reply, .. } => {
+                let _ = reply.send(SubOutcome::Rejected);
+            }
+            Job::Batch { subs, reply, .. } => {
+                let _ = reply.send(vec![SubOutcome::Rejected; subs.len()]);
+            }
+        }
+    }
 }
 
 /// Configuration for a shard host.
@@ -139,15 +166,40 @@ impl ShardHost {
         ctx: Option<TraceContext>,
     ) -> Receiver<SubOutcome> {
         let (tx, rx) = bounded(1);
-        if let Err((_reason, job)) = self.gate.offer(
-            DEFAULT_TYPE,
-            Job {
-                sub,
-                reply: tx.clone(),
-                ctx,
-            },
-        ) {
-            let _ = job.reply.send(SubOutcome::Rejected);
+        // The sender moves into the job — no per-sub-query clone; rejection
+        // replies through the job we get back.
+        if let Err((_reason, job)) = self
+            .gate
+            .offer(DEFAULT_TYPE, Job::Single { sub, reply: tx, ctx })
+        {
+            job.reject();
+        }
+        rx
+    }
+
+    /// Offers a round's sub-queries as **one** admission unit; the returned
+    /// channel yields one outcome per sub-query, in submission order. A
+    /// rejection rejects the whole batch and is delivered immediately. An
+    /// empty batch resolves immediately without touching the gate.
+    ///
+    /// When `ctx` is sampled, the serving engine emits a single
+    /// `shard_queue` / `shard_service` span pair for the whole batch,
+    /// parented under `ctx.parent` (the broker's per-shard sub-query span).
+    pub fn submit_batch(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+    ) -> Receiver<Vec<SubOutcome>> {
+        let (tx, rx) = bounded(1);
+        if subs.is_empty() {
+            let _ = tx.send(Vec::new());
+            return rx;
+        }
+        if let Err((_reason, job)) = self
+            .gate
+            .offer(DEFAULT_TYPE, Job::Batch { subs, reply: tx, ctx })
+        {
+            job.reject();
         }
         rx
     }
@@ -190,41 +242,72 @@ impl ShardHost {
 
 fn engine_loop(gate: &Gate<Job>, data: &ShardData, tracer: Option<&Tracer>) {
     let shard = data.shard() as u16;
+    // Eager span emission, before the reply, so the broker never finalizes
+    // a trace whose shard spans are still in flight. A batch gets one
+    // queue/service span pair, matching its one FIFO entry.
+    let emit_spans = |ctx: Option<TraceContext>, enqueued_at: u64, dequeued_at: u64| {
+        if let (Some(tracer), Some(ctx)) = (tracer, ctx) {
+            if ctx.sampled {
+                tracer.emit_span(
+                    ctx.trace,
+                    SpanKind::ShardQueue { shard },
+                    ctx.parent,
+                    enqueued_at,
+                    dequeued_at,
+                );
+                tracer.emit_span(
+                    ctx.trace,
+                    SpanKind::ShardService { shard },
+                    ctx.parent,
+                    dequeued_at,
+                    gate.clock().now(),
+                );
+            }
+        }
+    };
     loop {
         match gate.take(Some(Duration::from_millis(100))) {
             TakeOutcome::Query(admitted) => {
-                let outcome = match execute(data, &admitted.payload.sub) {
-                    Some(resp) => SubOutcome::Ok(resp),
-                    None => SubOutcome::Error,
-                };
-                gate.complete(admitted.ty, admitted.enqueued_at, admitted.dequeued_at);
-                // Eager span emission, before the reply so the broker never
-                // finalizes a trace whose shard spans are still in flight.
-                if let (Some(tracer), Some(ctx)) = (tracer, admitted.payload.ctx) {
-                    if ctx.sampled {
-                        tracer.emit_span(
-                            ctx.trace,
-                            SpanKind::ShardQueue { shard },
-                            ctx.parent,
-                            admitted.enqueued_at,
-                            admitted.dequeued_at,
-                        );
-                        tracer.emit_span(
-                            ctx.trace,
-                            SpanKind::ShardService { shard },
-                            ctx.parent,
-                            admitted.dequeued_at,
-                            gate.clock().now(),
-                        );
+                let (ty, enqueued_at, dequeued_at) =
+                    (admitted.ty, admitted.enqueued_at, admitted.dequeued_at);
+                match admitted.payload {
+                    Job::Single { sub, reply, ctx } => {
+                        let outcome = match execute(data, &sub) {
+                            Some(resp) => SubOutcome::Ok(resp),
+                            None => SubOutcome::Error,
+                        };
+                        gate.complete(ty, enqueued_at, dequeued_at);
+                        emit_spans(ctx, enqueued_at, dequeued_at);
+                        let _ = reply.send(outcome);
+                    }
+                    Job::Batch { subs, reply, ctx } => {
+                        // Items run sequentially in submission order, as if
+                        // submitted back-to-back to an idle FIFO.
+                        let outcomes: Vec<SubOutcome> = subs
+                            .iter()
+                            .map(|sub| match execute(data, sub) {
+                                Some(resp) => SubOutcome::Ok(resp),
+                                None => SubOutcome::Error,
+                            })
+                            .collect();
+                        gate.complete(ty, enqueued_at, dequeued_at);
+                        emit_spans(ctx, enqueued_at, dequeued_at);
+                        let _ = reply.send(outcomes);
                     }
                 }
-                let _ = admitted.payload.reply.send(outcome);
             }
             TakeOutcome::Expired(admitted) => {
                 // Shards do not currently set sub-query deadlines; if one
                 // arrives expired, answer with an error rather than waste
                 // engine time on it.
-                let _ = admitted.payload.reply.send(SubOutcome::Error);
+                match admitted.payload {
+                    Job::Single { reply, .. } => {
+                        let _ = reply.send(SubOutcome::Error);
+                    }
+                    Job::Batch { subs, reply, .. } => {
+                        let _ = reply.send(vec![SubOutcome::Error; subs.len()]);
+                    }
+                }
             }
             TakeOutcome::TimedOut => {}
             TakeOutcome::Closed => return,
@@ -244,15 +327,17 @@ fn execute(data: &ShardData, sub: &SubQuery) -> Option<SubResponse> {
             .neighbors(*u)
             .map(|l| SubResponse::Flag(l.binary_search(v).is_ok())),
         SubQuery::NeighborsMany(vs) => {
-            let mut lists = Vec::with_capacity(vs.len());
-            for v in vs {
-                lists.push(data.neighbors(*v)?.to_vec());
+            // Flattened response: two allocations for the whole frontier
+            // slice instead of one `Vec` per vertex.
+            let mut lists = IdLists::with_capacity(vs.len(), vs.len() * 4);
+            for v in vs.iter() {
+                lists.push(data.neighbors(*v)?);
             }
             Some(SubResponse::IdLists(lists))
         }
         SubQuery::DegreeMany(vs) => {
             let mut counts = Vec::with_capacity(vs.len());
-            for v in vs {
+            for v in vs.iter() {
                 counts.push(data.neighbors(*v)?.len() as u32);
             }
             Some(SubResponse::Counts(counts))
@@ -330,10 +415,11 @@ mod tests {
     fn batched_subqueries_preserve_order() {
         let (g, host) = spawn_shard(1, 2);
         let vs = vec![1, 3, 5, 7];
-        let rx = host.submit(SubQuery::NeighborsMany(vs.clone()));
+        let rx = host.submit(SubQuery::NeighborsMany(vs.clone().into()));
         match rx.recv().unwrap() {
             SubOutcome::Ok(SubResponse::IdLists(lists)) => {
-                for (v, l) in vs.iter().zip(&lists) {
+                assert_eq!(lists.len(), vs.len());
+                for (v, l) in vs.iter().zip(lists.iter()) {
                     assert_eq!(l, g.neighbors(*v));
                 }
             }
@@ -343,12 +429,67 @@ mod tests {
     }
 
     #[test]
+    fn batch_submission_yields_per_item_outcomes_in_order() {
+        let (g, host) = spawn_shard(0, 2);
+        let subs = vec![
+            SubQuery::Degree(4),
+            SubQuery::Neighbors(3), // unowned (odd -> shard 1): Error slot
+            SubQuery::HasEdge(4, g.neighbors(4)[0]),
+            SubQuery::Neighbors(6),
+        ];
+        let outcomes = host.submit_batch(subs, None).recv().unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0], SubOutcome::Ok(SubResponse::Count(g.degree(4) as u64)));
+        assert_eq!(outcomes[1], SubOutcome::Error);
+        assert_eq!(outcomes[2], SubOutcome::Ok(SubResponse::Flag(true)));
+        assert_eq!(
+            outcomes[3],
+            SubOutcome::Ok(SubResponse::Ids(g.neighbors(6).to_vec()))
+        );
+        // An empty batch resolves immediately.
+        assert_eq!(host.submit_batch(Vec::new(), None).recv().unwrap(), Vec::new());
+        host.shutdown();
+    }
+
+    #[test]
+    fn rejected_batch_rejects_every_item() {
+        let g = graph();
+        let host = ShardHost::spawn(
+            g.shard_slice(0, 1),
+            Arc::new(MaxQueueLength::new(1)),
+            Arc::new(MonotonicClock::new()),
+            ShardConfig {
+                engines: 1,
+                ..ShardConfig::default()
+            },
+        );
+        // Saturate the single engine so later batches hit the queue limit.
+        let receivers: Vec<_> = (0..64)
+            .map(|_| host.submit_batch(vec![SubQuery::NeighborsMany((0..1000).collect()); 4], None))
+            .collect();
+        let outcomes: Vec<Vec<SubOutcome>> =
+            receivers.into_iter().map(|rx| rx.recv().unwrap()).collect();
+        assert!(outcomes
+            .iter()
+            .any(|os| os.iter().all(|o| *o == SubOutcome::Rejected)));
+        assert!(outcomes
+            .iter()
+            .any(|os| os.iter().all(|o| matches!(o, SubOutcome::Ok(_)))));
+        // No partial batches: rejection is all-or-nothing.
+        assert!(outcomes
+            .iter()
+            .all(|os| !os.contains(&SubOutcome::Rejected)
+                || os.iter().all(|o| *o == SubOutcome::Rejected)));
+        host.shutdown();
+    }
+
+    #[test]
     fn count_intersect_matches_bruteforce() {
         let (g, host) = spawn_shard(0, 1);
         let v = 10;
         let ids: Vec<u32> = (0..500).collect();
         let expected = g.neighbors(v).iter().filter(|n| **n < 500).count() as u64;
-        let rx = host.submit(SubQuery::CountIntersect(v, ids));
+        let rx = host.submit(SubQuery::CountIntersect(v, ids.into()));
         assert_eq!(rx.recv().unwrap(), SubOutcome::Ok(SubResponse::Count(expected)));
         host.shutdown();
     }

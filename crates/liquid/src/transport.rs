@@ -4,6 +4,15 @@
 //! kernel in the measurement path); the TCP transport exercises the same
 //! code over real sockets with length-prefixed frames and correlation-id
 //! multiplexing, for deployments where hosts are separate processes.
+//!
+//! Both transports carry single sub-queries **and** per-shard batches
+//! ([`ShardClient::submit_batch`]): a round's sub-queries to one shard
+//! travel as one frame, land as one admission unit, and come back as one
+//! batched reply — one reply channel, one frame write, one frame read,
+//! however wide the fan-out. Frame encoding recycles buffers through a
+//! bounded [`BufferPool`] (client side, arbitrary submitter threads) or a
+//! per-thread scratch vec (server loops), and every frame is staged with
+//! [`begin_frame`]/[`end_frame`] so it goes out in a single `write_all`.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -18,8 +27,9 @@ use parking_lot::Mutex;
 use crate::query::SubQuery;
 use crate::shard::{ShardHost, SubOutcome};
 use crate::wire::{
-    decode_subquery, decode_subreply, encode_subquery, encode_subreply, read_frame, write_frame,
-    Status,
+    begin_frame, decode_subreply_any, decode_subrequest, encode_subquery_batch_into,
+    encode_subquery_into, encode_subreply_batch_into, encode_subreply_into, end_frame,
+    read_frame_into, BufferPool, Status, SubReplyBody, SubRequest,
 };
 
 /// A handle a broker uses to reach one shard.
@@ -28,6 +38,15 @@ pub trait ShardClient: Send + Sync {
     /// optional trace context rides along — by value in process, as the
     /// versioned trailing wire field over TCP.
     fn submit(&self, sub: SubQuery, ctx: Option<TraceContext>) -> Receiver<SubOutcome>;
+
+    /// Offers a round's sub-queries to this shard as **one** admission
+    /// unit; the returned channel yields one outcome per sub-query, in
+    /// submission order. An admission rejection rejects the whole batch.
+    fn submit_batch(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+    ) -> Receiver<Vec<SubOutcome>>;
 }
 
 /// Same-process transport: calls into the shard host directly.
@@ -45,6 +64,14 @@ impl InProcShardClient {
 impl ShardClient for InProcShardClient {
     fn submit(&self, sub: SubQuery, ctx: Option<TraceContext>) -> Receiver<SubOutcome> {
         self.host.submit_traced(sub, ctx)
+    }
+
+    fn submit_batch(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+    ) -> Receiver<Vec<SubOutcome>> {
+        self.host.submit_batch(subs, ctx)
     }
 }
 
@@ -92,25 +119,42 @@ impl TcpShardServer {
     }
 }
 
+/// A reply the responder thread still has to write, in submission order.
+enum PendingReply {
+    Single(u64, Receiver<SubOutcome>),
+    Batch(u64, usize, Receiver<Vec<SubOutcome>>),
+}
+
 /// One connection: a reader that decodes requests and submits them, and a
 /// responder that writes outcomes back in submission order. Responses are
 /// therefore delivered in request order per connection — acceptable because
 /// the shard's own FIFO queue completes them in roughly that order anyway.
+///
+/// Each loop thread owns one scratch buffer, so the steady-state read and
+/// write paths stop allocating once the buffers reach the connection's
+/// working frame size.
 fn spawn_connection(host: Arc<ShardHost>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let mut read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    type PendingReply = (u64, Receiver<SubOutcome>);
     let (tx, rx): (Sender<PendingReply>, Receiver<PendingReply>) = unbounded();
 
     std::thread::spawn(move || {
-        while let Ok(frame) = read_frame(&mut read_half) {
-            match decode_subquery(frame) {
-                Ok((id, sub, ctx)) => {
+        let mut scratch = Vec::new();
+        while let Ok(n) = read_frame_into(&mut read_half, &mut scratch) {
+            match decode_subrequest(&scratch[..n]) {
+                Ok((id, SubRequest::Single(sub), ctx)) => {
                     let outcome_rx = host.submit_traced(sub, ctx);
-                    if tx.send((id, outcome_rx)).is_err() {
+                    if tx.send(PendingReply::Single(id, outcome_rx)).is_err() {
+                        break;
+                    }
+                }
+                Ok((id, SubRequest::Batch(subs), ctx)) => {
+                    let len = subs.len();
+                    let outcome_rx = host.submit_batch(subs, ctx);
+                    if tx.send(PendingReply::Batch(id, len, outcome_rx)).is_err() {
                         break;
                     }
                 }
@@ -121,14 +165,28 @@ fn spawn_connection(host: Arc<ShardHost>, stream: TcpStream) {
 
     let mut write_half = stream;
     std::thread::spawn(move || {
-        for (id, outcome_rx) in rx.iter() {
-            let (status, resp) = match outcome_rx.recv() {
-                Ok(SubOutcome::Ok(resp)) => (Status::Ok, Some(resp)),
-                Ok(SubOutcome::Rejected) => (Status::Rejected, None),
-                Ok(SubOutcome::Error) | Err(_) => (Status::Error, None),
-            };
-            let frame = encode_subreply(id, status, resp.as_ref());
-            if write_frame(&mut write_half, &frame).is_err() {
+        let mut frame = Vec::new();
+        for pending in rx.iter() {
+            frame.clear();
+            let start = begin_frame(&mut frame);
+            match pending {
+                PendingReply::Single(id, outcome_rx) => {
+                    let (status, resp) = match outcome_rx.recv() {
+                        Ok(SubOutcome::Ok(resp)) => (Status::Ok, Some(resp)),
+                        Ok(SubOutcome::Rejected) => (Status::Rejected, None),
+                        Ok(SubOutcome::Error) | Err(_) => (Status::Error, None),
+                    };
+                    encode_subreply_into(&mut frame, id, status, resp.as_ref());
+                }
+                PendingReply::Batch(id, len, outcome_rx) => {
+                    let outcomes = outcome_rx
+                        .recv()
+                        .unwrap_or_else(|_| vec![SubOutcome::Error; len]);
+                    encode_subreply_batch_into(&mut frame, id, &outcomes);
+                }
+            }
+            end_frame(&mut frame, start);
+            if write_half.write_all(&frame).is_err() {
                 break;
             }
             if write_half.flush().is_err() {
@@ -138,7 +196,27 @@ fn spawn_connection(host: Arc<ShardHost>, stream: TcpStream) {
     });
 }
 
-type Pending = Arc<Mutex<HashMap<u64, Sender<SubOutcome>>>>;
+/// A reply channel waiting on a correlation id; batches remember their
+/// width so a dying connection can fail every item.
+enum PendingTx {
+    Single(Sender<SubOutcome>),
+    Batch(Sender<Vec<SubOutcome>>, usize),
+}
+
+impl PendingTx {
+    fn fail(self) {
+        match self {
+            PendingTx::Single(tx) => {
+                let _ = tx.send(SubOutcome::Error);
+            }
+            PendingTx::Batch(tx, n) => {
+                let _ = tx.send(vec![SubOutcome::Error; n]);
+            }
+        }
+    }
+}
+
+type Pending = Arc<Mutex<HashMap<u64, PendingTx>>>;
 
 struct TcpConn {
     writer: Mutex<TcpStream>,
@@ -151,6 +229,8 @@ pub struct TcpShardClient {
     conns: Vec<TcpConn>,
     next_conn: AtomicUsize,
     next_id: AtomicU64,
+    /// Recycled encode buffers for submitter threads (see [`BufferPool`]).
+    pool: Arc<BufferPool>,
 }
 
 impl TcpShardClient {
@@ -165,23 +245,34 @@ impl TcpShardClient {
             let mut read_half = stream.try_clone()?;
             let reader_pending = Arc::clone(&pending);
             std::thread::spawn(move || {
-                while let Ok(frame) = read_frame(&mut read_half) {
-                    let Ok((id, status, resp)) = decode_subreply(frame) else {
+                let mut scratch = Vec::new();
+                while let Ok(n) = read_frame_into(&mut read_half, &mut scratch) {
+                    let Ok((id, body)) = decode_subreply_any(&scratch[..n]) else {
                         break;
                     };
                     let Some(tx) = reader_pending.lock().remove(&id) else {
                         continue;
                     };
-                    let outcome = match (status, resp) {
-                        (Status::Ok, Some(resp)) => SubOutcome::Ok(resp),
-                        (Status::Rejected, _) => SubOutcome::Rejected,
-                        _ => SubOutcome::Error,
-                    };
-                    let _ = tx.send(outcome);
+                    match (tx, body) {
+                        (PendingTx::Single(tx), SubReplyBody::Single(status, resp)) => {
+                            let outcome = match (status, resp) {
+                                (Status::Ok, Some(resp)) => SubOutcome::Ok(resp),
+                                (Status::Rejected, _) => SubOutcome::Rejected,
+                                _ => SubOutcome::Error,
+                            };
+                            let _ = tx.send(outcome);
+                        }
+                        (PendingTx::Batch(tx, _), SubReplyBody::Batch(outcomes)) => {
+                            let _ = tx.send(outcomes);
+                        }
+                        // Envelope shape does not match what we sent:
+                        // protocol violation, fail the waiter.
+                        (tx, _) => tx.fail(),
+                    }
                 }
                 // Connection gone: fail everything still pending.
                 for (_, tx) in reader_pending.lock().drain() {
-                    let _ = tx.send(SubOutcome::Error);
+                    tx.fail();
                 }
             });
             conns.push(TcpConn {
@@ -193,7 +284,25 @@ impl TcpShardClient {
             conns,
             next_conn: AtomicUsize::new(0),
             next_id: AtomicU64::new(1),
+            pool: BufferPool::for_transport(),
         })
+    }
+
+    /// Registers a waiter, writes one staged frame, and unwinds the waiter
+    /// on a failed write.
+    fn send_frame(&self, id: u64, conn: &TcpConn, frame: &[u8]) {
+        let mut writer = conn.writer.lock();
+        let write_result = writer.write_all(frame).and_then(|_| writer.flush());
+        drop(writer);
+        if write_result.is_err() {
+            if let Some(tx) = conn.pending.lock().remove(&id) {
+                tx.fail();
+            }
+        }
+    }
+
+    fn next_conn(&self) -> &TcpConn {
+        &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()]
     }
 }
 
@@ -201,18 +310,36 @@ impl ShardClient for TcpShardClient {
     fn submit(&self, sub: SubQuery, ctx: Option<TraceContext>) -> Receiver<SubOutcome> {
         let (tx, rx) = bounded(1);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let conn =
-            &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()];
-        conn.pending.lock().insert(id, tx);
-        let frame = encode_subquery(id, &sub, ctx.as_ref());
-        let mut writer = conn.writer.lock();
-        let write_result = write_frame(&mut *writer, &frame).and_then(|_| writer.flush());
-        drop(writer);
-        if write_result.is_err() {
-            if let Some(tx) = conn.pending.lock().remove(&id) {
-                let _ = tx.send(SubOutcome::Error);
-            }
+        let conn = self.next_conn();
+        conn.pending.lock().insert(id, PendingTx::Single(tx));
+        let mut frame = self.pool.get();
+        let start = begin_frame(&mut frame);
+        encode_subquery_into(&mut frame, id, &sub, ctx.as_ref());
+        end_frame(&mut frame, start);
+        self.send_frame(id, conn, &frame);
+        rx
+    }
+
+    fn submit_batch(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+    ) -> Receiver<Vec<SubOutcome>> {
+        let (tx, rx) = bounded(1);
+        if subs.is_empty() {
+            let _ = tx.send(Vec::new());
+            return rx;
         }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let conn = self.next_conn();
+        conn.pending
+            .lock()
+            .insert(id, PendingTx::Batch(tx, subs.len()));
+        let mut frame = self.pool.get();
+        let start = begin_frame(&mut frame);
+        encode_subquery_batch_into(&mut frame, id, &subs, ctx.as_ref());
+        end_frame(&mut frame, start);
+        self.send_frame(id, conn, &frame);
         rx
     }
 }
@@ -280,13 +407,43 @@ mod tests {
         let server = TcpShardServer::serve(Arc::clone(&host), "127.0.0.1:0").unwrap();
         let client = TcpShardClient::connect(server.addr(), 1).unwrap();
         let vs: Vec<u32> = (0..500).collect();
-        let rx = client.submit(SubQuery::NeighborsMany(vs.clone()), None);
+        let rx = client.submit(SubQuery::NeighborsMany(vs.into()), None);
         match rx.recv().unwrap() {
             SubOutcome::Ok(SubResponse::IdLists(lists)) => {
                 assert_eq!(lists.len(), 500);
-                assert_eq!(lists[42], g.neighbors(42));
+                assert_eq!(lists.get(42).unwrap(), g.neighbors(42));
             }
             other => panic!("{other:?}"),
+        }
+        server.stop();
+        host.shutdown();
+    }
+
+    #[test]
+    fn batch_round_trips_match_singles_on_both_transports() {
+        let (g, host) = test_host();
+        let server = TcpShardServer::serve(Arc::clone(&host), "127.0.0.1:0").unwrap();
+        let tcp = TcpShardClient::connect(server.addr(), 2).unwrap();
+        let inproc = InProcShardClient::new(Arc::clone(&host));
+        let clients: [&dyn ShardClient; 2] = [&inproc, &tcp];
+
+        let subs = vec![
+            SubQuery::Degree(5),
+            SubQuery::Neighbors(6),
+            SubQuery::HasEdge(5, g.neighbors(5)[0]),
+            SubQuery::DegreeMany(vec![1, 2, 3].into()),
+            SubQuery::CountIntersect(7, (0..100).collect()),
+        ];
+        for client in clients {
+            // The batched outcomes must equal the item-by-item outcomes.
+            let singles: Vec<SubOutcome> = subs
+                .iter()
+                .map(|s| client.submit(s.clone(), None).recv().unwrap())
+                .collect();
+            let batched = client.submit_batch(subs.clone(), None).recv().unwrap();
+            assert_eq!(batched, singles);
+            // Empty batches resolve immediately.
+            assert_eq!(client.submit_batch(Vec::new(), None).recv().unwrap(), Vec::new());
         }
         server.stop();
         host.shutdown();

@@ -13,11 +13,37 @@
 //! sub-queries; correlation ids let one connection multiplex many in-flight
 //! requests (responses may arrive out of order).
 //!
+//! # Batched sub-queries
+//!
+//! All sub-queries a broker round sends to one shard travel as a single
+//! batch envelope (request tag [`TAG_SUBQUERY_BATCH`]) answered by a single
+//! batch reply (reply tag [`TAG_SUBREPLY_BATCH`]):
+//!
+//! ```text
+//! batch_req  := u64 id, u8 6, u32 count, count × (u8 tag, body), [trace_ctx]
+//! batch_rep  := u64 id, u8 status, u8 5, u32 count,
+//!               count × (u8 status, body-if-ok)
+//! ```
+//!
+//! Per-item bodies reuse the single-message encodings, so a batch of one is
+//! byte-for-byte the single body plus the 5-byte batch header.
+//!
+//! # Allocation-lean encode/decode
+//!
+//! Every encoder has a `*_into` form that appends to a caller-owned
+//! `Vec<u8>`; [`begin_frame`]/[`end_frame`] reserve and patch the length
+//! prefix in the same buffer so a whole frame goes out in **one**
+//! `write_all`. Transports recycle those buffers through a bounded
+//! [`BufferPool`] (or a per-thread scratch vec), making steady-state frame
+//! encoding allocation-free. Decoders are generic over [`Buf`], so the read
+//! path parses borrowed `&[u8]` scratch without copying into a fresh
+//! [`Bytes`] first.
+//!
 //! # Trace context
 //!
-//! Request envelopes (queries and sub-queries) may carry a **versioned
-//! trailing trace-context field** so distributed traces survive the TCP
-//! boundary:
+//! Request envelopes (queries and sub-queries, batched or not) may carry a
+//! **versioned trailing trace-context field** so distributed traces survive
+//! the TCP boundary:
 //!
 //! ```text
 //! trace_ctx  := u8 version (=1), u64 trace, u64 parent, u8 flags (bit0 = sampled)
@@ -29,14 +55,24 @@
 //! `None` — the extension is backward- and forward-compatible. A present
 //! but unknown version (or a truncated context) is a [`DecodeError`].
 
+use std::sync::Arc;
+
 use bouncer_core::obs::{SpanId, TraceContext, TraceId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
+use parking_lot::Mutex;
 
 use crate::graph::VertexId;
-use crate::query::{Query, QueryKind, SubQuery, SubResponse};
+use crate::query::{IdLists, Query, QueryKind, SubQuery, SubResponse};
+use crate::shard::SubOutcome;
 
 /// Hard cap on frame payloads (guards against corrupt length prefixes).
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request tag marking a sub-query batch envelope.
+pub const TAG_SUBQUERY_BATCH: u8 = 6;
+
+/// Reply tag marking a batched sub-reply body.
+pub const TAG_SUBREPLY_BATCH: u8 = 5;
 
 /// Decode failure: malformed or truncated payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,7 +120,7 @@ impl Status {
 /// Wire version of the trailing trace-context field.
 const TRACE_CTX_VERSION: u8 = 1;
 
-fn put_trace_ctx(buf: &mut BytesMut, ctx: Option<&TraceContext>) {
+fn put_trace_ctx(buf: &mut Vec<u8>, ctx: Option<&TraceContext>) {
     if let Some(ctx) = ctx {
         buf.put_u8(TRACE_CTX_VERSION);
         buf.put_u64(ctx.trace.0);
@@ -93,7 +129,7 @@ fn put_trace_ctx(buf: &mut BytesMut, ctx: Option<&TraceContext>) {
     }
 }
 
-fn get_trace_ctx(buf: &mut Bytes) -> Result<Option<TraceContext>, DecodeError> {
+fn get_trace_ctx<B: Buf>(buf: &mut B) -> Result<Option<TraceContext>, DecodeError> {
     if buf.remaining() == 0 {
         return Ok(None);
     }
@@ -114,14 +150,14 @@ fn get_trace_ctx(buf: &mut Bytes) -> Result<Option<TraceContext>, DecodeError> {
     }))
 }
 
-fn put_ids(buf: &mut BytesMut, ids: &[VertexId]) {
+fn put_ids(buf: &mut Vec<u8>, ids: &[VertexId]) {
     buf.put_u32(ids.len() as u32);
     for &v in ids {
         buf.put_u32(v);
     }
 }
 
-fn get_ids(buf: &mut Bytes) -> Result<Vec<VertexId>, DecodeError> {
+fn get_ids<B: Buf>(buf: &mut B) -> Result<Vec<VertexId>, DecodeError> {
     if buf.remaining() < 4 {
         return Err(DecodeError("truncated id list length"));
     }
@@ -132,11 +168,10 @@ fn get_ids(buf: &mut Bytes) -> Result<Vec<VertexId>, DecodeError> {
     Ok((0..n).map(|_| buf.get_u32()).collect())
 }
 
-/// Encodes a sub-query request envelope, with an optional trailing trace
-/// context.
-pub fn encode_subquery(id: u64, sub: &SubQuery, ctx: Option<&TraceContext>) -> Bytes {
-    let mut buf = BytesMut::with_capacity(34 + 4 * sub.batch_len());
-    buf.put_u64(id);
+// ---------------------------------------------------------------------------
+// Sub-query requests
+
+fn put_subquery_body(buf: &mut Vec<u8>, sub: &SubQuery) {
     match sub {
         SubQuery::Neighbors(v) => {
             buf.put_u8(0);
@@ -153,125 +188,205 @@ pub fn encode_subquery(id: u64, sub: &SubQuery, ctx: Option<&TraceContext>) -> B
         }
         SubQuery::NeighborsMany(vs) => {
             buf.put_u8(3);
-            put_ids(&mut buf, vs);
+            put_ids(buf, vs);
         }
         SubQuery::DegreeMany(vs) => {
             buf.put_u8(4);
-            put_ids(&mut buf, vs);
+            put_ids(buf, vs);
         }
         SubQuery::CountIntersect(v, ids) => {
             buf.put_u8(5);
             buf.put_u32(*v);
-            put_ids(&mut buf, ids);
+            put_ids(buf, ids);
         }
     }
-    put_trace_ctx(&mut buf, ctx);
-    buf.freeze()
 }
 
-/// Decodes a sub-query request envelope (trailing trace context included,
-/// when present).
-pub fn decode_subquery(
-    mut buf: Bytes,
-) -> Result<(u64, SubQuery, Option<TraceContext>), DecodeError> {
+fn get_subquery_body<B: Buf>(buf: &mut B) -> Result<SubQuery, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError("truncated sub-query header"));
+    }
+    let tag = buf.get_u8();
+    decode_single_body(tag, buf)
+}
+
+/// Appends a single sub-query request envelope to `buf`, with an optional
+/// trailing trace context.
+pub fn encode_subquery_into(buf: &mut Vec<u8>, id: u64, sub: &SubQuery, ctx: Option<&TraceContext>) {
+    buf.reserve(34 + 4 * sub.batch_len());
+    buf.put_u64(id);
+    put_subquery_body(buf, sub);
+    put_trace_ctx(buf, ctx);
+}
+
+/// Appends a sub-query **batch** request envelope to `buf`: one
+/// correlation id, `subs.len()` bodies, one optional trailing trace
+/// context. The whole batch is one admission-control unit on the shard.
+pub fn encode_subquery_batch_into(
+    buf: &mut Vec<u8>,
+    id: u64,
+    subs: &[SubQuery],
+    ctx: Option<&TraceContext>,
+) {
+    buf.reserve(32 + subs.iter().map(|s| 9 + 4 * s.batch_len()).sum::<usize>());
+    buf.put_u64(id);
+    buf.put_u8(TAG_SUBQUERY_BATCH);
+    buf.put_u32(subs.len() as u32);
+    for sub in subs {
+        put_subquery_body(buf, sub);
+    }
+    put_trace_ctx(buf, ctx);
+}
+
+/// Encodes a sub-query request envelope, with an optional trailing trace
+/// context. Allocating wrapper around [`encode_subquery_into`].
+pub fn encode_subquery(id: u64, sub: &SubQuery, ctx: Option<&TraceContext>) -> Bytes {
+    let mut buf = Vec::new();
+    encode_subquery_into(&mut buf, id, sub, ctx);
+    Bytes::from(buf)
+}
+
+/// A decoded shard-bound request: a single sub-query or a whole batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubRequest {
+    /// One sub-query (request tags 0..=5).
+    Single(SubQuery),
+    /// A round's coalesced sub-queries (request tag [`TAG_SUBQUERY_BATCH`]).
+    Batch(Vec<SubQuery>),
+}
+
+/// Decodes a shard-bound request envelope, batched or single (trailing
+/// trace context included, when present).
+pub fn decode_subrequest<B: Buf>(
+    mut buf: B,
+) -> Result<(u64, SubRequest, Option<TraceContext>), DecodeError> {
     if buf.remaining() < 9 {
         return Err(DecodeError("truncated sub-query header"));
     }
     let id = buf.get_u64();
     let tag = buf.get_u8();
-    let need = |buf: &Bytes, n: usize| {
+    if tag == TAG_SUBQUERY_BATCH {
+        if buf.remaining() < 4 {
+            return Err(DecodeError("truncated batch count"));
+        }
+        let n = buf.get_u32() as usize;
+        if n > MAX_FRAME / 2 {
+            return Err(DecodeError("batch count exceeds frame bound"));
+        }
+        let mut subs = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            subs.push(get_subquery_body(&mut buf)?);
+        }
+        let ctx = get_trace_ctx(&mut buf)?;
+        return Ok((id, SubRequest::Batch(subs), ctx));
+    }
+    let sub = decode_single_body(tag, &mut buf)?;
+    let ctx = get_trace_ctx(&mut buf)?;
+    Ok((id, SubRequest::Single(sub), ctx))
+}
+
+/// Decodes one sub-query body whose tag byte has already been consumed.
+fn decode_single_body<B: Buf>(tag: u8, buf: &mut B) -> Result<SubQuery, DecodeError> {
+    let need = |buf: &B, n: usize| {
         if buf.remaining() < n {
             Err(DecodeError("truncated sub-query body"))
         } else {
             Ok(())
         }
     };
-    let sub = match tag {
+    Ok(match tag {
         0 => {
-            need(&buf, 4)?;
+            need(buf, 4)?;
             SubQuery::Neighbors(buf.get_u32())
         }
         1 => {
-            need(&buf, 4)?;
+            need(buf, 4)?;
             SubQuery::Degree(buf.get_u32())
         }
         2 => {
-            need(&buf, 8)?;
+            need(buf, 8)?;
             SubQuery::HasEdge(buf.get_u32(), buf.get_u32())
         }
-        3 => SubQuery::NeighborsMany(get_ids(&mut buf)?),
-        4 => SubQuery::DegreeMany(get_ids(&mut buf)?),
+        3 => SubQuery::NeighborsMany(get_ids(buf)?.into()),
+        4 => SubQuery::DegreeMany(get_ids(buf)?.into()),
         5 => {
-            need(&buf, 4)?;
+            need(buf, 4)?;
             let v = buf.get_u32();
-            SubQuery::CountIntersect(v, get_ids(&mut buf)?)
+            SubQuery::CountIntersect(v, get_ids(buf)?.into())
         }
         _ => return Err(DecodeError("bad sub-query tag")),
-    };
-    let ctx = get_trace_ctx(&mut buf)?;
-    Ok((id, sub, ctx))
+    })
 }
 
-/// Encodes a sub-query reply envelope.
-pub fn encode_subreply(id: u64, status: Status, resp: Option<&SubResponse>) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32);
-    buf.put_u64(id);
-    buf.put_u8(status.to_u8());
-    if let Some(resp) = resp {
-        match resp {
-            SubResponse::Ids(ids) => {
-                buf.put_u8(0);
-                put_ids(&mut buf, ids);
-            }
-            SubResponse::IdLists(lists) => {
-                buf.put_u8(1);
-                buf.put_u32(lists.len() as u32);
-                for l in lists {
-                    put_ids(&mut buf, l);
-                }
-            }
-            SubResponse::Counts(cs) => {
-                buf.put_u8(2);
-                buf.put_u32(cs.len() as u32);
-                for &c in cs {
-                    buf.put_u32(c);
-                }
-            }
-            SubResponse::Count(c) => {
-                buf.put_u8(3);
-                buf.put_u64(*c);
-            }
-            SubResponse::Flag(b) => {
-                buf.put_u8(4);
-                buf.put_u8(*b as u8);
+/// Decodes a **single** sub-query request envelope (trailing trace context
+/// included, when present). Batch envelopes are a [`DecodeError`] here —
+/// use [`decode_subrequest`] on paths that accept both.
+pub fn decode_subquery<B: Buf>(
+    buf: B,
+) -> Result<(u64, SubQuery, Option<TraceContext>), DecodeError> {
+    match decode_subrequest(buf)? {
+        (id, SubRequest::Single(sub), ctx) => Ok((id, sub, ctx)),
+        (_, SubRequest::Batch(_), _) => Err(DecodeError("unexpected sub-query batch")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sub-query replies
+
+fn put_subresponse_body(buf: &mut Vec<u8>, resp: &SubResponse) {
+    match resp {
+        SubResponse::Ids(ids) => {
+            buf.put_u8(0);
+            put_ids(buf, ids);
+        }
+        SubResponse::IdLists(lists) => {
+            buf.put_u8(1);
+            buf.put_u32(lists.len() as u32);
+            for l in lists.iter() {
+                put_ids(buf, l);
             }
         }
-    } else {
-        buf.put_u8(255);
+        SubResponse::Counts(cs) => {
+            buf.put_u8(2);
+            buf.put_u32(cs.len() as u32);
+            for &c in cs {
+                buf.put_u32(c);
+            }
+        }
+        SubResponse::Count(c) => {
+            buf.put_u8(3);
+            buf.put_u64(*c);
+        }
+        SubResponse::Flag(b) => {
+            buf.put_u8(4);
+            buf.put_u8(*b as u8);
+        }
     }
-    buf.freeze()
 }
 
-/// Decodes a sub-query reply envelope.
-pub fn decode_subreply(mut buf: Bytes) -> Result<(u64, Status, Option<SubResponse>), DecodeError> {
-    if buf.remaining() < 10 {
-        return Err(DecodeError("truncated sub-reply header"));
-    }
-    let id = buf.get_u64();
-    let status = Status::from_u8(buf.get_u8())?;
-    let tag = buf.get_u8();
-    let resp = match tag {
-        0 => Some(SubResponse::Ids(get_ids(&mut buf)?)),
+fn get_subresponse_body<B: Buf>(tag: u8, buf: &mut B) -> Result<SubResponse, DecodeError> {
+    Ok(match tag {
+        0 => SubResponse::Ids(get_ids(buf)?),
         1 => {
             if buf.remaining() < 4 {
                 return Err(DecodeError("truncated list count"));
             }
             let n = buf.get_u32() as usize;
-            let mut lists = Vec::with_capacity(n);
+            let mut lists = IdLists::with_capacity(n.min(4096), 0);
             for _ in 0..n {
-                lists.push(get_ids(&mut buf)?);
+                if buf.remaining() < 4 {
+                    return Err(DecodeError("truncated id list length"));
+                }
+                let len = buf.get_u32() as usize;
+                if buf.remaining() < len * 4 {
+                    return Err(DecodeError("truncated id list"));
+                }
+                for _ in 0..len {
+                    lists.push_id(buf.get_u32());
+                }
+                lists.seal_list();
             }
-            Some(SubResponse::IdLists(lists))
+            SubResponse::IdLists(lists)
         }
         2 => {
             if buf.remaining() < 4 {
@@ -281,41 +396,150 @@ pub fn decode_subreply(mut buf: Bytes) -> Result<(u64, Status, Option<SubRespons
             if buf.remaining() < n * 4 {
                 return Err(DecodeError("truncated counts body"));
             }
-            Some(SubResponse::Counts((0..n).map(|_| buf.get_u32()).collect()))
+            SubResponse::Counts((0..n).map(|_| buf.get_u32()).collect())
         }
         3 => {
             if buf.remaining() < 8 {
                 return Err(DecodeError("truncated count"));
             }
-            Some(SubResponse::Count(buf.get_u64()))
+            SubResponse::Count(buf.get_u64())
         }
         4 => {
             if buf.remaining() < 1 {
                 return Err(DecodeError("truncated flag"));
             }
-            Some(SubResponse::Flag(buf.get_u8() != 0))
+            SubResponse::Flag(buf.get_u8() != 0)
         }
-        255 => None,
         _ => return Err(DecodeError("bad sub-reply tag")),
-    };
-    Ok((id, status, resp))
+    })
 }
 
-/// Encodes a client query request envelope, with an optional trailing
-/// trace context.
-pub fn encode_query(id: u64, q: &Query, ctx: Option<&TraceContext>) -> Bytes {
-    let mut buf = BytesMut::with_capacity(35);
+/// Appends a single sub-query reply envelope to `buf`.
+pub fn encode_subreply_into(buf: &mut Vec<u8>, id: u64, status: Status, resp: Option<&SubResponse>) {
+    buf.put_u64(id);
+    buf.put_u8(status.to_u8());
+    match resp {
+        Some(resp) => put_subresponse_body(buf, resp),
+        None => buf.put_u8(255),
+    }
+}
+
+/// Appends a **batched** sub-query reply envelope to `buf`: one per-item
+/// `(status, body-if-ok)` entry per sub-query of the request batch, in
+/// request order. A whole-batch admission rejection is simply every item
+/// carrying [`Status::Rejected`].
+pub fn encode_subreply_batch_into(buf: &mut Vec<u8>, id: u64, outcomes: &[SubOutcome]) {
+    buf.put_u64(id);
+    buf.put_u8(Status::Ok.to_u8());
+    buf.put_u8(TAG_SUBREPLY_BATCH);
+    buf.put_u32(outcomes.len() as u32);
+    for outcome in outcomes {
+        match outcome {
+            SubOutcome::Ok(resp) => {
+                buf.put_u8(Status::Ok.to_u8());
+                put_subresponse_body(buf, resp);
+            }
+            SubOutcome::Rejected => buf.put_u8(Status::Rejected.to_u8()),
+            SubOutcome::Error => buf.put_u8(Status::Error.to_u8()),
+        }
+    }
+}
+
+/// Encodes a sub-query reply envelope. Allocating wrapper around
+/// [`encode_subreply_into`].
+pub fn encode_subreply(id: u64, status: Status, resp: Option<&SubResponse>) -> Bytes {
+    let mut buf = Vec::with_capacity(32);
+    encode_subreply_into(&mut buf, id, status, resp);
+    Bytes::from(buf)
+}
+
+/// A decoded broker-bound reply: a single outcome or a whole batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubReplyBody {
+    /// Reply to a single sub-query.
+    Single(Status, Option<SubResponse>),
+    /// Reply to a sub-query batch, one outcome per item in request order.
+    Batch(Vec<SubOutcome>),
+}
+
+/// Decodes a sub-query reply envelope, batched or single.
+pub fn decode_subreply_any<B: Buf>(mut buf: B) -> Result<(u64, SubReplyBody), DecodeError> {
+    if buf.remaining() < 10 {
+        return Err(DecodeError("truncated sub-reply header"));
+    }
+    let id = buf.get_u64();
+    let status = Status::from_u8(buf.get_u8())?;
+    let tag = buf.get_u8();
+    if tag == TAG_SUBREPLY_BATCH {
+        if buf.remaining() < 4 {
+            return Err(DecodeError("truncated batch count"));
+        }
+        let n = buf.get_u32() as usize;
+        if n > MAX_FRAME / 2 {
+            return Err(DecodeError("batch count exceeds frame bound"));
+        }
+        let mut outcomes = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            if buf.remaining() < 1 {
+                return Err(DecodeError("truncated batch item"));
+            }
+            match Status::from_u8(buf.get_u8())? {
+                Status::Ok => {
+                    if buf.remaining() < 1 {
+                        return Err(DecodeError("truncated batch item body"));
+                    }
+                    let tag = buf.get_u8();
+                    outcomes.push(SubOutcome::Ok(get_subresponse_body(tag, &mut buf)?));
+                }
+                Status::Rejected => outcomes.push(SubOutcome::Rejected),
+                Status::Error => outcomes.push(SubOutcome::Error),
+            }
+        }
+        return Ok((id, SubReplyBody::Batch(outcomes)));
+    }
+    let resp = if tag == 255 {
+        None
+    } else {
+        Some(get_subresponse_body(tag, &mut buf)?)
+    };
+    Ok((id, SubReplyBody::Single(status, resp)))
+}
+
+/// Decodes a **single** sub-query reply envelope. Batch replies are a
+/// [`DecodeError`] here — use [`decode_subreply_any`] on paths that accept
+/// both.
+pub fn decode_subreply<B: Buf>(buf: B) -> Result<(u64, Status, Option<SubResponse>), DecodeError> {
+    match decode_subreply_any(buf)? {
+        (id, SubReplyBody::Single(status, resp)) => Ok((id, status, resp)),
+        (_, SubReplyBody::Batch(_)) => Err(DecodeError("unexpected sub-reply batch")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client queries
+
+/// Appends a client query request envelope to `buf`, with an optional
+/// trailing trace context.
+pub fn encode_query_into(buf: &mut Vec<u8>, id: u64, q: &Query, ctx: Option<&TraceContext>) {
+    buf.reserve(35);
     buf.put_u64(id);
     buf.put_u8(q.kind.index() as u8);
     buf.put_u32(q.u);
     buf.put_u32(q.v);
-    put_trace_ctx(&mut buf, ctx);
-    buf.freeze()
+    put_trace_ctx(buf, ctx);
+}
+
+/// Encodes a client query request envelope, with an optional trailing
+/// trace context. Allocating wrapper around [`encode_query_into`].
+pub fn encode_query(id: u64, q: &Query, ctx: Option<&TraceContext>) -> Bytes {
+    let mut buf = Vec::with_capacity(35);
+    encode_query_into(&mut buf, id, q, ctx);
+    Bytes::from(buf)
 }
 
 /// Decodes a client query request envelope (trailing trace context
 /// included, when present).
-pub fn decode_query(mut buf: Bytes) -> Result<(u64, Query, Option<TraceContext>), DecodeError> {
+pub fn decode_query<B: Buf>(mut buf: B) -> Result<(u64, Query, Option<TraceContext>), DecodeError> {
     if buf.remaining() < 17 {
         return Err(DecodeError("truncated query"));
     }
@@ -331,21 +555,48 @@ pub fn decode_query(mut buf: Bytes) -> Result<(u64, Query, Option<TraceContext>)
     Ok((id, q, ctx))
 }
 
-/// Encodes a client query reply envelope.
-pub fn encode_query_reply(id: u64, status: Status, value: u64) -> Bytes {
-    let mut buf = BytesMut::with_capacity(17);
+/// Appends a client query reply envelope to `buf`.
+pub fn encode_query_reply_into(buf: &mut Vec<u8>, id: u64, status: Status, value: u64) {
+    buf.reserve(17);
     buf.put_u64(id);
     buf.put_u8(status.to_u8());
     buf.put_u64(value);
-    buf.freeze()
+}
+
+/// Encodes a client query reply envelope. Allocating wrapper around
+/// [`encode_query_reply_into`].
+pub fn encode_query_reply(id: u64, status: Status, value: u64) -> Bytes {
+    let mut buf = Vec::with_capacity(17);
+    encode_query_reply_into(&mut buf, id, status, value);
+    Bytes::from(buf)
 }
 
 /// Decodes a client query reply envelope.
-pub fn decode_query_reply(mut buf: Bytes) -> Result<(u64, Status, u64), DecodeError> {
+pub fn decode_query_reply<B: Buf>(mut buf: B) -> Result<(u64, Status, u64), DecodeError> {
     if buf.remaining() < 17 {
         return Err(DecodeError("truncated query reply"));
     }
     Ok((buf.get_u64(), Status::from_u8(buf.get_u8())?, buf.get_u64()))
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// Begins a length-prefixed frame in `buf`: reserves the 4-byte prefix and
+/// returns the offset to hand back to [`end_frame`]. Several frames can be
+/// staged back-to-back in one buffer and flushed with a single `write_all`.
+pub fn begin_frame(buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    start
+}
+
+/// Ends the frame begun at `start`, patching the length prefix over the
+/// bytes appended since [`begin_frame`].
+pub fn end_frame(buf: &mut [u8], start: usize) {
+    let len = buf.len() - start - 4;
+    assert!(len <= MAX_FRAME);
+    buf[start..start + 4].copy_from_slice(&(len as u32).to_be_bytes());
 }
 
 /// Writes a length-prefixed frame to a stream.
@@ -357,6 +608,17 @@ pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Res
 
 /// Reads a length-prefixed frame from a stream.
 pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Bytes> {
+    let mut payload = Vec::new();
+    read_frame_into(r, &mut payload)?;
+    Ok(Bytes::from(payload))
+}
+
+/// Reads a length-prefixed frame into a caller-owned scratch buffer
+/// (cleared first), returning the payload length. Reusing one scratch
+/// buffer per reader thread makes the steady-state read path
+/// allocation-free once the buffer has grown to the connection's working
+/// frame size.
+pub fn read_frame_into<R: std::io::Read>(r: &mut R, buf: &mut Vec<u8>) -> std::io::Result<usize> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf) as usize;
@@ -366,25 +628,116 @@ pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Bytes> {
             "frame exceeds MAX_FRAME",
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Bytes::from(payload))
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(len)
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool
+
+/// A bounded pool of reusable encode buffers for concurrent frame writers.
+///
+/// Submission paths run on arbitrary caller threads, so they cannot keep a
+/// per-thread scratch vec the way reader/responder loop threads do; the
+/// pool gives them recycled buffers instead. Bounded two ways so bursts
+/// cannot bloat it: at most `max_pooled` buffers are retained, and a
+/// buffer that grew beyond `max_retained_capacity` is dropped rather than
+/// parked (guarding against one giant frame pinning memory forever).
+pub struct BufferPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+    max_pooled: usize,
+    max_retained_capacity: usize,
+}
+
+impl BufferPool {
+    /// A pool retaining at most `max_pooled` buffers of at most
+    /// `max_retained_capacity` bytes each.
+    pub fn new(max_pooled: usize, max_retained_capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            bufs: Mutex::new(Vec::with_capacity(max_pooled)),
+            max_pooled,
+            max_retained_capacity,
+        })
+    }
+
+    /// A pool sized for a transport client: one buffer per plausibly
+    /// concurrent submitter, capped at 64 KiB retained each.
+    pub fn for_transport() -> Arc<Self> {
+        Self::new(32, 64 << 10)
+    }
+
+    /// Takes a cleared buffer from the pool (or allocates a fresh one).
+    pub fn get(self: &Arc<Self>) -> PooledBuf {
+        let buf = self.bufs.lock().pop().unwrap_or_default();
+        PooledBuf {
+            buf,
+            pool: Arc::clone(self),
+        }
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.bufs.lock().len()
+    }
+
+    fn put_back(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > self.max_retained_capacity {
+            return;
+        }
+        buf.clear();
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < self.max_pooled {
+            bufs.push(buf);
+        }
+    }
+}
+
+/// A pooled scratch buffer; returns to its [`BufferPool`] on drop.
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: Arc<BufferPool>,
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        self.pool.put_back(std::mem::take(&mut self.buf));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
 
-    #[test]
-    fn subquery_round_trips() {
-        let cases = [
+    fn sample_subqueries() -> Vec<SubQuery> {
+        vec![
             SubQuery::Neighbors(7),
             SubQuery::Degree(9),
             SubQuery::HasEdge(1, 2),
-            SubQuery::NeighborsMany(vec![1, 2, 3]),
-            SubQuery::DegreeMany(vec![]),
-            SubQuery::CountIntersect(5, vec![1, 4, 9]),
-        ];
+            SubQuery::NeighborsMany(vec![1, 2, 3].into()),
+            SubQuery::DegreeMany(Vec::new().into()),
+            SubQuery::CountIntersect(5, vec![1, 4, 9].into()),
+        ]
+    }
+
+    #[test]
+    fn subquery_round_trips() {
+        let cases = sample_subqueries();
         let ctx = TraceContext {
             trace: TraceId(77),
             parent: SpanId(88),
@@ -405,10 +758,40 @@ mod tests {
     }
 
     #[test]
+    fn subquery_batch_round_trips() {
+        let subs = sample_subqueries();
+        let ctx = TraceContext {
+            trace: TraceId(5),
+            parent: SpanId(6),
+            sampled: true,
+        };
+        for ctx in [None, Some(&ctx)] {
+            let mut buf = Vec::new();
+            encode_subquery_batch_into(&mut buf, 42, &subs, ctx);
+            let (id, req, got_ctx) = decode_subrequest(&buf[..]).unwrap();
+            assert_eq!(id, 42);
+            assert_eq!(req, SubRequest::Batch(subs.clone()));
+            assert_eq!(got_ctx.as_ref(), ctx);
+        }
+        // An empty batch is legal on the wire.
+        let mut buf = Vec::new();
+        encode_subquery_batch_into(&mut buf, 1, &[], None);
+        let (_, req, _) = decode_subrequest(&buf[..]).unwrap();
+        assert_eq!(req, SubRequest::Batch(Vec::new()));
+        // The single-only decoder refuses batches.
+        assert!(decode_subquery(&buf[..]).is_err());
+    }
+
+    #[test]
     fn subreply_round_trips() {
         let cases = [
             (Status::Ok, Some(SubResponse::Ids(vec![1, 2]))),
-            (Status::Ok, Some(SubResponse::IdLists(vec![vec![1], vec![]]))),
+            (
+                Status::Ok,
+                Some(SubResponse::IdLists(
+                    [vec![1u32], vec![]].into_iter().collect(),
+                )),
+            ),
             (Status::Ok, Some(SubResponse::Counts(vec![3, 4, 5]))),
             (Status::Ok, Some(SubResponse::Count(42))),
             (Status::Ok, Some(SubResponse::Flag(true))),
@@ -421,6 +804,30 @@ mod tests {
             assert_eq!(id, i as u64);
             assert_eq!(s, *status);
             assert_eq!(&r, resp);
+        }
+    }
+
+    #[test]
+    fn subreply_batch_round_trips() {
+        let outcomes = vec![
+            SubOutcome::Ok(SubResponse::Count(7)),
+            SubOutcome::Rejected,
+            SubOutcome::Error,
+            SubOutcome::Ok(SubResponse::IdLists(
+                [vec![1u32, 2], vec![3]].into_iter().collect(),
+            )),
+            SubOutcome::Ok(SubResponse::Flag(false)),
+        ];
+        let mut buf = Vec::new();
+        encode_subreply_batch_into(&mut buf, 9, &outcomes);
+        let (id, body) = decode_subreply_any(&buf[..]).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(body, SubReplyBody::Batch(outcomes));
+        // The single-only decoder refuses batch replies.
+        assert!(decode_subreply(&buf[..]).is_err());
+        // Truncating inside the batch body errors, never panics.
+        for cut in 0..buf.len() {
+            assert!(decode_subreply_any(&buf[..cut]).is_err(), "cut={cut}");
         }
     }
 
@@ -463,7 +870,7 @@ mod tests {
         // context short must error, never panic.
         for cut in 18..raw.len() {
             assert!(
-                decode_query(Bytes::from(raw[..cut].to_vec())).is_err(),
+                decode_query(&raw[..cut]).is_err(),
                 "prefix of {cut} bytes should be rejected"
             );
         }
@@ -471,7 +878,7 @@ mod tests {
         let mut bad = raw.to_vec();
         bad[17] = 2;
         assert_eq!(
-            decode_query(Bytes::from(bad)),
+            decode_query(&bad[..]),
             Err(DecodeError("unknown trace-context version"))
         );
     }
@@ -501,11 +908,62 @@ mod tests {
     }
 
     #[test]
+    fn staged_frames_match_write_frame_layout() {
+        // begin/end_frame in one buffer must produce byte-identical output
+        // to write_frame per payload.
+        let payloads: [&[u8]; 3] = [b"alpha", b"", b"bee"];
+        let mut staged = Vec::new();
+        for p in payloads {
+            let s = begin_frame(&mut staged);
+            staged.extend_from_slice(p);
+            end_frame(&mut staged, s);
+        }
+        let mut reference = Vec::new();
+        for p in payloads {
+            write_frame(&mut reference, p).unwrap();
+        }
+        assert_eq!(staged, reference);
+        // And read_frame_into walks them back out, reusing one scratch.
+        let mut cursor = std::io::Cursor::new(staged);
+        let mut scratch = Vec::new();
+        for p in payloads {
+            let n = read_frame_into(&mut cursor, &mut scratch).unwrap();
+            assert_eq!(&scratch[..n], p);
+        }
+        assert!(read_frame_into(&mut cursor, &mut scratch).is_err());
+    }
+
+    #[test]
     fn oversized_frame_is_rejected() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_be_bytes());
         buf.extend_from_slice(&[0; 16]);
         let mut cursor = std::io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn buffer_pool_recycles_within_bounds() {
+        let pool = BufferPool::new(2, 64);
+        {
+            let mut a = pool.get();
+            a.extend_from_slice(&[1; 10]);
+            let mut b = pool.get();
+            b.extend_from_slice(&[2; 10]);
+            let _c = pool.get();
+        }
+        // Only two buffers parked, despite three returns.
+        assert_eq!(pool.pooled(), 2);
+        // Reuse comes back cleared.
+        let buf = pool.get();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() > 0);
+        drop(buf);
+        // A buffer grown beyond the retention cap is dropped, not parked.
+        {
+            let mut big = pool.get();
+            big.resize(1024, 0);
+        }
+        assert!(pool.bufs.lock().iter().all(|b| b.capacity() <= 64));
     }
 }

@@ -4,15 +4,22 @@
 use bouncer_core::obs::{SpanId, TraceContext, TraceId};
 use bytes::Bytes;
 use liquid::graph::{Graph, GraphConfig};
-use liquid::query::{Query, QueryKind, SubQuery, SubResponse};
+use liquid::query::{IdLists, Query, QueryKind, SubQuery, SubResponse};
+use liquid::shard::SubOutcome;
 use liquid::wire::{
-    decode_query, decode_query_reply, decode_subquery, decode_subreply, encode_query,
-    encode_query_reply, encode_subquery, encode_subreply, read_frame, write_frame, Status,
+    decode_query, decode_query_reply, decode_subquery, decode_subreply, decode_subreply_any,
+    decode_subrequest, encode_query, encode_query_reply, encode_subquery,
+    encode_subquery_batch_into, encode_subreply, encode_subreply_batch_into, read_frame,
+    write_frame, Status, SubReplyBody, SubRequest,
 };
 use proptest::prelude::*;
 
 fn arb_ids() -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(any::<u32>(), 0..64)
+}
+
+fn arb_id_lists() -> impl Strategy<Value = IdLists> {
+    prop::collection::vec(arb_ids(), 0..8).prop_map(|lists| lists.into_iter().collect())
 }
 
 fn arb_ctx() -> impl Strategy<Value = Option<TraceContext>> {
@@ -30,19 +37,27 @@ fn arb_subquery() -> impl Strategy<Value = SubQuery> {
         any::<u32>().prop_map(SubQuery::Neighbors),
         any::<u32>().prop_map(SubQuery::Degree),
         (any::<u32>(), any::<u32>()).prop_map(|(u, v)| SubQuery::HasEdge(u, v)),
-        arb_ids().prop_map(SubQuery::NeighborsMany),
-        arb_ids().prop_map(SubQuery::DegreeMany),
-        (any::<u32>(), arb_ids()).prop_map(|(v, ids)| SubQuery::CountIntersect(v, ids)),
+        arb_ids().prop_map(|ids| SubQuery::NeighborsMany(ids.into())),
+        arb_ids().prop_map(|ids| SubQuery::DegreeMany(ids.into())),
+        (any::<u32>(), arb_ids()).prop_map(|(v, ids)| SubQuery::CountIntersect(v, ids.into())),
     ]
 }
 
 fn arb_subresponse() -> impl Strategy<Value = SubResponse> {
     prop_oneof![
         arb_ids().prop_map(SubResponse::Ids),
-        prop::collection::vec(arb_ids(), 0..8).prop_map(SubResponse::IdLists),
+        arb_id_lists().prop_map(SubResponse::IdLists),
         prop::collection::vec(any::<u32>(), 0..32).prop_map(SubResponse::Counts),
         any::<u64>().prop_map(SubResponse::Count),
         any::<bool>().prop_map(SubResponse::Flag),
+    ]
+}
+
+fn arb_suboutcome() -> impl Strategy<Value = SubOutcome> {
+    prop_oneof![
+        arb_subresponse().prop_map(SubOutcome::Ok),
+        Just(SubOutcome::Rejected),
+        Just(SubOutcome::Error),
     ]
 }
 
@@ -81,6 +96,69 @@ proptest! {
         prop_assert_eq!(got_resp, resp);
     }
 
+    /// Sub-query **batch** envelopes round-trip: any mix of sub-query
+    /// bodies, with and without a trailing trace context, and singles keep
+    /// decoding through the batch-aware entry point.
+    #[test]
+    fn subquery_batch_codec_round_trips(
+        id in any::<u64>(),
+        subs in prop::collection::vec(arb_subquery(), 0..12),
+        ctx in arb_ctx(),
+    ) {
+        let mut buf = Vec::new();
+        encode_subquery_batch_into(&mut buf, id, &subs, ctx.as_ref());
+        let (got_id, got, got_ctx) = decode_subrequest(&buf[..]).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, SubRequest::Batch(subs));
+        prop_assert_eq!(got_ctx, ctx);
+    }
+
+    /// Batched sub-reply envelopes round-trip with per-item statuses.
+    #[test]
+    fn subreply_batch_codec_round_trips(
+        id in any::<u64>(),
+        outcomes in prop::collection::vec(arb_suboutcome(), 0..12),
+    ) {
+        let mut buf = Vec::new();
+        encode_subreply_batch_into(&mut buf, id, &outcomes);
+        let (got_id, body) = decode_subreply_any(&buf[..]).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(body, SubReplyBody::Batch(outcomes));
+    }
+
+    /// Every strict prefix of a valid batch frame (request or reply) is
+    /// rejected with an error — a batch cannot silently lose tail items.
+    #[test]
+    fn truncated_batch_frames_are_rejected(
+        id in any::<u64>(),
+        subs in prop::collection::vec(arb_subquery(), 0..6),
+        outcomes in prop::collection::vec(arb_suboutcome(), 0..6),
+        ctx in arb_ctx(),
+    ) {
+        let mut req = Vec::new();
+        encode_subquery_batch_into(&mut req, id, &subs, ctx.as_ref());
+        for cut in 0..req.len() {
+            // A cut that removes exactly the optional trace-context tail
+            // still decodes (backward compatibility); everything else must
+            // error. No prefix may ever panic.
+            let body_len = req.len() - if ctx.is_some() { 18 } else { 0 };
+            match decode_subrequest(&req[..cut]) {
+                Ok((gid, got, gctx)) => {
+                    prop_assert_eq!(cut, body_len);
+                    prop_assert_eq!(gid, id);
+                    prop_assert_eq!(got, SubRequest::Batch(subs.clone()));
+                    prop_assert_eq!(gctx, None);
+                }
+                Err(_) => prop_assert_ne!(cut, body_len),
+            }
+        }
+        let mut rep = Vec::new();
+        encode_subreply_batch_into(&mut rep, id, &outcomes);
+        for cut in 0..rep.len() {
+            prop_assert!(decode_subreply_any(&rep[..cut]).is_err(), "cut={}", cut);
+        }
+    }
+
     /// Query and query-reply envelopes round-trip, the query with and
     /// without a trailing trace context.
     #[test]
@@ -105,6 +183,8 @@ proptest! {
         let b = Bytes::from(bytes);
         let _ = decode_subquery(b.clone());
         let _ = decode_subreply(b.clone());
+        let _ = decode_subrequest(b.clone());
+        let _ = decode_subreply_any(b.clone());
         let _ = decode_query(b.clone());
         let _ = decode_query_reply(b);
     }

@@ -61,6 +61,54 @@ printf '%s\n' "$BENCH_OUT" | awk '
 echo "    wrote BENCH_admit.json:"
 sed 's/^/    /' BENCH_admit.json
 
+echo "==> bench smoke: liquid_datapath (batched vs unbatched reference)"
+# Short-budget run of the broker→shard data-path group; `batched` is the
+# shipped coalesced fan-out, `unbatched` the retained pre-batching
+# reference (the "before": one message, reply channel, and payload copy
+# per sub-query). `*_allocs` rows are allocation events per query, not
+# nanoseconds (the parser's ns normalization leaves raw counts intact).
+# Results land in BENCH_datapath.json at the repo root.
+DATAPATH_OUT=$(CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-50}" \
+    cargo bench -q --offline -p bouncer-bench --bench liquid_datapath 2>&1 \
+    | grep '^liquid_datapath/') || {
+    echo "liquid_datapath bench produced no output" >&2
+    exit 1
+}
+printf '%s\n' "$DATAPATH_OUT" | awk '
+    # Lines look like:
+    #   liquid_datapath/inproc/batched  time: [22.2 µs 290.4 µs 1.153 ms]  (174 iters)
+    # Emit one JSON object keyed by transport/variant with ns-normalized
+    # stats (alloc rows carry counts through unchanged).
+    function ns(v, u) {
+        if (u == "ns") return v
+        if (u == "µs" || u == "us") return v * 1000
+        if (u == "ms") return v * 1000000
+        return v
+    }
+    {
+        gsub(/[\[\]]/, "")
+        split($1, path, "/")
+        variant = path[2]; scale = path[3]
+        lo = ns($3 + 0, $4); mean = ns($5 + 0, $6); hi = ns($7 + 0, $8)
+        key = variant "/" scale
+        keys[++n] = key
+        means[key] = mean; los[key] = lo; his[key] = hi
+    }
+    END {
+        printf "{\n  \"bench\": \"liquid_datapath\",\n  \"unit\": \"ns\",\n"
+        printf "  \"note\": \"batched = shipped coalesced fan-out (after); unbatched = retained pre-batching reference (before); *_allocs rows are allocation events per query, not ns\",\n"
+        printf "  \"results\": {\n"
+        for (i = 1; i <= n; i++) {
+            k = keys[i]
+            printf "    \"%s\": {\"min\": %.2f, \"mean\": %.2f, \"max\": %.2f}%s\n", \
+                k, los[k], means[k], his[k], (i < n ? "," : "")
+        }
+        printf "  }\n}\n"
+    }
+' > BENCH_datapath.json
+echo "    wrote BENCH_datapath.json:"
+sed 's/^/    /' BENCH_datapath.json
+
 echo "==> tracing smoke: traced cluster -> trace-report --strict"
 # A small traced in-process cluster writes its span JSONL, and the
 # trace-report subcommand re-assembles the trees; --strict makes any

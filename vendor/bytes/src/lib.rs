@@ -48,6 +48,61 @@ pub trait BufMut {
     fn put_slice(&mut self, src: &[u8]);
 }
 
+/// Reading from a `&[u8]` advances the slice itself (as upstream does),
+/// so decoders can parse borrowed data with zero copies or allocations.
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        *self = &self[1..];
+        b
+    }
+
+    #[inline]
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self[..4].try_into().unwrap());
+        *self = &self[4..];
+        v
+    }
+
+    #[inline]
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self[..8].try_into().unwrap());
+        *self = &self[8..];
+        v
+    }
+}
+
+/// Writing into a plain `Vec<u8>` (as upstream allows) lets callers reuse
+/// scratch buffers across messages instead of freezing a fresh allocation
+/// per frame.
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    #[inline]
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    #[inline]
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
 /// An immutable, cheaply cloneable byte buffer with a read cursor.
 ///
 /// Clones share the underlying allocation; [`Buf`] reads advance a
@@ -257,6 +312,21 @@ mod tests {
         assert_eq!(r.get_u32(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_buf_and_vec_bufmut_round_trip() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u8(7);
+        v.put_u32(0xDEAD_BEEF);
+        v.put_u64(0x0102_0304_0506_0708);
+        v.put_slice(&[1, 2]);
+        let mut s: &[u8] = &v;
+        assert_eq!(s.remaining(), 15);
+        assert_eq!(s.get_u8(), 7);
+        assert_eq!(s.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(s.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(s, &[1, 2]);
     }
 
     #[test]
