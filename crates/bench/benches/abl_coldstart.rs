@@ -1,5 +1,6 @@
 //! Ablation (Appendix A, which the paper left under development): cold
-//! starts, traffic lulls, and the retention threshold.
+//! starts, traffic lulls, and the retention threshold, from
+//! `scenarios/abl_coldstart.scn`.
 //!
 //! Three scenarios drive a Bouncer directly (no simulator), printing its
 //! decisions so each mechanism is visible in isolation:
@@ -16,25 +17,10 @@
 //!    prefer stale data to no data") and decisions stay sharp through the
 //!    lull.
 
+use bouncer_bench::simstudy::SimStudy;
 use bouncer_bench::table::Table;
 use bouncer_core::prelude::*;
 use bouncer_metrics::time::{millis, secs};
-
-/// A fixture with a cheap `background` type and the type under test.
-fn fixture(retention: u64) -> (Bouncer, TypeId, TypeId) {
-    let mut reg = TypeRegistry::new();
-    let background = reg.register("background");
-    let subject = reg.register("subject");
-    let slos = SloConfig::builder(&reg)
-        .default_slo(Slo::p50_p90(millis(100), millis(300)))
-        .set(background, Slo::p50_p90(millis(18), millis(50)))
-        .set(subject, Slo::p50_p90(millis(18), millis(50)))
-        .build();
-    let mut cfg = BouncerConfig::with_parallelism(8);
-    cfg.retention_min_samples = retention;
-    cfg.warmup_min_samples = 8;
-    (Bouncer::new(slos, cfg), background, subject)
-}
 
 fn describe(b: &Bouncer, ty: TypeId, now: u64) -> (String, String) {
     let decision = if b.admit(ty, now).is_accept() {
@@ -51,8 +37,19 @@ fn describe(b: &Bouncer, ty: TypeId, now: u64) -> (String, String) {
 }
 
 fn main() {
-    // Scenario 1: cold start.
-    let (b, background, subject) = fixture(0);
+    let study = SimStudy::load("abl_coldstart.scn");
+    let env = study.scenario().policy_env();
+    let background = study.ty("background");
+    let subject = study.ty("subject");
+    let build = |label: &str| -> Bouncer {
+        study
+            .policy(label)
+            .build_bouncer(&env)
+            .expect("abl_coldstart policies are Bouncer-family")
+    };
+
+    // Scenario 1: cold start (retention plays no role — no lull happens).
+    let b = build("retention_off");
     let mut t1 = Table::new(vec!["phase", "decision", "estimate basis"]);
     let (d, basis) = describe(&b, subject, 0);
     t1.row(vec!["t=0s: nothing measured anywhere".into(), d, basis]);
@@ -75,14 +72,23 @@ fn main() {
     b.on_tick(secs(2));
     let (d, basis) = describe(&b, subject, secs(2));
     t1.row(vec!["t=2s: subject warm (30ms > 18ms SLO)".into(), d, basis]);
-    t1.print("Appendix A scenario 1 — cold start: lenient, then general, then own");
+    t1.print_tagged(
+        "Appendix A scenario 1 — cold start: lenient, then general, then own",
+        &study.tag(),
+    );
 
     // Scenarios 2 and 3: a lull after a warm period, retention off vs on.
-    for (title, retention) in [
-        ("Appendix A scenario 2 — lull with retention OFF (swap-to-empty)", 0u64),
-        ("Appendix A scenario 3 — lull with retention ON (stale data kept)", 16),
+    for (title, label) in [
+        (
+            "Appendix A scenario 2 — lull with retention OFF (swap-to-empty)",
+            "retention_off",
+        ),
+        (
+            "Appendix A scenario 3 — lull with retention ON (stale data kept)",
+            "retention_on",
+        ),
     ] {
-        let (b, _background, subject) = fixture(retention);
+        let b = build(label);
         let mut t = Table::new(vec!["phase", "decision", "estimate basis"]);
         for _ in 0..100 {
             b.on_completed(subject, millis(30), millis(500));
@@ -96,7 +102,7 @@ fn main() {
         b.on_tick(secs(4));
         let (d, basis) = describe(&b, subject, secs(4));
         t.row(vec!["after 3-interval lull".into(), d, basis]);
-        t.print(title);
+        t.print_tagged(title, &study.tag());
     }
 
     println!("\npaper (Appendix A): during warm-up use the general histogram and the");

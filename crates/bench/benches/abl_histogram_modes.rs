@@ -1,5 +1,5 @@
 //! Ablation (§7 extension): dual-buffer vs sliding-window processing-time
-//! histograms.
+//! histograms, from `scenarios/abl_histogram_modes.scn`.
 //!
 //! The paper's deployed Bouncer reads the previous interval's histogram
 //! (dual buffer, §3 fn. 4) and proposes sliding windows as future work.
@@ -11,24 +11,17 @@
 //! stationary); the sliding window's fresher estimates slightly smooth the
 //! starvation/recovery oscillations at extreme rates.
 
-use std::sync::Arc;
-
 use bouncer_bench::runmode::RunMode;
-use bouncer_bench::simstudy::{SimStudy, PARALLELISM, RATE_FACTORS};
+use bouncer_bench::simstudy::SimStudy;
 use bouncer_bench::table::{ms_opt, pct, Table};
-use bouncer_core::prelude::*;
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = SimStudy::new();
+    let study = SimStudy::load("abl_histogram_modes.scn");
     let slow = study.ty("slow");
-
-    let make = |histogram_mode: HistogramMode| {
-        let mut cfg = BouncerConfig::with_parallelism(PARALLELISM);
-        cfg.histogram_mode = histogram_mode;
-        Bouncer::new(study.slos(), cfg)
-    };
+    let dual_spec = study.policy("dual").clone();
+    let sliding_spec = study.policy("sliding").clone();
 
     let mut table = Table::new(vec![
         "factor",
@@ -39,19 +32,9 @@ fn main() {
         "dual rej_slow %",
         "sliding rej_slow %",
     ]);
-    for &factor in &RATE_FACTORS {
-        let dual = study.run_avg(
-            &|_s| Arc::new(make(HistogramMode::DualBuffer)) as Arc<dyn AdmissionPolicy>,
-            factor,
-            &mode,
-        );
-        let sliding = study.run_avg(
-            &|_s| {
-                Arc::new(make(HistogramMode::Sliding { intervals: 4 })) as Arc<dyn AdmissionPolicy>
-            },
-            factor,
-            &mode,
-        );
+    for &factor in study.rate_factors() {
+        let dual = study.run_avg(&dual_spec, factor, &mode);
+        let sliding = study.run_avg(&sliding_spec, factor, &mode);
         table.row(vec![
             format!("{factor:.2}x"),
             ms_opt(dual.rt_p50(slow)),
@@ -64,7 +47,10 @@ fn main() {
         eprint!(".");
     }
     eprintln!();
-    table.print("Histogram-mode ablation — Bouncer, dual-buffer (§3) vs sliding window (§7)");
+    table.print_tagged(
+        "Histogram-mode ablation — Bouncer, dual-buffer (§3) vs sliding window (§7)",
+        &study.tag(),
+    );
     println!("expected: matching steady-state shapes; sliding reads cost ~20x more");
     println!("(snapshot+merge per read — see the `overhead` bench), which is why");
     println!("the paper deployed the dual-buffer scheme.");

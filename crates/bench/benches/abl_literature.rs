@@ -1,6 +1,7 @@
 //! §7 future work: "evaluating Bouncer against other policies in the
 //! literature" — here a Gatekeeper-style capacity baseline (Elnikety et
-//! al. 2004, the closest measurement-based relative discussed in §6).
+//! al. 2004, the closest measurement-based relative discussed in §6),
+//! from `scenarios/abl_literature.scn`.
 //!
 //! Expected: with its backlog horizon hand-tuned toward the SLO budget
 //! (15 ms here — tuning Bouncer does not need), the capacity baseline can
@@ -10,28 +11,17 @@
 //! the same trade the paper measures against its in-house capacity
 //! policies (Figure 8 / Figure 11).
 
-use std::sync::Arc;
-
 use bouncer_bench::runmode::RunMode;
-use bouncer_bench::simstudy::{SimStudy, PARALLELISM, RATE_FACTORS};
+use bouncer_bench::simstudy::SimStudy;
 use bouncer_bench::table::{ms_opt, pct, Table};
-use bouncer_core::prelude::*;
-use bouncer_metrics::time::millis;
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = SimStudy::new();
+    let study = SimStudy::load("abl_literature.scn");
     let slow = study.ty("slow");
-
-    let make_gatekeeper = || {
-        let mut cfg = GatekeeperConfig::new(PARALLELISM);
-        // Backlog horizon ~ the SLO budget for a fair comparison: 100ms of
-        // backlog at P=100 is ~1ms of wait -- tune toward the SLO instead:
-        // allow the queue to hold roughly the wait budget (18ms - cheap pt).
-        cfg.horizon = millis(15);
-        GatekeeperStyle::new(study.registry.len(), cfg)
-    };
+    let bouncer = study.policy("bouncer").clone();
+    let gatekeeper = study.policy("gatekeeper").clone();
 
     let mut table = Table::new(vec![
         "factor",
@@ -44,13 +34,9 @@ fn main() {
         "B util %",
         "GK util %",
     ]);
-    for &factor in &RATE_FACTORS {
-        let b = study.run_avg(&|_s| Arc::new(study.bouncer()) as Arc<dyn AdmissionPolicy>, factor, &mode);
-        let g = study.run_avg(
-            &|_s| Arc::new(make_gatekeeper()) as Arc<dyn AdmissionPolicy>,
-            factor,
-            &mode,
-        );
+    for &factor in study.rate_factors() {
+        let b = study.run_avg(&bouncer, factor, &mode);
+        let g = study.run_avg(&gatekeeper, factor, &mode);
         table.row(vec![
             format!("{factor:.2}x"),
             ms_opt(b.rt_p50(slow)),
@@ -65,7 +51,10 @@ fn main() {
         eprint!(".");
     }
     eprintln!();
-    table.print("Literature comparison — Bouncer vs Gatekeeper-style capacity control");
+    table.print_tagged(
+        "Literature comparison — Bouncer vs Gatekeeper-style capacity control",
+        &study.tag(),
+    );
     println!("expected: the tuned capacity baseline bounds waits (like MaxQWT)");
     println!("but sheds cheap and costly types alike, so it rejects substantially");
     println!("more overall than Bouncer at every overloaded rate.");

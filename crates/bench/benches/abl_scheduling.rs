@@ -1,4 +1,5 @@
-//! Ablation (§7 extension): queue service disciplines under Bouncer.
+//! Ablation (§7 extension): queue service disciplines under Bouncer, from
+//! `scenarios/abl_scheduling.scn`.
 //!
 //! The paper's LIquid serves admitted queries FIFO; §7 plans priority-based
 //! service, and Gatekeeper (§6) argues for SJF. This ablation runs the
@@ -21,12 +22,14 @@ use bouncer_bench::runmode::RunMode;
 use bouncer_bench::simstudy::{SimStudy, TYPE_NAMES};
 use bouncer_bench::table::{ms_opt, pct, Table};
 use bouncer_metrics::time::as_millis_f64;
-use bouncer_sim::{run, SimConfig, SimDiscipline};
+use bouncer_sim::{run, SimDiscipline};
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = SimStudy::new();
+    let study = SimStudy::load("abl_scheduling.scn");
+    let seed = study.spec().seed;
+    let policy = study.scenario().build_policy("", seed).unwrap();
 
     // slow (type index 4) gets top priority, medium slow next.
     let priorities = vec![0u8, 0, 0, 1, 2];
@@ -36,7 +39,7 @@ fn main() {
         ("SJF(oracle)", SimDiscipline::ShortestJobFirst),
     ];
 
-    for factor in [1.2, 1.4] {
+    for &factor in study.rate_factors() {
         let mut table = Table::new(vec![
             "discipline",
             "rej_all %",
@@ -46,12 +49,11 @@ fn main() {
             "fast rt_p50",
         ]);
         for (name, discipline) in &disciplines {
-            let policy = study.bouncer();
-            let mut cfg = SimConfig::paper(study.full_load * factor, 31);
+            let mut cfg = study.scenario().sim_config_at_factor(factor, seed);
             cfg.measured_queries = mode.sim_measured;
             cfg.warmup_queries = mode.sim_warmup;
             cfg.discipline = discipline.clone();
-            let r = run(&policy, &study.mix, &cfg);
+            let r = run(policy.as_ref(), study.mix(), &cfg);
             let slow = study.ty("slow");
             let fast = study.ty("fast");
             let wait90 = r.stats.per_type[slow.index()]
@@ -68,10 +70,13 @@ fn main() {
             ]);
             eprint!(".");
         }
-        table.print(&format!(
-            "Scheduling ablation — Bouncer at {factor:.1}x QPS_full_load ({})",
-            TYPE_NAMES.join(", ")
-        ));
+        table.print_tagged(
+            &format!(
+                "Scheduling ablation — Bouncer at {factor:.1}x QPS_full_load ({})",
+                TYPE_NAMES.join(", ")
+            ),
+            &study.tag(),
+        );
     }
     eprintln!();
     println!("FIFO is the paper's baseline; priority-by-type implements the §7");

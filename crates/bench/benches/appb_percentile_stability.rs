@@ -1,4 +1,5 @@
-//! Appendix B.1: why the paper's SLOs use p50/p90 rather than p99.
+//! Appendix B.1: why the paper's SLOs use p50/p90 rather than p99, from
+//! `scenarios/appb_percentile_stability.scn`.
 //!
 //! "Garbage collection pauses regularly cause relatively high pt_p99 …
 //! When a query type's histogram stores an elevated pt_p99 (i.e., close to
@@ -17,10 +18,10 @@
 //! cause.
 
 use bouncer_bench::runmode::RunMode;
+use bouncer_bench::simstudy::SimStudy;
 use bouncer_bench::table::{pct, Table};
 use bouncer_metrics::time::millis_f64;
 use bouncer_metrics::DualHistogram;
-use bouncer_workload::dist::LogNormal;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -28,12 +29,13 @@ fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
 
-    let dist = LogNormal::from_median_p90(12.51, 44.26); // Table 1 "slow"
+    let study = SimStudy::load("appb_percentile_stability.scn");
+    let dist = study.mix().classes()[0].processing_ms; // Table 1 "slow"
     let pause_prob = 0.01; // one GC hiccup per ~100 queries
     let intervals = if mode.full { 600 } else { 120 };
     let samples_per_interval = 1_500;
 
-    let mut rng = SmallRng::seed_from_u64(0x6C);
+    let mut rng = SmallRng::seed_from_u64(study.spec().seed);
     let hist = DualHistogram::new();
     let mut series: Vec<[f64; 3]> = Vec::new(); // per-interval [p50,p90,p99] ms
 
@@ -80,7 +82,10 @@ fn main() {
         ]);
     }
 
-    table.print("Appendix B.1 — per-interval percentile stability under GC-like pauses");
+    table.print_tagged(
+        "Appendix B.1 — per-interval percentile stability under GC-like pauses",
+        &study.tag(),
+    );
     println!("paper's argument: p50/p90 estimates stay stable across intervals while");
     println!("p99 is regularly inflated by pauses — an SLO_p99 would cause whole");
     println!("intervals of needless rejections. Expect CV(p99) >> CV(p50), and");

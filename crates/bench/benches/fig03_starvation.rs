@@ -1,56 +1,24 @@
 //! Figure 3 (§4): the starvation example.
 //!
-//! Two query types with the *same* SLO {p50 = 18 ms, p90 = 50 ms}: FAST
-//! queries (cheap) and SLOW queries (whose processing times sit close to
-//! the SLO, so the objective is much tighter for them). Driving the
-//! simulated broker hard, basic Bouncer starves the SLOW type — the paper
-//! observed ~99 % SLOW rejections vs <10 % FAST — and the starvation
-//! avoidance strategies cap or relieve it.
-
-use std::sync::Arc;
+//! `scenarios/fig03_starvation.scn` declares two query types with the
+//! *same* SLO {p50 = 18 ms, p90 = 50 ms}: FAST queries (cheap) and SLOW
+//! queries (whose processing times sit close to the SLO, so the objective
+//! is much tighter for them). Driving the simulated broker hard, basic
+//! Bouncer starves the SLOW type — the paper observed ~99 % SLOW
+//! rejections vs <10 % FAST — and the starvation avoidance strategies cap
+//! or relieve it.
 
 use bouncer_bench::runmode::RunMode;
+use bouncer_bench::simstudy::SimStudy;
 use bouncer_bench::table::{ms_opt, pct, Table};
-use bouncer_core::prelude::*;
-use bouncer_metrics::time::millis;
-use bouncer_sim::{run, SimConfig};
-use bouncer_workload::dist::LogNormal;
-use bouncer_workload::mix::{QueryClass, QueryMix};
-
-fn fixture() -> (TypeRegistry, QueryMix) {
-    let mut reg = TypeRegistry::new();
-    let fast = reg.register("FAST");
-    let slow = reg.register("SLOW");
-    // FAST dominates the mix and nearly fills capacity by itself — the
-    // shape behind Figure 3's production pair: with the queue held busy by
-    // FAST traffic, SLOW queries' tight headroom (their pt_p90 sits just
-    // under SLO_p90) gets them rejected almost always.
-    let mix = QueryMix::new(vec![
-        QueryClass {
-            ty: fast,
-            name: "FAST".into(),
-            proportion: 0.9,
-            processing_ms: LogNormal::from_median_p90(4.5, 12.0),
-        },
-        QueryClass {
-            ty: slow,
-            name: "SLOW".into(),
-            proportion: 0.1,
-            processing_ms: LogNormal::from_median_p90(12.51, 44.26),
-        },
-    ]);
-    (reg, mix)
-}
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let (reg, mix) = fixture();
-    let fast = reg.resolve("FAST").unwrap();
-    let slow = reg.resolve("SLOW").unwrap();
-    let slos = SloConfig::uniform(&reg, Slo::p50_p90(millis(18), millis(50)));
-    let full = mix.qps_full_load(100);
-    let rate = full * 1.6; // "traffic at a high rate"
+    let study = SimStudy::load("fig03_starvation.scn");
+    let fast = study.ty("FAST");
+    let slow = study.ty("SLOW");
+    let factor = study.rate_factors()[0]; // "traffic at a high rate"
 
     let mut table = Table::new(vec![
         "policy",
@@ -61,41 +29,16 @@ fn main() {
         "SLOW rt_p90",
     ]);
 
-    let policies: Vec<(&str, Arc<dyn AdmissionPolicy>)> = vec![
-        (
-            "Bouncer (basic)",
-            Arc::new(Bouncer::new(
-                slos.clone(),
-                BouncerConfig::with_parallelism(100),
-            )),
-        ),
-        (
-            "Bouncer + allowance(0.05)",
-            Arc::new(AcceptanceAllowance::new(
-                Bouncer::new(slos.clone(), BouncerConfig::with_parallelism(100)),
-                reg.len(),
-                0.05,
-                7,
-            )),
-        ),
-        (
-            "Bouncer + underserved(1.0)",
-            Arc::new(HelpingTheUnderserved::new(
-                Bouncer::new(slos.clone(), BouncerConfig::with_parallelism(100)),
-                reg.len(),
-                1.0,
-                7,
-            )),
-        ),
+    let policies = [
+        ("basic", "Bouncer (basic)"),
+        ("aa", "Bouncer + allowance(0.05)"),
+        ("htu", "Bouncer + underserved(1.0)"),
     ];
-
-    for (name, policy) in policies {
-        let mut cfg = SimConfig::paper(rate, 11);
-        cfg.measured_queries = mode.sim_measured;
-        cfg.warmup_queries = mode.sim_warmup;
-        let r = run(&policy, &mix, &cfg);
+    for (label, display) in policies {
+        let policy = study.scenario().build_policy(label, 7).unwrap();
+        let r = study.run_once(policy.as_ref(), factor, study.spec().seed, &mode);
         table.row(vec![
-            name.to_owned(),
+            display.to_owned(),
             pct(r.rejection_pct(fast)),
             pct(r.rejection_pct(slow)),
             ms_opt(r.response_ms(fast, 0.5)),
@@ -106,7 +49,10 @@ fn main() {
     }
     eprintln!();
 
-    table.print("Figure 3 — query starvation at high load (same SLO for FAST and SLOW)");
+    table.print_tagged(
+        "Figure 3 — query starvation at high load (same SLO for FAST and SLOW)",
+        &study.tag(),
+    );
     println!("paper: basic Bouncer rejects ~99% of SLOW while <10% of FAST; the");
     println!("starvation-avoidance strategies keep letting some SLOW queries in.");
 }

@@ -1,5 +1,7 @@
 //! Figures 6, 7, and 8 (§5.3.1): basic Bouncer vs the in-house policies.
 //!
+//! Everything comes from `scenarios/fig06_policies.scn` — the four labeled
+//! policies (with the Table 2 parameters), the rate sweep, and the seed.
 //! One sweep over 0.9–1.5 × QPS_full_load produces all three series:
 //!
 //! * **Figure 6** — median response time (rt_p50) for *slow* queries, whose
@@ -12,52 +14,31 @@
 //! * **Figure 8** — overall rejection percentage. Bouncer lowest (it
 //!   targets the costly types); AcceptFraction highest.
 
-use std::sync::Arc;
-
 use bouncer_bench::runmode::RunMode;
-use bouncer_bench::simstudy::{SimStudy, RATE_FACTORS};
+use bouncer_bench::simstudy::SimStudy;
 use bouncer_bench::table::{ms_opt, pct, Table};
-use bouncer_core::policy::AdmissionPolicy;
-
-/// A seeded policy constructor for multi-run averaging.
-type MakePolicy<'a> = Box<dyn Fn(u64) -> Arc<dyn AdmissionPolicy> + 'a>;
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = SimStudy::new();
+    let study = SimStudy::load("fig06_policies.scn");
     println!(
         "QPS_full_load = {:.0} (paper: ~15,100) at P = 100",
-        study.full_load
+        study.full_load()
     );
     let slow = study.ty("slow");
 
-    let policies: Vec<(&str, MakePolicy)> = vec![
-        ("Bouncer", Box::new(|_s| Arc::new(study.bouncer()))),
-        ("MaxQL(400)", Box::new(|_s| Arc::new(study.maxql()))),
-        ("MaxQWT(15ms)", Box::new(|_s| Arc::new(study.maxqwt()))),
-        (
-            "AcceptFraction(95%)",
-            Box::new(|s| Arc::new(study.accept_fraction(s))),
-        ),
-    ];
+    let header = vec!["factor", "Bouncer", "MaxQL", "MaxQWT", "AcceptFrac"];
+    let mut fig6 = Table::new(header.clone());
+    let mut fig7 = Table::new(header.clone());
+    let mut fig8 = Table::new(header);
 
-    let mut fig6 = Table::new(vec![
-        "factor", "Bouncer", "MaxQL", "MaxQWT", "AcceptFrac",
-    ]);
-    let mut fig7 = Table::new(vec![
-        "factor", "Bouncer", "MaxQL", "MaxQWT", "AcceptFrac",
-    ]);
-    let mut fig8 = Table::new(vec![
-        "factor", "Bouncer", "MaxQL", "MaxQWT", "AcceptFrac",
-    ]);
-
-    for &factor in &RATE_FACTORS {
+    for &factor in study.rate_factors() {
         let mut rt = vec![format!("{factor:.2}x")];
         let mut util = vec![format!("{factor:.2}x")];
         let mut rej = vec![format!("{factor:.2}x")];
-        for (_, make) in &policies {
-            let avg = study.run_avg(make.as_ref(), factor, &mode);
+        for (_, policy) in &study.spec().policies {
+            let avg = study.run_avg(policy, factor, &mode);
             rt.push(ms_opt(avg.rt_p50(slow)));
             util.push(pct(avg.util_pct));
             rej.push(pct(avg.rej_all_pct));
@@ -69,10 +50,11 @@ fn main() {
     }
     eprintln!();
 
-    fig6.print("Figure 6 — rt_p50 of `slow` queries, ms (SLO_p50 = 18 ms)");
+    let tag = study.tag();
+    fig6.print_tagged("Figure 6 — rt_p50 of `slow` queries, ms (SLO_p50 = 18 ms)", &tag);
     println!("paper: Bouncer <=18 throughout; MaxQL plateaus ~40; MaxQWT ~22; AcceptFraction grows unbounded");
-    fig7.print("Figure 7 — engine utilization, %");
+    fig7.print_tagged("Figure 7 — engine utilization, %", &tag);
     println!("paper: all policies ~100% past full load; AcceptFraction capped at ~95%");
-    fig8.print("Figure 8 — overall rejections, %");
+    fig8.print_tagged("Figure 8 — overall rejections, %", &tag);
     println!("paper: Bouncer lowest (11.3% at 1.5x); AcceptFraction highest");
 }

@@ -1,45 +1,28 @@
 //! Figure 9 (§5.3.2): median response time of *slow* queries under basic
-//! Bouncer vs the starvation-avoidance strategies (Table 2 parameters:
-//! A = 0.05, α = 1.0).
+//! Bouncer vs the starvation-avoidance strategies, from
+//! `scenarios/fig09_strategies.scn` (Table 2 parameters: A = 0.05,
+//! α = 1.0).
 //!
 //! Paper shape: basic Bouncer stays at the 18 ms SLO_p50; both strategies
 //! exceed it at high rates because they deliberately accept queries basic
 //! Bouncer would reject; acceptance-allowance stays within SLO to a higher
 //! QPS and reports lower rt_p50 at high rates than helping-the-underserved.
 
-use std::sync::Arc;
-
 use bouncer_bench::runmode::RunMode;
-use bouncer_bench::simstudy::{SimStudy, RATE_FACTORS};
+use bouncer_bench::simstudy::SimStudy;
 use bouncer_bench::table::{ms_opt, Table};
-use bouncer_core::policy::AdmissionPolicy;
-
-/// A seeded policy constructor for multi-run averaging.
-type MakePolicy<'a> = Box<dyn Fn(u64) -> Arc<dyn AdmissionPolicy> + 'a>;
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = SimStudy::new();
+    let study = SimStudy::load("fig09_strategies.scn");
     let slow = study.ty("slow");
 
-    let variants: Vec<(&str, MakePolicy)> = vec![
-        ("basic", Box::new(|_s| Arc::new(study.bouncer()))),
-        (
-            "allowance(A=0.05)",
-            Box::new(|s| Arc::new(study.bouncer_allowance(0.05, s))),
-        ),
-        (
-            "underserved(a=1.0)",
-            Box::new(|s| Arc::new(study.bouncer_underserved(1.0, s))),
-        ),
-    ];
-
     let mut table = Table::new(vec!["factor", "basic", "allowance", "underserved"]);
-    for &factor in &RATE_FACTORS {
+    for &factor in study.rate_factors() {
         let mut row = vec![format!("{factor:.2}x")];
-        for (_, make) in &variants {
-            let avg = study.run_avg(make.as_ref(), factor, &mode);
+        for (_, policy) in &study.spec().policies {
+            let avg = study.run_avg(policy, factor, &mode);
             row.push(ms_opt(avg.rt_p50(slow)));
         }
         table.row(row);
@@ -47,7 +30,10 @@ fn main() {
     }
     eprintln!();
 
-    table.print("Figure 9 — rt_p50 of `slow` queries, ms (SLO_p50 = 18 ms)");
+    table.print_tagged(
+        "Figure 9 — rt_p50 of `slow` queries, ms (SLO_p50 = 18 ms)",
+        &study.tag(),
+    );
     println!("paper: basic tracks the SLO; both strategies exceed it at high rates");
     println!("(>20 ms), with allowance staying under SLO to a higher QPS than");
     println!("underserved and reporting lower rt_p50 at the top rates.");

@@ -1,25 +1,24 @@
 //! Figure 10 (§5.3.3): rt_p50 of *slow* queries as the strategy parameters
-//! vary, at 1.5 × full load.
+//! vary, at 1.5 × full load. The parameter lists come from
+//! `scenarios/fig10_param_rt.scn` (`param.allowance`, `param.alpha`).
 //!
 //! Paper shape: both strategies sit above 20 ms (they accept requests basic
 //! Bouncer would reject) and rt_p50 grows only slowly with A or α (< 10 %
 //! increase across the whole range).
 
-use std::sync::Arc;
-
 use bouncer_bench::runmode::RunMode;
 use bouncer_bench::simstudy::SimStudy;
 use bouncer_bench::table::{ms_opt, Table};
-use bouncer_core::policy::AdmissionPolicy;
+use bouncer_core::spec::PolicySpec;
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = SimStudy::new();
+    let study = SimStudy::load("fig10_param_rt.scn");
     let slow = study.ty("slow");
-
-    let params: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
-    let allowances: [f64; 10] = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10];
+    let factor = study.rate_factors()[0]; // 1.5x
+    let allowances = study.spec().param("allowance").unwrap().to_vec();
+    let alphas = study.spec().param("alpha").unwrap().to_vec();
 
     let mut table = Table::new(vec![
         "point",
@@ -28,15 +27,9 @@ fn main() {
         "alpha",
         "rt_p50 (HTU)",
     ]);
-    for i in 0..params.len() {
-        let a = allowances[i];
-        let alpha = params[i];
-        let make_aa: Box<dyn Fn(u64) -> Arc<dyn AdmissionPolicy>> =
-            Box::new(|seed| Arc::new(study.bouncer_allowance(a, seed)));
-        let make_htu: Box<dyn Fn(u64) -> Arc<dyn AdmissionPolicy>> =
-            Box::new(|seed| Arc::new(study.bouncer_underserved(alpha, seed)));
-        let ra = study.run_avg(make_aa.as_ref(), 1.5, &mode);
-        let rh = study.run_avg(make_htu.as_ref(), 1.5, &mode);
+    for (i, (&a, &alpha)) in allowances.iter().zip(&alphas).enumerate() {
+        let ra = study.run_avg(&PolicySpec::allowance(a), factor, &mode);
+        let rh = study.run_avg(&PolicySpec::underserved(alpha), factor, &mode);
         table.row(vec![
             format!("{}", i + 1),
             format!("{a}"),
@@ -48,7 +41,10 @@ fn main() {
     }
     eprintln!();
 
-    table.print("Figure 10 — rt_p50 of `slow` (ms) vs strategy parameters, at 1.5x");
+    table.print_tagged(
+        "Figure 10 — rt_p50 of `slow` (ms) vs strategy parameters, at 1.5x",
+        &study.tag(),
+    );
     println!("paper: both strategies above 20 ms (SLO_p50 = 18 ms), growing <10%");
     println!("across the parameter range.");
 }

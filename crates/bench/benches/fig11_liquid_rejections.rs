@@ -1,4 +1,5 @@
-//! Figure 11 (§5.4): overall rejection percentage on the real system.
+//! Figure 11 (§5.4): overall rejection percentage on the real system, from
+//! `scenarios/fig11_liquid.scn`.
 //!
 //! Brokers run the policy under test; shards always run AcceptFraction
 //! (80 %); the load generator drives the published QT1..QT11 mix at five
@@ -10,17 +11,14 @@
 //! and AcceptFraction rejects the most (conservative 80 % threshold); the
 //! brokers — not the shards — produce the vast majority of rejections.
 
-use bouncer_bench::liquidstudy::{
-    accept_fraction_factory, bouncer_aa_factory, bouncer_htu_factory, maxql_factory,
-    maxqwt_factory, LiquidStudy, RATE_FACTORS,
-};
+use bouncer_bench::liquidstudy::LiquidStudy;
 use bouncer_bench::runmode::RunMode;
 use bouncer_bench::table::{pct, Table};
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = LiquidStudy::new(&mode);
+    let study = LiquidStudy::load("fig11_liquid.scn", &mode);
     println!(
         "measured capacity: {:.0} QPS (in-proc mini-cluster, {} shards x {} engines, {} brokers x {} engines)",
         study.capacity_qps,
@@ -29,24 +27,25 @@ fn main() {
         study.cluster_cfg.n_brokers,
         study.cluster_cfg.broker.engines,
     );
+    let seed = study.spec().seed;
 
     let policies = [
-        ("Bouncer+AA(0.05)", bouncer_aa_factory()),
-        ("Bouncer+HTU(1.0)", bouncer_htu_factory()),
-        ("MaxQL(800)", maxql_factory()),
-        ("MaxQWT(12ms)", maxqwt_factory()),
-        ("AcceptFraction(80%)", accept_fraction_factory()),
+        ("Bouncer+AA(0.05)", study.policy("aa").clone()),
+        ("Bouncer+HTU(1.0)", study.policy("htu").clone()),
+        ("MaxQL(800)", study.policy("maxql").clone()),
+        ("MaxQWT(12ms)", study.policy("maxqwt").clone()),
+        ("AcceptFraction(80%)", study.policy("af").clone()),
     ];
 
     let mut table = Table::new(vec![
         "rate", "QPS", "B+AA", "B+HTU", "MaxQL", "MaxQWT", "AcceptFrac",
     ]);
     let mut shard_share = Vec::new();
-    for &(label, factor) in &RATE_FACTORS {
+    for (label, factor) in study.rate_points().to_vec() {
         let rate = study.capacity_qps * factor;
-        let mut row = vec![label.to_string(), format!("{rate:.0}")];
-        for (_, factory) in &policies {
-            let point = study.run_point(factory.as_ref(), rate, 42, &mode);
+        let mut row = vec![label.clone(), format!("{rate:.0}")];
+        for (_, policy) in &policies {
+            let point = study.run_point(policy, rate, seed, &mode);
             row.push(pct(point.overall_rejection_pct()));
             let broker_rej: u64 = point.rejected.iter().sum();
             shard_share.push((broker_rej, point.shard_rejections));
@@ -56,7 +55,10 @@ fn main() {
     }
     eprintln!();
 
-    table.print("Figure 11 — overall rejections on the LIquid-like cluster, %");
+    table.print_tagged(
+        "Figure 11 — overall rejections on the LIquid-like cluster, %",
+        &study.tag(),
+    );
     let (b, s) = shard_share
         .iter()
         .fold((0u64, 0u64), |(a, c), &(x, y)| (a + x, c + y));

@@ -1,5 +1,6 @@
 //! Figure 12 (§5.4): response times of serviced QT11 queries on the real
-//! system — (a) rt_p50 and (b) rt_p90 — for every broker policy.
+//! system — (a) rt_p50 and (b) rt_p90 — for every broker policy, from
+//! `scenarios/fig12_liquid.scn`.
 //!
 //! QT11 has the largest processing time (tightest SLO) and the largest mix
 //! share. Paper shape: Bouncer (both variants) and MaxQWT keep rt_p50 near
@@ -8,10 +9,7 @@
 //! point on; helping-the-underserved slightly exceeds SLO_p50 at the two
 //! highest rates, acceptance-allowance stays under.
 
-use bouncer_bench::liquidstudy::{
-    accept_fraction_factory, bouncer_aa_factory, bouncer_htu_factory, maxql_factory,
-    maxqwt_factory, LiquidStudy, RATE_FACTORS,
-};
+use bouncer_bench::liquidstudy::LiquidStudy;
 use bouncer_bench::runmode::RunMode;
 use bouncer_bench::table::{ms_opt, Table};
 use liquid::query::QueryKind;
@@ -19,15 +17,16 @@ use liquid::query::QueryKind;
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = LiquidStudy::new(&mode);
+    let study = LiquidStudy::load("fig12_liquid.scn", &mode);
     println!("measured capacity: {:.0} QPS", study.capacity_qps);
+    let seed = study.spec().seed;
 
     let policies = [
-        ("Bouncer+AA(0.05)", bouncer_aa_factory()),
-        ("Bouncer+HTU(1.0)", bouncer_htu_factory()),
-        ("MaxQL(800)", maxql_factory()),
-        ("MaxQWT(12ms)", maxqwt_factory()),
-        ("AcceptFraction(80%)", accept_fraction_factory()),
+        study.policy("aa").clone(),
+        study.policy("htu").clone(),
+        study.policy("maxql").clone(),
+        study.policy("maxqwt").clone(),
+        study.policy("af").clone(),
     ];
 
     let mut fig_a = Table::new(vec![
@@ -37,12 +36,12 @@ fn main() {
         "rate", "B+AA", "B+HTU", "MaxQL", "MaxQWT", "AcceptFrac",
     ]);
 
-    for &(label, factor) in &RATE_FACTORS {
+    for (label, factor) in study.rate_points().to_vec() {
         let rate = study.capacity_qps * factor;
-        let mut row_a = vec![label.to_string()];
-        let mut row_b = vec![label.to_string()];
-        for (_, factory) in &policies {
-            let point = study.run_point(factory.as_ref(), rate, 17, &mode);
+        let mut row_a = vec![label.clone()];
+        let mut row_b = vec![label.clone()];
+        for policy in &policies {
+            let point = study.run_point(policy, rate, seed, &mode);
             row_a.push(ms_opt(point.broker_rt_ms(QueryKind::Qt11Distance4, 0.5)));
             row_b.push(ms_opt(point.broker_rt_ms(QueryKind::Qt11Distance4, 0.9)));
             eprint!(".");
@@ -52,8 +51,14 @@ fn main() {
     }
     eprintln!();
 
-    fig_a.print("Figure 12a — rt_p50 of serviced QT11, ms (SLO_p50 = 18 ms)");
-    fig_b.print("Figure 12b — rt_p90 of serviced QT11, ms (SLO_p90 = 50 ms)");
+    fig_a.print_tagged(
+        "Figure 12a — rt_p50 of serviced QT11, ms (SLO_p50 = 18 ms)",
+        &study.tag(),
+    );
+    fig_b.print_tagged(
+        "Figure 12b — rt_p90 of serviced QT11, ms (SLO_p90 = 50 ms)",
+        &study.tag(),
+    );
     println!("paper: Bouncer variants and MaxQWT stay near/under the SLOs;");
     println!("MaxQL and AcceptFraction exceed SLO_p50 by >4x and SLO_p90 by >2x");
     println!("at the two highest rates; HTU slightly exceeds SLO_p50 there.");

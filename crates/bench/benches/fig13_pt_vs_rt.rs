@@ -1,5 +1,6 @@
 //! Figure 13 (§5.4): QT11's median *processing* time vs median *response*
-//! time under MaxQWT and Bouncer on the real system.
+//! time under MaxQWT and Bouncer on the real system, from
+//! `scenarios/fig13_liquid.scn`.
 //!
 //! The paper's key observation: unlike the ideal simulated engine, the real
 //! cluster's processing tier queues too, so the processing time observed by
@@ -8,7 +9,7 @@
 //! pt_p50 and exceed the SLO; Bouncer, which accounts for both wait and
 //! percentile processing times, keeps rt_p50 tracking pt_p50.
 
-use bouncer_bench::liquidstudy::{bouncer_aa_factory, maxqwt_factory, LiquidStudy, RATE_FACTORS};
+use bouncer_bench::liquidstudy::LiquidStudy;
 use bouncer_bench::runmode::RunMode;
 use bouncer_bench::table::{ms_opt, Table};
 use liquid::query::QueryKind;
@@ -16,8 +17,9 @@ use liquid::query::QueryKind;
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = LiquidStudy::new(&mode);
+    let study = LiquidStudy::load("fig13_liquid.scn", &mode);
     println!("measured capacity: {:.0} QPS", study.capacity_qps);
+    let seed = study.spec().seed;
 
     let mut table = Table::new(vec![
         "rate",
@@ -27,14 +29,14 @@ fn main() {
         "rt_p50 (Bouncer)",
     ]);
 
-    let maxqwt = maxqwt_factory();
-    let bouncer = bouncer_aa_factory();
-    for &(label, factor) in &RATE_FACTORS {
+    let maxqwt = study.policy("maxqwt").clone();
+    let bouncer = study.policy("aa").clone();
+    for (label, factor) in study.rate_points().to_vec() {
         let rate = study.capacity_qps * factor;
-        let m = study.run_point(maxqwt.as_ref(), rate, 23, &mode);
-        let b = study.run_point(bouncer.as_ref(), rate, 23, &mode);
+        let m = study.run_point(&maxqwt, rate, seed, &mode);
+        let b = study.run_point(&bouncer, rate, seed, &mode);
         table.row(vec![
-            label.to_string(),
+            label.clone(),
             ms_opt(m.broker_pt_ms(QueryKind::Qt11Distance4, 0.5)),
             ms_opt(m.broker_rt_ms(QueryKind::Qt11Distance4, 0.5)),
             ms_opt(b.broker_pt_ms(QueryKind::Qt11Distance4, 0.5)),
@@ -44,7 +46,10 @@ fn main() {
     }
     eprintln!();
 
-    table.print("Figure 13 — QT11 pt_p50 vs rt_p50, ms (SLO_p50 = 18 ms)");
+    table.print_tagged(
+        "Figure 13 — QT11 pt_p50 vs rt_p50, ms (SLO_p50 = 18 ms)",
+        &study.tag(),
+    );
     println!("paper: pt_p50 RISES with load (shard-tier queueing) — the behavior");
     println!("the ideal simulator cannot show; MaxQWT lets rt_p50 depart from");
     println!("pt_p50 and break the SLO, Bouncer keeps rt_p50 tracking pt_p50.");

@@ -1,5 +1,5 @@
 //! Figure 14 (§5.5): Bouncer vs MaxQWT with wait-time limits set *per
-//! query type*.
+//! query type*, from `scenarios/fig14_maxqwt_pertype.scn`.
 //!
 //! The paper's point: "with properly chosen wait time limits per query
 //! type, MaxQWT can match Bouncer's behavior in terms of serviced queries
@@ -11,47 +11,35 @@
 //! `limit(type) = SLO_p50 − pt_p50(type)` (the wait budget that keeps the
 //! median inside the SLO), floored at 1 ms.
 
-use std::sync::Arc;
-
 use bouncer_bench::runmode::RunMode;
-use bouncer_bench::simstudy::{SimStudy, PARALLELISM, RATE_FACTORS};
+use bouncer_bench::simstudy::SimStudy;
 use bouncer_bench::table::{ms_opt, pct, Table};
-use bouncer_core::policy::{AdmissionPolicy, MaxQueueWaitTime};
-use bouncer_metrics::time::millis_f64;
+use bouncer_core::spec::{defaults, PolicySpec};
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = SimStudy::new();
+    let study = SimStudy::load("fig14_maxqwt_pertype.scn");
     let slow = study.ty("slow");
+    let bouncer = study.spec().first_policy().unwrap().clone();
 
     // Tuned per-type wait budgets: SLO_p50 (18 ms) minus each type's
     // pt_p50 from Table 1, floored at 1 ms. `default` gets the loosest.
-    let mut limits = vec![millis_f64(18.0)]; // default type
-    for class in study.mix.classes() {
-        let budget = (18.0 - class.processing_ms.median()).max(1.0);
-        limits.push(millis_f64(budget));
+    let mut limits_ms = vec![defaults::SLO_P50_MS]; // default type
+    for class in study.mix().classes() {
+        limits_ms.push((defaults::SLO_P50_MS - class.processing_ms.median()).max(1.0));
     }
-    println!(
-        "per-type wait limits (ms): {:?}",
-        limits.iter().map(|&l| l as f64 / 1e6).collect::<Vec<_>>()
-    );
+    println!("per-type wait limits (ms): {limits_ms:?}");
+    let maxqwt = PolicySpec::MaxQwtPerType {
+        wait_ms: limits_ms,
+    };
 
     let mut fig_a = Table::new(vec!["factor", "Bouncer", "MaxQWT/type"]);
     let mut fig_b = Table::new(vec!["factor", "Bouncer", "MaxQWT/type"]);
 
-    for &factor in &RATE_FACTORS {
-        let make_b: Box<dyn Fn(u64) -> Arc<dyn AdmissionPolicy>> =
-            Box::new(|_s| Arc::new(study.bouncer()));
-        let limits_clone = limits.clone();
-        let make_m: Box<dyn Fn(u64) -> Arc<dyn AdmissionPolicy>> = Box::new(move |_s| {
-            Arc::new(MaxQueueWaitTime::with_per_type_limits(
-                limits_clone.clone(),
-                PARALLELISM,
-            ))
-        });
-        let rb = study.run_avg(make_b.as_ref(), factor, &mode);
-        let rm = study.run_avg(make_m.as_ref(), factor, &mode);
+    for &factor in study.rate_factors() {
+        let rb = study.run_avg(&bouncer, factor, &mode);
+        let rm = study.run_avg(&maxqwt, factor, &mode);
         fig_a.row(vec![
             format!("{factor:.2}x"),
             ms_opt(rb.rt_p50(slow)),
@@ -66,8 +54,9 @@ fn main() {
     }
     eprintln!();
 
-    fig_a.print("Figure 14a — rt_p50 of `slow` (ms): Bouncer vs per-type MaxQWT");
-    fig_b.print("Figure 14b — overall rejections (%): Bouncer vs per-type MaxQWT");
+    let tag = study.tag();
+    fig_a.print_tagged("Figure 14a — rt_p50 of `slow` (ms): Bouncer vs per-type MaxQWT", &tag);
+    fig_b.print_tagged("Figure 14b — overall rejections (%): Bouncer vs per-type MaxQWT", &tag);
     println!("paper: with tuned per-type limits MaxQWT matches Bouncer on both");
     println!("series — but only after laborious tuning that must be redone per");
     println!("workload, whereas Bouncer takes the SLOs directly.");

@@ -18,10 +18,10 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-use bouncer_bench::liquidstudy::liquid_mix;
-use bouncer_core::policy::AlwaysAccept;
+use bouncer_bench::liquidstudy::{liquid_mix, liquid_slos};
+use bouncer_bench::simstudy::scenario_path;
+use bouncer_core::spec::{PolicyEnv, ScenarioSpec};
 use criterion::{black_box, criterion_group, criterion_main, fmt_ns, Criterion};
 use liquid::broker::BrokerConfig;
 use liquid::cluster::{Cluster, ClusterConfig, TransportKind};
@@ -55,9 +55,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
 
-fn cluster_config(transport: TransportKind, batch_fanout: bool) -> ClusterConfig {
+fn datapath_spec() -> ScenarioSpec {
+    let path = scenario_path("liquid_datapath.scn");
+    ScenarioSpec::load(&path).unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()))
+}
+
+fn cluster_config(spec: &ScenarioSpec, transport: TransportKind, batch_fanout: bool) -> ClusterConfig {
     ClusterConfig {
-        n_shards: 4,
+        n_shards: spec.liquid().unwrap_or_else(|e| panic!("{e}")).shards as usize,
         n_brokers: 1,
         // A smaller graph than the study default keeps smoke runs quick
         // while the BFS- and network-heavy mix still dominates the fan-out.
@@ -84,9 +89,9 @@ fn cluster_config(transport: TransportKind, batch_fanout: bool) -> ClusterConfig
 /// Queries drawn from the published mix — the same distribution the
 /// overload points (1.25×–2.08× capacity) replay, so per-query cost is
 /// weighted exactly like the §5.4 study traffic.
-fn mix_queries(vertices: u32, count: usize) -> Vec<Query> {
+fn mix_queries(seed: u64, vertices: u32, count: usize) -> Vec<Query> {
     let mix = liquid_mix();
-    let mut rng = SmallRng::seed_from_u64(0xDA7A);
+    let mut rng = SmallRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
             let class = mix.sample_class(&mut rng);
@@ -135,13 +140,24 @@ fn bench_datapath(c: &mut Criterion) {
         .is_some_and(|ms| ms <= 100);
     let n_queries = if smoke { 48 } else { 192 };
     let alloc_passes = if smoke { 2 } else { 5 };
+    let spec = datapath_spec();
+    println!("scenario: {}", spec.tag());
+    let broker_policy = spec.first_policy().unwrap_or_else(|e| panic!("{e}")).clone();
 
     for (transport, tname) in [(TransportKind::InProc, "inproc"), (TransportKind::Tcp, "tcp")] {
         for (batch, vname) in [(true, "batched"), (false, "unbatched")] {
-            let cluster = Cluster::spawn(&cluster_config(transport, batch), |_reg, _p| {
-                Arc::new(AlwaysAccept::new())
-            });
-            let queries = mix_queries(cluster.vertices(), n_queries);
+            let policy = broker_policy.clone();
+            let seed = spec.seed;
+            let cluster =
+                Cluster::spawn(&cluster_config(&spec, transport, batch), move |reg, engines| {
+                    let env = PolicyEnv {
+                        registry: reg,
+                        slos: liquid_slos(reg),
+                        parallelism: engines,
+                    };
+                    policy.build(&env, seed)
+                });
+            let queries = mix_queries(spec.seed, cluster.vertices(), n_queries);
 
             let mut i = 0usize;
             c.bench_function(&format!("liquid_datapath/{tname}/{vname}"), |b| {

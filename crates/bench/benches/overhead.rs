@@ -1,4 +1,4 @@
-//! §5.4 overhead measurement (Criterion).
+//! §5.4 overhead measurement (Criterion), from `scenarios/overhead.scn`.
 //!
 //! "Our implementation of Bouncer reports a small overhead (mean = 18 µs,
 //! p50 = 15 µs, and p99 = 87 µs) for millisecond-scale response times."
@@ -6,77 +6,99 @@
 //! decision itself must be at most that. This bench measures the per-query
 //! admission decision of Bouncer (warm, 11 query types), the two
 //! starvation-avoidance wrappers, the baseline policies, and the
-//! measurement primitives they are built from.
+//! measurement primitives they are built from. Policy parameters and the
+//! SLO table come from the scenario; the registry-size sweep stays here.
 
 use std::sync::Arc;
 
+use bouncer_bench::simstudy::scenario_path;
 use bouncer_core::prelude::*;
+use bouncer_core::spec::{defaults, PolicyEnv, ScenarioSpec};
 use bouncer_metrics::time::{millis, secs};
 use bouncer_metrics::{AtomicHistogram, DualHistogram, MovingStats, SlidingHistogram, WindowedCounters};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-/// A warmed Bouncer over 11 types under a realistic queue backlog.
-fn warmed_bouncer(n_types: usize) -> (Bouncer, TypeRegistry) {
+fn overhead_spec() -> ScenarioSpec {
+    let path = scenario_path("overhead.scn");
+    ScenarioSpec::load(&path).unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()))
+}
+
+fn qt_registry(n_types: usize) -> TypeRegistry {
     let mut reg = TypeRegistry::new();
     for i in 0..n_types {
         reg.register(&format!("QT{}", i + 1));
     }
-    let slos = SloConfig::uniform(&reg, Slo::p50_p90(millis(18), millis(50)));
-    let b = Bouncer::new(slos, BouncerConfig::with_parallelism(100));
+    reg
+}
+
+fn policy_env<'a>(spec: &ScenarioSpec, reg: &'a TypeRegistry) -> PolicyEnv<'a> {
+    PolicyEnv {
+        registry: reg,
+        slos: spec.slos(reg).unwrap_or_else(|e| panic!("{e}")),
+        parallelism: defaults::PARALLELISM,
+    }
+}
+
+/// Warms a policy over every registered type under a realistic queue
+/// backlog (completions, an interval tick, then a standing queue so Eq. 2
+/// has real work to do). Everything goes through the `AdmissionPolicy`
+/// trait, so the same warm-up applies to Bouncer, its wrappers, and the
+/// baselines alike.
+fn warm(policy: &dyn AdmissionPolicy, reg: &TypeRegistry) {
     for (ty, _) in reg.iter() {
         for k in 0..200u64 {
-            b.on_completed(ty, millis(1 + ty.index() as u64) + k * 1000, 0);
+            policy.on_completed(ty, millis(1 + ty.index() as u64) + k * 1000, 0);
         }
     }
-    b.on_tick(secs(1));
-    // A standing queue so Eq. 2 has real work to do.
+    policy.on_tick(secs(1));
     for (ty, _) in reg.iter() {
         for _ in 0..8 {
-            b.on_enqueued(ty, secs(1));
+            policy.on_enqueued(ty, secs(1));
         }
     }
-    (b, reg)
 }
 
 fn bench_policies(c: &mut Criterion) {
-    let (bouncer, reg) = warmed_bouncer(11);
+    let spec = overhead_spec();
+    println!("scenario: {}", spec.tag());
+    let reg = qt_registry(11);
     let ty = reg.resolve("QT11").unwrap();
+    let build_warm = |label: &str| -> Arc<dyn AdmissionPolicy> {
+        let policy = spec
+            .policy(label)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .build(&policy_env(&spec, &reg), spec.seed);
+        warm(policy.as_ref(), &reg);
+        policy
+    };
 
+    let bouncer = build_warm("bouncer");
     c.bench_function("bouncer_admit", |b| {
         b.iter(|| black_box(bouncer.admit(black_box(ty), secs(1))))
     });
 
-    let (inner, reg2) = warmed_bouncer(11);
-    let aa = AcceptanceAllowance::new(inner, reg2.len(), 0.05, 42);
+    let aa = build_warm("aa");
     c.bench_function("bouncer_allowance_admit", |b| {
         b.iter(|| black_box(aa.admit(black_box(ty), secs(1))))
     });
 
-    let (inner, reg3) = warmed_bouncer(11);
-    let htu = HelpingTheUnderserved::new(inner, reg3.len(), 1.0, 42);
+    let htu = build_warm("htu");
     c.bench_function("bouncer_underserved_admit", |b| {
         b.iter(|| black_box(htu.admit(black_box(ty), secs(1))))
     });
 
-    let maxql = MaxQueueLength::new(400);
-    for _ in 0..100 {
-        maxql.on_enqueued(ty, 0);
-    }
+    let maxql = build_warm("maxql");
     c.bench_function("maxql_admit", |b| {
         b.iter(|| black_box(maxql.admit(black_box(ty), secs(1))))
     });
 
-    let maxqwt = MaxQueueWaitTime::new(millis(15), 100);
-    for i in 0..1000u64 {
-        maxqwt.on_completed(ty, millis(5), i * millis(10));
-    }
+    let maxqwt = build_warm("maxqwt");
     c.bench_function("maxqwt_admit", |b| {
         b.iter(|| black_box(maxqwt.admit(black_box(ty), secs(20))))
     });
 
-    let af = AcceptFraction::new(AcceptFractionConfig::new(0.95, 100));
-    af.on_tick(secs(1));
+    let af = build_warm("af");
     c.bench_function("accept_fraction_admit", |b| {
         b.iter(|| black_box(af.admit(black_box(ty), secs(2))))
     });
@@ -90,8 +112,14 @@ fn bench_policies(c: &mut Criterion) {
 /// `cold` variants decide for a type still in warm-up (general-histogram
 /// fallback), the worst case for the cache-refresh bookkeeping.
 fn bench_admit_hot_path(c: &mut Criterion) {
+    let spec = overhead_spec();
+    let bouncer_spec = spec.policy("bouncer").unwrap_or_else(|e| panic!("{e}"));
     for n_types in [1usize, 12, 64, 256] {
-        let (bouncer, reg) = warmed_bouncer(n_types);
+        let reg = qt_registry(n_types);
+        let bouncer = bouncer_spec
+            .build_bouncer(&policy_env(&spec, &reg))
+            .expect("bouncer-family spec");
+        warm(&bouncer, &reg);
         let ty = reg.resolve("QT1").unwrap();
         c.bench_function(&format!("admit_hot_path/cached/{n_types}_types"), |b| {
             b.iter(|| black_box(bouncer.can_admit(black_box(ty), secs(1))))
@@ -104,12 +132,10 @@ fn bench_admit_hot_path(c: &mut Criterion) {
     // Cold: no completions recorded at all, every type reads the general
     // fallback and the permissive cold-start leniency applies.
     for n_types in [12usize, 64] {
-        let mut reg = TypeRegistry::new();
-        for i in 0..n_types {
-            reg.register(&format!("QT{}", i + 1));
-        }
-        let slos = SloConfig::uniform(&reg, Slo::p50_p90(millis(18), millis(50)));
-        let bouncer = Bouncer::new(slos, BouncerConfig::with_parallelism(100));
+        let reg = qt_registry(n_types);
+        let bouncer = bouncer_spec
+            .build_bouncer(&policy_env(&spec, &reg))
+            .expect("bouncer-family spec");
         let ty = reg.resolve("QT1").unwrap();
         c.bench_function(&format!("admit_hot_path/cached_cold/{n_types}_types"), |b| {
             b.iter(|| black_box(bouncer.can_admit(black_box(ty), secs(1))))
@@ -184,10 +210,16 @@ fn bench_full_gate_path(c: &mut Criterion) {
     use bouncer_core::framework::{Gate, GateConfig, TakeOutcome};
     use bouncer_metrics::MonotonicClock;
 
-    let (bouncer, reg) = warmed_bouncer(11);
+    let spec = overhead_spec();
+    let reg = qt_registry(11);
     let ty = reg.resolve("QT5").unwrap();
+    let bouncer = spec
+        .policy("bouncer")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .build(&policy_env(&spec, &reg), spec.seed);
+    warm(bouncer.as_ref(), &reg);
     let gate: Gate<u32> = Gate::new(
-        Arc::new(bouncer),
+        bouncer,
         reg.len(),
         Arc::new(MonotonicClock::new()),
         GateConfig::default(),
@@ -224,25 +256,30 @@ fn bench_observability(c: &mut Criterion) {
         }
     }
 
-    let make_gate = |sink: Option<Arc<dyn EventSink>>| -> (Gate<u32>, TypeId) {
-        let (bouncer, reg) = warmed_bouncer(11);
-        let ty = reg.resolve("QT5").unwrap();
-        let gate = match sink {
+    let spec = overhead_spec();
+    let reg = qt_registry(11);
+    let ty = reg.resolve("QT5").unwrap();
+    let make_gate = |sink: Option<Arc<dyn EventSink>>| -> Gate<u32> {
+        let bouncer = spec
+            .policy("bouncer")
+            .unwrap_or_else(|e| panic!("{e}"))
+            .build(&policy_env(&spec, &reg), spec.seed);
+        warm(bouncer.as_ref(), &reg);
+        match sink {
             None => Gate::new(
-                Arc::new(bouncer),
+                bouncer,
                 reg.len(),
                 Arc::new(MonotonicClock::new()),
                 GateConfig::default(),
             ),
             Some(sink) => Gate::new_with_sink(
-                Arc::new(bouncer),
+                bouncer,
                 reg.len(),
                 Arc::new(MonotonicClock::new()),
                 GateConfig::default(),
                 sink,
             ),
-        };
-        (gate, ty)
+        }
     };
     let cycle = |gate: &Gate<u32>, ty: TypeId| {
         if gate.offer(black_box(ty), 1).is_ok() {
@@ -252,11 +289,11 @@ fn bench_observability(c: &mut Criterion) {
         }
     };
 
-    let (gate, ty) = make_gate(None);
+    let gate = make_gate(None);
     c.bench_function("gate_cycle_sink_disabled", |b| b.iter(|| cycle(&gate, ty)));
 
     let counter = Arc::new(CountingSink::default());
-    let (gate, ty) = make_gate(Some(counter.clone()));
+    let gate = make_gate(Some(counter.clone()));
     c.bench_function("gate_cycle_sink_counting", |b| b.iter(|| cycle(&gate, ty)));
     assert!(counter.0.load(Ordering::Relaxed) > 0, "sink never fired");
 }

@@ -1,5 +1,6 @@
 //! Table 3 (§5.3.2): per-type rejection percentages for Bouncer with and
-//! without the starvation-avoidance strategies, at 0.9–1.5 × full load.
+//! without the starvation-avoidance strategies, at 0.9–1.5 × full load,
+//! from `scenarios/table3_rejections.scn`.
 //!
 //! Paper reference (basic Bouncer, `slow` row): 0.01, 0.53, 5.02, 15.89,
 //! 29.27, 41.84, 53.63, 64.37, 74.18, 82.88, 90.37, 95.68, 98.46; overall
@@ -7,45 +8,31 @@
 //! 88 % while `medium slow` picks up to ~11 %; with α = 1.0 underserved
 //! caps `slow` near 71 % and `medium slow` rises to ~20 %.
 
-use std::sync::Arc;
-
 use bouncer_bench::runmode::RunMode;
-use bouncer_bench::simstudy::{SimStudy, RATE_FACTORS, TYPE_NAMES};
+use bouncer_bench::simstudy::{SimStudy, TYPE_NAMES};
 use bouncer_bench::table::{pct, Table};
-use bouncer_core::policy::AdmissionPolicy;
-
-/// A seeded policy constructor for multi-run averaging.
-type MakePolicy<'a> = Box<dyn Fn(u64) -> Arc<dyn AdmissionPolicy> + 'a>;
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = SimStudy::new();
+    let study = SimStudy::load("table3_rejections.scn");
+    let factors = study.rate_factors().to_vec();
 
-    let variants: Vec<(&str, MakePolicy)> = vec![
-        (
-            "Bouncer (basic formulation)",
-            Box::new(|_s| Arc::new(study.bouncer())),
-        ),
-        (
-            "Bouncer + acceptance-allowance (A=0.1)",
-            Box::new(|s| Arc::new(study.bouncer_allowance(0.1, s))),
-        ),
-        (
-            "Bouncer + helping-the-underserved (alpha=1.0)",
-            Box::new(|s| Arc::new(study.bouncer_underserved(1.0, s))),
-        ),
+    let variants = [
+        ("basic", "Bouncer (basic formulation)"),
+        ("allowance", "Bouncer + acceptance-allowance (A=0.1)"),
+        ("underserved", "Bouncer + helping-the-underserved (alpha=1.0)"),
     ];
-
-    for (name, make) in &variants {
+    for (label, display) in variants {
+        let policy = study.policy(label).clone();
         let mut header: Vec<String> = vec!["query type".into()];
-        header.extend(RATE_FACTORS.iter().map(|f| format!("{f:.2}x")));
+        header.extend(factors.iter().map(|f| format!("{f:.2}x")));
         let mut table = Table::new(header);
 
         // One sweep, transposed into per-type rows like the paper's table.
         let mut cells: Vec<Vec<String>> = vec![Vec::new(); TYPE_NAMES.len() + 1];
-        for &factor in &RATE_FACTORS {
-            let avg = study.run_avg(make.as_ref(), factor, &mode);
+        for &factor in &factors {
+            let avg = study.run_avg(&policy, factor, &mode);
             for (i, name) in TYPE_NAMES.iter().enumerate() {
                 let ty = study.ty(name);
                 let v = avg.rej_pct[ty.index()];
@@ -63,7 +50,7 @@ fn main() {
         row.append(&mut cells[TYPE_NAMES.len()]);
         table.row(row);
 
-        table.print(&format!("Table 3 — rejection % — {name}"));
+        table.print_tagged(&format!("Table 3 — rejection % — {display}"), &study.tag());
     }
     eprintln!();
     println!("paper (basic, slow): 0.01 0.53 5.02 15.89 29.27 41.84 53.63 64.37 74.18 82.88 90.37 95.68 98.46");

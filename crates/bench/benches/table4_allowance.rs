@@ -1,36 +1,31 @@
 //! Table 4 (§5.3.3): acceptance-allowance parameter sweep at 1.5 × full
-//! load — rejection % per type for A ∈ {0.01..0.1, 0.2, 0.3}.
+//! load — rejection % per type for A ∈ {0.01..0.1, 0.2, 0.3}, the
+//! `param.allowance` list of `scenarios/table4_allowance.scn`.
 //!
 //! Paper shape: `slow` rejections track the enforced cap `(1−A)·100 %`
 //! closely (97.21 % at A = 0.01 down to 67.26 % at A = 0.3) while the
 //! spill-over onto `medium slow` grows from 5.56 % to 22.26 %; overall
 //! rejections rise only from 11.39 % to 13.40 %.
 
-use std::sync::Arc;
-
 use bouncer_bench::runmode::RunMode;
 use bouncer_bench::simstudy::{SimStudy, TYPE_NAMES};
 use bouncer_bench::table::{pct, Table};
-use bouncer_core::policy::AdmissionPolicy;
-
-const ALLOWANCES: [f64; 12] = [
-    0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10, 0.20, 0.30,
-];
+use bouncer_core::spec::PolicySpec;
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = SimStudy::new();
+    let study = SimStudy::load("table4_allowance.scn");
+    let factor = study.rate_factors()[0]; // 1.5x
+    let allowances = study.spec().param("allowance").unwrap().to_vec();
 
     let mut header: Vec<String> = vec!["query type".into()];
-    header.extend(ALLOWANCES.iter().map(|a| format!("A={a}")));
+    header.extend(allowances.iter().map(|a| format!("A={a}")));
     let mut table = Table::new(header);
 
     let mut cells: Vec<Vec<String>> = vec![Vec::new(); TYPE_NAMES.len() + 1];
-    for &a in &ALLOWANCES {
-        let make: Box<dyn Fn(u64) -> Arc<dyn AdmissionPolicy>> =
-            Box::new(|seed| Arc::new(study.bouncer_allowance(a, seed)));
-        let avg = study.run_avg(make.as_ref(), 1.5, &mode);
+    for &a in &allowances {
+        let avg = study.run_avg(&PolicySpec::allowance(a), factor, &mode);
         for (i, name) in TYPE_NAMES.iter().enumerate() {
             let v = avg.rej_pct[study.ty(name).index()];
             cells[i].push(if v == 0.0 { "-0-".into() } else { pct(v) });
@@ -49,7 +44,10 @@ fn main() {
     row.append(&mut cells[TYPE_NAMES.len()]);
     table.row(row);
 
-    table.print("Table 4 — rejection % vs allowance A, at 1.5x QPS_full_load");
+    table.print_tagged(
+        "Table 4 — rejection % vs allowance A, at 1.5x QPS_full_load",
+        &study.tag(),
+    );
     println!("paper (slow):        97.21 96.23 95.25 94.30 93.26 92.19 91.20 90.17 89.16 88.13 77.48 67.26");
     println!("paper (medium slow):  5.56  6.08  6.64  7.24  7.72  8.38  9.04  9.57  9.96 10.74 16.49 22.26");
     println!("paper (ALL):         11.39 11.45 11.52 11.60 11.64 11.73 11.83 11.89 11.91 12.03 12.70 13.40");

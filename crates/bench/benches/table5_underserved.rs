@@ -1,5 +1,6 @@
 //! Table 5 (§5.3.3): helping-the-underserved parameter sweep at 1.5 × full
-//! load — rejection % per type for α ∈ {0.1..1.0}.
+//! load — rejection % per type for α ∈ {0.1..1.0}, the `param.alpha` list
+//! of `scenarios/table5_underserved.scn`.
 //!
 //! Paper shape: `slow` rejections fall from 94.74 % (α = 0.1) to 71.15 %
 //! (α = 1.0) — typically *above* the nominal `(1−p_max)` line because the
@@ -7,29 +8,25 @@
 //! spill-over grows from 7.07 % to 20.41 % and overall rejections rise only
 //! from 11.59 % to 13.24 %.
 
-use std::sync::Arc;
-
 use bouncer_bench::runmode::RunMode;
 use bouncer_bench::simstudy::{SimStudy, TYPE_NAMES};
 use bouncer_bench::table::{pct, Table};
-use bouncer_core::policy::AdmissionPolicy;
-
-const ALPHAS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+use bouncer_core::spec::PolicySpec;
 
 fn main() {
     let mode = RunMode::from_env();
     println!("{}", mode.banner());
-    let study = SimStudy::new();
+    let study = SimStudy::load("table5_underserved.scn");
+    let factor = study.rate_factors()[0]; // 1.5x
+    let alphas = study.spec().param("alpha").unwrap().to_vec();
 
     let mut header: Vec<String> = vec!["query type".into()];
-    header.extend(ALPHAS.iter().map(|a| format!("a={a}")));
+    header.extend(alphas.iter().map(|a| format!("a={a}")));
     let mut table = Table::new(header);
 
     let mut cells: Vec<Vec<String>> = vec![Vec::new(); TYPE_NAMES.len() + 1];
-    for &alpha in &ALPHAS {
-        let make: Box<dyn Fn(u64) -> Arc<dyn AdmissionPolicy>> =
-            Box::new(|seed| Arc::new(study.bouncer_underserved(alpha, seed)));
-        let avg = study.run_avg(make.as_ref(), 1.5, &mode);
+    for &alpha in &alphas {
+        let avg = study.run_avg(&PolicySpec::underserved(alpha), factor, &mode);
         for (i, name) in TYPE_NAMES.iter().enumerate() {
             let v = avg.rej_pct[study.ty(name).index()];
             cells[i].push(if v == 0.0 { "-0-".into() } else { pct(v) });
@@ -48,7 +45,10 @@ fn main() {
     row.append(&mut cells[TYPE_NAMES.len()]);
     table.row(row);
 
-    table.print("Table 5 — rejection % vs scaling factor alpha, at 1.5x QPS_full_load");
+    table.print_tagged(
+        "Table 5 — rejection % vs scaling factor alpha, at 1.5x QPS_full_load",
+        &study.tag(),
+    );
     println!("paper (slow):        94.74 91.32 88.11 84.81 82.38 79.47 77.10 75.01 72.98 71.15");
     println!("paper (medium slow):  7.07  9.01 10.98 12.60 14.19 15.98 16.97 17.99 19.10 20.41");
     println!("paper (ALL):         11.59 11.83 12.11 12.26 12.50 12.74 12.80 12.90 13.03 13.24");

@@ -9,44 +9,36 @@
 //! capacity (the paper's own observation anchors the mapping: "shards
 //! report high CPU utilization at rates ≥ 108K QPS", i.e. the third of the
 //! five points sits at the knee).
+//!
+//! Since the scenario-spec refactor the cluster shape, traffic points, and
+//! broker policies all come from a `scenarios/*.scn` file: the fixture is
+//! built with [`LiquidStudy::load`], and [`LiquidStudy::run_point`] builds
+//! each broker's policy through [`PolicySpec::build`] — no bench declares
+//! its own policy factory.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use bouncer_core::policy::{
-    AcceptFraction, AcceptFractionConfig, AcceptanceAllowance, AdmissionPolicy, AlwaysAccept,
-    Bouncer, BouncerConfig, HelpingTheUnderserved, MaxQueueLength, MaxQueueWaitTime,
-};
+use bouncer_core::policy::AlwaysAccept;
 use bouncer_core::slo::{Slo, SloConfig};
+use bouncer_core::spec::{defaults, PolicyEnv, PolicySpec, ScenarioSpec, TransportSpec};
 use bouncer_core::types::TypeRegistry;
 use bouncer_metrics::histogram::HistogramSnapshot;
-use bouncer_metrics::time::millis;
+use bouncer_metrics::time::millis_f64;
 use bouncer_workload::dist::{Exponential, LogNormal};
 use bouncer_workload::generator::{LoadReport, TypeReport};
 use bouncer_workload::mix::{QueryClass, QueryMix, LIQUID_MIX_PROPORTIONS};
 use liquid::broker::{kind_type_id, liquid_registry, ClientOutcome};
-use liquid::cluster::{Cluster, ClusterConfig};
+use liquid::cluster::{Cluster, ClusterConfig, TransportKind};
 use liquid::query::{Query, QueryKind};
 
 use crate::runmode::RunMode;
+use crate::simstudy::scenario_path;
 
-/// The five traffic points, as fractions of the measured saturation
-/// capacity. The paper's 36K–180K QPS axis has its knee ("high CPU
-/// utilization") at the third point, so the third point here sits just
-/// above saturation.
-pub const RATE_FACTORS: [(&str, f64); 5] = [
-    ("36K-analog", 0.42),
-    ("72K-analog", 0.83),
-    ("108K-analog", 1.25),
-    ("144K-analog", 1.67),
-    ("180K-analog", 2.08),
-];
-
-/// A broker-policy factory: `(registry, broker engines, seed) -> policy`.
-pub type PolicyFactory = dyn Fn(&TypeRegistry, u32, u64) -> Arc<dyn AdmissionPolicy> + Sync;
-
-/// The shared fixture: cluster shape plus the measured capacity anchor.
+/// The shared fixture: the scenario, the cluster shape it maps to, and the
+/// measured capacity anchor.
 pub struct LiquidStudy {
+    spec: ScenarioSpec,
     /// Cluster shape used by every run.
     pub cluster_cfg: ClusterConfig,
     /// The QT1..QT11 registry.
@@ -60,10 +52,39 @@ pub struct LiquidStudy {
 }
 
 impl LiquidStudy {
-    /// Builds the fixture and probes capacity once with pass-through
-    /// brokers.
+    /// The default §5.4 fixture shape (2 shards, 1 broker, the five
+    /// capacity-relative traffic points).
     pub fn new(mode: &RunMode) -> Self {
-        let cluster_cfg = ClusterConfig::default();
+        Self::from_spec(
+            ScenarioSpec::parse("name = liquid_study\nruntime = liquid\npolicy = always\n")
+                .expect("default spec"),
+            mode,
+        )
+    }
+
+    /// Loads a liquid scenario file from `scenarios/` by file name.
+    pub fn load(file_name: &str, mode: &RunMode) -> Self {
+        let path = scenario_path(file_name);
+        let spec = ScenarioSpec::load(&path)
+            .unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()));
+        Self::from_spec(spec, mode)
+    }
+
+    /// Builds the fixture from a spec (which must select the liquid
+    /// runtime) and probes capacity once with pass-through brokers.
+    pub fn from_spec(spec: ScenarioSpec, mode: &RunMode) -> Self {
+        let liquid = spec.liquid().unwrap_or_else(|e| panic!("{e}")).clone();
+        let mut cluster_cfg = ClusterConfig {
+            n_shards: liquid.shards as usize,
+            n_brokers: liquid.brokers as usize,
+            transport: match liquid.transport {
+                TransportSpec::InProc => TransportKind::InProc,
+                TransportSpec::Tcp => TransportKind::Tcp,
+            },
+            shard_max_utilization: liquid.shard_max_utilization,
+            ..ClusterConfig::default()
+        };
+        cluster_cfg.broker.batch_fanout = liquid.batch_fanout;
         let registry = liquid_registry();
         let mix = liquid_mix();
 
@@ -84,6 +105,7 @@ impl LiquidStudy {
         probe_cluster.shutdown();
 
         Self {
+            spec,
             cluster_cfg,
             registry,
             capacity_qps,
@@ -92,17 +114,43 @@ impl LiquidStudy {
         }
     }
 
-    /// Runs one (policy, rate) data point: spawn, warm up, measure, tear
-    /// down.
+    /// The scenario this fixture was resolved from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// `"{name} {hash}"` — the banner tag benches stamp on table titles.
+    pub fn tag(&self) -> String {
+        self.spec.tag()
+    }
+
+    /// The scenario's traffic points: `(label, factor)` with factors
+    /// relative to the measured saturation capacity.
+    pub fn rate_points(&self) -> &[(String, f64)] {
+        &self.spec.liquid().expect("checked in from_spec").rate_points
+    }
+
+    /// The scenario's policy labeled `label`.
+    pub fn policy(&self, label: &str) -> &PolicySpec {
+        self.spec.policy(label).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs one (policy, rate) data point: spawn the cluster with brokers
+    /// built through the spec registry, warm up, measure, tear down.
     pub fn run_point(
         &self,
-        make_policy: &PolicyFactory,
+        policy: &PolicySpec,
         rate_qps: f64,
         seed: u64,
         mode: &RunMode,
     ) -> LiquidPoint {
         let cluster = Cluster::spawn(&self.cluster_cfg, |reg, engines| {
-            make_policy(reg, engines, seed)
+            let env = PolicyEnv {
+                registry: reg,
+                slos: liquid_slos(reg),
+                parallelism: engines,
+            };
+            policy.build(&env, seed)
         });
         let n_types = self.registry.len();
 
@@ -338,42 +386,13 @@ pub fn liquid_mix() -> QueryMix {
 
 /// The §5.4 SLO configuration: `{p50 = 18 ms, p90 = 50 ms}` for every type.
 pub fn liquid_slos(registry: &TypeRegistry) -> SloConfig {
-    SloConfig::uniform(registry, Slo::p50_p90(millis(18), millis(50)))
-}
-
-/// Bouncer + acceptance-allowance (A = 0.05), the paper's §5.4 setup.
-pub fn bouncer_aa_factory() -> Box<PolicyFactory> {
-    Box::new(|reg, engines, seed| {
-        let bouncer = Bouncer::new(liquid_slos(reg), BouncerConfig::with_parallelism(engines));
-        Arc::new(AcceptanceAllowance::new(bouncer, reg.len(), 0.05, seed))
-    })
-}
-
-/// Bouncer + helping-the-underserved (α = 1.0).
-pub fn bouncer_htu_factory() -> Box<PolicyFactory> {
-    Box::new(|reg, engines, seed| {
-        let bouncer = Bouncer::new(liquid_slos(reg), BouncerConfig::with_parallelism(engines));
-        Arc::new(HelpingTheUnderserved::new(bouncer, reg.len(), 1.0, seed))
-    })
-}
-
-/// MaxQL with the `L_limit = 800` setting.
-pub fn maxql_factory() -> Box<PolicyFactory> {
-    Box::new(|_reg, _engines, _seed| Arc::new(MaxQueueLength::new(800)))
-}
-
-/// MaxQWT with the paper's 12 ms wait-time limit.
-pub fn maxqwt_factory() -> Box<PolicyFactory> {
-    Box::new(|_reg, engines, _seed| Arc::new(MaxQueueWaitTime::new(millis(12), engines)))
-}
-
-/// AcceptFraction with the paper's conservative 80 % threshold.
-pub fn accept_fraction_factory() -> Box<PolicyFactory> {
-    Box::new(|_reg, engines, seed| {
-        let mut cfg = AcceptFractionConfig::new(0.8, engines);
-        cfg.seed = seed;
-        Arc::new(AcceptFraction::new(cfg))
-    })
+    SloConfig::uniform(
+        registry,
+        Slo::p50_p90(
+            millis_f64(defaults::SLO_P50_MS),
+            millis_f64(defaults::SLO_P90_MS),
+        ),
+    )
 }
 
 #[cfg(test)]
@@ -393,18 +412,33 @@ mod tests {
     }
 
     #[test]
-    fn factories_build_policies() {
+    fn scenario_policies_build_for_brokers() {
+        let spec = ScenarioSpec::parse(
+            "name = t\nruntime = liquid\n\
+             policy.aa = bouncer+aa A=0.05\npolicy.maxql = maxql limit=800\n\
+             policy.maxqwt = maxqwt wait=12ms\npolicy.af = acceptfraction util=0.8\n",
+        )
+        .unwrap();
         let reg = liquid_registry();
-        for factory in [
-            bouncer_aa_factory(),
-            bouncer_htu_factory(),
-            maxql_factory(),
-            maxqwt_factory(),
-            accept_fraction_factory(),
-        ] {
-            let policy = factory(&reg, 8, 1);
-            assert!(!policy.name().is_empty());
+        let env = PolicyEnv {
+            registry: &reg,
+            slos: liquid_slos(&reg),
+            parallelism: 8,
+        };
+        for (label, p) in &spec.policies {
+            let policy = p.build(&env, 1);
+            assert!(!policy.name().is_empty(), "{label}");
         }
+    }
+
+    #[test]
+    fn default_spec_has_the_five_paper_points() {
+        let spec =
+            ScenarioSpec::parse("name = t\nruntime = liquid\npolicy = always\n").unwrap();
+        let points = &spec.liquid().unwrap().rate_points;
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[0].0, "36K-analog");
+        assert!((points[2].1 - 1.25).abs() < 1e-9);
     }
 
     #[test]

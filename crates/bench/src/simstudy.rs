@@ -1,99 +1,119 @@
-//! The §5.3 simulation-study setup, shared by the figure/table benches.
+//! The §5.3 simulation-study harness, shared by the figure/table benches.
 //!
-//! Fixed pieces from the paper: a simulated broker with `P = 100` engine
-//! processes; the Table 1 query mix; Table 2 policy parameters
-//! (`SLO_p50 = 18 ms`, `SLO_p90 = 50 ms` for every type; MaxQL limit 400;
-//! MaxQWT limit 15 ms; AcceptFraction threshold 95 %); rates swept as
-//! multiples of `QPS_full_load`; each cell averaged over several seeded
-//! runs.
+//! Since the scenario-spec refactor this is a thin wrapper around
+//! [`ScenarioSim`]: every bench loads its declarative `.scn` file from
+//! `scenarios/`, and all policies are built through the spec registry
+//! ([`PolicySpec::build`]) — the Table 2 parameters live in the scenario
+//! files and `bouncer_core::spec::defaults`, not here. What this module
+//! adds is the study's multi-seed averaging ([`SimStudy::run_avg`]) and
+//! the [`RunMode`] sizing (quick vs paper-scale).
 
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
 
-use bouncer_core::prelude::*;
-use bouncer_metrics::time::millis;
-use bouncer_sim::{run, SimConfig, SimResult};
-use bouncer_workload::mix::paper_table1_mix;
+use bouncer_core::policy::AdmissionPolicy;
+use bouncer_core::slo::SloConfig;
+use bouncer_core::spec::{PolicySpec, ScenarioSpec};
+use bouncer_core::types::{TypeId, TypeRegistry};
+use bouncer_sim::{run, ScenarioSim, SimResult};
 use bouncer_workload::QueryMix;
 
 use crate::runmode::RunMode;
 
-/// The simulated engine parallelism (`P`), per the paper.
-pub const PARALLELISM: u32 = 100;
+pub use bouncer_core::spec::defaults::{PARALLELISM, SIM_RATE_FACTORS as RATE_FACTORS, TYPE_NAMES};
 
-/// The rate factors of Table 3 (multiples of `QPS_full_load`).
-pub const RATE_FACTORS: [f64; 13] = [
-    0.90, 0.95, 1.00, 1.05, 1.10, 1.15, 1.20, 1.25, 1.30, 1.35, 1.40, 1.45, 1.50,
-];
+/// Absolute path of a checked-in scenario file (`scenarios/<name>` under
+/// the workspace root), so benches find their specs regardless of the
+/// directory `cargo bench` runs from.
+pub fn scenario_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(name)
+}
 
-/// Names of the Table 1 types, in registry order after `default`.
-pub const TYPE_NAMES: [&str; 4] = ["fast", "medium fast", "medium slow", "slow"];
-
-/// Shared study fixture.
+/// Shared study fixture: a resolved sim scenario.
 pub struct SimStudy {
-    /// The type registry (default + Table 1 types).
-    pub registry: TypeRegistry,
-    /// The Table 1 query mix.
-    pub mix: QueryMix,
-    /// `QPS_full_load` at `P = 100` (≈ 15.1 kQPS).
-    pub full_load: f64,
+    scenario: ScenarioSim,
 }
 
 impl SimStudy {
-    /// Builds the fixture.
+    /// The default §5.3 fixture (Table 1 mix, `P = 100`, Table 3 sweep) —
+    /// the same shape every sim scenario file starts from.
     pub fn new() -> Self {
-        let mut registry = TypeRegistry::new();
-        let mix = paper_table1_mix(&mut registry);
-        let full_load = mix.qps_full_load(PARALLELISM);
-        Self {
-            registry,
-            mix,
-            full_load,
-        }
+        Self::from_spec(
+            ScenarioSpec::parse("name = sim_study\nseed = 45232\n").expect("default spec"),
+        )
     }
 
-    /// Resolves a Table 1 type by name.
-    pub fn ty(&self, name: &str) -> TypeId {
-        self.registry.resolve(name).expect("unknown type")
+    /// Loads a scenario file from `scenarios/` by file name.
+    pub fn load(file_name: &str) -> Self {
+        let path = scenario_path(file_name);
+        let spec = ScenarioSpec::load(&path)
+            .unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()));
+        Self::from_spec(spec)
     }
 
-    /// The uniform Table 2 SLO: `{p50 = 18 ms, p90 = 50 ms}` for all types.
+    /// Resolves an in-memory scenario (must select the sim runtime).
+    pub fn from_spec(spec: ScenarioSpec) -> Self {
+        let scenario =
+            ScenarioSim::new(spec).unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        Self { scenario }
+    }
+
+    /// The resolved scenario fixture.
+    pub fn scenario(&self) -> &ScenarioSim {
+        &self.scenario
+    }
+
+    /// The scenario spec this study runs.
+    pub fn spec(&self) -> &ScenarioSpec {
+        self.scenario.spec()
+    }
+
+    /// `"{name} {hash}"` — the banner tag benches stamp on table titles.
+    pub fn tag(&self) -> String {
+        self.spec().tag()
+    }
+
+    /// The type registry (default + workload types).
+    pub fn registry(&self) -> &TypeRegistry {
+        self.scenario.registry()
+    }
+
+    /// The resolved query mix.
+    pub fn mix(&self) -> &QueryMix {
+        self.scenario.mix()
+    }
+
+    /// `QPS_full_load` at the scenario's parallelism (≈ 15.1 kQPS for the
+    /// Table 1 mix at `P = 100`).
+    pub fn full_load(&self) -> f64 {
+        self.scenario.full_load()
+    }
+
+    /// The scenario's rate sweep (multiples of `QPS_full_load`).
+    pub fn rate_factors(&self) -> &[f64] {
+        &self.scenario.sim_spec().rate_factors
+    }
+
+    /// The resolved SLO table.
     pub fn slos(&self) -> SloConfig {
-        SloConfig::uniform(&self.registry, Slo::p50_p90(millis(18), millis(50)))
+        self.scenario.slos().clone()
     }
 
-    /// Basic Bouncer, Table 2 configuration.
-    pub fn bouncer(&self) -> Bouncer {
-        Bouncer::new(self.slos(), BouncerConfig::with_parallelism(PARALLELISM))
+    /// Resolves a workload type by name.
+    pub fn ty(&self, name: &str) -> TypeId {
+        self.registry().resolve(name).expect("unknown type")
     }
 
-    /// Bouncer + acceptance-allowance (§4.1).
-    pub fn bouncer_allowance(&self, a: f64, seed: u64) -> AcceptanceAllowance<Bouncer> {
-        AcceptanceAllowance::new(self.bouncer(), self.registry.len(), a, seed)
+    /// The scenario's policy labeled `label`.
+    pub fn policy(&self, label: &str) -> &PolicySpec {
+        self.spec()
+            .policy(label)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Bouncer + helping-the-underserved (§4.2).
-    pub fn bouncer_underserved(&self, alpha: f64, seed: u64) -> HelpingTheUnderserved<Bouncer> {
-        HelpingTheUnderserved::new(self.bouncer(), self.registry.len(), alpha, seed)
-    }
-
-    /// MaxQL with the Table 2 limit (400).
-    pub fn maxql(&self) -> MaxQueueLength {
-        MaxQueueLength::new(400)
-    }
-
-    /// MaxQWT with the Table 2 limit (15 ms).
-    pub fn maxqwt(&self) -> MaxQueueWaitTime {
-        MaxQueueWaitTime::new(millis(15), PARALLELISM)
-    }
-
-    /// AcceptFraction with the Table 2 threshold (95 %).
-    pub fn accept_fraction(&self, seed: u64) -> AcceptFraction {
-        let mut cfg = AcceptFractionConfig::new(0.95, PARALLELISM);
-        cfg.seed = seed;
-        AcceptFraction::new(cfg)
-    }
-
-    /// One simulation run at `factor × QPS_full_load`.
+    /// One simulation run of an already-built policy at
+    /// `factor × QPS_full_load`, sized by `mode`.
     pub fn run_once(
         &self,
         policy: &dyn AdmissionPolicy,
@@ -101,26 +121,22 @@ impl SimStudy {
         seed: u64,
         mode: &RunMode,
     ) -> SimResult {
-        let mut cfg = SimConfig::paper(self.full_load * factor, seed);
+        let mut cfg = self.scenario.sim_config_at_factor(factor, seed);
         cfg.measured_queries = mode.sim_measured;
         cfg.warmup_queries = mode.sim_warmup;
-        run(policy, &self.mix, &cfg)
+        run(policy, self.mix(), &cfg)
     }
 
-    /// Averages `mode.runs` seeded runs of the policy built by `make` (which
-    /// receives the seed, so probabilistic policies vary per run).
-    pub fn run_avg(
-        &self,
-        make: &dyn Fn(u64) -> Arc<dyn AdmissionPolicy>,
-        factor: f64,
-        mode: &RunMode,
-    ) -> AvgResult {
-        let mut acc = AvgResult::zero(self.registry.len());
+    /// Averages `mode.runs` seeded runs of a policy spec. Seeds derive
+    /// from the scenario's base seed (`seed + 7919·i`), and the policy is
+    /// rebuilt through the registry per run so probabilistic policies vary
+    /// with the seed.
+    pub fn run_avg(&self, policy: &PolicySpec, factor: f64, mode: &RunMode) -> AvgResult {
+        let mut acc = AvgResult::zero(self.registry().len());
         for i in 0..mode.runs {
-            let seed = 0xB0B0 + 7919 * i;
-            let policy = make(seed);
-            let result = self.run_once(&policy, factor, seed, mode);
-            acc.add(&result, &self.registry);
+            let seed = self.spec().seed + 7919 * i;
+            let result = self.run_once(self.scenario.build(policy, seed).as_ref(), factor, seed, mode);
+            acc.add(&result, self.registry());
         }
         acc.finish(mode.runs);
         acc
@@ -228,17 +244,58 @@ mod tests {
     #[test]
     fn fixture_matches_paper_capacity() {
         let s = SimStudy::new();
-        assert!((s.full_load - 15_100.0).abs() < 1_000.0);
-        assert_eq!(s.registry.len(), 5);
+        assert!((s.full_load() - 15_100.0).abs() < 1_000.0);
+        assert_eq!(s.registry().len(), 5);
+        assert_eq!(s.spec().seed, 45232);
+        assert_eq!(s.rate_factors(), &RATE_FACTORS);
     }
 
     #[test]
     fn run_avg_aggregates_metrics() {
         let s = SimStudy::new();
-        let avg = s.run_avg(&|_seed| Arc::new(s.bouncer()), 1.2, &tiny_mode());
+        let avg = s.run_avg(&PolicySpec::parse("bouncer").unwrap(), 1.2, &tiny_mode());
         let slow = s.ty("slow");
         assert!(avg.rej_pct[slow.index()] > 10.0);
         assert!(avg.util_pct > 50.0);
         assert!(avg.rt_p50(slow).is_some() || avg.rej_pct[slow.index()] > 99.0);
+    }
+
+    #[test]
+    fn checked_in_scenarios_load() {
+        // Every sim bench's scenario file resolves through the registry.
+        for file in [
+            "fig03_starvation.scn",
+            "fig06_policies.scn",
+            "fig09_strategies.scn",
+            "fig10_param_rt.scn",
+            "fig14_maxqwt_pertype.scn",
+            "table3_rejections.scn",
+            "table4_allowance.scn",
+            "table5_underserved.scn",
+            "abl_scheduling.scn",
+            "abl_histogram_modes.scn",
+            "abl_literature.scn",
+        ] {
+            let s = SimStudy::load(file);
+            assert!(!s.spec().policies.is_empty(), "{file} has no policies");
+        }
+    }
+
+    #[test]
+    fn every_checked_in_scenario_parses() {
+        // The whole scenarios/ directory, liquid and sim alike, parses —
+        // the same invariant scripts/check.sh enforces via scenario-hash.
+        let dir = scenario_path("");
+        let mut seen = 0usize;
+        for entry in std::fs::read_dir(&dir).expect("scenarios/ directory") {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) != Some("scn") {
+                continue;
+            }
+            bouncer_core::spec::ScenarioSpec::load(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            seen += 1;
+        }
+        assert!(seen >= 20, "expected the checked-in scenario set, saw {seen}");
     }
 }

@@ -75,6 +75,20 @@ impl Table {
     pub fn print(&self, title: &str) {
         println!("\n== {title}");
         print!("{}", self.render());
+        self.save_csv(title);
+    }
+
+    /// Like [`Table::print`], but stamps a scenario tag
+    /// (`"{name} {hash}"`) on the banner so output names the spec that
+    /// produced it. The CSV artifact is still named after the title alone,
+    /// keeping file names stable across spec edits.
+    pub fn print_tagged(&self, title: &str, tag: &str) {
+        println!("\n== {title} [{tag}]");
+        print!("{}", self.render());
+        self.save_csv(title);
+    }
+
+    fn save_csv(&self, title: &str) {
         if let Ok(dir) = std::env::var("BOUNCER_BENCH_CSV_DIR") {
             let slug: String = title
                 .chars()

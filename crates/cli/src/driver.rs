@@ -1,15 +1,19 @@
-//! Builds the chosen policy, runs the simulation, renders results.
+//! Resolves the effective scenario (file + flag overrides), runs the
+//! simulation through the spec registry, renders results.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use bouncer_core::prelude::*;
+use bouncer_core::slo_spec::parse_slo_entries;
+use bouncer_core::spec::SloEntrySpec;
 use bouncer_metrics::time::{as_millis_f64, millis_f64};
-use bouncer_sim::{run, SimConfig};
-use bouncer_workload::mix::paper_table1_mix;
+use bouncer_sim::{run, ScenarioSim};
 
 use crate::args::{Args, ParseError};
 
 const ALLOWED: &[&str] = &[
+    "scenario",
     "policy",
     "rate-factor",
     "rate-qps",
@@ -31,6 +35,17 @@ const ALLOWED: &[&str] = &[
     "trace-sample",
     "trace-slo-ms",
     "help",
+];
+
+/// Policy parameter flags and the one policy each applies to. A supplied
+/// flag whose policy is not selected is an error (exit 2), not a silent
+/// no-op.
+const PARAM_FLAGS: &[(&str, &str)] = &[
+    ("allowance", "bouncer+aa"),
+    ("alpha", "bouncer+htu"),
+    ("queue-limit", "maxql"),
+    ("wait-limit-ms", "maxqwt"),
+    ("max-utilization", "acceptfraction"),
 ];
 
 const TRACE_REPORT_ALLOWED: &[&str] = &["traces-in", "strict", "help"];
@@ -57,11 +72,34 @@ shard; the straggler is still the round's latest reply, so the
 breakdown needs no special handling. See OBSERVABILITY.md.
 ";
 
+const SCENARIO_HASH_HELP: &str = "\
+bouncer-sim-cli scenario-hash — print the canonical content hash of
+scenario files
+
+USAGE:
+    bouncer-sim-cli scenario-hash <path.scn> [more paths...]
+
+Prints `<hash>  <file>` per scenario, where <hash> is the FNV-1a 64 hash
+of the canonical serialization (comments and key order do not affect it).
+scripts/check.sh diffs this output against scenarios/MANIFEST.
+";
+
 const HELP: &str = "\
 bouncer-sim-cli — drive the paper's simulation study from the command line
 
 USAGE:
-    bouncer-sim-cli [--policy <name>] [--rate-factor <f>] [flags...]
+    bouncer-sim-cli [--scenario <path>] [--policy <name>] [flags...]
+
+SCENARIOS:
+    --scenario <path>   load a declarative scenario (.scn, flat key=value;
+                        see DESIGN.md). The run is constructed through the
+                        spec registry, and the scenario's content hash is
+                        printed in the report and stamped into the event
+                        stream. All flags below OVERRIDE the loaded spec;
+                        without --scenario they override the built-in
+                        default scenario (paper workload, Bouncer, 1.2x).
+                        The run uses the scenario's first policy and first
+                        rate factor.
 
 POLICIES (--policy):
     bouncer (default)   SLO-aware admission control (the paper's policy)
@@ -72,6 +110,9 @@ POLICIES (--policy):
     acceptfraction      utilization threshold (--max-utilization, default 0.95)
     gatekeeper          literature capacity baseline
     always              no admission control
+
+    A parameter flag supplied alongside a policy it does not apply to
+    (e.g. --allowance with --policy maxql) is an error.
 
 WORKLOAD:
     the paper's Table 1 mix (fast/medium fast/medium slow/slow), P engine
@@ -97,7 +138,8 @@ SLOs (uniform across types, like the paper's study):
 OBSERVABILITY (see OBSERVABILITY.md for formats):
     --events-out <path>   write every query-lifecycle and policy event as
                           JSONL (one JSON object per line, virtual-time
-                          timestamps)
+                          timestamps; starts with a `scenario` event naming
+                          the run's content hash)
     --metrics-out <path>  write the run's final statistics in the
                           Prometheus text exposition format
     --traces-out <path>   write distributed-tracing spans as JSONL
@@ -110,53 +152,62 @@ OBSERVABILITY (see OBSERVABILITY.md for formats):
 SUBCOMMANDS:
     trace-report          analyze a span JSONL file; see
                           `bouncer-sim-cli trace-report --help`
+    scenario-hash         print canonical content hashes of .scn files;
+                          see `bouncer-sim-cli scenario-hash --help`
 ";
 
-/// Which policy the user picked, with its parameters resolved.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PolicyChoice {
-    /// Basic Bouncer.
-    Bouncer,
-    /// Bouncer + acceptance-allowance A.
-    BouncerAllowance(f64),
-    /// Bouncer + helping-the-underserved α.
-    BouncerUnderserved(f64),
-    /// MaxQL with a queue limit.
-    MaxQl(u64),
-    /// MaxQWT with a wait limit (ns).
-    MaxQwt(u64),
-    /// AcceptFraction with a utilization threshold.
-    AcceptFraction(f64),
-    /// Gatekeeper-style capacity baseline.
-    Gatekeeper,
-    /// No admission control.
-    Always,
-}
+/// Which policy the user picked, with its parameters resolved — since the
+/// scenario-spec refactor, simply the spec layer's [`PolicySpec`].
+pub type PolicyChoice = PolicySpec;
 
-impl PolicyChoice {
-    /// Resolves the `--policy` name plus its parameter flags.
-    pub fn from_args(args: &Args) -> Result<PolicyChoice, ParseError> {
-        let name = args.str_or("policy", "bouncer");
-        Ok(match name {
-            "bouncer" => PolicyChoice::Bouncer,
-            "bouncer+aa" => PolicyChoice::BouncerAllowance(args.f64_or("allowance", 0.05)?),
-            "bouncer+htu" => PolicyChoice::BouncerUnderserved(args.f64_or("alpha", 1.0)?),
-            "maxql" => PolicyChoice::MaxQl(args.u64_or("queue-limit", 400)?),
-            "maxqwt" => {
-                PolicyChoice::MaxQwt(millis_f64(args.f64_or("wait-limit-ms", 15.0)?))
-            }
-            "acceptfraction" => {
-                PolicyChoice::AcceptFraction(args.f64_or("max-utilization", 0.95)?)
-            }
-            "gatekeeper" => PolicyChoice::Gatekeeper,
-            "always" => PolicyChoice::Always,
-            other => {
-                return Err(ParseError(format!(
-                    "unknown policy `{other}` (see --help for the list)"
-                )))
-            }
-        })
+/// Resolves `--policy` plus its parameter flags against a base policy (the
+/// scenario's, when one is loaded). Flags override the base; a parameter
+/// flag that does not apply to the selected policy is an error rather than
+/// a silent no-op.
+pub fn policy_spec_from_args(args: &Args, base: &PolicySpec) -> Result<PolicySpec, ParseError> {
+    let kind = args.str_or("policy", base.kind_name());
+    for &(flag, applies_to) in PARAM_FLAGS {
+        if args.get(flag).is_some() && kind != applies_to {
+            return Err(ParseError(format!(
+                "--{flag} applies only to --policy {applies_to}, \
+                 but the selected policy is `{kind}`"
+            )));
+        }
     }
+    let mut spec = if kind == base.kind_name() {
+        base.clone()
+    } else {
+        // The bare policy name parses to that policy with its defaults.
+        PolicySpec::parse(kind).map_err(|e| ParseError(e.to_string()))?
+    };
+    match &mut spec {
+        PolicySpec::BouncerAllowance { allowance, .. } => {
+            *allowance = args.f64_or("allowance", *allowance)?;
+        }
+        PolicySpec::BouncerUnderserved { alpha, .. } => {
+            *alpha = args.f64_or("alpha", *alpha)?;
+        }
+        PolicySpec::MaxQl { limit } => {
+            *limit = args.u64_or("queue-limit", *limit)?;
+        }
+        PolicySpec::MaxQwt { wait_ms } => {
+            *wait_ms = args.f64_or("wait-limit-ms", *wait_ms)?;
+        }
+        PolicySpec::MaxQwtPerType { .. } => {
+            // Per-type limits come only from scenario files; a single
+            // --wait-limit-ms flag collapses them to one uniform limit.
+            if args.get("wait-limit-ms").is_some() {
+                spec = PolicySpec::MaxQwt {
+                    wait_ms: args.f64_or("wait-limit-ms", 0.0)?,
+                };
+            }
+        }
+        PolicySpec::AcceptFraction { max_utilization } => {
+            *max_utilization = args.f64_or("max-utilization", *max_utilization)?;
+        }
+        PolicySpec::Bouncer(_) | PolicySpec::Gatekeeper { .. } | PolicySpec::Always => {}
+    }
+    Ok(spec)
 }
 
 /// Runs the CLI against raw arguments; returns the text to print and a
@@ -175,10 +226,36 @@ where
             Err(e) => (format!("error: {e}\n\n{TRACE_REPORT_HELP}"), 2),
         };
     }
+    if raw.first().map(String::as_str) == Some("scenario-hash") {
+        return match run_scenario_hash(&raw[1..]) {
+            Ok(out) => (out, 0),
+            Err(e) => (format!("error: {e}\n\n{SCENARIO_HASH_HELP}"), 2),
+        };
+    }
     match run_inner(raw) {
         Ok(report) => (report, 0),
         Err(e) => (format!("error: {e}\n\n{HELP}"), 2),
     }
+}
+
+/// The `scenario-hash` subcommand: `<hash>  <file>` per scenario, in the
+/// order given — the golden output scripts/check.sh diffs against
+/// scenarios/MANIFEST.
+fn run_scenario_hash(paths: &[String]) -> Result<String, ParseError> {
+    if paths.iter().any(|p| p == "--help") {
+        return Ok(SCENARIO_HASH_HELP.to_owned());
+    }
+    if paths.is_empty() {
+        return Err(ParseError(
+            "scenario-hash requires at least one <path.scn>".into(),
+        ));
+    }
+    let mut out = String::new();
+    for path in paths {
+        let spec = ScenarioSpec::load(Path::new(path)).map_err(|e| ParseError(e.to_string()))?;
+        out.push_str(&format!("{}  {path}\n", spec.hash_hex()));
+    }
+    Ok(out)
 }
 
 /// The `trace-report` subcommand: span JSONL in, critical-path latency
@@ -218,6 +295,92 @@ fn run_trace_report(raw: &[String]) -> Result<(String, i32), ParseError> {
     Ok((out, code))
 }
 
+/// Folds the command-line flags into the base scenario (loaded from
+/// `--scenario`, or the built-in CLI default). The returned spec *is* the
+/// run: its canonical hash names exactly what executes.
+fn effective_scenario(args: &Args) -> Result<ScenarioSpec, ParseError> {
+    let mut spec = match args.get("scenario") {
+        Some(path) => {
+            ScenarioSpec::load(Path::new(path)).map_err(|e| ParseError(e.to_string()))?
+        }
+        None => ScenarioSpec::cli_default(),
+    };
+
+    {
+        let sim = match &mut spec.runtime {
+            RuntimeSpec::Sim(sim) => sim,
+            RuntimeSpec::Liquid(_) => {
+                return Err(ParseError(format!(
+                    "scenario `{}` targets the liquid cluster; the CLI runs \
+                     sim scenarios (run liquid scenarios via the benches)",
+                    spec.name
+                )))
+            }
+        };
+        if args.get("parallelism").is_some() {
+            sim.parallelism = args.u64_or("parallelism", 0)? as u32;
+        }
+        if sim.parallelism == 0 {
+            return Err(ParseError("--parallelism must be positive".into()));
+        }
+        if args.get("rate-qps").is_some() {
+            sim.rate_qps = Some(args.f64_or("rate-qps", 0.0)?);
+        } else if args.get("rate-factor").is_some() {
+            sim.rate_qps = None;
+            sim.rate_factors = vec![args.f64_or("rate-factor", 0.0)?];
+        }
+    }
+    if args.get("queries").is_some() {
+        spec.measured = Some(args.u64_or("queries", 0)?);
+    }
+    if args.get("warmup").is_some() {
+        spec.warmup = Some(args.u64_or("warmup", 0)?);
+    }
+    if args.get("seed").is_some() {
+        spec.seed = args.u64_or("seed", 0)?;
+    }
+
+    if let Some(notation) = args.get("slo-spec") {
+        let entries = parse_slo_entries(notation).map_err(|e| ParseError(e.to_string()))?;
+        spec.slos = entries
+            .into_iter()
+            .map(|(name, slo)| SloEntrySpec {
+                name,
+                targets: slo
+                    .targets()
+                    .iter()
+                    .map(|&(p, target)| {
+                        // Snap float noise from quantile→percent so p90
+                        // renders as `p90`.
+                        let pct = (p.quantile() * 100.0 * 1e9).round() / 1e9;
+                        (pct, as_millis_f64(target))
+                    })
+                    .collect(),
+            })
+            .collect();
+    } else if args.get("slo-p50-ms").is_some() || args.get("slo-p90-ms").is_some() {
+        spec.slos = vec![SloEntrySpec {
+            name: "default".into(),
+            targets: vec![
+                (50.0, args.f64_or("slo-p50-ms", 18.0)?),
+                (90.0, args.f64_or("slo-p90-ms", 50.0)?),
+            ],
+        }];
+    }
+
+    let base = spec
+        .first_policy()
+        .map_err(|e| ParseError(e.to_string()))?
+        .clone();
+    let policy_given = args.get("policy").is_some()
+        || PARAM_FLAGS.iter().any(|&(flag, _)| args.get(flag).is_some());
+    if policy_given {
+        let resolved = policy_spec_from_args(args, &base)?;
+        spec.policies[0].1 = resolved;
+    }
+    Ok(spec)
+}
+
 fn run_inner<I, S>(raw: I) -> Result<String, ParseError>
 where
     I: IntoIterator<Item = S>,
@@ -228,69 +391,25 @@ where
         return Ok(HELP.to_owned());
     }
 
-    let parallelism = args.u64_or("parallelism", 100)? as u32;
-    if parallelism == 0 {
-        return Err(ParseError("--parallelism must be positive".into()));
-    }
-    let mut registry = TypeRegistry::new();
-    let mix = paper_table1_mix(&mut registry);
-    let full_load = mix.qps_full_load(parallelism);
-    let rate = match args.get("rate-qps") {
-        Some(_) => args.f64_or("rate-qps", 0.0)?,
-        None => full_load * args.f64_or("rate-factor", 1.2)?,
+    let spec = effective_scenario(&args)?;
+    let tag = spec.tag();
+    let seed = spec.seed;
+    let label = spec.policies[0].0.clone();
+    let scenario = ScenarioSim::new(spec).map_err(|e| ParseError(e.to_string()))?;
+    let full_load = scenario.full_load();
+    let sim_spec = scenario.sim_spec();
+    let rate = match sim_spec.rate_qps {
+        Some(qps) => qps,
+        None => full_load * sim_spec.rate_factors[0],
     };
     if rate <= 0.0 {
         return Err(ParseError("the rate must be positive".into()));
     }
 
-    let slos = match args.get("slo-spec") {
-        Some(spec) => bouncer_core::slo_spec::apply_slo_spec(&registry, spec)
-            .map_err(|e| ParseError(e.to_string()))?,
-        None => {
-            let slo = Slo::p50_p90(
-                millis_f64(args.f64_or("slo-p50-ms", 18.0)?),
-                millis_f64(args.f64_or("slo-p90-ms", 50.0)?),
-            );
-            SloConfig::uniform(&registry, slo)
-        }
-    };
-    let seed = args.u64_or("seed", 42)?;
-
-    let choice = PolicyChoice::from_args(&args)?;
-    let bouncer = || Bouncer::new(slos.clone(), BouncerConfig::with_parallelism(parallelism));
-    let policy: Arc<dyn AdmissionPolicy> = match choice {
-        PolicyChoice::Bouncer => Arc::new(bouncer()),
-        PolicyChoice::BouncerAllowance(a) => {
-            Arc::new(AcceptanceAllowance::new(bouncer(), registry.len(), a, seed))
-        }
-        PolicyChoice::BouncerUnderserved(alpha) => Arc::new(HelpingTheUnderserved::new(
-            bouncer(),
-            registry.len(),
-            alpha,
-            seed,
-        )),
-        PolicyChoice::MaxQl(limit) => Arc::new(MaxQueueLength::new(limit)),
-        PolicyChoice::MaxQwt(limit) => Arc::new(MaxQueueWaitTime::new(limit, parallelism)),
-        PolicyChoice::AcceptFraction(util) => {
-            let mut cfg = AcceptFractionConfig::new(util, parallelism);
-            cfg.seed = seed;
-            Arc::new(AcceptFraction::new(cfg))
-        }
-        PolicyChoice::Gatekeeper => Arc::new(GatekeeperStyle::new(
-            registry.len(),
-            GatekeeperConfig::new(parallelism),
-        )),
-        PolicyChoice::Always => Arc::new(AlwaysAccept::new()),
-    };
-
-    let mut cfg = SimConfig {
-        parallelism,
-        rate_qps: rate,
-        measured_queries: args.u64_or("queries", 300_000)?,
-        warmup_queries: args.u64_or("warmup", 50_000)?,
-        seed,
-        ..SimConfig::paper(rate, seed)
-    };
+    let policy = scenario
+        .build_policy(&label, seed)
+        .map_err(|e| ParseError(e.to_string()))?;
+    let mut cfg = scenario.sim_config(rate, seed);
     if let Some(path) = args.get("events-out") {
         let sink = JsonlSink::create(path)
             .map_err(|e| ParseError(format!("--events-out `{path}`: {e}")))?;
@@ -313,10 +432,10 @@ where
         }
         None => None,
     };
-    let result = run(&policy, &mix, &cfg);
+    let result = run(policy.as_ref(), scenario.mix(), &cfg);
 
     if let Some(path) = args.get("metrics-out") {
-        let names: Vec<&str> = registry.iter().map(|(_, name)| name).collect();
+        let names: Vec<&str> = scenario.registry().iter().map(|(_, name)| name).collect();
         let counters = tracer.as_ref().map(|t| TraceCounters {
             sampled: t.sampled_total(),
             dropped: t.dropped_total(),
@@ -327,6 +446,7 @@ where
     }
 
     let mut out = String::new();
+    out.push_str(&format!("scenario: {tag}\n"));
     out.push_str(&format!(
         "policy: {}   rate: {:.0} QPS ({:.2}x of full load {:.0})\n",
         policy.name(),
@@ -344,7 +464,7 @@ where
         "{:<14} {:>9} {:>10} {:>12} {:>12} {:>12}\n",
         "type", "received", "rejected%", "rt_p50(ms)", "rt_p90(ms)", "pt_p50(ms)"
     ));
-    for (ty, name) in registry.iter() {
+    for (ty, name) in scenario.registry().iter() {
         let t = &result.stats.per_type[ty.index()];
         if t.received == 0 {
             continue;
@@ -390,6 +510,7 @@ mod tests {
         assert_eq!(code, 0);
         assert!(out.contains("USAGE"));
         assert!(out.contains("bouncer+aa"));
+        assert!(out.contains("--scenario"));
     }
 
     #[test]
@@ -401,24 +522,46 @@ mod tests {
 
     #[test]
     fn policy_choice_resolves_parameters() {
+        let base = ScenarioSpec::cli_default().first_policy().unwrap().clone();
         let args = Args::parse(
             ["--policy", "bouncer+aa", "--allowance", "0.1"],
             ALLOWED,
         )
         .unwrap();
         assert_eq!(
-            PolicyChoice::from_args(&args).unwrap(),
-            PolicyChoice::BouncerAllowance(0.1)
+            policy_spec_from_args(&args, &base).unwrap(),
+            PolicySpec::allowance(0.1)
         );
         let args = Args::parse(["--policy", "maxqwt", "--wait-limit-ms", "12"], ALLOWED).unwrap();
         assert_eq!(
-            PolicyChoice::from_args(&args).unwrap(),
-            PolicyChoice::MaxQwt(12_000_000)
+            policy_spec_from_args(&args, &base).unwrap(),
+            PolicySpec::MaxQwt { wait_ms: 12.0 }
         );
     }
 
     #[test]
-    fn small_run_produces_a_report() {
+    fn inapplicable_parameter_flags_are_rejected() {
+        // The headline bugfix: --allowance with --policy maxql used to be
+        // silently ignored; now it exits 2 with a clear message.
+        let (out, code) = run_cli(["--policy", "maxql", "--allowance", "0.1"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(
+            out.contains("--allowance applies only to --policy bouncer+aa"),
+            "{out}"
+        );
+        // Same for the default policy (bouncer) with a maxql knob.
+        let (out, code) = run_cli(["--queue-limit", "400"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("--queue-limit applies only to"), "{out}");
+        // The matching policy keeps working.
+        let (out, code) = run_cli([
+            "--policy", "maxql", "--queue-limit", "5", "--queries", "4000", "--warmup", "500",
+        ]);
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn small_run_produces_a_report_with_scenario_hash() {
         let (out, code) = run_cli([
             "--policy",
             "bouncer",
@@ -433,6 +576,12 @@ mod tests {
         assert!(out.contains("policy: bouncer"));
         assert!(out.contains("slow"));
         assert!(out.contains("overall:"));
+        // The report names the effective scenario and its 16-hex hash.
+        let first = out.lines().next().unwrap();
+        assert!(first.starts_with("scenario: cli "), "{first}");
+        let hash = first.rsplit(' ').next().unwrap();
+        assert_eq!(hash.len(), 16, "{first}");
+        assert!(hash.chars().all(|c| c.is_ascii_hexdigit()), "{first}");
     }
 
     #[test]
@@ -466,6 +615,78 @@ mod tests {
     }
 
     #[test]
+    fn scenario_file_run_is_byte_identical_to_equivalent_flags() {
+        // Build the spec the flag-driven run resolves to, write it out as
+        // a .scn file, and check the two invocations render the very same
+        // report (same hash line included).
+        let mut spec = ScenarioSpec::cli_default();
+        spec.seed = 7;
+        spec.measured = Some(20_000);
+        spec.warmup = Some(4_000);
+        match &mut spec.runtime {
+            RuntimeSpec::Sim(sim) => sim.rate_factors = vec![1.3],
+            RuntimeSpec::Liquid(_) => unreachable!(),
+        }
+        spec.policies[0].1 = PolicySpec::MaxQl { limit: 50 };
+
+        let path = std::env::temp_dir().join(format!(
+            "bouncer-cli-scenario-{}.scn",
+            std::process::id()
+        ));
+        std::fs::write(&path, spec.render()).unwrap();
+
+        let (from_file, code_file) = run_cli(["--scenario", path.to_str().unwrap()]);
+        let (from_flags, code_flags) = run_cli([
+            "--policy",
+            "maxql",
+            "--queue-limit",
+            "50",
+            "--rate-factor",
+            "1.3",
+            "--queries",
+            "20000",
+            "--warmup",
+            "4000",
+            "--seed",
+            "7",
+        ]);
+        assert_eq!(code_file, 0, "{from_file}");
+        assert_eq!(code_flags, 0, "{from_flags}");
+        assert_eq!(from_file, from_flags);
+        assert!(from_file.contains(&spec.hash_hex()), "{from_file}");
+
+        // Flag overrides on top of the file shift the hash.
+        let (overridden, code) =
+            run_cli(["--scenario", path.to_str().unwrap(), "--seed", "8"]);
+        assert_eq!(code, 0, "{overridden}");
+        assert!(!overridden.contains(&spec.hash_hex()), "{overridden}");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scenario_hash_subcommand_prints_stable_hashes() {
+        let spec = ScenarioSpec::cli_default();
+        let path = std::env::temp_dir().join(format!(
+            "bouncer-cli-hash-{}.scn",
+            std::process::id()
+        ));
+        std::fs::write(&path, spec.render()).unwrap();
+        let (out, code) = run_cli(["scenario-hash", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert_eq!(
+            out,
+            format!("{}  {}\n", spec.hash_hex(), path.to_str().unwrap())
+        );
+        let (out, code) = run_cli(["scenario-hash"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("scenario-hash requires"), "{out}");
+        let (_, code) = run_cli(["scenario-hash", "/nonexistent/file.scn"]);
+        assert_eq!(code, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn events_and_metrics_flags_write_valid_files() {
         use bouncer_core::obs::{parse_json, validate_prometheus};
 
@@ -493,8 +714,20 @@ mod tests {
         assert!(out.contains("events written to"));
         assert!(out.contains("metrics written to"));
 
-        // Every JSONL line parses, and the overload run shed something.
+        // Every JSONL line parses, the stream opens with the scenario
+        // event, and the overload run shed something.
         let events = std::fs::read_to_string(&events_path).unwrap();
+        let first = parse_json(events.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            first.get("event").and_then(|e| e.as_str()),
+            Some("scenario")
+        );
+        let hash = first
+            .get("scenario_hash")
+            .and_then(|h| h.as_str())
+            .expect("scenario event carries the hash");
+        assert_eq!(hash.len(), 16);
+        assert!(out.contains(hash), "report and events agree on the hash");
         let mut rejected = 0usize;
         let mut lines = 0usize;
         for line in events.lines() {

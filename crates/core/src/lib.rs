@@ -46,6 +46,7 @@ pub mod policy;
 pub mod rng;
 pub mod slo;
 pub mod slo_spec;
+pub mod spec;
 pub mod types;
 
 /// Convenient glob-import surface for downstream crates and examples.
@@ -62,6 +63,11 @@ pub mod prelude {
     };
     pub use crate::slo::{Percentile, Slo, SloConfig};
     pub use crate::slo_spec::{apply_slo_spec, parse_slo_spec};
+    pub use crate::spec::{
+        BouncerParams, ClassSpec, DisciplineSpec, HistogramSpec, LiquidSpec, PolicyEnv,
+        PolicySpec, RuleSpec, RuntimeSpec, ScenarioSpec, SimSpec, SloEntrySpec, TransportSpec,
+        WorkloadSpec,
+    };
     pub use crate::types::{TypeId, TypeRegistry, DEFAULT_TYPE};
 }
 

@@ -82,6 +82,9 @@ impl Event {
                     let _ = write!(s, ",\"pt_tail_ns\":{pt}");
                 }
             }
+            Event::Scenario { hash, .. } => {
+                let _ = write!(s, ",\"scenario_hash\":\"{hash:016x}\"");
+            }
             Event::Span {
                 trace,
                 span,
@@ -265,6 +268,10 @@ mod tests {
                 mean_ns: 0.0,
                 pt_tail_ns: None,
             },
+            Event::Scenario {
+                at: 0,
+                hash: 0x00ab_cdef_0123_4567,
+            },
             Event::Span {
                 at: 60,
                 trace: TraceId(9001),
@@ -336,6 +343,17 @@ mod tests {
         assert_eq!(
             v.get("reason").and_then(|r| r.as_str()),
             Some("queue-full")
+        );
+
+        let line = Event::Scenario {
+            at: 0,
+            hash: 0x00ab_cdef_0123_4567,
+        }
+        .to_json();
+        let v = parse_json(&line).unwrap();
+        assert_eq!(
+            v.get("scenario_hash").and_then(|h| h.as_str()),
+            Some("00abcdef01234567")
         );
     }
 

@@ -166,6 +166,15 @@ pub enum Event {
         /// when resolved — e.g. `pt_p90` under a p50/p90 SLO.
         pt_tail_ns: Option<Nanos>,
     },
+    /// The scenario a run was constructed from, emitted once at stream
+    /// start so every JSONL file names the exact spec that produced it.
+    Scenario {
+        /// Emission time (stream start).
+        at: Nanos,
+        /// The scenario's FNV-1a 64 content hash
+        /// (`ScenarioSpec::content_hash`).
+        hash: u64,
+    },
     /// One closed tracing span: a causally-linked segment of a query's
     /// life (see [`SpanKind`] for the taxonomy). Emitted on close, so
     /// `at == end`.
@@ -206,6 +215,7 @@ impl Event {
             Event::ThresholdUpdate { .. } => "threshold_update",
             Event::MovingAvgRefresh { .. } => "moving_avg_refresh",
             Event::EstimateRefresh { .. } => "estimate_refresh",
+            Event::Scenario { .. } => "scenario",
             Event::Span { .. } => "span",
         }
     }
@@ -224,6 +234,7 @@ impl Event {
             | Event::ThresholdUpdate { at, .. }
             | Event::MovingAvgRefresh { at, .. }
             | Event::EstimateRefresh { at, .. }
+            | Event::Scenario { at, .. }
             | Event::Span { at, .. } => at,
         }
     }
@@ -242,7 +253,8 @@ impl Event {
             Event::Span { ty, .. } => ty,
             Event::HistogramSwap { .. }
             | Event::ThresholdUpdate { .. }
-            | Event::MovingAvgRefresh { .. } => None,
+            | Event::MovingAvgRefresh { .. }
+            | Event::Scenario { .. } => None,
         }
     }
 }

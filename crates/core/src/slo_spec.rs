@@ -55,6 +55,28 @@ pub fn apply_slo_spec(registry: &TypeRegistry, spec: &str) -> Result<SloConfig, 
     Ok(slos)
 }
 
+/// Parses an SLO spec into named `(type, Slo)` entries without resolving
+/// them against a registry — the structural form the scenario layer stores
+/// (`default` is a valid name). Validation against a workload's types
+/// happens when the scenario is resolved.
+pub fn parse_slo_entries(spec: &str) -> Result<Vec<(String, Slo)>, SpecError> {
+    let mut entries: Vec<(String, Slo)> = Vec::new();
+    for (name, body) in split_entries(spec)? {
+        if name.is_empty() {
+            return Err(SpecError("empty query-type name".into()));
+        }
+        let slo = parse_slo_body(&body)?;
+        if entries.iter().any(|(n, _)| *n == name) {
+            return Err(SpecError(format!("duplicate entry for type `{name}`")));
+        }
+        entries.push((name, slo));
+    }
+    if entries.is_empty() {
+        return Err(SpecError("no SLO entries found".into()));
+    }
+    Ok(entries)
+}
+
 fn parse_slo_spec_into(
     registry: &mut TypeRegistry,
     spec: &str,

@@ -1,0 +1,70 @@
+//! The paper's named parameter defaults, in one place.
+//!
+//! Every constant the studies repeat — Table 2 policy parameters, the §5.3
+//! rate sweep, the §5.4 cluster analogs — lives here so benches, the CLI,
+//! and the examples stop re-declaring the literals. `scripts/check.sh`
+//! greps the bench sources to keep it that way.
+
+/// `P`: simulated engine parallelism of the §5.3 study.
+pub const PARALLELISM: u32 = 100;
+
+/// Table 2 `SLO_p50`, milliseconds (uniform across types).
+pub const SLO_P50_MS: f64 = 18.0;
+
+/// Table 2 `SLO_p90`, milliseconds (uniform across types).
+pub const SLO_P90_MS: f64 = 50.0;
+
+/// Table 2 MaxQL queue-length limit.
+pub const MAXQL_LIMIT: u64 = 400;
+
+/// Table 2 MaxQWT queue-wait limit, milliseconds.
+pub const MAXQWT_LIMIT_MS: f64 = 15.0;
+
+/// Table 2 AcceptFraction utilization threshold.
+pub const ACCEPT_FRACTION_UTIL: f64 = 0.95;
+
+/// The §5.4 acceptance-allowance parameter (`A = 0.05`), also the CLI's
+/// `--allowance` default.
+pub const ALLOWANCE: f64 = 0.05;
+
+/// The Table 3 acceptance-allowance parameter (`A = 0.1`).
+pub const ALLOWANCE_TABLE3: f64 = 0.1;
+
+/// The helping-the-underserved scaling factor (`α = 1.0`) used throughout.
+pub const ALPHA: f64 = 1.0;
+
+/// The §5.3 rate sweep: multiples of `QPS_full_load` (Table 3's columns).
+pub const SIM_RATE_FACTORS: [f64; 13] = [
+    0.90, 0.95, 1.00, 1.05, 1.10, 1.15, 1.20, 1.25, 1.30, 1.35, 1.40, 1.45, 1.50,
+];
+
+/// Names of the Table 1 types, in registry order after `default`.
+pub const TYPE_NAMES: [&str; 4] = ["fast", "medium fast", "medium slow", "slow"];
+
+/// The CLI's default offered-rate factor.
+pub const CLI_RATE_FACTOR: f64 = 1.2;
+
+/// §5.4 MaxQL limit on the LIquid-like cluster (`L_limit = 800`).
+pub const LIQUID_MAXQL_LIMIT: u64 = 800;
+
+/// §5.4 MaxQWT wait limit on the cluster, milliseconds.
+pub const LIQUID_MAXQWT_LIMIT_MS: f64 = 12.0;
+
+/// §5.4 AcceptFraction threshold on the cluster (conservative 80 %).
+pub const LIQUID_ACCEPT_FRACTION_UTIL: f64 = 0.8;
+
+/// §5.4 shard-tier AcceptFraction threshold.
+pub const LIQUID_SHARD_MAX_UTILIZATION: f64 = 0.8;
+
+/// The five §5.4 traffic points as fractions of measured saturation
+/// capacity (the paper's 36K–180K QPS axis, knee at the third point).
+pub const LIQUID_RATE_FACTORS: [f64; 5] = [0.42, 0.83, 1.25, 1.67, 2.08];
+
+/// Labels for [`LIQUID_RATE_FACTORS`], naming the paper's absolute rates.
+pub const LIQUID_RATE_LABELS: [&str; 5] = [
+    "36K-analog",
+    "72K-analog",
+    "108K-analog",
+    "144K-analog",
+    "180K-analog",
+];

@@ -1,0 +1,141 @@
+//! Shared helpers for the flat `key = value` scenario text format.
+//!
+//! The format is deliberately minimal and zero-dependency, in the spirit of
+//! the vendored JSONL writer in [`crate::obs`]: one `key = value` pair per
+//! line, `#` comments, values tokenized on whitespace. These helpers keep
+//! number and duration rendering canonical so `parse(render(x)) == x` and
+//! the content hash is stable.
+
+use crate::slo_spec::SpecError;
+
+/// Renders an `f64` in its shortest round-trip `Display` form (`0.05`,
+/// `1`, `13.5`) — the canonical number format for all spec values.
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Parses a duration literal (`500us`, `15ms`, `13.5ms`, `1s`) into
+/// fractional milliseconds. A bare number is rejected — durations always
+/// carry a unit so scenario files read unambiguously.
+pub fn parse_duration_ms(v: &str) -> Result<f64, SpecError> {
+    let (digits, scale) = if let Some(d) = v.strip_suffix("ms") {
+        (d, 1.0)
+    } else if let Some(d) = v.strip_suffix("us") {
+        (d, 1.0 / 1000.0)
+    } else if let Some(d) = v.strip_suffix("ns") {
+        (d, 1.0 / 1_000_000.0)
+    } else if let Some(d) = v.strip_suffix('s') {
+        (d, 1000.0)
+    } else {
+        return Err(SpecError(format!(
+            "duration `{v}` needs a unit (ns, us, ms, s)"
+        )));
+    };
+    let n: f64 = digits
+        .parse()
+        .map_err(|_| SpecError(format!("bad duration `{v}`")))?;
+    if !n.is_finite() || n < 0.0 {
+        return Err(SpecError(format!("duration `{v}` must be finite and >= 0")));
+    }
+    Ok(n * scale)
+}
+
+/// Renders fractional milliseconds canonically: whole seconds as `1s`,
+/// everything else as `{n}ms` (`15ms`, `13.5ms`, `0.5ms`).
+pub fn render_duration_ms(ms: f64) -> String {
+    if ms >= 1000.0 && ms % 1000.0 == 0.0 {
+        format!("{}s", fmt_f64(ms / 1000.0))
+    } else {
+        format!("{}ms", fmt_f64(ms))
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the scenario content hash. Stable across
+/// platforms and runs; collisions are irrelevant at the "name the scenario
+/// that produced this table" scale.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Formats a content hash the way it appears in reports, JSONL events, and
+/// bench table headers: 16 lowercase hex digits.
+pub fn hash_hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Splits a spec body into `(key, value)` pairs, skipping blank lines and
+/// `#` comments. Keys and values are trimmed; duplicate keys are an error.
+pub fn split_pairs(text: &str) -> Result<Vec<(String, String)>, SpecError> {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (k, v) = line.split_once('=').ok_or_else(|| {
+            SpecError(format!("line {}: expected `key = value`, got `{line}`", idx + 1))
+        })?;
+        let (k, v) = (k.trim().to_string(), v.trim().to_string());
+        if k.is_empty() {
+            return Err(SpecError(format!("line {}: empty key", idx + 1)));
+        }
+        if pairs.iter().any(|(seen, _)| *seen == k) {
+            return Err(SpecError(format!("line {}: duplicate key `{k}`", idx + 1)));
+        }
+        pairs.push((k, v));
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_round_trip_canonically() {
+        for (input, ms, canon) in [
+            ("15ms", 15.0, "15ms"),
+            ("13.5ms", 13.5, "13.5ms"),
+            ("500us", 0.5, "0.5ms"),
+            ("250ns", 0.00025, "0.00025ms"),
+            ("1s", 1000.0, "1s"),
+            ("2.5s", 2500.0, "2500ms"),
+            ("60s", 60_000.0, "60s"),
+        ] {
+            assert_eq!(parse_duration_ms(input).unwrap(), ms, "{input}");
+            assert_eq!(render_duration_ms(ms), canon, "{input}");
+            assert_eq!(parse_duration_ms(canon).unwrap(), ms, "{canon}");
+        }
+        assert!(parse_duration_ms("15").is_err());
+        assert!(parse_duration_ms("-1ms").is_err());
+        assert!(parse_duration_ms("xms").is_err());
+    }
+
+    #[test]
+    fn fnv_vector_matches_reference() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_hex(fnv1a64(b"a")), "af63dc4c8601ec8c");
+    }
+
+    #[test]
+    fn pair_splitting_handles_comments_and_errors() {
+        let pairs = split_pairs("# comment\nname = x\n\npolicy.A = maxql limit=400\n").unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("name".to_string(), "x".to_string()),
+                ("policy.A".to_string(), "maxql limit=400".to_string()),
+            ]
+        );
+        assert!(split_pairs("no equals sign").is_err());
+        assert!(split_pairs("a = 1\na = 2").is_err());
+        assert!(split_pairs(" = 1").is_err());
+    }
+}

@@ -1,0 +1,573 @@
+//! The unified scenario-spec layer: one declarative description of an
+//! experiment — policy, workload, runtime, SLOs, seeds, run length — that
+//! every consumer in the workspace (CLI, simulator studies, the liquid
+//! cluster, examples) constructs through.
+//!
+//! # Format
+//!
+//! Scenarios are flat `key = value` text (`.scn` files), zero-dependency in
+//! the spirit of the vendored JSONL writer. `#` starts a comment; keys may
+//! not repeat. The keys:
+//!
+//! ```text
+//! name     = fig06_policies          # required
+//! seed     = 45232                   # base RNG seed (default 42)
+//! runs     = 5                       # averaging runs (optional)
+//! measured = 1500000                 # measured queries (optional)
+//! warmup   = 100000                  # warm-up queries (optional)
+//! slo.default = p50=18ms p90=50ms    # SLO table ("default" or a type name)
+//! workload = paper_table1            # paper_table1 | liquid | custom
+//! class.FAST = p=0.9 p50=4.5ms p90=12ms   # custom workloads only
+//! runtime  = sim                     # sim | liquid
+//! sim.parallelism = 100              # runtime sub-keys (see RuntimeSpec)
+//! policy         = bouncer           # unlabeled policy, or…
+//! policy.MaxQL   = maxql limit=400   # …labeled policies, order preserved
+//! param.allowances = 0.01 0.02 0.05  # named sweep lists for study benches
+//! ```
+//!
+//! # Canonical form and content hash
+//!
+//! [`ScenarioSpec::render`] emits a canonical serialization (fixed key
+//! order, normalized numbers and durations, defaults omitted), and
+//! [`ScenarioSpec::content_hash`] is FNV-1a 64 over those bytes — so two
+//! files that *mean* the same scenario hash identically regardless of
+//! comment or ordering differences. The hash is stamped into `SimResult`,
+//! JSONL event streams, and bench table headers, so every number in
+//! `results/` names the exact scenario that produced it.
+
+pub mod defaults;
+pub mod kv;
+mod policy;
+mod runtime;
+mod workload;
+
+pub use policy::{BouncerParams, HistogramSpec, PolicyEnv, PolicySpec, RuleSpec};
+pub use runtime::{DisciplineSpec, LiquidSpec, RuntimeSpec, SimSpec, TransportSpec};
+pub use workload::{ClassSpec, WorkloadSpec};
+
+use crate::slo::{Percentile, Slo, SloConfig};
+use crate::slo_spec::SpecError;
+use crate::types::TypeRegistry;
+use bouncer_metrics::time::millis_f64;
+use kv::{fmt_f64, fnv1a64, parse_duration_ms, render_duration_ms, split_pairs};
+use runtime::{parse_f64_list, render_f64_list};
+
+/// One line of the scenario's SLO table: targets for the `default` SLO or
+/// for one named query type. Percentiles are kept in their `p50` notation
+/// (as values in `(0, 100)`) so rendering is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloEntrySpec {
+    /// `"default"` or a registered type name.
+    pub name: String,
+    /// `(percentile, target_ms)` pairs, e.g. `(50.0, 18.0)`.
+    pub targets: Vec<(f64, f64)>,
+}
+
+impl SloEntrySpec {
+    fn parse(name: &str, value: &str) -> Result<SloEntrySpec, SpecError> {
+        let mut targets = Vec::new();
+        for tok in value.split_whitespace() {
+            let (k, v) = tok.split_once('=').ok_or_else(|| {
+                SpecError(format!("slo.{name}: expected pNN=duration, got `{tok}`"))
+            })?;
+            let pct: f64 = k
+                .strip_prefix('p')
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| {
+                    SpecError(format!("slo.{name}: bad percentile `{k}` (use p50, p90, …)"))
+                })?;
+            if !(0.0 < pct && pct < 100.0) {
+                return Err(SpecError(format!(
+                    "slo.{name}: percentile must be in (0, 100), got `{k}`"
+                )));
+            }
+            if targets.iter().any(|&(seen, _)| seen == pct) {
+                return Err(SpecError(format!("slo.{name}: duplicate percentile `{k}`")));
+            }
+            targets.push((pct, parse_duration_ms(v)?));
+        }
+        if targets.is_empty() {
+            return Err(SpecError(format!("slo.{name}: needs at least one target")));
+        }
+        Ok(SloEntrySpec {
+            name: name.to_string(),
+            targets,
+        })
+    }
+
+    fn render_value(&self) -> String {
+        let parts: Vec<String> = self
+            .targets
+            .iter()
+            .map(|&(pct, ms)| format!("p{}={}", fmt_f64(pct), render_duration_ms(ms)))
+            .collect();
+        parts.join(" ")
+    }
+
+    fn slo(&self) -> Slo {
+        self.targets.iter().fold(Slo::unbounded(), |slo, &(pct, ms)| {
+            slo.with(Percentile::new(pct / 100.0), millis_f64(ms))
+        })
+    }
+}
+
+/// A complete declarative experiment: the only way experiments are
+/// constructed anywhere in the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (required; used in reports and table headers).
+    pub name: String,
+    /// Base RNG seed. Multi-run studies derive per-run seeds from it.
+    pub seed: u64,
+    /// Averaging runs for study benches (`None` = the run-mode default).
+    pub runs: Option<u32>,
+    /// Measured queries per run (`None` = the runner's default).
+    pub measured: Option<u64>,
+    /// Warm-up queries per run (`None` = the runner's default).
+    pub warmup: Option<u64>,
+    /// The SLO table; empty means the paper's uniform Table 2 targets.
+    pub slos: Vec<SloEntrySpec>,
+    /// The workload (query mix).
+    pub workload: WorkloadSpec,
+    /// Where the scenario runs (simulator or liquid cluster).
+    pub runtime: RuntimeSpec,
+    /// Policies under evaluation, `(label, spec)` in declaration order;
+    /// the unlabeled `policy =` form gets an empty label.
+    pub policies: Vec<(String, PolicySpec)>,
+    /// Named sweep lists (`param.<name>`), e.g. Table 4's allowances.
+    pub params: Vec<(String, Vec<f64>)>,
+}
+
+impl ScenarioSpec {
+    /// The scenario equivalent of the CLI's flag defaults: paper workload,
+    /// P = 100 simulator at 1.2× full load, uniform Table 2 SLOs, basic
+    /// Bouncer, seed 42, 300 k measured / 50 k warm-up queries.
+    pub fn cli_default() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "cli".into(),
+            seed: 42,
+            runs: None,
+            measured: Some(300_000),
+            warmup: Some(50_000),
+            slos: vec![SloEntrySpec {
+                name: "default".into(),
+                targets: vec![
+                    (50.0, defaults::SLO_P50_MS),
+                    (90.0, defaults::SLO_P90_MS),
+                ],
+            }],
+            workload: WorkloadSpec::PaperTable1,
+            runtime: RuntimeSpec::Sim(SimSpec {
+                rate_factors: vec![defaults::CLI_RATE_FACTOR],
+                ..SimSpec::default()
+            }),
+            policies: vec![(String::new(), PolicySpec::Bouncer(BouncerParams::default()))],
+            params: Vec::new(),
+        }
+    }
+
+    /// Parses a scenario from its text form. Key order in the file is
+    /// free; the canonical form is what [`ScenarioSpec::render`] emits.
+    pub fn parse(text: &str) -> Result<ScenarioSpec, SpecError> {
+        let pairs = split_pairs(text)?;
+        let mut name: Option<String> = None;
+        let mut seed: Option<u64> = None;
+        let (mut runs, mut measured, mut warmup) = (None, None, None);
+        let mut slos = Vec::new();
+        let mut workload_kind: Option<String> = None;
+        let mut classes = Vec::new();
+        let mut runtime_kind: Option<String> = None;
+        let mut runtime_keys: Vec<(String, String)> = Vec::new();
+        let mut policies: Vec<(String, PolicySpec)> = Vec::new();
+        let mut params: Vec<(String, Vec<f64>)> = Vec::new();
+
+        for (key, value) in &pairs {
+            let (key, value) = (key.as_str(), value.as_str());
+            match key {
+                "name" => {
+                    if value.is_empty() {
+                        return Err(SpecError("`name` must not be empty".into()));
+                    }
+                    name = Some(value.to_string());
+                }
+                "seed" => {
+                    seed = Some(value.parse().map_err(|_| {
+                        SpecError(format!("`seed` must be an integer, got `{value}`"))
+                    })?)
+                }
+                "runs" => {
+                    let r: u32 = value.parse().map_err(|_| {
+                        SpecError(format!("`runs` must be a positive integer, got `{value}`"))
+                    })?;
+                    if r == 0 {
+                        return Err(SpecError("`runs` must be >= 1".into()));
+                    }
+                    runs = Some(r);
+                }
+                "measured" => {
+                    measured = Some(value.parse().map_err(|_| {
+                        SpecError(format!("`measured` must be an integer, got `{value}`"))
+                    })?)
+                }
+                "warmup" => {
+                    warmup = Some(value.parse().map_err(|_| {
+                        SpecError(format!("`warmup` must be an integer, got `{value}`"))
+                    })?)
+                }
+                "workload" => workload_kind = Some(value.to_string()),
+                "runtime" => match value {
+                    "sim" | "liquid" => runtime_kind = Some(value.to_string()),
+                    other => {
+                        return Err(SpecError(format!(
+                            "`runtime` must be `sim` or `liquid`, got `{other}`"
+                        )))
+                    }
+                },
+                "policy" => policies.push((String::new(), PolicySpec::parse(value)?)),
+                _ => {
+                    if let Some(label) = key.strip_prefix("policy.") {
+                        policies.push((label.to_string(), PolicySpec::parse(value)?));
+                    } else if let Some(ty) = key.strip_prefix("slo.") {
+                        slos.push(SloEntrySpec::parse(ty, value)?);
+                    } else if let Some(class) = key.strip_prefix("class.") {
+                        classes.push(ClassSpec::parse(class, value)?);
+                    } else if let Some(param) = key.strip_prefix("param.") {
+                        let list = parse_f64_list(key, value)?;
+                        if list.is_empty() {
+                            return Err(SpecError(format!("`{key}` must not be empty")));
+                        }
+                        params.push((param.to_string(), list));
+                    } else if key.starts_with("sim.") || key.starts_with("liquid.") {
+                        runtime_keys.push((key.to_string(), value.to_string()));
+                    } else {
+                        return Err(SpecError(format!("unknown key `{key}`")));
+                    }
+                }
+            }
+        }
+
+        let workload = match workload_kind.as_deref() {
+            None | Some("paper_table1") => {
+                if !classes.is_empty() {
+                    return Err(SpecError(
+                        "`class.<NAME>` lines require `workload = custom`".into(),
+                    ));
+                }
+                WorkloadSpec::PaperTable1
+            }
+            Some("liquid") => {
+                if !classes.is_empty() {
+                    return Err(SpecError(
+                        "`class.<NAME>` lines require `workload = custom`".into(),
+                    ));
+                }
+                WorkloadSpec::Liquid
+            }
+            Some("custom") => WorkloadSpec::Custom(classes),
+            Some(other) => {
+                return Err(SpecError(format!(
+                    "`workload` must be paper_table1, liquid, or custom, got `{other}`"
+                )))
+            }
+        };
+        workload.validate()?;
+
+        let mut runtime = match runtime_kind.as_deref() {
+            Some("liquid") => RuntimeSpec::Liquid(LiquidSpec::default()),
+            _ => RuntimeSpec::Sim(SimSpec::default()),
+        };
+        for (key, value) in &runtime_keys {
+            runtime.apply_key(key, value)?;
+        }
+
+        let mut labels: Vec<&str> = policies.iter().map(|(l, _)| l.as_str()).collect();
+        labels.sort_unstable();
+        if labels.windows(2).any(|w| w[0] == w[1]) {
+            return Err(SpecError("duplicate policy label".into()));
+        }
+
+        Ok(ScenarioSpec {
+            name: name.ok_or_else(|| SpecError("missing required key `name`".into()))?,
+            seed: seed.unwrap_or(42),
+            runs,
+            measured,
+            warmup,
+            slos,
+            workload,
+            runtime,
+            policies,
+            params,
+        })
+    }
+
+    /// Reads and parses a `.scn` file.
+    pub fn load(path: &std::path::Path) -> Result<ScenarioSpec, SpecError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError(format!("cannot read {}: {e}", path.display())))?;
+        ScenarioSpec::parse(&text).map_err(|e| SpecError(format!("{}: {e}", path.display())))
+    }
+
+    /// Renders the canonical serialization: fixed key order, normalized
+    /// values, defaults omitted. `parse(render(x)) == x`.
+    pub fn render(&self) -> String {
+        let mut lines = Vec::new();
+        lines.push(format!("name = {}", self.name));
+        lines.push(format!("seed = {}", self.seed));
+        if let Some(runs) = self.runs {
+            lines.push(format!("runs = {runs}"));
+        }
+        if let Some(measured) = self.measured {
+            lines.push(format!("measured = {measured}"));
+        }
+        if let Some(warmup) = self.warmup {
+            lines.push(format!("warmup = {warmup}"));
+        }
+        for entry in &self.slos {
+            lines.push(format!("slo.{} = {}", entry.name, entry.render_value()));
+        }
+        lines.push(format!("workload = {}", self.workload.kind_name()));
+        for class in self.workload.classes() {
+            lines.push(format!("class.{} = {}", class.name, class.render_value()));
+        }
+        self.runtime.render_lines(&mut lines);
+        for (label, policy) in &self.policies {
+            if label.is_empty() {
+                lines.push(format!("policy = {}", policy.render()));
+            } else {
+                lines.push(format!("policy.{label} = {}", policy.render()));
+            }
+        }
+        for (param, values) in &self.params {
+            lines.push(format!("param.{param} = {}", render_f64_list(values)));
+        }
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// The stable content hash: FNV-1a 64 over the canonical rendering.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(self.render().as_bytes())
+    }
+
+    /// The content hash as it appears in reports, events, and headers.
+    pub fn hash_hex(&self) -> String {
+        kv::hash_hex(self.content_hash())
+    }
+
+    /// The `name (hash)` tag stamped into report lines and table headers.
+    pub fn tag(&self) -> String {
+        format!("{} {}", self.name, self.hash_hex())
+    }
+
+    /// Builds the SLO table against a populated registry. Entries name
+    /// either `default` or a registered type; an empty table means the
+    /// paper's uniform Table 2 targets.
+    pub fn slos(&self, registry: &TypeRegistry) -> Result<SloConfig, SpecError> {
+        if self.slos.is_empty() {
+            let slo = Slo::p50_p90(
+                millis_f64(defaults::SLO_P50_MS),
+                millis_f64(defaults::SLO_P90_MS),
+            );
+            return Ok(SloConfig::uniform(registry, slo));
+        }
+        if self.slos.len() == 1 && self.slos[0].name == "default" {
+            return Ok(SloConfig::uniform(registry, self.slos[0].slo()));
+        }
+        let mut builder = SloConfig::builder(registry);
+        for entry in &self.slos {
+            if entry.name == "default" {
+                builder = builder.default_slo(entry.slo());
+            } else {
+                let ty = registry.resolve(&entry.name).ok_or_else(|| {
+                    SpecError(format!("slo.{}: unknown query type", entry.name))
+                })?;
+                builder = builder.set(ty, entry.slo());
+            }
+        }
+        Ok(builder.build())
+    }
+
+    /// Looks up a policy by label (`""` for the unlabeled `policy =` line).
+    pub fn policy(&self, label: &str) -> Result<&PolicySpec, SpecError> {
+        self.policies
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, p)| p)
+            .ok_or_else(|| {
+                SpecError(format!("scenario `{}` has no policy `{label}`", self.name))
+            })
+    }
+
+    /// The first declared policy — the scenario's main subject.
+    pub fn first_policy(&self) -> Result<&PolicySpec, SpecError> {
+        self.policies
+            .first()
+            .map(|(_, p)| p)
+            .ok_or_else(|| SpecError(format!("scenario `{}` declares no policy", self.name)))
+    }
+
+    /// Looks up a named sweep list (`param.<name>`).
+    pub fn param(&self, name: &str) -> Result<&[f64], SpecError> {
+        self.params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+            .ok_or_else(|| {
+                SpecError(format!("scenario `{}` has no param.{name}", self.name))
+            })
+    }
+
+    /// The sim runtime, or an error naming the scenario.
+    pub fn sim(&self) -> Result<&SimSpec, SpecError> {
+        self.runtime.as_sim().ok_or_else(|| {
+            SpecError(format!("scenario `{}` is not a sim scenario", self.name))
+        })
+    }
+
+    /// The liquid runtime, or an error naming the scenario.
+    pub fn liquid(&self) -> Result<&LiquidSpec, SpecError> {
+        self.runtime.as_liquid().ok_or_else(|| {
+            SpecError(format!("scenario `{}` is not a liquid scenario", self.name))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bouncer_metrics::time::millis;
+
+    const FIG06_STYLE: &str = "\
+# Figure 6-style scenario.
+name = fig06_policies
+seed = 45232
+slo.default = p50=18ms p90=50ms
+workload = paper_table1
+runtime = sim
+policy.Bouncer = bouncer
+policy.MaxQL(400) = maxql limit=400
+policy.MaxQWT(15ms) = maxqwt wait=15ms
+policy.AcceptFraction(95%) = acceptfraction util=0.95
+";
+
+    #[test]
+    fn parses_a_figure_scenario_and_round_trips() {
+        let spec = ScenarioSpec::parse(FIG06_STYLE).unwrap();
+        assert_eq!(spec.name, "fig06_policies");
+        assert_eq!(spec.seed, 45232);
+        assert_eq!(spec.policies.len(), 4);
+        assert_eq!(
+            spec.policy("MaxQL(400)").unwrap(),
+            &PolicySpec::MaxQl { limit: 400 }
+        );
+        let rendered = spec.render();
+        let reparsed = ScenarioSpec::parse(&rendered).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.render(), rendered);
+    }
+
+    #[test]
+    fn hash_ignores_comments_and_ordering() {
+        let a = ScenarioSpec::parse(FIG06_STYLE).unwrap();
+        let shuffled = "\
+policy.Bouncer = bouncer
+runtime = sim
+seed = 45232
+policy.MaxQL(400) = maxql limit=400
+policy.MaxQWT(15ms) = maxqwt wait=15ms
+name = fig06_policies
+policy.AcceptFraction(95%) = acceptfraction util=0.95
+slo.default = p50=18ms p90=50ms
+workload = paper_table1
+";
+        let b = ScenarioSpec::parse(shuffled).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.hash_hex().len(), 16);
+        assert_eq!(a.tag(), format!("fig06_policies {}", a.hash_hex()));
+        // A material change moves the hash.
+        let mut c = a.clone();
+        c.seed = 1;
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn custom_workload_and_params_round_trip() {
+        let text = "\
+name = fig03_starvation
+seed = 11
+slo.default = p50=18ms p90=50ms
+workload = custom
+class.FAST = p=0.9 p50=4.5ms p90=12ms
+class.SLOW = p=0.1 p50=12.51ms p90=44.26ms
+sim.rate_factors = 1.6
+policy.basic = bouncer
+policy.htu = bouncer+htu alpha=1
+param.alphas = 0.1 0.5 1
+";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(spec.workload.classes().len(), 2);
+        assert_eq!(spec.param("alphas").unwrap(), &[0.1, 0.5, 1.0]);
+        assert_eq!(spec.sim().unwrap().rate_factors, vec![1.6]);
+        assert!(spec.param("betas").is_err());
+        assert!(spec.liquid().is_err());
+        let reparsed = ScenarioSpec::parse(&spec.render()).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn slo_table_builds_default_and_per_type_targets() {
+        let mut registry = TypeRegistry::new();
+        let fast = registry.register("fast");
+        let slow = registry.register("slow");
+        let spec = ScenarioSpec::parse(
+            "name = t\nslo.default = p50=18ms p90=50ms\nslo.slow = p50=30ms\npolicy = bouncer\n",
+        )
+        .unwrap();
+        let slos = spec.slos(&registry).unwrap();
+        assert_eq!(
+            slos.slo_for(fast).target(Percentile::new(0.5)),
+            Some(millis(18))
+        );
+        assert_eq!(
+            slos.slo_for(slow).target(Percentile::new(0.5)),
+            Some(millis(30))
+        );
+        // Unknown type names are an error.
+        let bad = ScenarioSpec::parse("name = t\nslo.nope = p50=1ms\n").unwrap();
+        assert!(bad.slos(&registry).is_err());
+        // An empty table falls back to the paper's uniform targets.
+        let empty = ScenarioSpec::parse("name = t\n").unwrap();
+        assert_eq!(
+            empty.slos(&registry).unwrap().slo_for(fast).target(Percentile::new(0.9)),
+            Some(millis(50))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_and_inconsistent_keys() {
+        for bad in [
+            "name = x\nbogus = 1\n",
+            "seed = 1\n",                                  // missing name
+            "name = x\nworkload = nope\n",
+            "name = x\nclass.A = p=1 p50=1ms p90=2ms\n",   // classes without custom
+            "name = x\nworkload = custom\n",               // custom without classes
+            "name = x\nruntime = sim\nliquid.shards = 4\n",
+            "name = x\npolicy.A = maxql\npolicy.A = always\n",
+            "name = x\nruns = 0\n",
+            "name = x\nslo.default = p0=1ms\n",
+            "name = x\nparam.sweep = \n",
+        ] {
+            assert!(ScenarioSpec::parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn cli_default_round_trips_and_is_stable() {
+        let spec = ScenarioSpec::cli_default();
+        let reparsed = ScenarioSpec::parse(&spec.render()).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(spec.first_policy().unwrap().kind_name(), "bouncer");
+        assert_eq!(spec.sim().unwrap().rate_factors, vec![1.2]);
+    }
+}

@@ -1,0 +1,614 @@
+//! Declarative admission-policy specifications.
+//!
+//! A [`PolicySpec`] names a policy and its parameters in a one-line text
+//! form (`bouncer+aa A=0.05`, `maxql limit=400`, …), serializes back
+//! canonically, and builds the runnable [`AdmissionPolicy`] through
+//! [`PolicySpec::build`] — the single constructor every experiment in the
+//! workspace goes through.
+
+use std::sync::Arc;
+
+use bouncer_metrics::time::millis_f64;
+
+use crate::policy::{
+    AcceptFraction, AcceptFractionConfig, AcceptanceAllowance, AdmissionPolicy, AlwaysAccept,
+    Bouncer, BouncerConfig, DecisionRule, GatekeeperConfig, GatekeeperStyle,
+    HelpingTheUnderserved, HistogramMode, MaxQueueLength, MaxQueueWaitTime,
+};
+use crate::slo::SloConfig;
+use crate::slo_spec::SpecError;
+use crate::spec::defaults;
+use crate::spec::kv::{fmt_f64, parse_duration_ms, render_duration_ms};
+use crate::types::TypeRegistry;
+
+/// Bouncer's tunable knobs beyond the SLO table (all optional in the text
+/// form; defaults match [`BouncerConfig::with_parallelism`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BouncerParams {
+    /// Histogram maintenance mode (`histogram=dual` or `histogram=sliding:N`).
+    pub histogram: HistogramSpec,
+    /// Dual-buffer swap period, milliseconds (`interval=1s`).
+    pub interval_ms: f64,
+    /// Appendix A retention threshold (`retention=0`).
+    pub retention: u64,
+    /// Appendix A warm-up threshold (`warmup=16`).
+    pub warmup: u64,
+    /// Decision combination rule (`rule=any` or `rule=all`).
+    pub rule: RuleSpec,
+}
+
+impl Default for BouncerParams {
+    fn default() -> Self {
+        Self {
+            histogram: HistogramSpec::Dual,
+            interval_ms: 1000.0,
+            retention: 0,
+            warmup: 16,
+            rule: RuleSpec::Any,
+        }
+    }
+}
+
+/// Histogram maintenance mode in spec form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramSpec {
+    /// Dual-buffer with atomic swap per interval (§3, the default).
+    Dual,
+    /// Sliding window over the trailing `N` intervals (§7).
+    Sliding(u32),
+}
+
+/// Decision combination rule in spec form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleSpec {
+    /// Reject when **any** target would be violated (Algorithm 1).
+    Any,
+    /// Reject only when **every** target would be violated.
+    All,
+}
+
+/// A serializable admission-policy choice with its parameters resolved.
+///
+/// Text form: the policy name followed by `key=value` pairs, e.g.
+/// `bouncer`, `bouncer histogram=sliding:4`, `bouncer+aa A=0.05`,
+/// `maxql limit=400`, `maxqwt wait=15ms`, `acceptfraction util=0.95`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// Basic Bouncer (the paper's policy).
+    Bouncer(BouncerParams),
+    /// Bouncer + acceptance-allowance `A` (Algorithm 2).
+    BouncerAllowance {
+        /// Inner Bouncer knobs.
+        bouncer: BouncerParams,
+        /// The acceptance allowance `A`.
+        allowance: f64,
+    },
+    /// Bouncer + helping-the-underserved `α` (Algorithm 3).
+    BouncerUnderserved {
+        /// Inner Bouncer knobs.
+        bouncer: BouncerParams,
+        /// The scaling factor `α`.
+        alpha: f64,
+    },
+    /// MaxQL with a queue-length limit.
+    MaxQl {
+        /// The queue-length limit.
+        limit: u64,
+    },
+    /// MaxQWT with a single queue-wait limit.
+    MaxQwt {
+        /// The wait limit, milliseconds.
+        wait_ms: f64,
+    },
+    /// MaxQWT with per-type wait limits, indexed by `TypeId::index()`
+    /// (the §5.5 tuned-per-type variant).
+    MaxQwtPerType {
+        /// Wait limits in milliseconds, one per registered type.
+        wait_ms: Vec<f64>,
+    },
+    /// AcceptFraction with a utilization threshold.
+    AcceptFraction {
+        /// The maximum utilization threshold in `(0, 1]`.
+        max_utilization: f64,
+    },
+    /// Gatekeeper-style capacity baseline (§6 literature comparison).
+    Gatekeeper {
+        /// Backlog horizon, milliseconds.
+        horizon_ms: f64,
+        /// Load threshold β.
+        beta: f64,
+    },
+    /// No admission control.
+    Always,
+}
+
+/// Everything [`PolicySpec::build`] needs from the surrounding experiment.
+pub struct PolicyEnv<'a> {
+    /// The workload's type registry (sizes the per-type policy state).
+    pub registry: &'a TypeRegistry,
+    /// The SLO table (only Bouncer variants consult it).
+    pub slos: SloConfig,
+    /// Engine parallelism `P` of the host being gated.
+    pub parallelism: u32,
+}
+
+impl PolicySpec {
+    /// The paper's Table 2 MaxQL baseline (`limit = 400`).
+    pub fn maxql_default() -> Self {
+        PolicySpec::MaxQl {
+            limit: defaults::MAXQL_LIMIT,
+        }
+    }
+
+    /// The paper's Table 2 MaxQWT baseline (`limit = 15 ms`).
+    pub fn maxqwt_default() -> Self {
+        PolicySpec::MaxQwt {
+            wait_ms: defaults::MAXQWT_LIMIT_MS,
+        }
+    }
+
+    /// The paper's Table 2 AcceptFraction baseline (95 %).
+    pub fn accept_fraction_default() -> Self {
+        PolicySpec::AcceptFraction {
+            max_utilization: defaults::ACCEPT_FRACTION_UTIL,
+        }
+    }
+
+    /// Bouncer + acceptance-allowance with the given `A`.
+    pub fn allowance(a: f64) -> Self {
+        PolicySpec::BouncerAllowance {
+            bouncer: BouncerParams::default(),
+            allowance: a,
+        }
+    }
+
+    /// Bouncer + helping-the-underserved with the given `α`.
+    pub fn underserved(alpha: f64) -> Self {
+        PolicySpec::BouncerUnderserved {
+            bouncer: BouncerParams::default(),
+            alpha,
+        }
+    }
+
+    /// Parses the one-line text form.
+    pub fn parse(line: &str) -> Result<PolicySpec, SpecError> {
+        let mut tokens = line.split_whitespace();
+        let name = tokens
+            .next()
+            .ok_or_else(|| SpecError("empty policy spec".into()))?;
+        let mut pairs: Vec<(&str, &str)> = Vec::new();
+        for tok in tokens {
+            let (k, v) = tok.split_once('=').ok_or_else(|| {
+                SpecError(format!("policy parameter must be key=value, got `{tok}`"))
+            })?;
+            if pairs.iter().any(|&(seen, _)| seen == k) {
+                return Err(SpecError(format!("duplicate policy parameter `{k}`")));
+            }
+            pairs.push((k, v));
+        }
+
+        let take = |key: &str| pairs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+        let reject_unknown = |allowed: &[&str]| -> Result<(), SpecError> {
+            for &(k, _) in &pairs {
+                if !allowed.contains(&k) {
+                    return Err(SpecError(format!(
+                        "unknown parameter `{k}` for policy `{name}` (allowed: {})",
+                        allowed.join(", ")
+                    )));
+                }
+            }
+            Ok(())
+        };
+
+        const BOUNCER_KEYS: &[&str] = &["histogram", "interval", "retention", "warmup", "rule"];
+        let bouncer_params = || -> Result<BouncerParams, SpecError> {
+            let mut p = BouncerParams::default();
+            if let Some(v) = take("histogram") {
+                p.histogram = if v == "dual" {
+                    HistogramSpec::Dual
+                } else if let Some(n) = v.strip_prefix("sliding:") {
+                    HistogramSpec::Sliding(n.parse().map_err(|_| {
+                        SpecError(format!("bad sliding interval count `{v}`"))
+                    })?)
+                } else {
+                    return Err(SpecError(format!(
+                        "histogram must be `dual` or `sliding:N`, got `{v}`"
+                    )));
+                };
+            }
+            if let Some(v) = take("interval") {
+                p.interval_ms = parse_duration_ms(v)?;
+            }
+            if let Some(v) = take("retention") {
+                p.retention = parse_u64("retention", v)?;
+            }
+            if let Some(v) = take("warmup") {
+                p.warmup = parse_u64("warmup", v)?;
+            }
+            if let Some(v) = take("rule") {
+                p.rule = match v {
+                    "any" => RuleSpec::Any,
+                    "all" => RuleSpec::All,
+                    other => {
+                        return Err(SpecError(format!(
+                            "rule must be `any` or `all`, got `{other}`"
+                        )))
+                    }
+                };
+            }
+            Ok(p)
+        };
+
+        Ok(match name {
+            "bouncer" => {
+                reject_unknown(BOUNCER_KEYS)?;
+                PolicySpec::Bouncer(bouncer_params()?)
+            }
+            "bouncer+aa" => {
+                let allowed: Vec<&str> =
+                    BOUNCER_KEYS.iter().copied().chain(["A"]).collect();
+                reject_unknown(&allowed)?;
+                PolicySpec::BouncerAllowance {
+                    bouncer: bouncer_params()?,
+                    allowance: match take("A") {
+                        Some(v) => parse_f64("A", v)?,
+                        None => defaults::ALLOWANCE,
+                    },
+                }
+            }
+            "bouncer+htu" => {
+                let allowed: Vec<&str> =
+                    BOUNCER_KEYS.iter().copied().chain(["alpha"]).collect();
+                reject_unknown(&allowed)?;
+                PolicySpec::BouncerUnderserved {
+                    bouncer: bouncer_params()?,
+                    alpha: match take("alpha") {
+                        Some(v) => parse_f64("alpha", v)?,
+                        None => defaults::ALPHA,
+                    },
+                }
+            }
+            "maxql" => {
+                reject_unknown(&["limit"])?;
+                PolicySpec::MaxQl {
+                    limit: match take("limit") {
+                        Some(v) => parse_u64("limit", v)?,
+                        None => defaults::MAXQL_LIMIT,
+                    },
+                }
+            }
+            "maxqwt" => {
+                reject_unknown(&["wait", "per_type"])?;
+                match (take("wait"), take("per_type")) {
+                    (Some(_), Some(_)) => {
+                        return Err(SpecError(
+                            "maxqwt takes either `wait` or `per_type`, not both".into(),
+                        ))
+                    }
+                    (None, Some(list)) => {
+                        let wait_ms = list
+                            .split(',')
+                            .map(parse_duration_ms)
+                            .collect::<Result<Vec<_>, _>>()?;
+                        if wait_ms.is_empty() {
+                            return Err(SpecError("per_type needs at least one limit".into()));
+                        }
+                        PolicySpec::MaxQwtPerType { wait_ms }
+                    }
+                    (wait, None) => PolicySpec::MaxQwt {
+                        wait_ms: match wait {
+                            Some(v) => parse_duration_ms(v)?,
+                            None => defaults::MAXQWT_LIMIT_MS,
+                        },
+                    },
+                }
+            }
+            "acceptfraction" => {
+                reject_unknown(&["util"])?;
+                PolicySpec::AcceptFraction {
+                    max_utilization: match take("util") {
+                        Some(v) => parse_f64("util", v)?,
+                        None => defaults::ACCEPT_FRACTION_UTIL,
+                    },
+                }
+            }
+            "gatekeeper" => {
+                reject_unknown(&["horizon", "beta"])?;
+                PolicySpec::Gatekeeper {
+                    horizon_ms: match take("horizon") {
+                        Some(v) => parse_duration_ms(v)?,
+                        None => 100.0,
+                    },
+                    beta: match take("beta") {
+                        Some(v) => parse_f64("beta", v)?,
+                        None => 1.0,
+                    },
+                }
+            }
+            "always" => {
+                reject_unknown(&[])?;
+                PolicySpec::Always
+            }
+            other => {
+                return Err(SpecError(format!(
+                    "unknown policy `{other}` (bouncer, bouncer+aa, bouncer+htu, maxql, \
+                     maxqwt, acceptfraction, gatekeeper, always)"
+                )))
+            }
+        })
+    }
+
+    /// Renders the canonical one-line text form (`parse(render(x)) == x`).
+    pub fn render(&self) -> String {
+        fn bouncer_keys(out: &mut String, p: &BouncerParams) {
+            let d = BouncerParams::default();
+            if p.histogram != d.histogram {
+                match p.histogram {
+                    HistogramSpec::Dual => out.push_str(" histogram=dual"),
+                    HistogramSpec::Sliding(n) => {
+                        out.push_str(&format!(" histogram=sliding:{n}"))
+                    }
+                }
+            }
+            if p.interval_ms != d.interval_ms {
+                out.push_str(&format!(" interval={}", render_duration_ms(p.interval_ms)));
+            }
+            if p.retention != d.retention {
+                out.push_str(&format!(" retention={}", p.retention));
+            }
+            if p.warmup != d.warmup {
+                out.push_str(&format!(" warmup={}", p.warmup));
+            }
+            if p.rule != d.rule {
+                out.push_str(match p.rule {
+                    RuleSpec::Any => " rule=any",
+                    RuleSpec::All => " rule=all",
+                });
+            }
+        }
+
+        let mut out = String::new();
+        match self {
+            PolicySpec::Bouncer(p) => {
+                out.push_str("bouncer");
+                bouncer_keys(&mut out, p);
+            }
+            PolicySpec::BouncerAllowance { bouncer, allowance } => {
+                out.push_str("bouncer+aa");
+                out.push_str(&format!(" A={}", fmt_f64(*allowance)));
+                bouncer_keys(&mut out, bouncer);
+            }
+            PolicySpec::BouncerUnderserved { bouncer, alpha } => {
+                out.push_str("bouncer+htu");
+                out.push_str(&format!(" alpha={}", fmt_f64(*alpha)));
+                bouncer_keys(&mut out, bouncer);
+            }
+            PolicySpec::MaxQl { limit } => out.push_str(&format!("maxql limit={limit}")),
+            PolicySpec::MaxQwt { wait_ms } => {
+                out.push_str(&format!("maxqwt wait={}", render_duration_ms(*wait_ms)))
+            }
+            PolicySpec::MaxQwtPerType { wait_ms } => {
+                let list: Vec<String> =
+                    wait_ms.iter().map(|&w| render_duration_ms(w)).collect();
+                out.push_str(&format!("maxqwt per_type={}", list.join(",")));
+            }
+            PolicySpec::AcceptFraction { max_utilization } => {
+                out.push_str(&format!("acceptfraction util={}", fmt_f64(*max_utilization)))
+            }
+            PolicySpec::Gatekeeper { horizon_ms, beta } => {
+                out.push_str("gatekeeper");
+                if *horizon_ms != 100.0 {
+                    out.push_str(&format!(" horizon={}", render_duration_ms(*horizon_ms)));
+                }
+                if *beta != 1.0 {
+                    out.push_str(&format!(" beta={}", fmt_f64(*beta)));
+                }
+            }
+            PolicySpec::Always => out.push_str("always"),
+        }
+        out
+    }
+
+    /// The canonical policy-name token (the CLI's `--policy` values).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PolicySpec::Bouncer(_) => "bouncer",
+            PolicySpec::BouncerAllowance { .. } => "bouncer+aa",
+            PolicySpec::BouncerUnderserved { .. } => "bouncer+htu",
+            PolicySpec::MaxQl { .. } => "maxql",
+            PolicySpec::MaxQwt { .. } | PolicySpec::MaxQwtPerType { .. } => "maxqwt",
+            PolicySpec::AcceptFraction { .. } => "acceptfraction",
+            PolicySpec::Gatekeeper { .. } => "gatekeeper",
+            PolicySpec::Always => "always",
+        }
+    }
+
+    /// Builds the runnable policy — the registry function the whole
+    /// workspace constructs experiments through. `seed` feeds the
+    /// probabilistic policies (allowance/underserved coin flips,
+    /// AcceptFraction's admission lottery); deterministic policies ignore
+    /// it, so equal specs at equal seeds build equal policies.
+    pub fn build(&self, env: &PolicyEnv<'_>, seed: u64) -> Arc<dyn AdmissionPolicy> {
+        match self {
+            PolicySpec::Bouncer(p) => Arc::new(build_bouncer(p, env)),
+            PolicySpec::BouncerAllowance { bouncer, allowance } => Arc::new(
+                AcceptanceAllowance::new(
+                    build_bouncer(bouncer, env),
+                    env.registry.len(),
+                    *allowance,
+                    seed,
+                ),
+            ),
+            PolicySpec::BouncerUnderserved { bouncer, alpha } => Arc::new(
+                HelpingTheUnderserved::new(
+                    build_bouncer(bouncer, env),
+                    env.registry.len(),
+                    *alpha,
+                    seed,
+                ),
+            ),
+            PolicySpec::MaxQl { limit } => Arc::new(MaxQueueLength::new(*limit)),
+            PolicySpec::MaxQwt { wait_ms } => {
+                Arc::new(MaxQueueWaitTime::new(millis_f64(*wait_ms), env.parallelism))
+            }
+            PolicySpec::MaxQwtPerType { wait_ms } => Arc::new(
+                MaxQueueWaitTime::with_per_type_limits(
+                    wait_ms.iter().map(|&w| millis_f64(w)).collect(),
+                    env.parallelism,
+                ),
+            ),
+            PolicySpec::AcceptFraction { max_utilization } => {
+                let mut cfg = AcceptFractionConfig::new(*max_utilization, env.parallelism);
+                cfg.seed = seed;
+                Arc::new(AcceptFraction::new(cfg))
+            }
+            PolicySpec::Gatekeeper { horizon_ms, beta } => {
+                let mut cfg = GatekeeperConfig::new(env.parallelism);
+                cfg.horizon = millis_f64(*horizon_ms);
+                cfg.beta = *beta;
+                Arc::new(GatekeeperStyle::new(env.registry.len(), cfg))
+            }
+            PolicySpec::Always => Arc::new(AlwaysAccept::new()),
+        }
+    }
+
+    /// Builds the concrete [`Bouncer`] behind a Bouncer-family spec
+    /// (`None` for non-Bouncer policies). Experiments that need Bouncer's
+    /// inherent inspection methods (e.g. `is_warming_up_at`) go through
+    /// this instead of calling `Bouncer::new` themselves.
+    pub fn build_bouncer(&self, env: &PolicyEnv<'_>) -> Option<Bouncer> {
+        match self {
+            PolicySpec::Bouncer(p)
+            | PolicySpec::BouncerAllowance { bouncer: p, .. }
+            | PolicySpec::BouncerUnderserved { bouncer: p, .. } => {
+                Some(build_bouncer(p, env))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn build_bouncer(p: &BouncerParams, env: &PolicyEnv<'_>) -> Bouncer {
+    let mut cfg = BouncerConfig::with_parallelism(env.parallelism);
+    cfg.histogram_interval = millis_f64(p.interval_ms);
+    cfg.retention_min_samples = p.retention;
+    cfg.warmup_min_samples = p.warmup;
+    cfg.decision_rule = match p.rule {
+        RuleSpec::Any => DecisionRule::RejectIfAnyViolated,
+        RuleSpec::All => DecisionRule::RejectIfAllViolated,
+    };
+    cfg.histogram_mode = match p.histogram {
+        HistogramSpec::Dual => HistogramMode::DualBuffer,
+        HistogramSpec::Sliding(n) => HistogramMode::Sliding {
+            intervals: n as usize,
+        },
+    };
+    Bouncer::new(env.slos.clone(), cfg)
+}
+
+fn parse_u64(key: &str, v: &str) -> Result<u64, SpecError> {
+    v.parse()
+        .map_err(|_| SpecError(format!("`{key}` must be a non-negative integer, got `{v}`")))
+}
+
+fn parse_f64(key: &str, v: &str) -> Result<f64, SpecError> {
+    let parsed: f64 = v
+        .parse()
+        .map_err(|_| SpecError(format!("`{key}` must be a number, got `{v}`")))?;
+    if !parsed.is_finite() {
+        return Err(SpecError(format!("`{key}` must be finite, got `{v}`")));
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::Slo;
+    use bouncer_metrics::time::millis;
+
+    fn env_for(registry: &TypeRegistry) -> PolicyEnv<'_> {
+        PolicyEnv {
+            registry,
+            slos: SloConfig::uniform(registry, Slo::p50_p90(millis(18), millis(50))),
+            parallelism: 100,
+        }
+    }
+
+    #[test]
+    fn parses_and_renders_canonically() {
+        for (input, canon) in [
+            ("bouncer", "bouncer"),
+            ("bouncer histogram=sliding:4", "bouncer histogram=sliding:4"),
+            ("bouncer  warmup=8   retention=16", "bouncer retention=16 warmup=8"),
+            ("bouncer+aa A=0.05", "bouncer+aa A=0.05"),
+            ("bouncer+aa", "bouncer+aa A=0.05"),
+            ("bouncer+htu alpha=1", "bouncer+htu alpha=1"),
+            ("maxql limit=400", "maxql limit=400"),
+            ("maxql", "maxql limit=400"),
+            ("maxqwt wait=15ms", "maxqwt wait=15ms"),
+            ("maxqwt per_type=18ms,13.5ms,1ms", "maxqwt per_type=18ms,13.5ms,1ms"),
+            ("acceptfraction util=0.95", "acceptfraction util=0.95"),
+            ("gatekeeper horizon=15ms", "gatekeeper horizon=15ms"),
+            ("always", "always"),
+        ] {
+            let spec = PolicySpec::parse(input).unwrap_or_else(|e| panic!("`{input}`: {e}"));
+            assert_eq!(spec.render(), canon, "input `{input}`");
+            assert_eq!(PolicySpec::parse(canon).unwrap(), spec, "reparse `{canon}`");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_policy_lines() {
+        for bad in [
+            "",
+            "nope",
+            "bouncer bogus=1",
+            "bouncer histogram=sliding",
+            "maxql limit=abc",
+            "maxqwt wait=15ms per_type=1ms",
+            "maxqwt per_type=",
+            "bouncer+aa A=x",
+            "always limit=1",
+            "bouncer warmup=8 warmup=9",
+            "bouncer warmup",
+        ] {
+            assert!(PolicySpec::parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn builds_every_policy_kind() {
+        let mut registry = TypeRegistry::new();
+        registry.register("a");
+        registry.register("b");
+        let env = env_for(&registry);
+        for line in [
+            "bouncer",
+            "bouncer+aa A=0.1",
+            "bouncer+htu alpha=0.5",
+            "maxql limit=10",
+            "maxqwt wait=15ms",
+            "maxqwt per_type=18ms,10ms,5ms",
+            "acceptfraction util=0.8",
+            "gatekeeper horizon=15ms",
+            "always",
+        ] {
+            let spec = PolicySpec::parse(line).unwrap();
+            let policy = spec.build(&env, 7);
+            assert!(!policy.name().is_empty(), "{line}");
+            assert!(policy.admit(crate::types::DEFAULT_TYPE, 0).is_accept(), "{line}");
+        }
+    }
+
+    #[test]
+    fn build_bouncer_exposes_the_concrete_policy() {
+        let mut registry = TypeRegistry::new();
+        registry.register("subject");
+        let env = env_for(&registry);
+        let spec = PolicySpec::parse("bouncer retention=16 warmup=8").unwrap();
+        let b = spec.build_bouncer(&env).expect("bouncer family");
+        assert!(b.admit(crate::types::DEFAULT_TYPE, 0).is_accept());
+        assert!(PolicySpec::parse("maxql").unwrap().build_bouncer(&env).is_none());
+    }
+}

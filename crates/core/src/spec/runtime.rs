@@ -1,0 +1,481 @@
+//! Declarative runtime specifications: the discrete-event simulator or the
+//! mini-LIquid cluster, with the knobs each one exposes.
+
+use crate::slo_spec::SpecError;
+use crate::spec::defaults;
+use crate::spec::kv::{fmt_f64, parse_duration_ms, render_duration_ms};
+
+/// Queue discipline in spec form (`sim.discipline = fifo | priority:0,0,1 |
+/// sjf`), mirroring the simulator's `SimDiscipline`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisciplineSpec {
+    /// First-come, first-served (the paper's deployment).
+    Fifo,
+    /// Higher-priority types first; `priorities[TypeId::index()]`.
+    Priority(Vec<u8>),
+    /// Shortest processing time first (oracle SJF).
+    ShortestJobFirst,
+}
+
+impl DisciplineSpec {
+    fn parse(v: &str) -> Result<Self, SpecError> {
+        if v == "fifo" {
+            Ok(DisciplineSpec::Fifo)
+        } else if v == "sjf" {
+            Ok(DisciplineSpec::ShortestJobFirst)
+        } else if let Some(list) = v.strip_prefix("priority:") {
+            let priorities = list
+                .split(',')
+                .map(|p| {
+                    p.parse()
+                        .map_err(|_| SpecError(format!("bad priority level `{p}`")))
+                })
+                .collect::<Result<Vec<u8>, _>>()?;
+            Ok(DisciplineSpec::Priority(priorities))
+        } else {
+            Err(SpecError(format!(
+                "discipline must be `fifo`, `sjf`, or `priority:<levels>`, got `{v}`"
+            )))
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            DisciplineSpec::Fifo => "fifo".into(),
+            DisciplineSpec::ShortestJobFirst => "sjf".into(),
+            DisciplineSpec::Priority(levels) => {
+                let list: Vec<String> = levels.iter().map(|l| l.to_string()).collect();
+                format!("priority:{}", list.join(","))
+            }
+        }
+    }
+}
+
+/// The simulator runtime (`runtime = sim`) and its `sim.*` keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    /// Engine parallelism `P` (`sim.parallelism`).
+    pub parallelism: u32,
+    /// Offered-rate sweep as multiples of `QPS_full_load`
+    /// (`sim.rate_factors`, space-separated).
+    pub rate_factors: Vec<f64>,
+    /// Absolute offered rate override, QPS (`sim.rate_qps`). When set, the
+    /// sweep factors are ignored by single-point runners (the CLI).
+    pub rate_qps: Option<f64>,
+    /// Bounded-queue `L_limit` (`sim.queue_limit`); `None` = unbounded.
+    pub queue_limit: Option<u64>,
+    /// Queue discipline (`sim.discipline`).
+    pub discipline: DisciplineSpec,
+    /// Piecewise rate schedule as `offset:factor` pairs
+    /// (`sim.rate_steps = 10s:1.5 20s:0.8`), offsets in simulated time.
+    pub rate_steps: Vec<(f64, f64)>,
+}
+
+impl Default for SimSpec {
+    fn default() -> Self {
+        Self {
+            parallelism: defaults::PARALLELISM,
+            rate_factors: defaults::SIM_RATE_FACTORS.to_vec(),
+            rate_qps: None,
+            queue_limit: None,
+            discipline: DisciplineSpec::Fifo,
+            rate_steps: Vec::new(),
+        }
+    }
+}
+
+/// Broker→shard transport in spec form (`liquid.transport`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportSpec {
+    /// In-process channels.
+    InProc,
+    /// Loopback TCP.
+    Tcp,
+}
+
+/// The mini-LIquid cluster runtime (`runtime = liquid`) and its
+/// `liquid.*` keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiquidSpec {
+    /// Number of shard hosts (`liquid.shards`).
+    pub shards: u32,
+    /// Number of broker hosts (`liquid.brokers`).
+    pub brokers: u32,
+    /// Broker→shard transport (`liquid.transport = inproc | tcp`).
+    pub transport: TransportSpec,
+    /// Coalesce per-round sub-queries into per-shard batches
+    /// (`liquid.batch_fanout`).
+    pub batch_fanout: bool,
+    /// Shard-tier AcceptFraction threshold (`liquid.shard_max_utilization`).
+    pub shard_max_utilization: f64,
+    /// Traffic points as `label:factor` pairs, factors relative to measured
+    /// saturation capacity (`liquid.rate_factors = 36K-analog:0.42 …`).
+    pub rate_points: Vec<(String, f64)>,
+}
+
+impl Default for LiquidSpec {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            brokers: 1,
+            transport: TransportSpec::InProc,
+            batch_fanout: true,
+            shard_max_utilization: defaults::LIQUID_SHARD_MAX_UTILIZATION,
+            rate_points: defaults::LIQUID_RATE_LABELS
+                .iter()
+                .zip(defaults::LIQUID_RATE_FACTORS)
+                .map(|(&label, factor)| (label.to_string(), factor))
+                .collect(),
+        }
+    }
+}
+
+/// A serializable runtime choice: where the scenario runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeSpec {
+    /// The discrete-event simulator (§5.3 studies).
+    Sim(SimSpec),
+    /// The mini-LIquid cluster (§5.4 studies).
+    Liquid(LiquidSpec),
+}
+
+impl RuntimeSpec {
+    /// The `runtime =` value naming this choice.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            RuntimeSpec::Sim(_) => "sim",
+            RuntimeSpec::Liquid(_) => "liquid",
+        }
+    }
+
+    /// The sim runtime, if that is the selected kind.
+    pub fn as_sim(&self) -> Option<&SimSpec> {
+        match self {
+            RuntimeSpec::Sim(s) => Some(s),
+            RuntimeSpec::Liquid(_) => None,
+        }
+    }
+
+    /// The liquid runtime, if that is the selected kind.
+    pub fn as_liquid(&self) -> Option<&LiquidSpec> {
+        match self {
+            RuntimeSpec::Liquid(l) => Some(l),
+            RuntimeSpec::Sim(_) => None,
+        }
+    }
+
+    /// Applies one `sim.<key> = value` or `liquid.<key> = value` line.
+    pub fn apply_key(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
+        match (self, key.split_once('.')) {
+            (RuntimeSpec::Sim(sim), Some(("sim", sub))) => sim.apply_key(sub, value),
+            (RuntimeSpec::Liquid(liquid), Some(("liquid", sub))) => {
+                liquid.apply_key(sub, value)
+            }
+            (rt, _) => Err(SpecError(format!(
+                "key `{key}` does not apply to runtime `{}`",
+                rt.kind_name()
+            ))),
+        }
+    }
+
+    /// Renders the `runtime =` line plus all non-default sub-keys, one
+    /// rendered line per vector entry.
+    pub fn render_lines(&self, out: &mut Vec<String>) {
+        out.push(format!("runtime = {}", self.kind_name()));
+        match self {
+            RuntimeSpec::Sim(sim) => sim.render_lines(out),
+            RuntimeSpec::Liquid(liquid) => liquid.render_lines(out),
+        }
+    }
+}
+
+impl SimSpec {
+    fn apply_key(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
+        match key {
+            "parallelism" => {
+                self.parallelism = value.parse().map_err(|_| {
+                    SpecError(format!("sim.parallelism must be a positive integer, got `{value}`"))
+                })?;
+                if self.parallelism == 0 {
+                    return Err(SpecError("sim.parallelism must be >= 1".into()));
+                }
+            }
+            "rate_factors" => {
+                self.rate_factors = parse_f64_list("sim.rate_factors", value)?;
+                if self.rate_factors.is_empty() {
+                    return Err(SpecError("sim.rate_factors must not be empty".into()));
+                }
+            }
+            "rate_qps" => {
+                self.rate_qps = Some(parse_pos_f64("sim.rate_qps", value)?);
+            }
+            "queue_limit" => {
+                self.queue_limit = Some(value.parse().map_err(|_| {
+                    SpecError(format!("sim.queue_limit must be an integer, got `{value}`"))
+                })?);
+            }
+            "discipline" => self.discipline = DisciplineSpec::parse(value)?,
+            "rate_steps" => {
+                self.rate_steps = value
+                    .split_whitespace()
+                    .map(|tok| {
+                        let (at, factor) = tok.split_once(':').ok_or_else(|| {
+                            SpecError(format!(
+                                "sim.rate_steps entries are `offset:factor`, got `{tok}`"
+                            ))
+                        })?;
+                        Ok((parse_duration_ms(at)?, parse_pos_f64("rate step factor", factor)?))
+                    })
+                    .collect::<Result<Vec<_>, SpecError>>()?;
+            }
+            other => {
+                return Err(SpecError(format!(
+                    "unknown key `sim.{other}` (parallelism, rate_factors, rate_qps, \
+                     queue_limit, discipline, rate_steps)"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn render_lines(&self, out: &mut Vec<String>) {
+        let d = SimSpec::default();
+        if self.parallelism != d.parallelism {
+            out.push(format!("sim.parallelism = {}", self.parallelism));
+        }
+        if self.rate_factors != d.rate_factors {
+            out.push(format!(
+                "sim.rate_factors = {}",
+                render_f64_list(&self.rate_factors)
+            ));
+        }
+        if let Some(qps) = self.rate_qps {
+            out.push(format!("sim.rate_qps = {}", fmt_f64(qps)));
+        }
+        if let Some(limit) = self.queue_limit {
+            out.push(format!("sim.queue_limit = {limit}"));
+        }
+        if self.discipline != d.discipline {
+            out.push(format!("sim.discipline = {}", self.discipline.render()));
+        }
+        if !self.rate_steps.is_empty() {
+            let steps: Vec<String> = self
+                .rate_steps
+                .iter()
+                .map(|&(at_ms, factor)| {
+                    format!("{}:{}", render_duration_ms(at_ms), fmt_f64(factor))
+                })
+                .collect();
+            out.push(format!("sim.rate_steps = {}", steps.join(" ")));
+        }
+    }
+}
+
+impl LiquidSpec {
+    fn apply_key(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
+        match key {
+            "shards" => self.shards = parse_pos_u32("liquid.shards", value)?,
+            "brokers" => self.brokers = parse_pos_u32("liquid.brokers", value)?,
+            "transport" => {
+                self.transport = match value {
+                    "inproc" => TransportSpec::InProc,
+                    "tcp" => TransportSpec::Tcp,
+                    other => {
+                        return Err(SpecError(format!(
+                            "liquid.transport must be `inproc` or `tcp`, got `{other}`"
+                        )))
+                    }
+                }
+            }
+            "batch_fanout" => {
+                self.batch_fanout = match value {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(SpecError(format!(
+                            "liquid.batch_fanout must be `true` or `false`, got `{other}`"
+                        )))
+                    }
+                }
+            }
+            "shard_max_utilization" => {
+                self.shard_max_utilization =
+                    parse_pos_f64("liquid.shard_max_utilization", value)?;
+            }
+            "rate_factors" => {
+                self.rate_points = value
+                    .split_whitespace()
+                    .map(|tok| {
+                        let (label, factor) = tok.split_once(':').ok_or_else(|| {
+                            SpecError(format!(
+                                "liquid.rate_factors entries are `label:factor`, got `{tok}`"
+                            ))
+                        })?;
+                        Ok((
+                            label.to_string(),
+                            parse_pos_f64("liquid rate factor", factor)?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, SpecError>>()?;
+                if self.rate_points.is_empty() {
+                    return Err(SpecError("liquid.rate_factors must not be empty".into()));
+                }
+            }
+            other => {
+                return Err(SpecError(format!(
+                    "unknown key `liquid.{other}` (shards, brokers, transport, \
+                     batch_fanout, shard_max_utilization, rate_factors)"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn render_lines(&self, out: &mut Vec<String>) {
+        let d = LiquidSpec::default();
+        if self.shards != d.shards {
+            out.push(format!("liquid.shards = {}", self.shards));
+        }
+        if self.brokers != d.brokers {
+            out.push(format!("liquid.brokers = {}", self.brokers));
+        }
+        if self.transport != d.transport {
+            out.push(
+                match self.transport {
+                    TransportSpec::InProc => "liquid.transport = inproc",
+                    TransportSpec::Tcp => "liquid.transport = tcp",
+                }
+                .to_string(),
+            );
+        }
+        if self.batch_fanout != d.batch_fanout {
+            out.push(format!("liquid.batch_fanout = {}", self.batch_fanout));
+        }
+        if self.shard_max_utilization != d.shard_max_utilization {
+            out.push(format!(
+                "liquid.shard_max_utilization = {}",
+                fmt_f64(self.shard_max_utilization)
+            ));
+        }
+        if self.rate_points != d.rate_points {
+            let points: Vec<String> = self
+                .rate_points
+                .iter()
+                .map(|(label, factor)| format!("{label}:{}", fmt_f64(*factor)))
+                .collect();
+            out.push(format!("liquid.rate_factors = {}", points.join(" ")));
+        }
+    }
+}
+
+pub(crate) fn parse_f64_list(key: &str, value: &str) -> Result<Vec<f64>, SpecError> {
+    value
+        .split_whitespace()
+        .map(|tok| {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| SpecError(format!("`{key}`: bad number `{tok}`")))?;
+            if !v.is_finite() {
+                return Err(SpecError(format!("`{key}`: number must be finite")));
+            }
+            Ok(v)
+        })
+        .collect()
+}
+
+pub(crate) fn render_f64_list(values: &[f64]) -> String {
+    let rendered: Vec<String> = values.iter().map(|&v| fmt_f64(v)).collect();
+    rendered.join(" ")
+}
+
+fn parse_pos_f64(key: &str, value: &str) -> Result<f64, SpecError> {
+    let v: f64 = value
+        .parse()
+        .map_err(|_| SpecError(format!("`{key}` must be a number, got `{value}`")))?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(SpecError(format!("`{key}` must be > 0, got `{value}`")));
+    }
+    Ok(v)
+}
+
+fn parse_pos_u32(key: &str, value: &str) -> Result<u32, SpecError> {
+    let v: u32 = value
+        .parse()
+        .map_err(|_| SpecError(format!("`{key}` must be a positive integer, got `{value}`")))?;
+    if v == 0 {
+        return Err(SpecError(format!("`{key}` must be >= 1")));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_keys_round_trip() {
+        let mut rt = RuntimeSpec::Sim(SimSpec::default());
+        for (k, v) in [
+            ("sim.parallelism", "8"),
+            ("sim.rate_factors", "1.2 1.4"),
+            ("sim.queue_limit", "400"),
+            ("sim.discipline", "priority:0,0,0,1,2"),
+            ("sim.rate_steps", "10s:1.5 20s:0.8"),
+        ] {
+            rt.apply_key(k, v).unwrap_or_else(|e| panic!("{k}: {e}"));
+        }
+        let mut lines = Vec::new();
+        rt.render_lines(&mut lines);
+        assert_eq!(
+            lines,
+            vec![
+                "runtime = sim",
+                "sim.parallelism = 8",
+                "sim.rate_factors = 1.2 1.4",
+                "sim.queue_limit = 400",
+                "sim.discipline = priority:0,0,0,1,2",
+                "sim.rate_steps = 10s:1.5 20s:0.8",
+            ]
+        );
+        // Re-applying the rendered keys reproduces the same spec.
+        let mut rt2 = RuntimeSpec::Sim(SimSpec::default());
+        for line in &lines[1..] {
+            let (k, v) = line.split_once(" = ").unwrap();
+            rt2.apply_key(k, v).unwrap();
+        }
+        assert_eq!(rt, rt2);
+    }
+
+    #[test]
+    fn liquid_keys_round_trip() {
+        let mut rt = RuntimeSpec::Liquid(LiquidSpec::default());
+        for (k, v) in [
+            ("liquid.shards", "4"),
+            ("liquid.transport", "tcp"),
+            ("liquid.batch_fanout", "false"),
+            ("liquid.rate_factors", "low:0.5 high:1.5"),
+        ] {
+            rt.apply_key(k, v).unwrap_or_else(|e| panic!("{k}: {e}"));
+        }
+        let liquid = rt.as_liquid().unwrap();
+        assert_eq!(liquid.shards, 4);
+        assert_eq!(liquid.transport, TransportSpec::Tcp);
+        assert!(!liquid.batch_fanout);
+        assert_eq!(
+            liquid.rate_points,
+            vec![("low".to_string(), 0.5), ("high".to_string(), 1.5)]
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_and_unknown_keys() {
+        let mut sim = RuntimeSpec::Sim(SimSpec::default());
+        assert!(sim.apply_key("liquid.shards", "4").is_err());
+        assert!(sim.apply_key("sim.bogus", "1").is_err());
+        assert!(sim.apply_key("sim.parallelism", "0").is_err());
+        assert!(sim.apply_key("sim.discipline", "lifo").is_err());
+        let mut liquid = RuntimeSpec::Liquid(LiquidSpec::default());
+        assert!(liquid.apply_key("sim.parallelism", "8").is_err());
+        assert!(liquid.apply_key("liquid.transport", "carrier-pigeon").is_err());
+    }
+}

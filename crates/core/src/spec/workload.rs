@@ -1,0 +1,174 @@
+//! Declarative workload (query-mix) specifications.
+//!
+//! Core only carries the *description* of a workload; building the runnable
+//! `QueryMix` happens in `bouncer_workload::build_mix`, which sits above
+//! this crate in the dependency order.
+
+use crate::slo_spec::SpecError;
+use crate::spec::kv::{fmt_f64, parse_duration_ms, render_duration_ms};
+
+/// One query class of a custom mix: arrival proportion plus the log-normal
+/// processing-time distribution given as `(median, p90)` milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Class (query-type) name as registered in the `TypeRegistry`.
+    pub name: String,
+    /// Arrival proportion in `[0, 1]`; proportions must sum to ~1.
+    pub proportion: f64,
+    /// Median processing time, milliseconds.
+    pub median_ms: f64,
+    /// 90th-percentile processing time, milliseconds.
+    pub p90_ms: f64,
+}
+
+impl ClassSpec {
+    /// Parses the value side of a `class.<NAME>` line:
+    /// `p=0.9 p50=4.5ms p90=12ms`.
+    pub fn parse(name: &str, value: &str) -> Result<ClassSpec, SpecError> {
+        let (mut p, mut p50, mut p90) = (None, None, None);
+        for tok in value.split_whitespace() {
+            let (k, v) = tok.split_once('=').ok_or_else(|| {
+                SpecError(format!("class `{name}`: expected key=value, got `{tok}`"))
+            })?;
+            let slot = match k {
+                "p" => &mut p,
+                "p50" => &mut p50,
+                "p90" => &mut p90,
+                other => {
+                    return Err(SpecError(format!(
+                        "class `{name}`: unknown key `{other}` (p, p50, p90)"
+                    )))
+                }
+            };
+            if slot.is_some() {
+                return Err(SpecError(format!("class `{name}`: duplicate key `{k}`")));
+            }
+            *slot = Some(v);
+        }
+        let p = p.ok_or_else(|| SpecError(format!("class `{name}`: missing `p=`")))?;
+        let p50 = p50.ok_or_else(|| SpecError(format!("class `{name}`: missing `p50=`")))?;
+        let p90 = p90.ok_or_else(|| SpecError(format!("class `{name}`: missing `p90=`")))?;
+        let proportion: f64 = p
+            .parse()
+            .map_err(|_| SpecError(format!("class `{name}`: bad proportion `{p}`")))?;
+        if !(0.0..=1.0).contains(&proportion) {
+            return Err(SpecError(format!(
+                "class `{name}`: proportion must be in [0, 1], got `{p}`"
+            )));
+        }
+        Ok(ClassSpec {
+            name: name.to_string(),
+            proportion,
+            median_ms: parse_duration_ms(p50)?,
+            p90_ms: parse_duration_ms(p90)?,
+        })
+    }
+
+    /// Renders the value side of this class's `class.<NAME>` line.
+    pub fn render_value(&self) -> String {
+        format!(
+            "p={} p50={} p90={}",
+            fmt_f64(self.proportion),
+            render_duration_ms(self.median_ms),
+            render_duration_ms(self.p90_ms)
+        )
+    }
+}
+
+/// A serializable workload choice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper's Table 1 four-type mix (`workload = paper_table1`).
+    PaperTable1,
+    /// The §5.4 LIquid eleven-kind mix (`workload = liquid`).
+    Liquid,
+    /// A custom mix given class-by-class (`workload = custom` plus one
+    /// `class.<NAME> = p=… p50=… p90=…` line per class, in order).
+    Custom(Vec<ClassSpec>),
+}
+
+impl WorkloadSpec {
+    /// The `workload =` value naming this choice.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::PaperTable1 => "paper_table1",
+            WorkloadSpec::Liquid => "liquid",
+            WorkloadSpec::Custom(_) => "custom",
+        }
+    }
+
+    /// The custom classes, if any.
+    pub fn classes(&self) -> &[ClassSpec] {
+        match self {
+            WorkloadSpec::Custom(classes) => classes,
+            _ => &[],
+        }
+    }
+
+    /// Validates cross-field invariants after assembly from pairs.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if let WorkloadSpec::Custom(classes) = self {
+            if classes.is_empty() {
+                return Err(SpecError(
+                    "workload = custom needs at least one `class.<NAME>` line".into(),
+                ));
+            }
+            let sum: f64 = classes.iter().map(|c| c.proportion).sum();
+            if (sum - 1.0).abs() > 1e-3 {
+                return Err(SpecError(format!(
+                    "custom class proportions must sum to 1, got {sum}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_lines_round_trip() {
+        let c = ClassSpec::parse("FAST", "p=0.9 p50=4.5ms p90=12ms").unwrap();
+        assert_eq!(
+            c,
+            ClassSpec {
+                name: "FAST".into(),
+                proportion: 0.9,
+                median_ms: 4.5,
+                p90_ms: 12.0,
+            }
+        );
+        assert_eq!(c.render_value(), "p=0.9 p50=4.5ms p90=12ms");
+        assert_eq!(ClassSpec::parse("FAST", &c.render_value()).unwrap(), c);
+    }
+
+    #[test]
+    fn class_lines_reject_bad_input() {
+        for bad in [
+            "p=0.9 p50=4.5ms",
+            "p=0.9 p50=4.5ms p90=12ms extra=1",
+            "p=1.5 p50=4.5ms p90=12ms",
+            "p=0.9 p50=4.5 p90=12ms",
+            "p=0.9 p=0.1 p50=4.5ms p90=12ms",
+        ] {
+            assert!(ClassSpec::parse("X", bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn custom_workload_validates_proportions() {
+        let ok = WorkloadSpec::Custom(vec![
+            ClassSpec::parse("A", "p=0.4 p50=1ms p90=2ms").unwrap(),
+            ClassSpec::parse("B", "p=0.6 p50=1ms p90=2ms").unwrap(),
+        ]);
+        assert!(ok.validate().is_ok());
+        let bad = WorkloadSpec::Custom(vec![
+            ClassSpec::parse("A", "p=0.4 p50=1ms p90=2ms").unwrap(),
+        ]);
+        assert!(bad.validate().is_err());
+        assert!(WorkloadSpec::Custom(vec![]).validate().is_err());
+        assert!(WorkloadSpec::PaperTable1.validate().is_ok());
+    }
+}

@@ -49,6 +49,11 @@ pub struct SimConfig {
     /// motivate the paper (§1): e.g. `[(0, 1.0), (10s, 1.5), (30s, 1.0)]`
     /// is a 20-second 1.5× surge. Empty = constant rate.
     pub rate_steps: Vec<(Nanos, f64)>,
+    /// Content hash of the scenario this run was constructed from
+    /// (`ScenarioSpec::content_hash`), stamped into the [`SimResult`] and
+    /// emitted as a `scenario` event at stream start when observing.
+    /// `None` for ad-hoc configs assembled outside the spec layer.
+    pub scenario_hash: Option<u64>,
     /// Optional observability sink; lifecycle events are emitted with
     /// virtual-time timestamps, and the sink is attached to the policy for
     /// its per-interval maintenance events. `None` (the default) costs
@@ -75,6 +80,7 @@ impl SimConfig {
             max_queue_len: None,
             discipline: SimDiscipline::Fifo,
             rate_steps: Vec::new(),
+            scenario_hash: None,
             sink: None,
             tracer: None,
         }
@@ -128,6 +134,11 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
     let sink: Arc<dyn EventSink> = cfg.sink.clone().unwrap_or_else(null_sink);
     policy.attach_sink(Arc::clone(&sink));
     let observing = sink.enabled();
+    if observing {
+        if let Some(hash) = cfg.scenario_hash {
+            sink.emit(&ObsEvent::Scenario { at: 0, hash });
+        }
+    }
     let tracer = cfg.tracer.as_deref().filter(|t| t.enabled());
     // In-flight query traces, keyed by a dense counter the events carry.
     let mut traces: HashMap<u32, QueryTrace> = HashMap::new();
@@ -356,5 +367,6 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
         rate_qps: cfg.rate_qps,
         stats: stats.snapshot(now, cfg.parallelism),
         duration: now.saturating_sub(started),
+        scenario_hash: cfg.scenario_hash,
     }
 }

@@ -19,7 +19,9 @@
 pub mod engine;
 pub mod queue;
 pub mod result;
+pub mod scenario;
 
 pub use engine::{run, SimConfig};
 pub use queue::SimDiscipline;
 pub use result::SimResult;
+pub use scenario::ScenarioSim;

@@ -15,6 +15,9 @@ pub struct SimResult {
     pub stats: StatsSnapshot,
     /// Measured window duration (virtual nanoseconds).
     pub duration: Nanos,
+    /// Content hash of the scenario that produced this run, when the run
+    /// was constructed through the spec layer.
+    pub scenario_hash: Option<u64>,
 }
 
 impl SimResult {
@@ -70,6 +73,7 @@ mod tests {
             rate_qps: 1000.0,
             stats: stats.snapshot(secs(1), 10),
             duration: secs(1),
+            scenario_hash: None,
         };
         assert!((r.rejection_pct(TypeId::from_index(1)) - 10.0).abs() < 1e-9);
         assert!((r.overall_rejection_pct() - 10.0).abs() < 1e-9);

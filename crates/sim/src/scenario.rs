@@ -1,0 +1,200 @@
+//! Running simulator experiments from a [`ScenarioSpec`] — the registry
+//! path every sim-side consumer (CLI, study benches, examples) constructs
+//! through.
+//!
+//! [`ScenarioSim::new`] resolves a spec once — registering the workload's
+//! types, building the mix and SLO table, computing `QPS_full_load` — and
+//! then stamps every [`SimConfig`] it hands out with the scenario's content
+//! hash, so results and event streams name the spec that produced them.
+
+use std::sync::Arc;
+
+use bouncer_core::policy::AdmissionPolicy;
+use bouncer_core::slo::SloConfig;
+use bouncer_core::slo_spec::SpecError;
+use bouncer_core::spec::{DisciplineSpec, PolicyEnv, PolicySpec, ScenarioSpec, SimSpec};
+use bouncer_core::types::TypeRegistry;
+use bouncer_metrics::time::millis_f64;
+use bouncer_workload::mix::{build_mix, QueryMix};
+
+use crate::engine::{run, SimConfig};
+use crate::queue::SimDiscipline;
+use crate::result::SimResult;
+
+/// A sim scenario resolved against its workload: the fixture experiments
+/// build policies and [`SimConfig`]s from.
+pub struct ScenarioSim {
+    spec: ScenarioSpec,
+    registry: TypeRegistry,
+    mix: QueryMix,
+    slos: SloConfig,
+    full_load: f64,
+}
+
+impl ScenarioSim {
+    /// Resolves `spec` (which must select the sim runtime): registers the
+    /// workload types, builds the mix and SLO table, and computes
+    /// `QPS_full_load` for the spec's parallelism.
+    pub fn new(spec: ScenarioSpec) -> Result<ScenarioSim, SpecError> {
+        let sim = spec.sim()?.clone();
+        let mut registry = TypeRegistry::new();
+        let mix = build_mix(&spec.workload, &mut registry)?;
+        let slos = spec.slos(&registry)?;
+        let full_load = mix.qps_full_load(sim.parallelism);
+        Ok(ScenarioSim {
+            spec,
+            registry,
+            mix,
+            slos,
+            full_load,
+        })
+    }
+
+    /// Loads and resolves a `.scn` file.
+    pub fn load(path: &std::path::Path) -> Result<ScenarioSim, SpecError> {
+        ScenarioSim::new(ScenarioSpec::load(path)?)
+    }
+
+    /// The scenario this fixture was resolved from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The sim runtime parameters.
+    pub fn sim_spec(&self) -> &SimSpec {
+        self.spec.sim().expect("checked in new()")
+    }
+
+    /// The registry populated by the workload.
+    pub fn registry(&self) -> &TypeRegistry {
+        &self.registry
+    }
+
+    /// The resolved query mix.
+    pub fn mix(&self) -> &QueryMix {
+        &self.mix
+    }
+
+    /// The resolved SLO table.
+    pub fn slos(&self) -> &SloConfig {
+        &self.slos
+    }
+
+    /// `QPS_full_load` for the spec's mix and parallelism.
+    pub fn full_load(&self) -> f64 {
+        self.full_load
+    }
+
+    /// The policy-construction environment for this scenario.
+    pub fn policy_env(&self) -> PolicyEnv<'_> {
+        PolicyEnv {
+            registry: &self.registry,
+            slos: self.slos.clone(),
+            parallelism: self.sim_spec().parallelism,
+        }
+    }
+
+    /// Builds the policy labeled `label` (`""` for the unlabeled line).
+    pub fn build_policy(&self, label: &str, seed: u64) -> Result<Arc<dyn AdmissionPolicy>, SpecError> {
+        Ok(self.spec.policy(label)?.build(&self.policy_env(), seed))
+    }
+
+    /// Builds an explicit policy spec in this scenario's environment (for
+    /// sweeps that vary a parameter around a scenario's base policy).
+    pub fn build(&self, policy: &PolicySpec, seed: u64) -> Arc<dyn AdmissionPolicy> {
+        policy.build(&self.policy_env(), seed)
+    }
+
+    /// A [`SimConfig`] for this scenario at an absolute offered rate: the
+    /// paper's §5.3 shape, overridden by the spec's parallelism, queue
+    /// limit, discipline, rate steps, and run lengths, and stamped with
+    /// the scenario's content hash.
+    pub fn sim_config(&self, rate_qps: f64, seed: u64) -> SimConfig {
+        let sim = self.sim_spec();
+        let mut cfg = SimConfig::paper(rate_qps, seed);
+        cfg.parallelism = sim.parallelism;
+        cfg.max_queue_len = sim.queue_limit.map(|l| l as usize);
+        cfg.discipline = match &sim.discipline {
+            DisciplineSpec::Fifo => SimDiscipline::Fifo,
+            DisciplineSpec::Priority(levels) => SimDiscipline::PriorityByType(levels.clone()),
+            DisciplineSpec::ShortestJobFirst => SimDiscipline::ShortestJobFirst,
+        };
+        cfg.rate_steps = sim
+            .rate_steps
+            .iter()
+            .map(|&(at_ms, factor)| (millis_f64(at_ms), factor))
+            .collect();
+        if let Some(measured) = self.spec.measured {
+            cfg.measured_queries = measured;
+        }
+        if let Some(warmup) = self.spec.warmup {
+            cfg.warmup_queries = warmup;
+        }
+        cfg.scenario_hash = Some(self.spec.content_hash());
+        cfg
+    }
+
+    /// A [`SimConfig`] at a multiple of `QPS_full_load`.
+    pub fn sim_config_at_factor(&self, factor: f64, seed: u64) -> SimConfig {
+        self.sim_config(self.full_load * factor, seed)
+    }
+
+    /// Runs the labeled policy at `factor × QPS_full_load` — the
+    /// `ScenarioSpec::run` entry point for single runs.
+    pub fn run(&self, label: &str, factor: f64, seed: u64) -> Result<SimResult, SpecError> {
+        let policy = self.build_policy(label, seed)?;
+        let cfg = self.sim_config_at_factor(factor, seed);
+        Ok(run(policy.as_ref(), &self.mix, &cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(extra: &str) -> ScenarioSpec {
+        let text = format!(
+            "name = tiny\nseed = 7\nmeasured = 4000\nwarmup = 1000\n\
+             slo.default = p50=18ms p90=50ms\nworkload = paper_table1\n\
+             runtime = sim\nsim.rate_factors = 1.2\npolicy = bouncer\n\
+             policy.maxql = maxql limit=400\n{extra}"
+        );
+        ScenarioSpec::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn resolves_and_runs_a_scenario() {
+        let sim = ScenarioSim::new(tiny_spec("")).unwrap();
+        assert!(sim.full_load() > 10_000.0, "full_load={}", sim.full_load());
+        let result = sim.run("", 1.2, 7).unwrap();
+        assert_eq!(result.policy_name, "bouncer");
+        assert_eq!(result.scenario_hash, Some(sim.spec().content_hash()));
+        assert!(result.stats.total_received() > 0);
+        let result = sim.run("maxql", 1.2, 7).unwrap();
+        assert_eq!(result.policy_name, "maxql");
+        assert!(sim.run("nope", 1.2, 7).is_err());
+    }
+
+    #[test]
+    fn spec_runtime_knobs_reach_the_sim_config() {
+        let spec = tiny_spec(
+            "sim.parallelism = 8\nsim.queue_limit = 50\n\
+             sim.discipline = priority:0,0,0,1,2\nsim.rate_steps = 1s:1.5\n",
+        );
+        let sim = ScenarioSim::new(spec).unwrap();
+        let cfg = sim.sim_config(1000.0, 3);
+        assert_eq!(cfg.parallelism, 8);
+        assert_eq!(cfg.max_queue_len, Some(50));
+        assert_eq!(cfg.measured_queries, 4000);
+        assert_eq!(cfg.warmup_queries, 1000);
+        assert_eq!(cfg.rate_steps, vec![(bouncer_metrics::time::secs(1), 1.5)]);
+        assert!(matches!(cfg.discipline, SimDiscipline::PriorityByType(_)));
+        assert_eq!(cfg.scenario_hash, Some(sim.spec().content_hash()));
+    }
+
+    #[test]
+    fn liquid_scenarios_are_rejected() {
+        let spec = ScenarioSpec::parse("name = l\nruntime = liquid\npolicy = always\n").unwrap();
+        assert!(ScenarioSim::new(spec).is_err());
+    }
+}

@@ -21,4 +21,4 @@ pub mod mix;
 
 pub use dist::{Exponential, LogNormal};
 pub use generator::{run_open_loop, LoadGenConfig, LoadReport, QueryOutcome};
-pub use mix::{paper_table1_mix, QueryClass, QueryMix};
+pub use mix::{build_mix, paper_table1_mix, QueryClass, QueryMix};

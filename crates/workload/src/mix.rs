@@ -11,6 +11,8 @@
 //!
 //! with `pt_wmean` the proportion-weighted mean processing time of the mix.
 
+use bouncer_core::slo_spec::SpecError;
+use bouncer_core::spec::WorkloadSpec;
 use bouncer_core::types::{TypeId, TypeRegistry};
 use bouncer_metrics::time::{millis_f64, Nanos, SECOND};
 use rand::{Rng, RngExt};
@@ -152,6 +154,39 @@ pub fn paper_table1_mix(registry: &mut TypeRegistry) -> QueryMix {
     )
 }
 
+/// Builds the mix a [`WorkloadSpec`] describes, registering its types —
+/// the spec-layer entry point the CLI, simulator studies, and examples
+/// construct workloads through.
+///
+/// The `liquid` workload is not buildable here: its types and costs belong
+/// to the cluster harness (`kind_type_id`, the shard cost model), which
+/// sits above this crate. Liquid scenarios build their mix there.
+pub fn build_mix(
+    spec: &WorkloadSpec,
+    registry: &mut TypeRegistry,
+) -> Result<QueryMix, SpecError> {
+    match spec {
+        WorkloadSpec::PaperTable1 => Ok(paper_table1_mix(registry)),
+        WorkloadSpec::Custom(classes) => {
+            spec.validate()?;
+            Ok(QueryMix::new(
+                classes
+                    .iter()
+                    .map(|c| QueryClass {
+                        ty: registry.register(&c.name),
+                        name: c.name.clone(),
+                        proportion: c.proportion,
+                        processing_ms: LogNormal::from_median_p90(c.median_ms, c.p90_ms),
+                    })
+                    .collect(),
+            ))
+        }
+        WorkloadSpec::Liquid => Err(SpecError(
+            "the `liquid` workload is built by the cluster harness, not the simulator".into(),
+        )),
+    }
+}
+
 /// The published production query mix of §5.4 (types sorted by cost,
 /// ascending): proportions for QT1..QT11.
 pub const LIQUID_MIX_PROPORTIONS: [(&str, f64); 11] = [
@@ -200,6 +235,40 @@ mod tests {
             let rel = (fitted - m).abs() / m;
             assert!(rel < 0.06, "{}: fitted={fitted} published={m}", c.name);
         }
+    }
+
+    #[test]
+    fn build_mix_covers_paper_and_custom_specs() {
+        use bouncer_core::spec::ClassSpec;
+
+        let mut reg = TypeRegistry::new();
+        let via_spec = build_mix(&WorkloadSpec::PaperTable1, &mut reg).unwrap();
+        let mut reg2 = TypeRegistry::new();
+        let direct = paper_table1_mix(&mut reg2);
+        assert_eq!(via_spec.classes().len(), direct.classes().len());
+        assert_eq!(via_spec.weighted_mean_pt_ms(), direct.weighted_mean_pt_ms());
+
+        let custom = WorkloadSpec::Custom(vec![
+            ClassSpec {
+                name: "FAST".into(),
+                proportion: 0.9,
+                median_ms: 4.5,
+                p90_ms: 12.0,
+            },
+            ClassSpec {
+                name: "SLOW".into(),
+                proportion: 0.1,
+                median_ms: 12.51,
+                p90_ms: 44.26,
+            },
+        ]);
+        let mut reg3 = TypeRegistry::new();
+        let mix = build_mix(&custom, &mut reg3).unwrap();
+        assert_eq!(mix.classes()[0].processing_ms.median(), 4.5);
+        assert!(reg3.resolve("SLOW").is_some());
+
+        let mut reg4 = TypeRegistry::new();
+        assert!(build_mix(&WorkloadSpec::Liquid, &mut reg4).is_err());
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! paper's REST-endpoint analog), and drives it from multiplexed TCP
 //! clients: the complete network path, admission control at every tier.
 
-use std::sync::Arc;
+use std::path::Path;
 
 use bouncer_repro::core::prelude::*;
+use bouncer_repro::core::spec::{PolicyEnv, ScenarioSpec};
 use bouncer_repro::metrics::time::millis;
 use liquid::cluster::{Cluster, ClusterConfig, TransportKind};
 use liquid::front::{RemoteOutcome, TcpBrokerClient, TcpBrokerServer};
@@ -35,11 +36,25 @@ fn main() {
         ..ClusterConfig::default()
     };
 
+    // The broker policy comes from the same scenario the Figure 11 study
+    // runs: Bouncer with the acceptance-allowance strategy.
+    let spec = ScenarioSpec::load(Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/fig11_liquid.scn"
+    )))
+    .unwrap_or_else(|e| panic!("{e}"));
+    println!("scenario: {}", spec.tag());
+    let policy_spec = spec.policy("aa").unwrap_or_else(|e| panic!("{e}")).clone();
+    let seed = spec.seed;
+
     println!("spawning {} shards + {} broker over TCP...", cfg.n_shards, cfg.n_brokers);
-    let cluster = Cluster::spawn(&cfg, |registry, engines| {
-        let slos = SloConfig::uniform(registry, Slo::p50_p90(millis(18), millis(50)));
-        let bouncer = Bouncer::new(slos, BouncerConfig::with_parallelism(engines));
-        Arc::new(AcceptanceAllowance::new(bouncer, registry.len(), 0.05, 7))
+    let cluster = Cluster::spawn(&cfg, move |registry, engines| {
+        let env = PolicyEnv {
+            registry,
+            slos: SloConfig::uniform(registry, Slo::p50_p90(millis(18), millis(50))),
+            parallelism: engines,
+        };
+        policy_spec.build(&env, seed)
     });
     let vertices = cluster.vertices();
 

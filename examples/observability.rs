@@ -5,8 +5,9 @@
 //! cargo run --release --example observability
 //! ```
 //!
-//! Runs a short overloaded simulation with Bouncer at the door and two
-//! consumers attached:
+//! Runs a short overloaded simulation with Bouncer at the door — the
+//! `bouncer` policy of `scenarios/overload_surge.scn` — and two consumers
+//! attached:
 //!
 //! * a [`JsonlSink`] capturing every lifecycle and policy event as one JSON
 //!   object per line (what the CLI's `--events-out` writes), and
@@ -16,37 +17,43 @@
 //! The event log is then re-read to reconstruct a per-type admit/reject
 //! tally — the kind of offline diagnosis OBSERVABILITY.md walks through.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use bouncer_repro::core::obs::{parse_json, render_prometheus, validate_prometheus, JsonlSink};
-use bouncer_repro::core::prelude::*;
-use bouncer_repro::metrics::time::millis;
-use bouncer_repro::sim::{run, SimConfig};
-use bouncer_repro::workload::mix::paper_table1_mix;
+use bouncer_repro::sim::{run, ScenarioSim};
 
 fn main() {
-    let mut registry = TypeRegistry::new();
-    let mix = paper_table1_mix(&mut registry);
-    let capacity = mix.qps_full_load(100);
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/overload_surge.scn"
+    ));
+    let scenario = ScenarioSim::load(path).unwrap_or_else(|e| panic!("{e}"));
+    let spec = scenario.spec();
+    let registry = scenario.registry();
+    println!("scenario: {}", spec.tag());
+
+    let capacity = scenario.full_load();
+    let factor = scenario.sim_spec().rate_factors[0];
 
     // 1. A JSONL event log on disk, exactly like `--events-out`.
     let events_path = std::env::temp_dir().join("bouncer-observability-demo.jsonl");
     let sink = JsonlSink::create(&events_path).expect("cannot create event log");
 
-    let slos = SloConfig::uniform(&registry, Slo::p50_p90(millis(18), millis(50)));
-    let bouncer = Bouncer::new(slos, BouncerConfig::with_parallelism(100));
-
-    let mut cfg = SimConfig::quick(capacity * 1.35, 7);
+    let bouncer = scenario
+        .build_policy("bouncer", spec.seed)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let mut cfg = scenario.sim_config_at_factor(factor, spec.seed);
     cfg.measured_queries = 100_000;
     cfg.warmup_queries = 20_000;
     cfg.sink = Some(Arc::new(sink));
 
     println!(
-        "running bouncer at 1.35x of capacity ({:.0} QPS), events -> {}\n",
-        capacity * 1.35,
+        "running bouncer at {factor}x of capacity ({:.0} QPS), events -> {}\n",
+        capacity * factor,
         events_path.display()
     );
-    let result = run(&bouncer, &mix, &cfg);
+    let result = run(bouncer.as_ref(), scenario.mix(), &cfg);
 
     // 2. Re-read the log: every line is one JSON event.
     let log = std::fs::read_to_string(&events_path).expect("event log vanished");

@@ -6,48 +6,45 @@
 //! cargo run --release --example overload_surge
 //! ```
 //!
-//! Replays the paper's motivating scenario (§1–2): a system provisioned for
-//! ~15 kQPS receives a surge half again as large. The outcome depends
-//! entirely on the admission policy at the door — from full collapse (no
-//! control) to SLO-preserving service (Bouncer).
+//! Replays the paper's motivating scenario (§1–2), declared in
+//! `scenarios/overload_surge.scn`: a system provisioned for ~15 kQPS
+//! receives a surge half again as large. The outcome depends entirely on
+//! the admission policy at the door — from full collapse (no control) to
+//! SLO-preserving service (Bouncer).
 
-use std::sync::Arc;
+use std::path::Path;
 
-use bouncer_repro::core::prelude::*;
-use bouncer_repro::metrics::time::millis;
-use bouncer_repro::sim::{run, SimConfig};
-use bouncer_repro::workload::mix::paper_table1_mix;
+use bouncer_repro::sim::ScenarioSim;
 
 fn main() {
-    let mut registry = TypeRegistry::new();
-    let mix = paper_table1_mix(&mut registry);
-    let capacity = mix.qps_full_load(100);
-    let surge = capacity * 1.35;
-    let slow = registry.resolve("slow").unwrap();
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/overload_surge.scn"
+    ));
+    let scenario = ScenarioSim::load(path).unwrap_or_else(|e| panic!("{e}"));
+    let spec = scenario.spec();
+    println!("scenario: {}", spec.tag());
 
-    println!("capacity {capacity:.0} QPS, surge {surge:.0} QPS (1.35x)\n");
+    let capacity = scenario.full_load();
+    let factor = scenario.sim_spec().rate_factors[0];
+    let surge = capacity * factor;
+    let slow = scenario.registry().resolve("slow").unwrap();
+
+    println!("capacity {capacity:.0} QPS, surge {surge:.0} QPS ({factor}x)\n");
     println!(
         "{:<22} {:>10} {:>12} {:>14} {:>12}",
         "policy", "rejected%", "utilization%", "slow rt_p50", "within SLO?"
     );
 
-    let slos = SloConfig::uniform(&registry, Slo::p50_p90(millis(18), millis(50)));
-    let policies: Vec<(&str, Arc<dyn AdmissionPolicy>)> = vec![
-        ("no admission control", Arc::new(AlwaysAccept::new())),
-        ("MaxQL(400)", Arc::new(MaxQueueLength::new(400))),
-        (
-            "AcceptFraction(95%)",
-            Arc::new(AcceptFraction::new(AcceptFractionConfig::new(0.95, 100))),
-        ),
-        (
-            "Bouncer {18ms, 50ms}",
-            Arc::new(Bouncer::new(slos, BouncerConfig::with_parallelism(100))),
-        ),
-    ];
-
-    for (name, policy) in policies {
-        let cfg = SimConfig::quick(surge, 9);
-        let r = run(&policy, &mix, &cfg);
+    for (label, name) in [
+        ("none", "no admission control"),
+        ("maxql", "MaxQL(400)"),
+        ("af", "AcceptFraction(95%)"),
+        ("bouncer", "Bouncer {18ms, 50ms}"),
+    ] {
+        let r = scenario
+            .run(label, factor, spec.seed)
+            .unwrap_or_else(|e| panic!("{e}"));
         let rt = r.response_ms(slow, 0.5).unwrap_or(f64::NAN);
         println!(
             "{:<22} {:>10.1} {:>12.1} {:>12.1}ms {:>12}",

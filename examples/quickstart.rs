@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use bouncer_repro::core::framework::{Gate, GateConfig, TakeOutcome};
 use bouncer_repro::core::prelude::*;
+use bouncer_repro::core::spec::{PolicyEnv, PolicySpec};
 use bouncer_repro::metrics::time::millis;
 use bouncer_repro::metrics::MonotonicClock;
 
@@ -30,11 +31,20 @@ fn main() {
         .set(report, Slo::p50_p90(millis(25), millis(60)))
         .build();
 
-    // 2. Build the policy and the gate. Two engine threads => P = 2.
+    // 2. Build the policy from its one-line spec (the same grammar the
+    //    CLI's --policy flag and the scenario files use) and the gate.
+    //    Two engine threads => P = 2.
     const ENGINES: u32 = 2;
-    let mut cfg = BouncerConfig::with_parallelism(ENGINES);
-    cfg.histogram_interval = millis(200);
-    let policy = Arc::new(Bouncer::new(slos, cfg));
+    let policy = PolicySpec::parse("bouncer interval=200ms")
+        .expect("valid policy spec")
+        .build(
+            &PolicyEnv {
+                registry: &registry,
+                slos,
+                parallelism: ENGINES,
+            },
+            0,
+        );
     let clock = Arc::new(MonotonicClock::new());
     let gate: Arc<Gate<&'static str>> = Arc::new(Gate::new(
         policy,

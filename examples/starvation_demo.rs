@@ -5,61 +5,41 @@
 //! cargo run --release --example starvation_demo
 //! ```
 //!
-//! Two query types share the SLO {p50 = 18 ms, p90 = 50 ms}. The SLOW
-//! type's processing times sit just under the objectives, so under heavy
-//! load basic Bouncer systematically denies it service (Figure 3). The two
-//! starvation-avoidance strategies — acceptance-allowance (Algorithm 2) and
-//! helping-the-underserved (Algorithm 3) — each restore a share of service,
-//! trading a few SLO violations for liveness.
+//! The whole experiment is declared in `scenarios/fig03_starvation.scn` —
+//! the same file the Figure 3 bench runs. Two query types share the SLO
+//! {p50 = 18 ms, p90 = 50 ms}. The SLOW type's processing times sit just
+//! under the objectives, so under heavy load basic Bouncer systematically
+//! denies it service (Figure 3). The two starvation-avoidance strategies —
+//! acceptance-allowance (Algorithm 2) and helping-the-underserved
+//! (Algorithm 3) — each restore a share of service, trading a few SLO
+//! violations for liveness.
 
-use std::sync::Arc;
+use std::path::Path;
 
-use bouncer_repro::core::prelude::*;
-use bouncer_repro::metrics::time::millis;
-use bouncer_repro::sim::{run, SimConfig};
-use bouncer_repro::workload::dist::LogNormal;
-use bouncer_repro::workload::mix::{QueryClass, QueryMix};
+use bouncer_repro::sim::ScenarioSim;
 
 fn main() {
-    let mut registry = TypeRegistry::new();
-    let fast = registry.register("FAST");
-    let slow = registry.register("SLOW");
-    let mix = QueryMix::new(vec![
-        QueryClass {
-            ty: fast,
-            name: "FAST".into(),
-            // FAST dominates the mix and nearly fills capacity by itself,
-            // like the production pair behind Figure 3.
-            proportion: 0.9,
-            processing_ms: LogNormal::from_median_p90(4.5, 12.0),
-        },
-        QueryClass {
-            ty: slow,
-            name: "SLOW".into(),
-            proportion: 0.1,
-            processing_ms: LogNormal::from_median_p90(12.5, 44.0),
-        },
-    ]);
-    let slos = SloConfig::uniform(&registry, Slo::p50_p90(millis(18), millis(50)));
-    let rate = mix.qps_full_load(100) * 1.6;
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/fig03_starvation.scn"
+    ));
+    let scenario = ScenarioSim::load(path).unwrap_or_else(|e| panic!("{e}"));
+    let spec = scenario.spec();
+    println!("scenario: {}", spec.tag());
 
-    let bouncer = || Bouncer::new(slos.clone(), BouncerConfig::with_parallelism(100));
-    let variants: Vec<(&str, Arc<dyn AdmissionPolicy>)> = vec![
-        ("basic Bouncer", Arc::new(bouncer())),
-        (
-            "with acceptance-allowance (A=0.05)",
-            Arc::new(AcceptanceAllowance::new(bouncer(), registry.len(), 0.05, 1)),
-        ),
-        (
-            "with helping-the-underserved (alpha=1.0)",
-            Arc::new(HelpingTheUnderserved::new(bouncer(), registry.len(), 1.0, 1)),
-        ),
-    ];
+    let fast = scenario.registry().resolve("FAST").unwrap();
+    let slow = scenario.registry().resolve("SLOW").unwrap();
+    let factor = scenario.sim_spec().rate_factors[0];
 
-    println!("overloading a simulated broker at 1.6x capacity...\n");
-    for (name, policy) in variants {
-        let cfg = SimConfig::quick(rate, 5);
-        let result = run(&policy, &mix, &cfg);
+    println!("overloading a simulated broker at {factor}x capacity...\n");
+    for (label, name) in [
+        ("basic", "basic Bouncer"),
+        ("aa", "with acceptance-allowance (A=0.05)"),
+        ("htu", "with helping-the-underserved (alpha=1.0)"),
+    ] {
+        let result = scenario
+            .run(label, factor, spec.seed)
+            .unwrap_or_else(|e| panic!("{e}"));
         println!("{name}:");
         for (ty, label) in [(fast, "FAST"), (slow, "SLOW")] {
             let rt = result

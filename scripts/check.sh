@@ -16,6 +16,30 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> scenario gate: benches/examples construct policies only via the spec layer"
+# Every experiment is declared in scenarios/*.scn and constructed through
+# bouncer_core::spec. A bench or example that re-declares a policy factory
+# or calls a policy constructor directly bypasses the registry — the one
+# construction path the scenario layer guarantees. AlwaysAccept is exempt
+# (pass-through brokers in capacity probes and data-path microbenches).
+GATE_PATTERN='type MakePolicy|Bouncer::new\(|AcceptanceAllowance::new\(|HelpingTheUnderserved::new\(|MaxQueueLength::new\(|MaxQueueWaitTime::new\(|with_per_type_limits\(|AcceptFraction::new\(|GatekeeperStyle::new\('
+if VIOLATIONS=$(grep -rnE "$GATE_PATTERN" crates/bench/benches examples); then
+    echo "policy constructed outside bouncer_core::spec:" >&2
+    printf '%s\n' "$VIOLATIONS" >&2
+    exit 1
+fi
+
+echo "==> scenario gate: checked-in scenarios parse and match scenarios/MANIFEST"
+# scenario-hash parses every file (a malformed scenario fails here) and
+# prints its canonical content hash; the diff catches edits that forgot to
+# regenerate the manifest:
+#   cargo run --release -p bouncer-cli -- scenario-hash scenarios/*.scn > scenarios/MANIFEST
+cargo run -q --release --offline -p bouncer-cli -- scenario-hash scenarios/*.scn \
+    | diff - scenarios/MANIFEST || {
+    echo "scenarios/MANIFEST is stale — regenerate it with scenario-hash" >&2
+    exit 1
+}
+
 echo "==> bench smoke: admit_hot_path (cached vs reference)"
 # Short-budget run of the admission hot-path group; the cached column is
 # the shipped admit() path, the reference column the retained
