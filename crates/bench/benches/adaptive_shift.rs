@@ -1,0 +1,108 @@
+//! The headline adaptive study (ADAPTIVE.md): the traffic mix of
+//! `scenarios/adaptive_shift.scn` shifts toward the slow classes at
+//! t = 5s, costing ~24% of effective capacity mid-run. The `adaptive`
+//! variant runs closed-loop (the scenario's AIMD controller retunes the
+//! AcceptFraction guard's `max_utilization` once per second from live
+//! SLO attainment); every `static_*` variant is the same policy pinned
+//! at a fixed cap with the controller detached.
+//!
+//! Each variant gets one composite score: overall rejection % plus 100×
+//! the summed relative overshoot of every SLO percentile target (so a
+//! variant that blows its tail pays in the same currency as one that
+//! over-rejects). Lower is better; the adaptive variant should win. The
+//! `adaptive_shift/<variant>` lines are grepped by scripts/check.sh.
+
+use bouncer_bench::runmode::RunMode;
+use bouncer_bench::simstudy::{AvgResult, SimStudy};
+use bouncer_bench::table::{ms, pct, Table};
+use bouncer_core::slo::SloConfig;
+use bouncer_core::types::TypeRegistry;
+
+/// Summed relative overshoot over every (type, percentile) SLO target:
+/// `max(0, measured/target − 1)`, 0 when every target is met.
+fn slo_violation(avg: &AvgResult, registry: &TypeRegistry, slos: &SloConfig) -> f64 {
+    let mut viol = 0.0;
+    for (ty, _) in registry.iter() {
+        for &(p, target) in slos.slo_for(ty).targets() {
+            let measured_ms = match p.quantile() {
+                q if (q - 0.5).abs() < 1e-9 => avg.rt_p50_ms[ty.index()],
+                q if (q - 0.9).abs() < 1e-9 => avg.rt_p90_ms[ty.index()],
+                _ => continue,
+            };
+            if measured_ms.is_nan() {
+                continue; // no serviced queries of this type
+            }
+            let target_ms = target as f64 / 1e6;
+            viol += (measured_ms / target_ms - 1.0).max(0.0);
+        }
+    }
+    viol
+}
+
+fn main() {
+    let mode = RunMode::from_env();
+    println!("{}", mode.banner());
+    let study = SimStudy::load("adaptive_shift.scn");
+    let factor = study.rate_factors()[0];
+    let slos = study.slos();
+    let fast = study.ty("fast");
+    let slow = study.ty("slow");
+
+    let labels: Vec<String> = study
+        .spec()
+        .policies
+        .iter()
+        .map(|(label, _)| label.clone())
+        .collect();
+
+    let mut table = Table::new(vec![
+        "variant",
+        "rej%",
+        "FAST p90(ms)",
+        "SLOW p90(ms)",
+        "SLO overshoot",
+        "score",
+    ]);
+    let mut scores: Vec<(String, f64)> = Vec::new();
+    for label in &labels {
+        let adaptive = label == "adaptive";
+        let avg = study.run_avg_labeled(label, factor, &mode, adaptive);
+        let viol = slo_violation(&avg, study.registry(), &slos);
+        let score = avg.rej_all_pct + 100.0 * viol;
+        table.row(vec![
+            label.clone(),
+            pct(avg.rej_all_pct),
+            ms(avg.rt_p90_ms[fast.index()]),
+            ms(avg.rt_p90_ms[slow.index()]),
+            format!("{viol:.3}"),
+            format!("{score:.2}"),
+        ]);
+        scores.push((label.clone(), score));
+        eprint!(".");
+    }
+    eprintln!();
+
+    table.print_tagged(
+        "Adaptive vs static utilization caps under a mid-run mix shift (lower score wins)",
+        &study.tag(),
+    );
+
+    // Greppable per-variant lines for scripts/check.sh.
+    for (label, score) in &scores {
+        println!("adaptive_shift/{label} score={score:.4}");
+    }
+    let adaptive = scores
+        .iter()
+        .find(|(l, _)| l == "adaptive")
+        .expect("adaptive variant")
+        .1;
+    let best_static = scores
+        .iter()
+        .filter(|(l, _)| l != "adaptive")
+        .map(|&(_, s)| s)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "adaptive_shift/verdict adaptive={adaptive:.4} best_static={best_static:.4} wins={}",
+        adaptive < best_static
+    );
+}

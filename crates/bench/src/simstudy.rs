@@ -127,6 +127,40 @@ impl SimStudy {
         run(policy, self.mix(), &cfg)
     }
 
+    /// Averages `mode.runs` seeded runs of the scenario's policy labeled
+    /// `label`, optionally closing the loop: with `adaptive` the
+    /// scenario's `controller` line is wired in (Observe tap + staged
+    /// parameter updates), without it the same policy runs open-loop at
+    /// its spec'd parameter — the static baselines of an adaptive study.
+    pub fn run_avg_labeled(
+        &self,
+        label: &str,
+        factor: f64,
+        mode: &RunMode,
+        adaptive: bool,
+    ) -> AvgResult {
+        let mut acc = AvgResult::zero(self.registry().len());
+        for i in 0..mode.runs {
+            let seed = self.spec().seed + 7919 * i;
+            let policy = self
+                .scenario
+                .build_policy(label, seed)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let mut cfg = self.scenario.sim_config_at_factor(factor, seed);
+            cfg.measured_queries = mode.sim_measured;
+            cfg.warmup_queries = mode.sim_warmup;
+            if adaptive {
+                self.scenario
+                    .attach_controller(label, &policy, &mut cfg)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+            let result = run(policy.as_ref(), self.mix(), &cfg);
+            acc.add(&result, self.registry());
+        }
+        acc.finish(mode.runs);
+        acc
+    }
+
     /// Averages `mode.runs` seeded runs of a policy spec. Seeds derive
     /// from the scenario's base seed (`seed + 7919·i`), and the policy is
     /// rebuilt through the registry per run so probabilistic policies vary
@@ -275,6 +309,7 @@ mod tests {
             "abl_scheduling.scn",
             "abl_histogram_modes.scn",
             "abl_literature.scn",
+            "adaptive_shift.scn",
         ] {
             let s = SimStudy::load(file);
             assert!(!s.spec().policies.is_empty(), "{file} has no policies");

@@ -29,6 +29,8 @@ const ALLOWED: &[&str] = &[
     "queue-limit",
     "wait-limit-ms",
     "max-utilization",
+    "controller",
+    "no-controller",
     "events-out",
     "metrics-out",
     "traces-out",
@@ -134,6 +136,18 @@ SLOs (uniform across types, like the paper's study):
                         the uniform flags, e.g.
                         'slow:{p50=25ms,p90=80ms},default:{p50=18ms,p90=50ms}'
                         (types: fast, medium fast, medium slow, slow)
+
+ADAPTIVE CONTROL (see ADAPTIVE.md):
+    --controller <line>   run closed-loop: a control law retunes the
+                          policy's parameter from live telemetry at
+                          interval boundaries. The line is the scenario
+                          `controller =` grammar, e.g.
+                          'budget target_attain=0.95 step=0.25' (laws:
+                          aimd -> max_utilization, budget -> allowance,
+                          gradient -> alpha). Overrides the scenario's
+                          controller line.
+    --no-controller       strip the scenario's controller (run the same
+                          scenario statically, e.g. for comparisons)
 
 OBSERVABILITY (see OBSERVABILITY.md for formats):
     --events-out <path>   write every query-lifecycle and policy event as
@@ -368,6 +382,14 @@ fn effective_scenario(args: &Args) -> Result<ScenarioSpec, ParseError> {
         }];
     }
 
+    if args.flag("no-controller") {
+        spec.controller = None;
+    }
+    if let Some(line) = args.get("controller") {
+        spec.controller =
+            Some(ControllerSpec::parse(line).map_err(|e| ParseError(e.to_string()))?);
+    }
+
     let base = spec
         .first_policy()
         .map_err(|e| ParseError(e.to_string()))?
@@ -432,6 +454,10 @@ where
         }
         None => None,
     };
+    // After the sinks, so the Observe tap wraps the JSONL event stream.
+    let controller = scenario
+        .attach_controller(&label, &policy, &mut cfg)
+        .map_err(|e| ParseError(e.to_string()))?;
     let result = run(policy.as_ref(), scenario.mix(), &cfg);
 
     if let Some(path) = args.get("metrics-out") {
@@ -483,6 +509,15 @@ where
         "\noverall: {:.2}% rejected\n",
         result.overall_rejection_pct()
     ));
+    if let Some(c) = &controller {
+        out.push_str(&format!(
+            "controller: {} on {} — {} decision(s), final value {}\n",
+            c.spec().law.name(),
+            c.spec().law.param().label(),
+            c.decisions().len(),
+            c.current_value(),
+        ));
+    }
     if let Some(path) = args.get("events-out") {
         out.push_str(&format!("events written to {path} (JSONL)\n"));
     }
@@ -612,6 +647,40 @@ mod tests {
         let (out, code) = run_cli(["--slo-spec", "bogus:{p50=1ms}"]);
         assert_eq!(code, 2);
         assert!(out.contains("unknown query type"), "{out}");
+    }
+
+    #[test]
+    fn controller_flag_runs_closed_loop_and_reports() {
+        let base = [
+            "--policy",
+            "bouncer+aa",
+            "--allowance",
+            "0.05",
+            "--rate-factor",
+            "1.4",
+            "--queries",
+            "30000",
+            "--warmup",
+            "5000",
+        ];
+        let mut adaptive = base.to_vec();
+        adaptive.extend([
+            "--controller",
+            "budget target_attain=0.95 step=0.25 interval=250ms",
+        ]);
+        let (out, code) = run_cli(adaptive);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("controller: budget on allowance"), "{out}");
+
+        // The same run without the flag stays open-loop.
+        let (out, code) = run_cli(base);
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("controller:"), "{out}");
+
+        // A malformed law is rejected at parse time.
+        let (out, code) = run_cli(["--controller", "pid step=1"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown control law"), "{out}");
     }
 
     #[test]

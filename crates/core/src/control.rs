@@ -1,0 +1,798 @@
+//! Closed-loop adaptive admission: the Observe → Decide → Act control
+//! plane that retunes a running policy from live telemetry (ADAPTIVE.md).
+//!
+//! * **Observe** — a [`ControlTap`] sits in the event-sink chain and folds
+//!   the query-lifecycle stream into per-interval [`Telemetry`] snapshots
+//!   (per-type rejection rate, SLO attainment, demand).
+//! * **Decide** — a [`Controller`] runs one control law
+//!   ([`LawKind`](crate::spec::LawKind)) over each snapshot and picks the
+//!   next value for the single policy parameter that law owns.
+//! * **Act** — the decided value is *staged* into the policy through
+//!   [`AdmissionPolicy::stage_param`] and only becomes live when the
+//!   policy's own `on_tick` maintenance installs it ([`StagedParam`]), so
+//!   retuning always lands on an interval-swap boundary and never
+//!   mid-interval — the dual-buffer exactness argument survives
+//!   (DESIGN.md S35).
+//!
+//! The loop is zero-cost when absent: no tap, no staged cells consulted
+//! beyond one relaxed atomic load that replaces the former plain field
+//! read, and the admission hot path is untouched.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use bouncer_metrics::time::{millis_f64, Nanos};
+
+use crate::obs::{Event, EventSink, SinkSlot};
+use crate::policy::AdmissionPolicy;
+use crate::slo::SloConfig;
+use crate::spec::{ControllerSpec, LawKind};
+
+/// A live-tunable policy parameter the control plane can own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlParam {
+    /// AcceptFraction's utilization threshold (`MaxUtil`, §5.2.3).
+    MaxUtilization,
+    /// The acceptance allowance `A` (Algorithm 2).
+    Allowance,
+    /// Helping-the-underserved's scaling factor `α` (Algorithm 3).
+    Alpha,
+}
+
+impl ControlParam {
+    /// The parameter's snake_case label, as used in
+    /// `controller_decision` / `param_update` events.
+    pub fn label(self) -> &'static str {
+        match self {
+            ControlParam::MaxUtilization => "max_utilization",
+            ControlParam::Allowance => "allowance",
+            ControlParam::Alpha => "alpha",
+        }
+    }
+}
+
+/// A policy parameter with a two-phase update protocol: reads see the
+/// *live* value; the controller stages a replacement that the owning
+/// policy installs at its next maintenance boundary.
+///
+/// `get()` is one relaxed atomic load — the same cost class as the plain
+/// `f64` field it replaces, so hot paths keep their budget. Staging and
+/// installing are cold-path (controller interval / maintenance tick).
+#[derive(Debug)]
+pub struct StagedParam {
+    live: AtomicU64,
+    staged: AtomicU64,
+    dirty: AtomicBool,
+}
+
+impl StagedParam {
+    /// A cell whose live value is `initial` with nothing staged.
+    pub fn new(initial: f64) -> Self {
+        Self {
+            live: AtomicU64::new(initial.to_bits()),
+            staged: AtomicU64::new(initial.to_bits()),
+            dirty: AtomicBool::new(false),
+        }
+    }
+
+    /// The live value (what decisions use right now).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.live.load(Ordering::Relaxed))
+    }
+
+    /// Stages `value` for installation at the next maintenance boundary.
+    pub fn stage(&self, value: f64) {
+        self.staged.store(value.to_bits(), Ordering::Relaxed);
+        self.dirty.store(true, Ordering::Release);
+    }
+
+    /// Installs the staged value, if any, returning the newly live value.
+    /// Policies call this from `on_tick` — never from the decision path.
+    pub fn install(&self) -> Option<f64> {
+        if !self.dirty.swap(false, Ordering::Acquire) {
+            return None;
+        }
+        let v = self.staged.load(Ordering::Relaxed);
+        self.live.store(v, Ordering::Relaxed);
+        Some(f64::from_bits(v))
+    }
+}
+
+/// One query type's slice of an interval's telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypeTelemetry {
+    /// Admission decisions seen (admitted + rejected).
+    pub received: u64,
+    /// Queries the policy let through.
+    pub admitted: u64,
+    /// Queries turned away (any reason).
+    pub rejected: u64,
+    /// Queries that finished processing during the interval.
+    pub completed: u64,
+    /// Completions whose response time met the type's SLO tail target.
+    pub within_slo: u64,
+}
+
+impl TypeTelemetry {
+    /// Rejected over received, `0` when idle.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.received as f64
+        }
+    }
+
+    /// Within-SLO completions over completions; a type with no
+    /// completions counts as fully attaining (nothing was late).
+    pub fn attainment(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.within_slo as f64 / self.completed as f64
+        }
+    }
+}
+
+/// One interval's aggregated view of the event stream — what a control
+/// law decides from.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Zero-based interval index since the tap saw its first event.
+    pub index: u64,
+    /// Interval start (inclusive), in the emitting clock's nanoseconds.
+    pub start: Nanos,
+    /// Interval end (exclusive).
+    pub end: Nanos,
+    /// Per-type counters, indexed by `TypeId::index()`.
+    pub types: Vec<TypeTelemetry>,
+}
+
+impl Telemetry {
+    /// Total admission decisions seen.
+    pub fn received(&self) -> u64 {
+        self.types.iter().map(|t| t.received).sum()
+    }
+
+    /// Total rejections.
+    pub fn rejected(&self) -> u64 {
+        self.types.iter().map(|t| t.rejected).sum()
+    }
+
+    /// Total completions.
+    pub fn completed(&self) -> u64 {
+        self.types.iter().map(|t| t.completed).sum()
+    }
+
+    /// Overall rejection rate in `[0, 1]`, `0` when idle.
+    pub fn rejection_rate(&self) -> f64 {
+        let received = self.received();
+        if received == 0 {
+            0.0
+        } else {
+            self.rejected() as f64 / received as f64
+        }
+    }
+
+    /// Overall SLO attainment in `[0, 1]`; `1` when nothing completed.
+    pub fn attainment(&self) -> f64 {
+        let (mut done, mut ok) = (0u64, 0u64);
+        for t in &self.types {
+            done += t.completed;
+            ok += t.within_slo;
+        }
+        if done == 0 {
+            1.0
+        } else {
+            ok as f64 / done as f64
+        }
+    }
+
+    /// Max minus min per-type attainment over types that completed work —
+    /// the unfairness signal the gradient law consumes. `0` with fewer
+    /// than two active types.
+    pub fn attainment_spread(&self) -> f64 {
+        let (mut lo, mut hi, mut seen) = (1.0f64, 0.0f64, 0u32);
+        for t in &self.types {
+            if t.completed == 0 {
+                continue;
+            }
+            let a = t.attainment();
+            lo = lo.min(a);
+            hi = hi.max(a);
+            seen += 1;
+        }
+        if seen < 2 {
+            0.0
+        } else {
+            hi - lo
+        }
+    }
+}
+
+/// One decision the controller took, kept for reports and convergence
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlDecision {
+    /// Decision time (the closed interval's end).
+    pub at: Nanos,
+    /// The newly decided parameter value.
+    pub value: f64,
+    /// Overall attainment over the interval that drove it.
+    pub attainment: f64,
+    /// Overall rejection rate over that interval.
+    pub rejection: f64,
+}
+
+/// The Decide + Act half of the loop: runs one control law per closed
+/// telemetry interval and stages the result into the attached policies.
+pub struct Controller {
+    spec: ControllerSpec,
+    value: Mutex<f64>,
+    policies: Mutex<Vec<Arc<dyn AdmissionPolicy>>>,
+    history: Mutex<Vec<ControlDecision>>,
+    sink: SinkSlot,
+}
+
+impl fmt::Debug for Controller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Controller")
+            .field("spec", &self.spec)
+            .field("value", &self.value)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Controller {
+    /// A controller running `spec`'s law from the parameter's current
+    /// value `initial` (clamped into the spec's `[min, max]` band).
+    pub fn new(spec: ControllerSpec, initial: f64) -> Self {
+        let start = initial.clamp(spec.min, spec.max);
+        Self {
+            spec,
+            value: Mutex::new(start),
+            policies: Mutex::new(Vec::new()),
+            history: Mutex::new(Vec::new()),
+            sink: SinkSlot::new(),
+        }
+    }
+
+    /// The spec this controller runs.
+    pub fn spec(&self) -> &ControllerSpec {
+        &self.spec
+    }
+
+    /// The telemetry interval, in nanoseconds.
+    pub fn interval(&self) -> Nanos {
+        millis_f64(self.spec.interval_ms)
+    }
+
+    /// Registers a policy whose [`ControlParam`] this controller owns.
+    /// Decisions are staged into every attached policy.
+    pub fn attach_policy(&self, policy: Arc<dyn AdmissionPolicy>) {
+        self.policies
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(policy);
+    }
+
+    /// Routes `controller_decision` events (usually into the same
+    /// [`ControlTap`] that feeds this controller, so decisions land in
+    /// the run's JSONL alongside everything else).
+    pub fn attach_sink(&self, sink: Arc<dyn EventSink>) {
+        self.sink.attach(sink);
+    }
+
+    /// Every decision taken so far, in order.
+    pub fn decisions(&self) -> Vec<ControlDecision> {
+        self.history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The most recently decided parameter value.
+    pub fn current_value(&self) -> f64 {
+        *self.value.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes one closed telemetry interval: runs the law, stages the
+    /// new value, emits `controller_decision`. Idle intervals (no
+    /// admission decisions) are skipped — an empty window says nothing
+    /// about where the parameter should sit.
+    pub fn on_interval(&self, t: &Telemetry) {
+        if t.received() == 0 {
+            return;
+        }
+        let attainment = t.attainment();
+        let rejection = t.rejection_rate();
+        let next = {
+            let mut v = self.value.lock().unwrap_or_else(PoisonError::into_inner);
+            *v = self.law_step(*v, attainment, t);
+            *v
+        };
+        for p in self
+            .policies
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            p.stage_param(self.spec.law.param(), next);
+        }
+        self.history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(ControlDecision {
+                at: t.end,
+                value: next,
+                attainment,
+                rejection,
+            });
+        self.sink.emit(|| Event::ControllerDecision {
+            at: t.end,
+            law: self.spec.law.name(),
+            param: self.spec.law.param().label(),
+            value: next,
+            attainment,
+            rejection,
+        });
+    }
+
+    /// One law update (ADAPTIVE.md gives each equation with its
+    /// stability argument):
+    ///
+    /// * `aimd`:     `v ← v + step` on target, `v ← v·backoff` off it
+    /// * `budget`:   `v ← v·(1+step)` on target, `v ← v·backoff` off it
+    /// * `gradient`: `v ← v + step·((1 − target) − spread)`
+    ///
+    /// all clamped into `[min, max]`.
+    fn law_step(&self, v: f64, attainment: f64, t: &Telemetry) -> f64 {
+        let s = &self.spec;
+        let on_target = attainment >= s.target_attain;
+        let next = match s.law {
+            LawKind::Aimd => {
+                if on_target {
+                    v + s.step
+                } else {
+                    v * s.backoff
+                }
+            }
+            LawKind::Budget => {
+                if on_target {
+                    v * (1.0 + s.step)
+                } else {
+                    v * s.backoff
+                }
+            }
+            LawKind::Gradient => {
+                let tolerance = 1.0 - s.target_attain;
+                v + s.step * (t.attainment_spread() - tolerance)
+            }
+        };
+        next.clamp(s.min, s.max)
+    }
+}
+
+/// Per-type SLO tail targets (the last — tightest-percentile — target of
+/// each type's SLO), indexed by `TypeId::index()`: what the tap scores
+/// completions against. Types without a bound never miss.
+pub fn slo_tail_targets(slos: &SloConfig, n_types: usize) -> Vec<Option<Nanos>> {
+    (0..n_types.max(slos.n_types()))
+        .map(|i| {
+            slos.slo_for(crate::types::TypeId::from_index(i as u32))
+                .targets()
+                .last()
+                .map(|&(_, target)| target)
+        })
+        .collect()
+}
+
+#[derive(Debug, Default)]
+struct TapState {
+    /// Start of the open interval; `None` until the first event arrives.
+    start: Option<Nanos>,
+    index: u64,
+    counts: Vec<TypeTelemetry>,
+}
+
+/// The Observe half of the loop: an [`EventSink`] adapter that forwards
+/// every event to an optional downstream sink and folds the lifecycle
+/// events into per-interval [`Telemetry`], handing each closed interval
+/// to the [`Controller`].
+///
+/// Interval boundaries come from event timestamps (virtual time under the
+/// simulator, wall clock on the threaded hosts), so the tap needs no
+/// timer of its own. The final partial interval of a run is never closed
+/// — by construction it cannot influence a decision.
+pub struct ControlTap {
+    controller: Arc<Controller>,
+    downstream: Option<Arc<dyn EventSink>>,
+    interval: Nanos,
+    slo_tails: Vec<Option<Nanos>>,
+    state: Mutex<TapState>,
+}
+
+impl fmt::Debug for ControlTap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ControlTap")
+            .field("controller", &self.controller)
+            .field("interval", &self.interval)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ControlTap {
+    /// A tap feeding `controller`, scoring completions against
+    /// `slo_tails` (see [`slo_tail_targets`]), forwarding everything to
+    /// `downstream` when given.
+    pub fn new(
+        controller: Arc<Controller>,
+        slo_tails: Vec<Option<Nanos>>,
+        downstream: Option<Arc<dyn EventSink>>,
+    ) -> Self {
+        let interval = controller.interval().max(1);
+        Self {
+            controller,
+            downstream,
+            interval,
+            slo_tails,
+            state: Mutex::new(TapState::default()),
+        }
+    }
+
+    /// The controller this tap feeds.
+    pub fn controller(&self) -> &Arc<Controller> {
+        &self.controller
+    }
+
+    fn fold(&self, event: &Event) -> Option<Telemetry> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let at = event.at();
+        let start = *st.start.get_or_insert(at);
+        let mut finished = None;
+        if at >= start + self.interval {
+            // Close the open interval; silently skip any fully idle ones
+            // between it and `at` (the controller ignores idle intervals
+            // anyway).
+            let skipped = (at - start) / self.interval;
+            finished = Some(Telemetry {
+                index: st.index,
+                start,
+                end: start + self.interval,
+                types: std::mem::take(&mut st.counts),
+            });
+            st.index += skipped;
+            st.start = Some(start + skipped * self.interval);
+        }
+        fn slot(counts: &mut Vec<TypeTelemetry>, i: usize) -> &mut TypeTelemetry {
+            if counts.len() <= i {
+                counts.resize(i + 1, TypeTelemetry::default());
+            }
+            &mut counts[i]
+        }
+        match *event {
+            Event::Admitted { ty, .. } => {
+                let c = slot(&mut st.counts, ty.index());
+                c.received += 1;
+                c.admitted += 1;
+            }
+            Event::Rejected { ty, .. } => {
+                let c = slot(&mut st.counts, ty.index());
+                c.received += 1;
+                c.rejected += 1;
+            }
+            Event::Completed { ty, rt, .. } => {
+                let within = match self.slo_tails.get(ty.index()).copied().flatten() {
+                    Some(target) => rt <= target,
+                    None => true,
+                };
+                let c = slot(&mut st.counts, ty.index());
+                c.completed += 1;
+                if within {
+                    c.within_slo += 1;
+                }
+            }
+            _ => {}
+        }
+        finished
+    }
+}
+
+impl EventSink for ControlTap {
+    fn emit(&self, event: &Event) {
+        if let Some(d) = &self.downstream {
+            if d.enabled() {
+                d.emit(event);
+            }
+        }
+        // Run the law *outside* the tap's lock: the controller's decision
+        // event re-enters this sink.
+        if let Some(telemetry) = self.fold(event) {
+            self.controller.on_interval(&telemetry);
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(d) = &self.downstream {
+            d.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::MemorySink;
+    use crate::policy::{AdmissionPolicy, Decision};
+    use crate::slo::Slo;
+    use crate::spec::defaults;
+    use crate::types::{TypeId, TypeRegistry};
+    use bouncer_metrics::time::millis;
+
+    fn spec(law: LawKind) -> ControllerSpec {
+        ControllerSpec::law_default(law)
+    }
+
+    #[test]
+    fn staged_param_two_phase_protocol() {
+        let p = StagedParam::new(0.5);
+        assert_eq!(p.get(), 0.5);
+        assert_eq!(p.install(), None);
+        p.stage(0.25);
+        assert_eq!(p.get(), 0.5, "staging must not touch the live value");
+        assert_eq!(p.install(), Some(0.25));
+        assert_eq!(p.get(), 0.25);
+        assert_eq!(p.install(), None, "install is one-shot per stage");
+    }
+
+    fn telemetry(types: Vec<TypeTelemetry>) -> Telemetry {
+        Telemetry {
+            index: 0,
+            start: 0,
+            end: 1_000_000_000,
+            types,
+        }
+    }
+
+    #[test]
+    fn telemetry_rates_and_spread() {
+        let t = telemetry(vec![
+            TypeTelemetry {
+                received: 80,
+                admitted: 60,
+                rejected: 20,
+                completed: 60,
+                within_slo: 60,
+            },
+            TypeTelemetry {
+                received: 20,
+                admitted: 20,
+                rejected: 0,
+                completed: 20,
+                within_slo: 10,
+            },
+        ]);
+        assert_eq!(t.received(), 100);
+        assert!((t.rejection_rate() - 0.2).abs() < 1e-12);
+        assert!((t.attainment() - 70.0 / 80.0).abs() < 1e-12);
+        assert!((t.attainment_spread() - 0.5).abs() < 1e-12);
+        let idle = telemetry(vec![TypeTelemetry::default()]);
+        assert_eq!(idle.rejection_rate(), 0.0);
+        assert_eq!(idle.attainment(), 1.0);
+        assert_eq!(idle.attainment_spread(), 0.0);
+    }
+
+    fn good_interval() -> Telemetry {
+        telemetry(vec![TypeTelemetry {
+            received: 100,
+            admitted: 100,
+            rejected: 0,
+            completed: 100,
+            within_slo: 100,
+        }])
+    }
+
+    fn bad_interval() -> Telemetry {
+        telemetry(vec![TypeTelemetry {
+            received: 100,
+            admitted: 100,
+            rejected: 0,
+            completed: 100,
+            within_slo: 10,
+        }])
+    }
+
+    #[test]
+    fn aimd_increases_additively_and_backs_off_multiplicatively() {
+        let c = Controller::new(spec(LawKind::Aimd), 0.8);
+        c.on_interval(&good_interval());
+        assert!((c.current_value() - (0.8 + defaults::AIMD_STEP)).abs() < 1e-12);
+        c.on_interval(&bad_interval());
+        let expect = (0.8 + defaults::AIMD_STEP) * defaults::AIMD_BACKOFF;
+        assert!((c.current_value() - expect).abs() < 1e-12);
+        // Sustained good intervals saturate at the ceiling.
+        for _ in 0..100 {
+            c.on_interval(&good_interval());
+        }
+        assert_eq!(c.current_value(), defaults::AIMD_MAX);
+    }
+
+    #[test]
+    fn budget_law_moves_multiplicatively_both_ways() {
+        let c = Controller::new(spec(LawKind::Budget), 0.1);
+        c.on_interval(&good_interval());
+        assert!((c.current_value() - 0.1 * (1.0 + defaults::BUDGET_STEP)).abs() < 1e-12);
+        for _ in 0..100 {
+            c.on_interval(&bad_interval());
+        }
+        assert_eq!(c.current_value(), defaults::BUDGET_MIN);
+    }
+
+    #[test]
+    fn gradient_law_follows_the_attainment_spread() {
+        let c = Controller::new(spec(LawKind::Gradient), 0.5);
+        // Spread 0.5 over tolerance 0.1 → alpha rises.
+        let uneven = telemetry(vec![
+            TypeTelemetry {
+                received: 50,
+                admitted: 50,
+                rejected: 0,
+                completed: 50,
+                within_slo: 50,
+            },
+            TypeTelemetry {
+                received: 50,
+                admitted: 50,
+                rejected: 0,
+                completed: 50,
+                within_slo: 25,
+            },
+        ]);
+        c.on_interval(&uneven);
+        assert!(c.current_value() > 0.5);
+        // No spread → alpha decays toward the floor.
+        let c2 = Controller::new(spec(LawKind::Gradient), 0.5);
+        for _ in 0..100 {
+            c2.on_interval(&good_interval());
+        }
+        assert_eq!(c2.current_value(), defaults::GRADIENT_MIN);
+    }
+
+    #[test]
+    fn idle_intervals_do_not_decide() {
+        let c = Controller::new(spec(LawKind::Aimd), 0.8);
+        c.on_interval(&telemetry(vec![TypeTelemetry::default()]));
+        assert!(c.decisions().is_empty());
+        assert_eq!(c.current_value(), 0.8);
+    }
+
+    /// A stub policy that records staged parameters.
+    #[derive(Debug, Default)]
+    struct Recorder {
+        staged: Mutex<Vec<(ControlParam, f64)>>,
+    }
+
+    impl AdmissionPolicy for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn admit(&self, _ty: TypeId, _now: Nanos) -> Decision {
+            Decision::Accept
+        }
+        fn stage_param(&self, param: ControlParam, value: f64) -> bool {
+            self.staged.lock().unwrap().push((param, value));
+            true
+        }
+    }
+
+    #[test]
+    fn decisions_stage_into_policies_and_emit_events() {
+        let c = Controller::new(spec(LawKind::Budget), 0.1);
+        let policy = Arc::new(Recorder::default());
+        c.attach_policy(policy.clone());
+        let sink = Arc::new(MemorySink::new());
+        c.attach_sink(sink.clone());
+        c.on_interval(&good_interval());
+        let staged = policy.staged.lock().unwrap().clone();
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].0, ControlParam::Allowance);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            Event::ControllerDecision { law, param, value, .. } => {
+                assert_eq!(law, "budget");
+                assert_eq!(param, "allowance");
+                assert!((value - staged[0].1).abs() < 1e-12);
+            }
+            ref other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(c.decisions().len(), 1);
+    }
+
+    fn tails() -> Vec<Option<Nanos>> {
+        vec![Some(millis(10)), Some(millis(10))]
+    }
+
+    #[test]
+    fn tap_aggregates_and_closes_intervals_on_the_clock() {
+        let c = Arc::new(Controller::new(spec(LawKind::Aimd), 0.8));
+        let downstream = Arc::new(MemorySink::new());
+        let tap = ControlTap::new(c.clone(), tails(), Some(downstream.clone()));
+        let second = 1_000_000_000u64;
+        // First interval: one admit, one reject, one on-time completion.
+        tap.emit(&Event::Admitted { at: 10, ty: TypeId(0) });
+        tap.emit(&Event::Rejected {
+            at: 20,
+            ty: TypeId(1),
+            reason: crate::policy::RejectReason::PredictedSloViolation,
+        });
+        tap.emit(&Event::Completed {
+            at: 30,
+            ty: TypeId(0),
+            wait: 0,
+            processing: millis(5),
+            rt: millis(5),
+        });
+        assert!(c.decisions().is_empty(), "interval still open");
+        // An event at the boundary (start 10 + one interval) closes it and
+        // the law runs.
+        tap.emit(&Event::Admitted { at: second + 10, ty: TypeId(0) });
+        let d = c.decisions();
+        assert_eq!(d.len(), 1);
+        assert!((d[0].rejection - 0.5).abs() < 1e-12);
+        assert!((d[0].attainment - 1.0).abs() < 1e-12);
+        assert_eq!(d[0].at, 10 + second);
+        // Everything was forwarded downstream untouched.
+        assert_eq!(downstream.len(), 4);
+    }
+
+    #[test]
+    fn tap_scores_completions_against_the_tail_target() {
+        let c = Arc::new(Controller::new(spec(LawKind::Aimd), 0.8));
+        let tap = ControlTap::new(c.clone(), tails(), None);
+        tap.emit(&Event::Admitted { at: 0, ty: TypeId(0) });
+        tap.emit(&Event::Completed {
+            at: 1,
+            ty: TypeId(0),
+            wait: 0,
+            processing: millis(50),
+            rt: millis(50),
+        });
+        tap.emit(&Event::Admitted { at: 2_000_000_000, ty: TypeId(0) });
+        let d = c.decisions();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].attainment, 0.0, "50ms rt misses the 10ms tail");
+        // The bad interval backed max_utilization off.
+        assert!((d[0].value - 0.8 * defaults::AIMD_BACKOFF).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tap_skips_idle_gaps_without_deciding() {
+        let c = Arc::new(Controller::new(spec(LawKind::Aimd), 0.8));
+        let tap = ControlTap::new(c.clone(), tails(), None);
+        tap.emit(&Event::Admitted { at: 0, ty: TypeId(0) });
+        // 10 intervals later: the long-idle gap yields exactly one
+        // decision (for the interval that had the admit).
+        tap.emit(&Event::Admitted { at: 10_500_000_000, ty: TypeId(0) });
+        assert_eq!(c.decisions().len(), 1);
+        tap.emit(&Event::Admitted { at: 11_500_000_000, ty: TypeId(0) });
+        assert_eq!(c.decisions().len(), 2);
+    }
+
+    #[test]
+    fn slo_tails_come_from_the_config() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register("a");
+        reg.register("b");
+        let slos = SloConfig::builder(&reg)
+            .default_slo(Slo::p50_p90(millis(18), millis(50)))
+            .set(a, Slo::unbounded())
+            .build();
+        let tails = slo_tail_targets(&slos, reg.len());
+        assert_eq!(tails.len(), reg.len());
+        assert_eq!(tails[a.index()], None);
+        assert!(tails.iter().skip(a.index() + 1).any(|t| *t == Some(millis(50))));
+    }
+}

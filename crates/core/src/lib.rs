@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod framework;
 pub mod obs;
 pub mod policy;
@@ -51,6 +52,10 @@ pub mod types;
 
 /// Convenient glob-import surface for downstream crates and examples.
 pub mod prelude {
+    pub use crate::control::{
+        slo_tail_targets, ControlDecision, ControlParam, ControlTap, Controller, StagedParam,
+        Telemetry, TypeTelemetry,
+    };
     pub use crate::framework::{Discipline, Gate, GateConfig, ServerStats, StatsSnapshot};
     pub use crate::obs::{
         null_sink, render_prometheus, render_prometheus_with_traces, Event, EventSink, JsonlSink,
@@ -64,9 +69,9 @@ pub mod prelude {
     pub use crate::slo::{Percentile, Slo, SloConfig};
     pub use crate::slo_spec::{apply_slo_spec, parse_slo_spec};
     pub use crate::spec::{
-        BouncerParams, ClassSpec, DisciplineSpec, HistogramSpec, LiquidSpec, PolicyEnv,
-        PolicySpec, RuleSpec, RuntimeSpec, ScenarioSpec, SimSpec, SloEntrySpec, TransportSpec,
-        WorkloadSpec,
+        BouncerParams, ClassSpec, ControllerSpec, DisciplineSpec, HistogramSpec, LawKind,
+        LiquidSpec, PolicyEnv, PolicySpec, RuleSpec, RuntimeSpec, ScenarioSpec, SimSpec,
+        SloEntrySpec, TransportSpec, WorkloadSpec,
     };
     pub use crate::types::{TypeId, TypeRegistry, DEFAULT_TYPE};
 }

@@ -85,6 +85,36 @@ impl Event {
             Event::Scenario { hash, .. } => {
                 let _ = write!(s, ",\"scenario_hash\":\"{hash:016x}\"");
             }
+            Event::ControllerDecision {
+                law,
+                param,
+                value,
+                attainment,
+                rejection,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"law\":\"{}\",\"param\":\"{}\",\"value\":{},\
+                     \"attainment\":{},\"rejection\":{}",
+                    escape(law),
+                    escape(param),
+                    fmt_f64(value),
+                    fmt_f64(attainment),
+                    fmt_f64(rejection)
+                );
+            }
+            Event::ParamUpdate {
+                policy, param, value, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"policy\":\"{}\",\"param\":\"{}\",\"value\":{}",
+                    escape(policy),
+                    escape(param),
+                    fmt_f64(value)
+                );
+            }
             Event::Span {
                 trace,
                 span,
@@ -271,6 +301,20 @@ mod tests {
             Event::Scenario {
                 at: 0,
                 hash: 0x00ab_cdef_0123_4567,
+            },
+            Event::ControllerDecision {
+                at: 50,
+                law: "budget",
+                param: "allowance",
+                value: 0.125,
+                attainment: 0.9375,
+                rejection: 0.25,
+            },
+            Event::ParamUpdate {
+                at: 51,
+                policy: "allowance",
+                param: "allowance",
+                value: 0.125,
             },
             Event::Span {
                 at: 60,

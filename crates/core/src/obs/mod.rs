@@ -175,6 +175,40 @@ pub enum Event {
         /// (`ScenarioSpec::content_hash`).
         hash: u64,
     },
+    /// The control plane decided a new value for a policy parameter from
+    /// an interval's telemetry (ADAPTIVE.md). Emitted by the controller
+    /// the moment the law runs; the value takes effect at the *next*
+    /// maintenance boundary (see [`Event::ParamUpdate`]).
+    ControllerDecision {
+        /// Decision time (the end of the telemetry interval).
+        at: Nanos,
+        /// The control law that ran (`"aimd"`, `"budget"`, `"gradient"`).
+        law: &'static str,
+        /// The targeted parameter (`"max_utilization"`, `"allowance"`,
+        /// `"alpha"`).
+        param: &'static str,
+        /// The newly decided parameter value.
+        value: f64,
+        /// Overall SLO attainment observed over the interval, in `[0, 1]`.
+        attainment: f64,
+        /// Overall rejection rate observed over the interval, in `[0, 1]`.
+        rejection: f64,
+    },
+    /// A staged parameter value was installed into the live policy at a
+    /// maintenance boundary (`on_tick`) — the Act step of the control
+    /// plane, deliberately decoupled from [`Event::ControllerDecision`]
+    /// so retuning never lands mid-interval (DESIGN.md S35).
+    ParamUpdate {
+        /// Install time (the maintenance tick that applied it).
+        at: Nanos,
+        /// `AdmissionPolicy::name()` of the retuned policy.
+        policy: &'static str,
+        /// The installed parameter (`"max_utilization"`, `"allowance"`,
+        /// `"alpha"`).
+        param: &'static str,
+        /// The now-live parameter value.
+        value: f64,
+    },
     /// One closed tracing span: a causally-linked segment of a query's
     /// life (see [`SpanKind`] for the taxonomy). Emitted on close, so
     /// `at == end`.
@@ -216,6 +250,8 @@ impl Event {
             Event::MovingAvgRefresh { .. } => "moving_avg_refresh",
             Event::EstimateRefresh { .. } => "estimate_refresh",
             Event::Scenario { .. } => "scenario",
+            Event::ControllerDecision { .. } => "controller_decision",
+            Event::ParamUpdate { .. } => "param_update",
             Event::Span { .. } => "span",
         }
     }
@@ -235,6 +271,8 @@ impl Event {
             | Event::MovingAvgRefresh { at, .. }
             | Event::EstimateRefresh { at, .. }
             | Event::Scenario { at, .. }
+            | Event::ControllerDecision { at, .. }
+            | Event::ParamUpdate { at, .. }
             | Event::Span { at, .. } => at,
         }
     }
@@ -254,7 +292,9 @@ impl Event {
             Event::HistogramSwap { .. }
             | Event::ThresholdUpdate { .. }
             | Event::MovingAvgRefresh { .. }
-            | Event::Scenario { .. } => None,
+            | Event::Scenario { .. }
+            | Event::ControllerDecision { .. }
+            | Event::ParamUpdate { .. } => None,
         }
     }
 }

@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use bouncer_metrics::time::{as_secs_f64, secs, Nanos};
 use bouncer_metrics::MovingStats;
 
+use crate::control::{ControlParam, StagedParam};
 use crate::obs::{Event, SinkSlot};
 use crate::policy::{AdmissionPolicy, Decision, RejectReason};
 use crate::rng::AtomicRng;
@@ -70,8 +71,10 @@ impl AcceptFractionConfig {
 /// available processing capacity.
 pub struct AcceptFraction {
     cfg: AcceptFractionConfig,
-    /// Available processing capacity: `MaxUtil · |PU|`, fixed.
-    apc: f64,
+    /// `MaxUtil`, live-tunable by the control plane; the available
+    /// processing capacity `MaxUtil · |PU|` is derived from it at each
+    /// fraction update.
+    max_utilization: StagedParam,
     /// Moving stats over processing times (mean -> `pt_mavg`).
     pt_mavg: MovingStats,
     /// Moving stats over arrivals (rate -> `qps_mavg`).
@@ -94,7 +97,7 @@ impl AcceptFraction {
         );
         assert!(cfg.processing_units > 0, "|PU| must be positive");
         Self {
-            apc: cfg.max_utilization * cfg.processing_units as f64,
+            max_utilization: StagedParam::new(cfg.max_utilization),
             pt_mavg: MovingStats::new(cfg.window_duration, cfg.window_step),
             arrivals: MovingStats::new(cfg.window_duration, cfg.window_step),
             fraction: AtomicU64::new(1.0f64.to_bits()),
@@ -111,6 +114,11 @@ impl AcceptFraction {
         f64::from_bits(self.fraction.load(Ordering::Relaxed))
     }
 
+    /// The currently live `MaxUtil`.
+    pub fn max_utilization(&self) -> f64 {
+        self.max_utilization.get()
+    }
+
     /// Recomputes `f` from the current moving averages.
     fn update_fraction(&self, now: Nanos) {
         let qps = self.arrivals.rate_per_sec(now);
@@ -118,7 +126,8 @@ impl AcceptFraction {
         // dpc may be zero; IEEE division then yields +inf and f = 1.0,
         // exactly as the paper prescribes (§5.2.3, footnote 6).
         let dpc = qps * pt_secs;
-        let f = (self.apc / dpc).min(1.0);
+        let apc = self.max_utilization.get() * self.cfg.processing_units as f64;
+        let f = (apc / dpc).min(1.0);
         self.fraction.store(f.to_bits(), Ordering::Relaxed);
         self.sink.emit(|| Event::ThresholdUpdate {
             at: now,
@@ -182,12 +191,29 @@ impl AdmissionPolicy for AcceptFraction {
             .compare_exchange(last, now, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
+            if let Some(value) = self.max_utilization.install() {
+                self.sink.emit(|| Event::ParamUpdate {
+                    at: now,
+                    policy: "accept-fraction",
+                    param: ControlParam::MaxUtilization.label(),
+                    value,
+                });
+            }
             self.update_fraction(now);
         }
     }
 
     fn attach_sink(&self, sink: std::sync::Arc<dyn crate::obs::EventSink>) {
         self.sink.attach(sink);
+    }
+
+    fn stage_param(&self, param: ControlParam, value: f64) -> bool {
+        if param == ControlParam::MaxUtilization {
+            self.max_utilization.stage(value.clamp(f64::MIN_POSITIVE, 1.0));
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -300,5 +326,26 @@ mod tests {
     #[should_panic(expected = "MaxUtil must be in (0,1]")]
     fn rejects_invalid_utilization() {
         let _ = AcceptFraction::new(AcceptFractionConfig::new(0.0, 1));
+    }
+
+    #[test]
+    fn staged_max_utilization_drives_the_next_fraction_update() {
+        // Saturated at MaxUtil = 0.5: f ~ 0.5x4 / (1000qps x 10ms) = 0.2.
+        let p = warmed(0.5, 4, 1000, millis(10), 10);
+        let before = p.fraction();
+        assert!((before - 0.2).abs() < 0.05, "f={before}");
+        assert!(p.stage_param(crate::control::ControlParam::MaxUtilization, 1.0));
+        assert_eq!(p.max_utilization(), 0.5, "install waits for on_tick");
+        // Keep demand flowing through one more interval, then tick.
+        for i in 0..1000 {
+            let now = secs(10) + i * millis(1);
+            let _ = p.admit(TypeId(0), now);
+            p.on_completed(TypeId(0), millis(10), now);
+        }
+        p.on_tick(secs(11));
+        assert_eq!(p.max_utilization(), 1.0);
+        let after = p.fraction();
+        assert!((after - 2.0 * before).abs() < 0.1, "before={before} after={after}");
+        assert!(!p.stage_param(crate::control::ControlParam::Allowance, 0.1));
     }
 }

@@ -15,6 +15,8 @@
 use bouncer_metrics::time::{millis, secs, Nanos};
 use bouncer_metrics::WindowedCounters;
 
+use crate::control::{ControlParam, StagedParam};
+use crate::obs::{Event, SinkSlot};
 use crate::policy::{AdmissionPolicy, Decision};
 use crate::rng::AtomicRng;
 use crate::types::TypeId;
@@ -42,9 +44,11 @@ use crate::types::TypeId;
 pub struct AcceptanceAllowance<P> {
     inner: P,
     window: WindowedCounters,
-    allowance: f64,
+    /// Live-tunable `A` (the control plane stages, `on_tick` installs).
+    allowance: StagedParam,
     rng: AtomicRng,
     name: String,
+    sink: SinkSlot,
 }
 
 impl<P: AdmissionPolicy> AcceptanceAllowance<P> {
@@ -73,9 +77,10 @@ impl<P: AdmissionPolicy> AcceptanceAllowance<P> {
         Self {
             inner,
             window: WindowedCounters::new(n_types, window_duration, window_step),
-            allowance,
+            allowance: StagedParam::new(allowance),
             rng: AtomicRng::new(seed),
             name,
+            sink: SinkSlot::new(),
         }
     }
 
@@ -84,9 +89,9 @@ impl<P: AdmissionPolicy> AcceptanceAllowance<P> {
         &self.inner
     }
 
-    /// The configured allowance `A`.
+    /// The currently live allowance `A`.
     pub fn allowance(&self) -> f64 {
-        self.allowance
+        self.allowance.get()
     }
 
     /// The windowed acceptance ratio `aqc/rqc` for `ty`, or `None` when no
@@ -103,14 +108,16 @@ impl<P: AdmissionPolicy> AdmissionPolicy for AcceptanceAllowance<P> {
     }
 
     fn admit(&self, ty: TypeId, now: Nanos) -> Decision {
-        // Algorithm 2, step by step.
+        // Algorithm 2, step by step. Read `A` once so both halves of the
+        // strategy see the same value even across an `on_tick` install.
+        let allowance = self.allowance.get();
         let (aqc, rqc) = self.window.counts(ty.index(), now);
 
         let mut decision = if rqc == 0 {
             // Nothing received within the window: accept to (re)establish
             // measurements for the type.
             Decision::Accept
-        } else if (aqc as f64 / rqc as f64) < self.allowance {
+        } else if (aqc as f64 / rqc as f64) < allowance {
             // Historical part: the type is under its allowance.
             Decision::Accept
         } else {
@@ -121,7 +128,7 @@ impl<P: AdmissionPolicy> AdmissionPolicy for AcceptanceAllowance<P> {
             decision = self.inner.admit(ty, now); // ask the policy
         }
 
-        if !decision.is_accept() && self.rng.chance(self.allowance) {
+        if !decision.is_accept() && self.rng.chance(allowance) {
             // "On the spot" free pass.
             decision = Decision::Accept;
         }
@@ -140,11 +147,29 @@ impl<P: AdmissionPolicy> AdmissionPolicy for AcceptanceAllowance<P> {
         self.inner.on_completed(ty, processing, now);
     }
     fn on_tick(&self, now: Nanos) {
+        if let Some(value) = self.allowance.install() {
+            self.sink.emit(|| Event::ParamUpdate {
+                at: now,
+                policy: "allowance",
+                param: ControlParam::Allowance.label(),
+                value,
+            });
+        }
         self.inner.on_tick(now);
     }
 
     fn attach_sink(&self, sink: std::sync::Arc<dyn crate::obs::EventSink>) {
+        self.sink.attach(sink.clone());
         self.inner.attach_sink(sink);
+    }
+
+    fn stage_param(&self, param: ControlParam, value: f64) -> bool {
+        if param == ControlParam::Allowance {
+            self.allowance.stage(value.clamp(0.0, 1.0));
+            true
+        } else {
+            self.inner.stage_param(param, value)
+        }
     }
 }
 
@@ -247,5 +272,17 @@ mod tests {
     fn name_composes() {
         let p = AcceptanceAllowance::new(AlwaysAccept::new(), 1, 0.05, 0);
         assert_eq!(p.name(), "always-accept+allowance");
+    }
+
+    #[test]
+    fn staged_allowance_installs_at_the_tick_boundary() {
+        let p = AcceptanceAllowance::new(AlwaysAccept::new(), 1, 0.05, 0);
+        assert!(p.stage_param(crate::control::ControlParam::Allowance, 0.2));
+        assert_eq!(p.allowance(), 0.05, "staging must not take effect yet");
+        p.on_tick(secs(1));
+        assert_eq!(p.allowance(), 0.2);
+        // A parameter this wrapper doesn't own falls through to the inner
+        // policy (AlwaysAccept owns nothing).
+        assert!(!p.stage_param(crate::control::ControlParam::Alpha, 0.5));
     }
 }

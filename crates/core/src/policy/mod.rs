@@ -137,6 +137,16 @@ pub trait AdmissionPolicy: Send + Sync {
     /// need no storage. Wrapper policies must forward to their inner
     /// policy.
     fn attach_sink(&self, _sink: std::sync::Arc<dyn crate::obs::EventSink>) {}
+
+    /// Stages a new value for a live-tunable parameter, to be installed
+    /// at the policy's next maintenance boundary (`on_tick`) — the Act
+    /// step of the adaptive control plane ([`crate::control`]). Returns
+    /// `true` when the policy owns `param`; the default owns nothing.
+    /// Wrapper policies handle their own parameter and forward the rest
+    /// to their inner policy.
+    fn stage_param(&self, _param: crate::control::ControlParam, _value: f64) -> bool {
+        false
+    }
 }
 
 /// Blanket implementation so policies can be shared behind `Arc`.
@@ -161,6 +171,9 @@ impl<P: AdmissionPolicy + ?Sized> AdmissionPolicy for std::sync::Arc<P> {
     }
     fn attach_sink(&self, sink: std::sync::Arc<dyn crate::obs::EventSink>) {
         (**self).attach_sink(sink)
+    }
+    fn stage_param(&self, param: crate::control::ControlParam, value: f64) -> bool {
+        (**self).stage_param(param, value)
     }
 }
 

@@ -18,6 +18,8 @@
 use bouncer_metrics::time::{millis, secs, Nanos};
 use bouncer_metrics::WindowedCounters;
 
+use crate::control::{ControlParam, StagedParam};
+use crate::obs::{Event, SinkSlot};
 use crate::policy::{AdmissionPolicy, Decision};
 use crate::rng::AtomicRng;
 use crate::types::TypeId;
@@ -26,10 +28,11 @@ use crate::types::TypeId;
 pub struct HelpingTheUnderserved<P> {
     inner: P,
     window: WindowedCounters,
-    /// Scaling factor α ∈ (0, 1].
-    alpha: f64,
+    /// Scaling factor α ∈ (0, 1], live-tunable by the control plane.
+    alpha: StagedParam,
     rng: AtomicRng,
     name: String,
+    sink: SinkSlot,
 }
 
 impl<P: AdmissionPolicy> HelpingTheUnderserved<P> {
@@ -56,9 +59,10 @@ impl<P: AdmissionPolicy> HelpingTheUnderserved<P> {
         Self {
             inner,
             window: WindowedCounters::new(n_types, window_duration, window_step),
-            alpha,
+            alpha: StagedParam::new(alpha),
             rng: AtomicRng::new(seed),
             name,
+            sink: SinkSlot::new(),
         }
     }
 
@@ -67,9 +71,9 @@ impl<P: AdmissionPolicy> HelpingTheUnderserved<P> {
         &self.inner
     }
 
-    /// The configured scaling factor α.
+    /// The currently live scaling factor α.
     pub fn alpha(&self) -> f64 {
-        self.alpha
+        self.alpha.get()
     }
 
     /// `(AR(ty), AAR)` as Algorithm 3 computes them: per-type ratios use a
@@ -104,7 +108,7 @@ impl<P: AdmissionPolicy> AdmissionPolicy for HelpingTheUnderserved<P> {
             let (ar, aar) = self.ratios(ty, now);
             if ar < aar {
                 let x = (aar - ar) / aar;
-                let p = self.alpha * x / (1.0 + x);
+                let p = self.alpha.get() * x / (1.0 + x);
                 if self.rng.chance(p) {
                     decision = Decision::Accept;
                 }
@@ -125,11 +129,29 @@ impl<P: AdmissionPolicy> AdmissionPolicy for HelpingTheUnderserved<P> {
         self.inner.on_completed(ty, processing, now);
     }
     fn on_tick(&self, now: Nanos) {
+        if let Some(value) = self.alpha.install() {
+            self.sink.emit(|| Event::ParamUpdate {
+                at: now,
+                policy: "underserved",
+                param: ControlParam::Alpha.label(),
+                value,
+            });
+        }
         self.inner.on_tick(now);
     }
 
     fn attach_sink(&self, sink: std::sync::Arc<dyn crate::obs::EventSink>) {
+        self.sink.attach(sink.clone());
         self.inner.attach_sink(sink);
+    }
+
+    fn stage_param(&self, param: ControlParam, value: f64) -> bool {
+        if param == ControlParam::Alpha {
+            self.alpha.stage(value.clamp(0.0, 1.0));
+            true
+        } else {
+            self.inner.stage_param(param, value)
+        }
     }
 }
 
@@ -248,5 +270,15 @@ mod tests {
     fn name_composes() {
         let p = HelpingTheUnderserved::new(AlwaysAccept::new(), 1, 1.0, 0);
         assert_eq!(p.name(), "always-accept+underserved");
+    }
+
+    #[test]
+    fn staged_alpha_installs_at_the_tick_boundary() {
+        let p = HelpingTheUnderserved::new(AlwaysAccept::new(), 1, 1.0, 0);
+        assert!(p.stage_param(crate::control::ControlParam::Alpha, 0.25));
+        assert_eq!(p.alpha(), 1.0, "staging must not take effect yet");
+        p.on_tick(secs(1));
+        assert_eq!(p.alpha(), 0.25);
+        assert!(!p.stage_param(crate::control::ControlParam::Allowance, 0.1));
     }
 }

@@ -1,0 +1,305 @@
+//! Declarative adaptive-controller specifications.
+//!
+//! A [`ControllerSpec`] names a control law and its tuning in a one-line
+//! text form (`aimd target_attain=0.95 step=0.02`, `budget step=0.25`,
+//! `gradient step=0.25`), serializes back canonically, and is carried by
+//! [`ScenarioSpec`] under the `controller =` key so a closed-loop run is
+//! content-hashed exactly like every other experiment input. The runnable
+//! loop it describes lives in [`crate::control`]; ADAPTIVE.md documents
+//! each law's update equation and stability argument.
+//!
+//! [`ScenarioSpec`]: crate::spec::ScenarioSpec
+
+use crate::control::ControlParam;
+use crate::slo_spec::SpecError;
+use crate::spec::defaults;
+use crate::spec::kv::{fmt_f64, parse_duration_ms, render_duration_ms};
+
+/// Which control law drives the loop (one law per controller; each law
+/// owns exactly one policy parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LawKind {
+    /// Additive-increase / multiplicative-decrease on AcceptFraction's
+    /// `max_utilization`.
+    Aimd,
+    /// Multiplicative budget control on the acceptance allowance `A`.
+    Budget,
+    /// Gradient step on helping-the-underserved's `α`, keyed to the
+    /// per-type attainment spread.
+    Gradient,
+}
+
+impl LawKind {
+    /// The law's spec-form name token.
+    pub fn name(self) -> &'static str {
+        match self {
+            LawKind::Aimd => "aimd",
+            LawKind::Budget => "budget",
+            LawKind::Gradient => "gradient",
+        }
+    }
+
+    /// The policy parameter this law retunes.
+    pub fn param(self) -> ControlParam {
+        match self {
+            LawKind::Aimd => ControlParam::MaxUtilization,
+            LawKind::Budget => ControlParam::Allowance,
+            LawKind::Gradient => ControlParam::Alpha,
+        }
+    }
+
+    fn parse(name: &str) -> Result<Self, SpecError> {
+        match name {
+            "aimd" => Ok(LawKind::Aimd),
+            "budget" => Ok(LawKind::Budget),
+            "gradient" => Ok(LawKind::Gradient),
+            other => Err(SpecError(format!(
+                "unknown control law `{other}` (aimd, budget, gradient)"
+            ))),
+        }
+    }
+}
+
+/// A serializable adaptive-controller choice with its tuning resolved.
+///
+/// Text form: the law name followed by `key=value` pairs, e.g.
+/// `budget target_attain=0.95 interval=1s step=0.25 backoff=0.5
+/// min=0.005 max=0.5`. Omitted keys take per-law defaults
+/// (see [`crate::spec::defaults`]); the canonical render omits keys at
+/// their default, so `parse(render(x)) == x` and the scenario content
+/// hash only moves when the tuning does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerSpec {
+    /// The control law (and thereby the retuned parameter).
+    pub law: LawKind,
+    /// The overall SLO-attainment target in `(0, 1]` the law steers
+    /// toward. The gradient law reuses `1 - target_attain` as its
+    /// tolerated per-type attainment spread.
+    pub target_attain: f64,
+    /// Telemetry aggregation interval, milliseconds — the Observe→Decide
+    /// cadence. Decisions still only *apply* at policy maintenance
+    /// boundaries (DESIGN.md S35).
+    pub interval_ms: f64,
+    /// Step size: additive for `aimd` and `gradient`, the multiplicative
+    /// increase fraction for `budget`.
+    pub step: f64,
+    /// Multiplicative decrease factor in `(0, 1)` applied on a missed
+    /// target (`aimd`, `budget`; the gradient law ignores it).
+    pub backoff: f64,
+    /// Parameter floor (keeps the loop out of dead zones where telemetry
+    /// dries up).
+    pub min: f64,
+    /// Parameter ceiling.
+    pub max: f64,
+}
+
+impl ControllerSpec {
+    /// The per-law defaults every omitted key falls back to.
+    pub fn law_default(law: LawKind) -> Self {
+        let (step, backoff, min, max) = match law {
+            LawKind::Aimd => (
+                defaults::AIMD_STEP,
+                defaults::AIMD_BACKOFF,
+                defaults::AIMD_MIN,
+                defaults::AIMD_MAX,
+            ),
+            LawKind::Budget => (
+                defaults::BUDGET_STEP,
+                defaults::BUDGET_BACKOFF,
+                defaults::BUDGET_MIN,
+                defaults::BUDGET_MAX,
+            ),
+            LawKind::Gradient => (
+                defaults::GRADIENT_STEP,
+                defaults::BUDGET_BACKOFF,
+                defaults::GRADIENT_MIN,
+                defaults::GRADIENT_MAX,
+            ),
+        };
+        ControllerSpec {
+            law,
+            target_attain: defaults::CONTROLLER_TARGET_ATTAIN,
+            interval_ms: defaults::CONTROLLER_INTERVAL_MS,
+            step,
+            backoff,
+            min,
+            max,
+        }
+    }
+
+    /// Parses the one-line text form.
+    pub fn parse(line: &str) -> Result<ControllerSpec, SpecError> {
+        let mut tokens = line.split_whitespace();
+        let name = tokens
+            .next()
+            .ok_or_else(|| SpecError("empty controller spec".into()))?;
+        let law = LawKind::parse(name)?;
+        let mut pairs: Vec<(&str, &str)> = Vec::new();
+        for tok in tokens {
+            let (k, v) = tok.split_once('=').ok_or_else(|| {
+                SpecError(format!("controller parameter must be key=value, got `{tok}`"))
+            })?;
+            if pairs.iter().any(|&(seen, _)| seen == k) {
+                return Err(SpecError(format!("duplicate controller parameter `{k}`")));
+            }
+            pairs.push((k, v));
+        }
+        const KEYS: &[&str] = &["target_attain", "interval", "step", "backoff", "min", "max"];
+        for &(k, _) in &pairs {
+            if !KEYS.contains(&k) {
+                return Err(SpecError(format!(
+                    "unknown parameter `{k}` for controller `{name}` (allowed: {})",
+                    KEYS.join(", ")
+                )));
+            }
+        }
+        let take = |key: &str| pairs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+
+        let mut spec = ControllerSpec::law_default(law);
+        if let Some(v) = take("target_attain") {
+            spec.target_attain = parse_f64("target_attain", v)?;
+        }
+        if let Some(v) = take("interval") {
+            spec.interval_ms = parse_duration_ms(v)?;
+        }
+        if let Some(v) = take("step") {
+            spec.step = parse_f64("step", v)?;
+        }
+        if let Some(v) = take("backoff") {
+            spec.backoff = parse_f64("backoff", v)?;
+        }
+        if let Some(v) = take("min") {
+            spec.min = parse_f64("min", v)?;
+        }
+        if let Some(v) = take("max") {
+            spec.max = parse_f64("max", v)?;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Renders the canonical one-line text form (`parse(render(x)) == x`).
+    pub fn render(&self) -> String {
+        let d = ControllerSpec::law_default(self.law);
+        let mut out = self.law.name().to_owned();
+        if self.target_attain != d.target_attain {
+            out.push_str(&format!(" target_attain={}", fmt_f64(self.target_attain)));
+        }
+        if self.interval_ms != d.interval_ms {
+            out.push_str(&format!(" interval={}", render_duration_ms(self.interval_ms)));
+        }
+        if self.step != d.step {
+            out.push_str(&format!(" step={}", fmt_f64(self.step)));
+        }
+        if self.backoff != d.backoff {
+            out.push_str(&format!(" backoff={}", fmt_f64(self.backoff)));
+        }
+        if self.min != d.min {
+            out.push_str(&format!(" min={}", fmt_f64(self.min)));
+        }
+        if self.max != d.max {
+            out.push_str(&format!(" max={}", fmt_f64(self.max)));
+        }
+        out
+    }
+
+    /// Sanity-checks the tuning; [`ControllerSpec::parse`] calls this, and
+    /// hand-built specs should too before running.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if !(self.target_attain > 0.0 && self.target_attain <= 1.0) {
+            return Err(SpecError(format!(
+                "target_attain must be in (0, 1], got {}",
+                self.target_attain
+            )));
+        }
+        if !self.interval_ms.is_finite() || self.interval_ms <= 0.0 {
+            return Err(SpecError(format!(
+                "controller interval must be positive, got {}ms",
+                self.interval_ms
+            )));
+        }
+        if !self.step.is_finite() || self.step <= 0.0 {
+            return Err(SpecError(format!("step must be positive, got {}", self.step)));
+        }
+        if !(self.backoff > 0.0 && self.backoff < 1.0) {
+            return Err(SpecError(format!(
+                "backoff must be in (0, 1), got {}",
+                self.backoff
+            )));
+        }
+        if !(self.min > 0.0 && self.min < self.max) {
+            return Err(SpecError(format!(
+                "need 0 < min < max, got min={} max={}",
+                self.min, self.max
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn parse_f64(key: &str, v: &str) -> Result<f64, SpecError> {
+    let parsed: f64 = v
+        .parse()
+        .map_err(|_| SpecError(format!("`{key}` must be a number, got `{v}`")))?;
+    if !parsed.is_finite() {
+        return Err(SpecError(format!("`{key}` must be finite, got `{v}`")));
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_renders_canonically() {
+        for (input, canon) in [
+            ("aimd", "aimd"),
+            ("budget", "budget"),
+            ("gradient", "gradient"),
+            ("aimd target_attain=0.9", "aimd"),
+            ("budget  step=0.3   backoff=0.6", "budget step=0.3 backoff=0.6"),
+            ("aimd interval=500ms", "aimd interval=500ms"),
+            ("gradient target_attain=0.95 max=0.8", "gradient target_attain=0.95 max=0.8"),
+            ("budget min=0.01 max=0.4", "budget min=0.01 max=0.4"),
+        ] {
+            let spec =
+                ControllerSpec::parse(input).unwrap_or_else(|e| panic!("`{input}`: {e}"));
+            assert_eq!(spec.render(), canon, "input `{input}`");
+            assert_eq!(ControllerSpec::parse(canon).unwrap(), spec, "reparse `{canon}`");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_controller_lines() {
+        for bad in [
+            "",
+            "pid",
+            "aimd bogus=1",
+            "aimd step",
+            "aimd step=x",
+            "budget step=0.2 step=0.3",
+            "budget target_attain=0",
+            "budget target_attain=1.5",
+            "aimd interval=0ms",
+            "aimd interval=5",
+            "gradient step=-1",
+            "budget backoff=1",
+            "budget min=0.5 max=0.2",
+            "aimd min=0",
+        ] {
+            assert!(ControllerSpec::parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn laws_map_to_their_parameters() {
+        assert_eq!(LawKind::Aimd.param(), ControlParam::MaxUtilization);
+        assert_eq!(LawKind::Budget.param(), ControlParam::Allowance);
+        assert_eq!(LawKind::Gradient.param(), ControlParam::Alpha);
+        for law in [LawKind::Aimd, LawKind::Budget, LawKind::Gradient] {
+            assert_eq!(LawKind::parse(law.name()).unwrap(), law);
+            ControllerSpec::law_default(law).validate().unwrap();
+        }
+    }
+}

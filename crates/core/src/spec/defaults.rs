@@ -56,6 +56,47 @@ pub const LIQUID_ACCEPT_FRACTION_UTIL: f64 = 0.8;
 /// §5.4 shard-tier AcceptFraction threshold.
 pub const LIQUID_SHARD_MAX_UTILIZATION: f64 = 0.8;
 
+/// Adaptive controller (ADAPTIVE.md): default SLO-attainment target the
+/// control laws steer toward.
+pub const CONTROLLER_TARGET_ATTAIN: f64 = 0.9;
+
+/// Adaptive controller: default telemetry interval, milliseconds.
+pub const CONTROLLER_INTERVAL_MS: f64 = 1000.0;
+
+/// AIMD law on `max_utilization`: additive increase per good interval.
+pub const AIMD_STEP: f64 = 0.02;
+
+/// AIMD law: multiplicative decrease factor on a bad interval.
+pub const AIMD_BACKOFF: f64 = 0.7;
+
+/// AIMD law: `max_utilization` floor.
+pub const AIMD_MIN: f64 = 0.3;
+
+/// AIMD law: `max_utilization` ceiling.
+pub const AIMD_MAX: f64 = 0.98;
+
+/// Budget law on allowance `A`: multiplicative increase fraction per good
+/// interval (`A ← A·(1+step)`).
+pub const BUDGET_STEP: f64 = 0.25;
+
+/// Budget law: multiplicative decrease factor on a bad interval.
+pub const BUDGET_BACKOFF: f64 = 0.5;
+
+/// Budget law: allowance floor.
+pub const BUDGET_MIN: f64 = 0.005;
+
+/// Budget law: allowance ceiling.
+pub const BUDGET_MAX: f64 = 0.5;
+
+/// Gradient law on `α`: step size against the attainment spread.
+pub const GRADIENT_STEP: f64 = 0.25;
+
+/// Gradient law: `α` floor.
+pub const GRADIENT_MIN: f64 = 0.05;
+
+/// Gradient law: `α` ceiling.
+pub const GRADIENT_MAX: f64 = 1.0;
+
 /// The five §5.4 traffic points as fractions of measured saturation
 /// capacity (the paper's 36K–180K QPS axis, knee at the third point).
 pub const LIQUID_RATE_FACTORS: [f64; 5] = [0.42, 0.83, 1.25, 1.67, 2.08];

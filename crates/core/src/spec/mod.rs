@@ -20,6 +20,7 @@
 //! class.FAST = p=0.9 p50=4.5ms p90=12ms   # custom workloads only
 //! runtime  = sim                     # sim | liquid
 //! sim.parallelism = 100              # runtime sub-keys (see RuntimeSpec)
+//! controller = budget step=0.25      # optional adaptive controller
 //! policy         = bouncer           # unlabeled policy, or…
 //! policy.MaxQL   = maxql limit=400   # …labeled policies, order preserved
 //! param.allowances = 0.01 0.02 0.05  # named sweep lists for study benches
@@ -35,12 +36,14 @@
 //! JSONL event streams, and bench table headers, so every number in
 //! `results/` names the exact scenario that produced it.
 
+mod controller;
 pub mod defaults;
 pub mod kv;
 mod policy;
 mod runtime;
 mod workload;
 
+pub use controller::{ControllerSpec, LawKind};
 pub use policy::{BouncerParams, HistogramSpec, PolicyEnv, PolicySpec, RuleSpec};
 pub use runtime::{DisciplineSpec, LiquidSpec, RuntimeSpec, SimSpec, TransportSpec};
 pub use workload::{ClassSpec, WorkloadSpec};
@@ -131,6 +134,11 @@ pub struct ScenarioSpec {
     pub workload: WorkloadSpec,
     /// Where the scenario runs (simulator or liquid cluster).
     pub runtime: RuntimeSpec,
+    /// The optional adaptive controller closing the loop on the first
+    /// policy's tunable parameter (`None` = static parameters; runners
+    /// may also evaluate static variants of a controller scenario by
+    /// ignoring this).
+    pub controller: Option<ControllerSpec>,
     /// Policies under evaluation, `(label, spec)` in declaration order;
     /// the unlabeled `policy =` form gets an empty label.
     pub policies: Vec<(String, PolicySpec)>,
@@ -161,6 +169,7 @@ impl ScenarioSpec {
                 rate_factors: vec![defaults::CLI_RATE_FACTOR],
                 ..SimSpec::default()
             }),
+            controller: None,
             policies: vec![(String::new(), PolicySpec::Bouncer(BouncerParams::default()))],
             params: Vec::new(),
         }
@@ -178,6 +187,7 @@ impl ScenarioSpec {
         let mut classes = Vec::new();
         let mut runtime_kind: Option<String> = None;
         let mut runtime_keys: Vec<(String, String)> = Vec::new();
+        let mut controller: Option<ControllerSpec> = None;
         let mut policies: Vec<(String, PolicySpec)> = Vec::new();
         let mut params: Vec<(String, Vec<f64>)> = Vec::new();
 
@@ -223,6 +233,7 @@ impl ScenarioSpec {
                         )))
                     }
                 },
+                "controller" => controller = Some(ControllerSpec::parse(value)?),
                 "policy" => policies.push((String::new(), PolicySpec::parse(value)?)),
                 _ => {
                     if let Some(label) = key.strip_prefix("policy.") {
@@ -295,6 +306,7 @@ impl ScenarioSpec {
             slos,
             workload,
             runtime,
+            controller,
             policies,
             params,
         })
@@ -330,6 +342,9 @@ impl ScenarioSpec {
             lines.push(format!("class.{} = {}", class.name, class.render_value()));
         }
         self.runtime.render_lines(&mut lines);
+        if let Some(controller) = &self.controller {
+            lines.push(format!("controller = {}", controller.render()));
+        }
         for (label, policy) in &self.policies {
             if label.is_empty() {
                 lines.push(format!("policy = {}", policy.render()));
@@ -557,9 +572,29 @@ param.alphas = 0.1 0.5 1
             "name = x\nruns = 0\n",
             "name = x\nslo.default = p0=1ms\n",
             "name = x\nparam.sweep = \n",
+            "name = x\ncontroller = pid\n",
+            "name = x\ncontroller = aimd bogus=1\n",
         ] {
             assert!(ScenarioSpec::parse(bad).is_err(), "should reject: {bad}");
         }
+    }
+
+    #[test]
+    fn controller_key_round_trips_and_moves_the_hash() {
+        let text = "\
+name = adaptive
+controller = budget target_attain=0.95 step=0.3
+policy = bouncer+aa A=0.05
+";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        let ctrl = spec.controller.as_ref().expect("controller parsed");
+        assert_eq!(ctrl.law, LawKind::Budget);
+        assert_eq!(ctrl.target_attain, 0.95);
+        let reparsed = ScenarioSpec::parse(&spec.render()).unwrap();
+        assert_eq!(reparsed, spec);
+        let mut static_variant = spec.clone();
+        static_variant.controller = None;
+        assert_ne!(spec.content_hash(), static_variant.content_hash());
     }
 
     #[test]

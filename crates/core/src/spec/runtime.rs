@@ -69,6 +69,11 @@ pub struct SimSpec {
     /// Piecewise rate schedule as `offset:factor` pairs
     /// (`sim.rate_steps = 10s:1.5 20s:0.8`), offsets in simulated time.
     pub rate_steps: Vec<(f64, f64)>,
+    /// Mid-run traffic-mix shift offset, milliseconds of simulated time
+    /// (`sim.shift_at = 15s`). From this instant arrivals sample the
+    /// classes' `pshift` proportions instead of `p` (see `ClassSpec`);
+    /// without `pshift` columns the mix is unchanged.
+    pub shift_at: Option<f64>,
 }
 
 impl Default for SimSpec {
@@ -80,6 +85,7 @@ impl Default for SimSpec {
             queue_limit: None,
             discipline: DisciplineSpec::Fifo,
             rate_steps: Vec::new(),
+            shift_at: None,
         }
     }
 }
@@ -228,10 +234,13 @@ impl SimSpec {
                     })
                     .collect::<Result<Vec<_>, SpecError>>()?;
             }
+            "shift_at" => {
+                self.shift_at = Some(parse_duration_ms(value)?);
+            }
             other => {
                 return Err(SpecError(format!(
                     "unknown key `sim.{other}` (parallelism, rate_factors, rate_qps, \
-                     queue_limit, discipline, rate_steps)"
+                     queue_limit, discipline, rate_steps, shift_at)"
                 )))
             }
         }
@@ -267,6 +276,9 @@ impl SimSpec {
                 })
                 .collect();
             out.push(format!("sim.rate_steps = {}", steps.join(" ")));
+        }
+        if let Some(at_ms) = self.shift_at {
+            out.push(format!("sim.shift_at = {}", render_duration_ms(at_ms)));
         }
     }
 }
@@ -421,6 +433,7 @@ mod tests {
             ("sim.queue_limit", "400"),
             ("sim.discipline", "priority:0,0,0,1,2"),
             ("sim.rate_steps", "10s:1.5 20s:0.8"),
+            ("sim.shift_at", "15s"),
         ] {
             rt.apply_key(k, v).unwrap_or_else(|e| panic!("{k}: {e}"));
         }
@@ -435,6 +448,7 @@ mod tests {
                 "sim.queue_limit = 400",
                 "sim.discipline = priority:0,0,0,1,2",
                 "sim.rate_steps = 10s:1.5 20s:0.8",
+                "sim.shift_at = 15s",
             ]
         );
         // Re-applying the rendered keys reproduces the same spec.

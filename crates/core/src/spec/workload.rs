@@ -19,13 +19,17 @@ pub struct ClassSpec {
     pub median_ms: f64,
     /// 90th-percentile processing time, milliseconds.
     pub p90_ms: f64,
+    /// Post-shift arrival proportion (`pshift=0.55`), sampled from
+    /// `sim.shift_at` onwards. `None` = class keeps `p` after the shift.
+    /// When any class sets `pshift`, all must, and they must sum to ~1.
+    pub pshift: Option<f64>,
 }
 
 impl ClassSpec {
     /// Parses the value side of a `class.<NAME>` line:
     /// `p=0.9 p50=4.5ms p90=12ms`.
     pub fn parse(name: &str, value: &str) -> Result<ClassSpec, SpecError> {
-        let (mut p, mut p50, mut p90) = (None, None, None);
+        let (mut p, mut p50, mut p90, mut pshift) = (None, None, None, None);
         for tok in value.split_whitespace() {
             let (k, v) = tok.split_once('=').ok_or_else(|| {
                 SpecError(format!("class `{name}`: expected key=value, got `{tok}`"))
@@ -34,9 +38,10 @@ impl ClassSpec {
                 "p" => &mut p,
                 "p50" => &mut p50,
                 "p90" => &mut p90,
+                "pshift" => &mut pshift,
                 other => {
                     return Err(SpecError(format!(
-                        "class `{name}`: unknown key `{other}` (p, p50, p90)"
+                        "class `{name}`: unknown key `{other}` (p, p50, p90, pshift)"
                     )))
                 }
             };
@@ -56,22 +61,41 @@ impl ClassSpec {
                 "class `{name}`: proportion must be in [0, 1], got `{p}`"
             )));
         }
+        let pshift = match pshift {
+            None => None,
+            Some(v) => {
+                let shifted: f64 = v.parse().map_err(|_| {
+                    SpecError(format!("class `{name}`: bad shifted proportion `{v}`"))
+                })?;
+                if !(0.0..=1.0).contains(&shifted) {
+                    return Err(SpecError(format!(
+                        "class `{name}`: pshift must be in [0, 1], got `{v}`"
+                    )));
+                }
+                Some(shifted)
+            }
+        };
         Ok(ClassSpec {
             name: name.to_string(),
             proportion,
             median_ms: parse_duration_ms(p50)?,
             p90_ms: parse_duration_ms(p90)?,
+            pshift,
         })
     }
 
     /// Renders the value side of this class's `class.<NAME>` line.
     pub fn render_value(&self) -> String {
-        format!(
+        let mut s = format!(
             "p={} p50={} p90={}",
             fmt_f64(self.proportion),
             render_duration_ms(self.median_ms),
             render_duration_ms(self.p90_ms)
-        )
+        );
+        if let Some(shifted) = self.pshift {
+            s.push_str(&format!(" pshift={}", fmt_f64(shifted)));
+        }
+        s
     }
 }
 
@@ -119,6 +143,20 @@ impl WorkloadSpec {
                     "custom class proportions must sum to 1, got {sum}"
                 )));
             }
+            let shifted = classes.iter().filter(|c| c.pshift.is_some()).count();
+            if shifted > 0 {
+                if shifted != classes.len() {
+                    return Err(SpecError(
+                        "when any class sets `pshift`, every class must".into(),
+                    ));
+                }
+                let sum: f64 = classes.iter().filter_map(|c| c.pshift).sum();
+                if (sum - 1.0).abs() > 1e-3 {
+                    return Err(SpecError(format!(
+                        "custom class `pshift` proportions must sum to 1, got {sum}"
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -138,10 +176,26 @@ mod tests {
                 proportion: 0.9,
                 median_ms: 4.5,
                 p90_ms: 12.0,
+                pshift: None,
             }
         );
         assert_eq!(c.render_value(), "p=0.9 p50=4.5ms p90=12ms");
         assert_eq!(ClassSpec::parse("FAST", &c.render_value()).unwrap(), c);
+    }
+
+    #[test]
+    fn shifted_class_lines_round_trip() {
+        let c = ClassSpec::parse("SLOW", "p=0.15 p50=14ms p90=40ms pshift=0.55").unwrap();
+        assert_eq!(c.pshift, Some(0.55));
+        assert_eq!(c.render_value(), "p=0.15 p50=14ms p90=40ms pshift=0.55");
+        assert_eq!(ClassSpec::parse("SLOW", &c.render_value()).unwrap(), c);
+        for bad in [
+            "p=0.15 p50=14ms p90=40ms pshift=1.5",
+            "p=0.15 p50=14ms p90=40ms pshift=abc",
+            "p=0.15 p50=14ms p90=40ms pshift=0.5 pshift=0.5",
+        ] {
+            assert!(ClassSpec::parse("X", bad).is_err(), "should reject `{bad}`");
+        }
     }
 
     #[test]
@@ -170,5 +224,26 @@ mod tests {
         assert!(bad.validate().is_err());
         assert!(WorkloadSpec::Custom(vec![]).validate().is_err());
         assert!(WorkloadSpec::PaperTable1.validate().is_ok());
+    }
+
+    #[test]
+    fn shifted_proportions_validate_jointly() {
+        let ok = WorkloadSpec::Custom(vec![
+            ClassSpec::parse("A", "p=0.85 p50=1ms p90=2ms pshift=0.45").unwrap(),
+            ClassSpec::parse("B", "p=0.15 p50=1ms p90=2ms pshift=0.55").unwrap(),
+        ]);
+        assert!(ok.validate().is_ok());
+        // Some classes shifted, some not.
+        let partial = WorkloadSpec::Custom(vec![
+            ClassSpec::parse("A", "p=0.85 p50=1ms p90=2ms pshift=0.45").unwrap(),
+            ClassSpec::parse("B", "p=0.15 p50=1ms p90=2ms").unwrap(),
+        ]);
+        assert!(partial.validate().is_err());
+        // Shifted proportions must sum to ~1.
+        let lopsided = WorkloadSpec::Custom(vec![
+            ClassSpec::parse("A", "p=0.85 p50=1ms p90=2ms pshift=0.45").unwrap(),
+            ClassSpec::parse("B", "p=0.15 p50=1ms p90=2ms pshift=0.95").unwrap(),
+        ]);
+        assert!(lopsided.validate().is_err());
     }
 }

@@ -7,8 +7,9 @@
 //! shortest-round-trip form); the strategies just keep the values readable.
 
 use bouncer_core::spec::{
-    BouncerParams, ClassSpec, DisciplineSpec, HistogramSpec, LiquidSpec, PolicySpec, RuleSpec,
-    RuntimeSpec, ScenarioSpec, SimSpec, SloEntrySpec, TransportSpec, WorkloadSpec,
+    BouncerParams, ClassSpec, ControllerSpec, DisciplineSpec, HistogramSpec, LawKind, LiquidSpec,
+    PolicySpec, RuleSpec, RuntimeSpec, ScenarioSpec, SimSpec, SloEntrySpec, TransportSpec,
+    WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -85,10 +86,16 @@ fn arb_workload() -> BoxedStrategy<WorkloadSpec> {
     prop_oneof![
         Just(WorkloadSpec::PaperTable1),
         Just(WorkloadSpec::Liquid),
-        (ident(), prop::collection::vec((dur_ms(), dur_ms()), 1..5)).prop_map(
-            |(prefix, times)| {
+        (
+            ident(),
+            prop::collection::vec((dur_ms(), dur_ms()), 1..5),
+            any::<bool>(),
+        )
+            .prop_map(|(prefix, times, shifted)| {
                 // Equal proportions sum to 1 within the format's 1e-3
                 // tolerance even when 1/n is not exactly representable.
+                // `pshift` is all-or-none per the validation rule, so the
+                // shifted variant gives every class the same equal share.
                 let n = times.len();
                 WorkloadSpec::Custom(
                     times
@@ -99,11 +106,11 @@ fn arb_workload() -> BoxedStrategy<WorkloadSpec> {
                             proportion: 1.0 / n as f64,
                             median_ms,
                             p90_ms,
+                            pshift: shifted.then(|| 1.0 / n as f64),
                         })
                         .collect(),
                 )
-            }
-        ),
+            }),
     ]
     .boxed()
 }
@@ -124,10 +131,13 @@ fn arb_sim() -> BoxedStrategy<SimSpec> {
         prop::option::of(pos_frac().prop_map(|f| f * 1000.0)),
         prop::option::of(1u64..5000),
         arb_discipline(),
-        prop::collection::vec((dur_ms(), pos_frac()), 0..3),
+        (
+            prop::collection::vec((dur_ms(), pos_frac()), 0..3),
+            prop::option::of(dur_ms()),
+        ),
     )
         .prop_map(
-            |(parallelism, rate_factors, rate_qps, queue_limit, discipline, rate_steps)| {
+            |(parallelism, rate_factors, rate_qps, queue_limit, discipline, (rate_steps, shift_at))| {
                 SimSpec {
                     parallelism,
                     rate_factors,
@@ -135,6 +145,7 @@ fn arb_sim() -> BoxedStrategy<SimSpec> {
                     queue_limit,
                     discipline,
                     rate_steps,
+                    shift_at,
                 }
             },
         )
@@ -255,6 +266,32 @@ fn arb_params() -> BoxedStrategy<Vec<(String, Vec<f64>)>> {
         .boxed()
 }
 
+/// Controller specs with dyadic fields; `min < max` by construction.
+fn arb_controller() -> BoxedStrategy<ControllerSpec> {
+    (
+        prop_oneof![
+            Just(LawKind::Aimd),
+            Just(LawKind::Budget),
+            Just(LawKind::Gradient),
+        ],
+        1u32..=256,
+        dur_ms(),
+        pos_frac(),
+        1u32..256,
+        (1u32..128, 129u32..1024),
+    )
+        .prop_map(|(law, ta, interval_ms, step, backoff, (mn, mx))| ControllerSpec {
+            law,
+            target_attain: ta as f64 / 256.0,
+            interval_ms,
+            step,
+            backoff: backoff as f64 / 256.0,
+            min: mn as f64 / 256.0,
+            max: mx as f64 / 256.0,
+        })
+        .boxed()
+}
+
 fn arb_scenario() -> BoxedStrategy<ScenarioSpec> {
     (
         (
@@ -266,12 +303,19 @@ fn arb_scenario() -> BoxedStrategy<ScenarioSpec> {
         ),
         arb_slos(),
         arb_workload(),
-        arb_runtime(),
+        (arb_runtime(), prop::option::of(arb_controller())),
         arb_policies(),
         arb_params(),
     )
         .prop_map(
-            |((name, seed, runs, measured, warmup), slos, workload, runtime, policies, params)| {
+            |(
+                (name, seed, runs, measured, warmup),
+                slos,
+                workload,
+                (runtime, controller),
+                policies,
+                params,
+            )| {
                 ScenarioSpec {
                     name,
                     seed,
@@ -281,6 +325,7 @@ fn arb_scenario() -> BoxedStrategy<ScenarioSpec> {
                     slos,
                     workload,
                     runtime,
+                    controller,
                     policies,
                     params,
                 }
@@ -317,6 +362,16 @@ proptest! {
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
         prop_assert_eq!(&reparsed.workload, &spec.workload);
         prop_assert_eq!(&reparsed.runtime, &spec.runtime);
+    }
+
+    /// Controller one-liners lose nothing: every generated spec reparses
+    /// from its canonical (default-omitting) rendering to an equal value.
+    #[test]
+    fn controller_specs_round_trip(spec in arb_controller()) {
+        let rendered = spec.render();
+        let reparsed = ControllerSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("reparse of `{rendered}` failed: {e}"));
+        prop_assert_eq!(&reparsed, &spec, "rendered as `{}`", rendered);
     }
 
     /// Full scenarios round-trip, and the content hash is a function of the

@@ -9,10 +9,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bouncer_core::control::{ControlTap, Controller};
 use bouncer_core::obs::{EventSink, Tracer};
 use bouncer_core::policy::{AcceptFraction, AcceptFractionConfig, AdmissionPolicy};
+use bouncer_core::spec::ControllerSpec;
 use bouncer_core::types::TypeRegistry;
-use bouncer_metrics::{Clock, MonotonicClock};
+use bouncer_metrics::{Clock, MonotonicClock, Nanos};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -29,6 +31,24 @@ pub enum TransportKind {
     InProc,
     /// Real TCP over loopback with framed multiplexing.
     Tcp,
+}
+
+/// Closed-loop retuning of the broker tier (ADAPTIVE.md): one controller
+/// observes the merged broker event stream and stages its law's parameter
+/// into every broker policy; each broker installs the value at its own
+/// tick boundary.
+#[derive(Debug, Clone)]
+pub struct ClusterController {
+    /// The control law and its gains (the scenario `controller =` line).
+    pub spec: ControllerSpec,
+    /// Initial parameter value the loop starts from (normally the value
+    /// the broker policies were built with).
+    pub initial: f64,
+    /// Per-type SLO tail targets scoring completions for the attainment
+    /// signal, indexed by `TypeId::index()`
+    /// (see [`bouncer_core::control::slo_tail_targets`]). Types beyond
+    /// the vector — or `None` entries — never count as misses.
+    pub slo_tails: Vec<Option<Nanos>>,
 }
 
 /// Cluster parameters.
@@ -57,6 +77,11 @@ pub struct ClusterConfig {
     /// unless that host's own config already names one. Every host shares
     /// the cluster clock, so span timestamps are directly comparable.
     pub tracer: Option<Arc<Tracer>>,
+    /// Optional adaptive controller over the broker tier. Only broker
+    /// gate events feed it (the shard tier keeps its static
+    /// AcceptFraction guard), and it interposes on the broker sink, so
+    /// the downstream sink still sees every event.
+    pub controller: Option<ClusterController>,
 }
 
 impl Default for ClusterConfig {
@@ -72,6 +97,7 @@ impl Default for ClusterConfig {
             tcp_connections: 4,
             sink: None,
             tracer: None,
+            controller: None,
         }
     }
 }
@@ -85,6 +111,7 @@ pub struct Cluster {
     shards: Vec<Arc<ShardHost>>,
     servers: Vec<TcpShardServer>,
     round_robin: AtomicUsize,
+    controller: Option<Arc<Controller>>,
 }
 
 impl Cluster {
@@ -116,6 +143,20 @@ impl Cluster {
         if broker_cfg.tracer.is_none() {
             broker_cfg.tracer = cfg.tracer.clone();
         }
+        // The Observe tap interposes on the (shared) broker sink: every
+        // broker gate event folds into the controller's telemetry and is
+        // forwarded downstream untouched.
+        let controller = cfg.controller.as_ref().map(|cc| {
+            let controller = Arc::new(Controller::new(cc.spec.clone(), cc.initial));
+            let tap = Arc::new(ControlTap::new(
+                Arc::clone(&controller),
+                cc.slo_tails.clone(),
+                broker_cfg.sink.take(),
+            ));
+            controller.attach_sink(tap.clone());
+            broker_cfg.sink = Some(tap);
+            controller
+        });
 
         let shards: Vec<Arc<ShardHost>> = (0..cfg.n_shards)
             .map(|s| {
@@ -166,6 +207,9 @@ impl Cluster {
         let brokers: Vec<Arc<Broker>> = (0..cfg.n_brokers)
             .map(|_| {
                 let policy = broker_policy(&registry, cfg.broker.engines);
+                if let Some(c) = &controller {
+                    c.attach_policy(Arc::clone(&policy));
+                }
                 Broker::spawn(
                     make_clients(&mut servers),
                     policy,
@@ -183,7 +227,14 @@ impl Cluster {
             shards,
             servers,
             round_robin: AtomicUsize::new(0),
+            controller,
         }
+    }
+
+    /// The adaptive controller over the broker tier, when one was
+    /// configured ([`ClusterConfig::controller`]).
+    pub fn controller(&self) -> Option<&Arc<Controller>> {
+        self.controller.as_ref()
     }
 
     /// The clock every host in this cluster stamps events and spans with.
@@ -500,6 +551,53 @@ mod tests {
         assert!(kind_count(|k| matches!(k, SpanKind::ShardQueue { .. })) > 0);
         assert!(kind_count(|k| matches!(k, SpanKind::ShardService { .. })) > 0);
         assert!(kind_count(|k| matches!(k, SpanKind::SubQuery { .. })) > 0);
+    }
+
+    #[test]
+    fn cluster_controller_retunes_broker_policies() {
+        use bouncer_core::obs::MemorySink;
+        let spec = ControllerSpec::parse("aimd interval=40ms step=0.01").unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let cfg = ClusterConfig {
+            sink: Some(sink.clone()),
+            controller: Some(ClusterController {
+                spec,
+                initial: 0.5,
+                // No tail targets: every completion attains, so AIMD
+                // additively raises max_utilization each interval.
+                slo_tails: Vec::new(),
+            }),
+            ..tiny_config()
+        };
+        let cluster = Cluster::spawn(&cfg, |_reg, p| {
+            Arc::new(AcceptFraction::new(AcceptFractionConfig::new(0.5, p)))
+        });
+        let controller = Arc::clone(cluster.controller().expect("controller wired"));
+        let deadline = Instant::now() + Duration::from_millis(400);
+        let mut u = 0u32;
+        while Instant::now() < deadline {
+            let _ = cluster.execute(Query {
+                kind: QueryKind::Qt1Degree,
+                u: u % 1_000,
+                v: 0,
+            });
+            u += 1;
+        }
+        cluster.shutdown();
+
+        let decisions = controller.decisions();
+        assert!(!decisions.is_empty(), "no closed intervals in 400ms");
+        assert!(
+            controller.current_value() > 0.5,
+            "attaining load should raise max_utilization, got {}",
+            controller.current_value()
+        );
+        // Decisions reached the event stream through the tap, and the
+        // downstream sink still saw the broker lifecycle events.
+        let events = sink.events();
+        let count = |n: &str| events.iter().filter(|e| e.name() == n).count();
+        assert_eq!(count("controller_decision"), decisions.len());
+        assert!(count("admitted") > 0);
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub struct SimConfig {
     /// motivate the paper (§1): e.g. `[(0, 1.0), (10s, 1.5), (30s, 1.0)]`
     /// is a 20-second 1.5× surge. Empty = constant rate.
     pub rate_steps: Vec<(Nanos, f64)>,
+    /// Optional mid-run traffic-mix shift: from the given virtual time on,
+    /// arrivals sample the second mix instead of `mix`. Models the mix
+    /// drift the adaptive control plane reacts to; the two mixes must come
+    /// from the same type registry. `None` = static mix.
+    pub mix_shift: Option<(Nanos, QueryMix)>,
     /// Content hash of the scenario this run was constructed from
     /// (`ScenarioSpec::content_hash`), stamped into the [`SimResult`] and
     /// emitted as a `scenario` event at stream start when observing.
@@ -80,6 +85,7 @@ impl SimConfig {
             max_queue_len: None,
             discipline: SimDiscipline::Fifo,
             rate_steps: Vec::new(),
+            mix_shift: None,
             scenario_hash: None,
             sink: None,
             tracer: None,
@@ -127,7 +133,12 @@ enum Event {
 /// drains, and returns the measured statistics.
 pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> SimResult {
     assert!(cfg.parallelism > 0 && cfg.rate_qps > 0.0);
-    let n_types = mix.max_type_index();
+    let n_types = mix.max_type_index().max(
+        cfg.mix_shift
+            .as_ref()
+            .map(|(_, m)| m.max_type_index())
+            .unwrap_or(0),
+    );
     let stats = ServerStats::new(n_types);
     stats.disable(); // warm-up first
 
@@ -163,6 +174,29 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
         let arrivals = Exponential::new(rate / SECOND as f64); // events per ns
         (arrivals.sample(rng) as Nanos).max(1)
     };
+    // Draws the next arrival: its time, type, and processing time. With a
+    // mix shift configured the arrival *time* picks the mix, so the gap is
+    // drawn first; without one the original draw order is preserved (same
+    // seed, same run).
+    let next_arrival = |now: Nanos, rng: &mut SmallRng| -> (Nanos, TypeId, Nanos) {
+        match &cfg.mix_shift {
+            None => {
+                let class = mix.sample_class(rng);
+                let pt = class.sample_processing(rng);
+                (now + gap_at(now, rng), class.ty, pt)
+            }
+            Some((shift_at, shifted)) => {
+                let at = now + gap_at(now, rng);
+                let class = if at >= *shift_at {
+                    shifted.sample_class(rng)
+                } else {
+                    mix.sample_class(rng)
+                };
+                let pt = class.sample_processing(rng);
+                (at, class.ty, pt)
+            }
+        }
+    };
 
     let mut heap: BinaryHeap<Reverse<(EventKey, u64)>> = BinaryHeap::new();
     let mut events: Vec<Event> = Vec::new();
@@ -186,10 +220,8 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
 
     // Seed the event stream.
     {
-        let class = mix.sample_class(&mut rng);
-        let pt = class.sample_processing(&mut rng);
-        let at = gap_at(0, &mut rng);
-        schedule(&mut heap, &mut events, at, Event::Arrival { ty: class.ty, pt });
+        let (at, ty, pt) = next_arrival(0, &mut rng);
+        schedule(&mut heap, &mut events, at, Event::Arrival { ty, pt });
     }
     schedule(&mut heap, &mut events, cfg.tick_interval, Event::Tick);
 
@@ -290,15 +322,8 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
                 }
 
                 if generated < total_arrivals {
-                    let class = mix.sample_class(&mut rng);
-                    let pt = class.sample_processing(&mut rng);
-                    let gap = gap_at(now, &mut rng);
-                    schedule(
-                        &mut heap,
-                        &mut events,
-                        now + gap,
-                        Event::Arrival { ty: class.ty, pt },
-                    );
+                    let (at, ty, pt) = next_arrival(now, &mut rng);
+                    schedule(&mut heap, &mut events, at, Event::Arrival { ty, pt });
                 }
             }
             Event::Completion {

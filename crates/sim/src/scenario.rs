@@ -9,13 +9,14 @@
 
 use std::sync::Arc;
 
+use bouncer_core::control::{slo_tail_targets, ControlParam, ControlTap, Controller};
 use bouncer_core::policy::AdmissionPolicy;
 use bouncer_core::slo::SloConfig;
 use bouncer_core::slo_spec::SpecError;
 use bouncer_core::spec::{DisciplineSpec, PolicyEnv, PolicySpec, ScenarioSpec, SimSpec};
 use bouncer_core::types::TypeRegistry;
 use bouncer_metrics::time::millis_f64;
-use bouncer_workload::mix::{build_mix, QueryMix};
+use bouncer_workload::mix::{build_mix, build_shift_mix, QueryMix};
 
 use crate::engine::{run, SimConfig};
 use crate::queue::SimDiscipline;
@@ -27,24 +28,28 @@ pub struct ScenarioSim {
     spec: ScenarioSpec,
     registry: TypeRegistry,
     mix: QueryMix,
+    shift_mix: Option<QueryMix>,
     slos: SloConfig,
     full_load: f64,
 }
 
 impl ScenarioSim {
     /// Resolves `spec` (which must select the sim runtime): registers the
-    /// workload types, builds the mix and SLO table, and computes
+    /// workload types, builds the mix (and the post-shift mix, for
+    /// workloads with `pshift` classes) and SLO table, and computes
     /// `QPS_full_load` for the spec's parallelism.
     pub fn new(spec: ScenarioSpec) -> Result<ScenarioSim, SpecError> {
         let sim = spec.sim()?.clone();
         let mut registry = TypeRegistry::new();
         let mix = build_mix(&spec.workload, &mut registry)?;
+        let shift_mix = build_shift_mix(&spec.workload, &mut registry)?;
         let slos = spec.slos(&registry)?;
         let full_load = mix.qps_full_load(sim.parallelism);
         Ok(ScenarioSim {
             spec,
             registry,
             mix,
+            shift_mix,
             slos,
             full_load,
         })
@@ -124,6 +129,9 @@ impl ScenarioSim {
             .iter()
             .map(|&(at_ms, factor)| (millis_f64(at_ms), factor))
             .collect();
+        if let (Some(at_ms), Some(shifted)) = (sim.shift_at, &self.shift_mix) {
+            cfg.mix_shift = Some((millis_f64(at_ms), shifted.clone()));
+        }
         if let Some(measured) = self.spec.measured {
             cfg.measured_queries = measured;
         }
@@ -139,12 +147,63 @@ impl ScenarioSim {
         self.sim_config(self.full_load * factor, seed)
     }
 
+    /// Wires up the scenario's adaptive control plane, when its spec has a
+    /// `controller` line: builds a [`Controller`] seeded from the labeled
+    /// policy's own value of the controlled parameter, attaches `policy`
+    /// as the Act target, and interposes a [`ControlTap`] between the
+    /// engine and `cfg.sink` as the Observe step. Returns the controller
+    /// for post-run inspection of its decision history; `Ok(None)` when
+    /// the scenario is static. Runners evaluating statically-tuned
+    /// variants of an adaptive scenario simply skip this call.
+    pub fn attach_controller(
+        &self,
+        label: &str,
+        policy: &Arc<dyn AdmissionPolicy>,
+        cfg: &mut SimConfig,
+    ) -> Result<Option<Arc<Controller>>, SpecError> {
+        let Some(cspec) = &self.spec.controller else {
+            return Ok(None);
+        };
+        let param = cspec.law.param();
+        let initial = initial_param(self.spec.policy(label)?, param)
+            .unwrap_or((cspec.min + cspec.max) / 2.0);
+        let controller = Arc::new(Controller::new(cspec.clone(), initial));
+        controller.attach_policy(Arc::clone(policy));
+        let tails = slo_tail_targets(&self.slos, self.registry.len());
+        let tap = Arc::new(ControlTap::new(
+            Arc::clone(&controller),
+            tails,
+            cfg.sink.take(),
+        ));
+        controller.attach_sink(tap.clone());
+        cfg.sink = Some(tap);
+        Ok(Some(controller))
+    }
+
     /// Runs the labeled policy at `factor × QPS_full_load` — the
-    /// `ScenarioSpec::run` entry point for single runs.
+    /// `ScenarioSpec::run` entry point for single runs. Scenarios with a
+    /// `controller` line run closed-loop.
     pub fn run(&self, label: &str, factor: f64, seed: u64) -> Result<SimResult, SpecError> {
         let policy = self.build_policy(label, seed)?;
-        let cfg = self.sim_config_at_factor(factor, seed);
+        let mut cfg = self.sim_config_at_factor(factor, seed);
+        self.attach_controller(label, &policy, &mut cfg)?;
         Ok(run(policy.as_ref(), &self.mix, &cfg))
+    }
+}
+
+/// The labeled policy's own value of `param`, used to seed the controller
+/// so the loop starts from the operator's configuration rather than a
+/// band edge. `None` when the policy doesn't carry the parameter.
+fn initial_param(policy: &PolicySpec, param: ControlParam) -> Option<f64> {
+    match (param, policy) {
+        (ControlParam::MaxUtilization, PolicySpec::AcceptFraction { max_utilization }) => {
+            Some(*max_utilization)
+        }
+        (ControlParam::Allowance, PolicySpec::BouncerAllowance { allowance, .. }) => {
+            Some(*allowance)
+        }
+        (ControlParam::Alpha, PolicySpec::BouncerUnderserved { alpha, .. }) => Some(*alpha),
+        _ => None,
     }
 }
 
@@ -196,5 +255,65 @@ mod tests {
     fn liquid_scenarios_are_rejected() {
         let spec = ScenarioSpec::parse("name = l\nruntime = liquid\npolicy = always\n").unwrap();
         assert!(ScenarioSim::new(spec).is_err());
+    }
+
+    fn adaptive_spec() -> ScenarioSpec {
+        ScenarioSpec::parse(
+            "name = adaptive\nseed = 3\nmeasured = 60000\nwarmup = 5000\n\
+             slo.default = p50=18ms p90=50ms\nworkload = custom\n\
+             class.FAST = p=0.85 p50=2ms p90=5ms pshift=0.45\n\
+             class.SLOW = p=0.15 p50=14ms p90=40ms pshift=0.55\n\
+             runtime = sim\nsim.parallelism = 20\nsim.rate_factors = 1.4\n\
+             sim.shift_at = 2s\n\
+             controller = budget target_attain=0.95 step=0.25\n\
+             policy = bouncer+aa A=0.05\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mix_shift_reaches_the_sim_config() {
+        let sim = ScenarioSim::new(adaptive_spec()).unwrap();
+        let cfg = sim.sim_config(1000.0, 3);
+        let (at, shifted) = cfg.mix_shift.as_ref().expect("shift configured");
+        assert_eq!(*at, bouncer_metrics::time::secs(2));
+        let slow = shifted
+            .classes()
+            .iter()
+            .find(|c| c.name == "SLOW")
+            .expect("SLOW survives the shift");
+        assert!((slow.proportion - 0.55).abs() < 1e-9);
+        // Without `sim.shift_at` the pshift columns alone change nothing.
+        let mut spec = adaptive_spec();
+        if let bouncer_core::spec::RuntimeSpec::Sim(s) = &mut spec.runtime {
+            s.shift_at = None;
+        }
+        let cfg = ScenarioSim::new(spec).unwrap().sim_config(1000.0, 3);
+        assert!(cfg.mix_shift.is_none());
+    }
+
+    #[test]
+    fn adaptive_scenarios_run_closed_loop() {
+        let sim = ScenarioSim::new(adaptive_spec()).unwrap();
+        let policy = sim.build_policy("", 3).unwrap();
+        let mut cfg = sim.sim_config_at_factor(1.4, 3);
+        let controller = sim
+            .attach_controller("", &policy, &mut cfg)
+            .unwrap()
+            .expect("spec has a controller");
+        // Seeded from the policy's own A, not the band midpoint.
+        assert_eq!(controller.current_value(), 0.05);
+        let result = run(policy.as_ref(), sim.mix(), &cfg);
+        assert!(result.stats.total_received() > 0);
+        assert!(
+            !controller.decisions().is_empty(),
+            "the loop must have closed at least one interval"
+        );
+        // Static scenarios wire nothing.
+        let sim = ScenarioSim::new(tiny_spec("")).unwrap();
+        let policy = sim.build_policy("", 7).unwrap();
+        let mut cfg = sim.sim_config(1000.0, 7);
+        assert!(sim.attach_controller("", &policy, &mut cfg).unwrap().is_none());
+        assert!(cfg.sink.is_none(), "no tap interposed without a controller");
     }
 }

@@ -187,6 +187,34 @@ pub fn build_mix(
     }
 }
 
+/// Builds the post-shift mix of a custom workload whose classes carry
+/// `pshift` proportions (`Ok(None)` when they don't — the mix never
+/// changes). Call after [`build_mix`]: type registration is idempotent,
+/// so both mixes share type ids. Classes shifted to `pshift=0` drop out
+/// of the returned mix entirely.
+pub fn build_shift_mix(
+    spec: &WorkloadSpec,
+    registry: &mut TypeRegistry,
+) -> Result<Option<QueryMix>, SpecError> {
+    let classes = spec.classes();
+    if classes.iter().all(|c| c.pshift.is_none()) {
+        return Ok(None);
+    }
+    spec.validate()?;
+    Ok(Some(QueryMix::new(
+        classes
+            .iter()
+            .filter(|c| c.pshift.unwrap_or(0.0) > 0.0)
+            .map(|c| QueryClass {
+                ty: registry.register(&c.name),
+                name: c.name.clone(),
+                proportion: c.pshift.unwrap(),
+                processing_ms: LogNormal::from_median_p90(c.median_ms, c.p90_ms),
+            })
+            .collect(),
+    )))
+}
+
 /// The published production query mix of §5.4 (types sorted by cost,
 /// ascending): proportions for QT1..QT11.
 pub const LIQUID_MIX_PROPORTIONS: [(&str, f64); 11] = [
@@ -254,21 +282,44 @@ mod tests {
                 proportion: 0.9,
                 median_ms: 4.5,
                 p90_ms: 12.0,
+                pshift: None,
             },
             ClassSpec {
                 name: "SLOW".into(),
                 proportion: 0.1,
                 median_ms: 12.51,
                 p90_ms: 44.26,
+                pshift: None,
             },
         ]);
         let mut reg3 = TypeRegistry::new();
         let mix = build_mix(&custom, &mut reg3).unwrap();
         assert_eq!(mix.classes()[0].processing_ms.median(), 4.5);
         assert!(reg3.resolve("SLOW").is_some());
+        assert!(build_shift_mix(&custom, &mut reg3).unwrap().is_none());
 
         let mut reg4 = TypeRegistry::new();
         assert!(build_mix(&WorkloadSpec::Liquid, &mut reg4).is_err());
+    }
+
+    #[test]
+    fn shift_mix_reuses_type_ids_and_drops_zero_classes() {
+        use bouncer_core::spec::ClassSpec;
+
+        let spec = WorkloadSpec::Custom(vec![
+            ClassSpec::parse("FAST", "p=0.85 p50=2ms p90=5ms pshift=0").unwrap(),
+            ClassSpec::parse("SLOW", "p=0.15 p50=14ms p90=40ms pshift=1").unwrap(),
+        ]);
+        let mut reg = TypeRegistry::new();
+        let base = build_mix(&spec, &mut reg).unwrap();
+        let shifted = build_shift_mix(&spec, &mut reg).unwrap().unwrap();
+        // FAST shifted to zero: only SLOW remains, with the same type id
+        // it had in the base mix.
+        assert_eq!(shifted.classes().len(), 1);
+        assert_eq!(shifted.classes()[0].name, "SLOW");
+        assert_eq!(shifted.classes()[0].ty, base.classes()[1].ty);
+        // default + FAST + SLOW, and no more after the shift build.
+        assert_eq!(reg.len(), 3, "shift build must not mint new types");
     }
 
     #[test]

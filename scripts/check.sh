@@ -22,7 +22,10 @@ echo "==> scenario gate: benches/examples construct policies only via the spec l
 # or calls a policy constructor directly bypasses the registry — the one
 # construction path the scenario layer guarantees. AlwaysAccept is exempt
 # (pass-through brokers in capacity probes and data-path microbenches).
-GATE_PATTERN='type MakePolicy|Bouncer::new\(|AcceptanceAllowance::new\(|HelpingTheUnderserved::new\(|MaxQueueLength::new\(|MaxQueueWaitTime::new\(|with_per_type_limits\(|AcceptFraction::new\(|GatekeeperStyle::new\('
+# Controller::new / ControlTap::new are gated for the same reason: a
+# control loop whose law/cadence/clamps aren't declared in a scenario's
+# `controller =` line can't be reproduced from the spec hash.
+GATE_PATTERN='type MakePolicy|Bouncer::new\(|AcceptanceAllowance::new\(|HelpingTheUnderserved::new\(|MaxQueueLength::new\(|MaxQueueWaitTime::new\(|with_per_type_limits\(|AcceptFraction::new\(|GatekeeperStyle::new\(|Controller::new\(|ControlTap::new\('
 if VIOLATIONS=$(grep -rnE "$GATE_PATTERN" crates/bench/benches examples); then
     echo "policy constructed outside bouncer_core::spec:" >&2
     printf '%s\n' "$VIOLATIONS" >&2
@@ -32,11 +35,10 @@ fi
 echo "==> scenario gate: checked-in scenarios parse and match scenarios/MANIFEST"
 # scenario-hash parses every file (a malformed scenario fails here) and
 # prints its canonical content hash; the diff catches edits that forgot to
-# regenerate the manifest:
-#   cargo run --release -p bouncer-cli -- scenario-hash scenarios/*.scn > scenarios/MANIFEST
+# regenerate the manifest.
 cargo run -q --release --offline -p bouncer-cli -- scenario-hash scenarios/*.scn \
     | diff - scenarios/MANIFEST || {
-    echo "scenarios/MANIFEST is stale — regenerate it with scenario-hash" >&2
+    echo "scenarios/MANIFEST is stale — run scripts/regen-manifest.sh and commit the result" >&2
     exit 1
 }
 
@@ -132,6 +134,58 @@ printf '%s\n' "$DATAPATH_OUT" | awk '
 ' > BENCH_datapath.json
 echo "    wrote BENCH_datapath.json:"
 sed 's/^/    /' BENCH_datapath.json
+
+echo "==> study smoke: adaptive_shift (closed-loop vs static caps)"
+# The headline adaptive study (ADAPTIVE.md): the traffic mix shifts
+# mid-run and the scenario's AIMD controller retunes AcceptFraction's
+# max_utilization from live SLO attainment; the static_* variants run
+# the same policy open-loop. The bench emits one composite score per
+# variant (rejection % + 100× summed SLO overshoot, lower wins) and a
+# verdict line; the gate fails unless the adaptive variant beats every
+# static — i.e. lower rejection at equal-or-better attainment. Results
+# land in BENCH_adaptive.json at the repo root.
+ADAPTIVE_OUT=$(cargo bench -q --offline -p bouncer-bench --bench adaptive_shift 2>&1 \
+    | grep '^adaptive_shift/') || {
+    echo "adaptive_shift bench produced no output" >&2
+    exit 1
+}
+printf '%s\n' "$ADAPTIVE_OUT" | awk '
+    # Lines look like:
+    #   adaptive_shift/static_low score=47.5806
+    #   adaptive_shift/verdict adaptive=39.4045 best_static=47.5806 wins=true
+    # Emit one JSON object with per-variant scores and the verdict.
+    $1 == "adaptive_shift/verdict" {
+        for (i = 2; i <= NF; i++) {
+            split($i, kv, "=")
+            verdict[kv[1]] = kv[2]
+        }
+        next
+    }
+    {
+        split($1, path, "/")
+        split($2, kv, "=")
+        keys[++n] = path[2]
+        scores[path[2]] = kv[2]
+    }
+    END {
+        printf "{\n  \"bench\": \"adaptive_shift\",\n"
+        printf "  \"unit\": \"score (rejection %% + 100 x summed SLO overshoot; lower wins)\",\n"
+        printf "  \"note\": \"adaptive = closed-loop AIMD on max_utilization (after); static_* = same policy pinned open-loop (before)\",\n"
+        printf "  \"results\": {\n"
+        for (i = 1; i <= n; i++)
+            printf "    \"%s\": %s%s\n", keys[i], scores[keys[i]], (i < n ? "," : "")
+        printf "  },\n"
+        printf "  \"verdict\": {\"adaptive\": %s, \"best_static\": %s, \"wins\": %s}\n}\n", \
+            verdict["adaptive"], verdict["best_static"], verdict["wins"]
+    }
+' > BENCH_adaptive.json
+echo "    wrote BENCH_adaptive.json:"
+sed 's/^/    /' BENCH_adaptive.json
+printf '%s\n' "$ADAPTIVE_OUT" | grep -q '^adaptive_shift/verdict .*wins=true$' || {
+    echo "adaptive variant did not beat every static baseline:" >&2
+    printf '%s\n' "$ADAPTIVE_OUT" >&2
+    exit 1
+}
 
 echo "==> tracing smoke: traced cluster -> trace-report --strict"
 # A small traced in-process cluster writes its span JSONL, and the

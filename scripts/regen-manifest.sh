@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates scenarios/MANIFEST from the checked-in scenario files.
+#
+# The manifest pins the canonical content hash of every scenarios/*.scn
+# (comments and key order don't affect it — see `scenario-hash --help`),
+# and scripts/check.sh diffs a fresh hash run against it. After editing
+# or adding a scenario, run this script and commit the updated MANIFEST.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q --release --offline -p bouncer-cli -- scenario-hash scenarios/*.scn \
+    > scenarios/MANIFEST
+echo "wrote scenarios/MANIFEST ($(wc -l < scenarios/MANIFEST) scenarios)"
