@@ -1,7 +1,9 @@
 //! The broker→shard data-path benchmark behind `BENCH_datapath.json`.
 //!
 //! Measures the per-query cost of the fan-out/fan-in pipeline at 4 shards
-//! under the published QT1..QT11 mix, on both transports, in two variants:
+//! under the published QT1..QT11 mix. The transports come from the
+//! scenario's `param.transport` sweep; the queue-based ones (`channels`,
+//! `tcp`) run in two variants:
 //!
 //! * `batched`   — the shipped path: one `SubQueryBatch` per (round, shard),
 //!   shared `Arc` payloads, flattened [`IdLists`] replies, pooled frames.
@@ -9,6 +11,10 @@
 //!   reproduces the pre-batching data path: one message + one reply channel
 //!   per sub-query, per-sub-query payload copies, and per-vertex list
 //!   materialization. This is the "before" column.
+//!
+//! `rings` is the thread-per-core SPSC data path; batching is structural
+//! there (one ring message per shard per round), so it reports a single
+//! variant, keyed `inproc/rings` next to its channel siblings.
 //!
 //! Two metrics per (transport, variant): wall-clock time per query
 //! (criterion), and global-allocator allocation events per query
@@ -82,6 +88,12 @@ fn cluster_config(spec: &ScenarioSpec, transport: TransportKind, batch_fanout: b
         },
         transport,
         tcp_connections: 2,
+        // Pin the shard tier's AcceptFraction out of reach, mirroring
+        // `policy = always` on the broker: this bench measures transport
+        // cost of serviced queries, and on an oversubscribed host the
+        // inflated processing times would otherwise trip probabilistic
+        // sheds that perturb the measured path.
+        shard_max_utilization: 1e9,
         ..ClusterConfig::default()
     }
 }
@@ -102,10 +114,38 @@ fn mix_queries(seed: u64, vertices: u32, count: usize) -> Vec<Query> {
 }
 
 /// Allocation events per query over `passes` sequential sweeps of the mix,
-/// after one warm-up sweep so pools and hash sets reach steady state.
+/// after warm-up sweeps so pools and hash sets reach steady state. Scratch
+/// capacities (payload pools, visited sets, reply buffers) approach their
+/// high-water marks asymptotically, and the rings transport rotates
+/// through `RING_CAP` per-slot staging buffers — a pass whose message
+/// count is not a multiple of the ring capacity starts each sweep at a
+/// different slot alignment, so one clean sweep does not prove every
+/// slot has met its worst-case batch. Warm-up therefore repeats until 8
+/// consecutive sweeps (one full rotation period) allocate nothing, or 48
+/// sweeps, whichever comes first (the queue-based paths allocate on
+/// every query and would never converge).
 fn allocs_per_query(cluster: &Cluster, queries: &[Query], passes: usize) -> (f64, u64) {
-    for &q in queries {
-        black_box(cluster.execute(q));
+    // Resolved once up front: `env::var` allocates its result, which would
+    // otherwise pollute the very windows this function measures.
+    let debug = std::env::var("ALLOC_DEBUG").is_ok();
+    let mut clean = 0u32;
+    for pass in 0..48 {
+        let before = ALLOC_EVENTS.load(Ordering::SeqCst);
+        for &q in queries {
+            black_box(cluster.execute(q));
+        }
+        let grew = ALLOC_EVENTS.load(Ordering::SeqCst) - before;
+        if debug {
+            println!("warmup pass {pass}: {grew} allocs");
+        }
+        if grew == 0 {
+            clean += 1;
+            if clean >= 8 {
+                break;
+            }
+        } else {
+            clean = 0;
+        }
     }
     let before = ALLOC_EVENTS.load(Ordering::SeqCst);
     let mut executed = 0u64;
@@ -144,8 +184,27 @@ fn bench_datapath(c: &mut Criterion) {
     println!("scenario: {}", spec.tag());
     let broker_policy = spec.first_policy().unwrap_or_else(|e| panic!("{e}")).clone();
 
-    for (transport, tname) in [(TransportKind::InProc, "inproc"), (TransportKind::Tcp, "tcp")] {
-        for (batch, vname) in [(true, "batched"), (false, "unbatched")] {
+    let sweep: Vec<String> = spec
+        .sparam("transport")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .to_vec();
+    for name in &sweep {
+        let (transport, tname, variants): (TransportKind, &str, &[(bool, &str)]) =
+            match name.as_str() {
+                "channels" => (
+                    TransportKind::InProc,
+                    "inproc",
+                    &[(true, "batched"), (false, "unbatched")],
+                ),
+                "rings" => (TransportKind::Rings, "inproc", &[(true, "rings")]),
+                "tcp" => (
+                    TransportKind::Tcp,
+                    "tcp",
+                    &[(true, "batched"), (false, "unbatched")],
+                ),
+                other => panic!("unknown transport `{other}` in param.transport"),
+            };
+        for &(batch, vname) in variants {
             let policy = broker_policy.clone();
             let seed = spec.seed;
             let cluster =

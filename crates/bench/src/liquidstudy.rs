@@ -78,8 +78,15 @@ impl LiquidStudy {
             n_shards: liquid.shards as usize,
             n_brokers: liquid.brokers as usize,
             transport: match liquid.transport {
-                TransportSpec::InProc => TransportKind::InProc,
+                TransportSpec::Channels => TransportKind::InProc,
                 TransportSpec::Tcp => TransportKind::Tcp,
+                // Rings clusters take queries through `Cluster::execute`
+                // only; the study driver's submit/poll loop has no
+                // equivalent there yet.
+                TransportSpec::Rings => panic!(
+                    "rings transport is not supported by the rate study driver; \
+                     use channels or tcp"
+                ),
             },
             shard_max_utilization: liquid.shard_max_utilization,
             ..ClusterConfig::default()

@@ -185,6 +185,91 @@ impl<T> Gate<T> {
         }
     }
 
+    /// Producer-side admission bookkeeping for a queue that lives *outside*
+    /// the gate (the SPSC-ring data path): Point-1 receive accounting, the
+    /// policy decision, and rejection stats/events — without touching the
+    /// gate's own mutex-guarded queue. On acceptance the caller must either
+    /// publish the query to its external queue and report
+    /// [`Gate::enqueued_external`] with the returned timestamp, or report
+    /// [`Gate::reject_full_external`] if the queue had no room (the
+    /// external queue's bound plays the role of `L_limit`).
+    pub fn admit_external(&self, ty: TypeId) -> Result<Nanos, RejectReason> {
+        let now = self.clock.now();
+        self.stats.on_received(ty);
+        match self.policy.admit(ty, now) {
+            crate::policy::Decision::Reject(reason) => {
+                self.stats.on_rejected(ty, reason);
+                if self.sink.enabled() {
+                    self.sink.emit(&Event::Rejected { at: now, ty, reason });
+                }
+                Err(reason)
+            }
+            crate::policy::Decision::Accept => Ok(now),
+        }
+    }
+
+    /// Completes an [`Gate::admit_external`] acceptance after the query was
+    /// published to the external queue: accepted stats, the policy's
+    /// enqueue hook, and the admitted/enqueued events. `queue_len` is the
+    /// external queue's length with this query included.
+    pub fn enqueued_external(&self, ty: TypeId, enqueued_at: Nanos, queue_len: usize) {
+        self.stats.on_accepted(ty);
+        self.policy.on_enqueued(ty, enqueued_at);
+        if self.sink.enabled() {
+            self.sink.emit(&Event::Admitted { at: enqueued_at, ty });
+            self.sink.emit(&Event::Enqueued {
+                at: enqueued_at,
+                ty,
+                queue_len,
+            });
+        }
+    }
+
+    /// Reports that the external queue was full for a query the policy had
+    /// accepted — the external-queue analogue of the `L_limit` safeguard
+    /// overriding the policy.
+    pub fn reject_full_external(&self, ty: TypeId, at: Nanos) {
+        self.stats.on_rejected(ty, RejectReason::QueueFull);
+        if self.sink.enabled() {
+            self.sink.emit(&Event::Rejected {
+                at,
+                ty,
+                reason: RejectReason::QueueFull,
+            });
+        }
+    }
+
+    /// Consumer-side bookkeeping when an engine pops a query from the
+    /// external queue (Point 2), mirroring [`Gate::take`] exactly: the
+    /// policy's dequeue hook always runs; then either the dequeued/started
+    /// events fire (`expired == false`, proceed and [`Gate::complete`]), or
+    /// the query is past `deadline` and only the expired stats/event fire
+    /// (`expired == true`, drop it undone without completing). Returns
+    /// `(dequeued_at, expired)`.
+    pub fn dequeued_external(
+        &self,
+        ty: TypeId,
+        enqueued_at: Nanos,
+        deadline: Option<Nanos>,
+    ) -> (Nanos, bool) {
+        let now = self.clock.now();
+        let wait = now.saturating_sub(enqueued_at);
+        self.policy.on_dequeued(ty, wait, now);
+        if deadline.is_some_and(|d| now > d) {
+            self.stats.on_expired(ty);
+            if self.sink.enabled() {
+                self.sink.emit(&Event::Expired { at: now, ty, wait });
+            }
+            (now, true)
+        } else {
+            if self.sink.enabled() {
+                self.sink.emit(&Event::Dequeued { at: now, ty, wait });
+                self.sink.emit(&Event::Started { at: now, ty });
+            }
+            (now, false)
+        }
+    }
+
     /// Engine-thread side: dequeues the next admitted query, recording its
     /// queue wait (Point 2).
     pub fn take(&self, timeout: Option<Duration>) -> TakeOutcome<T> {
@@ -421,6 +506,90 @@ mod tests {
             }
             ref other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn external_hooks_mirror_the_internal_path_exactly() {
+        use crate::obs::MemorySink;
+
+        // Drive one gate through offer/take/complete and a second through
+        // the external-queue hooks at the same clock readings; events and
+        // stats must match field for field.
+        let run = |external: bool| {
+            let clock = Arc::new(ManualClock::new());
+            let sink = Arc::new(MemorySink::new());
+            let gate: Gate<&str> = Gate::new_with_sink(
+                Arc::new(MaxQueueLength::new(1)),
+                1,
+                clock.clone(),
+                GateConfig::default(),
+                sink.clone(),
+            );
+            if external {
+                let enq = gate.admit_external(TypeId(0)).unwrap();
+                gate.enqueued_external(TypeId(0), enq, 1);
+                // Queue "full" from the second query's perspective: the
+                // policy rejects on queue length 1 just like the internal
+                // path (policy saw on_enqueued), keeping streams aligned.
+                let _ = gate.admit_external(TypeId(0)).unwrap_err();
+                clock.set(2_000_000);
+                let (deq, expired) = gate.dequeued_external(TypeId(0), enq, None);
+                assert!(!expired);
+                clock.set(3_000_000);
+                gate.complete(TypeId(0), enq, deq);
+            } else {
+                gate.offer(TypeId(0), "served").unwrap();
+                let _ = gate.offer(TypeId(0), "shed").unwrap_err();
+                clock.set(2_000_000);
+                let q = match gate.take(None) {
+                    TakeOutcome::Query(q) => q,
+                    other => panic!("{other:?}"),
+                };
+                clock.set(3_000_000);
+                gate.complete(q.ty, q.enqueued_at, q.dequeued_at);
+            }
+            let snap = gate.stats().snapshot(clock.now(), 1);
+            (sink.events(), snap.per_type[0].completed, snap.total_rejected())
+        };
+        let (internal_events, internal_done, internal_rej) = run(false);
+        let (external_events, external_done, external_rej) = run(true);
+        assert_eq!(format!("{internal_events:?}"), format!("{external_events:?}"));
+        assert_eq!(internal_done, external_done);
+        assert_eq!(internal_rej, external_rej);
+    }
+
+    #[test]
+    fn external_expiry_mirrors_take() {
+        let clock = Arc::new(ManualClock::new());
+        let gate: Gate<u32> = Gate::new(
+            Arc::new(AlwaysAccept::new()),
+            1,
+            clock.clone(),
+            GateConfig::default(),
+        );
+        let enq = gate.admit_external(TypeId(0)).unwrap();
+        gate.enqueued_external(TypeId(0), enq, 1);
+        clock.set(5_000_000);
+        let (_, expired) = gate.dequeued_external(TypeId(0), enq, Some(1_000_000));
+        assert!(expired);
+        let snap = gate.stats().snapshot(clock.now(), 1);
+        assert_eq!(snap.per_type[0].expired, 1);
+        assert_eq!(snap.per_type[0].completed, 0);
+    }
+
+    #[test]
+    fn external_queue_full_records_the_safeguard_rejection() {
+        let clock = Arc::new(ManualClock::new());
+        let gate: Gate<u32> = Gate::new(
+            Arc::new(AlwaysAccept::new()),
+            1,
+            clock,
+            GateConfig::default(),
+        );
+        let at = gate.admit_external(TypeId(0)).unwrap();
+        gate.reject_full_external(TypeId(0), at);
+        let snap = gate.stats().snapshot(1, 1);
+        assert_eq!(snap.total_rejected(), 1);
     }
 
     #[test]

@@ -58,8 +58,9 @@ pub mod prelude {
     };
     pub use crate::framework::{Discipline, Gate, GateConfig, ServerStats, StatsSnapshot};
     pub use crate::obs::{
-        null_sink, render_prometheus, render_prometheus_with_traces, Event, EventSink, JsonlSink,
-        MemorySink, NullSink, TraceContext, TraceCounters, Tracer, TracerConfig,
+        null_sink, render_prometheus, render_prometheus_full, render_prometheus_with_traces, Event,
+        EventSink, JsonlSink, MemorySink, NullSink, PoolCounters, TraceContext, TraceCounters,
+        Tracer, TracerConfig,
     };
     pub use crate::policy::{
         AcceptFraction, AcceptFractionConfig, AcceptanceAllowance, AdmissionPolicy, AlwaysAccept,

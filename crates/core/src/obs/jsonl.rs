@@ -142,6 +142,19 @@ impl Event {
                     status.label()
                 );
             }
+            Event::PoolStats {
+                pool,
+                hits,
+                misses,
+                pooled,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pool\":\"{}\",\"hits\":{hits},\"misses\":{misses},\"pooled\":{pooled}",
+                    escape(pool)
+                );
+            }
         }
         s.push('}');
         s
@@ -337,6 +350,13 @@ mod tests {
                 end: 58,
                 ty: None,
                 status: SpanStatus::Ok,
+            },
+            Event::PoolStats {
+                at: 70,
+                pool: "shard_client",
+                hits: 96,
+                misses: 4,
+                pooled: 3,
             },
         ]
     }

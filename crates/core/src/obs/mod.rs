@@ -35,7 +35,10 @@ pub mod trace_report;
 
 pub use json::{parse_json, JsonValue};
 pub use jsonl::JsonlSink;
-pub use prometheus::{render_prometheus, render_prometheus_with_traces, validate_prometheus, TraceCounters};
+pub use prometheus::{
+    render_prometheus, render_prometheus_full, render_prometheus_with_traces, validate_prometheus,
+    PoolCounters, TraceCounters,
+};
 pub use trace::{
     new_span_id, new_trace_id, QueryTrace, SpanId, SpanKind, SpanStatus, TraceContext, TraceId,
     Tracer, TracerConfig,
@@ -232,6 +235,22 @@ pub enum Event {
         /// How the traced work ended (always `Ok` on non-root spans).
         status: SpanStatus,
     },
+    /// A snapshot of a transport encode-buffer pool's hit/miss totals,
+    /// emitted at a natural boundary (cluster shutdown, periodic flush)
+    /// rather than per `get()` so the hot path stays untouched.
+    PoolStats {
+        /// Snapshot time.
+        at: Nanos,
+        /// Which pool this snapshot describes (e.g. `"shard_client"`,
+        /// `"broker_client"`).
+        pool: &'static str,
+        /// `get()` calls served from a recycled buffer since creation.
+        hits: u64,
+        /// `get()` calls that had to allocate a fresh buffer.
+        misses: u64,
+        /// Buffers parked in the pool at snapshot time.
+        pooled: u64,
+    },
 }
 
 impl Event {
@@ -253,6 +272,7 @@ impl Event {
             Event::ControllerDecision { .. } => "controller_decision",
             Event::ParamUpdate { .. } => "param_update",
             Event::Span { .. } => "span",
+            Event::PoolStats { .. } => "pool_stats",
         }
     }
 
@@ -273,7 +293,8 @@ impl Event {
             | Event::Scenario { at, .. }
             | Event::ControllerDecision { at, .. }
             | Event::ParamUpdate { at, .. }
-            | Event::Span { at, .. } => at,
+            | Event::Span { at, .. }
+            | Event::PoolStats { at, .. } => at,
         }
     }
 
@@ -294,7 +315,8 @@ impl Event {
             | Event::MovingAvgRefresh { .. }
             | Event::Scenario { .. }
             | Event::ControllerDecision { .. }
-            | Event::ParamUpdate { .. } => None,
+            | Event::ParamUpdate { .. }
+            | Event::PoolStats { .. } => None,
         }
     }
 }

@@ -27,6 +27,19 @@ pub struct TraceCounters {
     pub dropped: u64,
 }
 
+/// Encode-buffer pool totals, exported so dashboards can tell whether the
+/// transport tier is recycling buffers (hits) or allocating fresh ones
+/// (misses) under the current load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// `get()` calls served from a recycled buffer.
+    pub hits: u64,
+    /// `get()` calls that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers currently parked in the pool.
+    pub pooled: u64,
+}
+
 /// Renders `snap` in the Prometheus text format.
 ///
 /// `type_names[i]` labels the type with dense index `i`; indexes past the
@@ -42,6 +55,19 @@ pub fn render_prometheus_with_traces(
     snap: &StatsSnapshot,
     type_names: &[&str],
     traces: Option<&TraceCounters>,
+) -> String {
+    render_prometheus_full(snap, type_names, traces, None)
+}
+
+/// [`render_prometheus_with_traces`], optionally also appending the
+/// transport buffer-pool counters (`bouncer_buffer_pool_hits_total` /
+/// `bouncer_buffer_pool_misses_total`) and the `bouncer_buffer_pool_buffers`
+/// gauge.
+pub fn render_prometheus_full(
+    snap: &StatsSnapshot,
+    type_names: &[&str],
+    traces: Option<&TraceCounters>,
+    pool: Option<&PoolCounters>,
 ) -> String {
     let name_of = |i: usize| -> String {
         type_names
@@ -178,6 +204,27 @@ pub fn render_prometheus_with_traces(
         );
         let _ = writeln!(out, "# TYPE bouncer_trace_dropped_total counter");
         let _ = writeln!(out, "bouncer_trace_dropped_total {}", tc.dropped);
+    }
+
+    if let Some(pc) = pool {
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_buffer_pool_hits_total Encode-buffer requests served from the pool."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_buffer_pool_hits_total counter");
+        let _ = writeln!(out, "bouncer_buffer_pool_hits_total {}", pc.hits);
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_buffer_pool_misses_total Encode-buffer requests that allocated fresh."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_buffer_pool_misses_total counter");
+        let _ = writeln!(out, "bouncer_buffer_pool_misses_total {}", pc.misses);
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_buffer_pool_buffers Buffers currently parked in the pool."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_buffer_pool_buffers gauge");
+        let _ = writeln!(out, "bouncer_buffer_pool_buffers {}", pc.pooled);
     }
 
     out
@@ -404,5 +451,25 @@ mod tests {
         let text = render_prometheus(&populated_snapshot(), &["fast"]);
         validate_prometheus(&text).unwrap();
         assert!(!text.contains("bouncer_trace_sampled_total"));
+    }
+
+    #[test]
+    fn pool_counters_render_and_validate() {
+        let pool = PoolCounters {
+            hits: 90,
+            misses: 7,
+            pooled: 4,
+        };
+        let text = render_prometheus_full(&populated_snapshot(), &["fast"], None, Some(&pool));
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(text.contains("# TYPE bouncer_buffer_pool_hits_total counter"));
+        assert!(text.contains("bouncer_buffer_pool_hits_total 90"));
+        assert!(text.contains("bouncer_buffer_pool_misses_total 7"));
+        assert!(text.contains("# TYPE bouncer_buffer_pool_buffers gauge"));
+        assert!(text.contains("bouncer_buffer_pool_buffers 4"));
+        // Without pool counters the family is absent and output validates.
+        let text = render_prometheus(&populated_snapshot(), &["fast"]);
+        validate_prometheus(&text).unwrap();
+        assert!(!text.contains("bouncer_buffer_pool"));
     }
 }

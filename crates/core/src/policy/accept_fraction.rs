@@ -32,7 +32,11 @@ use crate::types::TypeId;
 /// Configuration for [`AcceptFraction`].
 #[derive(Debug, Clone)]
 pub struct AcceptFractionConfig {
-    /// `MaxUtil ∈ (0, 1]`: the maximum utilization threshold.
+    /// `MaxUtil`: the maximum utilization threshold. The paper's range is
+    /// `(0, 1]`; values above 1 are accepted as an overcommit multiplier
+    /// — `apc = MaxUtil · |PU|` simply exceeds physical capacity, so the
+    /// policy never sheds. Transport benchmarks and equivalence tests use
+    /// this to take probabilistic shedding out of the measured path.
     pub max_utilization: f64,
     /// `|PU|`: processing units set aside for query processing (CPU cores on
     /// shards, engine processes on brokers).
@@ -91,8 +95,8 @@ impl AcceptFraction {
     /// Creates the policy.
     pub fn new(cfg: AcceptFractionConfig) -> Self {
         assert!(
-            cfg.max_utilization > 0.0 && cfg.max_utilization <= 1.0,
-            "MaxUtil must be in (0,1], got {}",
+            cfg.max_utilization > 0.0 && cfg.max_utilization.is_finite(),
+            "MaxUtil must be positive and finite, got {}",
             cfg.max_utilization
         );
         assert!(cfg.processing_units > 0, "|PU| must be positive");
@@ -323,9 +327,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "MaxUtil must be in (0,1]")]
+    #[should_panic(expected = "MaxUtil must be positive and finite")]
     fn rejects_invalid_utilization() {
         let _ = AcceptFraction::new(AcceptFractionConfig::new(0.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "MaxUtil must be positive and finite")]
+    fn rejects_infinite_utilization() {
+        let _ = AcceptFraction::new(AcceptFractionConfig::new(f64::INFINITY, 1));
+    }
+
+    #[test]
+    fn overcommit_utilization_never_sheds() {
+        // MaxUtil above 1 is the documented escape hatch for transport
+        // benches: apc exceeds any measurable demand, so f stays 1.
+        let p = warmed(1000.0, 1, 10_000, millis(10), 10);
+        assert_eq!(p.fraction(), 1.0);
     }
 
     #[test]

@@ -142,8 +142,12 @@ pub struct ScenarioSpec {
     /// Policies under evaluation, `(label, spec)` in declaration order;
     /// the unlabeled `policy =` form gets an empty label.
     pub policies: Vec<(String, PolicySpec)>,
-    /// Named sweep lists (`param.<name>`), e.g. Table 4's allowances.
+    /// Named numeric sweep lists (`param.<name>`), e.g. Table 4's
+    /// allowances.
     pub params: Vec<(String, Vec<f64>)>,
+    /// Named string sweep lists: a `param.<name>` whose first token is not
+    /// a number, e.g. `param.transport = channels rings tcp`.
+    pub sparams: Vec<(String, Vec<String>)>,
 }
 
 impl ScenarioSpec {
@@ -172,6 +176,7 @@ impl ScenarioSpec {
             controller: None,
             policies: vec![(String::new(), PolicySpec::Bouncer(BouncerParams::default()))],
             params: Vec::new(),
+            sparams: Vec::new(),
         }
     }
 
@@ -190,6 +195,7 @@ impl ScenarioSpec {
         let mut controller: Option<ControllerSpec> = None;
         let mut policies: Vec<(String, PolicySpec)> = Vec::new();
         let mut params: Vec<(String, Vec<f64>)> = Vec::new();
+        let mut sparams: Vec<(String, Vec<String>)> = Vec::new();
 
         for (key, value) in &pairs {
             let (key, value) = (key.as_str(), value.as_str());
@@ -243,11 +249,21 @@ impl ScenarioSpec {
                     } else if let Some(class) = key.strip_prefix("class.") {
                         classes.push(ClassSpec::parse(class, value)?);
                     } else if let Some(param) = key.strip_prefix("param.") {
-                        let list = parse_f64_list(key, value)?;
-                        if list.is_empty() {
-                            return Err(SpecError(format!("`{key}` must not be empty")));
+                        // A leading numeric token means a numeric sweep;
+                        // anything else is a string sweep (sparams).
+                        let first = value.split_whitespace().next();
+                        match first {
+                            None => {
+                                return Err(SpecError(format!("`{key}` must not be empty")))
+                            }
+                            Some(tok) if tok.parse::<f64>().is_ok() => {
+                                params.push((param.to_string(), parse_f64_list(key, value)?));
+                            }
+                            Some(_) => sparams.push((
+                                param.to_string(),
+                                value.split_whitespace().map(str::to_string).collect(),
+                            )),
                         }
-                        params.push((param.to_string(), list));
                     } else if key.starts_with("sim.") || key.starts_with("liquid.") {
                         runtime_keys.push((key.to_string(), value.to_string()));
                     } else {
@@ -309,6 +325,7 @@ impl ScenarioSpec {
             controller,
             policies,
             params,
+            sparams,
         })
     }
 
@@ -354,6 +371,9 @@ impl ScenarioSpec {
         }
         for (param, values) in &self.params {
             lines.push(format!("param.{param} = {}", render_f64_list(values)));
+        }
+        for (param, values) in &self.sparams {
+            lines.push(format!("param.{param} = {}", values.join(" ")));
         }
         let mut out = lines.join("\n");
         out.push('\n');
@@ -422,9 +442,21 @@ impl ScenarioSpec {
             .ok_or_else(|| SpecError(format!("scenario `{}` declares no policy", self.name)))
     }
 
-    /// Looks up a named sweep list (`param.<name>`).
+    /// Looks up a named numeric sweep list (`param.<name>`).
     pub fn param(&self, name: &str) -> Result<&[f64], SpecError> {
         self.params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+            .ok_or_else(|| {
+                SpecError(format!("scenario `{}` has no param.{name}", self.name))
+            })
+    }
+
+    /// Looks up a named string sweep list (a `param.<name>` whose values
+    /// are not numbers, e.g. transport names).
+    pub fn sparam(&self, name: &str) -> Result<&[String], SpecError> {
+        self.sparams
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_slice())
@@ -527,6 +559,30 @@ param.alphas = 0.1 0.5 1
         assert!(spec.param("betas").is_err());
         assert!(spec.liquid().is_err());
         let reparsed = ScenarioSpec::parse(&spec.render()).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn string_params_classify_render_and_round_trip() {
+        let text = "\
+name = datapath
+runtime = liquid
+policy = always
+param.transport = channels rings tcp
+param.batch = 0 1
+";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        // Non-numeric first token => string sweep; numeric => numeric sweep.
+        assert_eq!(
+            spec.sparam("transport").unwrap(),
+            &["channels", "rings", "tcp"]
+        );
+        assert_eq!(spec.param("batch").unwrap(), &[0.0, 1.0]);
+        assert!(spec.sparam("batch").is_err());
+        assert!(spec.param("transport").is_err());
+        let rendered = spec.render();
+        assert!(rendered.contains("param.transport = channels rings tcp"));
+        let reparsed = ScenarioSpec::parse(&rendered).unwrap();
         assert_eq!(reparsed, spec);
     }
 

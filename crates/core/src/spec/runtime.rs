@@ -93,8 +93,11 @@ impl Default for SimSpec {
 /// Broker→shard transport in spec form (`liquid.transport`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportSpec {
-    /// In-process channels.
-    InProc,
+    /// In-process shared-queue channels (canonical spelling `channels`;
+    /// `inproc` is accepted as a legacy alias).
+    Channels,
+    /// Thread-per-core SPSC rings, in process.
+    Rings,
     /// Loopback TCP.
     Tcp,
 }
@@ -107,7 +110,7 @@ pub struct LiquidSpec {
     pub shards: u32,
     /// Number of broker hosts (`liquid.brokers`).
     pub brokers: u32,
-    /// Broker→shard transport (`liquid.transport = inproc | tcp`).
+    /// Broker→shard transport (`liquid.transport = channels | rings | tcp`).
     pub transport: TransportSpec,
     /// Coalesce per-round sub-queries into per-shard batches
     /// (`liquid.batch_fanout`).
@@ -124,7 +127,7 @@ impl Default for LiquidSpec {
         Self {
             shards: 2,
             brokers: 1,
-            transport: TransportSpec::InProc,
+            transport: TransportSpec::Channels,
             batch_fanout: true,
             shard_max_utilization: defaults::LIQUID_SHARD_MAX_UTILIZATION,
             rate_points: defaults::LIQUID_RATE_LABELS
@@ -290,11 +293,13 @@ impl LiquidSpec {
             "brokers" => self.brokers = parse_pos_u32("liquid.brokers", value)?,
             "transport" => {
                 self.transport = match value {
-                    "inproc" => TransportSpec::InProc,
+                    "channels" | "inproc" => TransportSpec::Channels,
+                    "rings" => TransportSpec::Rings,
                     "tcp" => TransportSpec::Tcp,
                     other => {
                         return Err(SpecError(format!(
-                            "liquid.transport must be `inproc` or `tcp`, got `{other}`"
+                            "liquid.transport must be `channels`, `rings`, or `tcp` \
+                             (`inproc` is a legacy alias for `channels`), got `{other}`"
                         )))
                     }
                 }
@@ -354,7 +359,8 @@ impl LiquidSpec {
         if self.transport != d.transport {
             out.push(
                 match self.transport {
-                    TransportSpec::InProc => "liquid.transport = inproc",
+                    TransportSpec::Channels => "liquid.transport = channels",
+                    TransportSpec::Rings => "liquid.transport = rings",
                     TransportSpec::Tcp => "liquid.transport = tcp",
                 }
                 .to_string(),
@@ -479,6 +485,37 @@ mod tests {
             liquid.rate_points,
             vec![("low".to_string(), 0.5), ("high".to_string(), 1.5)]
         );
+    }
+
+    #[test]
+    fn liquid_transport_spellings_and_render() {
+        let mut rt = RuntimeSpec::Liquid(LiquidSpec::default());
+        // Canonical spellings, plus the legacy `inproc` alias.
+        for (spelling, want) in [
+            ("channels", TransportSpec::Channels),
+            ("inproc", TransportSpec::Channels),
+            ("rings", TransportSpec::Rings),
+            ("tcp", TransportSpec::Tcp),
+        ] {
+            rt.apply_key("liquid.transport", spelling).unwrap();
+            assert_eq!(rt.as_liquid().unwrap().transport, want, "{spelling}");
+        }
+        // Channels is the default, so it renders no transport line; the
+        // others render their canonical spelling (never `inproc`).
+        let lines_of = |spec: TransportSpec| {
+            let rt = RuntimeSpec::Liquid(LiquidSpec {
+                transport: spec,
+                ..LiquidSpec::default()
+            });
+            let mut lines = Vec::new();
+            rt.render_lines(&mut lines);
+            lines
+        };
+        assert!(lines_of(TransportSpec::Channels)
+            .iter()
+            .all(|l| !l.contains("transport")));
+        assert!(lines_of(TransportSpec::Rings).contains(&"liquid.transport = rings".to_string()));
+        assert!(lines_of(TransportSpec::Tcp).contains(&"liquid.transport = tcp".to_string()));
     }
 
     #[test]

@@ -156,7 +156,11 @@ fn arb_liquid() -> BoxedStrategy<LiquidSpec> {
     (
         1u32..8,
         1u32..4,
-        prop_oneof![Just(TransportSpec::InProc), Just(TransportSpec::Tcp)],
+        prop_oneof![
+            Just(TransportSpec::Channels),
+            Just(TransportSpec::Rings),
+            Just(TransportSpec::Tcp)
+        ],
         any::<bool>(),
         unit_frac(),
         (ident(), prop::collection::vec(pos_frac(), 1..6)),
@@ -266,6 +270,28 @@ fn arb_params() -> BoxedStrategy<Vec<(String, Vec<f64>)>> {
         .boxed()
 }
 
+/// String sweep lists: every token gets an `x` prefix so it can never
+/// parse as a number (which would reclassify it as a numeric sweep).
+fn arb_sparams() -> BoxedStrategy<Vec<(String, Vec<String>)>> {
+    (
+        ident(),
+        prop::collection::vec(prop::collection::vec(ident(), 1..5), 0..3),
+    )
+        .prop_map(|(prefix, lists)| {
+            lists
+                .into_iter()
+                .enumerate()
+                .map(|(i, tokens)| {
+                    (
+                        format!("{prefix}s{i}"),
+                        tokens.into_iter().map(|t| format!("x{t}")).collect(),
+                    )
+                })
+                .collect()
+        })
+        .boxed()
+}
+
 /// Controller specs with dyadic fields; `min < max` by construction.
 fn arb_controller() -> BoxedStrategy<ControllerSpec> {
     (
@@ -305,7 +331,7 @@ fn arb_scenario() -> BoxedStrategy<ScenarioSpec> {
         arb_workload(),
         (arb_runtime(), prop::option::of(arb_controller())),
         arb_policies(),
-        arb_params(),
+        (arb_params(), arb_sparams()),
     )
         .prop_map(
             |(
@@ -314,7 +340,7 @@ fn arb_scenario() -> BoxedStrategy<ScenarioSpec> {
                 workload,
                 (runtime, controller),
                 policies,
-                params,
+                (params, sparams),
             )| {
                 ScenarioSpec {
                     name,
@@ -328,6 +354,7 @@ fn arb_scenario() -> BoxedStrategy<ScenarioSpec> {
                     controller,
                     policies,
                     params,
+                    sparams,
                 }
             },
         )

@@ -12,8 +12,8 @@
 //! queueing — which is why the paper's Figure 13 sees per-type processing
 //! time rise with load on the real system but not in the ideal simulator.
 
-use std::cell::RefCell;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -25,13 +25,15 @@ use bouncer_core::obs::{
 };
 use bouncer_core::policy::{AdmissionPolicy, RejectReason};
 use bouncer_core::types::{TypeId, TypeRegistry};
+use bouncer_metrics::spsc::Waker;
 use bouncer_metrics::{Clock, Nanos};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::graph::VertexId;
-use crate::query::{IdLists, Query, QueryKind, SubQuery, SubResponse};
-use crate::shard::SubOutcome;
+use crate::query::{Query, QueryKind, RepBatch, RepStatus, SubQuery, SubResponse};
+use crate::rings::{BrokerEngineRig, BrokerRig, LaneSet, ShardPortRings};
+use crate::shard::{ShardHost, SubOutcome};
 use crate::transport::ShardClient;
 
 /// Builds the type registry for the LIquid workload: `default` plus
@@ -160,7 +162,25 @@ pub struct Broker {
     parallelism: u32,
     query_deadline: Option<Duration>,
     tracer: Option<Arc<Tracer>>,
+    /// Present iff the broker was spawned in rings mode
+    /// ([`Broker::spawn_rings`]): the client-facing lane set plus the
+    /// engine stop/wake plumbing. `None` = channel mode.
+    rings: Option<RingsFront>,
 }
+
+/// Client-side state of a rings-mode broker: submission lanes plus the
+/// handles shutdown needs to stop parked engines.
+struct RingsFront {
+    lanes: Arc<LaneSet>,
+    stop: Arc<AtomicBool>,
+    wakers: Vec<Arc<Waker>>,
+}
+
+/// How long a rings-mode client waits for its reply slot before declaring
+/// the broker engine dead. Far beyond any plan's worst case (a plan runs at
+/// most a handful of rounds, each bounded by `subquery_timeout`); a closed
+/// ring returns immediately, so clean shutdown never waits this long.
+const RINGS_CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
 
 impl Broker {
     /// Spawns a broker over the given shard connections, gating admissions
@@ -208,6 +228,94 @@ impl Broker {
             parallelism: cfg.engines,
             query_deadline: cfg.query_deadline,
             tracer,
+            rings: None,
+        })
+    }
+
+    /// Spawns a broker on the thread-per-core data path: engines service
+    /// client *lanes* and talk to the shards over per-engine SPSC ring
+    /// pairs instead of channels. `hosts` are the in-process shard hosts
+    /// (rings mode has no remote transport), index-aligned with the ring
+    /// ports in `rig`; the rig comes from
+    /// [`crate::rings::build_topology`] and the matching
+    /// [`crate::shard::ShardHost::spawn_rings`] calls.
+    ///
+    /// The gate still performs admission/accounting exactly as in channel
+    /// mode, but in rings mode its FIFO is bypassed: an admitted query is
+    /// pushed straight onto a lane's request ring (single producer), and
+    /// the servicing engine replays the dequeue against the gate when it
+    /// pops. One caveat follows from this: queue-length-based policies see
+    /// the (tiny, bounded) ring depth rather than a broker-wide queue
+    /// length, so `MaxQL`-style limits are not meaningful in rings mode.
+    pub(crate) fn spawn_rings(
+        hosts: Vec<Arc<ShardHost>>,
+        policy: Arc<dyn AdmissionPolicy>,
+        clock: Arc<dyn Clock>,
+        cfg: BrokerConfig,
+        rig: BrokerRig,
+    ) -> Arc<Self> {
+        assert!(cfg.engines > 0);
+        assert!(!hosts.is_empty());
+        assert_eq!(
+            rig.engines.len(),
+            cfg.engines as usize,
+            "ring topology engine count must match BrokerConfig.engines"
+        );
+        let registry = liquid_registry();
+        let gate: Arc<Gate<Job>> = Arc::new(Gate::new_with_sink(
+            policy.clone(),
+            registry.len(),
+            clock.clone(),
+            GateConfig {
+                max_queue_len: cfg.max_queue_len,
+                ..GateConfig::default()
+            },
+            cfg.sink.clone().unwrap_or_else(null_sink),
+        ));
+        let hosts = Arc::new(hosts);
+        let tracer = cfg.tracer.filter(|t| t.enabled());
+        let stop = Arc::new(AtomicBool::new(false));
+        let wakers: Vec<Arc<Waker>> = rig.engines.iter().map(|e| Arc::clone(&e.waker)).collect();
+        let engines = rig
+            .engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, engine_rig)| {
+                let gate = Arc::clone(&gate);
+                let hosts = Arc::clone(&hosts);
+                let timeout = cfg.subquery_timeout;
+                let deadline = cfg.query_deadline;
+                let tracer = tracer.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("broker-ring{i}"))
+                    .spawn(move || {
+                        rings_engine_loop(
+                            &gate,
+                            engine_rig,
+                            &hosts,
+                            timeout,
+                            deadline,
+                            &stop,
+                            tracer.as_deref(),
+                        )
+                    })
+                    .expect("failed to spawn broker ring engine")
+            })
+            .collect();
+        let ticker = Ticker::spawn(policy, clock, cfg.tick_period);
+        Arc::new(Self {
+            gate,
+            engines: Mutex::new(engines),
+            _ticker: ticker,
+            parallelism: cfg.engines,
+            query_deadline: cfg.query_deadline,
+            tracer,
+            rings: Some(RingsFront {
+                lanes: rig.lanes,
+                stop,
+                wakers,
+            }),
         })
     }
 
@@ -248,6 +356,11 @@ impl Broker {
     }
 
     fn offer(&self, query: Query, respond: Responder, ctx: Option<TraceContext>) {
+        assert!(
+            self.rings.is_none(),
+            "channel submission (submit/submit_tagged) is not supported on a \
+             rings-mode broker; use execute()"
+        );
         let ty = kind_type_id(query.kind);
         let trace = self
             .tracer
@@ -271,11 +384,65 @@ impl Broker {
         }
     }
 
-    /// Convenience: submit and wait.
+    /// Convenience: submit and wait. In rings mode this is the *only*
+    /// submission path: the calling thread claims a lane, performs the
+    /// admission decision inline, pushes onto the lane's request ring and
+    /// parks on the reply ring — no shared lock anywhere on the round trip.
     pub fn execute(&self, query: Query) -> ClientOutcome {
+        if self.rings.is_some() {
+            return self.execute_rings(query, None);
+        }
         match self.submit(query).recv() {
             Ok(outcome) => outcome,
             Err(_) => ClientOutcome::Failed,
+        }
+    }
+
+    /// Emits the always-sampled trace of a query rejected before it reached
+    /// an engine (mirrors the early-reject arm of [`Broker::offer`]).
+    fn trace_early_reject(&self, ty: TypeId, ctx: Option<TraceContext>) {
+        if let Some(tracer) = self.tracer.as_ref() {
+            let now = self.gate.clock().now();
+            let mut qt = tracer.begin(Some(ty), now, ctx);
+            qt.record_child(SpanKind::Admission, qt.start(), now);
+            tracer.finish(qt, SpanStatus::Rejected, now);
+        }
+    }
+
+    /// The rings-mode submission path (see [`Broker::execute`]).
+    fn execute_rings(&self, query: Query, ctx: Option<TraceContext>) -> ClientOutcome {
+        let rings = self.rings.as_ref().expect("broker not in rings mode");
+        let ty = kind_type_id(query.kind);
+        // Claim the lane *before* admitting so the admission timestamp is
+        // taken right next to the ring push it accounts for.
+        let mut lane = rings.lanes.claim();
+        match self.gate.admit_external(ty) {
+            Err(reason) => {
+                self.trace_early_reject(ty, ctx);
+                ClientOutcome::Rejected(reason)
+            }
+            Ok(now) => {
+                let pushed = lane.req.try_push(|slot| {
+                    slot.query = query;
+                    slot.enqueued_at = now;
+                    slot.ctx = ctx;
+                });
+                if !pushed {
+                    // The bounded ring is the lane's queue; full = QueueFull.
+                    self.gate.reject_full_external(ty, now);
+                    self.trace_early_reject(ty, ctx);
+                    return ClientOutcome::Rejected(RejectReason::QueueFull);
+                }
+                let depth = lane.req.len();
+                self.gate.enqueued_external(ty, now, depth);
+                match lane.rep.pop_wait(RINGS_CLIENT_TIMEOUT, |slot| {
+                    std::mem::replace(&mut slot.outcome, ClientOutcome::Failed)
+                }) {
+                    Some(outcome) => outcome,
+                    // Ring closed (engine gone) or pathological stall.
+                    None => ClientOutcome::Failed,
+                }
+            }
         }
     }
 
@@ -317,6 +484,12 @@ impl Broker {
     /// threads otherwise). Idempotent: later calls find no handles left.
     pub fn shutdown(&self) {
         self.gate.close();
+        if let Some(rings) = self.rings.as_ref() {
+            rings.stop.store(true, Ordering::Release);
+            for waker in &rings.wakers {
+                waker.wake();
+            }
+        }
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.engines.lock());
         for handle in handles {
             let _ = handle.join();
@@ -337,13 +510,10 @@ fn engine_loop(
     batch: bool,
     tracer: Option<&Tracer>,
 ) {
-    let ctx = PlanCtx {
-        shards,
-        timeout,
-        batch,
-        clock: gate.clock(),
-        trace: RefCell::new(None),
-    };
+    // One executor per engine thread: its scratch buffers (sub-query
+    // batches, reply accumulators, plan frontiers) live for the thread's
+    // lifetime and are reused across queries.
+    let mut exec = Exec::new(Port::Channels(shards), shards.len(), timeout, batch, gate.clock());
     loop {
         match gate.take(Some(Duration::from_millis(100))) {
             TakeOutcome::Query(admitted) => {
@@ -356,26 +526,16 @@ fn engine_loop(
                     // come from the gate's own bookkeeping.
                     qt.record_child(SpanKind::Admission, qt.start(), enqueued_at);
                     qt.record_child(SpanKind::BrokerQueue, enqueued_at, dequeued_at);
-                    *ctx.trace.borrow_mut() = Some(PlanTrace::new(qt, dequeued_at));
+                    exec.trace = Some(PlanTrace::new(qt, dequeued_at));
                 }
-                let result = execute_plan(&ctx, query);
+                let result = execute_plan(&mut exec, query);
                 gate.complete(ty, enqueued_at, dequeued_at);
-                if let Some(pt) = ctx.trace.borrow_mut().take() {
+                if let Some(pt) = exec.trace.take() {
                     if let Some(tracer) = tracer {
-                        let status = match &result {
-                            Ok(_) => SpanStatus::Ok,
-                            Err(PlanError::ShardRejected) => SpanStatus::Rejected,
-                            Err(PlanError::ShardFailed) => SpanStatus::Failed,
-                        };
-                        pt.finish(tracer, status, gate.clock().now());
+                        pt.finish(tracer, plan_status(&result), gate.clock().now());
                     }
                 }
-                let outcome = match result {
-                    Ok(value) => ClientOutcome::Ok(value),
-                    Err(PlanError::ShardRejected) => ClientOutcome::ShardRejected,
-                    Err(PlanError::ShardFailed) => ClientOutcome::Failed,
-                };
-                respond.send(outcome);
+                respond.send(plan_outcome(result));
             }
             TakeOutcome::Expired(admitted) => {
                 // Dropped undone: reply with a timeout error immediately.
@@ -392,6 +552,117 @@ fn engine_loop(
             TakeOutcome::TimedOut => {}
             TakeOutcome::Closed => return,
         }
+    }
+}
+
+fn plan_status(result: &Result<u64, PlanError>) -> SpanStatus {
+    match result {
+        Ok(_) => SpanStatus::Ok,
+        Err(PlanError::ShardRejected) => SpanStatus::Rejected,
+        Err(PlanError::ShardFailed) => SpanStatus::Failed,
+    }
+}
+
+fn plan_outcome(result: Result<u64, PlanError>) -> ClientOutcome {
+    match result {
+        Ok(value) => ClientOutcome::Ok(value),
+        Err(PlanError::ShardRejected) => ClientOutcome::ShardRejected,
+        Err(PlanError::ShardFailed) => ClientOutcome::Failed,
+    }
+}
+
+/// The rings-mode engine loop: sweeps this engine's client lanes for
+/// requests, replays each dequeue against the gate, runs the plan over
+/// the engine's private shard ring ports, and pushes the outcome back on
+/// the lane's reply ring. Between requests the engine parks on its waker
+/// (woken by lane pushes and shard replies), so an idle cluster burns no
+/// CPU while a loaded one runs lock-free.
+fn rings_engine_loop(
+    gate: &Gate<Job>,
+    rig: BrokerEngineRig,
+    hosts: &[Arc<ShardHost>],
+    timeout: Duration,
+    query_deadline: Option<Duration>,
+    stop: &AtomicBool,
+    tracer: Option<&Tracer>,
+) {
+    let BrokerEngineRig {
+        mut lane_reqs,
+        mut lane_reps,
+        ports,
+        waker,
+    } = rig;
+    waker.register_current();
+    assert_eq!(ports.len(), hosts.len(), "one ring port per shard host");
+    let mut ports: Vec<RingPort> = ports
+        .into_iter()
+        .zip(hosts.iter())
+        .map(|(rings, host)| RingPort {
+            rings,
+            host: Arc::clone(host),
+            poisoned: false,
+        })
+        .collect();
+    let n_shards = ports.len();
+    // Rings mode is always batched: the ring slot carries the whole
+    // per-shard group.
+    let mut exec = Exec::new(Port::Rings(&mut ports), n_shards, timeout, true, gate.clock());
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut worked = false;
+        for l in 0..lane_reqs.len() {
+            let Some((query, enqueued_at, ctx)) =
+                lane_reqs[l].try_pop(|slot| (slot.query, slot.enqueued_at, slot.ctx))
+            else {
+                continue;
+            };
+            worked = true;
+            let ty = kind_type_id(query.kind);
+            let deadline = query_deadline.map(|d| enqueued_at + d.as_nanos() as u64);
+            let (dequeued_at, expired) = gate.dequeued_external(ty, enqueued_at, deadline);
+            let outcome = if expired {
+                if let Some(tracer) = tracer {
+                    let mut qt = tracer.begin(Some(ty), enqueued_at, ctx);
+                    qt.record_child(SpanKind::Admission, qt.start(), enqueued_at);
+                    qt.record_child(SpanKind::BrokerQueue, enqueued_at, dequeued_at);
+                    tracer.finish(qt, SpanStatus::Expired, dequeued_at);
+                }
+                ClientOutcome::Expired
+            } else {
+                if let Some(tracer) = tracer {
+                    // The trace roots engine-side (a QueryTrace cannot
+                    // cross the ring); admission + queue spans are rebuilt
+                    // from the gate's timestamps, like channel mode.
+                    let mut qt = tracer.begin(Some(ty), enqueued_at, ctx);
+                    qt.record_child(SpanKind::Admission, qt.start(), enqueued_at);
+                    qt.record_child(SpanKind::BrokerQueue, enqueued_at, dequeued_at);
+                    exec.trace = Some(PlanTrace::new(qt, dequeued_at));
+                }
+                let result = execute_plan(&mut exec, query);
+                gate.complete(ty, enqueued_at, dequeued_at);
+                if let Some(pt) = exec.trace.take() {
+                    if let Some(tracer) = tracer {
+                        pt.finish(tracer, plan_status(&result), gate.clock().now());
+                    }
+                }
+                plan_outcome(result)
+            };
+            // The lane protocol allows one outstanding request per lane, so
+            // the reply slot is always free.
+            let pushed = lane_reps[l].try_push(|slot| slot.outcome = outcome);
+            assert!(pushed, "lane reply ring full (protocol violation)");
+        }
+        if worked {
+            continue;
+        }
+        waker.prepare_park();
+        if stop.load(Ordering::Acquire) || lane_reqs.iter().any(|r| !r.is_empty()) {
+            waker.cancel_park();
+            continue;
+        }
+        waker.park(Duration::from_millis(1));
     }
 }
 
@@ -529,272 +800,590 @@ struct PendingBatch {
     sub_span: Option<SpanId>,
 }
 
-struct PlanCtx<'a> {
-    shards: &'a [Arc<dyn ShardClient>],
-    timeout: Duration,
-    /// Coalesce per-shard fan-out into batches (see
-    /// [`BrokerConfig::batch_fanout`]).
-    batch: bool,
-    clock: &'a Arc<dyn Clock>,
-    /// The running query's trace, if the broker traces. `RefCell` because
-    /// the plan helpers take `&self` recursively.
-    trace: RefCell<Option<PlanTrace>>,
+/// The transport a plan executor fans out over.
+enum Port<'a> {
+    /// Channel mode: one `ShardClient` per shard (in-process or TCP).
+    Channels(&'a [Arc<dyn ShardClient>]),
+    /// Rings mode: this engine's private SPSC ring pair per shard.
+    Rings(&'a mut [RingPort]),
 }
 
-impl PlanCtx<'_> {
-    fn shard_of(&self, v: VertexId) -> usize {
-        v as usize % self.shards.len()
+/// One engine's private ring pair to one shard, plus the shard host handle
+/// used for admission accounting on that shard's gate.
+struct RingPort {
+    rings: ShardPortRings,
+    host: Arc<ShardHost>,
+    /// Set when the shard failed to reply within the timeout: the ring
+    /// protocol allows one outstanding request per port, so a port whose
+    /// reply never came can never be trusted again (a late reply would
+    /// correlate with the wrong request).
+    poisoned: bool,
+}
+
+/// Per-shard read cursors into the round's [`RepBatch`] response.
+#[derive(Clone, Copy, Default)]
+struct Cursor {
+    status: usize,
+    list: usize,
+    count: usize,
+    scalar: usize,
+}
+
+/// The sub-query kind staged for a round item, recorded at [`Exec::stage`]
+/// time. Channel mode needs it to demultiplex `SubResponse`s into the
+/// [`RepBatch`] lanes (`Degree` and `CountIntersect` both come back as
+/// `Count`, but land in different lanes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SubTag {
+    Neighbors,
+    NeighborsMany,
+    Degree,
+    DegreeMany,
+    HasEdge,
+    CountIntersect,
+}
+
+fn tag_of(sub: &SubQuery) -> SubTag {
+    match sub {
+        SubQuery::Neighbors(_) => SubTag::Neighbors,
+        SubQuery::NeighborsMany(_) => SubTag::NeighborsMany,
+        SubQuery::Degree(_) => SubTag::Degree,
+        SubQuery::DegreeMany(_) => SubTag::DegreeMany,
+        SubQuery::HasEdge(_, _) => SubTag::HasEdge,
+        SubQuery::CountIntersect(_, _) => SubTag::CountIntersect,
+    }
+}
+
+/// An engine's reusable buffers. Everything here is allocated once per
+/// engine thread and recycled across queries, which is what makes the
+/// steady-state data path allocation-free in rings mode: after warm-up
+/// every round runs entirely in buffers that already have capacity.
+#[derive(Default)]
+struct Scratch {
+    /// Per-shard sub-query groups for the round being staged. Invariant:
+    /// empty (but with retained capacity) between rounds. In rings mode
+    /// these buffers circulate through the ring slots and come back via
+    /// the reply's hand-back field.
+    per_shard: Vec<Vec<SubQuery>>,
+    /// Per-shard [`SubTag`]s, parallel to `per_shard` (the subs themselves
+    /// move into the transport at send time).
+    tags: Vec<Vec<SubTag>>,
+    /// Shards used this round, in first-use order.
+    shard_order: Vec<usize>,
+    /// Owning shard per staged item, in staging order.
+    slots: Vec<usize>,
+    /// Groups actually sent this round (rings mode), as
+    /// `(shard, sub-query span)`.
+    sent: Vec<(usize, Option<SpanId>)>,
+    /// Per-shard responses for the round just run.
+    resp: Vec<RepBatch>,
+    /// Per-shard read cursors into `resp`.
+    cur: Vec<Cursor>,
+    /// Per-shard vertex grouping for `NeighborsMany`/`DegreeMany` fan-out.
+    group: Vec<Vec<VertexId>>,
+    /// Pool of payload allocations for `*Many`/`CountIntersect`
+    /// sub-queries. An entry whose strong count has returned to 1 is free
+    /// for reuse (`Arc::get_mut` + `clear`).
+    payloads: Vec<Arc<Vec<VertexId>>>,
+    // Plan-level working buffers (frontiers, neighbor lists, visited sets).
+    nu: Vec<VertexId>,
+    nv: Vec<VertexId>,
+    frontier: Vec<VertexId>,
+    next: Vec<VertexId>,
+    seen: HashSet<VertexId>,
+    seen2: HashSet<VertexId>,
+}
+
+impl Scratch {
+    fn new(n_shards: usize) -> Self {
+        Self {
+            per_shard: (0..n_shards).map(|_| Vec::new()).collect(),
+            tags: (0..n_shards).map(|_| Vec::new()).collect(),
+            resp: (0..n_shards).map(|_| RepBatch::default()).collect(),
+            cur: vec![Cursor::default(); n_shards],
+            group: (0..n_shards).map(|_| Vec::new()).collect(),
+            ..Default::default()
+        }
     }
 
-    /// Sends one sub-query, threading the trace context through whichever
-    /// transport the shard client wraps.
-    fn send(&self, shard: usize, sub: SubQuery) -> PendingSub {
-        let mut trace = self.trace.borrow_mut();
-        let (ctx, sub_span) = match trace.as_mut() {
-            Some(pt) => {
-                let sub_span = pt.on_send(shard as u16, self.clock.now());
-                (Some(pt.qt.ctx_for(sub_span)), Some(sub_span))
+    /// A cleared, unshared payload buffer: recycled from the pool when an
+    /// earlier round's payload has been released by every shard, freshly
+    /// allocated otherwise. Callers push the `Arc` back into
+    /// `self.payloads` after staging clones of it.
+    fn acquire_payload(&mut self) -> Arc<Vec<VertexId>> {
+        for i in 0..self.payloads.len() {
+            if Arc::strong_count(&self.payloads[i]) == 1 {
+                let mut arc = self.payloads.swap_remove(i);
+                Arc::get_mut(&mut arc).expect("strong count was 1").clear();
+                return arc;
             }
-            None => (None, None),
-        };
-        drop(trace);
-        PendingSub {
-            rx: self.shards[shard].submit(sub, ctx),
-            sub_span,
         }
+        Arc::new(Vec::new())
     }
+}
 
-    /// Sends a round's sub-queries to one shard as a single batch (one
-    /// trace span, one admission unit, one reply channel).
-    fn send_batch(&self, shard: usize, subs: Vec<SubQuery>) -> PendingBatch {
-        let n = subs.len();
-        let mut trace = self.trace.borrow_mut();
-        let (ctx, sub_span) = match trace.as_mut() {
-            Some(pt) => {
-                let sub_span = pt.on_send(shard as u16, self.clock.now());
-                (Some(pt.qt.ctx_for(sub_span)), Some(sub_span))
-            }
-            None => (None, None),
-        };
-        drop(trace);
-        PendingBatch {
-            rx: self.shards[shard].submit_batch(subs, ctx),
-            n,
-            sub_span,
+/// The per-engine plan executor: owns the scratch buffers and the shard
+/// port, runs communication rounds, and exposes cursor-based readers over
+/// the per-shard [`RepBatch`] responses. Replaces the channel-only
+/// `PlanCtx` (whose per-round `Vec<(usize, SubQuery)>` / reassembled
+/// `Vec<SubResponse>` allocations dominated the broker-side profile).
+struct Exec<'a> {
+    port: Port<'a>,
+    n_shards: usize,
+    timeout: Duration,
+    /// Coalesce per-shard fan-out into batches (see
+    /// [`BrokerConfig::batch_fanout`]); always `true` in rings mode.
+    batch: bool,
+    clock: &'a Arc<dyn Clock>,
+    /// The running query's trace, if the broker traces.
+    trace: Option<PlanTrace>,
+    scratch: Scratch,
+}
+
+fn trace_send(
+    trace: &mut Option<PlanTrace>,
+    clock: &Arc<dyn Clock>,
+    shard: usize,
+) -> (Option<TraceContext>, Option<SpanId>) {
+    match trace.as_mut() {
+        Some(pt) => {
+            let sub_span = pt.on_send(shard as u16, clock.now());
+            (Some(pt.qt.ctx_for(sub_span)), Some(sub_span))
         }
+        None => (None, None),
     }
+}
 
-    /// Waits one batch, closing its span; a reply of the wrong width is a
-    /// protocol violation and fails the plan.
-    fn wait_batch(&self, pending: PendingBatch) -> Result<Vec<SubOutcome>, PlanError> {
-        let result = match pending.rx.recv_timeout(self.timeout) {
-            Ok(outcomes) if outcomes.len() == pending.n => Ok(outcomes),
-            Ok(_) | Err(_) => Err(PlanError::ShardFailed),
-        };
-        if let Some(sub_span) = pending.sub_span {
-            if let Some(pt) = self.trace.borrow_mut().as_mut() {
-                pt.on_recv(sub_span, self.clock.now());
-            }
-        }
-        result
+fn trace_recv(trace: &mut Option<PlanTrace>, clock: &Arc<dyn Clock>, sub_span: Option<SpanId>) {
+    if let (Some(pt), Some(span)) = (trace.as_mut(), sub_span) {
+        pt.on_recv(span, clock.now());
     }
+}
 
-    /// One communication round over arbitrary `(shard, sub-query)` items:
-    /// groups the items per shard (batched mode), sends every group before
-    /// waiting any, and yields the responses in `items` order. In
-    /// unbatched mode each item travels as its own message; either way a
-    /// shard sees its items in `items` order.
-    fn scatter(&self, items: Vec<(usize, SubQuery)>) -> Result<Vec<SubResponse>, PlanError> {
-        if !self.batch {
-            // The fallback reproduces the pre-batching data path faithfully —
-            // one message and one reply channel per sub-query, each carrying
-            // its own copy of any shared payload (the old `n.clone()` per
-            // `CountIntersect` target) — so the `liquid_datapath` bench
-            // measures an honest before/after.
-            let pendings: Vec<PendingSub> = items
-                .into_iter()
-                .map(|(s, sub)| self.send(s, deep_copy_payload(sub)))
-                .collect();
-            return self.wait_all(pendings);
+/// Demultiplexes one channel-mode [`SubOutcome`] into the shard's
+/// [`RepBatch`] lanes, converging the two transports on one response
+/// layout. A response shape that contradicts the tag is a protocol
+/// violation and fails the plan.
+fn stage_outcome(rep: &mut RepBatch, tag: SubTag, outcome: SubOutcome) -> Result<(), PlanError> {
+    let resp = match outcome {
+        SubOutcome::Rejected => {
+            rep.status.push(RepStatus::Rejected);
+            return Ok(());
         }
-        let n_shards = self.shards.len();
-        let mut shard_order: Vec<usize> = Vec::new(); // shards in first-use order
-        let mut per_shard: Vec<Vec<SubQuery>> = vec![Vec::new(); n_shards];
-        let mut slots: Vec<usize> = Vec::with_capacity(items.len()); // owning shard per item
-        for (s, sub) in items {
-            if per_shard[s].is_empty() {
-                shard_order.push(s);
+        SubOutcome::Error => {
+            rep.status.push(RepStatus::Error);
+            return Ok(());
+        }
+        SubOutcome::Ok(resp) => resp,
+    };
+    match (tag, resp) {
+        (SubTag::Neighbors, SubResponse::Ids(ids)) => rep.lists.push(&ids),
+        (SubTag::NeighborsMany, SubResponse::IdLists(lists)) => {
+            for list in lists.iter() {
+                rep.lists.push(list);
             }
-            slots.push(s);
-            per_shard[s].push(sub);
         }
-        // Fan out every group before waiting on any...
-        let groups: Vec<(usize, PendingBatch)> = shard_order
-            .into_iter()
-            .map(|s| {
-                let subs = std::mem::take(&mut per_shard[s]);
-                (s, self.send_batch(s, subs))
-            })
-            .collect();
-        // ...then gather every group even after an error, so the round's
-        // spans close and no receiver is abandoned mid-flight.
-        let mut outcomes: Vec<Option<std::vec::IntoIter<SubOutcome>>> = vec![None; n_shards];
+        (SubTag::Degree, SubResponse::Count(c)) => rep.counts.push(c as u32),
+        (SubTag::DegreeMany, SubResponse::Counts(counts)) => rep.counts.extend_from_slice(&counts),
+        (SubTag::HasEdge, SubResponse::Flag(b)) => rep.scalars.push(b as u64),
+        (SubTag::CountIntersect, SubResponse::Count(c)) => rep.scalars.push(c),
+        _ => return Err(PlanError::ShardFailed),
+    }
+    rep.status.push(RepStatus::Ok);
+    Ok(())
+}
+
+/// Marks every item staged for shard `s` rejected (the group never reached
+/// the shard) and reclaims the staging buffer.
+fn reject_group(sc: &mut Scratch, s: usize) {
+    for _ in 0..sc.per_shard[s].len() {
+        sc.resp[s].status.push(RepStatus::Rejected);
+    }
+    sc.per_shard[s].clear();
+}
+
+/// Runs one staged round over channel-mode shard clients: fan out every
+/// group (or item, unbatched) before waiting any, then demultiplex the
+/// outcomes into the per-shard [`RepBatch`]es.
+fn run_round_channels(
+    sc: &mut Scratch,
+    trace: &mut Option<PlanTrace>,
+    clock: &Arc<dyn Clock>,
+    clients: &[Arc<dyn ShardClient>],
+    timeout: Duration,
+    batch: bool,
+) -> Result<(), PlanError> {
+    if !batch {
+        // The fallback reproduces the pre-batching data path faithfully —
+        // one message and one reply channel per sub-query, each carrying
+        // its own copy of any shared payload (the old `n.clone()` per
+        // `CountIntersect` target) — so the `liquid_datapath` bench
+        // measures an honest before/after.
+        let mut pendings: Vec<(usize, SubTag, PendingSub)> = Vec::with_capacity(sc.slots.len());
+        for oi in 0..sc.shard_order.len() {
+            let s = sc.shard_order[oi];
+            for idx in 0..sc.per_shard[s].len() {
+                let sub = deep_copy_payload(sc.per_shard[s][idx].clone());
+                let tag = sc.tags[s][idx];
+                let (ctx, sub_span) = trace_send(trace, clock, s);
+                pendings.push((
+                    s,
+                    tag,
+                    PendingSub {
+                        rx: clients[s].submit(sub, ctx),
+                        sub_span,
+                    },
+                ));
+            }
+            sc.per_shard[s].clear();
+        }
         let mut first_err = None;
-        for (s, pending) in groups {
-            match self.wait_batch(pending) {
-                Ok(os) => outcomes[s] = Some(os.into_iter()),
-                Err(e) => first_err = first_err.or(Some(e)),
+        for (s, tag, pending) in pendings {
+            let result = pending.rx.recv_timeout(timeout);
+            trace_recv(trace, clock, pending.sub_span);
+            match result {
+                Ok(outcome) => {
+                    if let Err(e) = stage_outcome(&mut sc.resp[s], tag, outcome) {
+                        first_err = first_err.or(Some(e));
+                    }
+                }
+                Err(_) => first_err = first_err.or(Some(PlanError::ShardFailed)),
             }
         }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        // Reassemble in items order: a shard's outcomes come back in its
-        // submission order, so a per-shard cursor (the iterator) suffices.
-        let mut out = Vec::with_capacity(slots.len());
-        for s in slots {
-            let iter = outcomes[s].as_mut().ok_or(PlanError::ShardFailed)?;
-            match iter.next().ok_or(PlanError::ShardFailed)? {
-                SubOutcome::Ok(resp) => out.push(resp),
-                SubOutcome::Rejected => return Err(PlanError::ShardRejected),
-                SubOutcome::Error => return Err(PlanError::ShardFailed),
-            }
-        }
-        Ok(out)
-    }
-
-    /// Hands a per-shard vertex group to a sub-query: the batched path
-    /// moves the vector (one `Arc` build, no copy left behind), while the
-    /// fallback copies it and leaves the original alive — exactly the
-    /// pre-batching `vs.clone()`, retained so benchmarks compare a real
-    /// "before".
-    fn take_or_copy_group(&self, vs: &mut Vec<VertexId>) -> Arc<[VertexId]> {
-        if self.batch {
-            std::mem::take(vs).into()
-        } else {
-            vs.as_slice().into()
-        }
-    }
-
-    fn wait(&self, pending: PendingSub) -> Result<SubResponse, PlanError> {
-        let result = match pending.rx.recv_timeout(self.timeout) {
-            Ok(SubOutcome::Ok(resp)) => Ok(resp),
-            Ok(SubOutcome::Rejected) => Err(PlanError::ShardRejected),
-            Ok(SubOutcome::Error) | Err(_) => Err(PlanError::ShardFailed),
-        };
-        if let Some(sub_span) = pending.sub_span {
-            if let Some(pt) = self.trace.borrow_mut().as_mut() {
-                pt.on_recv(sub_span, self.clock.now());
-            }
-        }
-        result
-    }
-
-    /// Waits every pending sub-query (so rounds close and no sub-query span
-    /// is silently abandoned), yielding the responses or the first error.
-    fn wait_all(&self, pendings: Vec<PendingSub>) -> Result<Vec<SubResponse>, PlanError> {
-        let mut out = Vec::with_capacity(pendings.len());
-        let mut first_err = None;
-        for pending in pendings {
-            match self.wait(pending) {
-                Ok(resp) => out.push(resp),
-                Err(e) => first_err = first_err.or(Some(e)),
-            }
-        }
-        match first_err {
-            None => Ok(out),
+        return match first_err {
+            None => Ok(()),
             Some(e) => Err(e),
+        };
+    }
+    if sc.slots.len() == 1 {
+        // Single-item fast path: most rounds of the cheap templates carry
+        // exactly one sub-query, and wrapping it in a batch costs a `Vec`
+        // build broker-side and a reply-vector build shard-side. Send it
+        // as a plain message instead (still one admission decision either
+        // way, so batched and unbatched stay decision-equivalent).
+        let s = sc.slots[0];
+        let sub = sc.per_shard[s].pop().expect("one staged item");
+        let tag = sc.tags[s][0];
+        let (ctx, sub_span) = trace_send(trace, clock, s);
+        let rx = clients[s].submit(sub, ctx);
+        let result = rx.recv_timeout(timeout);
+        trace_recv(trace, clock, sub_span);
+        return match result {
+            Ok(outcome) => stage_outcome(&mut sc.resp[s], tag, outcome),
+            Err(_) => Err(PlanError::ShardFailed),
+        };
+    }
+    // Fan out every group before waiting on any...
+    let mut groups: Vec<(usize, PendingBatch)> = Vec::with_capacity(sc.shard_order.len());
+    for oi in 0..sc.shard_order.len() {
+        let s = sc.shard_order[oi];
+        let subs = std::mem::take(&mut sc.per_shard[s]);
+        let n = subs.len();
+        let (ctx, sub_span) = trace_send(trace, clock, s);
+        groups.push((
+            s,
+            PendingBatch {
+                rx: clients[s].submit_batch(subs, ctx),
+                n,
+                sub_span,
+            },
+        ));
+    }
+    // ...then gather every group even after an error, so the round's spans
+    // close and no receiver is abandoned mid-flight.
+    let mut first_err = None;
+    for (s, pending) in groups {
+        let result = pending.rx.recv_timeout(timeout);
+        trace_recv(trace, clock, pending.sub_span);
+        match result {
+            // A reply of the wrong width is a protocol violation.
+            Ok(outcomes) if outcomes.len() == pending.n => {
+                for (idx, outcome) in outcomes.into_iter().enumerate() {
+                    let tag = sc.tags[s][idx];
+                    if let Err(e) = stage_outcome(&mut sc.resp[s], tag, outcome) {
+                        first_err = first_err.or(Some(e));
+                    }
+                }
+            }
+            Ok(_) | Err(_) => first_err = first_err.or(Some(PlanError::ShardFailed)),
+        }
+    }
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Runs one staged round over this engine's shard rings: per group, admit
+/// at the shard's gate, then *swap* the staged sub-query vector into the
+/// ring slot (no copy, no allocation); per reply, swap the response batch
+/// out and take the hand-back of the staging buffer. Every sent group is
+/// waited for even after an error — the ring protocol's one-outstanding
+/// invariant depends on it.
+fn run_round_rings(
+    sc: &mut Scratch,
+    trace: &mut Option<PlanTrace>,
+    clock: &Arc<dyn Clock>,
+    ports: &mut [RingPort],
+    timeout: Duration,
+) -> Result<(), PlanError> {
+    debug_assert!(sc.sent.is_empty());
+    let mut first_err = None;
+    for oi in 0..sc.shard_order.len() {
+        let s = sc.shard_order[oi];
+        let port = &mut ports[s];
+        if port.poisoned {
+            sc.per_shard[s].clear();
+            first_err = first_err.or(Some(PlanError::ShardFailed));
+            continue;
+        }
+        let (ctx, sub_span) = trace_send(trace, clock, s);
+        match port.host.ring_admit() {
+            Ok(now) => {
+                let per_shard = &mut sc.per_shard[s];
+                let pushed = port.rings.req.try_push(|slot| {
+                    std::mem::swap(&mut slot.subs, per_shard);
+                    slot.enqueued_at = now;
+                    slot.ctx = ctx;
+                });
+                if pushed {
+                    port.host.ring_enqueued(now, port.rings.req.len());
+                    sc.sent.push((s, sub_span));
+                } else {
+                    // A full request ring is the shard refusing work at
+                    // its (bounded) queue: account it as a full-queue
+                    // rejection, exactly like the channel-mode gate.
+                    port.host.ring_reject_full(now);
+                    reject_group(sc, s);
+                    trace_recv(trace, clock, sub_span);
+                }
+            }
+            Err(_reason) => {
+                reject_group(sc, s);
+                trace_recv(trace, clock, sub_span);
+            }
+        }
+    }
+    for si in 0..sc.sent.len() {
+        let (s, sub_span) = sc.sent[si];
+        let port = &mut ports[s];
+        let resp = &mut sc.resp[s];
+        let hand_back = &mut sc.per_shard[s];
+        let popped = port.rings.rep.pop_wait(timeout, |out| {
+            std::mem::swap(&mut out.batch, resp);
+            std::mem::swap(&mut out.subs, hand_back);
+        });
+        trace_recv(trace, clock, sub_span);
+        if popped.is_none() {
+            port.poisoned = true;
+            first_err = first_err.or(Some(PlanError::ShardFailed));
+        }
+        // Drop the handed-back sub-queries now (releasing their payload
+        // `Arc`s back to the pool deterministically) but keep the buffer.
+        sc.per_shard[s].clear();
+    }
+    sc.sent.clear();
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+impl<'a> Exec<'a> {
+    fn new(
+        port: Port<'a>,
+        n_shards: usize,
+        timeout: Duration,
+        batch: bool,
+        clock: &'a Arc<dyn Clock>,
+    ) -> Self {
+        Self {
+            port,
+            n_shards,
+            timeout,
+            batch,
+            clock,
+            trace: None,
+            scratch: Scratch::new(n_shards),
         }
     }
 
-    fn neighbors(&self, v: VertexId) -> Result<Vec<VertexId>, PlanError> {
-        let pending = self.send(self.shard_of(v), SubQuery::Neighbors(v));
-        match self.wait(pending)? {
-            SubResponse::Ids(ids) => Ok(ids),
-            _ => Err(PlanError::ShardFailed),
+    fn shard_of(&self, v: VertexId) -> usize {
+        v as usize % self.n_shards
+    }
+
+    /// Begins staging a round. (Defensive clears: the buffers are already
+    /// empty between rounds, including on error paths.)
+    fn round_begin(&mut self) {
+        let sc = &mut self.scratch;
+        sc.slots.clear();
+        sc.shard_order.clear();
+        for s in 0..self.n_shards {
+            sc.per_shard[s].clear();
+            sc.tags[s].clear();
         }
     }
 
-    fn degree(&self, v: VertexId) -> Result<u64, PlanError> {
-        let pending = self.send(self.shard_of(v), SubQuery::Degree(v));
-        match self.wait(pending)? {
-            SubResponse::Count(c) => Ok(c),
-            _ => Err(PlanError::ShardFailed),
+    /// Stages one sub-query for shard `s` in the round being built.
+    fn stage(&mut self, s: usize, sub: SubQuery) {
+        let sc = &mut self.scratch;
+        if sc.per_shard[s].is_empty() {
+            sc.shard_order.push(s);
         }
+        sc.tags[s].push(tag_of(&sub));
+        sc.per_shard[s].push(sub);
+        sc.slots.push(s);
     }
 
-    fn has_edge(&self, u: VertexId, v: VertexId) -> Result<bool, PlanError> {
-        let pending = self.send(self.shard_of(u), SubQuery::HasEdge(u, v));
-        match self.wait(pending)? {
-            SubResponse::Flag(b) => Ok(b),
-            _ => Err(PlanError::ShardFailed),
+    /// Runs the staged round: fans out per-shard groups over the port,
+    /// waits every reply, then scans the per-item statuses **in staging
+    /// order** — the first rejection (or error) wins, matching the old
+    /// reassembly order exactly. On `Ok`, the responses are readable via
+    /// [`Exec::next_list`] / [`Exec::next_count`] / [`Exec::next_scalar`].
+    fn run_round(&mut self) -> Result<(), PlanError> {
+        for oi in 0..self.scratch.shard_order.len() {
+            let s = self.scratch.shard_order[oi];
+            self.scratch.resp[s].clear();
+            self.scratch.cur[s] = Cursor::default();
         }
+        match &mut self.port {
+            Port::Channels(clients) => run_round_channels(
+                &mut self.scratch,
+                &mut self.trace,
+                self.clock,
+                clients,
+                self.timeout,
+                self.batch,
+            )?,
+            Port::Rings(ports) => run_round_rings(
+                &mut self.scratch,
+                &mut self.trace,
+                self.clock,
+                ports,
+                self.timeout,
+            )?,
+        }
+        let sc = &mut self.scratch;
+        for ii in 0..sc.slots.len() {
+            let s = sc.slots[ii];
+            let k = sc.cur[s].status;
+            sc.cur[s].status += 1;
+            match sc.resp[s].status.get(k).copied() {
+                Some(RepStatus::Ok) => {}
+                Some(RepStatus::Rejected) => return Err(PlanError::ShardRejected),
+                Some(RepStatus::Error) | None => return Err(PlanError::ShardFailed),
+            }
+        }
+        Ok(())
+    }
+
+    /// The next unread neighbor list from shard `s`'s response.
+    fn next_list(&mut self, s: usize) -> Result<&[VertexId], PlanError> {
+        let i = self.scratch.cur[s].list;
+        self.scratch.cur[s].list += 1;
+        self.scratch.resp[s].lists.get(i).ok_or(PlanError::ShardFailed)
+    }
+
+    /// The next unread degree count from shard `s`'s response.
+    fn next_count(&mut self, s: usize) -> Result<u32, PlanError> {
+        let i = self.scratch.cur[s].count;
+        self.scratch.cur[s].count += 1;
+        self.scratch.resp[s]
+            .counts
+            .get(i)
+            .copied()
+            .ok_or(PlanError::ShardFailed)
+    }
+
+    /// The next unread scalar (flag / intersection count) from shard `s`.
+    fn next_scalar(&mut self, s: usize) -> Result<u64, PlanError> {
+        let i = self.scratch.cur[s].scalar;
+        self.scratch.cur[s].scalar += 1;
+        self.scratch.resp[s]
+            .scalars
+            .get(i)
+            .copied()
+            .ok_or(PlanError::ShardFailed)
+    }
+
+    fn degree(&mut self, v: VertexId) -> Result<u64, PlanError> {
+        let s = self.shard_of(v);
+        self.round_begin();
+        self.stage(s, SubQuery::Degree(v));
+        self.run_round()?;
+        Ok(self.next_count(s)? as u64)
+    }
+
+    fn has_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, PlanError> {
+        let s = self.shard_of(u);
+        self.round_begin();
+        self.stage(s, SubQuery::HasEdge(u, v));
+        self.run_round()?;
+        Ok(self.next_scalar(s)? != 0)
+    }
+
+    /// Runs a one-vertex `Neighbors` round; the list is readable (borrowed
+    /// from the response buffer, no copy) via `next_list(s)` for the
+    /// returned shard `s`.
+    fn neighbors_round(&mut self, v: VertexId) -> Result<usize, PlanError> {
+        let s = self.shard_of(v);
+        self.round_begin();
+        self.stage(s, SubQuery::Neighbors(v));
+        self.run_round()?;
+        Ok(s)
+    }
+
+    /// `Neighbors` round with the list copied into a caller buffer (for
+    /// plans that need it across later rounds).
+    fn neighbors_into(&mut self, v: VertexId, out: &mut Vec<VertexId>) -> Result<(), PlanError> {
+        let s = self.neighbors_round(v)?;
+        out.clear();
+        let list = self.next_list(s)?;
+        out.extend_from_slice(list);
+        Ok(())
     }
 
     /// Both neighbor lists in one parallel round (one batch when both
-    /// vertices live on the same shard).
-    fn neighbors_pair(
-        &self,
+    /// vertices live on the same shard), copied into caller buffers.
+    fn neighbors_pair_into(
+        &mut self,
         u: VertexId,
         v: VertexId,
-    ) -> Result<(Vec<VertexId>, Vec<VertexId>), PlanError> {
-        let mut responses = self.scatter(vec![
-            (self.shard_of(u), SubQuery::Neighbors(u)),
-            (self.shard_of(v), SubQuery::Neighbors(v)),
-        ])?;
-        let nv = match responses.pop() {
-            Some(SubResponse::Ids(ids)) => ids,
-            _ => return Err(PlanError::ShardFailed),
-        };
-        let nu = match responses.pop() {
-            Some(SubResponse::Ids(ids)) => ids,
-            _ => return Err(PlanError::ShardFailed),
-        };
-        Ok((nu, nv))
+        nu: &mut Vec<VertexId>,
+        nv: &mut Vec<VertexId>,
+    ) -> Result<(), PlanError> {
+        let su = self.shard_of(u);
+        let sv = self.shard_of(v);
+        self.round_begin();
+        self.stage(su, SubQuery::Neighbors(u));
+        self.stage(sv, SubQuery::Neighbors(v));
+        self.run_round()?;
+        nu.clear();
+        nu.extend_from_slice(self.next_list(su)?);
+        nv.clear();
+        nv.extend_from_slice(self.next_list(sv)?);
+        Ok(())
     }
 
     /// One communication round: neighbor lists for every frontier vertex,
-    /// grouped per owning shard (one `NeighborsMany` each) and issued in
-    /// parallel. Calls `each` once per frontier vertex, **in frontier
-    /// order**, with that vertex's neighbor list — the lists stay in the
-    /// shards' flattened [`IdLists`] buffers, so no per-vertex `Vec` is
-    /// ever materialized broker-side.
-    fn neighbors_many<F: FnMut(&[VertexId])>(
-        &self,
+    /// grouped per owning shard (one `NeighborsMany` each, sharing a
+    /// pooled payload buffer) and issued in parallel. Calls `each` once
+    /// per frontier vertex, **in frontier order**, with that vertex's
+    /// neighbor list — the lists stay in the round's flattened response
+    /// buffers, so no per-vertex `Vec` is ever materialized broker-side.
+    fn for_each_neighbors<F: FnMut(&[VertexId])>(
+        &mut self,
         frontier: &[VertexId],
         mut each: F,
     ) -> Result<(), PlanError> {
-        let n_shards = self.shards.len();
-        let mut per_shard: Vec<Vec<VertexId>> = vec![Vec::new(); n_shards];
+        self.round_begin();
+        self.stage_many(frontier, SubTag::NeighborsMany);
+        self.run_round()?;
+        let batched = self.batch;
         for &v in frontier {
-            per_shard[v as usize % n_shards].push(v);
-        }
-        // Fan out (the group vectors move into the sub-queries — no clone;
-        // the fallback copies each group like the pre-batching `vs.clone()`)...
-        let (targets, pendings): (Vec<usize>, Vec<PendingSub>) = per_shard
-            .iter_mut()
-            .enumerate()
-            .filter(|(_, vs)| !vs.is_empty())
-            .map(|(s, vs)| {
-                let group = self.take_or_copy_group(vs);
-                (s, self.send(s, SubQuery::NeighborsMany(group)))
-            })
-            .unzip();
-        // ...gather, then walk the lists back out in frontier order.
-        let mut per_shard_lists: Vec<Option<IdLists>> = vec![None; n_shards];
-        for (s, resp) in targets.into_iter().zip(self.wait_all(pendings)?) {
-            match resp {
-                SubResponse::IdLists(lists) => per_shard_lists[s] = Some(lists),
-                _ => return Err(PlanError::ShardFailed),
-            }
-        }
-        let mut cursors = vec![0usize; n_shards];
-        for &v in frontier {
-            let s = v as usize % n_shards;
-            let lists = per_shard_lists[s].as_ref().ok_or(PlanError::ShardFailed)?;
-            let list = lists.get(cursors[s]).ok_or(PlanError::ShardFailed)?;
-            cursors[s] += 1;
-            if self.batch {
+            let s = self.shard_of(v);
+            let list = self.next_list(s)?;
+            if batched {
                 each(list);
             } else {
                 // The pre-batching response format carried one `Vec` per
@@ -808,38 +1397,41 @@ impl PlanCtx<'_> {
         Ok(())
     }
 
-    fn degrees_many(&self, vs: &[VertexId]) -> Result<Vec<u32>, PlanError> {
-        let n_shards = self.shards.len();
-        let mut per_shard: Vec<Vec<VertexId>> = vec![Vec::new(); n_shards];
-        for &v in vs {
-            per_shard[v as usize % n_shards].push(v);
+    /// One `DegreeMany` round over `vs`; read back with
+    /// `next_count(shard_of(v))` in `vs` order.
+    fn degrees_many_round(&mut self, vs: &[VertexId]) -> Result<(), PlanError> {
+        self.round_begin();
+        self.stage_many(vs, SubTag::DegreeMany);
+        self.run_round()
+    }
+
+    /// Groups `vs` per owning shard and stages one `*Many` sub-query per
+    /// non-empty group, each carrying a pooled payload buffer.
+    fn stage_many(&mut self, vs: &[VertexId], tag: SubTag) {
+        let mut group = std::mem::take(&mut self.scratch.group);
+        for g in &mut group {
+            g.clear();
         }
-        let (targets, pendings): (Vec<usize>, Vec<PendingSub>) = per_shard
-            .iter_mut()
-            .enumerate()
-            .filter(|(_, vs)| !vs.is_empty())
-            .map(|(s, vs)| {
-                let group = self.take_or_copy_group(vs);
-                (s, self.send(s, SubQuery::DegreeMany(group)))
-            })
-            .unzip();
-        let mut per_shard_counts: Vec<Option<Vec<u32>>> = vec![None; n_shards];
-        for (s, resp) in targets.into_iter().zip(self.wait_all(pendings)?) {
-            match resp {
-                SubResponse::Counts(counts) => per_shard_counts[s] = Some(counts),
-                _ => return Err(PlanError::ShardFailed),
+        for &v in vs {
+            group[self.shard_of(v)].push(v);
+        }
+        for (s, g) in group.iter().enumerate() {
+            if g.is_empty() {
+                continue;
             }
+            let mut payload = self.scratch.acquire_payload();
+            Arc::get_mut(&mut payload)
+                .expect("pooled payload is unshared")
+                .extend_from_slice(g);
+            let sub = match tag {
+                SubTag::NeighborsMany => SubQuery::NeighborsMany(Arc::clone(&payload)),
+                SubTag::DegreeMany => SubQuery::DegreeMany(Arc::clone(&payload)),
+                _ => unreachable!("stage_many is only for *Many sub-queries"),
+            };
+            self.scratch.payloads.push(payload);
+            self.stage(s, sub);
         }
-        let mut cursors = vec![0usize; n_shards];
-        let mut out = Vec::with_capacity(vs.len());
-        for &v in vs {
-            let s = v as usize % n_shards;
-            let counts = per_shard_counts[s].as_ref().ok_or(PlanError::ShardFailed)?;
-            let i = cursors[s];
-            cursors[s] += 1;
-            out.push(*counts.get(i).ok_or(PlanError::ShardFailed)?);
-        }
-        Ok(out)
+        self.scratch.group = group;
     }
 }
 
@@ -848,105 +1440,151 @@ impl PlanCtx<'_> {
 /// per-sub-query payload clones of the pre-batching data path.
 fn deep_copy_payload(sub: SubQuery) -> SubQuery {
     match sub {
-        SubQuery::NeighborsMany(ids) => SubQuery::NeighborsMany(ids.iter().copied().collect()),
-        SubQuery::DegreeMany(ids) => SubQuery::DegreeMany(ids.iter().copied().collect()),
-        SubQuery::CountIntersect(v, ids) => {
-            SubQuery::CountIntersect(v, ids.iter().copied().collect())
-        }
+        SubQuery::NeighborsMany(ids) => SubQuery::NeighborsMany(Arc::new(ids.to_vec())),
+        SubQuery::DegreeMany(ids) => SubQuery::DegreeMany(Arc::new(ids.to_vec())),
+        SubQuery::CountIntersect(v, ids) => SubQuery::CountIntersect(v, Arc::new(ids.to_vec())),
         other => other,
     }
 }
 
-fn execute_plan(ctx: &PlanCtx<'_>, q: Query) -> Result<u64, PlanError> {
+fn execute_plan(exec: &mut Exec<'_>, q: Query) -> Result<u64, PlanError> {
     match q.kind {
-        QueryKind::Qt1Degree => ctx.degree(q.u),
-        QueryKind::Qt2EdgeExists => Ok(ctx.has_edge(q.u, q.v)? as u64),
+        QueryKind::Qt1Degree => exec.degree(q.u),
+        QueryKind::Qt2EdgeExists => Ok(exec.has_edge(q.u, q.v)? as u64),
         QueryKind::Qt3NeighborsPage => {
-            let n = ctx.neighbors(q.u)?;
-            Ok(n.iter().take(PAGE).count() as u64)
+            let s = exec.neighbors_round(q.u)?;
+            let n = exec.next_list(s)?;
+            Ok(n.len().min(PAGE) as u64)
         }
         QueryKind::Qt4NeighborsFull => {
-            let n = ctx.neighbors(q.u)?;
+            let s = exec.neighbors_round(q.u)?;
+            let n = exec.next_list(s)?;
             // Broker-side post-processing: checksum the full list.
-            let checksum: u64 = n.iter().fold(0u64, |acc, &v| {
-                acc.wrapping_mul(31).wrapping_add(v as u64)
-            });
+            let checksum: u64 = n
+                .iter()
+                .fold(0u64, |acc, &v| acc.wrapping_mul(31).wrapping_add(v as u64));
             Ok(n.len() as u64 ^ (checksum & 0xFF)) // len dominates; checksum folds in
         }
         QueryKind::Qt5MutualCount => {
-            let (nu, nv) = ctx.neighbors_pair(q.u, q.v)?;
-            Ok(sorted_intersection_count(&nu, &nv))
+            let mut nu = std::mem::take(&mut exec.scratch.nu);
+            let mut nv = std::mem::take(&mut exec.scratch.nv);
+            let prep = exec.neighbors_pair_into(q.u, q.v, &mut nu, &mut nv);
+            let result = prep.map(|()| sorted_intersection_count(&nu, &nv));
+            exec.scratch.nu = nu;
+            exec.scratch.nv = nv;
+            result
         }
         QueryKind::Qt6NeighborDegrees => {
-            let n = ctx.neighbors(q.u)?;
-            let sample: Vec<VertexId> = n.iter().copied().take(DEGREE_SAMPLE).collect();
-            if sample.is_empty() {
-                return Ok(0);
-            }
-            let degrees = ctx.degrees_many(&sample)?;
-            Ok(degrees.iter().map(|&d| d as u64).sum())
+            let mut sample = std::mem::take(&mut exec.scratch.frontier);
+            sample.clear();
+            let prep = exec.neighbors_round(q.u).and_then(|s| {
+                let n = exec.next_list(s)?;
+                sample.extend(n.iter().copied().take(DEGREE_SAMPLE));
+                Ok(())
+            });
+            let result = prep.and_then(|()| {
+                if sample.is_empty() {
+                    return Ok(0);
+                }
+                exec.degrees_many_round(&sample)?;
+                let mut sum = 0u64;
+                for &v in &sample {
+                    let s = exec.shard_of(v);
+                    sum += exec.next_count(s)? as u64;
+                }
+                Ok(sum)
+            });
+            exec.scratch.frontier = sample;
+            result
         }
         QueryKind::Qt7TwoHopCount => {
-            let mut frontier = ctx.neighbors(q.u)?;
-            frontier.truncate(TWO_HOP_CAP);
-            if frontier.is_empty() {
-                return Ok(0);
-            }
-            let mut seen: HashSet<VertexId> = HashSet::with_capacity(1024);
-            ctx.neighbors_many(&frontier, |list| seen.extend(list.iter().copied()))?;
-            seen.remove(&q.u);
-            Ok(seen.len() as u64)
+            let mut frontier = std::mem::take(&mut exec.scratch.frontier);
+            let mut seen = std::mem::take(&mut exec.scratch.seen);
+            seen.clear();
+            let result = exec.neighbors_into(q.u, &mut frontier).and_then(|()| {
+                frontier.truncate(TWO_HOP_CAP);
+                if frontier.is_empty() {
+                    return Ok(0);
+                }
+                exec.for_each_neighbors(&frontier, |list| seen.extend(list.iter().copied()))?;
+                seen.remove(&q.u);
+                Ok(seen.len() as u64)
+            });
+            exec.scratch.frontier = frontier;
+            exec.scratch.seen = seen;
+            result
         }
         QueryKind::Qt8TriangleCount => {
             // One shared, reference-counted neighbor list: every shard's
-            // intersection sub-query borrows the same allocation instead of
-            // cloning the full list per target (and scatter coalesces the
-            // per-shard sub-queries into batches).
-            let n: Arc<[VertexId]> = ctx.neighbors(q.u)?.into();
-            let items: Vec<(usize, SubQuery)> = n
-                .iter()
-                .take(TRIANGLE_CAP)
-                .map(|&w| (ctx.shard_of(w), SubQuery::CountIntersect(w, Arc::clone(&n))))
-                .collect();
-            let mut total = 0u64;
-            for resp in ctx.scatter(items)? {
-                match resp {
-                    SubResponse::Count(c) => total += c,
-                    _ => return Err(PlanError::ShardFailed),
+            // intersection sub-query borrows the same (pooled) allocation
+            // instead of cloning the full list per target.
+            let mut nu = std::mem::take(&mut exec.scratch.nu);
+            let result = exec.neighbors_into(q.u, &mut nu).and_then(|()| {
+                let mut payload = exec.scratch.acquire_payload();
+                Arc::get_mut(&mut payload)
+                    .expect("pooled payload is unshared")
+                    .extend_from_slice(&nu);
+                exec.round_begin();
+                for &w in nu.iter().take(TRIANGLE_CAP) {
+                    let s = exec.shard_of(w);
+                    exec.stage(s, SubQuery::CountIntersect(w, Arc::clone(&payload)));
                 }
-            }
-            Ok(total / 2) // each triangle counted from both endpoints
+                exec.scratch.payloads.push(payload);
+                exec.run_round()?;
+                let mut total = 0u64;
+                for &w in nu.iter().take(TRIANGLE_CAP) {
+                    let s = exec.shard_of(w);
+                    total += exec.next_scalar(s)?;
+                }
+                Ok(total / 2) // each triangle counted from both endpoints
+            });
+            exec.scratch.nu = nu;
+            result
         }
         QueryKind::Qt9CommonNetwork => {
-            let (mut nu, mut nv) = ctx.neighbors_pair(q.u, q.v)?;
-            nu.truncate(COMMON_CAP);
-            nv.truncate(COMMON_CAP);
-            let mut network_u: HashSet<VertexId> = HashSet::with_capacity(2048);
-            if !nu.is_empty() {
-                ctx.neighbors_many(&nu, |list| network_u.extend(list.iter().copied()))?;
-            }
-            let mut overlap = 0u64;
-            let mut network_v: HashSet<VertexId> = HashSet::with_capacity(2048);
-            if !nv.is_empty() {
-                ctx.neighbors_many(&nv, |list| {
-                    for &w in list {
-                        if network_v.insert(w) && network_u.contains(&w) {
-                            overlap += 1;
-                        }
+            let mut nu = std::mem::take(&mut exec.scratch.nu);
+            let mut nv = std::mem::take(&mut exec.scratch.nv);
+            let mut network_u = std::mem::take(&mut exec.scratch.seen);
+            let mut network_v = std::mem::take(&mut exec.scratch.seen2);
+            network_u.clear();
+            network_v.clear();
+            let result = exec
+                .neighbors_pair_into(q.u, q.v, &mut nu, &mut nv)
+                .and_then(|()| {
+                    nu.truncate(COMMON_CAP);
+                    nv.truncate(COMMON_CAP);
+                    if !nu.is_empty() {
+                        exec.for_each_neighbors(&nu, |list| {
+                            network_u.extend(list.iter().copied())
+                        })?;
                     }
-                })?;
-            }
-            Ok(overlap)
+                    let mut overlap = 0u64;
+                    if !nv.is_empty() {
+                        exec.for_each_neighbors(&nv, |list| {
+                            for &w in list {
+                                if network_v.insert(w) && network_u.contains(&w) {
+                                    overlap += 1;
+                                }
+                            }
+                        })?;
+                    }
+                    Ok(overlap)
+                });
+            exec.scratch.nu = nu;
+            exec.scratch.nv = nv;
+            exec.scratch.seen = network_u;
+            exec.scratch.seen2 = network_v;
+            result
         }
-        QueryKind::Qt10Distance3 => bfs_distance(ctx, q.u, q.v, 3, BFS3_CAP),
-        QueryKind::Qt11Distance4 => bfs_distance(ctx, q.u, q.v, 4, BFS4_CAP),
+        QueryKind::Qt10Distance3 => bfs_distance(exec, q.u, q.v, 3, BFS3_CAP),
+        QueryKind::Qt11Distance4 => bfs_distance(exec, q.u, q.v, 4, BFS4_CAP),
     }
 }
 
 /// Bounded breadth-first distance search: one communication round per hop,
 /// exactly the multi-round broker/shard interaction of §5.1.
 fn bfs_distance(
-    ctx: &PlanCtx<'_>,
+    exec: &mut Exec<'_>,
     from: VertexId,
     to: VertexId,
     max_hops: u32,
@@ -955,14 +1593,19 @@ fn bfs_distance(
     if from == to {
         return Ok(0);
     }
-    let mut visited: HashSet<VertexId> = HashSet::with_capacity(4096);
+    let mut visited = std::mem::take(&mut exec.scratch.seen);
+    let mut frontier = std::mem::take(&mut exec.scratch.frontier);
+    let mut next = std::mem::take(&mut exec.scratch.next);
+    visited.clear();
+    frontier.clear();
     visited.insert(from);
-    let mut frontier = vec![from];
+    frontier.push(from);
+    let mut result = Ok(u64::MAX);
     for hop in 1..=max_hops {
         frontier.truncate(frontier_cap);
-        let mut next = Vec::with_capacity(1024);
+        next.clear();
         let mut found = false;
-        ctx.neighbors_many(&frontier, |list| {
+        let round = exec.for_each_neighbors(&frontier, |list| {
             if found {
                 return;
             }
@@ -975,16 +1618,24 @@ fn bfs_distance(
                     next.push(w);
                 }
             }
-        })?;
+        });
+        if let Err(e) = round {
+            result = Err(e);
+            break;
+        }
         if found {
-            return Ok(hop as u64);
+            result = Ok(hop as u64);
+            break;
         }
         if next.is_empty() {
             break;
         }
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
     }
-    Ok(u64::MAX)
+    exec.scratch.seen = visited;
+    exec.scratch.frontier = frontier;
+    exec.scratch.next = next;
+    result
 }
 
 /// `|a ∩ b|` for sorted slices.

@@ -23,6 +23,7 @@ use crate::graph::{Graph, GraphConfig};
 use crate::query::Query;
 use crate::shard::{ShardConfig, ShardHost};
 use crate::transport::{InProcShardClient, ShardClient, TcpShardClient, TcpShardServer};
+use crate::wire::BufferPool;
 
 /// How brokers reach shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +32,14 @@ pub enum TransportKind {
     InProc,
     /// Real TCP over loopback with framed multiplexing.
     Tcp,
+    /// Thread-per-core in-process data path: clients reach broker engines
+    /// over submission lanes and each broker engine owns a private SPSC
+    /// ring pair to every shard, so a query's steady-state round trip
+    /// acquires no shared lock and allocates nothing (see
+    /// `docs/adr/001-performance-targets.md`). Queries must be submitted
+    /// through [`Cluster::execute`] / [`Cluster::execute_on`]; the
+    /// channel-style `submit_tagged` path does not exist in this mode.
+    Rings,
 }
 
 /// Closed-loop retuning of the broker tier (ADAPTIVE.md): one controller
@@ -112,6 +121,10 @@ pub struct Cluster {
     servers: Vec<TcpShardServer>,
     round_robin: AtomicUsize,
     controller: Option<Arc<Controller>>,
+    /// Encode-buffer pools of the TCP shard clients (empty off-TCP);
+    /// snapshotted into `pool_stats` events at shutdown.
+    pools: Vec<Arc<BufferPool>>,
+    sink: Option<Arc<dyn EventSink>>,
 }
 
 impl Cluster {
@@ -158,23 +171,54 @@ impl Cluster {
             controller
         });
 
-        let shards: Vec<Arc<ShardHost>> = (0..cfg.n_shards)
-            .map(|s| {
-                let policy = Arc::new(AcceptFraction::new(AcceptFractionConfig::new(
-                    cfg.shard_max_utilization,
-                    cfg.shard.engines,
-                )));
-                ShardHost::spawn(
-                    graph.shard_slice(s, cfg.n_shards),
-                    policy,
-                    clock.clone(),
-                    shard_cfg.clone(),
-                )
-            })
-            .collect();
+        // Rings mode wires the whole topology (per-engine ring pairs and
+        // client lanes) up front, before any host thread starts.
+        let mut broker_rigs = Vec::new();
+        let shard_policy = || {
+            Arc::new(AcceptFraction::new(AcceptFractionConfig::new(
+                cfg.shard_max_utilization,
+                cfg.shard.engines,
+            )))
+        };
+        let shards: Vec<Arc<ShardHost>> = if cfg.transport == TransportKind::Rings {
+            let (brigs, srigs) = crate::rings::build_topology(
+                cfg.n_brokers,
+                cfg.broker.engines as usize,
+                cfg.n_shards,
+                cfg.shard.engines as usize,
+            );
+            broker_rigs = brigs;
+            srigs
+                .into_iter()
+                .enumerate()
+                .map(|(s, rig)| {
+                    ShardHost::spawn_rings(
+                        graph.shard_slice(s, cfg.n_shards),
+                        shard_policy(),
+                        clock.clone(),
+                        shard_cfg.clone(),
+                        rig,
+                    )
+                })
+                .collect()
+        } else {
+            (0..cfg.n_shards)
+                .map(|s| {
+                    ShardHost::spawn(
+                        graph.shard_slice(s, cfg.n_shards),
+                        shard_policy(),
+                        clock.clone(),
+                        shard_cfg.clone(),
+                    )
+                })
+                .collect()
+        };
 
         let mut servers = Vec::new();
-        let make_clients = |servers: &mut Vec<TcpShardServer>| -> Vec<Arc<dyn ShardClient>> {
+        let mut pools: Vec<Arc<BufferPool>> = Vec::new();
+        let make_clients = |servers: &mut Vec<TcpShardServer>,
+                            pools: &mut Vec<Arc<BufferPool>>|
+         -> Vec<Arc<dyn ShardClient>> {
             match cfg.transport {
                 TransportKind::InProc => shards
                     .iter()
@@ -194,31 +238,46 @@ impl Cluster {
                     servers
                         .iter()
                         .map(|s| {
-                            Arc::new(
+                            let client = Arc::new(
                                 TcpShardClient::connect(s.addr(), cfg.tcp_connections)
                                     .expect("failed to connect shard"),
-                            ) as Arc<dyn ShardClient>
+                            );
+                            pools.push(Arc::clone(client.pool()));
+                            client as Arc<dyn ShardClient>
                         })
                         .collect()
                 }
+                TransportKind::Rings => unreachable!("rings mode does not use shard clients"),
             }
         };
 
+        let mut broker_rigs = broker_rigs.into_iter();
         let brokers: Vec<Arc<Broker>> = (0..cfg.n_brokers)
             .map(|_| {
                 let policy = broker_policy(&registry, cfg.broker.engines);
                 if let Some(c) = &controller {
                     c.attach_policy(Arc::clone(&policy));
                 }
-                Broker::spawn(
-                    make_clients(&mut servers),
-                    policy,
-                    clock.clone(),
-                    broker_cfg.clone(),
-                )
+                if cfg.transport == TransportKind::Rings {
+                    Broker::spawn_rings(
+                        shards.clone(),
+                        policy,
+                        clock.clone(),
+                        broker_cfg.clone(),
+                        broker_rigs.next().expect("one rig per broker"),
+                    )
+                } else {
+                    Broker::spawn(
+                        make_clients(&mut servers, &mut pools),
+                        policy,
+                        clock.clone(),
+                        broker_cfg.clone(),
+                    )
+                }
             })
             .collect();
 
+        let sink = broker_cfg.sink.clone();
         Self {
             registry,
             vertices,
@@ -228,7 +287,24 @@ impl Cluster {
             servers,
             round_robin: AtomicUsize::new(0),
             controller,
+            pools,
+            sink,
         }
+    }
+
+    /// Aggregated hit/miss/occupancy counters over every transport
+    /// encode-buffer pool in the cluster (all zeros off-TCP). Feed this to
+    /// [`bouncer_core::obs::render_prometheus_full`] for the
+    /// `bouncer_buffer_pool_*` metric family.
+    pub fn pool_counters(&self) -> bouncer_core::obs::PoolCounters {
+        let mut agg = bouncer_core::obs::PoolCounters::default();
+        for pool in &self.pools {
+            let c = pool.counters();
+            agg.hits += c.hits;
+            agg.misses += c.misses;
+            agg.pooled += c.pooled;
+        }
+        agg
     }
 
     /// The adaptive controller over the broker tier, when one was
@@ -270,6 +346,10 @@ impl Cluster {
     /// Offers a query on the next broker (round-robin) with the outcome
     /// delivered as `(token, outcome)` on `tx` — the open-loop submission
     /// path (see [`Broker::submit_tagged`]).
+    ///
+    /// # Panics
+    /// In [`TransportKind::Rings`] mode, which has no channel-style
+    /// submission path — use [`Cluster::execute`].
     pub fn submit_tagged(
         &self,
         q: Query,
@@ -329,7 +409,8 @@ impl Cluster {
         completed.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
     }
 
-    /// Stops every host and TCP server.
+    /// Stops every host and TCP server, then snapshots each transport
+    /// buffer pool into a final `pool_stats` event.
     pub fn shutdown(self) {
         for server in &self.servers {
             server.stop();
@@ -339,6 +420,15 @@ impl Cluster {
         }
         for s in self.shards {
             s.shutdown();
+        }
+        if let Some(sink) = &self.sink {
+            if sink.enabled() {
+                let now = self.clock.now();
+                for pool in &self.pools {
+                    pool.emit_stats("shard_client", sink.as_ref(), now);
+                }
+                sink.flush();
+            }
         }
     }
 }
@@ -405,6 +495,110 @@ mod tests {
             });
             assert!(matches!(out, ClientOutcome::Ok(_)), "{out:?}");
         }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_cluster_snapshots_buffer_pools_at_shutdown() {
+        use bouncer_core::obs::{Event, MemorySink};
+        let sink = Arc::new(MemorySink::new());
+        let cfg = ClusterConfig {
+            transport: TransportKind::Tcp,
+            tcp_connections: 2,
+            sink: Some(sink.clone()),
+            ..tiny_config()
+        };
+        let cluster = Cluster::spawn(&cfg, |_reg, _p| Arc::new(AlwaysAccept::new()));
+        for u in 0..20 {
+            let out = cluster.execute(Query {
+                kind: QueryKind::Qt1Degree,
+                u,
+                v: 0,
+            });
+            assert!(matches!(out, ClientOutcome::Ok(_)), "{out:?}");
+        }
+        // The live aggregate sees every encode-buffer request: the first
+        // get() per pool misses, steady state hits.
+        let agg = cluster.pool_counters();
+        assert!(agg.hits + agg.misses >= 20, "{agg:?}");
+        assert!(agg.hits > 0, "{agg:?}");
+        cluster.shutdown();
+
+        // One pool_stats snapshot per shard client (2 shards x 2 brokers),
+        // consistent with the live aggregate taken before shutdown.
+        let events = sink.events();
+        let snaps: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, Event::PoolStats { .. }))
+            .collect();
+        assert_eq!(snaps.len(), 4, "events={}", events.len());
+        let (mut hits, mut misses) = (0, 0);
+        for e in &snaps {
+            if let Event::PoolStats {
+                pool,
+                hits: h,
+                misses: m,
+                ..
+            } = e
+            {
+                assert_eq!(*pool, "shard_client");
+                hits += h;
+                misses += m;
+            }
+        }
+        assert_eq!((hits, misses), (agg.hits, agg.misses));
+    }
+
+    #[test]
+    fn cluster_answers_queries_over_rings() {
+        let cfg = ClusterConfig {
+            transport: TransportKind::Rings,
+            ..tiny_config()
+        };
+        let cluster = Cluster::spawn(&cfg, |_reg, _p| Arc::new(AlwaysAccept::new()));
+        for kind in QueryKind::ALL {
+            for u in 0..5 {
+                let out = cluster.execute(Query { kind, u, v: u + 13 });
+                assert!(matches!(out, ClientOutcome::Ok(_)), "{kind:?} {out:?}");
+            }
+        }
+        // Both tiers accounted the traffic through their gates.
+        let b0 = cluster.brokers()[0].stats().snapshot(1, 1).total_received();
+        let b1 = cluster.brokers()[1].stats().snapshot(1, 1).total_received();
+        assert_eq!(b0 + b1, (QueryKind::ALL.len() * 5) as u64);
+        let shard_recv: u64 = cluster
+            .shards()
+            .iter()
+            .map(|s| s.stats().snapshot(1, 1).total_received())
+            .sum();
+        assert!(shard_recv > 0, "shard gates saw no ring traffic");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn rings_rejects_early_when_policy_says_no() {
+        use bouncer_core::policy::{Decision, RejectReason};
+        use bouncer_core::types::TypeId;
+        struct RejectAll;
+        impl AdmissionPolicy for RejectAll {
+            fn name(&self) -> &str {
+                "reject-all"
+            }
+            fn admit(&self, _ty: TypeId, _now: Nanos) -> Decision {
+                Decision::Reject(RejectReason::PredictedSloViolation)
+            }
+        }
+        let cfg = ClusterConfig {
+            transport: TransportKind::Rings,
+            ..tiny_config()
+        };
+        let cluster = Cluster::spawn(&cfg, |_reg, _p| Arc::new(RejectAll));
+        let out = cluster.execute(Query {
+            kind: QueryKind::Qt1Degree,
+            u: 1,
+            v: 0,
+        });
+        assert!(matches!(out, ClientOutcome::Rejected(_)), "{out:?}");
         cluster.shutdown();
     }
 

@@ -251,6 +251,11 @@ impl TcpBrokerClient {
         })
     }
 
+    /// The client's encode-buffer pool, for observability snapshots.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
     /// Sends a query; the channel yields its outcome.
     pub fn submit(&self, query: Query) -> Receiver<RemoteOutcome> {
         let (tx, rx) = bounded(1);

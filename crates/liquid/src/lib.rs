@@ -29,6 +29,7 @@ pub mod cluster;
 pub mod front;
 pub mod graph;
 pub mod query;
+pub(crate) mod rings;
 pub mod shard;
 pub mod transport;
 pub mod wire;

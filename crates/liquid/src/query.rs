@@ -123,9 +123,13 @@ pub struct QueryResult {
 /// A sub-query a broker sends to one shard. Batched forms (`*Many`) carry
 /// every vertex of the round's frontier owned by that shard.
 ///
-/// List payloads are `Arc<[VertexId]>` so a fan-out that sends the same
+/// List payloads are `Arc<Vec<VertexId>>` so a fan-out that sends the same
 /// read-only list to several shards (QT8's neighbor list, the BFS
-/// frontiers) shares one allocation instead of cloning a `Vec` per target.
+/// frontiers) shares one allocation instead of cloning a `Vec` per target —
+/// and, unlike `Arc<[VertexId]>`, the inner `Vec` can be reclaimed through
+/// `Arc::get_mut` once every reader has dropped its clone, which is what
+/// lets the rings transport recycle payload buffers instead of
+/// reallocating them every round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubQuery {
     /// Neighbors of one vertex.
@@ -135,11 +139,11 @@ pub enum SubQuery {
     /// Does the edge `(u, v)` exist? (Sent to `u`'s owner.)
     HasEdge(VertexId, VertexId),
     /// Neighbors of several owned vertices.
-    NeighborsMany(Arc<[VertexId]>),
+    NeighborsMany(Arc<Vec<VertexId>>),
     /// Degrees of several owned vertices.
-    DegreeMany(Arc<[VertexId]>),
+    DegreeMany(Arc<Vec<VertexId>>),
     /// `|neighbors(v) ∩ ids|` with `ids` sorted ascending.
-    CountIntersect(VertexId, Arc<[VertexId]>),
+    CountIntersect(VertexId, Arc<Vec<VertexId>>),
 }
 
 impl SubQuery {
@@ -207,6 +211,27 @@ impl IdLists {
         self.ends.push(self.ids.len() as u32);
     }
 
+    /// Clears all lists, keeping both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.ends.clear();
+        self.ids.clear();
+    }
+
+    /// Truncates to the first `n` lists, dropping any ids appended after
+    /// the `n`-th seal (including unsealed ids from a partial list). Used
+    /// to roll back a half-built item when a sub-query fails mid-batch.
+    pub fn truncate_lists(&mut self, n: usize) {
+        if n >= self.ends.len() {
+            // Still drop unsealed ids so a partial list never leaks.
+            let end = self.ends.last().copied().unwrap_or(0) as usize;
+            self.ids.truncate(end);
+            return;
+        }
+        let end = if n == 0 { 0 } else { self.ends[n - 1] as usize };
+        self.ends.truncate(n);
+        self.ids.truncate(end);
+    }
+
     /// The `i`-th list, in push order.
     pub fn get(&self, i: usize) -> Option<&[VertexId]> {
         let end = *self.ends.get(i)? as usize;
@@ -227,6 +252,59 @@ impl<S: AsRef<[VertexId]>> FromIterator<S> for IdLists {
             out.push(list.as_ref());
         }
         out
+    }
+}
+
+/// Per-item status inside a [`RepBatch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RepStatus {
+    /// The item executed; its payload follows positionally in the batch's
+    /// flat buffers.
+    #[default]
+    Ok,
+    /// The shard's admission gate rejected the round.
+    Rejected,
+    /// The item referenced a vertex the shard does not own (or otherwise
+    /// failed); it contributes no payload.
+    Error,
+}
+
+/// A shard's reply to one round's batch of sub-queries, staged into flat
+/// reusable buffers instead of one enum allocation per item.
+///
+/// Layout contract (what the broker-side cursor relies on):
+/// * one [`RepStatus`] per sub-query, in request order;
+/// * `Neighbors` appends one list to `lists`; `NeighborsMany` appends one
+///   list per requested vertex;
+/// * `Degree`/`DegreeMany` append one count per requested vertex to
+///   `counts`;
+/// * `HasEdge` appends `0`/`1` and `CountIntersect` appends the count to
+///   `scalars`;
+/// * `Rejected`/`Error` items append nothing.
+///
+/// Both transports stage replies here — the channel path converts its
+/// per-shard `SubOutcome`s into a `RepBatch`, the rings path has shards
+/// write into one directly — so the plan-side reply walking is shared and
+/// rings ≡ channels holds by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepBatch {
+    /// Per-item status, in request order.
+    pub status: Vec<RepStatus>,
+    /// Flattened neighbor lists, in item-then-vertex order.
+    pub lists: IdLists,
+    /// Degrees, in item-then-vertex order.
+    pub counts: Vec<u32>,
+    /// Scalar answers (counts; flags as `0`/`1`), in item order.
+    pub scalars: Vec<u64>,
+}
+
+impl RepBatch {
+    /// Clears all buffers, keeping capacity.
+    pub fn clear(&mut self) {
+        self.status.clear();
+        self.lists.clear();
+        self.counts.clear();
+        self.scalars.clear();
     }
 }
 
@@ -296,5 +374,39 @@ mod tests {
         assert_eq!(collected, vec![&[1, 2, 3][..], &[][..], &[9][..]]);
         let from_iter: IdLists = [vec![1u32, 2, 3], vec![], vec![9]].into_iter().collect();
         assert_eq!(from_iter, lists);
+    }
+
+    #[test]
+    fn id_lists_clear_and_truncate() {
+        let mut lists = IdLists::default();
+        lists.push(&[1, 2]);
+        lists.push(&[3]);
+        lists.push_id(4); // unsealed partial list
+        lists.truncate_lists(2);
+        assert_eq!(lists.len(), 2);
+        assert_eq!(lists.total_ids(), 3);
+        lists.truncate_lists(1);
+        assert_eq!(lists.get(0), Some(&[1, 2][..]));
+        assert_eq!(lists.total_ids(), 2);
+        lists.truncate_lists(0);
+        assert!(lists.is_empty());
+        assert_eq!(lists.total_ids(), 0);
+        lists.push(&[7]);
+        lists.clear();
+        assert!(lists.is_empty() && lists.total_ids() == 0);
+    }
+
+    #[test]
+    fn rep_batch_clears_in_place() {
+        let mut rep = RepBatch::default();
+        rep.status.push(RepStatus::Ok);
+        rep.lists.push(&[1, 2]);
+        rep.counts.push(9);
+        rep.scalars.push(1);
+        rep.clear();
+        assert!(rep.status.is_empty());
+        assert!(rep.lists.is_empty());
+        assert!(rep.counts.is_empty() && rep.scalars.is_empty());
+        assert_eq!(RepStatus::default(), RepStatus::Ok);
     }
 }

@@ -7,20 +7,23 @@
 //! processing it." In the paper's evaluation, shards — where CPU is the
 //! limiting resource — always run the AcceptFraction policy (§5.4).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bouncer_core::framework::{Gate, GateConfig, ServerStats, TakeOutcome, Ticker};
 use bouncer_core::obs::{null_sink, EventSink, SpanKind, TraceContext, Tracer};
-use bouncer_core::policy::AdmissionPolicy;
+use bouncer_core::policy::{AdmissionPolicy, RejectReason};
 use bouncer_core::types::DEFAULT_TYPE;
-use bouncer_metrics::Clock;
+use bouncer_metrics::spsc::Waker;
+use bouncer_metrics::{Clock, Nanos};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::graph::ShardData;
-use crate::query::{IdLists, SubQuery, SubResponse};
+use crate::query::{IdLists, RepBatch, RepStatus, SubQuery, SubResponse};
+use crate::rings::{ShardEngineRig, ShardRig};
 
 /// Outcome of a sub-query as observed by the calling broker.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +100,13 @@ impl Default for ShardConfig {
     }
 }
 
+/// Shutdown handle for rings-mode engines: they wait on SPSC wakers, not
+/// on the gate's FIFO, so shutdown must set the flag and wake them.
+struct RingsShutdown {
+    stop: Arc<AtomicBool>,
+    wakers: Vec<Arc<Waker>>,
+}
+
 /// A running shard host.
 pub struct ShardHost {
     gate: Arc<Gate<Job>>,
@@ -106,6 +116,7 @@ pub struct ShardHost {
     engines: Mutex<Vec<JoinHandle<()>>>,
     _ticker: Ticker,
     parallelism: u32,
+    rings: Option<RingsShutdown>,
 }
 
 impl ShardHost {
@@ -147,7 +158,84 @@ impl ShardHost {
             engines: Mutex::new(engines),
             _ticker: ticker,
             parallelism: cfg.engines,
+            rings: None,
         })
+    }
+
+    /// Spawns the shard in rings mode: one engine thread per
+    /// [`ShardEngineRig`], each servicing its own set of SPSC ring pairs
+    /// instead of the gate's shared FIFO. The gate still runs the
+    /// admission policy and stats; its internal queue stays empty
+    /// (admission and dequeue are driven through the gate's external
+    /// hooks, producer-side by the broker and consumer-side here).
+    pub(crate) fn spawn_rings(
+        data: ShardData,
+        policy: Arc<dyn AdmissionPolicy>,
+        clock: Arc<dyn Clock>,
+        cfg: ShardConfig,
+        rig: ShardRig,
+    ) -> Arc<Self> {
+        assert_eq!(
+            rig.engines.len(),
+            cfg.engines as usize,
+            "ring topology must match engine count"
+        );
+        let gate: Arc<Gate<Job>> = Arc::new(Gate::new_with_sink(
+            policy.clone(),
+            1,
+            clock.clone(),
+            GateConfig {
+                max_queue_len: cfg.max_queue_len,
+                ..GateConfig::default()
+            },
+            cfg.sink.clone().unwrap_or_else(null_sink),
+        ));
+        let data = Arc::new(data);
+        let tracer = cfg.tracer.filter(|t| t.enabled());
+        let stop = Arc::new(AtomicBool::new(false));
+        let wakers: Vec<Arc<Waker>> = rig.engines.iter().map(|e| Arc::clone(&e.waker)).collect();
+        let engines = rig
+            .engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, engine_rig)| {
+                let gate = Arc::clone(&gate);
+                let data = Arc::clone(&data);
+                let tracer = tracer.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("shard{}-ring{}", data.shard(), i))
+                    .spawn(move || {
+                        rings_engine_loop(&gate, &data, engine_rig, &stop, tracer.as_deref())
+                    })
+                    .expect("failed to spawn shard ring engine")
+            })
+            .collect();
+        let ticker = Ticker::spawn(policy, clock, cfg.tick_period);
+        Arc::new(Self {
+            gate,
+            engines: Mutex::new(engines),
+            _ticker: ticker,
+            parallelism: cfg.engines,
+            rings: Some(RingsShutdown { stop, wakers }),
+        })
+    }
+
+    /// Rings-mode admission: runs the policy and, on acceptance, returns
+    /// the timestamp to stamp on the request. Called by the *broker*
+    /// engine (the ring producer) before pushing a round's batch.
+    pub(crate) fn ring_admit(&self) -> Result<Nanos, RejectReason> {
+        self.gate.admit_external(DEFAULT_TYPE)
+    }
+
+    /// Rings-mode enqueue bookkeeping after a successful ring push.
+    pub(crate) fn ring_enqueued(&self, enqueued_at: Nanos, queue_len: usize) {
+        self.gate.enqueued_external(DEFAULT_TYPE, enqueued_at, queue_len);
+    }
+
+    /// Rings-mode queue-full rejection: the request ring had no room.
+    pub(crate) fn ring_reject_full(&self, at: Nanos) {
+        self.gate.reject_full_external(DEFAULT_TYPE, at);
     }
 
     /// Offers a sub-query; the returned channel yields its outcome. A
@@ -227,6 +315,12 @@ impl ShardHost {
     /// otherwise). Idempotent: later calls find no handles left.
     pub fn shutdown(&self) {
         self.gate.close();
+        if let Some(rings) = &self.rings {
+            rings.stop.store(true, Ordering::Release);
+            for waker in &rings.wakers {
+                waker.wake();
+            }
+        }
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.engines.lock());
         for handle in handles {
             let _ = handle.join();
@@ -315,6 +409,85 @@ fn engine_loop(gate: &Gate<Job>, data: &ShardData, tracer: Option<&Tracer>) {
     }
 }
 
+/// Rings-mode engine loop: sweep this engine's ring pairs, execute each
+/// popped batch straight into the reply slot's [`RepBatch`], and park on
+/// the engine waker when every ring is empty. Steady state touches no lock
+/// and allocates nothing: request `subs` buffers and reply batches live in
+/// the ring slots and are cleared, not dropped.
+fn rings_engine_loop(
+    gate: &Gate<Job>,
+    data: &ShardData,
+    mut rig: ShardEngineRig,
+    stop: &AtomicBool,
+    tracer: Option<&Tracer>,
+) {
+    let shard = data.shard() as u16;
+    rig.waker.register_current();
+    let emit_spans = |ctx: Option<TraceContext>, enqueued_at: u64, dequeued_at: u64| {
+        if let (Some(tracer), Some(ctx)) = (tracer, ctx) {
+            if ctx.sampled {
+                tracer.emit_span(
+                    ctx.trace,
+                    SpanKind::ShardQueue { shard },
+                    ctx.parent,
+                    enqueued_at,
+                    dequeued_at,
+                );
+                tracer.emit_span(
+                    ctx.trace,
+                    SpanKind::ShardService { shard },
+                    ctx.parent,
+                    dequeued_at,
+                    gate.clock().now(),
+                );
+            }
+        }
+    };
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut worked = false;
+        for (req, rep) in rig.ports.iter_mut() {
+            // Execute inside the pop closure: the slot is ours until the
+            // closure returns, and with at most one outstanding request
+            // per pair nothing waits on the slot being released early.
+            // The `subs` buffer travels back inside the reply so the
+            // broker reclaims it (and the payload `Arc`s it holds) the
+            // moment it pops — no cross-thread drop races.
+            let serviced = req.try_pop(|slot| {
+                let subs = std::mem::take(&mut slot.subs);
+                let enqueued_at = slot.enqueued_at;
+                let ctx = slot.ctx;
+                let (dequeued_at, _expired) =
+                    gate.dequeued_external(DEFAULT_TYPE, enqueued_at, None);
+                let pushed = rep.try_push(|out| {
+                    out.batch.clear();
+                    for sub in &subs {
+                        execute_into(data, sub, &mut out.batch);
+                    }
+                    out.subs = subs;
+                });
+                // Reply capacity == request capacity and the broker pops
+                // every reply before reusing the pair, so this cannot fail.
+                assert!(pushed, "shard reply ring full");
+                gate.complete(DEFAULT_TYPE, enqueued_at, dequeued_at);
+                emit_spans(ctx, enqueued_at, dequeued_at);
+            });
+            worked |= serviced.is_some();
+        }
+        if worked {
+            continue;
+        }
+        rig.waker.prepare_park();
+        if stop.load(Ordering::Acquire) || rig.ports.iter().any(|(req, _)| !req.is_empty()) {
+            rig.waker.cancel_park();
+            continue;
+        }
+        rig.waker.park(Duration::from_millis(1));
+    }
+}
+
 /// Executes a sub-query against the shard's slice. `None` on a sub-query
 /// for a vertex this shard does not own.
 fn execute(data: &ShardData, sub: &SubQuery) -> Option<SubResponse> {
@@ -357,6 +530,91 @@ fn execute(data: &ShardData, sub: &SubQuery) -> Option<SubResponse> {
             };
             Some(SubResponse::Count(count as u64))
         }
+    }
+}
+
+/// [`execute`]'s staging twin for the rings path: appends one status plus
+/// the item's payload to `rep` per the [`RepBatch`] layout contract. Keeps
+/// `execute`'s all-or-none-per-item semantics — a failed `*Many` item
+/// rolls back its partial payload and contributes only an `Error` status.
+fn execute_into(data: &ShardData, sub: &SubQuery, rep: &mut RepBatch) {
+    match sub {
+        SubQuery::Neighbors(v) => match data.neighbors(*v) {
+            Some(l) => {
+                rep.lists.push(l);
+                rep.status.push(RepStatus::Ok);
+            }
+            None => rep.status.push(RepStatus::Error),
+        },
+        SubQuery::Degree(v) => match data.neighbors(*v) {
+            Some(l) => {
+                rep.counts.push(l.len() as u32);
+                rep.status.push(RepStatus::Ok);
+            }
+            None => rep.status.push(RepStatus::Error),
+        },
+        SubQuery::HasEdge(u, v) => match data.neighbors(*u) {
+            Some(l) => {
+                rep.scalars.push(u64::from(l.binary_search(v).is_ok()));
+                rep.status.push(RepStatus::Ok);
+            }
+            None => rep.status.push(RepStatus::Error),
+        },
+        SubQuery::NeighborsMany(vs) => {
+            let mark = rep.lists.len();
+            let mut ok = true;
+            for v in vs.iter() {
+                match data.neighbors(*v) {
+                    Some(l) => rep.lists.push(l),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                rep.status.push(RepStatus::Ok);
+            } else {
+                rep.lists.truncate_lists(mark);
+                rep.status.push(RepStatus::Error);
+            }
+        }
+        SubQuery::DegreeMany(vs) => {
+            let mark = rep.counts.len();
+            let mut ok = true;
+            for v in vs.iter() {
+                match data.neighbors(*v) {
+                    Some(l) => rep.counts.push(l.len() as u32),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                rep.status.push(RepStatus::Ok);
+            } else {
+                rep.counts.truncate(mark);
+                rep.status.push(RepStatus::Error);
+            }
+        }
+        SubQuery::CountIntersect(v, ids) => match data.neighbors(*v) {
+            Some(neighbors) => {
+                let count = if neighbors.len() <= ids.len() {
+                    neighbors
+                        .iter()
+                        .filter(|n| ids.binary_search(n).is_ok())
+                        .count()
+                } else {
+                    ids.iter()
+                        .filter(|i| neighbors.binary_search(i).is_ok())
+                        .count()
+                };
+                rep.scalars.push(count as u64);
+                rep.status.push(RepStatus::Ok);
+            }
+            None => rep.status.push(RepStatus::Error),
+        },
     }
 }
 
@@ -465,7 +723,7 @@ mod tests {
         );
         // Saturate the single engine so later batches hit the queue limit.
         let receivers: Vec<_> = (0..64)
-            .map(|_| host.submit_batch(vec![SubQuery::NeighborsMany((0..1000).collect()); 4], None))
+            .map(|_| host.submit_batch(vec![SubQuery::NeighborsMany(Arc::new((0..1000).collect())); 4], None))
             .collect();
         let outcomes: Vec<Vec<SubOutcome>> =
             receivers.into_iter().map(|rx| rx.recv().unwrap()).collect();
@@ -513,7 +771,7 @@ mod tests {
         // Saturate: many submissions; at least some must be rejected
         // immediately while the single engine is busy.
         let receivers: Vec<_> = (0..64)
-            .map(|_| host.submit(SubQuery::NeighborsMany((0..1000).collect())))
+            .map(|_| host.submit(SubQuery::NeighborsMany(Arc::new((0..1000).collect()))))
             .collect();
         let outcomes: Vec<_> = receivers.into_iter().map(|rx| rx.recv().unwrap()).collect();
         assert!(outcomes.contains(&SubOutcome::Rejected));

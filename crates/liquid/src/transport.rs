@@ -288,6 +288,11 @@ impl TcpShardClient {
         })
     }
 
+    /// The client's encode-buffer pool, for observability snapshots.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
     /// Registers a waiter, writes one staged frame, and unwinds the waiter
     /// on a failed write.
     fn send_frame(&self, id: u64, conn: &TcpConn, frame: &[u8]) {
@@ -432,7 +437,7 @@ mod tests {
             SubQuery::Neighbors(6),
             SubQuery::HasEdge(5, g.neighbors(5)[0]),
             SubQuery::DegreeMany(vec![1, 2, 3].into()),
-            SubQuery::CountIntersect(7, (0..100).collect()),
+            SubQuery::CountIntersect(7, Arc::new((0..100).collect())),
         ];
         for client in clients {
             // The batched outcomes must equal the item-by-item outcomes.

@@ -55,9 +55,11 @@
 //! `None` — the extension is backward- and forward-compatible. A present
 //! but unknown version (or a truncated context) is a [`DecodeError`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bouncer_core::obs::{SpanId, TraceContext, TraceId};
+use bouncer_core::obs::{Event, EventSink, PoolCounters, SpanId, TraceContext, TraceId};
+use bouncer_metrics::time::Nanos;
 use bytes::{Buf, BufMut, Bytes};
 use parking_lot::Mutex;
 
@@ -649,6 +651,8 @@ pub struct BufferPool {
     bufs: Mutex<Vec<Vec<u8>>>,
     max_pooled: usize,
     max_retained_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl BufferPool {
@@ -659,6 +663,8 @@ impl BufferPool {
             bufs: Mutex::new(Vec::with_capacity(max_pooled)),
             max_pooled,
             max_retained_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         })
     }
 
@@ -670,9 +676,13 @@ impl BufferPool {
 
     /// Takes a cleared buffer from the pool (or allocates a fresh one).
     pub fn get(self: &Arc<Self>) -> PooledBuf {
-        let buf = self.bufs.lock().pop().unwrap_or_default();
+        let recycled = self.bufs.lock().pop();
+        match &recycled {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
         PooledBuf {
-            buf,
+            buf: recycled.unwrap_or_default(),
             pool: Arc::clone(self),
         }
     }
@@ -680,6 +690,30 @@ impl BufferPool {
     /// Buffers currently parked in the pool.
     pub fn pooled(&self) -> usize {
         self.bufs.lock().len()
+    }
+
+    /// A snapshot of the pool's hit/miss totals and current occupancy.
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            pooled: self.pooled() as u64,
+        }
+    }
+
+    /// Emits an [`Event::PoolStats`] snapshot of this pool to `sink`.
+    ///
+    /// Call this at natural boundaries (shutdown, periodic flushes); the
+    /// hot `get()` path only bumps relaxed atomics.
+    pub fn emit_stats(&self, label: &'static str, sink: &dyn EventSink, at: Nanos) {
+        let c = self.counters();
+        sink.emit(&Event::PoolStats {
+            at,
+            pool: label,
+            hits: c.hits,
+            misses: c.misses,
+            pooled: c.pooled,
+        });
     }
 
     fn put_back(&self, mut buf: Vec<u8>) {
@@ -965,5 +999,42 @@ mod tests {
             big.resize(1024, 0);
         }
         assert!(pool.bufs.lock().iter().all(|b| b.capacity() <= 64));
+    }
+
+    #[test]
+    fn buffer_pool_counts_hits_and_misses() {
+        let pool = BufferPool::new(2, 64);
+        // Empty pool: first two gets are misses.
+        let a = pool.get();
+        let b = pool.get();
+        drop(a);
+        drop(b);
+        // Both parked now; the next two gets are hits.
+        let a = pool.get();
+        let b = pool.get();
+        let c = pool.counters();
+        assert_eq!((c.hits, c.misses, c.pooled), (2, 2, 0));
+        drop(a);
+        drop(b);
+        assert_eq!(pool.counters().pooled, 2);
+
+        // The snapshot reaches a sink as one pool_stats event.
+        let sink = bouncer_core::obs::MemorySink::new();
+        pool.emit_stats("shard_client", &sink, 99);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            Event::PoolStats {
+                at,
+                pool: label,
+                hits,
+                misses,
+                pooled,
+            } => {
+                assert_eq!((at, label), (99, "shard_client"));
+                assert_eq!((hits, misses, pooled), (2, 2, 2));
+            }
+            ref other => panic!("unexpected event {other:?}"),
+        }
     }
 }

@@ -10,9 +10,12 @@
 //! everything, and any deviation between the two paths would surface as a
 //! mismatched outcome rather than racy noise.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bouncer_core::policy::AlwaysAccept;
+use bouncer_core::policy::{AdmissionPolicy, AlwaysAccept, Decision, RejectReason};
+use bouncer_core::types::TypeId;
+use bouncer_metrics::Nanos;
 use liquid::broker::{BrokerConfig, ClientOutcome};
 use liquid::cluster::{Cluster, ClusterConfig, TransportKind};
 use liquid::graph::GraphConfig;
@@ -41,6 +44,12 @@ fn config(transport: TransportKind, batch_fanout: bool) -> ClusterConfig {
         },
         transport,
         tcp_connections: 2,
+        // The shard tier's AcceptFraction sheds probabilistically once
+        // measured utilization crosses the target — which scheduler noise
+        // can trigger even unloaded. Equivalence needs admission decisions
+        // that depend only on the injected broker policy, so pin the
+        // target out of reach.
+        shard_max_utilization: 1e9,
         ..ClusterConfig::default()
     }
 }
@@ -96,4 +105,84 @@ fn batched_equals_unbatched_in_proc() {
 #[test]
 fn batched_equals_unbatched_over_tcp() {
     assert_equivalent(TransportKind::Tcp);
+}
+
+/// Deterministically rejects every `n`-th query, so admission parity is
+/// exercised on both the accept and the reject branch. Closed-loop
+/// submission makes the call sequence (and therefore the decision
+/// sequence) identical across clusters.
+#[derive(Debug)]
+struct RejectEveryNth {
+    n: u64,
+    calls: AtomicU64,
+}
+
+impl AdmissionPolicy for RejectEveryNth {
+    fn name(&self) -> &str {
+        "reject-every-nth"
+    }
+    fn admit(&self, _ty: TypeId, _now: Nanos) -> Decision {
+        if self.calls.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.n) {
+            Decision::Reject(RejectReason::PredictedSloViolation)
+        } else {
+            Decision::Accept
+        }
+    }
+}
+
+fn random_mix_seeded(seed: u64, vertices: u32, per_kind: usize) -> Vec<Query> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut queries = Vec::new();
+    for _ in 0..per_kind {
+        for kind in QueryKind::ALL {
+            queries.push(Query::random(kind, vertices, &mut rng));
+        }
+    }
+    queries
+}
+
+/// The tentpole equivalence matrix: the thread-per-core rings data path
+/// must be observably identical to the channel path it bypasses — same
+/// results byte for byte (`ClientOutcome` derives `Eq` over the full
+/// response payload) and the same admission decision per query — across
+/// several fixed query-mix seeds.
+#[test]
+fn rings_equals_channels_across_seeds() {
+    for seed in [0xA11CEu64, 0x0B0B, 0xC0FFEE] {
+        let policy = |_reg: &_, _p: u32| -> Arc<dyn AdmissionPolicy> {
+            Arc::new(RejectEveryNth {
+                n: 5,
+                calls: AtomicU64::new(0),
+            })
+        };
+        let rings = Cluster::spawn(&config(TransportKind::Rings, true), policy);
+        let channels = Cluster::spawn(&config(TransportKind::InProc, true), policy);
+        assert_eq!(rings.vertices(), channels.vertices());
+
+        let queries = random_mix_seeded(seed, rings.vertices(), 4);
+        let got_rings = run_mix(&rings, &queries);
+        let got_channels = run_mix(&channels, &queries);
+        for (i, (r, c)) in got_rings.iter().zip(&got_channels).enumerate() {
+            assert_eq!(
+                r, c,
+                "query #{i} {:?} diverged between rings and channels (seed {seed:#x})",
+                queries[i]
+            );
+        }
+        // Sanity: both branches of the matrix actually ran — the policy
+        // rejected some queries and the shards serviced the rest.
+        let rejected = got_rings
+            .iter()
+            .filter(|o| matches!(o, ClientOutcome::Rejected(_)))
+            .count();
+        let serviced = got_rings
+            .iter()
+            .filter(|o| matches!(o, ClientOutcome::Ok(_)))
+            .count();
+        assert!(rejected > 0 && serviced > 0, "{rejected}/{serviced}");
+        assert_eq!(rejected + serviced, queries.len());
+
+        rings.shutdown();
+        channels.shutdown();
+    }
 }

@@ -21,6 +21,9 @@
 //!   (the `SW` structure of Algorithms 2 and 3), with O(1) rolling totals.
 //! * [`moving`] — sliding-window moving averages of processing time and
 //!   arrival rate (`pt_mavg`, `qps_mavg`) used by MaxQWT and AcceptFraction.
+//! * [`spsc`] — bounded single-producer/single-consumer rings with in-place
+//!   slot access and park/unpark backoff, the hop primitive of the liquid
+//!   cluster's thread-per-core `rings` transport.
 
 #![warn(missing_docs)]
 
@@ -31,6 +34,7 @@ pub mod histogram;
 pub mod moving;
 pub(crate) mod ring;
 pub mod sliding;
+pub mod spsc;
 pub mod time;
 pub mod window;
 

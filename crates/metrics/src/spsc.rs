@@ -1,0 +1,631 @@
+//! Bounded single-producer/single-consumer rings for the thread-per-core
+//! data path.
+//!
+//! A [`channel`] is a fixed-capacity power-of-two ring of pre-initialized
+//! slots with one [`Producer`] and one [`Consumer`] handle. Because each
+//! side is a unique owner, the only shared state is a pair of monotone
+//! indices — no mutex, no CAS loop, no allocation — and a slot is accessed
+//! in place through closures ([`Producer::try_push`],
+//! [`Consumer::try_pop`]), so payload buffers stay resident in the ring and
+//! are reused across messages.
+//!
+//! Head and tail live on separate cache lines ([`Padded`]) so the producer
+//! and consumer cores do not false-share, and each side caches the opposite
+//! index, refreshing it only when the ring looks full (producer) or empty
+//! (consumer) — the steady-state push/pop executes one relaxed load, one
+//! slot write, and one release store.
+//!
+//! Blocking is cooperative: every ring carries an [`Arc<Waker>`] naming its
+//! consumer. A producer's push ends with a `SeqCst` fence and a relaxed
+//! state load, waking the consumer only if it advertised itself as parked
+//! (the crossbeam-parker handshake), so an awake consumer costs a push
+//! nothing but the fence. One waker may be shared by many rings: an engine
+//! thread that serves several rings parks once for all of them and is woken
+//! by whichever producer arrives first.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+/// Pads (and aligns) a value to a 64-byte cache line so two adjacent
+/// atomics never false-share.
+#[repr(align(64))]
+struct Padded<T>(T);
+
+/// No registered consumer thread yet.
+const WAKER_EMPTY: u32 = 0;
+/// A consumer thread is registered and running.
+const WAKER_IDLE: u32 = 1;
+/// The consumer advertised it is parked (or about to park).
+const WAKER_PARKED: u32 = 2;
+/// A producer claimed the exclusive right to read the thread cell and
+/// unpark it.
+const WAKER_WAKING: u32 = 3;
+
+/// Park/unpark rendezvous for one consumer thread, shareable across every
+/// ring that thread consumes.
+///
+/// The registered [`Thread`] handle lives in a plain cell; exclusivity is
+/// arbitrated through the state machine instead of a lock. Writes happen
+/// only in [`Waker::register_current`] (the unique consumer, never while a
+/// producer holds `WAKING`); reads happen only under a successfully claimed
+/// `PARKED -> WAKING` transition. The consumer re-registers each time it
+/// prepares to park, so handles stay correct even when consumption moves
+/// between threads (a front lane claimed by different client threads).
+pub struct Waker {
+    state: AtomicU32,
+    thread: UnsafeCell<Option<Thread>>,
+}
+
+// SAFETY: the `thread` cell is only written by the (unique) consumer while
+// no producer is in the `WAKING` state, and only read by the single
+// producer that won the `PARKED -> WAKING` CAS; `register_current` spins
+// out any in-flight reader first.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// A fresh waker with no registered consumer.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: AtomicU32::new(WAKER_EMPTY),
+            thread: UnsafeCell::new(None),
+        })
+    }
+
+    /// Registers the calling thread as the consumer this waker unparks.
+    ///
+    /// Must only be called by the current (unique) consumer of the rings
+    /// sharing this waker.
+    pub fn register_current(&self) {
+        // Wait out a producer that is still reading the previous handle.
+        while self.state.load(Ordering::Acquire) == WAKER_WAKING {
+            std::hint::spin_loop();
+        }
+        // SAFETY: we are the unique consumer and no producer is reading
+        // (producers only read under WAKING, excluded above and unreachable
+        // again until we store PARKED).
+        unsafe { *self.thread.get() = Some(std::thread::current()) };
+        self.state.store(WAKER_IDLE, Ordering::Release);
+    }
+
+    /// Advertises the consumer as parked. Call [`Waker::register_current`]
+    /// first, re-check every ring, then [`Waker::park`]; re-checking after
+    /// this store closes the lost-wakeup window against the producers'
+    /// post-push fence.
+    pub fn prepare_park(&self) {
+        self.state.store(WAKER_PARKED, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+    }
+
+    /// Cancels an advertised park (new work was found on the re-check).
+    pub fn cancel_park(&self) {
+        // Leave WAKING alone: the producer will store IDLE when done.
+        let _ = self.state.compare_exchange(
+            WAKER_PARKED,
+            WAKER_IDLE,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Parks the calling thread for at most `timeout`, then clears the
+    /// parked advertisement. Returns spuriously at will; callers loop.
+    pub fn park(&self, timeout: Duration) {
+        if self.state.load(Ordering::SeqCst) == WAKER_PARKED {
+            std::thread::park_timeout(timeout);
+        }
+        self.cancel_park();
+    }
+
+    /// Wakes the consumer if (and only if) it advertised itself parked.
+    /// Cheap when the consumer is running: one relaxed load.
+    #[inline]
+    pub fn wake(&self) {
+        if self.state.load(Ordering::Relaxed) == WAKER_PARKED {
+            self.wake_slow();
+        }
+    }
+
+    #[cold]
+    fn wake_slow(&self) {
+        if self
+            .state
+            .compare_exchange(
+                WAKER_PARKED,
+                WAKER_WAKING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            // SAFETY: winning the CAS grants exclusive read access; the
+            // consumer spins while WAKING before rewriting the cell.
+            let handle = unsafe { (*self.thread.get()).clone() };
+            self.state.store(WAKER_IDLE, Ordering::Release);
+            if let Some(t) = handle {
+                t.unpark();
+            }
+        }
+    }
+}
+
+/// State shared by the two endpoints of one ring.
+struct Shared<T> {
+    buf: Box<[UnsafeCell<T>]>,
+    mask: usize,
+    /// Next slot to pop; written only by the consumer.
+    head: Padded<AtomicUsize>,
+    /// Next slot to push; written only by the producer.
+    tail: Padded<AtomicUsize>,
+    closed: AtomicBool,
+    waker: Arc<Waker>,
+}
+
+// SAFETY: slots are handed off between exactly one producer and one
+// consumer through the release/acquire index pair; a slot between head and
+// tail is owned by the consumer, otherwise by the producer.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// The pushing endpoint of a ring. Not clonable: single producer.
+pub struct Producer<T> {
+    ring: Arc<Shared<T>>,
+    /// Last observed head; refreshed only when the ring looks full.
+    cached_head: usize,
+}
+
+/// The popping endpoint of a ring. Not clonable: single consumer.
+pub struct Consumer<T> {
+    ring: Arc<Shared<T>>,
+    /// Last observed tail; refreshed only when the ring looks empty.
+    cached_tail: usize,
+}
+
+/// A bounded SPSC ring of at least `capacity` pre-initialized slots
+/// (rounded up to a power of two), whose consumer parks on `waker`.
+pub fn channel<T: Default>(capacity: usize, waker: Arc<Waker>) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buf: Box<[UnsafeCell<T>]> = (0..cap).map(|_| UnsafeCell::new(T::default())).collect();
+    let ring = Arc::new(Shared {
+        buf,
+        mask: cap - 1,
+        head: Padded(AtomicUsize::new(0)),
+        tail: Padded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+        waker,
+    });
+    (
+        Producer {
+            ring: Arc::clone(&ring),
+            cached_head: 0,
+        },
+        Consumer {
+            ring,
+            cached_tail: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Slot count (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.ring.buf.len()
+    }
+
+    /// Messages currently in flight (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.ring
+            .tail
+            .0
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.ring.head.0.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring is currently empty (approximate).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes one message in place through `fill` and publishes it, waking
+    /// a parked consumer. Returns `false` (without calling `fill`) when the
+    /// ring is full or closed.
+    #[inline]
+    pub fn try_push(&mut self, fill: impl FnOnce(&mut T)) -> bool {
+        let tail = self.ring.tail.0.load(Ordering::Relaxed);
+        if tail.wrapping_sub(self.cached_head) == self.ring.buf.len() {
+            self.cached_head = self.ring.head.0.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.cached_head) == self.ring.buf.len() {
+                return false;
+            }
+        }
+        if self.ring.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        // SAFETY: slot `tail` is not visible to the consumer until the
+        // release store below, and we are the only producer.
+        unsafe { fill(&mut *self.ring.buf[tail & self.ring.mask].get()) };
+        self.ring.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        // Store->load barrier against the consumer's prepare_park/re-check
+        // sequence, then wake only an advertised-parked consumer.
+        fence(Ordering::SeqCst);
+        self.ring.waker.wake();
+        true
+    }
+
+    /// Pushes up to `n` messages with one index publication and one wake;
+    /// `fill(i, slot)` writes the `i`-th. Returns how many were pushed.
+    pub fn push_batch(&mut self, n: usize, mut fill: impl FnMut(usize, &mut T)) -> usize {
+        let tail = self.ring.tail.0.load(Ordering::Relaxed);
+        let mut free = self
+            .ring
+            .buf
+            .len()
+            .wrapping_sub(tail.wrapping_sub(self.cached_head));
+        if free < n {
+            self.cached_head = self.ring.head.0.load(Ordering::Acquire);
+            free = self
+                .ring
+                .buf
+                .len()
+                .wrapping_sub(tail.wrapping_sub(self.cached_head));
+        }
+        if self.ring.closed.load(Ordering::Acquire) {
+            return 0;
+        }
+        let take = n.min(free);
+        for i in 0..take {
+            // SAFETY: slots `tail..tail+take` are producer-owned until the
+            // single release store below.
+            unsafe { fill(i, &mut *self.ring.buf[tail.wrapping_add(i) & self.ring.mask].get()) };
+        }
+        if take > 0 {
+            self.ring
+                .tail
+                .0
+                .store(tail.wrapping_add(take), Ordering::Release);
+            fence(Ordering::SeqCst);
+            self.ring.waker.wake();
+        }
+        take
+    }
+
+    /// Marks the ring closed and wakes the consumer so it can observe the
+    /// close. Already-published messages remain poppable.
+    pub fn close(&self) {
+        self.ring.closed.store(true, Ordering::Release);
+        fence(Ordering::SeqCst);
+        self.ring.waker.wake();
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Slot count (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.ring.buf.len()
+    }
+
+    /// Messages currently in flight (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.ring
+            .tail
+            .0
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.ring.head.0.load(Ordering::Relaxed))
+    }
+
+    /// Whether the ring is currently empty (approximate).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the producer closed the ring **and** everything published
+    /// has been popped.
+    pub fn is_drained(&self) -> bool {
+        self.ring.closed.load(Ordering::Acquire) && self.is_empty()
+    }
+
+    /// The waker producers use to unpark this ring's consumer.
+    pub fn waker(&self) -> &Arc<Waker> {
+        &self.ring.waker
+    }
+
+    /// Reads the oldest message in place through `read` (which may also
+    /// scavenge the slot's buffers) and releases its slot. Returns `None`
+    /// when the ring is empty.
+    #[inline]
+    pub fn try_pop<R>(&mut self, read: impl FnOnce(&mut T) -> R) -> Option<R> {
+        let head = self.ring.head.0.load(Ordering::Relaxed);
+        if self.cached_tail == head {
+            self.cached_tail = self.ring.tail.0.load(Ordering::Acquire);
+            if self.cached_tail == head {
+                return None;
+            }
+        }
+        // SAFETY: slot `head` was published by the producer's release store
+        // and is ours until the release store below.
+        let r = unsafe { read(&mut *self.ring.buf[head & self.ring.mask].get()) };
+        self.ring.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(r)
+    }
+
+    /// Pops up to `max` messages with one index publication; `read(slot)`
+    /// sees each in FIFO order. Returns how many were popped.
+    pub fn pop_batch(&mut self, max: usize, mut read: impl FnMut(&mut T)) -> usize {
+        let head = self.ring.head.0.load(Ordering::Relaxed);
+        let mut avail = self.cached_tail.wrapping_sub(head);
+        if avail < max {
+            self.cached_tail = self.ring.tail.0.load(Ordering::Acquire);
+            avail = self.cached_tail.wrapping_sub(head);
+        }
+        let take = max.min(avail);
+        for i in 0..take {
+            // SAFETY: slots `head..head+take` were published by the
+            // producer and are consumer-owned until the store below.
+            unsafe { read(&mut *self.ring.buf[head.wrapping_add(i) & self.ring.mask].get()) };
+        }
+        if take > 0 {
+            self.ring
+                .head
+                .0
+                .store(head.wrapping_add(take), Ordering::Release);
+        }
+        take
+    }
+
+    /// Pops one message, spinning briefly then parking on the ring's waker
+    /// until one arrives, `timeout` elapses, or the ring is drained and
+    /// closed. Registers the calling thread with the waker, so the caller
+    /// must be the ring's (current) unique consumer.
+    pub fn pop_wait<R>(
+        &mut self,
+        timeout: Duration,
+        read: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        // Being the unique consumer, observing non-empty guarantees the
+        // subsequent try_pop succeeds, so the FnOnce is consumed exactly
+        // once on the success path.
+        const SPINS: usize = 64;
+        for _ in 0..SPINS {
+            if !self.is_empty() {
+                return self.try_pop(read);
+            }
+            std::hint::spin_loop();
+        }
+        let deadline = Instant::now() + timeout;
+        let waker = Arc::clone(&self.ring.waker);
+        waker.register_current();
+        loop {
+            if !self.is_empty() {
+                return self.try_pop(read);
+            }
+            if self.ring.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            waker.prepare_park();
+            // Re-check after advertising PARKED (paired with the
+            // producer's post-publish fence) to close the lost-wakeup
+            // window, then park for the remaining budget.
+            if !self.is_empty() || self.ring.closed.load(Ordering::Acquire) {
+                waker.cancel_park();
+                continue;
+            }
+            waker.park((deadline - now).min(Duration::from_millis(1)));
+        }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // Let a producer blocked on "full" observe the close; there is no
+        // producer-side parking, so no wake is needed.
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_full_empty_boundaries() {
+        let (mut tx, mut rx) = channel::<u64>(4, Waker::new());
+        assert_eq!(tx.capacity(), 4);
+        assert!(rx.try_pop(|_| ()).is_none(), "fresh ring is empty");
+        for i in 0..4u64 {
+            assert!(tx.try_push(|s| *s = i));
+        }
+        assert!(!tx.try_push(|s| *s = 99), "full ring rejects a push");
+        for i in 0..4u64 {
+            assert_eq!(rx.try_pop(|s| *s), Some(i));
+        }
+        assert!(rx.try_pop(|_| ()).is_none(), "drained ring is empty");
+        // Wraparound: keep cycling past the physical end several times.
+        for round in 0..10u64 {
+            for i in 0..3 {
+                assert!(tx.try_push(|s| *s = round * 10 + i));
+            }
+            for i in 0..3 {
+                assert_eq!(rx.try_pop(|s| *s), Some(round * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = channel::<u8>(5, Waker::new());
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = channel::<u8>(0, Waker::new());
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn batch_push_pop_round_trip() {
+        let (mut tx, mut rx) = channel::<u64>(8, Waker::new());
+        assert_eq!(tx.push_batch(5, |i, s| *s = i as u64), 5);
+        assert_eq!(tx.push_batch(10, |i, s| *s = 100 + i as u64), 3, "only 3 free");
+        let mut got = Vec::new();
+        assert_eq!(rx.pop_batch(6, |s| got.push(*s)), 6);
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 100]);
+        assert_eq!(rx.pop_batch(6, |s| got.push(*s)), 2);
+        assert_eq!(&got[6..], &[101, 102]);
+        assert_eq!(rx.pop_batch(1, |_| unreachable!("empty")), 0);
+    }
+
+    #[test]
+    fn slots_retain_their_buffers_across_messages() {
+        // The whole point of in-place access: a slot's Vec keeps its
+        // capacity from one message to the next.
+        let (mut tx, mut rx) = channel::<Vec<u32>>(2, Waker::new());
+        assert!(tx.try_push(|v| {
+            v.clear();
+            v.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        }));
+        let cap_before = rx.try_pop(|v| v.capacity()).unwrap();
+        assert!(cap_before >= 8);
+        // Advance one full lap so the next push lands in the same slot.
+        assert!(tx.try_push(|v| v.clear()));
+        assert_eq!(rx.try_pop(|v| v.len()), Some(0));
+        assert!(tx.try_push(|v| {
+            assert!(v.capacity() >= 8, "slot buffer was reused");
+            v.clear();
+            v.push(42);
+        }));
+        assert_eq!(rx.try_pop(|v| v[0]), Some(42));
+    }
+
+    #[test]
+    fn two_thread_stress_with_wraparound() {
+        // Tiny capacity forces constant full/empty boundary crossings and
+        // wraparound while both sides run flat out. Waits yield rather than
+        // spin so the test stays fast on a single-core host.
+        const N: u64 = 20_000;
+        let (mut tx, mut rx) = channel::<u64>(4, Waker::new());
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                while !tx.try_push(|s| *s = i) {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = rx.try_pop(|s| *s) {
+                assert_eq!(v, expected, "messages arrive in order, none lost");
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn two_thread_stress_with_parking_consumer() {
+        const N: u64 = 10_000;
+        let (mut tx, mut rx) = channel::<u64>(8, Waker::new());
+        let consumer = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..N {
+                sum += rx
+                    .pop_wait(Duration::from_secs(10), |s| *s)
+                    .expect("producer is still running");
+            }
+            sum
+        });
+        for i in 0..N {
+            while !tx.try_push(|s| *s = i) {
+                std::thread::yield_now();
+            }
+            if i % 97 == 0 {
+                // Give the consumer a chance to drain and park, exercising
+                // the park/wake handshake rather than the fast path only.
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        assert_eq!(consumer.join().unwrap(), N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn pop_wait_times_out_on_an_idle_ring() {
+        let (_tx, mut rx) = channel::<u64>(4, Waker::new());
+        let start = Instant::now();
+        assert_eq!(rx.pop_wait(Duration::from_millis(20), |s| *s), None);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn close_wakes_and_drains() {
+        let (mut tx, mut rx) = channel::<u64>(4, Waker::new());
+        assert!(tx.try_push(|s| *s = 7));
+        tx.close();
+        assert!(!tx.try_push(|s| *s = 8), "closed ring rejects pushes");
+        // Published messages survive the close...
+        assert_eq!(rx.pop_wait(Duration::from_secs(1), |s| *s), Some(7));
+        // ...then the consumer observes the drain without waiting out the
+        // full timeout.
+        let start = Instant::now();
+        assert_eq!(rx.pop_wait(Duration::from_secs(30), |s| *s), None);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(rx.is_drained());
+    }
+
+    #[test]
+    fn dropping_the_producer_closes_the_ring() {
+        let (tx, mut rx) = channel::<u64>(4, Waker::new());
+        let waiter = std::thread::spawn(move || rx.pop_wait(Duration::from_secs(30), |s| *s));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn shared_waker_serves_multiple_rings() {
+        let waker = Waker::new();
+        let (mut tx_a, mut rx_a) = channel::<u64>(4, Arc::clone(&waker));
+        let (mut tx_b, mut rx_b) = channel::<u64>(4, Arc::clone(&waker));
+        let consumer = std::thread::spawn(move || {
+            rx_a.waker().register_current();
+            let mut got = Vec::new();
+            while got.len() < 2 {
+                let mut progress = false;
+                if let Some(v) = rx_a.try_pop(|s| *s) {
+                    got.push(v);
+                    progress = true;
+                }
+                if let Some(v) = rx_b.try_pop(|s| *s) {
+                    got.push(v);
+                    progress = true;
+                }
+                if !progress {
+                    let waker = Arc::clone(rx_a.waker());
+                    waker.prepare_park();
+                    if rx_a.is_empty() && rx_b.is_empty() {
+                        waker.park(Duration::from_millis(1));
+                    } else {
+                        waker.cancel_park();
+                    }
+                }
+            }
+            got.sort_unstable();
+            got
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(tx_a.try_push(|s| *s = 1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(tx_b.try_push(|s| *s = 2));
+        assert_eq!(consumer.join().unwrap(), vec![1, 2]);
+    }
+}

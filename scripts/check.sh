@@ -7,6 +7,71 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Enforces the numeric targets of docs/adr/001-performance-targets.md
+# against the parsed BENCH files: T1 admit cached* mean <= 20 ns, T2
+# inproc/rings_allocs == 0 (exact), T3 inproc/rings mean <= inproc/
+# unbatched mean. Timing targets carry a +15 % tolerance, counts none.
+# Prints a one-line before/after row per target and returns non-zero on
+# any FAIL. Callable standalone: scripts/check.sh perf-gate [admit.json
+# datapath.json].
+perf_gate() {
+    local admit_json="${1:-BENCH_admit.json}"
+    local datapath_json="${2:-BENCH_datapath.json}"
+    echo "==> perf gate: $admit_json + $datapath_json vs docs/adr/001-performance-targets.md"
+    awk -v admit="$admit_json" -v datapath="$datapath_json" '
+        /"mean":/ {
+            key = $1; gsub(/[":]/, "", key)
+            for (i = 1; i <= NF; i++) if ($i == "\"mean\":") {
+                v = $(i + 1); sub(/,$/, "", v)
+                tag = (FILENAME == admit ? "a:" : "d:")
+                means[tag key] = v + 0
+                if (tag == "a:") akeys[++an] = key
+            }
+        }
+        function row(name, target, measured, pass) {
+            printf "    %-52s %14.2f %14.2f  %s\n", \
+                name, target, measured, (pass ? "ok" : "FAIL")
+            if (!pass) failed = 1
+        }
+        END {
+            tol = 1.15
+            printf "    %-52s %14s %14s  %s\n", \
+                "target", "before(target)", "after(meas.)", "verdict"
+            # T1: every cached* admit variant stays a hot path.
+            t1 = 0
+            for (i = 1; i <= an; i++) {
+                k = akeys[i]
+                if (k ~ /^cached/) {
+                    t1++
+                    row("T1 admit " k " mean <= 20 ns", 20, means["a:" k], \
+                        means["a:" k] <= 20 * tol)
+                }
+            }
+            if (t1 == 0) row("T1 admit cached rows present", 1, 0, 0)
+            # T2: the rings data path allocates nothing per query.
+            if ("d:inproc/rings_allocs" in means)
+                row("T2 inproc/rings_allocs == 0 (count, exact)", 0, \
+                    means["d:inproc/rings_allocs"], \
+                    means["d:inproc/rings_allocs"] == 0)
+            else
+                row("T2 inproc/rings_allocs row present", 1, 0, 0)
+            # T3: rings no slower than the unbatched channel baseline.
+            if ("d:inproc/rings" in means && "d:inproc/unbatched" in means)
+                row("T3 inproc/rings mean <= 1.15x inproc/unbatched", \
+                    means["d:inproc/unbatched"] * tol, means["d:inproc/rings"], \
+                    means["d:inproc/rings"] <= means["d:inproc/unbatched"] * tol)
+            else
+                row("T3 rings + unbatched rows present", 1, 0, 0)
+            exit failed
+        }
+    ' "$admit_json" "$datapath_json"
+}
+
+if [ "${1:-}" = "perf-gate" ]; then
+    perf_gate "${2:-BENCH_admit.json}" "${3:-BENCH_datapath.json}"
+    exit 0
+fi
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 
@@ -122,7 +187,7 @@ printf '%s\n' "$DATAPATH_OUT" | awk '
     }
     END {
         printf "{\n  \"bench\": \"liquid_datapath\",\n  \"unit\": \"ns\",\n"
-        printf "  \"note\": \"batched = shipped coalesced fan-out (after); unbatched = retained pre-batching reference (before); *_allocs rows are allocation events per query, not ns\",\n"
+        printf "  \"note\": \"batched = shipped coalesced fan-out (after); unbatched = retained pre-batching reference (before); rings = thread-per-core SPSC path; *_allocs rows are allocation events per query, not ns\",\n"
         printf "  \"results\": {\n"
         for (i = 1; i <= n; i++) {
             k = keys[i]
@@ -134,6 +199,24 @@ printf '%s\n' "$DATAPATH_OUT" | awk '
 ' > BENCH_datapath.json
 echo "    wrote BENCH_datapath.json:"
 sed 's/^/    /' BENCH_datapath.json
+
+perf_gate BENCH_admit.json BENCH_datapath.json
+
+echo "==> perf gate self-test: a sabotaged rings mean must FAIL"
+# Continuously proves the gate's failure path works: inflate the rings
+# mean past tolerance in a scratch copy and require a non-zero exit. If
+# the sed pattern ever stops matching, the copy equals the original, the
+# gate passes, and this self-test fails — so pattern drift is caught too.
+SABOTAGE=$(mktemp -t bouncer-sabotage.XXXXXX.json)
+sed 's/"inproc\/rings": {"min": \([0-9.]*\), "mean": [0-9.]*/"inproc\/rings": {"min": \1, "mean": 99999999.00/' \
+    BENCH_datapath.json > "$SABOTAGE"
+if perf_gate BENCH_admit.json "$SABOTAGE" > /dev/null 2>&1; then
+    echo "perf gate did not flag a sabotaged rings mean" >&2
+    rm -f "$SABOTAGE"
+    exit 1
+fi
+rm -f "$SABOTAGE"
+echo "    sabotage flagged as expected"
 
 echo "==> study smoke: adaptive_shift (closed-loop vs static caps)"
 # The headline adaptive study (ADAPTIVE.md): the traffic mix shifts
