@@ -239,9 +239,13 @@ fn bench_observability(c: &mut Criterion) {
     // The observability layer must stay off the admission hot path: a gate
     // built without a sink (the default NullSink, `enabled() == false`)
     // should cost the same as the seed's uninstrumented gate, and even an
-    // enabled sink should add only the consumer's own work.
+    // enabled sink should add only the consumer's own work. The `recorder`
+    // row prices the always-on flight recorder (T4 in docs/adr/
+    // 001-performance-targets.md): a full offer→take→complete cycle with
+    // every event compacted into the per-thread ring, no downstream sink.
     use bouncer_core::framework::{Gate, GateConfig, TakeOutcome};
-    use bouncer_core::obs::{Event, EventSink};
+    use bouncer_core::obs::recorder::DEFAULT_RING_CAPACITY;
+    use bouncer_core::obs::{Event, EventSink, Recorder, RecorderSink};
     use bouncer_metrics::MonotonicClock;
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -290,12 +294,17 @@ fn bench_observability(c: &mut Criterion) {
     };
 
     let gate = make_gate(None);
-    c.bench_function("gate_cycle_sink_disabled", |b| b.iter(|| cycle(&gate, ty)));
+    c.bench_function("gate_cycle/disabled", |b| b.iter(|| cycle(&gate, ty)));
 
     let counter = Arc::new(CountingSink::default());
     let gate = make_gate(Some(counter.clone()));
-    c.bench_function("gate_cycle_sink_counting", |b| b.iter(|| cycle(&gate, ty)));
+    c.bench_function("gate_cycle/counting", |b| b.iter(|| cycle(&gate, ty)));
     assert!(counter.0.load(Ordering::Relaxed) > 0, "sink never fired");
+
+    let recorder = Recorder::new(DEFAULT_RING_CAPACITY);
+    let gate = make_gate(Some(Arc::new(RecorderSink::new(recorder.clone(), None))));
+    c.bench_function("gate_cycle/recorder", |b| b.iter(|| cycle(&gate, ty)));
+    assert!(recorder.total_written() > 0, "recorder never wrote");
 }
 
 fn bench_trace_overhead(c: &mut Criterion) {

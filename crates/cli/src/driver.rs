@@ -1,9 +1,10 @@
 //! Resolves the effective scenario (file + flag overrides), runs the
 //! simulation through the spec registry, renders results.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use bouncer_core::obs::HealthConfig;
 use bouncer_core::prelude::*;
 use bouncer_core::slo_spec::parse_slo_entries;
 use bouncer_core::spec::SloEntrySpec;
@@ -36,6 +37,11 @@ const ALLOWED: &[&str] = &[
     "traces-out",
     "trace-sample",
     "trace-slo-ms",
+    "health-interval-ms",
+    "incident-dir",
+    "trigger-rejection",
+    "trigger-attainment",
+    "trigger-force-ms",
     "help",
 ];
 
@@ -72,6 +78,29 @@ where milliseconds go as load rises. With the cluster's batched fan-out
 (the default), one subquery span covers a round's whole batch to a
 shard; the straggler is still the round's latest reply, so the
 breakdown needs no special handling. See OBSERVABILITY.md.
+";
+
+const POSTMORTEM_ALLOWED: &[&str] = &["dump-in", "help"];
+
+const POSTMORTEM_HELP: &str = "\
+bouncer-sim-cli postmortem — reconstruct an incident episode from a
+flight-recorder dump
+
+USAGE:
+    bouncer-sim-cli postmortem --dump-in <path>
+
+FLAGS:
+    --dump-in <path>   an incident dump (incident-*.jsonl), as written by
+                       the health sampler's trigger engine under
+                       --incident-dir (or a cluster's dump directory)
+
+The report lays the episode out on one timeline: the queue-depth curve,
+admissions/rejections/completions per bucket, the attainment dip and
+rejection spike from the trailing health samples, per-type ledgers with
+processing-time estimate drift, and every controller decision the flight
+recorder caught — the Fig. 13 diagnosis of what the system did while the
+incident unfolded. See OBSERVABILITY.md for the dump format and a worked
+walkthrough.
 ";
 
 const SCENARIO_HASH_HELP: &str = "\
@@ -163,9 +192,26 @@ OBSERVABILITY (see OBSERVABILITY.md for formats):
     --trace-slo-ms <ms>   also keep every trace whose response time
                           exceeds this bound, regardless of sampling
 
+HEALTH & INCIDENTS (always-on; see OBSERVABILITY.md):
+    every run carries the flight recorder (per-thread rings of compact
+    event records) and the health sampler (periodic health_sample rows:
+    queue depth, in-flight, attainment, rejection rate per window).
+    --health-interval-ms <ms>  sample window length (default 250,
+                          virtual-time)
+    --incident-dir <dir>  arm the incident trigger engine: SLO bursts,
+                          rejection spikes, and controller backoffs drain
+                          the recorder plus trailing health samples into
+                          incident-*.jsonl dumps here (feed to postmortem)
+    --trigger-rejection <r>    rejection-rate threshold (default 0.5)
+    --trigger-attainment <a>   SLO-attainment floor (off by default)
+    --trigger-force-ms <ms>    force one dump once virtual time crosses
+                          this — a deterministic CI hook
+
 SUBCOMMANDS:
     trace-report          analyze a span JSONL file; see
                           `bouncer-sim-cli trace-report --help`
+    postmortem            reconstruct an incident episode from a dump;
+                          see `bouncer-sim-cli postmortem --help`
     scenario-hash         print canonical content hashes of .scn files;
                           see `bouncer-sim-cli scenario-hash --help`
 ";
@@ -240,6 +286,12 @@ where
             Err(e) => (format!("error: {e}\n\n{TRACE_REPORT_HELP}"), 2),
         };
     }
+    if raw.first().map(String::as_str) == Some("postmortem") {
+        return match run_postmortem(&raw[1..]) {
+            Ok(out) => out,
+            Err(e) => (format!("error: {e}\n\n{POSTMORTEM_HELP}"), 2),
+        };
+    }
     if raw.first().map(String::as_str) == Some("scenario-hash") {
         return match run_scenario_hash(&raw[1..]) {
             Ok(out) => (out, 0),
@@ -307,6 +359,25 @@ fn run_trace_report(raw: &[String]) -> Result<(String, i32), ParseError> {
         0
     };
     Ok((out, code))
+}
+
+/// The `postmortem` subcommand: incident dump in, episode timeline out.
+/// The analysis itself lives in `bouncer_core::obs::postmortem`; this is
+/// the thin file-in/report-out shell around it.
+fn run_postmortem(raw: &[String]) -> Result<(String, i32), ParseError> {
+    use bouncer_core::obs::postmortem::{parse_dump, render_report};
+
+    let args = Args::parse(raw.iter().cloned(), POSTMORTEM_ALLOWED)?;
+    if args.flag("help") {
+        return Ok((POSTMORTEM_HELP.to_owned(), 0));
+    }
+    let path = args
+        .get("dump-in")
+        .ok_or_else(|| ParseError("postmortem requires --dump-in <path>".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ParseError(format!("--dump-in `{path}`: {e}")))?;
+    let dump = parse_dump(&text).map_err(ParseError)?;
+    Ok((render_report(&dump), 0))
 }
 
 /// Folds the command-line flags into the base scenario (loaded from
@@ -432,10 +503,14 @@ where
         .build_policy(&label, seed)
         .map_err(|e| ParseError(e.to_string()))?;
     let mut cfg = scenario.sim_config(rate, seed);
+    let mut jsonl: Option<Arc<JsonlSink>> = None;
     if let Some(path) = args.get("events-out") {
-        let sink = JsonlSink::create(path)
-            .map_err(|e| ParseError(format!("--events-out `{path}`: {e}")))?;
-        cfg.sink = Some(Arc::new(sink));
+        let sink = Arc::new(
+            JsonlSink::create(path)
+                .map_err(|e| ParseError(format!("--events-out `{path}`: {e}")))?,
+        );
+        jsonl = Some(Arc::clone(&sink));
+        cfg.sink = Some(sink);
     }
     let tracer = match args.get("traces-out") {
         Some(path) => {
@@ -454,11 +529,36 @@ where
         }
         None => None,
     };
+    // The health chain (recorder + sampler) interposes in front of the
+    // user sink; the controller tap then wraps the chain, so decision
+    // events flow down through the sampler and the recorder.
+    let mut health = HealthConfig::default();
+    let interval_ms = args.f64_or("health-interval-ms", 250.0)?;
+    if !interval_ms.is_finite() || interval_ms <= 0.0 {
+        return Err(ParseError("--health-interval-ms must be positive".into()));
+    }
+    health.interval = millis_f64(interval_ms);
+    if let Some(dir) = args.get("incident-dir") {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ParseError(format!("--incident-dir `{dir}`: {e}")))?;
+        health.dump_dir = Some(PathBuf::from(dir));
+    }
+    if args.get("trigger-rejection").is_some() {
+        health.trigger.rejection_rate = Some(args.f64_or("trigger-rejection", 0.5)?);
+    }
+    if args.get("trigger-attainment").is_some() {
+        health.trigger.attainment = Some(args.f64_or("trigger-attainment", 0.0)?);
+    }
+    if args.get("trigger-force-ms").is_some() {
+        health.trigger.force_at = Some(millis_f64(args.f64_or("trigger-force-ms", 0.0)?));
+    }
+    let sampler = scenario.attach_health(health, &mut cfg);
     // After the sinks, so the Observe tap wraps the JSONL event stream.
     let controller = scenario
         .attach_controller(&label, &policy, &mut cfg)
         .map_err(|e| ParseError(e.to_string()))?;
     let result = run(policy.as_ref(), scenario.mix(), &cfg);
+    let dropped_writes = jsonl.as_ref().map_or(0, |j| j.dropped_writes());
 
     if let Some(path) = args.get("metrics-out") {
         let names: Vec<&str> = scenario.registry().iter().map(|(_, name)| name).collect();
@@ -466,7 +566,13 @@ where
             sampled: t.sampled_total(),
             dropped: t.dropped_total(),
         });
-        let text = render_prometheus_with_traces(&result.stats, &names, counters.as_ref());
+        let text = render_prometheus_full(
+            &result.stats,
+            &names,
+            counters.as_ref(),
+            None,
+            Some(&sampler.health_counters(dropped_writes)),
+        );
         std::fs::write(path, text)
             .map_err(|e| ParseError(format!("--metrics-out `{path}`: {e}")))?;
     }
@@ -518,8 +624,29 @@ where
             c.current_value(),
         ));
     }
+    out.push_str(&format!(
+        "health: {} sample(s), peak queue depth {}; flight recorder: {} \
+         record(s) across {} ring(s)\n",
+        sampler.samples(),
+        sampler.peak_queue_depth(),
+        sampler.recorder().total_written(),
+        sampler.recorder().ring_count(),
+    ));
+    for path in sampler.incident_paths() {
+        out.push_str(&format!(
+            "incident dump: {} — analyze with `postmortem --dump-in {}`\n",
+            path.display(),
+            path.display(),
+        ));
+    }
     if let Some(path) = args.get("events-out") {
         out.push_str(&format!("events written to {path} (JSONL)\n"));
+    }
+    if dropped_writes > 0 {
+        out.push_str(&format!(
+            "WARNING: {dropped_writes} event line(s) dropped writing --events-out \
+             (I/O errors; the log is incomplete)\n"
+        ));
     }
     if let Some(path) = args.get("metrics-out") {
         out.push_str(&format!("metrics written to {path} (Prometheus text)\n"));
@@ -901,6 +1028,116 @@ mod tests {
         assert_eq!(code, 1);
         assert!(out.contains("strict: FAILED"), "{out}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn forced_trigger_writes_incident_dump_and_postmortem_reads_it() {
+        let dir = std::env::temp_dir().join(format!(
+            "bouncer-cli-incidents-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Overload (queue cap 5 at 1.5x) with a forced dump once virtual
+        // time crosses 100ms — the deterministic CI hook.
+        let (out, code) = run_cli([
+            "--policy",
+            "maxql",
+            "--queue-limit",
+            "5",
+            "--rate-factor",
+            "1.5",
+            "--queries",
+            "20000",
+            "--warmup",
+            "2000",
+            "--health-interval-ms",
+            "50",
+            "--incident-dir",
+            dir.to_str().unwrap(),
+            "--trigger-force-ms",
+            "100",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("health: "), "{out}");
+        assert!(out.contains("flight recorder: "), "{out}");
+        assert!(out.contains("incident dump: "), "{out}");
+
+        let dump = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("incident-") && n.contains("forced"))
+            })
+            .expect("a forced incident dump on disk");
+        // The report points at the dump by path.
+        assert!(out.contains(dump.to_str().unwrap()), "{out}");
+
+        // The postmortem subcommand reconstructs the episode.
+        let (report, code) = run_cli(["postmortem", "--dump-in", dump.to_str().unwrap()]);
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("incident: forced"), "{report}");
+        assert!(report.contains("peak queue depth"), "{report}");
+        assert!(report.contains("rejected"), "{report}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn postmortem_requires_input_and_prints_help() {
+        let (out, code) = run_cli(["postmortem"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("--dump-in"), "{out}");
+
+        let (out, code) = run_cli(["postmortem", "--help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("flight-recorder dump"), "{out}");
+
+        let (_, code) = run_cli(["postmortem", "--dump-in", "/nonexistent/dump.jsonl"]);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn metrics_out_carries_health_families() {
+        use bouncer_core::obs::validate_prometheus;
+
+        let metrics_path = std::env::temp_dir().join(format!(
+            "bouncer-cli-hmetrics-{}.prom",
+            std::process::id()
+        ));
+        let (out, code) = run_cli([
+            "--policy",
+            "maxql",
+            "--queue-limit",
+            "5",
+            "--rate-factor",
+            "1.5",
+            "--queries",
+            "10000",
+            "--warmup",
+            "1000",
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        validate_prometheus(&metrics).expect("invalid Prometheus text");
+        assert!(metrics.contains("bouncer_queue_depth"), "{metrics}");
+        assert!(metrics.contains("bouncer_in_flight"), "{metrics}");
+        assert!(metrics.contains("bouncer_events_dropped_total"), "{metrics}");
+        assert!(metrics.contains("bouncer_incidents_total"), "{metrics}");
+        assert!(metrics.contains("bouncer_slo_attainment_ratio"), "{metrics}");
+        let _ = std::fs::remove_file(&metrics_path);
+    }
+
+    #[test]
+    fn invalid_health_interval_rejected() {
+        let (out, code) = run_cli(["--health-interval-ms", "0"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("--health-interval-ms"), "{out}");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use super::{Event, EventSink};
@@ -155,6 +156,53 @@ impl Event {
                     escape(pool)
                 );
             }
+            Event::Tick { .. } => {}
+            Event::HealthSample {
+                queue_depth,
+                in_flight,
+                ring_occupancy,
+                pool_hits,
+                pool_misses,
+                pool_pooled,
+                attainment,
+                rejection,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"queue_depth\":{queue_depth},\"in_flight\":{in_flight},\
+                     \"ring_occupancy\":{ring_occupancy},\"pool_hits\":{pool_hits},\
+                     \"pool_misses\":{pool_misses},\"pool_pooled\":{pool_pooled},\
+                     \"attainment\":{},\"rejection\":{}",
+                    fmt_f64(attainment),
+                    fmt_f64(rejection)
+                );
+            }
+            Event::TypeHealth {
+                received,
+                rejected,
+                completed,
+                within_slo,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"received\":{received},\"rejected\":{rejected},\
+                     \"completed\":{completed},\"within_slo\":{within_slo}"
+                );
+            }
+            Event::EngineState { engine, parked, .. } => {
+                let _ = write!(s, ",\"engine\":{engine},\"parked\":{parked}");
+            }
+            Event::Incident {
+                reason, records, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"reason\":\"{}\",\"records\":{records}",
+                    escape(reason)
+                );
+            }
         }
         s.push('}');
         s
@@ -162,7 +210,7 @@ impl Event {
 }
 
 /// JSON-escapes a string (quotes, backslashes, control characters).
-fn escape(raw: &str) -> String {
+pub(super) fn escape(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len());
     for c in raw.chars() {
         match c {
@@ -194,10 +242,13 @@ fn fmt_f64(v: f64) -> String {
 ///
 /// Writes are buffered and serialized behind a mutex; the buffer is
 /// flushed on [`EventSink::flush`] and on drop. I/O errors after
-/// construction are ignored — observability must never take the serving
-/// path down.
+/// construction never take the serving path down — the event is dropped
+/// instead — but they are no longer silent: each failed write bumps
+/// [`JsonlSink::dropped_writes`], which the CLI surfaces at shutdown and
+/// exports as `bouncer_events_dropped_total`.
 pub struct JsonlSink {
     out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    dropped: AtomicU64,
 }
 
 impl JsonlSink {
@@ -205,6 +256,7 @@ impl JsonlSink {
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
         Self {
             out: Mutex::new(BufWriter::new(writer)),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -212,6 +264,12 @@ impl JsonlSink {
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = File::create(path)?;
         Ok(Self::new(Box::new(file)))
+    }
+
+    /// Events whose line could not be (fully) written because of a
+    /// post-creation I/O error.
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -225,8 +283,13 @@ impl EventSink for JsonlSink {
     fn emit(&self, event: &Event) {
         let line = event.to_json();
         let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
-        let _ = out.write_all(line.as_bytes());
-        let _ = out.write_all(b"\n");
+        if out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn flush(&self) {
@@ -241,6 +304,10 @@ impl EventSink for JsonlSink {
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         self.flush();
+        let dropped = self.dropped_writes();
+        if dropped > 0 {
+            eprintln!("jsonl sink: {dropped} event write(s) dropped (I/O errors)");
+        }
     }
 }
 
@@ -358,6 +425,36 @@ mod tests {
                 misses: 4,
                 pooled: 3,
             },
+            Event::Tick { at: 75 },
+            Event::HealthSample {
+                at: 80,
+                queue_depth: 12,
+                in_flight: 4,
+                ring_occupancy: 2,
+                pool_hits: 90,
+                pool_misses: 10,
+                pool_pooled: 5,
+                attainment: 0.75,
+                rejection: 0.0625,
+            },
+            Event::TypeHealth {
+                at: 80,
+                ty: TypeId(1),
+                received: 100,
+                rejected: 6,
+                completed: 88,
+                within_slo: 66,
+            },
+            Event::EngineState {
+                at: 81,
+                engine: 3,
+                parked: true,
+            },
+            Event::Incident {
+                at: 82,
+                reason: "rejection_spike",
+                records: 4096,
+            },
         ]
     }
 
@@ -450,5 +547,73 @@ mod tests {
             parse_json(line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn health_payload_fields_survive() {
+        let line = Event::HealthSample {
+            at: 80,
+            queue_depth: 12,
+            in_flight: 4,
+            ring_occupancy: 2,
+            pool_hits: 90,
+            pool_misses: 10,
+            pool_pooled: 5,
+            attainment: 0.75,
+            rejection: 0.0625,
+        }
+        .to_json();
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("queue_depth").and_then(|x| x.as_u64()), Some(12));
+        assert_eq!(v.get("in_flight").and_then(|x| x.as_u64()), Some(4));
+        assert_eq!(v.get("ring_occupancy").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(v.get("attainment").and_then(|x| x.as_f64()), Some(0.75));
+        assert_eq!(v.get("rejection").and_then(|x| x.as_f64()), Some(0.0625));
+
+        let line = Event::Incident {
+            at: 82,
+            reason: "controller_backoff",
+            records: 7,
+        }
+        .to_json();
+        let v = parse_json(&line).unwrap();
+        assert_eq!(
+            v.get("reason").and_then(|r| r.as_str()),
+            Some("controller_backoff")
+        );
+        assert_eq!(v.get("records").and_then(|x| x.as_u64()), Some(7));
+    }
+
+    /// A writer that fails every write, to exercise the dropped-write
+    /// accounting (satellite: post-creation I/O errors must be counted,
+    /// not swallowed).
+    struct BrokenWriter;
+
+    impl Write for BrokenWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+    }
+
+    #[test]
+    fn io_errors_are_counted_not_silent() {
+        let sink = JsonlSink::new(Box::new(BrokenWriter));
+        assert_eq!(sink.dropped_writes(), 0);
+        // The BufWriter absorbs lines until its internal buffer fills;
+        // from then on every emit must surface the error and be counted.
+        for i in 0..2_000u64 {
+            sink.emit(&Event::Admitted { at: i, ty: TypeId(0) });
+        }
+        let dropped = sink.dropped_writes();
+        assert!(dropped > 0, "no dropped writes counted");
+        // And a healthy sink counts nothing.
+        let ok = JsonlSink::new(Box::new(Vec::new()));
+        ok.emit(&Event::Tick { at: 1 });
+        ok.flush();
+        assert_eq!(ok.dropped_writes(), 0);
     }
 }

@@ -27,18 +27,23 @@
 //!
 //! [`StatsSnapshot`]: crate::framework::StatsSnapshot
 
+pub mod health;
 mod json;
 mod jsonl;
+pub mod postmortem;
 mod prometheus;
+pub mod recorder;
 mod trace;
 pub mod trace_report;
 
+pub use health::{HealthConfig, HealthSampler, TriggerConfig};
 pub use json::{parse_json, JsonValue};
 pub use jsonl::JsonlSink;
 pub use prometheus::{
     render_prometheus, render_prometheus_full, render_prometheus_with_traces, validate_prometheus,
-    PoolCounters, TraceCounters,
+    HealthCounters, PoolCounters, TraceCounters, TypeRates,
 };
+pub use recorder::{Record, RecordKind, Recorder, RecorderDump, RecorderSink};
 pub use trace::{
     new_span_id, new_trace_id, QueryTrace, SpanId, SpanKind, SpanStatus, TraceContext, TraceId,
     Tracer, TracerConfig,
@@ -251,6 +256,86 @@ pub enum Event {
         /// Buffers parked in the pool at snapshot time.
         pooled: u64,
     },
+    /// A heartbeat with no lifecycle payload: the simulator emits one per
+    /// maintenance tick (virtual time) and the cluster's health probe
+    /// thread one per probe (wall clock), so time-driven consumers — the
+    /// [`health::HealthSampler`] foremost — advance even when no queries
+    /// flow.
+    Tick {
+        /// Tick time.
+        at: Nanos,
+    },
+    /// One periodic health snapshot (see OBSERVABILITY.md): system-wide
+    /// gauges folded from the event stream plus transport probes, emitted
+    /// by the [`health::HealthSampler`] every sample interval. Per-type
+    /// rates ride in the companion [`Event::TypeHealth`] events emitted at
+    /// the same instant.
+    HealthSample {
+        /// Sample time (the end of the sample window).
+        at: Nanos,
+        /// Queries sitting in FIFO queues (and transport rings) right now,
+        /// folded from enqueue/dequeue/expire events across every gate the
+        /// sampled sink serves.
+        queue_depth: u64,
+        /// Queries dequeued but not yet completed (being processed).
+        in_flight: u64,
+        /// Occupancy summed over the SPSC transport rings, when probed
+        /// (rings transport only; 0 otherwise).
+        ring_occupancy: u64,
+        /// Buffer-pool `get()` hits at sample time (TCP transport; 0
+        /// otherwise).
+        pool_hits: u64,
+        /// Buffer-pool `get()` misses at sample time.
+        pool_misses: u64,
+        /// Buffers parked in pools at sample time.
+        pool_pooled: u64,
+        /// Fraction of completions inside their SLO tail target over the
+        /// window, in `[0, 1]` (1 when nothing completed).
+        attainment: f64,
+        /// Rejected / received over the window, in `[0, 1]` (0 when
+        /// nothing arrived).
+        rejection: f64,
+    },
+    /// Per-type companion to [`Event::HealthSample`]: one per query type
+    /// that saw traffic in the closed window.
+    TypeHealth {
+        /// Sample time (same instant as the owning `health_sample`).
+        at: Nanos,
+        /// The query type.
+        ty: TypeId,
+        /// Admission decisions (admitted + rejected) in the window.
+        received: u64,
+        /// Rejections in the window.
+        rejected: u64,
+        /// Completions in the window.
+        completed: u64,
+        /// Completions within the type's SLO tail target.
+        within_slo: u64,
+    },
+    /// A rings engine thread crossed an idle boundary: `parked = true`
+    /// when it found every ring empty and parked on its waker,
+    /// `parked = false` when work woke it. Emitted only on transitions —
+    /// the busy loop never emits — so the flight recorder can reconstruct
+    /// engine idleness around an incident.
+    EngineState {
+        /// Transition time.
+        at: Nanos,
+        /// Engine index within its host.
+        engine: u32,
+        /// `true` entering park, `false` waking.
+        parked: bool,
+    },
+    /// The health sampler's trigger engine fired and wrote an incident
+    /// dump (flight-recorder rings + trailing health samples) to disk.
+    Incident {
+        /// Trigger time.
+        at: Nanos,
+        /// Which trigger fired (`"rejection_spike"`, `"slo_burst"`,
+        /// `"controller_backoff"`, `"forced"`).
+        reason: &'static str,
+        /// Flight-recorder records written into the dump.
+        records: u64,
+    },
 }
 
 impl Event {
@@ -273,6 +358,11 @@ impl Event {
             Event::ParamUpdate { .. } => "param_update",
             Event::Span { .. } => "span",
             Event::PoolStats { .. } => "pool_stats",
+            Event::Tick { .. } => "tick",
+            Event::HealthSample { .. } => "health_sample",
+            Event::TypeHealth { .. } => "type_health",
+            Event::EngineState { .. } => "engine_state",
+            Event::Incident { .. } => "incident",
         }
     }
 
@@ -294,7 +384,12 @@ impl Event {
             | Event::ControllerDecision { at, .. }
             | Event::ParamUpdate { at, .. }
             | Event::Span { at, .. }
-            | Event::PoolStats { at, .. } => at,
+            | Event::PoolStats { at, .. }
+            | Event::Tick { at }
+            | Event::HealthSample { at, .. }
+            | Event::TypeHealth { at, .. }
+            | Event::EngineState { at, .. }
+            | Event::Incident { at, .. } => at,
         }
     }
 
@@ -308,7 +403,8 @@ impl Event {
             | Event::Started { ty, .. }
             | Event::Completed { ty, .. }
             | Event::Expired { ty, .. }
-            | Event::EstimateRefresh { ty, .. } => Some(ty),
+            | Event::EstimateRefresh { ty, .. }
+            | Event::TypeHealth { ty, .. } => Some(ty),
             Event::Span { ty, .. } => ty,
             Event::HistogramSwap { .. }
             | Event::ThresholdUpdate { .. }
@@ -316,7 +412,11 @@ impl Event {
             | Event::Scenario { .. }
             | Event::ControllerDecision { .. }
             | Event::ParamUpdate { .. }
-            | Event::PoolStats { .. } => None,
+            | Event::PoolStats { .. }
+            | Event::Tick { .. }
+            | Event::HealthSample { .. }
+            | Event::EngineState { .. }
+            | Event::Incident { .. } => None,
         }
     }
 }

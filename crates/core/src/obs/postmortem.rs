@@ -1,0 +1,749 @@
+//! Offline incident-dump analysis: parse an `incident-*.jsonl` file (see
+//! [`super::health::HealthSampler`]) and reconstruct the episode timeline
+//! the way the paper diagnoses overload (Fig. 13): queue-depth curve,
+//! per-type attainment, estimate drift, and controller actions on one
+//! time axis.
+//!
+//! The dump has three line shapes, all JSON objects:
+//!
+//! 1. A header: `{"incident":{"at_ns":..,"reason":..,..}}`.
+//! 2. Trailing health history: ordinary JSONL events (`health_sample`,
+//!    `type_health`).
+//! 3. Flight-recorder records: `{"event":"record","ring":..,"seq":..,
+//!    "at_ns":..,"kind":..,"type":..,"a":"..","b":".."}` — `a`/`b` are
+//!    decimal *strings* because they carry full-width `u64` payloads
+//!    (often `f64::to_bits`) that a float-backed JSON number would
+//!    corrupt.
+//!
+//! The CLI front end is `bouncer-cli postmortem <dump.jsonl>`, a sibling
+//! of `trace-report` (see OBSERVABILITY.md for a worked walkthrough).
+
+use std::fmt::Write as _;
+
+use bouncer_metrics::time::as_millis_f64;
+use bouncer_metrics::Nanos;
+
+use super::recorder::{param_name, RecordKind, TY_NONE};
+use super::{parse_json, JsonValue};
+
+/// The dump's first line, identifying the incident.
+#[derive(Debug, Clone)]
+pub struct DumpHeader {
+    /// Trigger time (window end), in stream nanoseconds.
+    pub at_ns: Nanos,
+    /// Which trigger fired.
+    pub reason: String,
+    /// The run's scenario content hash, when the stream carried one.
+    pub scenario_hash: Option<String>,
+    /// Flight-recorder rings drained.
+    pub rings: u64,
+    /// Records ever written across rings at dump time.
+    pub written: u64,
+    /// Records already overwritten (lost to ring capacity).
+    pub dropped: u64,
+    /// Records actually captured in this dump.
+    pub records: u64,
+    /// Query type names, dense index order.
+    pub types: Vec<String>,
+}
+
+/// One `health_sample` line from the trailing history.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Sample time (window end).
+    pub at: Nanos,
+    /// Queued queries at close.
+    pub queue_depth: u64,
+    /// In-process queries at close.
+    pub in_flight: u64,
+    /// Probed SPSC ring occupancy (0 when unprobed).
+    pub ring_occupancy: u64,
+    /// Window within-SLO completion fraction.
+    pub attainment: f64,
+    /// Window rejection fraction.
+    pub rejection: f64,
+}
+
+/// One `type_health` line from the trailing history.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeSample {
+    /// Sample time (window end).
+    pub at: Nanos,
+    /// Dense type index.
+    pub ty: usize,
+    /// Admission decisions in the window.
+    pub received: u64,
+    /// Rejections in the window.
+    pub rejected: u64,
+    /// Completions in the window.
+    pub completed: u64,
+    /// Completions within the SLO tail target.
+    pub within_slo: u64,
+}
+
+/// One flight-recorder record line.
+#[derive(Debug, Clone)]
+pub struct DumpRecord {
+    /// Ring (thread) that wrote the record.
+    pub ring: String,
+    /// Per-ring sequence number.
+    pub seq: u64,
+    /// Record timestamp.
+    pub at: Nanos,
+    /// What happened.
+    pub kind: RecordKind,
+    /// Dense type index / parameter code, when typed.
+    pub ty: Option<u16>,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// A fully parsed incident dump.
+#[derive(Debug, Clone)]
+pub struct Dump {
+    /// The identifying header.
+    pub header: DumpHeader,
+    /// Trailing health samples, stream order.
+    pub samples: Vec<Sample>,
+    /// Trailing per-type samples, stream order.
+    pub type_samples: Vec<TypeSample>,
+    /// Flight-recorder records, as dumped (timestamp-ordered).
+    pub records: Vec<DumpRecord>,
+}
+
+fn need_u64(v: &JsonValue, key: &str, what: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("{what}: missing or non-integer `{key}`"))
+}
+
+fn need_f64(v: &JsonValue, key: &str, what: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(|x| x.as_f64())
+        .ok_or_else(|| format!("{what}: missing or non-number `{key}`"))
+}
+
+fn payload_word(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("record line: `{key}` must be a decimal string"))
+}
+
+/// Parses a whole incident dump. Unknown event lines are skipped (the
+/// trailing history may grow new event kinds); a malformed header or
+/// record line is an error.
+pub fn parse_dump(text: &str) -> Result<Dump, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, first) = lines.next().ok_or("empty dump file")?;
+    let head_val = parse_json(first).map_err(|e| format!("header: {e}"))?;
+    let inc = head_val
+        .get("incident")
+        .ok_or("first line is not an incident header")?;
+    let header = DumpHeader {
+        at_ns: need_u64(inc, "at_ns", "header")?,
+        reason: inc
+            .get("reason")
+            .and_then(|v| v.as_str())
+            .ok_or("header: missing `reason`")?
+            .to_string(),
+        scenario_hash: inc
+            .get("scenario_hash")
+            .and_then(|v| v.as_str())
+            .map(str::to_string),
+        rings: need_u64(inc, "rings", "header")?,
+        written: need_u64(inc, "written", "header")?,
+        dropped: need_u64(inc, "dropped", "header")?,
+        records: need_u64(inc, "records", "header")?,
+        types: inc
+            .get("types")
+            .and_then(|v| match v {
+                JsonValue::Array(items) => Some(
+                    items
+                        .iter()
+                        .filter_map(|i| i.as_str().map(str::to_string))
+                        .collect(),
+                ),
+                _ => None,
+            })
+            .unwrap_or_default(),
+    };
+    let mut dump = Dump {
+        header,
+        samples: Vec::new(),
+        type_samples: Vec::new(),
+        records: Vec::new(),
+    };
+    for (idx, line) in lines {
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        match v.get("event").and_then(|e| e.as_str()) {
+            Some("health_sample") => dump.samples.push(Sample {
+                at: need_u64(&v, "at_ns", "health_sample")?,
+                queue_depth: need_u64(&v, "queue_depth", "health_sample")?,
+                in_flight: need_u64(&v, "in_flight", "health_sample")?,
+                ring_occupancy: need_u64(&v, "ring_occupancy", "health_sample")?,
+                attainment: need_f64(&v, "attainment", "health_sample")?,
+                rejection: need_f64(&v, "rejection", "health_sample")?,
+            }),
+            Some("type_health") => dump.type_samples.push(TypeSample {
+                at: need_u64(&v, "at_ns", "type_health")?,
+                ty: need_u64(&v, "type", "type_health")? as usize,
+                received: need_u64(&v, "received", "type_health")?,
+                rejected: need_u64(&v, "rejected", "type_health")?,
+                completed: need_u64(&v, "completed", "type_health")?,
+                within_slo: need_u64(&v, "within_slo", "type_health")?,
+            }),
+            Some("record") => {
+                let kind_name = v
+                    .get("kind")
+                    .and_then(|k| k.as_str())
+                    .ok_or("record line: missing `kind`")?;
+                dump.records.push(DumpRecord {
+                    ring: v
+                        .get("ring")
+                        .and_then(|r| r.as_str())
+                        .unwrap_or("?")
+                        .to_string(),
+                    seq: need_u64(&v, "seq", "record")?,
+                    at: need_u64(&v, "at_ns", "record")?,
+                    kind: RecordKind::from_name(kind_name)
+                        .ok_or_else(|| format!("record line: unknown kind `{kind_name}`"))?,
+                    ty: v.get("type").and_then(|t| t.as_u64()).map(|t| t as u16),
+                    a: payload_word(&v, "a")?,
+                    b: payload_word(&v, "b")?,
+                });
+            }
+            _ => {} // other trailing events: not needed for the report
+        }
+    }
+    Ok(dump)
+}
+
+/// One timeline bucket of the reconstructed episode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bucket {
+    /// Bucket start, stream nanoseconds.
+    pub start: Nanos,
+    /// Admissions recorded in the bucket.
+    pub admitted: u64,
+    /// Rejections recorded in the bucket.
+    pub rejected: u64,
+    /// Completions recorded in the bucket.
+    pub completed: u64,
+    /// Expiries recorded in the bucket.
+    pub expired: u64,
+    /// Last-known queue depth by bucket end (carried forward from
+    /// `enqueued` queue-length payloads and health samples).
+    pub depth: u64,
+}
+
+/// Per-type totals reconstructed from the dump window.
+#[derive(Debug, Clone, Default)]
+pub struct TypeReport {
+    /// Dense type index.
+    pub index: usize,
+    /// Admissions + rejections across the captured records.
+    pub received: u64,
+    /// Rejections across the captured records.
+    pub rejected: u64,
+    /// Completions across the captured records.
+    pub completed: u64,
+    /// Within-SLO completions summed from `type_health` history.
+    pub within_slo: u64,
+    /// Completions summed from `type_health` history (the attainment
+    /// denominator — record payloads don't carry SLO verdicts).
+    pub sampled_completed: u64,
+    /// First and last cached mean estimate seen (`estimate_refresh`), ns.
+    pub mean_drift: Option<(f64, f64)>,
+    /// First and last cached tail percentile estimate seen, ns.
+    pub tail_drift: Option<(u64, u64)>,
+}
+
+/// One control-plane action on the timeline.
+#[derive(Debug, Clone)]
+pub struct ControllerAction {
+    /// Action time.
+    pub at: Nanos,
+    /// Targeted parameter name.
+    pub param: &'static str,
+    /// Decided / installed value.
+    pub value: f64,
+    /// `true` for a `controller_decision`, `false` for the
+    /// `param_update` that later installed it.
+    pub decision: bool,
+    /// Interval attainment the decision saw (decisions only).
+    pub attainment: Option<f64>,
+    /// Interval rejection rate the decision saw (decisions only).
+    pub rejection: Option<f64>,
+}
+
+/// The reconstructed episode.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Timeline start (earliest record/sample timestamp).
+    pub t0: Nanos,
+    /// Bucket width, nanoseconds.
+    pub bucket_ns: Nanos,
+    /// The bucketed timeline, oldest first.
+    pub buckets: Vec<Bucket>,
+    /// Peak queue depth observed anywhere in the dump.
+    pub peak_depth: u64,
+    /// Minimum window attainment seen in the health history.
+    pub min_attainment: Option<f64>,
+    /// Maximum window rejection rate seen in the health history.
+    pub max_rejection: Option<f64>,
+    /// Per-type reconstruction, dense index order.
+    pub types: Vec<TypeReport>,
+    /// Controller decisions and installs, time order.
+    pub actions: Vec<ControllerAction>,
+    /// `(parks, wakes)` engine idle transitions (rings runtime only).
+    pub engine_transitions: (u64, u64),
+    /// Rejection counts by reason label.
+    pub reject_reasons: Vec<(&'static str, u64)>,
+}
+
+/// Number of timeline buckets a report renders.
+pub const TIMELINE_BUCKETS: usize = 24;
+
+/// Reconstructs the episode from a parsed dump.
+pub fn analyze(dump: &Dump) -> Analysis {
+    let times = dump
+        .records
+        .iter()
+        .map(|r| r.at)
+        .chain(dump.samples.iter().map(|s| s.at));
+    let t0 = times.clone().min().unwrap_or(dump.header.at_ns);
+    let t1 = times.max().unwrap_or(dump.header.at_ns).max(t0 + 1);
+    let bucket_ns = ((t1 - t0) / TIMELINE_BUCKETS as u64).max(1);
+    let n_buckets = ((t1 - t0) / bucket_ns + 1).min(TIMELINE_BUCKETS as u64 + 1) as usize;
+    let mut buckets = vec![Bucket::default(); n_buckets];
+    for (i, b) in buckets.iter_mut().enumerate() {
+        b.start = t0 + i as u64 * bucket_ns;
+    }
+    let slot = |at: Nanos| (((at.saturating_sub(t0)) / bucket_ns) as usize).min(n_buckets - 1);
+
+    let mut types: Vec<TypeReport> = Vec::new();
+    let grow = |idx: usize, types: &mut Vec<TypeReport>| {
+        if types.len() <= idx {
+            for i in types.len()..=idx {
+                types.push(TypeReport { index: i, ..TypeReport::default() });
+            }
+        }
+    };
+    let mut actions = Vec::new();
+    let mut parks = 0u64;
+    let mut wakes = 0u64;
+    let mut reject_reasons: Vec<(&'static str, u64)> = Vec::new();
+    // Depth gauge points from whichever source saw the truth last.
+    let mut depth_points: Vec<(Nanos, u64)> = Vec::new();
+
+    for r in &dump.records {
+        let b = &mut buckets[slot(r.at)];
+        match r.kind {
+            RecordKind::Admitted => {
+                b.admitted += 1;
+                if let Some(ty) = r.ty.filter(|t| *t != TY_NONE) {
+                    grow(ty as usize, &mut types);
+                    types[ty as usize].received += 1;
+                }
+            }
+            RecordKind::Rejected => {
+                b.rejected += 1;
+                if let Some(ty) = r.ty.filter(|t| *t != TY_NONE) {
+                    grow(ty as usize, &mut types);
+                    types[ty as usize].received += 1;
+                    types[ty as usize].rejected += 1;
+                }
+                let label = crate::policy::RejectReason::ALL
+                    .get(r.a as usize)
+                    .map_or("?", |reason| reason.label());
+                match reject_reasons.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, n)) => *n += 1,
+                    None => reject_reasons.push((label, 1)),
+                }
+            }
+            RecordKind::Completed => {
+                b.completed += 1;
+                if let Some(ty) = r.ty.filter(|t| *t != TY_NONE) {
+                    grow(ty as usize, &mut types);
+                    types[ty as usize].completed += 1;
+                }
+            }
+            RecordKind::Expired => b.expired += 1,
+            RecordKind::Enqueued => depth_points.push((r.at, r.a)),
+            RecordKind::HealthSample => depth_points.push((r.at, r.a)),
+            RecordKind::EstimateRefresh | RecordKind::EstimateCold => {
+                if let Some(ty) = r.ty.filter(|t| *t != TY_NONE) {
+                    grow(ty as usize, &mut types);
+                    let mean = f64::from_bits(r.a);
+                    let t = &mut types[ty as usize];
+                    t.mean_drift = Some(match t.mean_drift {
+                        Some((first, _)) => (first, mean),
+                        None => (mean, mean),
+                    });
+                    if r.b != u64::MAX {
+                        t.tail_drift = Some(match t.tail_drift {
+                            Some((first, _)) => (first, r.b),
+                            None => (r.b, r.b),
+                        });
+                    }
+                }
+            }
+            RecordKind::ControllerDecision => actions.push(ControllerAction {
+                at: r.at,
+                param: param_name(r.ty.unwrap_or(TY_NONE)),
+                value: f64::from_bits(r.a),
+                decision: true,
+                attainment: Some(f64::from(f32::from_bits((r.b >> 32) as u32))),
+                rejection: Some(f64::from(f32::from_bits(r.b as u32))),
+            }),
+            RecordKind::ParamUpdate => actions.push(ControllerAction {
+                at: r.at,
+                param: param_name(r.ty.unwrap_or(TY_NONE)),
+                value: f64::from_bits(r.a),
+                decision: false,
+                attainment: None,
+                rejection: None,
+            }),
+            RecordKind::EngineState => {
+                if r.b == 1 {
+                    parks += 1;
+                } else {
+                    wakes += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    for s in &dump.samples {
+        depth_points.push((s.at, s.queue_depth));
+    }
+    for ts in &dump.type_samples {
+        grow(ts.ty, &mut types);
+        types[ts.ty].within_slo += ts.within_slo;
+        types[ts.ty].sampled_completed += ts.completed;
+    }
+    depth_points.sort_by_key(|(at, _)| *at);
+    let peak_depth = depth_points.iter().map(|(_, d)| *d).max().unwrap_or(0);
+    // Carry the last-known depth forward through the buckets.
+    let mut depth = 0u64;
+    let mut pi = 0usize;
+    for (i, b) in buckets.iter_mut().enumerate() {
+        let end = t0 + (i as u64 + 1) * bucket_ns;
+        while pi < depth_points.len() && depth_points[pi].0 < end {
+            depth = depth_points[pi].1;
+            pi += 1;
+        }
+        b.depth = depth;
+    }
+    actions.sort_by_key(|a| a.at);
+    Analysis {
+        t0,
+        bucket_ns,
+        buckets,
+        peak_depth,
+        min_attainment: dump
+            .samples
+            .iter()
+            .map(|s| s.attainment)
+            .fold(None, |acc: Option<f64>, a| {
+                Some(acc.map_or(a, |m| m.min(a)))
+            }),
+        max_rejection: dump
+            .samples
+            .iter()
+            .map(|s| s.rejection)
+            .fold(None, |acc: Option<f64>, r| {
+                Some(acc.map_or(r, |m| m.max(r)))
+            }),
+        types,
+        actions,
+        engine_transitions: (parks, wakes),
+        reject_reasons,
+    }
+}
+
+fn bar(value: u64, peak: u64, width: usize) -> String {
+    if peak == 0 {
+        return String::new();
+    }
+    let filled = ((value as f64 / peak as f64) * width as f64).round() as usize;
+    "#".repeat(filled.min(width))
+}
+
+/// Renders the full postmortem report for a parsed dump.
+pub fn render_report(dump: &Dump) -> String {
+    let a = analyze(dump);
+    let h = &dump.header;
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(
+        out,
+        "incident: {} at t={:.3} ms",
+        h.reason,
+        as_millis_f64(h.at_ns)
+    );
+    if let Some(hash) = &h.scenario_hash {
+        let _ = writeln!(out, "scenario: {hash}");
+    }
+    let _ = writeln!(
+        out,
+        "flight recorder: {} rings, {} captured of {} written ({} overwritten)",
+        h.rings, h.records, h.written, h.dropped
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "timeline ({} buckets x {:.3} ms, t relative to {:.3} ms):",
+        a.buckets.len(),
+        as_millis_f64(a.bucket_ns),
+        as_millis_f64(a.t0)
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>7} {:>7} {:>7} {:>9} {:>7}  queue",
+        "t(ms)", "depth", "admit", "reject", "complete", "expire"
+    );
+    for b in &a.buckets {
+        let _ = writeln!(
+            out,
+            "{:>10.3} {:>7} {:>7} {:>7} {:>9} {:>7}  {}",
+            as_millis_f64(b.start - a.t0),
+            b.depth,
+            b.admitted,
+            b.rejected,
+            b.completed,
+            b.expired,
+            bar(b.depth, a.peak_depth, 24)
+        );
+    }
+    let _ = writeln!(out, "peak queue depth: {}", a.peak_depth);
+    if let (Some(min_att), Some(max_rej)) = (a.min_attainment, a.max_rejection) {
+        let _ = writeln!(
+            out,
+            "health trail: attainment dipped to {:.3}, rejection peaked at {:.3}",
+            min_att, max_rej
+        );
+    }
+    if !a.types.iter().any(|t| t.received + t.completed + t.sampled_completed > 0) {
+        let _ = writeln!(out, "\nper type: no typed traffic captured");
+    } else {
+        let _ = writeln!(out, "\nper type:");
+        for t in &a.types {
+            if t.received + t.completed + t.sampled_completed == 0 {
+                continue;
+            }
+            let name = h
+                .types
+                .get(t.index)
+                .map_or("?", String::as_str);
+            let rej_pct = if t.received > 0 {
+                100.0 * t.rejected as f64 / t.received as f64
+            } else {
+                0.0
+            };
+            let _ = write!(
+                out,
+                "  [{}] {}: received {}, rejected {} ({:.1}%), completed {}",
+                t.index, name, t.received, t.rejected, rej_pct, t.completed
+            );
+            if t.sampled_completed > 0 {
+                let _ = write!(
+                    out,
+                    ", attainment {:.3}",
+                    t.within_slo as f64 / t.sampled_completed as f64
+                );
+            }
+            let _ = writeln!(out);
+            if let Some((first, last)) = t.mean_drift {
+                let _ = write!(
+                    out,
+                    "       estimate drift: mean {:.3} ms -> {:.3} ms",
+                    first / 1e6,
+                    last / 1e6
+                );
+                if let Some((tf, tl)) = t.tail_drift {
+                    let _ = write!(
+                        out,
+                        ", tail {:.3} ms -> {:.3} ms",
+                        as_millis_f64(tf),
+                        as_millis_f64(tl)
+                    );
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+    if a.actions.is_empty() {
+        let _ = writeln!(out, "\ncontroller: no actions captured");
+    } else {
+        let _ = writeln!(out, "\ncontroller actions:");
+        for act in &a.actions {
+            if act.decision {
+                let _ = writeln!(
+                    out,
+                    "  t={:>10.3} ms  decision  {} -> {:.4}  (attainment {:.3}, rejection {:.3})",
+                    as_millis_f64(act.at.saturating_sub(a.t0)),
+                    act.param,
+                    act.value,
+                    act.attainment.unwrap_or(f64::NAN),
+                    act.rejection.unwrap_or(f64::NAN)
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  t={:>10.3} ms  installed {} -> {:.4}",
+                    as_millis_f64(act.at.saturating_sub(a.t0)),
+                    act.param,
+                    act.value
+                );
+            }
+        }
+    }
+    let (parks, wakes) = a.engine_transitions;
+    if parks + wakes > 0 {
+        let _ = writeln!(out, "\nengine idleness: {parks} parks, {wakes} wakes");
+    }
+    if !a.reject_reasons.is_empty() {
+        let _ = write!(out, "\nrejections by reason:");
+        for (label, n) in &a.reject_reasons {
+            let _ = write!(out, " {label}={n}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::health::{HealthConfig, HealthSampler, TriggerConfig};
+    use super::super::recorder::Recorder;
+    use super::super::{null_sink, Event, EventSink};
+    use super::*;
+    use crate::types::TypeId;
+    use std::sync::Arc;
+
+    fn synthetic_dump() -> String {
+        let mut s = String::new();
+        s.push_str("{\"incident\":{\"at_ns\":3200000000,\"reason\":\"rejection_spike\",\"scenario_hash\":\"00000000deadbeef\",\"rings\":2,\"written\":100,\"dropped\":20,\"records\":4,\"types\":[\"lookup\",\"scan\"]}}\n");
+        s.push_str("{\"event\":\"health_sample\",\"at_ns\":3000000000,\"queue_depth\":40,\"in_flight\":3,\"ring_occupancy\":5,\"pool_hits\":0,\"pool_misses\":0,\"pool_pooled\":0,\"attainment\":0.62,\"rejection\":0.55}\n");
+        s.push_str("{\"event\":\"type_health\",\"at_ns\":3000000000,\"type\":0,\"received\":100,\"rejected\":55,\"completed\":20,\"within_slo\":12}\n");
+        s.push_str("{\"event\":\"record\",\"ring\":\"main#0\",\"seq\":1,\"at_ns\":2900000000,\"kind\":\"enqueued\",\"type\":0,\"a\":\"37\",\"b\":\"0\"}\n");
+        s.push_str("{\"event\":\"record\",\"ring\":\"main#0\",\"seq\":2,\"at_ns\":2950000000,\"kind\":\"rejected\",\"type\":0,\"a\":\"0\",\"b\":\"0\"}\n");
+        let decided = 0.55f64.to_bits();
+        let packed =
+            (u64::from(0.62f32.to_bits()) << 32) | u64::from(0.55f32.to_bits());
+        s.push_str(&format!(
+            "{{\"event\":\"record\",\"ring\":\"main#0\",\"seq\":3,\"at_ns\":3100000000,\"kind\":\"controller_decision\",\"type\":0,\"a\":\"{decided}\",\"b\":\"{packed}\"}}\n"
+        ));
+        s.push_str("{\"event\":\"record\",\"ring\":\"shard0-ring0#1\",\"seq\":1,\"at_ns\":3150000000,\"kind\":\"engine_state\",\"type\":null,\"a\":\"0\",\"b\":\"1\"}\n");
+        s
+    }
+
+    #[test]
+    fn parse_reconstructs_every_line_shape() {
+        let dump = parse_dump(&synthetic_dump()).unwrap();
+        assert_eq!(dump.header.reason, "rejection_spike");
+        assert_eq!(dump.header.types, vec!["lookup", "scan"]);
+        assert_eq!(dump.samples.len(), 1);
+        assert_eq!(dump.type_samples.len(), 1);
+        assert_eq!(dump.records.len(), 4);
+        let decision = &dump.records[2];
+        assert_eq!(decision.kind, RecordKind::ControllerDecision);
+        assert!((f64::from_bits(decision.a) - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analysis_surfaces_depth_attainment_and_controller() {
+        let dump = parse_dump(&synthetic_dump()).unwrap();
+        let a = analyze(&dump);
+        assert_eq!(a.peak_depth, 40, "max of enqueued payloads and samples");
+        assert_eq!(a.min_attainment, Some(0.62));
+        assert_eq!(a.max_rejection, Some(0.55));
+        assert_eq!(a.actions.len(), 1);
+        assert_eq!(a.actions[0].param, "max_utilization");
+        assert!(a.actions[0].decision);
+        assert_eq!(a.engine_transitions, (1, 0));
+        assert_eq!(a.types[0].rejected, 1, "from the captured record");
+        assert_eq!(a.types[0].within_slo, 12, "from the type_health history");
+        // Depth carries forward to trailing buckets.
+        assert_eq!(a.buckets.last().unwrap().depth, 40);
+    }
+
+    #[test]
+    fn report_renders_the_episode_on_one_timeline() {
+        let dump = parse_dump(&synthetic_dump()).unwrap();
+        let report = render_report(&dump);
+        assert!(report.contains("incident: rejection_spike"));
+        assert!(report.contains("peak queue depth: 40"));
+        assert!(report.contains("attainment dipped to 0.620"));
+        assert!(report.contains("max_utilization -> 0.5500"));
+        assert!(report.contains("[0] lookup"));
+        assert!(report.contains("engine idleness: 1 parks, 0 wakes"));
+    }
+
+    #[test]
+    fn malformed_dumps_error_cleanly() {
+        assert!(parse_dump("").is_err());
+        assert!(parse_dump("{\"event\":\"tick\",\"at_ns\":1}\n").is_err());
+        let mut bad = synthetic_dump();
+        bad.push_str("{\"event\":\"record\",\"ring\":\"x\",\"seq\":9,\"at_ns\":1,\"kind\":\"enqueued\",\"type\":0,\"a\":12,\"b\":\"0\"}\n");
+        let err = parse_dump(&bad).unwrap_err();
+        assert!(err.contains("decimal string"), "{err}");
+    }
+
+    /// End-to-end within the obs layer: a sampler with a forced trigger
+    /// writes a real dump, and the postmortem pipeline reads it back.
+    #[test]
+    fn real_dump_round_trips_through_postmortem() {
+        let dir = std::env::temp_dir().join(format!(
+            "bouncer-postmortem-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = Recorder::new(256);
+        let cfg = HealthConfig {
+            interval: 1_000_000,
+            slo_tails: vec![Some(500_000)],
+            type_names: vec!["lookup".into()],
+            dump_dir: Some(dir.clone()),
+            trigger: TriggerConfig {
+                rejection_rate: None,
+                force_at: Some(7_000_000),
+                ..TriggerConfig::default()
+            },
+            ..HealthConfig::default()
+        };
+        let sink = Arc::new(super::super::RecorderSink::new(
+            Arc::clone(&recorder),
+            Some(null_sink()),
+        ));
+        let sampler = HealthSampler::new(cfg, recorder, sink);
+        let ty = TypeId::from_index(0);
+        for i in 0..10u64 {
+            let at = i * 600_000;
+            sampler.emit(&Event::Admitted { at, ty });
+            sampler.emit(&Event::Enqueued { at, ty, queue_len: (i + 1) as usize });
+        }
+        sampler.emit(&Event::ControllerDecision {
+            at: 6_000_000,
+            law: "aimd",
+            param: "max_utilization",
+            value: 0.6,
+            attainment: 0.7,
+            rejection: 0.4,
+        });
+        sampler.emit(&Event::Tick { at: 7_100_000 });
+        assert_eq!(sampler.incidents(), 1);
+        let text = std::fs::read_to_string(&sampler.incident_paths()[0]).unwrap();
+        let dump = parse_dump(&text).unwrap();
+        assert_eq!(dump.header.reason, "forced");
+        assert_eq!(dump.header.types, vec!["lookup"]);
+        let report = render_report(&dump);
+        assert!(report.contains("incident: forced"));
+        assert!(report.contains("peak queue depth: 10"), "{report}");
+        assert!(report.contains("decision  max_utilization -> 0.6000"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

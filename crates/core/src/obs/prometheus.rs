@@ -40,6 +40,38 @@ pub struct PoolCounters {
     pub pooled: u64,
 }
 
+/// One type's health rates for the exposition (see [`HealthCounters`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypeRates {
+    /// Dense type index (labels through `type_names`).
+    pub index: usize,
+    /// Cumulative SLO attainment (completions within the tail target /
+    /// completions), in `[0, 1]`.
+    pub attainment: f64,
+    /// Cumulative rejection rate (rejected / received), in `[0, 1]`.
+    pub rejection: f64,
+}
+
+/// Health-sampler gauges, exported so scrapes see the episode-explaining
+/// signals — queue depth, in-flight work, transport ring occupancy, and
+/// per-type attainment/rejection — not just end-of-run latency summaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthCounters {
+    /// Queries sitting in FIFO queues / transport rings at sample time.
+    pub queue_depth: u64,
+    /// Queries dequeued but not yet completed.
+    pub in_flight: u64,
+    /// Occupancy summed over SPSC transport rings, when probed (rings
+    /// transport only).
+    pub ring_occupancy: Option<u64>,
+    /// Events a lossy sink (e.g. [`super::JsonlSink`]) failed to write.
+    pub events_dropped: u64,
+    /// Incident dumps the trigger engine has written.
+    pub incidents: u64,
+    /// Per-type cumulative rates; only types that saw traffic.
+    pub per_type: Vec<TypeRates>,
+}
+
 /// Renders `snap` in the Prometheus text format.
 ///
 /// `type_names[i]` labels the type with dense index `i`; indexes past the
@@ -56,18 +88,22 @@ pub fn render_prometheus_with_traces(
     type_names: &[&str],
     traces: Option<&TraceCounters>,
 ) -> String {
-    render_prometheus_full(snap, type_names, traces, None)
+    render_prometheus_full(snap, type_names, traces, None, None)
 }
 
 /// [`render_prometheus_with_traces`], optionally also appending the
 /// transport buffer-pool counters (`bouncer_buffer_pool_hits_total` /
-/// `bouncer_buffer_pool_misses_total`) and the `bouncer_buffer_pool_buffers`
-/// gauge.
+/// `bouncer_buffer_pool_misses_total`), the `bouncer_buffer_pool_buffers`
+/// gauge, and the health-sampler gauge families (`bouncer_queue_depth`,
+/// `bouncer_in_flight`, `bouncer_ring_occupancy`,
+/// `bouncer_events_dropped_total`, `bouncer_incidents_total`,
+/// `bouncer_slo_attainment_ratio`, `bouncer_rejection_ratio`).
 pub fn render_prometheus_full(
     snap: &StatsSnapshot,
     type_names: &[&str],
     traces: Option<&TraceCounters>,
     pool: Option<&PoolCounters>,
+    health: Option<&HealthCounters>,
 ) -> String {
     let name_of = |i: usize| -> String {
         type_names
@@ -225,6 +261,69 @@ pub fn render_prometheus_full(
         );
         let _ = writeln!(out, "# TYPE bouncer_buffer_pool_buffers gauge");
         let _ = writeln!(out, "bouncer_buffer_pool_buffers {}", pc.pooled);
+    }
+
+    if let Some(hc) = health {
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_queue_depth Queries in FIFO queues and transport rings at sample time."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_queue_depth gauge");
+        let _ = writeln!(out, "bouncer_queue_depth {}", hc.queue_depth);
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_in_flight Queries dequeued but not yet completed."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_in_flight gauge");
+        let _ = writeln!(out, "bouncer_in_flight {}", hc.in_flight);
+        if let Some(occ) = hc.ring_occupancy {
+            let _ = writeln!(
+                out,
+                "# HELP bouncer_ring_occupancy Entries occupying SPSC transport rings."
+            );
+            let _ = writeln!(out, "# TYPE bouncer_ring_occupancy gauge");
+            let _ = writeln!(out, "bouncer_ring_occupancy {occ}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_events_dropped_total Events a lossy sink failed to write."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_events_dropped_total counter");
+        let _ = writeln!(out, "bouncer_events_dropped_total {}", hc.events_dropped);
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_incidents_total Incident dumps written by the trigger engine."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_incidents_total counter");
+        let _ = writeln!(out, "bouncer_incidents_total {}", hc.incidents);
+        if !hc.per_type.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP bouncer_slo_attainment_ratio Completions within the SLO tail target over completions."
+            );
+            let _ = writeln!(out, "# TYPE bouncer_slo_attainment_ratio gauge");
+            for tr in &hc.per_type {
+                let _ = writeln!(
+                    out,
+                    "bouncer_slo_attainment_ratio{{type=\"{}\"}} {}",
+                    name_of(tr.index),
+                    tr.attainment
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# HELP bouncer_rejection_ratio Rejected over received, per type."
+            );
+            let _ = writeln!(out, "# TYPE bouncer_rejection_ratio gauge");
+            for tr in &hc.per_type {
+                let _ = writeln!(
+                    out,
+                    "bouncer_rejection_ratio{{type=\"{}\"}} {}",
+                    name_of(tr.index),
+                    tr.rejection
+                );
+            }
+        }
     }
 
     out
@@ -460,7 +559,8 @@ mod tests {
             misses: 7,
             pooled: 4,
         };
-        let text = render_prometheus_full(&populated_snapshot(), &["fast"], None, Some(&pool));
+        let text =
+            render_prometheus_full(&populated_snapshot(), &["fast"], None, Some(&pool), None);
         validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
         assert!(text.contains("# TYPE bouncer_buffer_pool_hits_total counter"));
         assert!(text.contains("bouncer_buffer_pool_hits_total 90"));
@@ -471,5 +571,82 @@ mod tests {
         let text = render_prometheus(&populated_snapshot(), &["fast"]);
         validate_prometheus(&text).unwrap();
         assert!(!text.contains("bouncer_buffer_pool"));
+    }
+
+    #[test]
+    fn health_gauges_render_and_validate() {
+        let health = HealthCounters {
+            queue_depth: 17,
+            in_flight: 3,
+            ring_occupancy: Some(5),
+            events_dropped: 2,
+            incidents: 1,
+            per_type: vec![
+                TypeRates {
+                    index: 0,
+                    attainment: 0.875,
+                    rejection: 0.125,
+                },
+                TypeRates {
+                    index: 1,
+                    attainment: 1.0,
+                    rejection: 0.0,
+                },
+            ],
+        };
+        let text = render_prometheus_full(
+            &populated_snapshot(),
+            &["fast", "medium"],
+            None,
+            None,
+            Some(&health),
+        );
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        // Every new family is declared and sampled.
+        assert!(text.contains("# TYPE bouncer_queue_depth gauge"));
+        assert!(text.contains("bouncer_queue_depth 17"));
+        assert!(text.contains("# TYPE bouncer_in_flight gauge"));
+        assert!(text.contains("bouncer_in_flight 3"));
+        assert!(text.contains("# TYPE bouncer_ring_occupancy gauge"));
+        assert!(text.contains("bouncer_ring_occupancy 5"));
+        assert!(text.contains("# TYPE bouncer_events_dropped_total counter"));
+        assert!(text.contains("bouncer_events_dropped_total 2"));
+        assert!(text.contains("# TYPE bouncer_incidents_total counter"));
+        assert!(text.contains("bouncer_incidents_total 1"));
+        assert!(text.contains("# TYPE bouncer_slo_attainment_ratio gauge"));
+        assert!(text.contains("bouncer_slo_attainment_ratio{type=\"fast\"} 0.875"));
+        assert!(text.contains("bouncer_slo_attainment_ratio{type=\"medium\"} 1"));
+        assert!(text.contains("# TYPE bouncer_rejection_ratio gauge"));
+        assert!(text.contains("bouncer_rejection_ratio{type=\"fast\"} 0.125"));
+    }
+
+    #[test]
+    fn health_gauges_absent_without_counters_and_optional_fields_drop_out() {
+        // Without health counters none of the families render.
+        let text = render_prometheus(&populated_snapshot(), &["fast"]);
+        validate_prometheus(&text).unwrap();
+        for family in [
+            "bouncer_queue_depth",
+            "bouncer_in_flight",
+            "bouncer_ring_occupancy",
+            "bouncer_events_dropped_total",
+            "bouncer_incidents_total",
+            "bouncer_slo_attainment_ratio",
+            "bouncer_rejection_ratio",
+        ] {
+            assert!(!text.contains(family), "{family} leaked into:\n{text}");
+        }
+        // Off-rings runs have no occupancy probe; the gauge is omitted and
+        // the rest still validates.
+        let health = HealthCounters {
+            queue_depth: 1,
+            ..HealthCounters::default()
+        };
+        let text =
+            render_prometheus_full(&populated_snapshot(), &["fast"], None, None, Some(&health));
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(!text.contains("bouncer_ring_occupancy"));
+        assert!(!text.contains("bouncer_slo_attainment_ratio"));
+        assert!(text.contains("bouncer_queue_depth 1"));
     }
 }

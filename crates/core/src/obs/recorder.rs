@@ -1,0 +1,915 @@
+//! Always-on flight recorder: per-thread, fixed-capacity, overwrite-oldest
+//! rings of compact binary event records.
+//!
+//! The JSONL/tracing stack (OBSERVABILITY.md) is too heavy to leave on in
+//! the rings steady state, yet overload episodes are exactly when you want
+//! the trailing event history. The recorder is the black box in between:
+//! every [`Event`] that reaches a [`RecorderSink`] is packed into a
+//! fixed-width [`Record`] (40 bytes, no heap) and written into the calling
+//! thread's private ring. When a trigger fires (see
+//! [`super::health::HealthSampler`]) the rings are snapshotted into an
+//! incident dump and analyzed offline by the `postmortem` CLI subcommand.
+//!
+//! # Concurrency design
+//!
+//! One ring per *recording thread*, following the single-writer discipline
+//! of [`bouncer_metrics::spsc`]: the record path is one thread-local
+//! lookup plus a seqlock-stamped slot write — no locks, no allocation, no
+//! CAS. Rings are registered in a central list the first time a thread
+//! records through a given [`Recorder`] (a cold path behind a `Mutex`),
+//! then cached in a `thread_local!` so the steady state never touches the
+//! registry again.
+//!
+//! Readers ([`Recorder::snapshot`]) run concurrently with writers. Each
+//! slot carries a sequence stamp that is odd while the writer is mid-store
+//! and even (encoding the record's global sequence number) once the store
+//! is complete; a reader that observes a stamp change across its copy
+//! discards the slot instead of surfacing a torn record. The record itself
+//! is stored as four `AtomicU64` words, so the protocol is expressible in
+//! safe Rust — no `UnsafeCell` reads racing with writes.
+//!
+//! Overwrite semantics: a ring holds the most recent `capacity` records;
+//! older records are silently replaced and counted in
+//! [`RingSnapshot::dropped`].
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use bouncer_metrics::Nanos;
+
+use crate::policy::RejectReason;
+use crate::types::TypeId;
+
+use super::{Event, EventSink};
+
+/// Default per-thread ring capacity (records). At 40 bytes per slot this
+/// is ~160 KiB per recording thread — roomy enough to span several health
+/// sample windows at full event rate.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Sentinel for "no query type" in [`Record::ty`].
+pub const TY_NONE: u16 = u16::MAX;
+
+/// What a [`Record`] describes — a compact mirror of [`Event`]'s variants
+/// plus the recorder-only engine idle transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RecordKind {
+    /// Unwritten slot filler; never surfaced by a snapshot.
+    Empty = 0,
+    /// [`Event::Admitted`].
+    Admitted = 1,
+    /// [`Event::Rejected`]; `a` = [`RejectReason::index`].
+    Rejected = 2,
+    /// [`Event::Enqueued`]; `a` = queue length after the insert.
+    Enqueued = 3,
+    /// [`Event::Dequeued`]; `a` = queue wait (ns).
+    Dequeued = 4,
+    /// [`Event::Started`].
+    Started = 5,
+    /// [`Event::Completed`]; `a` = response time, `b` = processing (ns).
+    Completed = 6,
+    /// [`Event::Expired`]; `a` = wait by expiry (ns).
+    Expired = 7,
+    /// [`Event::HistogramSwap`].
+    HistogramSwap = 8,
+    /// [`Event::ThresholdUpdate`]; `a` = threshold (`f64::to_bits`).
+    ThresholdUpdate = 9,
+    /// [`Event::MovingAvgRefresh`]; `a` = mean ns (`f64::to_bits`).
+    MovingAvgRefresh = 10,
+    /// [`Event::EstimateRefresh`] with `warm = true`; `a` = cached mean ns
+    /// (`f64::to_bits`), `b` = tail percentile estimate ns (`u64::MAX`
+    /// when unresolved).
+    EstimateRefresh = 11,
+    /// [`Event::EstimateRefresh`] with `warm = false` (same payload).
+    EstimateCold = 12,
+    /// [`Event::Scenario`]; `a` = content hash.
+    Scenario = 13,
+    /// [`Event::ControllerDecision`]; `ty` = param code
+    /// ([`param_code`]), `a` = decided value (`f64::to_bits`), `b` =
+    /// attainment/rejection packed as two `f32` bit patterns
+    /// (attainment high, rejection low).
+    ControllerDecision = 14,
+    /// [`Event::ParamUpdate`]; `ty` = param code, `a` = installed value
+    /// (`f64::to_bits`).
+    ParamUpdate = 15,
+    /// [`Event::Span`]; `a` = start, `b` = end (ns).
+    Span = 16,
+    /// [`Event::PoolStats`]; `a` = hits, `b` = misses.
+    PoolStats = 17,
+    /// [`Event::Tick`].
+    Tick = 18,
+    /// [`Event::HealthSample`]; `a` = queue depth, `b` = in-flight.
+    HealthSample = 19,
+    /// [`Event::TypeHealth`]; `a` = received (hi 32) | rejected (lo 32),
+    /// `b` = completed (hi 32) | within-SLO (lo 32).
+    TypeHealth = 20,
+    /// [`Event::EngineState`]; `a` = engine index, `b` = 1 parked / 0 woke.
+    EngineState = 21,
+    /// [`Event::Incident`]; `a` = trigger code, `b` = records dumped.
+    Incident = 22,
+}
+
+impl RecordKind {
+    /// The snake_case name, matching the source event's JSONL name where
+    /// one exists.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordKind::Empty => "empty",
+            RecordKind::Admitted => "admitted",
+            RecordKind::Rejected => "rejected",
+            RecordKind::Enqueued => "enqueued",
+            RecordKind::Dequeued => "dequeued",
+            RecordKind::Started => "started",
+            RecordKind::Completed => "completed",
+            RecordKind::Expired => "expired",
+            RecordKind::HistogramSwap => "histogram_swap",
+            RecordKind::ThresholdUpdate => "threshold_update",
+            RecordKind::MovingAvgRefresh => "moving_avg_refresh",
+            RecordKind::EstimateRefresh => "estimate_refresh",
+            RecordKind::EstimateCold => "estimate_refresh_cold",
+            RecordKind::Scenario => "scenario",
+            RecordKind::ControllerDecision => "controller_decision",
+            RecordKind::ParamUpdate => "param_update",
+            RecordKind::Span => "span",
+            RecordKind::PoolStats => "pool_stats",
+            RecordKind::Tick => "tick",
+            RecordKind::HealthSample => "health_sample",
+            RecordKind::TypeHealth => "type_health",
+            RecordKind::EngineState => "engine_state",
+            RecordKind::Incident => "incident",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => RecordKind::Admitted,
+            2 => RecordKind::Rejected,
+            3 => RecordKind::Enqueued,
+            4 => RecordKind::Dequeued,
+            5 => RecordKind::Started,
+            6 => RecordKind::Completed,
+            7 => RecordKind::Expired,
+            8 => RecordKind::HistogramSwap,
+            9 => RecordKind::ThresholdUpdate,
+            10 => RecordKind::MovingAvgRefresh,
+            11 => RecordKind::EstimateRefresh,
+            12 => RecordKind::EstimateCold,
+            13 => RecordKind::Scenario,
+            14 => RecordKind::ControllerDecision,
+            15 => RecordKind::ParamUpdate,
+            16 => RecordKind::Span,
+            17 => RecordKind::PoolStats,
+            18 => RecordKind::Tick,
+            19 => RecordKind::HealthSample,
+            20 => RecordKind::TypeHealth,
+            21 => RecordKind::EngineState,
+            22 => RecordKind::Incident,
+            _ => RecordKind::Empty,
+        }
+    }
+
+    /// Parses a [`RecordKind::name`] back, for dump readers.
+    pub fn from_name(name: &str) -> Option<Self> {
+        (1..=22u8)
+            .map(RecordKind::from_u8)
+            .find(|k| k.name() == name)
+    }
+}
+
+/// Dense codes for controller-targeted parameter names, so records stay
+/// fixed-width. [`param_name`] inverts.
+pub fn param_code(param: &str) -> u16 {
+    match param {
+        "max_utilization" => 0,
+        "allowance" => 1,
+        "alpha" => 2,
+        _ => TY_NONE,
+    }
+}
+
+/// The parameter name for a [`param_code`], `"?"` when unknown.
+pub fn param_name(code: u16) -> &'static str {
+    match code {
+        0 => "max_utilization",
+        1 => "allowance",
+        2 => "alpha",
+        _ => "?",
+    }
+}
+
+/// One fixed-width flight-recorder record. `a`/`b` payloads are
+/// kind-specific (see [`RecordKind`]); floating-point payloads travel as
+/// `f64::to_bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Event timestamp (virtual or wall-clock nanoseconds).
+    pub at: Nanos,
+    /// What happened.
+    pub kind: RecordKind,
+    /// Dense query-type index, [`TY_NONE`] for untyped records; parameter
+    /// code for controller records.
+    pub ty: u16,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+}
+
+impl Record {
+    /// Packs an [`Event`] into its record form. Every event maps; payload
+    /// fields that don't fit the two words (policy names, trace ids) are
+    /// dropped — the recorder is a black box, not an archive.
+    pub fn from_event(event: &Event) -> Self {
+        let ty16 = |ty: TypeId| -> u16 { ty.index().min(usize::from(TY_NONE) - 1) as u16 };
+        match *event {
+            Event::Admitted { at, ty } => Record::new(at, RecordKind::Admitted, ty16(ty), 0, 0),
+            Event::Rejected { at, ty, reason } => Record::new(
+                at,
+                RecordKind::Rejected,
+                ty16(ty),
+                reason.index() as u64,
+                0,
+            ),
+            Event::Enqueued { at, ty, queue_len } => Record::new(
+                at,
+                RecordKind::Enqueued,
+                ty16(ty),
+                queue_len as u64,
+                0,
+            ),
+            Event::Dequeued { at, ty, wait } => {
+                Record::new(at, RecordKind::Dequeued, ty16(ty), wait, 0)
+            }
+            Event::Started { at, ty } => Record::new(at, RecordKind::Started, ty16(ty), 0, 0),
+            Event::Completed {
+                at,
+                ty,
+                rt,
+                processing,
+                ..
+            } => Record::new(at, RecordKind::Completed, ty16(ty), rt, processing),
+            Event::Expired { at, ty, wait } => {
+                Record::new(at, RecordKind::Expired, ty16(ty), wait, 0)
+            }
+            Event::HistogramSwap { at, .. } => {
+                Record::new(at, RecordKind::HistogramSwap, TY_NONE, 0, 0)
+            }
+            Event::ThresholdUpdate { at, threshold, .. } => Record::new(
+                at,
+                RecordKind::ThresholdUpdate,
+                TY_NONE,
+                threshold.to_bits(),
+                0,
+            ),
+            Event::MovingAvgRefresh { at, mean_ns, .. } => Record::new(
+                at,
+                RecordKind::MovingAvgRefresh,
+                TY_NONE,
+                mean_ns.to_bits(),
+                0,
+            ),
+            Event::EstimateRefresh {
+                at,
+                ty,
+                warm,
+                mean_ns,
+                pt_tail_ns,
+                ..
+            } => Record::new(
+                at,
+                if warm {
+                    RecordKind::EstimateRefresh
+                } else {
+                    RecordKind::EstimateCold
+                },
+                ty16(ty),
+                mean_ns.to_bits(),
+                pt_tail_ns.unwrap_or(u64::MAX),
+            ),
+            Event::Scenario { at, hash } => Record::new(at, RecordKind::Scenario, TY_NONE, hash, 0),
+            Event::ControllerDecision {
+                at,
+                param,
+                value,
+                attainment,
+                rejection,
+                ..
+            } => Record::new(
+                at,
+                RecordKind::ControllerDecision,
+                param_code(param),
+                value.to_bits(),
+                (u64::from((attainment as f32).to_bits()) << 32)
+                    | u64::from((rejection as f32).to_bits()),
+            ),
+            Event::ParamUpdate {
+                at, param, value, ..
+            } => Record::new(
+                at,
+                RecordKind::ParamUpdate,
+                param_code(param),
+                value.to_bits(),
+                0,
+            ),
+            Event::Span { at, start, end, ty, .. } => Record::new(
+                at,
+                RecordKind::Span,
+                ty.map_or(TY_NONE, ty16),
+                start,
+                end,
+            ),
+            Event::PoolStats {
+                at, hits, misses, ..
+            } => Record::new(at, RecordKind::PoolStats, TY_NONE, hits, misses),
+            Event::Tick { at } => Record::new(at, RecordKind::Tick, TY_NONE, 0, 0),
+            Event::HealthSample {
+                at,
+                queue_depth,
+                in_flight,
+                ..
+            } => Record::new(at, RecordKind::HealthSample, TY_NONE, queue_depth, in_flight),
+            Event::TypeHealth {
+                at,
+                ty,
+                received,
+                rejected,
+                completed,
+                within_slo,
+            } => Record::new(
+                at,
+                RecordKind::TypeHealth,
+                ty16(ty),
+                (received.min(u32::MAX as u64) << 32) | rejected.min(u32::MAX as u64),
+                (completed.min(u32::MAX as u64) << 32) | within_slo.min(u32::MAX as u64),
+            ),
+            Event::EngineState { at, engine, parked } => Record::new(
+                at,
+                RecordKind::EngineState,
+                TY_NONE,
+                u64::from(engine),
+                u64::from(parked),
+            ),
+            Event::Incident { at, records, .. } => {
+                Record::new(at, RecordKind::Incident, TY_NONE, 0, records)
+            }
+        }
+    }
+
+    fn new(at: Nanos, kind: RecordKind, ty: u16, a: u64, b: u64) -> Self {
+        Self { at, kind, ty, a, b }
+    }
+
+    /// The rejection reason, for [`RecordKind::Rejected`] records.
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        if self.kind == RecordKind::Rejected {
+            RejectReason::ALL.get(self.a as usize).copied()
+        } else {
+            None
+        }
+    }
+
+    fn to_words(self) -> [u64; 4] {
+        [
+            self.at,
+            (u64::from(self.kind as u8) << 16) | u64::from(self.ty),
+            self.a,
+            self.b,
+        ]
+    }
+
+    fn from_words(w: [u64; 4]) -> Self {
+        Self {
+            at: w[0],
+            kind: RecordKind::from_u8((w[1] >> 16) as u8),
+            ty: (w[1] & 0xFFFF) as u16,
+            a: w[2],
+            b: w[3],
+        }
+    }
+}
+
+/// One seqlock-stamped ring slot. The stamp is `0` while unwritten,
+/// `2·seq + 1` while the writer is mid-store of record number `seq`
+/// (0-based), and `2·seq + 2` once that record is fully stored.
+struct Slot {
+    stamp: AtomicU64,
+    words: [AtomicU64; 4],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            stamp: AtomicU64::new(0),
+            words: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// Pad each ring's hot state to its own cache line, mirroring the
+/// alignment discipline of `bouncer_metrics::spsc`, so two threads'
+/// recorders never false-share.
+#[repr(align(64))]
+struct PaddedHead(AtomicU64);
+
+/// A single-writer ring of [`Record`]s. Writing is reserved to the owning
+/// thread (enforced by the thread-local registration in
+/// [`Recorder::record`]); snapshotting is safe from any thread.
+pub struct ThreadRing {
+    name: String,
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Number of records ever written (monotone). Only the owner thread
+    /// stores; readers use it to bound their scan window.
+    head: PaddedHead,
+}
+
+impl std::fmt::Debug for ThreadRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadRing")
+            .field("name", &self.name)
+            .field("capacity", &self.slots.len())
+            .field("written", &self.head.0.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ThreadRing {
+    fn new(name: String, capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(2);
+        Self {
+            name,
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            mask: capacity as u64 - 1,
+            head: PaddedHead(AtomicU64::new(0)),
+        }
+    }
+
+    /// The ring's registered name (usually the owning thread's name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records ever written (monotone; exceeds `capacity` once the ring
+    /// has wrapped).
+    pub fn written(&self) -> u64 {
+        self.head.0.load(Ordering::Acquire)
+    }
+
+    /// Writes one record, overwriting the oldest once full. **Owner thread
+    /// only** — concurrent writers would corrupt the seqlock protocol,
+    /// which is why this is not `pub`.
+    fn record(&self, rec: Record) {
+        let seq = self.head.0.load(Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        // Seqlock writer: odd stamp -> payload stores -> even stamp. The
+        // Release fence keeps the odd stamp ahead of the payload in every
+        // reader's view; the Release store of the even stamp publishes the
+        // payload.
+        slot.stamp.store(2 * seq + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (word, v) in slot.words.iter().zip(rec.to_words()) {
+            word.store(v, Ordering::Relaxed);
+        }
+        slot.stamp.store(2 * seq + 2, Ordering::Release);
+        self.head.0.store(seq + 1, Ordering::Release);
+    }
+
+    /// A consistent copy of the ring's current window: every record whose
+    /// slot was stably readable, in sequence order, plus the count of
+    /// older records already overwritten. Records the writer replaces or
+    /// is mid-replacing during the scan are skipped, never torn.
+    pub fn snapshot(&self) -> RingSnapshot {
+        let head = self.written();
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut records = Vec::with_capacity((head - start) as usize);
+        for seq in start..head {
+            let slot = &self.slots[(seq & self.mask) as usize];
+            // A couple of retries ride out a writer caught mid-store; if
+            // the slot keeps moving it has been overwritten by a newer
+            // record and is simply skipped.
+            for _ in 0..4 {
+                let s1 = slot.stamp.load(Ordering::Acquire);
+                if s1 % 2 == 1 || s1 == 0 {
+                    continue;
+                }
+                if (s1 - 2) / 2 != seq {
+                    break; // already overwritten past our window
+                }
+                let words = [
+                    slot.words[0].load(Ordering::Relaxed),
+                    slot.words[1].load(Ordering::Relaxed),
+                    slot.words[2].load(Ordering::Relaxed),
+                    slot.words[3].load(Ordering::Relaxed),
+                ];
+                fence(Ordering::Acquire);
+                let s2 = slot.stamp.load(Ordering::Relaxed);
+                if s1 == s2 {
+                    records.push((seq, Record::from_words(words)));
+                    break;
+                }
+            }
+        }
+        RingSnapshot {
+            name: self.name.clone(),
+            capacity: self.slots.len(),
+            written: head,
+            dropped: start,
+            records,
+        }
+    }
+}
+
+/// One ring's consistent snapshot (see [`ThreadRing::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct RingSnapshot {
+    /// The ring's name.
+    pub name: String,
+    /// Ring capacity in slots.
+    pub capacity: usize,
+    /// Records ever written at snapshot time.
+    pub written: u64,
+    /// Records overwritten before the snapshot window (oldest-dropped
+    /// count).
+    pub dropped: u64,
+    /// `(sequence, record)` pairs in sequence order.
+    pub records: Vec<(u64, Record)>,
+}
+
+/// A record paired with the ring it came from, as surfaced by
+/// [`Recorder::snapshot`].
+#[derive(Debug, Clone)]
+pub struct RecordedEvent {
+    /// Name of the ring (thread) that wrote the record.
+    pub ring: Arc<str>,
+    /// The record's per-ring sequence number.
+    pub seq: u64,
+    /// The record itself.
+    pub rec: Record,
+}
+
+/// A merged snapshot of every ring, ordered by timestamp.
+#[derive(Debug, Clone, Default)]
+pub struct RecorderDump {
+    /// All stably-read records, sorted by `(at, ring, seq)`.
+    pub records: Vec<RecordedEvent>,
+    /// Number of rings that have registered.
+    pub rings: usize,
+    /// Total records ever written across rings.
+    pub written: u64,
+    /// Total records already overwritten (lost to the fixed capacity).
+    pub dropped: u64,
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+std::thread_local! {
+    /// Per-thread cache of `(recorder id, ring)` pairs so the record path
+    /// never touches the registry mutex after first contact.
+    static TLS_RINGS: std::cell::RefCell<Vec<(u64, Arc<ThreadRing>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The flight recorder: a registry of per-thread overwrite-oldest rings.
+///
+/// Cheap enough to leave always on — the record path is a thread-local
+/// vector scan (almost always length 1) plus a seqlock slot store. See the
+/// `gate_cycle/recorder` rows of the `overhead` bench and target T4 in
+/// docs/adr/001-performance-targets.md.
+#[derive(Debug)]
+pub struct Recorder {
+    id: u64,
+    capacity: usize,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+}
+
+impl Recorder {
+    /// A recorder whose rings hold `capacity` records each (rounded up to
+    /// a power of two).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            capacity,
+            rings: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// A recorder with [`DEFAULT_RING_CAPACITY`] slots per ring.
+    pub fn with_default_capacity() -> Arc<Self> {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Writes one record into the calling thread's ring, registering the
+    /// ring on first contact. Lock- and allocation-free after that first
+    /// call per (thread, recorder) pair.
+    pub fn record(&self, rec: Record) {
+        TLS_RINGS.with(|cell| {
+            let mut cached = cell.borrow_mut();
+            if let Some((_, ring)) = cached.iter().find(|(id, _)| *id == self.id) {
+                ring.record(rec);
+                return;
+            }
+            let ring = self.register_current_thread();
+            ring.record(rec);
+            cached.push((self.id, ring));
+        });
+    }
+
+    /// Records an event directly (the [`RecorderSink`] path).
+    pub fn record_event(&self, event: &Event) {
+        self.record(Record::from_event(event));
+    }
+
+    fn register_current_thread(&self) -> Arc<ThreadRing> {
+        let mut rings = self.rings.lock().unwrap_or_else(PoisonError::into_inner);
+        let base = std::thread::current()
+            .name()
+            .unwrap_or("thread")
+            .to_string();
+        let name = format!("{base}#{}", rings.len());
+        let ring = Arc::new(ThreadRing::new(name, self.capacity));
+        rings.push(Arc::clone(&ring));
+        ring
+    }
+
+    /// Number of registered rings (threads that have recorded).
+    pub fn ring_count(&self) -> usize {
+        self.rings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Total records ever written across all rings.
+    pub fn total_written(&self) -> u64 {
+        self.rings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|r| r.written())
+            .sum()
+    }
+
+    /// Snapshots every ring and merges the windows into one
+    /// timestamp-ordered dump. Runs concurrently with writers; records
+    /// being overwritten mid-scan are skipped, never torn.
+    pub fn snapshot(&self) -> RecorderDump {
+        let rings: Vec<Arc<ThreadRing>> = self
+            .rings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut dump = RecorderDump {
+            rings: rings.len(),
+            ..RecorderDump::default()
+        };
+        for ring in &rings {
+            let snap = ring.snapshot();
+            dump.written += snap.written;
+            dump.dropped += snap.dropped;
+            let name: Arc<str> = Arc::from(snap.name.as_str());
+            dump.records.extend(snap.records.into_iter().map(|(seq, rec)| RecordedEvent {
+                ring: Arc::clone(&name),
+                seq,
+                rec,
+            }));
+        }
+        dump.records
+            .sort_by(|x, y| (x.rec.at, &x.ring, x.seq).cmp(&(y.rec.at, &y.ring, y.seq)));
+        dump
+    }
+}
+
+/// An [`EventSink`] adapter that records every event into a [`Recorder`]
+/// and forwards to a downstream sink.
+///
+/// Always [`enabled`](EventSink::enabled) — that is the point: emission
+/// sites construct events even when the downstream is a `NullSink`, and
+/// the flight recorder captures them. The cost of that always-on capture
+/// is what ADR 001's T4 target bounds.
+#[derive(Debug)]
+pub struct RecorderSink {
+    recorder: Arc<Recorder>,
+    downstream: Option<Arc<dyn EventSink>>,
+}
+
+impl RecorderSink {
+    /// Records into `recorder`, forwarding to `downstream` when present
+    /// and enabled.
+    pub fn new(recorder: Arc<Recorder>, downstream: Option<Arc<dyn EventSink>>) -> Self {
+        Self {
+            recorder,
+            downstream,
+        }
+    }
+
+    /// The wrapped recorder.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+}
+
+impl EventSink for RecorderSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn emit(&self, event: &Event) {
+        self.recorder.record_event(event);
+        if let Some(down) = &self.downstream {
+            if down.enabled() {
+                down.emit(event);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(down) = &self.downstream {
+            down.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::MemorySink;
+
+    #[test]
+    fn record_round_trips_every_event_payload() {
+        let samples = [
+            Event::Admitted { at: 1, ty: TypeId::from_index(3) },
+            Event::Rejected {
+                at: 2,
+                ty: TypeId::from_index(1),
+                reason: RejectReason::CapacityFraction,
+            },
+            Event::Completed { at: 9, ty: TypeId::from_index(0), wait: 2, processing: 3, rt: 5 },
+            Event::ControllerDecision {
+                at: 11,
+                law: "aimd",
+                param: "max_utilization",
+                value: 0.75,
+                attainment: 0.9,
+                rejection: 0.25,
+            },
+            Event::EstimateRefresh {
+                at: 12,
+                policy: "bouncer",
+                ty: TypeId::from_index(2),
+                warm: true,
+                mean_ns: 1234.5,
+                pt_tail_ns: Some(999),
+            },
+        ];
+        for e in &samples {
+            let r = Record::from_event(e);
+            let r2 = Record::from_words(r.to_words());
+            assert_eq!(r, r2, "word round trip for {}", e.name());
+            assert_eq!(r.at, e.at());
+        }
+        let decision = Record::from_event(&samples[3]);
+        assert_eq!(decision.kind, RecordKind::ControllerDecision);
+        assert_eq!(param_name(decision.ty), "max_utilization");
+        assert_eq!(f64::from_bits(decision.a), 0.75);
+        let attain = f32::from_bits((decision.b >> 32) as u32);
+        let rej = f32::from_bits(decision.b as u32);
+        assert!((attain - 0.9).abs() < 1e-6 && (rej - 0.25).abs() < 1e-6);
+        let reject = Record::from_event(&samples[1]);
+        assert_eq!(reject.reject_reason(), Some(RejectReason::CapacityFraction));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_records_and_counts_dropped() {
+        let ring = ThreadRing::new("t".into(), 8);
+        for i in 0..20u64 {
+            ring.record(Record::new(i, RecordKind::Admitted, 0, i, !i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.written, 20);
+        assert_eq!(snap.dropped, 12);
+        assert_eq!(snap.records.len(), 8);
+        // The window is exactly the 8 newest records, in order.
+        for (offset, (seq, rec)) in snap.records.iter().enumerate() {
+            assert_eq!(*seq, 12 + offset as u64);
+            assert_eq!(rec.at, *seq);
+            assert_eq!(rec.a, *seq);
+            assert_eq!(rec.b, !*seq);
+        }
+    }
+
+    #[test]
+    fn recorder_registers_one_ring_per_thread() {
+        let recorder = Recorder::new(64);
+        recorder.record(Record::new(1, RecordKind::Tick, TY_NONE, 0, 0));
+        recorder.record(Record::new(2, RecordKind::Tick, TY_NONE, 0, 0));
+        let rec2 = Arc::clone(&recorder);
+        std::thread::spawn(move || {
+            rec2.record(Record::new(3, RecordKind::Tick, TY_NONE, 0, 0));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(recorder.ring_count(), 2);
+        assert_eq!(recorder.total_written(), 3);
+        let dump = recorder.snapshot();
+        assert_eq!(dump.records.len(), 3);
+        // Merged dump is timestamp-ordered across rings.
+        assert!(dump.records.windows(2).all(|w| w[0].rec.at <= w[1].rec.at));
+    }
+
+    #[test]
+    fn recorder_sink_is_always_enabled_and_forwards() {
+        let recorder = Recorder::new(64);
+        let mem = Arc::new(MemorySink::new());
+        let sink = RecorderSink::new(Arc::clone(&recorder), Some(mem.clone()));
+        assert!(sink.enabled());
+        sink.emit(&Event::Admitted { at: 5, ty: TypeId::from_index(0) });
+        assert_eq!(mem.len(), 1);
+        assert_eq!(recorder.total_written(), 1);
+        // And with no downstream at all, recording still happens.
+        let solo = RecorderSink::new(Arc::clone(&recorder), None);
+        assert!(solo.enabled());
+        solo.emit(&Event::Tick { at: 6 });
+        assert_eq!(recorder.total_written(), 2);
+    }
+
+    /// The satellite stress test: writers wrap their rings many times over
+    /// while a reader snapshots concurrently. Every surfaced record must
+    /// be internally consistent (`b == !a` — a torn read mixing two
+    /// records would break the pairing) and every final window must hold
+    /// exactly the newest `capacity` records.
+    #[test]
+    fn concurrent_overwrite_stress_never_tears() {
+        let recorder = Recorder::new(64); // rounds to 64 slots
+        let writers = 4;
+        let per_writer = 20_000u64;
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let recorder = Arc::clone(&recorder);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                loop {
+                    // Snapshot-then-check, so at least one scan happens
+                    // even if the writers already finished.
+                    let done = stop.load(Ordering::Acquire);
+                    let dump = recorder.snapshot();
+                    for re in &dump.records {
+                        assert_eq!(re.rec.b, !re.rec.a, "torn read: {:?}", re);
+                        assert_eq!(re.rec.at, re.rec.a, "torn read: {:?}", re);
+                    }
+                    seen += dump.records.len() as u64;
+                    if done {
+                        break;
+                    }
+                }
+                seen
+            })
+        };
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let recorder = Arc::clone(&recorder);
+                std::thread::spawn(move || {
+                    for i in 0..per_writer {
+                        let v = w * per_writer + i;
+                        recorder.record(Record::new(v, RecordKind::Admitted, 0, v, !v));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let seen = reader.join().unwrap();
+        assert!(seen > 0, "reader never observed a record");
+        assert_eq!(recorder.ring_count(), writers as usize);
+        assert_eq!(recorder.total_written(), writers * per_writer);
+        // Quiescent now: every ring's final snapshot is exactly its newest
+        // `capacity` records with the rest counted as dropped.
+        let dump = recorder.snapshot();
+        assert_eq!(dump.records.len(), writers as usize * 64);
+        assert_eq!(dump.written, writers * per_writer);
+        assert_eq!(dump.dropped, writers * (per_writer - 64));
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for v in 1..=22u8 {
+            let k = RecordKind::from_u8(v);
+            assert_ne!(k, RecordKind::Empty);
+            assert_eq!(RecordKind::from_name(k.name()), Some(k));
+        }
+    }
+}

@@ -20,19 +20,19 @@ use std::time::Duration;
 
 use bouncer_core::framework::{Gate, GateConfig, ServerStats, TakeOutcome, Ticker};
 use bouncer_core::obs::{
-    new_span_id, null_sink, EventSink, QueryTrace, SpanId, SpanKind, SpanStatus, TraceContext,
-    Tracer,
+    new_span_id, null_sink, Event, EventSink, QueryTrace, SpanId, SpanKind, SpanStatus,
+    TraceContext, Tracer,
 };
 use bouncer_core::policy::{AdmissionPolicy, RejectReason};
 use bouncer_core::types::{TypeId, TypeRegistry};
-use bouncer_metrics::spsc::Waker;
+use bouncer_metrics::spsc::{RingProbe, Waker};
 use bouncer_metrics::{Clock, Nanos};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::graph::VertexId;
 use crate::query::{Query, QueryKind, RepBatch, RepStatus, SubQuery, SubResponse};
-use crate::rings::{BrokerEngineRig, BrokerRig, LaneSet, ShardPortRings};
+use crate::rings::{BrokerEngineRig, BrokerRig, LaneReq, LaneSet, ShardPortRings};
 use crate::shard::{ShardHost, SubOutcome};
 use crate::transport::ShardClient;
 
@@ -174,6 +174,8 @@ struct RingsFront {
     lanes: Arc<LaneSet>,
     stop: Arc<AtomicBool>,
     wakers: Vec<Arc<Waker>>,
+    /// Occupancy probes over the lane request rings (health sampling).
+    lane_probes: Vec<RingProbe<LaneReq>>,
 }
 
 /// How long a rings-mode client waits for its reply slot before declaring
@@ -276,6 +278,7 @@ impl Broker {
         let tracer = cfg.tracer.filter(|t| t.enabled());
         let stop = Arc::new(AtomicBool::new(false));
         let wakers: Vec<Arc<Waker>> = rig.engines.iter().map(|e| Arc::clone(&e.waker)).collect();
+        let lane_probes = rig.lane_probes;
         let engines = rig
             .engines
             .into_iter()
@@ -292,6 +295,7 @@ impl Broker {
                     .spawn(move || {
                         rings_engine_loop(
                             &gate,
+                            i as u32,
                             engine_rig,
                             &hosts,
                             timeout,
@@ -315,6 +319,7 @@ impl Broker {
                 lanes: rig.lanes,
                 stop,
                 wakers,
+                lane_probes,
             }),
         })
     }
@@ -476,6 +481,15 @@ impl Broker {
         self.gate.queue_len()
     }
 
+    /// Total occupancy across this broker's lane request rings — the
+    /// rings-mode analogue of [`Broker::queue_len`], read lock-free off
+    /// the rings' own indices. `None` on a channel-mode broker.
+    pub fn ring_occupancy(&self) -> Option<u64> {
+        self.rings
+            .as_ref()
+            .map(|r| r.lane_probes.iter().map(|p| p.len() as u64).sum())
+    }
+
     /// Stops the engines and waits for them to exit.
     ///
     /// Always joins, no matter how many `Arc` clones of the broker are
@@ -577,8 +591,10 @@ fn plan_outcome(result: Result<u64, PlanError>) -> ClientOutcome {
 /// the lane's reply ring. Between requests the engine parks on its waker
 /// (woken by lane pushes and shard replies), so an idle cluster burns no
 /// CPU while a loaded one runs lock-free.
+#[allow(clippy::too_many_arguments)]
 fn rings_engine_loop(
     gate: &Gate<Job>,
+    engine: u32,
     rig: BrokerEngineRig,
     hosts: &[Arc<ShardHost>],
     timeout: Duration,
@@ -607,6 +623,10 @@ fn rings_engine_loop(
     // Rings mode is always batched: the ring slot carries the whole
     // per-shard group.
     let mut exec = Exec::new(Port::Rings(&mut ports), n_shards, timeout, true, gate.clock());
+    // Flight-recorder breadcrumb state: emit `engine_state` only on
+    // park/resume *transitions* (a 1ms park timeout re-park is not one),
+    // so an idle cluster leaves two records, not a 1kHz stream.
+    let mut idle = false;
     loop {
         if stop.load(Ordering::Acquire) {
             return;
@@ -655,6 +675,10 @@ fn rings_engine_loop(
             assert!(pushed, "lane reply ring full (protocol violation)");
         }
         if worked {
+            if idle {
+                idle = false;
+                engine_state(gate, engine, false);
+            }
             continue;
         }
         waker.prepare_park();
@@ -662,7 +686,25 @@ fn rings_engine_loop(
             waker.cancel_park();
             continue;
         }
+        if !idle {
+            idle = true;
+            engine_state(gate, engine, true);
+        }
         waker.park(Duration::from_millis(1));
+    }
+}
+
+/// Emits the `engine_state` park/resume breadcrumb through the gate's
+/// sink (a no-op unless an observing sink — recorder, JSONL — is
+/// attached).
+fn engine_state(gate: &Gate<Job>, engine: u32, parked: bool) {
+    let sink = gate.sink();
+    if sink.enabled() {
+        sink.emit(&Event::EngineState {
+            at: gate.clock().now(),
+            engine,
+            parked,
+        });
     }
 }
 

@@ -5,12 +5,14 @@
 //! same (pluggable) admission policy, while "the shards always run
 //! AcceptFraction" guarding CPU, their limiting resource.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bouncer_core::control::{ControlTap, Controller};
-use bouncer_core::obs::{EventSink, Tracer};
+use bouncer_core::obs::recorder::DEFAULT_RING_CAPACITY;
+use bouncer_core::obs::{EventSink, HealthConfig, HealthSampler, Recorder, RecorderSink, Tracer};
 use bouncer_core::policy::{AcceptFraction, AcceptFractionConfig, AdmissionPolicy};
 use bouncer_core::spec::ControllerSpec;
 use bouncer_core::types::TypeRegistry;
@@ -91,6 +93,16 @@ pub struct ClusterConfig {
     /// AcceptFraction guard), and it interposes on the broker sink, so
     /// the downstream sink still sees every event.
     pub controller: Option<ClusterController>,
+    /// Optional always-on flight recorder + health sampler + incident
+    /// triggers over the merged cluster event stream. The sampler chain
+    /// interposes in front of [`ClusterConfig::sink`] on both tiers
+    /// (broker-side it sits *under* the controller tap, so
+    /// `controller_decision` events reach the recorder), and a background
+    /// probe thread advances wall-clock windows, snapshots SPSC ring
+    /// occupancy (rings mode) and re-emits `pool_stats` (TCP mode) every
+    /// interval. Empty `type_names` are filled in from the LIquid
+    /// registry; set `slo_tails` for attainment scoring.
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -107,6 +119,7 @@ impl Default for ClusterConfig {
             sink: None,
             tracer: None,
             controller: None,
+            health: None,
         }
     }
 }
@@ -125,6 +138,17 @@ pub struct Cluster {
     /// snapshotted into `pool_stats` events at shutdown.
     pools: Vec<Arc<BufferPool>>,
     sink: Option<Arc<dyn EventSink>>,
+    /// Health sampler + its wall-clock probe thread, when configured.
+    health: Option<Arc<HealthSampler>>,
+    probe: Option<HealthProbe>,
+}
+
+/// The background thread driving wall-clock health windows: every
+/// interval it re-emits `pool_stats` snapshots and calls
+/// [`HealthSampler::probe`] with the live lane-ring occupancy.
+struct HealthProbe {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
 }
 
 impl Cluster {
@@ -143,18 +167,43 @@ impl Cluster {
         let vertices = graph.vertex_count();
 
         let mut shard_cfg = cfg.shard.clone();
-        if shard_cfg.sink.is_none() {
-            shard_cfg.sink = cfg.sink.clone();
-        }
         if shard_cfg.tracer.is_none() {
             shard_cfg.tracer = cfg.tracer.clone();
         }
         let mut broker_cfg = cfg.broker.clone();
-        if broker_cfg.sink.is_none() {
-            broker_cfg.sink = cfg.sink.clone();
-        }
         if broker_cfg.tracer.is_none() {
             broker_cfg.tracer = cfg.tracer.clone();
+        }
+        // Health chain: sampler → recorder → user sink, shared by both
+        // tiers so the sampler folds the merged stream. It must sit
+        // *under* the controller tap (wired next) so decision events flow
+        // down into the recorder and the backoff trigger.
+        let health = cfg.health.clone().map(|mut health| {
+            if health.type_names.is_empty() {
+                health.type_names = (0..registry.len())
+                    .map(|i| {
+                        registry
+                            .name(bouncer_core::types::TypeId::from_index(i as u32))
+                            .to_string()
+                    })
+                    .collect();
+            }
+            let recorder = Recorder::new(DEFAULT_RING_CAPACITY);
+            let rec_sink: Arc<dyn EventSink> =
+                Arc::new(RecorderSink::new(Arc::clone(&recorder), cfg.sink.clone()));
+            HealthSampler::new(health, recorder, rec_sink)
+        });
+        // Hosts without their own sink get the cluster-wide one — behind
+        // the sampler when health is on.
+        let cluster_sink: Option<Arc<dyn EventSink>> = match &health {
+            Some(sampler) => Some(sampler.clone()),
+            None => cfg.sink.clone(),
+        };
+        if shard_cfg.sink.is_none() {
+            shard_cfg.sink = cluster_sink.clone();
+        }
+        if broker_cfg.sink.is_none() {
+            broker_cfg.sink = cluster_sink;
         }
         // The Observe tap interposes on the (shared) broker sink: every
         // broker gate event folds into the controller's telemetry and is
@@ -278,6 +327,45 @@ impl Cluster {
             .collect();
 
         let sink = broker_cfg.sink.clone();
+        // The wall-clock probe: wakes every sampler interval, re-emits
+        // the transport pool counters as `pool_stats` and hands the
+        // sampler the live lane-ring occupancy. Under load the event
+        // stream closes windows by itself; on an idle cluster this
+        // heartbeat is what keeps samples flowing.
+        let probe = health.as_ref().map(|sampler| {
+            let sampler = Arc::clone(sampler);
+            let interval = Duration::from_nanos(sampler.interval().max(1));
+            let clock = Arc::clone(&clock);
+            let brokers: Vec<Arc<Broker>> = brokers.clone();
+            let pools = pools.clone();
+            let rings = cfg.transport == TransportKind::Rings;
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop_flag = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name("health-probe".into())
+                .spawn(move || {
+                    let tick = Duration::from_millis(5).min(interval);
+                    let mut elapsed = Duration::ZERO;
+                    while !stop_flag.load(Ordering::Acquire) {
+                        std::thread::sleep(tick);
+                        elapsed += tick;
+                        if elapsed < interval {
+                            continue;
+                        }
+                        elapsed = Duration::ZERO;
+                        let now = clock.now();
+                        for pool in &pools {
+                            pool.emit_stats("shard_client", sampler.as_ref(), now);
+                        }
+                        let occupancy = rings.then(|| {
+                            brokers.iter().filter_map(|b| b.ring_occupancy()).sum()
+                        });
+                        sampler.probe(clock.now(), occupancy);
+                    }
+                })
+                .expect("failed to spawn health probe");
+            HealthProbe { stop, handle }
+        });
         Self {
             registry,
             vertices,
@@ -289,6 +377,8 @@ impl Cluster {
             controller,
             pools,
             sink,
+            health,
+            probe,
         }
     }
 
@@ -311,6 +401,12 @@ impl Cluster {
     /// configured ([`ClusterConfig::controller`]).
     pub fn controller(&self) -> Option<&Arc<Controller>> {
         self.controller.as_ref()
+    }
+
+    /// The health sampler (and, through it, the flight recorder), when
+    /// one was configured ([`ClusterConfig::health`]).
+    pub fn health(&self) -> Option<&Arc<HealthSampler>> {
+        self.health.as_ref()
     }
 
     /// The clock every host in this cluster stamps events and spans with.
@@ -412,6 +508,10 @@ impl Cluster {
     /// Stops every host and TCP server, then snapshots each transport
     /// buffer pool into a final `pool_stats` event.
     pub fn shutdown(self) {
+        if let Some(probe) = self.probe {
+            probe.stop.store(true, Ordering::Release);
+            let _ = probe.handle.join();
+        }
         for server in &self.servers {
             server.stop();
         }
@@ -792,6 +892,80 @@ mod tests {
         let count = |n: &str| events.iter().filter(|e| e.name() == n).count();
         assert_eq!(count("controller_decision"), decisions.len());
         assert!(count("admitted") > 0);
+    }
+
+    #[test]
+    fn rings_cluster_health_samples_and_dumps_incidents_under_wall_clock() {
+        use bouncer_core::obs::postmortem::{analyze, parse_dump};
+        use bouncer_core::obs::{Event, MemorySink};
+
+        let dir = std::env::temp_dir().join(format!(
+            "bouncer-cluster-health-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let sink = Arc::new(MemorySink::new());
+        let mut health = HealthConfig {
+            interval: bouncer_metrics::time::millis(20),
+            dump_dir: Some(dir.clone()),
+            ..HealthConfig::default()
+        };
+        // Deterministic CI hook: the first window close trips the dump.
+        health.trigger.force_at = Some(1);
+        let cfg = ClusterConfig {
+            transport: TransportKind::Rings,
+            sink: Some(sink.clone()),
+            health: Some(health),
+            ..tiny_config()
+        };
+        let cluster = Cluster::spawn(&cfg, |_reg, _p| Arc::new(AlwaysAccept::new()));
+        let sampler = Arc::clone(cluster.health().expect("health wired"));
+        for u in 0..50 {
+            let out = cluster.execute(Query {
+                kind: QueryKind::Qt1Degree,
+                u,
+                v: 0,
+            });
+            assert!(matches!(out, ClientOutcome::Ok(_)), "{out:?}");
+        }
+        // Let the probe thread close a few wall-clock windows even though
+        // traffic has stopped.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while (sampler.samples() < 2 || sampler.incidents() < 1) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        cluster.shutdown();
+
+        assert!(sampler.samples() >= 2, "samples={}", sampler.samples());
+        assert_eq!(sampler.incidents(), 1, "forced trigger fires once");
+        let counters = sampler.health_counters(0);
+        assert!(
+            counters.ring_occupancy.is_some(),
+            "rings mode reports lane-ring occupancy"
+        );
+
+        // The downstream sink saw the sampler's own windows alongside the
+        // per-query lifecycle events.
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(e, Event::HealthSample { .. })));
+        assert!(events.iter().any(|e| matches!(e, Event::Incident { .. })));
+
+        // The dump reconstructs: real traffic, and the engines' park /
+        // resume breadcrumbs from both tiers made it into the rings.
+        let paths = sampler.incident_paths();
+        assert_eq!(paths.len(), 1);
+        let dump =
+            parse_dump(&std::fs::read_to_string(&paths[0]).unwrap()).expect("parseable dump");
+        assert_eq!(dump.header.reason, "forced");
+        assert!(dump.header.records > 0);
+        let analysis = analyze(&dump);
+        assert!(
+            analysis.engine_transitions.0 > 0,
+            "engine park transitions recorded"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

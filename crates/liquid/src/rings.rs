@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bouncer_core::obs::TraceContext;
-use bouncer_metrics::spsc::{channel, Consumer, Producer, Waker};
+use bouncer_metrics::spsc::{channel, Consumer, Producer, RingProbe, Waker};
 use bouncer_metrics::Nanos;
 
 use crate::broker::ClientOutcome;
@@ -194,6 +194,10 @@ pub(crate) struct BrokerEngineRig {
 pub(crate) struct BrokerRig {
     pub lanes: Arc<LaneSet>,
     pub engines: Vec<BrokerEngineRig>,
+    /// Read-only occupancy probes over the front→broker lane request
+    /// rings, in lane order — the health sampler's view of transport
+    /// backpressure. Probes never consume; see [`RingProbe`].
+    pub lane_probes: Vec<RingProbe<LaneReq>>,
 }
 
 /// Everything one shard engine thread consumes or produces: one
@@ -257,12 +261,14 @@ pub(crate) fn build_topology(
                 waker: engine_waker,
             });
         }
+        let mut lane_probes = Vec::with_capacity(LANES_PER_BROKER);
         for l in 0..LANES_PER_BROKER {
             let e = l % broker_engines;
             // Lane requests park on the servicing engine's waker; lane
             // replies get a dedicated waker the claimant registers with.
             let (req_tx, req_rx) = channel(RING_CAP, Arc::clone(&engines[e].waker));
             let (rep_tx, rep_rx) = channel(RING_CAP, Waker::new());
+            lane_probes.push(req_tx.probe());
             engines[e].lane_reqs.push(req_rx);
             engines[e].lane_reps.push(rep_tx);
             lane_ends[e].push((req_tx, rep_rx));
@@ -287,6 +293,7 @@ pub(crate) fn build_topology(
                 lanes: lane_clients,
             }),
             engines,
+            lane_probes,
         });
     }
     (broker_rigs, shard_rigs)

@@ -13,7 +13,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bouncer_core::framework::{Gate, GateConfig, ServerStats, TakeOutcome, Ticker};
-use bouncer_core::obs::{null_sink, EventSink, SpanKind, TraceContext, Tracer};
+use bouncer_core::obs::{null_sink, Event, EventSink, SpanKind, TraceContext, Tracer};
 use bouncer_core::policy::{AdmissionPolicy, RejectReason};
 use bouncer_core::types::DEFAULT_TYPE;
 use bouncer_metrics::spsc::Waker;
@@ -206,7 +206,7 @@ impl ShardHost {
                 std::thread::Builder::new()
                     .name(format!("shard{}-ring{}", data.shard(), i))
                     .spawn(move || {
-                        rings_engine_loop(&gate, &data, engine_rig, &stop, tracer.as_deref())
+                        rings_engine_loop(&gate, i as u32, &data, engine_rig, &stop, tracer.as_deref())
                     })
                     .expect("failed to spawn shard ring engine")
             })
@@ -416,6 +416,7 @@ fn engine_loop(gate: &Gate<Job>, data: &ShardData, tracer: Option<&Tracer>) {
 /// the ring slots and are cleared, not dropped.
 fn rings_engine_loop(
     gate: &Gate<Job>,
+    engine: u32,
     data: &ShardData,
     mut rig: ShardEngineRig,
     stop: &AtomicBool,
@@ -423,6 +424,21 @@ fn rings_engine_loop(
 ) {
     let shard = data.shard() as u16;
     rig.waker.register_current();
+    // Shard engines get a distinct `engine_state` index space from broker
+    // engines: shard s engine i reports as 1000·(s+1)+i. Transitions
+    // only — see the broker loop's breadcrumb note.
+    let engine = 1000 * (data.shard() as u32 + 1) + engine;
+    let mut idle = false;
+    let engine_state = |parked: bool| {
+        let sink = gate.sink();
+        if sink.enabled() {
+            sink.emit(&Event::EngineState {
+                at: gate.clock().now(),
+                engine,
+                parked,
+            });
+        }
+    };
     let emit_spans = |ctx: Option<TraceContext>, enqueued_at: u64, dequeued_at: u64| {
         if let (Some(tracer), Some(ctx)) = (tracer, ctx) {
             if ctx.sampled {
@@ -477,12 +493,20 @@ fn rings_engine_loop(
             worked |= serviced.is_some();
         }
         if worked {
+            if idle {
+                idle = false;
+                engine_state(false);
+            }
             continue;
         }
         rig.waker.prepare_park();
         if stop.load(Ordering::Acquire) || rig.ports.iter().any(|(req, _)| !req.is_empty()) {
             rig.waker.cancel_park();
             continue;
+        }
+        if !idle {
+            idle = true;
+            engine_state(true);
         }
         rig.waker.park(Duration::from_millis(1));
     }

@@ -209,10 +209,55 @@ pub fn channel<T: Default>(capacity: usize, waker: Arc<Waker>) -> (Producer<T>, 
     )
 }
 
+/// A read-only occupancy probe for one ring, detached from the endpoint
+/// pair: clonable, shareable with any thread, and alive after both
+/// endpoints drop. It reads only the shared head/tail indices — never the
+/// slots — so observers (the health sampler's ring-occupancy gauge) cost
+/// the data path nothing.
+pub struct RingProbe<T> {
+    ring: Arc<Shared<T>>,
+}
+
+impl<T> Clone for RingProbe<T> {
+    fn clone(&self) -> Self {
+        Self {
+            ring: Arc::clone(&self.ring),
+        }
+    }
+}
+
+impl<T> RingProbe<T> {
+    /// Messages currently in flight (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.ring
+            .tail
+            .0
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.ring.head.0.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring is currently empty (approximate).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot count (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.ring.buf.len()
+    }
+}
+
 impl<T> Producer<T> {
     /// Slot count (always a power of two).
     pub fn capacity(&self) -> usize {
         self.ring.buf.len()
+    }
+
+    /// An occupancy probe onto this ring (see [`RingProbe`]).
+    pub fn probe(&self) -> RingProbe<T> {
+        RingProbe {
+            ring: Arc::clone(&self.ring),
+        }
     }
 
     /// Messages currently in flight (approximate under concurrency).
@@ -331,6 +376,13 @@ impl<T> Consumer<T> {
     /// has been popped.
     pub fn is_drained(&self) -> bool {
         self.ring.closed.load(Ordering::Acquire) && self.is_empty()
+    }
+
+    /// An occupancy probe onto this ring (see [`RingProbe`]).
+    pub fn probe(&self) -> RingProbe<T> {
+        RingProbe {
+            ring: Arc::clone(&self.ring),
+        }
     }
 
     /// The waker producers use to unpark this ring's consumer.
@@ -589,6 +641,27 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         drop(tx);
         assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn probe_tracks_occupancy_without_consuming() {
+        let (mut tx, mut rx) = channel::<u64>(4, Waker::new());
+        let probe = tx.probe();
+        assert_eq!(probe.len(), 0);
+        assert!(probe.is_empty());
+        assert_eq!(probe.capacity(), 4);
+        assert!(tx.try_push(|s| *s = 1));
+        assert!(tx.try_push(|s| *s = 2));
+        assert_eq!(probe.len(), 2, "probe sees pushes");
+        assert_eq!(rx.try_pop(|s| *s), Some(1));
+        assert_eq!(probe.len(), 1, "probe sees pops");
+        // Probes from either endpoint agree, survive endpoint drops, and
+        // clone freely.
+        let probe2 = rx.probe().clone();
+        drop(tx);
+        drop(rx);
+        assert_eq!(probe.len(), 1);
+        assert_eq!(probe2.len(), 1);
     }
 
     #[test]

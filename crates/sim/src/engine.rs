@@ -233,6 +233,12 @@ pub fn run(policy: &dyn AdmissionPolicy, mix: &QueryMix, cfg: &SimConfig) -> Sim
         match events[idx as usize] {
             Event::Tick => {
                 policy.on_tick(now);
+                if observing {
+                    // The virtual-time heartbeat: time-driven sinks (the
+                    // health sampler) advance their windows on this even
+                    // when no queries flow.
+                    sink.emit(&ObsEvent::Tick { at: now });
+                }
                 // Keep ticking while work remains.
                 if generated < total_arrivals || in_flight > 0 {
                     schedule(&mut heap, &mut events, now + cfg.tick_interval, Event::Tick);

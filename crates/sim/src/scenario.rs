@@ -10,6 +10,8 @@
 use std::sync::Arc;
 
 use bouncer_core::control::{slo_tail_targets, ControlParam, ControlTap, Controller};
+use bouncer_core::obs::recorder::DEFAULT_RING_CAPACITY;
+use bouncer_core::obs::{HealthConfig, HealthSampler, Recorder, RecorderSink};
 use bouncer_core::policy::AdmissionPolicy;
 use bouncer_core::slo::SloConfig;
 use bouncer_core::slo_spec::SpecError;
@@ -178,6 +180,35 @@ impl ScenarioSim {
         controller.attach_sink(tap.clone());
         cfg.sink = Some(tap);
         Ok(Some(controller))
+    }
+
+    /// Wires the flight recorder and health sampler into `cfg`'s sink
+    /// chain: the recorder captures every event into per-thread rings and
+    /// the sampler folds periodic `health_sample`/`type_health` windows,
+    /// resolving the scenario's SLO tail targets and type names so
+    /// attainment scoring and incident-dump headers need no extra setup
+    /// from the caller (who fills in `health.interval`, `dump_dir`, and
+    /// trigger thresholds). Call *before* [`ScenarioSim::attach_controller`]
+    /// so the control tap sits outermost and its `controller_decision`
+    /// events flow down through the sampler and into the recorder.
+    ///
+    /// Returns the sampler for post-run inspection (`health_counters`,
+    /// `incident_paths`, the recorder itself).
+    pub fn attach_health(&self, mut health: HealthConfig, cfg: &mut SimConfig) -> Arc<HealthSampler> {
+        health.slo_tails = slo_tail_targets(&self.slos, self.registry.len());
+        health.type_names = (0..self.registry.len())
+            .map(|i| {
+                self.registry
+                    .name(bouncer_core::types::TypeId::from_index(i as u32))
+                    .to_string()
+            })
+            .collect();
+        let recorder = Recorder::new(DEFAULT_RING_CAPACITY);
+        let rec_sink: Arc<dyn bouncer_core::obs::EventSink> =
+            Arc::new(RecorderSink::new(Arc::clone(&recorder), cfg.sink.take()));
+        let sampler = HealthSampler::new(health, recorder, rec_sink);
+        cfg.sink = Some(sampler.clone());
+        sampler
     }
 
     /// Runs the labeled policy at `factor × QPS_full_load` — the

@@ -35,7 +35,13 @@ fn admitted_query_emits_the_full_lifecycle_in_order() {
     let result = run(&AlwaysAccept::new(), &mix, &cfg);
     assert_eq!(result.stats.total_rejected(), 0);
 
-    let events = sink.events();
+    // Maintenance ticks ride the same sink; the query's own trail is
+    // everything else.
+    let events: Vec<Event> = sink
+        .events()
+        .into_iter()
+        .filter(|e| !matches!(e, Event::Tick { .. }))
+        .collect();
     let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
     assert_eq!(
         names,
@@ -81,7 +87,11 @@ fn rejected_query_emits_a_single_rejection() {
     let result = run(&AlwaysAccept::new(), &mix, &cfg);
     assert_eq!(result.stats.total_rejected(), 1);
 
-    let events = sink.events();
+    let events: Vec<Event> = sink
+        .events()
+        .into_iter()
+        .filter(|e| !matches!(e, Event::Tick { .. }))
+        .collect();
     let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
     assert_eq!(
         names,

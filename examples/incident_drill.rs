@@ -1,0 +1,133 @@
+//! A wall-clock incident drill over the thread-per-core rings cluster.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example incident_drill -- /tmp/bouncer-incidents
+//! cargo run --release -p bouncer-cli -- postmortem --dump-in <dump printed below>
+//! ```
+//!
+//! Spawns a rings cluster with the health sampler armed — the always-on
+//! flight recorder rides underneath it on every thread — then floods the
+//! broker from several client threads through a deliberately tight
+//! queue-length policy. The rejection-spike trigger drains the recorder
+//! and the trailing health windows into an `incident-*.jsonl` dump; a
+//! forced trigger guarantees a dump even on a machine fast enough to
+//! absorb the flood. `scripts/check.sh` runs exactly this drill and feeds
+//! the dump to the CLI's `postmortem` subcommand.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bouncer_repro::core::obs::HealthConfig;
+use bouncer_repro::core::prelude::*;
+use bouncer_repro::core::spec::PolicyEnv;
+use bouncer_repro::metrics::time::millis;
+use liquid::cluster::{Cluster, ClusterConfig, TransportKind};
+use liquid::graph::GraphConfig;
+use liquid::query::{Query, QueryKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("bouncer-incident-drill"));
+    std::fs::create_dir_all(&dir).expect("cannot create incident dir");
+
+    let mut health = HealthConfig {
+        interval: millis(25),
+        dump_dir: Some(dir.clone()),
+        ..HealthConfig::default()
+    };
+    health.trigger.rejection_rate = Some(0.25);
+    // Wall-clock backstop: one dump is guaranteed once the cluster is
+    // 250ms old, whatever the flood achieves.
+    health.trigger.force_at = Some(millis(250));
+
+    let cfg = ClusterConfig {
+        n_shards: 2,
+        n_brokers: 1,
+        transport: TransportKind::Rings,
+        graph: GraphConfig {
+            vertices: 2_000,
+            edges_per_vertex: 4,
+            seed: 21,
+        },
+        health: Some(health),
+        ..ClusterConfig::default()
+    };
+
+    // A deliberately tight queue cap so the flood sheds load; built
+    // through the spec layer like every other experiment.
+    let policy_spec = PolicySpec::parse("maxql limit=8").expect("valid policy line");
+    let cluster = Cluster::spawn(&cfg, move |registry, engines| {
+        let env = PolicyEnv {
+            registry,
+            slos: SloConfig::uniform(registry, Slo::p50_p90(millis(18), millis(50))),
+            parallelism: engines,
+        };
+        policy_spec.build(&env, 42)
+    });
+    let sampler = Arc::clone(cluster.health().expect("health sampler wired"));
+    let vertices = cluster.vertices();
+
+    // 32 synchronous clients against a queue cap of 8: the backlog the
+    // flood builds at the broker gate is what the policy sheds.
+    println!("flooding the rings cluster from 32 client threads...");
+    let mut rejected = 0u64;
+    let mut ok = 0u64;
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..32u64 {
+            let cluster = &cluster;
+            workers.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t);
+                let (mut ok, mut rejected) = (0u64, 0u64);
+                for i in 0..300u32 {
+                    let kind = QueryKind::ALL[(i as usize + t as usize) % 11];
+                    let q = Query::random(kind, vertices, &mut rng);
+                    match cluster.execute(q) {
+                        liquid::broker::ClientOutcome::Ok(_) => ok += 1,
+                        _ => rejected += 1,
+                    }
+                }
+                (ok, rejected)
+            }));
+        }
+        for w in workers {
+            let (o, r) = w.join().unwrap();
+            ok += o;
+            rejected += r;
+        }
+    });
+
+    // Let the probe thread close a few more wall-clock windows so the
+    // forced backstop fires even if the flood finished inside 250ms.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while sampler.incidents() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cluster.shutdown();
+
+    println!(
+        "ran {} queries ({ok} ok, {rejected} rejected); {} health sample(s), \
+         {} incident dump(s), {} record(s) in the flight recorder",
+        ok + rejected,
+        sampler.samples(),
+        sampler.incidents(),
+        sampler.recorder().total_written(),
+    );
+    let paths = sampler.incident_paths();
+    assert!(
+        !paths.is_empty(),
+        "the trigger engine produced no incident dump"
+    );
+    for path in paths {
+        println!("incident dump: {}", path.display());
+        println!(
+            "analyze with: cargo run --release -p bouncer-cli -- postmortem --dump-in {}",
+            path.display()
+        );
+    }
+}

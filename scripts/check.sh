@@ -10,7 +10,9 @@ cd "$(dirname "$0")/.."
 # Enforces the numeric targets of docs/adr/001-performance-targets.md
 # against the parsed BENCH files: T1 admit cached* mean <= 20 ns, T2
 # inproc/rings_allocs == 0 (exact), T3 inproc/rings mean <= inproc/
-# unbatched mean. Timing targets carry a +15 % tolerance, counts none.
+# unbatched mean, T4 gate_cycle/recorder mean <= 2x gate_cycle/disabled
+# (the always-on flight recorder's whole budget).
+# Timing targets carry a +15 % tolerance, counts none.
 # Prints a one-line before/after row per target and returns non-zero on
 # any FAIL. Callable standalone: scripts/check.sh perf-gate [admit.json
 # datapath.json].
@@ -62,6 +64,16 @@ perf_gate() {
                     means["d:inproc/rings"] <= means["d:inproc/unbatched"] * tol)
             else
                 row("T3 rings + unbatched rows present", 1, 0, 0)
+            # T4: the always-on flight recorder stays within its budget on
+            # the full gate cycle.
+            if ("a:gate_cycle/recorder" in means && "a:gate_cycle/disabled" in means)
+                row("T4 gate_cycle/recorder mean <= 2x gate_cycle/disabled", \
+                    means["a:gate_cycle/disabled"] * 2 * tol, \
+                    means["a:gate_cycle/recorder"], \
+                    means["a:gate_cycle/recorder"] <= \
+                        means["a:gate_cycle/disabled"] * 2 * tol)
+            else
+                row("T4 gate_cycle rows present", 1, 0, 0)
             exit failed
         }
     ' "$admit_json" "$datapath_json"
@@ -107,21 +119,27 @@ cargo run -q --release --offline -p bouncer-cli -- scenario-hash scenarios/*.scn
     exit 1
 }
 
-echo "==> bench smoke: admit_hot_path (cached vs reference)"
+echo "==> bench smoke: admit_hot_path (cached vs reference) + gate_cycle (recorder overhead)"
 # Short-budget run of the admission hot-path group; the cached column is
 # the shipped admit() path, the reference column the retained
-# recompute-from-scratch implementation (the "before"). Results land in
-# BENCH_admit.json at the repo root.
+# recompute-from-scratch implementation (the "before"). The gate_cycle
+# rows price the event layer on a full offer->take->complete cycle:
+# disabled = NullSink gate, counting = enabled near-zero sink, recorder =
+# the always-on flight recorder (T4). Results land in BENCH_admit.json
+# at the repo root.
 BENCH_OUT=$(CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-50}" \
     cargo bench -q --offline -p bouncer-bench --bench overhead 2>&1 \
-    | grep '^admit_hot_path/') || {
-    echo "admit_hot_path bench produced no output" >&2
+    | grep -E '^(admit_hot_path|gate_cycle)/') || {
+    echo "admit_hot_path/gate_cycle benches produced no output" >&2
     exit 1
 }
 printf '%s\n' "$BENCH_OUT" | awk '
     # Lines look like:
     #   admit_hot_path/cached/64_types  time: [7.3 ns 8.0 ns 9.1 ns]  (123 iters)
-    # Emit one JSON object keyed by variant/scale with ns-normalized stats.
+    #   gate_cycle/recorder  time: [80.1 ns 81.2 ns 82.9 ns]  (456 iters)
+    # Emit one JSON object with ns-normalized stats, keyed variant/scale
+    # for the 3-component admit rows and group/variant for the 2-component
+    # gate_cycle rows.
     function ns(v, u) {
         if (u == "ns") return v
         if (u == "µs" || u == "us") return v * 1000
@@ -131,15 +149,14 @@ printf '%s\n' "$BENCH_OUT" | awk '
     {
         gsub(/[\[\]]/, "")
         split($1, path, "/")
-        variant = path[2]; scale = path[3]
         lo = ns($3 + 0, $4); mean = ns($5 + 0, $6); hi = ns($7 + 0, $8)
-        key = variant "/" scale
+        key = (path[1] == "gate_cycle") ? path[1] "/" path[2] : path[2] "/" path[3]
         keys[++n] = key
         means[key] = mean; los[key] = lo; his[key] = hi
     }
     END {
         printf "{\n  \"bench\": \"admit_hot_path\",\n  \"unit\": \"ns\",\n"
-        printf "  \"note\": \"cached = shipped admit() fast path (after); reference = recompute-from-scratch (before)\",\n"
+        printf "  \"note\": \"cached = shipped admit() fast path (after); reference = recompute-from-scratch (before); gate_cycle/* = full cycle with the event layer disabled / counting / feeding the flight recorder\",\n"
         printf "  \"results\": {\n"
         for (i = 1; i <= n; i++) {
             k = keys[i]
@@ -218,6 +235,21 @@ fi
 rm -f "$SABOTAGE"
 echo "    sabotage flagged as expected"
 
+echo "==> perf gate self-test: a sabotaged recorder mean must FAIL"
+# The same drill for T4: inflate the gate_cycle/recorder mean in a
+# scratch copy of the admit file and require a non-zero exit. Pattern
+# drift (the copy equaling the original) fails here too.
+SABOTAGE_REC=$(mktemp -t bouncer-sabotage-rec.XXXXXX.json)
+sed 's/"gate_cycle\/recorder": {"min": \([0-9.]*\), "mean": [0-9.]*/"gate_cycle\/recorder": {"min": \1, "mean": 99999999.00/' \
+    BENCH_admit.json > "$SABOTAGE_REC"
+if perf_gate "$SABOTAGE_REC" BENCH_datapath.json > /dev/null 2>&1; then
+    echo "perf gate did not flag a sabotaged recorder mean" >&2
+    rm -f "$SABOTAGE_REC"
+    exit 1
+fi
+rm -f "$SABOTAGE_REC"
+echo "    sabotage flagged as expected"
+
 echo "==> study smoke: adaptive_shift (closed-loop vs static caps)"
 # The headline adaptive study (ADAPTIVE.md): the traffic mix shifts
 # mid-run and the scenario's AIMD controller retunes AcceptFraction's
@@ -275,11 +307,47 @@ echo "==> tracing smoke: traced cluster -> trace-report --strict"
 # trace-report subcommand re-assembles the trees; --strict makes any
 # orphaned span or rootless trace a hard failure.
 TRACE_SMOKE=$(mktemp -t bouncer-trace-smoke.XXXXXX.jsonl)
-trap 'rm -f "$TRACE_SMOKE"' EXIT
+INCIDENT_DIR=$(mktemp -d -t bouncer-incidents.XXXXXX)
+DRILL_DIR=$(mktemp -d -t bouncer-drill.XXXXXX)
+trap 'rm -f "$TRACE_SMOKE"; rm -rf "$INCIDENT_DIR" "$DRILL_DIR"' EXIT
 cargo run -q --release --offline --example traced_cluster -- "$TRACE_SMOKE" \
     | sed 's/^/    /'
 cargo run -q --release --offline -p bouncer-cli -- \
     trace-report --traces-in "$TRACE_SMOKE" --strict \
     | sed -n '1,3p;$p' | sed 's/^/    /'
+
+echo "==> incident smoke: chaos_lite (virtual time) -> dump -> postmortem"
+# The sim-side acceptance drill: the chaos_lite surge through the CLI
+# with the trigger engine armed (a forced trigger as the deterministic
+# backstop — the surge itself usually fires rejection_spike and the
+# AIMD backoff too). The run must leave at least one incident dump, and
+# postmortem must reconstruct it.
+cargo run -q --release --offline -p bouncer-cli -- \
+    --scenario scenarios/chaos_lite.scn \
+    --incident-dir "$INCIDENT_DIR" --trigger-force-ms 1500 \
+    | sed 's/^/    /'
+SIM_DUMP=$(ls "$INCIDENT_DIR"/incident-*.jsonl 2>/dev/null | head -1) || true
+if [ -z "${SIM_DUMP:-}" ]; then
+    echo "chaos_lite produced no incident dump" >&2
+    exit 1
+fi
+cargo run -q --release --offline -p bouncer-cli -- \
+    postmortem --dump-in "$SIM_DUMP" \
+    | sed -n '1,4p;$p' | sed 's/^/    /'
+
+echo "==> incident smoke: rings cluster (wall clock) -> dump -> postmortem"
+# The cluster-side acceptance drill: examples/incident_drill.rs floods a
+# rings cluster until the trigger engine dumps (rejection spike, with a
+# forced wall-clock backstop), and postmortem reads the dump back.
+cargo run -q --release --offline --example incident_drill -- "$DRILL_DIR" \
+    | sed 's/^/    /'
+DRILL_DUMP=$(ls "$DRILL_DIR"/incident-*.jsonl 2>/dev/null | head -1) || true
+if [ -z "${DRILL_DUMP:-}" ]; then
+    echo "incident_drill produced no incident dump" >&2
+    exit 1
+fi
+cargo run -q --release --offline -p bouncer-cli -- \
+    postmortem --dump-in "$DRILL_DUMP" \
+    | sed -n '1,4p;$p' | sed 's/^/    /'
 
 echo "==> all checks passed"
