@@ -115,6 +115,21 @@ of the canonical serialization (comments and key order do not affect it).
 scripts/check.sh diffs this output against scenarios/MANIFEST.
 ";
 
+const GRAPH_STATS_HELP: &str = "\
+bouncer-sim-cli graph-stats — build a liquid scenario's graph and report
+its in-memory footprint
+
+USAGE:
+    bouncer-sim-cli graph-stats <path.scn> [more paths...]
+
+Loads each scenario (runtime = liquid), generates its preferential-
+attachment graph, and prints the `graph_stats` line: vertex count,
+undirected edge count, resident heap bytes of the CSR representation,
+and amortized bytes per stored adjacency entry. The same line is emitted
+as a `graph_stats` observability event when a cluster spawns with an
+event sink attached.
+";
+
 const HELP: &str = "\
 bouncer-sim-cli — drive the paper's simulation study from the command line
 
@@ -214,6 +229,8 @@ SUBCOMMANDS:
                           see `bouncer-sim-cli postmortem --help`
     scenario-hash         print canonical content hashes of .scn files;
                           see `bouncer-sim-cli scenario-hash --help`
+    graph-stats           build a liquid scenario's graph and report its
+                          footprint; see `bouncer-sim-cli graph-stats --help`
 ";
 
 /// Which policy the user picked, with its parameters resolved — since the
@@ -298,6 +315,12 @@ where
             Err(e) => (format!("error: {e}\n\n{SCENARIO_HASH_HELP}"), 2),
         };
     }
+    if raw.first().map(String::as_str) == Some("graph-stats") {
+        return match run_graph_stats(&raw[1..]) {
+            Ok(out) => (out, 0),
+            Err(e) => (format!("error: {e}\n\n{GRAPH_STATS_HELP}"), 2),
+        };
+    }
     match run_inner(raw) {
         Ok(report) => (report, 0),
         Err(e) => (format!("error: {e}\n\n{HELP}"), 2),
@@ -320,6 +343,34 @@ fn run_scenario_hash(paths: &[String]) -> Result<String, ParseError> {
     for path in paths {
         let spec = ScenarioSpec::load(Path::new(path)).map_err(|e| ParseError(e.to_string()))?;
         out.push_str(&format!("{}  {path}\n", spec.hash_hex()));
+    }
+    Ok(out)
+}
+
+/// The `graph-stats` subcommand: build each liquid scenario's graph and
+/// print its `graph_stats` line (vertices, edges, heap bytes, bytes per
+/// stored adjacency entry).
+fn run_graph_stats(paths: &[String]) -> Result<String, ParseError> {
+    use liquid::graph::{Graph, GraphConfig};
+
+    if paths.iter().any(|p| p == "--help") {
+        return Ok(GRAPH_STATS_HELP.to_owned());
+    }
+    if paths.is_empty() {
+        return Err(ParseError(
+            "graph-stats requires at least one <path.scn>".into(),
+        ));
+    }
+    let mut out = String::new();
+    for path in paths {
+        let spec = ScenarioSpec::load(Path::new(path)).map_err(|e| ParseError(e.to_string()))?;
+        let liquid_spec = spec.liquid().map_err(|e| ParseError(e.to_string()))?;
+        let graph = Graph::generate(&GraphConfig {
+            vertices: liquid_spec.graph_vertices,
+            edges_per_vertex: liquid_spec.graph_edges_per_vertex,
+            ..GraphConfig::default()
+        });
+        out.push_str(&format!("{path}: {}\n", graph.stats().render_line()));
     }
     Ok(out)
 }
@@ -880,6 +931,44 @@ mod tests {
         let (_, code) = run_cli(["scenario-hash", "/nonexistent/file.scn"]);
         assert_eq!(code, 2);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn graph_stats_subcommand_reports_footprint() {
+        let path = std::env::temp_dir().join(format!(
+            "bouncer-cli-graph-stats-{}.scn",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "name = graph_stats_test\n\
+             seed = 1\n\
+             runtime = liquid\n\
+             liquid.graph_vertices = 3000\n\
+             liquid.graph_edges_per_vertex = 4\n\
+             policy = always\n",
+        )
+        .unwrap();
+        let (out, code) = run_cli(["graph-stats", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("graph_stats vertices=3000 edges="), "{out}");
+        assert!(out.contains("bytes_per_edge="), "{out}");
+
+        // No paths, sim scenarios, and missing files are all errors.
+        let (out, code) = run_cli(["graph-stats"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("graph-stats requires"), "{out}");
+        let sim_path = std::env::temp_dir().join(format!(
+            "bouncer-cli-graph-stats-sim-{}.scn",
+            std::process::id()
+        ));
+        std::fs::write(&sim_path, ScenarioSpec::cli_default().render()).unwrap();
+        let (_, code) = run_cli(["graph-stats", sim_path.to_str().unwrap()]);
+        assert_eq!(code, 2);
+        let (_, code) = run_cli(["graph-stats", "/nonexistent/file.scn"]);
+        assert_eq!(code, 2);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sim_path);
     }
 
     #[test]

@@ -194,6 +194,20 @@ impl Event {
             Event::EngineState { engine, parked, .. } => {
                 let _ = write!(s, ",\"engine\":{engine},\"parked\":{parked}");
             }
+            Event::GraphStats {
+                vertices,
+                edges,
+                heap_bytes,
+                bytes_per_edge,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"vertices\":{vertices},\"edges\":{edges},\
+                     \"heap_bytes\":{heap_bytes},\"bytes_per_edge\":{}",
+                    fmt_f64(bytes_per_edge)
+                );
+            }
             Event::Incident {
                 reason, records, ..
             } => {

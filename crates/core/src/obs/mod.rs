@@ -325,6 +325,22 @@ pub enum Event {
         /// `true` entering park, `false` waking.
         parked: bool,
     },
+    /// One-shot storage summary of a loaded graph, emitted when a liquid
+    /// cluster finishes building its CSR store at spawn: sizes and the
+    /// amortized per-entry heap cost the ADR-001 G1 gate watches.
+    GraphStats {
+        /// Emission time.
+        at: Nanos,
+        /// Vertex count.
+        vertices: u64,
+        /// Undirected edge count.
+        edges: u64,
+        /// Heap bytes held by the storage (allocator chunk overhead
+        /// included).
+        heap_bytes: u64,
+        /// `heap_bytes` per stored adjacency entry (2× edges).
+        bytes_per_edge: f64,
+    },
     /// The health sampler's trigger engine fired and wrote an incident
     /// dump (flight-recorder rings + trailing health samples) to disk.
     Incident {
@@ -362,6 +378,7 @@ impl Event {
             Event::HealthSample { .. } => "health_sample",
             Event::TypeHealth { .. } => "type_health",
             Event::EngineState { .. } => "engine_state",
+            Event::GraphStats { .. } => "graph_stats",
             Event::Incident { .. } => "incident",
         }
     }
@@ -389,6 +406,7 @@ impl Event {
             | Event::HealthSample { at, .. }
             | Event::TypeHealth { at, .. }
             | Event::EngineState { at, .. }
+            | Event::GraphStats { at, .. }
             | Event::Incident { at, .. } => at,
         }
     }
@@ -416,6 +434,7 @@ impl Event {
             | Event::Tick { .. }
             | Event::HealthSample { .. }
             | Event::EngineState { .. }
+            | Event::GraphStats { .. }
             | Event::Incident { .. } => None,
         }
     }

@@ -108,6 +108,8 @@ pub enum RecordKind {
     EngineState = 21,
     /// [`Event::Incident`]; `a` = trigger code, `b` = records dumped.
     Incident = 22,
+    /// [`Event::GraphStats`]; `a` = edges, `b` = heap bytes.
+    GraphStats = 23,
 }
 
 impl RecordKind {
@@ -138,6 +140,7 @@ impl RecordKind {
             RecordKind::TypeHealth => "type_health",
             RecordKind::EngineState => "engine_state",
             RecordKind::Incident => "incident",
+            RecordKind::GraphStats => "graph_stats",
         }
     }
 
@@ -165,13 +168,14 @@ impl RecordKind {
             20 => RecordKind::TypeHealth,
             21 => RecordKind::EngineState,
             22 => RecordKind::Incident,
+            23 => RecordKind::GraphStats,
             _ => RecordKind::Empty,
         }
     }
 
     /// Parses a [`RecordKind::name`] back, for dump readers.
     pub fn from_name(name: &str) -> Option<Self> {
-        (1..=22u8)
+        (1..=23u8)
             .map(RecordKind::from_u8)
             .find(|k| k.name() == name)
     }
@@ -353,6 +357,12 @@ impl Record {
             Event::Incident { at, records, .. } => {
                 Record::new(at, RecordKind::Incident, TY_NONE, 0, records)
             }
+            Event::GraphStats {
+                at,
+                edges,
+                heap_bytes,
+                ..
+            } => Record::new(at, RecordKind::GraphStats, TY_NONE, edges, heap_bytes),
         }
     }
 

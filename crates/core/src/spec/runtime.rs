@@ -120,6 +120,11 @@ pub struct LiquidSpec {
     /// Traffic points as `label:factor` pairs, factors relative to measured
     /// saturation capacity (`liquid.rate_factors = 36K-analog:0.42 …`).
     pub rate_points: Vec<(String, f64)>,
+    /// Synthetic graph vertex count (`liquid.graph_vertices`).
+    pub graph_vertices: u32,
+    /// Preferential-attachment edges added per vertex
+    /// (`liquid.graph_edges_per_vertex`).
+    pub graph_edges_per_vertex: u32,
 }
 
 impl Default for LiquidSpec {
@@ -135,6 +140,8 @@ impl Default for LiquidSpec {
                 .zip(defaults::LIQUID_RATE_FACTORS)
                 .map(|(&label, factor)| (label.to_string(), factor))
                 .collect(),
+            graph_vertices: 200_000,
+            graph_edges_per_vertex: 10,
         }
     }
 }
@@ -338,10 +345,18 @@ impl LiquidSpec {
                     return Err(SpecError("liquid.rate_factors must not be empty".into()));
                 }
             }
+            "graph_vertices" => {
+                self.graph_vertices = parse_pos_u32("liquid.graph_vertices", value)?;
+            }
+            "graph_edges_per_vertex" => {
+                self.graph_edges_per_vertex =
+                    parse_pos_u32("liquid.graph_edges_per_vertex", value)?;
+            }
             other => {
                 return Err(SpecError(format!(
                     "unknown key `liquid.{other}` (shards, brokers, transport, \
-                     batch_fanout, shard_max_utilization, rate_factors)"
+                     batch_fanout, shard_max_utilization, rate_factors, \
+                     graph_vertices, graph_edges_per_vertex)"
                 )))
             }
         }
@@ -382,6 +397,15 @@ impl LiquidSpec {
                 .map(|(label, factor)| format!("{label}:{}", fmt_f64(*factor)))
                 .collect();
             out.push(format!("liquid.rate_factors = {}", points.join(" ")));
+        }
+        if self.graph_vertices != d.graph_vertices {
+            out.push(format!("liquid.graph_vertices = {}", self.graph_vertices));
+        }
+        if self.graph_edges_per_vertex != d.graph_edges_per_vertex {
+            out.push(format!(
+                "liquid.graph_edges_per_vertex = {}",
+                self.graph_edges_per_vertex
+            ));
         }
     }
 }
@@ -474,6 +498,8 @@ mod tests {
             ("liquid.transport", "tcp"),
             ("liquid.batch_fanout", "false"),
             ("liquid.rate_factors", "low:0.5 high:1.5"),
+            ("liquid.graph_vertices", "1000000"),
+            ("liquid.graph_edges_per_vertex", "4"),
         ] {
             rt.apply_key(k, v).unwrap_or_else(|e| panic!("{k}: {e}"));
         }
@@ -485,6 +511,20 @@ mod tests {
             liquid.rate_points,
             vec![("low".to_string(), 0.5), ("high".to_string(), 1.5)]
         );
+        assert_eq!(liquid.graph_vertices, 1_000_000);
+        assert_eq!(liquid.graph_edges_per_vertex, 4);
+        // Non-default graph keys render, and the rendered keys re-apply to
+        // reproduce the same spec.
+        let mut lines = Vec::new();
+        rt.render_lines(&mut lines);
+        assert!(lines.contains(&"liquid.graph_vertices = 1000000".to_string()));
+        assert!(lines.contains(&"liquid.graph_edges_per_vertex = 4".to_string()));
+        let mut rt2 = RuntimeSpec::Liquid(LiquidSpec::default());
+        for line in &lines[1..] {
+            let (k, v) = line.split_once(" = ").unwrap();
+            rt2.apply_key(k, v).unwrap();
+        }
+        assert_eq!(rt, rt2);
     }
 
     #[test]

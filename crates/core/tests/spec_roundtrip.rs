@@ -163,11 +163,16 @@ fn arb_liquid() -> BoxedStrategy<LiquidSpec> {
         ],
         any::<bool>(),
         unit_frac(),
-        (ident(), prop::collection::vec(pos_frac(), 1..6)),
+        (
+            (ident(), prop::collection::vec(pos_frac(), 1..6)),
+            (1u32..2_000_000, 1u32..32),
+        ),
     )
         .prop_map(
-            |(shards, brokers, transport, batch_fanout, shard_max_utilization, points)| {
+            |(shards, brokers, transport, batch_fanout, shard_max_utilization, extra)| {
+                let (points, graph) = extra;
                 let (prefix, factors) = points;
+                let (graph_vertices, graph_edges_per_vertex) = graph;
                 LiquidSpec {
                     shards,
                     brokers,
@@ -179,6 +184,8 @@ fn arb_liquid() -> BoxedStrategy<LiquidSpec> {
                         .enumerate()
                         .map(|(i, f)| (format!("{prefix}-{i}"), f))
                         .collect(),
+                    graph_vertices,
+                    graph_edges_per_vertex,
                 }
             },
         )

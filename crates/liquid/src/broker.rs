@@ -921,8 +921,15 @@ struct Scratch {
     resp: Vec<RepBatch>,
     /// Per-shard read cursors into `resp`.
     cur: Vec<Cursor>,
-    /// Per-shard vertex grouping for `NeighborsMany`/`DegreeMany` fan-out.
-    group: Vec<Vec<VertexId>>,
+    /// Per-shard vertex grouping for `NeighborsMany`/`DegreeMany`
+    /// fan-out, as a flat two-pass counting layout (the CSR build in
+    /// miniature): `group_ids` holds the staged vertices grouped by
+    /// owning shard, `group_starts[s]..group_ends[s]` shard `s`'s range.
+    /// One buffer instead of a Vec-of-Vecs keeps the grouping pass in a
+    /// single allocation whatever the shard count.
+    group_ids: Vec<VertexId>,
+    group_starts: Vec<usize>,
+    group_ends: Vec<usize>,
     /// Pool of payload allocations for `*Many`/`CountIntersect`
     /// sub-queries. An entry whose strong count has returned to 1 is free
     /// for reuse (`Arc::get_mut` + `clear`).
@@ -943,7 +950,8 @@ impl Scratch {
             tags: (0..n_shards).map(|_| Vec::new()).collect(),
             resp: (0..n_shards).map(|_| RepBatch::default()).collect(),
             cur: vec![Cursor::default(); n_shards],
-            group: (0..n_shards).map(|_| Vec::new()).collect(),
+            group_starts: vec![0; n_shards],
+            group_ends: vec![0; n_shards],
             ..Default::default()
         }
     }
@@ -1448,16 +1456,37 @@ impl<'a> Exec<'a> {
     }
 
     /// Groups `vs` per owning shard and stages one `*Many` sub-query per
-    /// non-empty group, each carrying a pooled payload buffer.
+    /// non-empty group, each carrying a pooled payload buffer. The
+    /// grouping is a two-pass counting fill into one flat buffer —
+    /// count per shard, prefix-sum into ranges, place each vertex at its
+    /// shard's cursor — so staging order within a shard preserves `vs`
+    /// order (the read-back contract) without per-shard Vecs.
     fn stage_many(&mut self, vs: &[VertexId], tag: SubTag) {
-        let mut group = std::mem::take(&mut self.scratch.group);
-        for g in &mut group {
-            g.clear();
+        let mut ids = std::mem::take(&mut self.scratch.group_ids);
+        let mut starts = std::mem::take(&mut self.scratch.group_starts);
+        let mut ends = std::mem::take(&mut self.scratch.group_ends);
+        ids.clear();
+        ids.resize(vs.len(), 0);
+        ends.iter_mut().for_each(|e| *e = 0);
+        for &v in vs {
+            ends[self.shard_of(v)] += 1;
+        }
+        let mut acc = 0usize;
+        for s in 0..ends.len() {
+            let count = ends[s];
+            starts[s] = acc;
+            // `ends[s]` doubles as shard s's fill cursor until the
+            // placement pass completes it back into the exclusive end.
+            ends[s] = acc;
+            acc += count;
         }
         for &v in vs {
-            group[self.shard_of(v)].push(v);
+            let s = self.shard_of(v);
+            ids[ends[s]] = v;
+            ends[s] += 1;
         }
-        for (s, g) in group.iter().enumerate() {
+        for s in 0..starts.len() {
+            let g = &ids[starts[s]..ends[s]];
             if g.is_empty() {
                 continue;
             }
@@ -1473,7 +1502,9 @@ impl<'a> Exec<'a> {
             self.scratch.payloads.push(payload);
             self.stage(s, sub);
         }
-        self.scratch.group = group;
+        self.scratch.group_ids = ids;
+        self.scratch.group_starts = starts;
+        self.scratch.group_ends = ends;
     }
 }
 
@@ -1680,23 +1711,10 @@ fn bfs_distance(
     result
 }
 
-/// `|a ∩ b|` for sorted slices.
+/// `|a ∩ b|` for sorted slices: the broker-local fallback rides the same
+/// adaptive merge/gallop kernel as the shard `CountIntersect` path.
 fn sorted_intersection_count(a: &[VertexId], b: &[VertexId]) -> u64 {
-    let mut i = 0;
-    let mut j = 0;
-    let mut count = 0u64;
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                count += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    count
+    crate::graph::intersect_count(a, b)
 }
 
 #[cfg(test)]

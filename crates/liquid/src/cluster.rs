@@ -12,7 +12,9 @@ use std::time::{Duration, Instant};
 
 use bouncer_core::control::{ControlTap, Controller};
 use bouncer_core::obs::recorder::DEFAULT_RING_CAPACITY;
-use bouncer_core::obs::{EventSink, HealthConfig, HealthSampler, Recorder, RecorderSink, Tracer};
+use bouncer_core::obs::{
+    Event, EventSink, HealthConfig, HealthSampler, Recorder, RecorderSink, Tracer,
+};
 use bouncer_core::policy::{AcceptFraction, AcceptFractionConfig, AdmissionPolicy};
 use bouncer_core::spec::ControllerSpec;
 use bouncer_core::types::TypeRegistry;
@@ -21,7 +23,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::broker::{liquid_registry, Broker, BrokerConfig, ClientOutcome};
-use crate::graph::{Graph, GraphConfig};
+use crate::graph::{Graph, GraphConfig, GraphStats};
 use crate::query::Query;
 use crate::shard::{ShardConfig, ShardHost};
 use crate::transport::{InProcShardClient, ShardClient, TcpShardClient, TcpShardServer};
@@ -128,6 +130,7 @@ impl Default for ClusterConfig {
 pub struct Cluster {
     registry: TypeRegistry,
     vertices: u32,
+    graph_stats: GraphStats,
     clock: Arc<dyn Clock>,
     brokers: Vec<Arc<Broker>>,
     shards: Vec<Arc<ShardHost>>,
@@ -165,6 +168,7 @@ impl Cluster {
         let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
         let graph = Graph::generate(&cfg.graph);
         let vertices = graph.vertex_count();
+        let graph_stats = graph.stats();
 
         let mut shard_cfg = cfg.shard.clone();
         if shard_cfg.tracer.is_none() {
@@ -327,6 +331,19 @@ impl Cluster {
             .collect();
 
         let sink = broker_cfg.sink.clone();
+        // One-shot storage summary: what the cluster just loaded and what
+        // it costs, on the same stream as the query lifecycle events.
+        if let Some(sink) = &sink {
+            if sink.enabled() {
+                sink.emit(&Event::GraphStats {
+                    at: clock.now(),
+                    vertices: graph_stats.vertices,
+                    edges: graph_stats.edges,
+                    heap_bytes: graph_stats.heap_bytes,
+                    bytes_per_edge: graph_stats.bytes_per_edge,
+                });
+            }
+        }
         // The wall-clock probe: wakes every sampler interval, re-emits
         // the transport pool counters as `pool_stats` and hands the
         // sampler the live lane-ring occupancy. Under load the event
@@ -369,6 +386,7 @@ impl Cluster {
         Self {
             registry,
             vertices,
+            graph_stats,
             clock,
             brokers,
             shards,
@@ -424,6 +442,12 @@ impl Cluster {
     /// Vertices in the stored graph.
     pub fn vertices(&self) -> u32 {
         self.vertices
+    }
+
+    /// Storage summary of the graph this cluster serves (also emitted as
+    /// a `graph_stats` event at spawn when a sink is configured).
+    pub fn graph_stats(&self) -> GraphStats {
+        self.graph_stats
     }
 
     /// Executes a query on the next broker, round-robin — standing in for

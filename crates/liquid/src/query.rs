@@ -192,6 +192,14 @@ impl IdLists {
         self.ids.len()
     }
 
+    /// Reserves room for `lists` more lists totalling `ids` more ids —
+    /// the degree-prefetched frontier walk sizes a whole batch up front
+    /// so the staging buffers never regrow mid-batch.
+    pub fn reserve(&mut self, lists: usize, ids: usize) {
+        self.ends.reserve(lists);
+        self.ids.reserve(ids);
+    }
+
     /// Appends one list.
     pub fn push(&mut self, list: &[VertexId]) {
         self.ids.extend_from_slice(list);

@@ -21,7 +21,7 @@ use bouncer_metrics::{Clock, Nanos};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::graph::ShardData;
+use crate::graph::{self, ShardData};
 use crate::query::{IdLists, RepBatch, RepStatus, SubQuery, SubResponse};
 use crate::rings::{ShardEngineRig, ShardRig};
 
@@ -524,9 +524,16 @@ fn execute(data: &ShardData, sub: &SubQuery) -> Option<SubResponse> {
             .neighbors(*u)
             .map(|l| SubResponse::Flag(l.binary_search(v).is_ok())),
         SubQuery::NeighborsMany(vs) => {
-            // Flattened response: two allocations for the whole frontier
-            // slice instead of one `Vec` per vertex.
-            let mut lists = IdLists::with_capacity(vs.len(), vs.len() * 4);
+            // Degree-prefetched frontier walk: the sub-CSR offsets give
+            // every owned degree in O(1), so the flattened response is
+            // sized exactly (two allocations, no regrows) before any
+            // neighbor list is touched — and unowned vertices bail out
+            // before allocating at all.
+            let mut total = 0usize;
+            for v in vs.iter() {
+                total += data.degree(*v)? as usize;
+            }
+            let mut lists = IdLists::with_capacity(vs.len(), total);
             for v in vs.iter() {
                 lists.push(data.neighbors(*v)?);
             }
@@ -541,18 +548,8 @@ fn execute(data: &ShardData, sub: &SubQuery) -> Option<SubResponse> {
         }
         SubQuery::CountIntersect(v, ids) => {
             let neighbors = data.neighbors(*v)?;
-            // Both sides sorted: march the shorter over the longer.
-            let count = if neighbors.len() <= ids.len() {
-                neighbors
-                    .iter()
-                    .filter(|n| ids.binary_search(n).is_ok())
-                    .count()
-            } else {
-                ids.iter()
-                    .filter(|i| neighbors.binary_search(i).is_ok())
-                    .count()
-            };
-            Some(SubResponse::Count(count as u64))
+            // Both sides sorted: adaptive merge/gallop intersection.
+            Some(SubResponse::Count(graph::intersect_count(neighbors, ids)))
         }
     }
 }
@@ -587,6 +584,14 @@ fn execute_into(data: &ShardData, sub: &SubQuery, rep: &mut RepBatch) {
         SubQuery::NeighborsMany(vs) => {
             let mark = rep.lists.len();
             let mut ok = true;
+            // Degree prefetch: reserve the exact flattened size up front
+            // so the staging buffers regrow at most once per batch.
+            let total: Option<usize> = vs
+                .iter()
+                .try_fold(0usize, |acc, v| Some(acc + data.degree(*v)? as usize));
+            if let Some(total) = total {
+                rep.lists.reserve(vs.len(), total);
+            }
             for v in vs.iter() {
                 match data.neighbors(*v) {
                     Some(l) => rep.lists.push(l),
@@ -624,17 +629,7 @@ fn execute_into(data: &ShardData, sub: &SubQuery, rep: &mut RepBatch) {
         }
         SubQuery::CountIntersect(v, ids) => match data.neighbors(*v) {
             Some(neighbors) => {
-                let count = if neighbors.len() <= ids.len() {
-                    neighbors
-                        .iter()
-                        .filter(|n| ids.binary_search(n).is_ok())
-                        .count()
-                } else {
-                    ids.iter()
-                        .filter(|i| neighbors.binary_search(i).is_ok())
-                        .count()
-                };
-                rep.scalars.push(count as u64);
+                rep.scalars.push(graph::intersect_count(neighbors, ids));
                 rep.status.push(RepStatus::Ok);
             }
             None => rep.status.push(RepStatus::Error),

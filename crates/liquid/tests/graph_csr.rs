@@ -1,0 +1,148 @@
+//! Property tests pinning the CSR graph engine to its retained
+//! references: the flat `offsets`/`targets` representation against the
+//! legacy `Vec<Vec<VertexId>>` adjacency ([`liquid::graph::reference`]),
+//! the zero-clone sub-CSR shard slices against the old cloned slices,
+//! and the adaptive intersection kernel against the per-element
+//! binary-search filter.
+
+use liquid::graph::{intersect_count, reference::VecGraph, Graph, GraphConfig};
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = GraphConfig> {
+    (64u32..2_048, 1u32..8, any::<u64>()).prop_map(|(vertices, edges_per_vertex, seed)| {
+        GraphConfig {
+            vertices,
+            edges_per_vertex,
+            seed,
+        }
+    })
+}
+
+/// A sorted, duplicate-free id list — the only shape the intersection
+/// kernels are defined over (adjacency lists are stored this way).
+fn arb_sorted_ids() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..512, 0..96).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    /// The CSR engine and the retained Vec-of-Vecs reference agree on
+    /// every query surface — neighbors, degree, has_edge, edge_count —
+    /// across random generator configs. The generators share the RNG
+    /// accept/reject stream, so the graphs must be identical, not just
+    /// isomorphic.
+    #[test]
+    fn csr_matches_vec_reference(cfg in arb_cfg()) {
+        let csr = Graph::generate(&cfg);
+        let vec = VecGraph::generate(&cfg);
+        prop_assert_eq!(csr.vertex_count(), vec.vertex_count());
+        prop_assert_eq!(csr.edge_count(), vec.edge_count());
+        for v in 0..cfg.vertices {
+            prop_assert_eq!(csr.neighbors(v), vec.neighbors(v), "neighbors({})", v);
+            prop_assert_eq!(csr.degree(v), vec.degree(v), "degree({})", v);
+        }
+        // has_edge spot-checks: every real edge plus a probe ring of
+        // non-neighbors around each vertex.
+        for v in (0..cfg.vertices).step_by(7) {
+            for &t in csr.neighbors(v) {
+                prop_assert!(csr.has_edge(v, t) && vec.has_edge(v, t));
+            }
+            let probe = (v + 1) % cfg.vertices;
+            prop_assert_eq!(csr.has_edge(v, probe), vec.has_edge(v, probe));
+        }
+    }
+
+    /// Sub-CSR shard slices expose exactly the owned rows the legacy
+    /// cloned slices held, across every shard count the cluster spawns.
+    #[test]
+    fn shard_slices_match_cloned_reference(cfg in arb_cfg()) {
+        let csr = Graph::generate(&cfg);
+        let vec = VecGraph::generate(&cfg);
+        for n_shards in 1..=8usize {
+            for shard in 0..n_shards {
+                let sub = csr.shard_slice(shard, n_shards);
+                let cloned = vec.shard_slice_cloned(shard, n_shards);
+                prop_assert_eq!(sub.shard(), shard);
+                prop_assert_eq!(sub.total_vertices(), cfg.vertices);
+                let mut owned = 0usize;
+                for v in 0..cfg.vertices {
+                    if Graph::owner(v, n_shards) == shard {
+                        let (cv, list) = &cloned[owned];
+                        prop_assert_eq!(*cv, v);
+                        prop_assert_eq!(
+                            sub.neighbors(v),
+                            Some(list.as_slice()),
+                            "shard {}/{} vertex {}", shard, n_shards, v
+                        );
+                        prop_assert_eq!(sub.degree(v), Some(list.len() as u32));
+                        owned += 1;
+                    } else {
+                        prop_assert_eq!(sub.neighbors(v), None);
+                        prop_assert_eq!(sub.degree(v), None);
+                    }
+                }
+                prop_assert_eq!(owned, cloned.len());
+            }
+        }
+    }
+
+    /// The adaptive merge/gallop/filter kernel equals the legacy
+    /// binary-search filter on arbitrary sorted sets — including the
+    /// empty, disjoint, subset, and identical shapes below.
+    #[test]
+    fn intersect_matches_binary_filter(a in arb_sorted_ids(), b in arb_sorted_ids()) {
+        prop_assert_eq!(
+            intersect_count(&a, &b),
+            VecGraph::intersect_count_binary(&a, &b)
+        );
+        prop_assert_eq!(
+            intersect_count(&b, &a),
+            VecGraph::intersect_count_binary(&a, &b)
+        );
+    }
+
+    /// Skew stress for the gallop path: a short probe list against a
+    /// long base drawn from the same universe, both directions.
+    #[test]
+    fn intersect_matches_on_skewed_pairs(
+        short in prop::collection::vec(0u32..100_000, 0..12),
+        base in prop::collection::vec(0u32..100_000, 256..1_024),
+    ) {
+        let norm = |mut v: Vec<u32>| { v.sort_unstable(); v.dedup(); v };
+        let (short, base) = (norm(short), norm(base));
+        prop_assert_eq!(
+            intersect_count(&short, &base),
+            VecGraph::intersect_count_binary(&short, &base)
+        );
+    }
+}
+
+#[test]
+fn intersect_edge_shapes() {
+    let cases: &[(&[u32], &[u32], u64)] = &[
+        (&[], &[], 0),
+        (&[], &[1, 2, 3], 0),
+        (&[5], &[], 0),
+        (&[1, 3, 5], &[2, 4, 6], 0),              // disjoint
+        (&[2, 4], &[1, 2, 3, 4, 5], 2),           // subset
+        (&[7, 8, 9], &[7, 8, 9], 3),              // identical
+        (&[0, u32::MAX], &[u32::MAX], 1),         // boundary values
+    ];
+    for &(a, b, want) in cases {
+        assert_eq!(intersect_count(a, b), want, "{a:?} ∩ {b:?}");
+        assert_eq!(intersect_count(b, a), want, "{b:?} ∩ {a:?}");
+        assert_eq!(VecGraph::intersect_count_binary(a, b), want);
+    }
+    // The gallop threshold exactly: short of 8 against 128 elements
+    // (ratio 16) with matches at the window edges the exponential scan
+    // stops on.
+    let base: Vec<u32> = (0..128).map(|i| i * 3).collect();
+    let short: Vec<u32> = vec![0, 3, 93, 189, 285, 333, 378, 381];
+    assert_eq!(
+        intersect_count(&short, &base),
+        VecGraph::intersect_count_binary(&short, &base)
+    );
+}

@@ -1,0 +1,109 @@
+//! The million-vertex end-to-end smoke over the rings cluster.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example liquid_mega -- scenarios/liquid_mega.scn
+//! ```
+//!
+//! Loads `scenarios/liquid_mega.scn` (1M vertices, m = 4, 4 shards,
+//! thread-per-core rings transport), spawns the cluster — which builds
+//! the CSR graph and zero-clone sub-CSR shard slices — prints the
+//! `graph_stats` footprint line, and drives the published QT1..QT11 mix
+//! through `Cluster::execute` from several client threads. This is the
+//! scale gate `scripts/check.sh` runs: the engine must serve mixed
+//! traffic end-to-end at the graph size the CSR representation exists
+//! for, not just micro-benchmark it.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bouncer_repro::core::prelude::*;
+use bouncer_repro::core::spec::{PolicyEnv, ScenarioSpec, TransportSpec};
+use bouncer_repro::metrics::time::millis;
+use liquid::cluster::{Cluster, ClusterConfig, TransportKind};
+use liquid::graph::GraphConfig;
+use liquid::query::{Query, QueryKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("scenarios/liquid_mega.scn"));
+    let spec = ScenarioSpec::load(&path)
+        .unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()));
+    let lq = spec.liquid().unwrap_or_else(|e| panic!("{e}")).clone();
+    println!("scenario: {} ({})", spec.tag(), spec.hash_hex());
+
+    let cfg = ClusterConfig {
+        n_shards: lq.shards as usize,
+        n_brokers: lq.brokers as usize,
+        transport: match lq.transport {
+            TransportSpec::Channels => TransportKind::InProc,
+            TransportSpec::Rings => TransportKind::Rings,
+            TransportSpec::Tcp => TransportKind::Tcp,
+        },
+        graph: GraphConfig {
+            vertices: lq.graph_vertices,
+            edges_per_vertex: lq.graph_edges_per_vertex,
+            seed: 0x11D,
+        },
+        shard_max_utilization: lq.shard_max_utilization,
+        ..ClusterConfig::default()
+    };
+
+    let policy_spec = spec.first_policy().unwrap_or_else(|e| panic!("{e}")).clone();
+    let seed = spec.seed;
+    let t = Instant::now();
+    let cluster = Cluster::spawn(&cfg, move |registry, engines| {
+        let env = PolicyEnv {
+            registry,
+            slos: SloConfig::uniform(registry, Slo::p50_p90(millis(18), millis(50))),
+            parallelism: engines,
+        };
+        policy_spec.build(&env, seed)
+    });
+    let stats = cluster.graph_stats();
+    println!(
+        "spawned {} shard(s) over rings in {:.1}s: {}",
+        cfg.n_shards,
+        t.elapsed().as_secs_f64(),
+        stats.render_line()
+    );
+    assert_eq!(stats.vertices, u64::from(lq.graph_vertices));
+
+    let vertices = cluster.vertices();
+    let (mut ok, mut rejected) = (0u64, 0u64);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..4u64 {
+            let cluster = &cluster;
+            workers.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ t);
+                let (mut ok, mut rejected) = (0u64, 0u64);
+                for i in 0..1_500u32 {
+                    let kind = QueryKind::ALL[(i as usize + t as usize) % 11];
+                    let q = Query::random(kind, vertices, &mut rng);
+                    match cluster.execute(q) {
+                        liquid::broker::ClientOutcome::Ok(_) => ok += 1,
+                        _ => rejected += 1,
+                    }
+                }
+                (ok, rejected)
+            }));
+        }
+        for w in workers {
+            let (o, r) = w.join().unwrap();
+            ok += o;
+            rejected += r;
+        }
+    });
+    cluster.shutdown();
+
+    assert!(ok > 0, "no query served at the mega scale");
+    println!(
+        "served {} mixed queries end-to-end ({ok} ok, {rejected} shed)",
+        ok + rejected
+    );
+}

@@ -11,23 +11,36 @@ cd "$(dirname "$0")/.."
 # against the parsed BENCH files: T1 admit cached* mean <= 20 ns, T2
 # inproc/rings_allocs == 0 (exact), T3 inproc/rings mean <= inproc/
 # unbatched mean, T4 gate_cycle/recorder mean <= 2x gate_cycle/disabled
-# (the always-on flight recorder's whole budget).
+# (the always-on flight recorder's whole budget), G1 CSR bytes/edge <=
+# 0.5x the Vec-of-Vecs reference at 1M vertices (exact), G2 CSR
+# generate+build no slower than the reference build, G3/G4 the adaptive
+# intersect and CSR neighbors kernels no slower than their binary-search
+# / Vec-of-Vecs baselines (min statistic — single-measurement means are
+# too noisy on a shared host; the min is the kernel's actual cost).
 # Timing targets carry a +15 % tolerance, counts none.
 # Prints a one-line before/after row per target and returns non-zero on
 # any FAIL. Callable standalone: scripts/check.sh perf-gate [admit.json
-# datapath.json].
+# datapath.json graph.json].
 perf_gate() {
     local admit_json="${1:-BENCH_admit.json}"
     local datapath_json="${2:-BENCH_datapath.json}"
-    echo "==> perf gate: $admit_json + $datapath_json vs docs/adr/001-performance-targets.md"
-    awk -v admit="$admit_json" -v datapath="$datapath_json" '
+    local graph_json="${3:-BENCH_graph.json}"
+    echo "==> perf gate: $admit_json + $datapath_json + $graph_json vs docs/adr/001-performance-targets.md"
+    awk -v admit="$admit_json" -v datapath="$datapath_json" -v graph="$graph_json" '
         /"mean":/ {
             key = $1; gsub(/[":]/, "", key)
-            for (i = 1; i <= NF; i++) if ($i == "\"mean\":") {
-                v = $(i + 1); sub(/,$/, "", v)
-                tag = (FILENAME == admit ? "a:" : "d:")
-                means[tag key] = v + 0
-                if (tag == "a:") akeys[++an] = key
+            tag = (FILENAME == admit ? "a:" : FILENAME == datapath ? "d:" : "g:")
+            for (i = 1; i <= NF; i++) {
+                if ($i == "\"mean\":") {
+                    v = $(i + 1); sub(/,$/, "", v)
+                    means[tag key] = v + 0
+                    if (tag == "a:") akeys[++an] = key
+                }
+                # The min key opens the object, so the field is "{\"min\":".
+                if ($i ~ /(^|\{)"min":$/) {
+                    v = $(i + 1); sub(/,$/, "", v)
+                    mins[tag key] = v + 0
+                }
             }
         }
         function row(name, target, measured, pass) {
@@ -74,13 +87,51 @@ perf_gate() {
                         means["a:gate_cycle/disabled"] * 2 * tol)
             else
                 row("T4 gate_cycle rows present", 1, 0, 0)
+            # G1: the CSR representation halves the reference footprint
+            # at the million-vertex scale (count ratio, no tolerance).
+            if ("g:bytes_per_edge/csr_1m" in means && "g:bytes_per_edge/vecvec_1m" in means)
+                row("G1 bytes_per_edge csr_1m <= 0.5x vecvec_1m (exact)", \
+                    means["g:bytes_per_edge/vecvec_1m"] * 0.5, \
+                    means["g:bytes_per_edge/csr_1m"], \
+                    means["g:bytes_per_edge/csr_1m"] <= \
+                        means["g:bytes_per_edge/vecvec_1m"] * 0.5)
+            else
+                row("G1 bytes_per_edge rows present", 1, 0, 0)
+            # G2: the two-pass counting CSR build costs no more than the
+            # legacy Vec-of-Vecs assembly (same generator stream).
+            if ("g:build/csr_1m" in means && "g:build/vecvec_1m" in means)
+                row("G2 build csr_1m mean <= 1.15x vecvec_1m", \
+                    means["g:build/vecvec_1m"] * tol, means["g:build/csr_1m"], \
+                    means["g:build/csr_1m"] <= means["g:build/vecvec_1m"] * tol)
+            else
+                row("G2 build rows present", 1, 0, 0)
+            # G3: the adaptive intersection kernel is no slower than the
+            # legacy binary-search filter at the 1M scale.
+            if ("g:intersect/adaptive_1m" in mins && "g:intersect/binary_1m" in mins)
+                row("G3 intersect adaptive_1m min <= 1.15x binary_1m", \
+                    mins["g:intersect/binary_1m"] * tol, \
+                    mins["g:intersect/adaptive_1m"], \
+                    mins["g:intersect/adaptive_1m"] <= \
+                        mins["g:intersect/binary_1m"] * tol)
+            else
+                row("G3 intersect rows present", 1, 0, 0)
+            # G4: CSR neighbor walks are no slower than the Vec-of-Vecs
+            # slices they replaced.
+            if ("g:neighbors/csr_1m" in mins && "g:neighbors/vecvec_1m" in mins)
+                row("G4 neighbors csr_1m min <= 1.15x vecvec_1m", \
+                    mins["g:neighbors/vecvec_1m"] * tol, \
+                    mins["g:neighbors/csr_1m"], \
+                    mins["g:neighbors/csr_1m"] <= \
+                        mins["g:neighbors/vecvec_1m"] * tol)
+            else
+                row("G4 neighbors rows present", 1, 0, 0)
             exit failed
         }
-    ' "$admit_json" "$datapath_json"
+    ' "$admit_json" "$datapath_json" "$graph_json"
 }
 
 if [ "${1:-}" = "perf-gate" ]; then
-    perf_gate "${2:-BENCH_admit.json}" "${3:-BENCH_datapath.json}"
+    perf_gate "${2:-BENCH_admit.json}" "${3:-BENCH_datapath.json}" "${4:-BENCH_graph.json}"
     exit 0
 fi
 
@@ -105,6 +156,20 @@ echo "==> scenario gate: benches/examples construct policies only via the spec l
 GATE_PATTERN='type MakePolicy|Bouncer::new\(|AcceptanceAllowance::new\(|HelpingTheUnderserved::new\(|MaxQueueLength::new\(|MaxQueueWaitTime::new\(|with_per_type_limits\(|AcceptFraction::new\(|GatekeeperStyle::new\(|Controller::new\(|ControlTap::new\('
 if VIOLATIONS=$(grep -rnE "$GATE_PATTERN" crates/bench/benches examples); then
     echo "policy constructed outside bouncer_core::spec:" >&2
+    printf '%s\n' "$VIOLATIONS" >&2
+    exit 1
+fi
+
+echo "==> graph gate: adjacency storage goes through the CSR engine"
+# The Vec-of-Vecs adjacency representation survives only as the
+# equivalence/bench reference inside liquid::graph::reference and the
+# test suites that pin the CSR engine to it. Any other Vec<Vec<VertexId>>
+# reintroduces per-vertex allocation (header + malloc chunk + growth
+# slack per vertex) on a path the CSR refactor exists to keep flat.
+if VIOLATIONS=$(grep -rn 'Vec<Vec<VertexId>>' crates examples \
+    | grep -v 'crates/liquid/src/graph\.rs' \
+    | grep -v '/tests/'); then
+    echo "Vec-of-Vecs adjacency outside the graph reference impl/tests:" >&2
     printf '%s\n' "$VIOLATIONS" >&2
     exit 1
 fi
@@ -217,7 +282,55 @@ printf '%s\n' "$DATAPATH_OUT" | awk '
 echo "    wrote BENCH_datapath.json:"
 sed 's/^/    /' BENCH_datapath.json
 
-perf_gate BENCH_admit.json BENCH_datapath.json
+echo "==> bench smoke: graph_scale (CSR engine vs Vec-of-Vecs reference)"
+# The graph-engine scale rows behind the ADR-001 G targets: build time,
+# bytes per stored adjacency entry, neighbor-walk and intersection
+# kernels, CSR (after) vs the retained Vec<Vec<VertexId>> reference
+# (before) at 100k and 1M vertices. Both generators replay the same RNG
+# stream, so every row compares the identical graph. 4M-vertex rows ride
+# behind GRAPH_SCALE_XL=1 to bound CI memory. Results land in
+# BENCH_graph.json at the repo root.
+GRAPH_OUT=$(CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-50}" \
+    cargo bench -q --offline -p bouncer-bench --bench graph_scale 2>&1 \
+    | grep '^graph_scale/') || {
+    echo "graph_scale bench produced no output" >&2
+    exit 1
+}
+printf '%s\n' "$GRAPH_OUT" | awk '
+    # Lines look like:
+    #   graph_scale/bytes_per_edge/csr_1m  time: [4.50 ns 4.50 ns 4.50 ns]  (1 iters)
+    # Emit one JSON object keyed metric/variant with ns-normalized stats
+    # (build rows are wall time, bytes_per_edge rows are counts).
+    function ns(v, u) {
+        if (u == "ns") return v
+        if (u == "µs" || u == "us") return v * 1000
+        if (u == "ms") return v * 1000000
+        return v
+    }
+    {
+        gsub(/[\[\]]/, "")
+        split($1, path, "/")
+        lo = ns($3 + 0, $4); mean = ns($5 + 0, $6); hi = ns($7 + 0, $8)
+        key = path[2] "/" path[3]
+        keys[++n] = key
+        means[key] = mean; los[key] = lo; his[key] = hi
+    }
+    END {
+        printf "{\n  \"bench\": \"graph_scale\",\n  \"unit\": \"ns\",\n"
+        printf "  \"note\": \"csr = flat offsets+targets engine (after); vecvec/binary = retained Vec-of-Vecs reference and per-element binary-search filter (before); bytes_per_edge rows are counts, not ns\",\n"
+        printf "  \"results\": {\n"
+        for (i = 1; i <= n; i++) {
+            k = keys[i]
+            printf "    \"%s\": {\"min\": %.2f, \"mean\": %.2f, \"max\": %.2f}%s\n", \
+                k, los[k], means[k], his[k], (i < n ? "," : "")
+        }
+        printf "  }\n}\n"
+    }
+' > BENCH_graph.json
+echo "    wrote BENCH_graph.json:"
+sed 's/^/    /' BENCH_graph.json
+
+perf_gate BENCH_admit.json BENCH_datapath.json BENCH_graph.json
 
 echo "==> perf gate self-test: a sabotaged rings mean must FAIL"
 # Continuously proves the gate's failure path works: inflate the rings
@@ -248,6 +361,21 @@ if perf_gate "$SABOTAGE_REC" BENCH_datapath.json > /dev/null 2>&1; then
     exit 1
 fi
 rm -f "$SABOTAGE_REC"
+echo "    sabotage flagged as expected"
+
+echo "==> perf gate self-test: a sabotaged CSR bytes/edge must FAIL"
+# The same drill for G1: inflate the csr_1m bytes-per-edge mean in a
+# scratch copy of the graph file and require a non-zero exit. Pattern
+# drift (the copy equaling the original) fails here too.
+SABOTAGE_G=$(mktemp -t bouncer-sabotage-graph.XXXXXX.json)
+sed 's/"bytes_per_edge\/csr_1m": {"min": \([0-9.]*\), "mean": [0-9.]*/"bytes_per_edge\/csr_1m": {"min": \1, "mean": 99999999.00/' \
+    BENCH_graph.json > "$SABOTAGE_G"
+if perf_gate BENCH_admit.json BENCH_datapath.json "$SABOTAGE_G" > /dev/null 2>&1; then
+    echo "perf gate did not flag a sabotaged CSR bytes/edge mean" >&2
+    rm -f "$SABOTAGE_G"
+    exit 1
+fi
+rm -f "$SABOTAGE_G"
 echo "    sabotage flagged as expected"
 
 echo "==> study smoke: adaptive_shift (closed-loop vs static caps)"
@@ -349,5 +477,29 @@ fi
 cargo run -q --release --offline -p bouncer-cli -- \
     postmortem --dump-in "$DRILL_DUMP" \
     | sed -n '1,4p;$p' | sed 's/^/    /'
+
+echo "==> scale smoke: liquid_mega (1M-vertex CSR graph through the rings cluster)"
+# The million-vertex acceptance drill: the CSR engine must serve the
+# QT1..QT11 mix end-to-end at the scale it exists for, not just
+# micro-benchmark well. The example prints the graph_stats footprint
+# line; the CLI's graph-stats subcommand rebuilds the same graph from
+# the scenario spec and must agree on the footprint.
+MEGA_OUT=$(cargo run -q --release --offline --example liquid_mega -- scenarios/liquid_mega.scn)
+printf '%s\n' "$MEGA_OUT" | sed 's/^/    /'
+printf '%s\n' "$MEGA_OUT" | grep -q 'graph_stats vertices=1000000 ' || {
+    echo "liquid_mega did not report a 1M-vertex graph_stats line" >&2
+    exit 1
+}
+MEGA_STATS=$(cargo run -q --release --offline -p bouncer-cli -- \
+    graph-stats scenarios/liquid_mega.scn)
+printf '%s\n' "$MEGA_STATS" | sed 's/^/    /'
+MEGA_LINE=$(printf '%s\n' "$MEGA_OUT" | grep -o 'graph_stats .*')
+case "$MEGA_STATS" in
+    *"$MEGA_LINE"*) ;;
+    *)
+        echo "graph-stats disagrees with the cluster's graph_stats line" >&2
+        exit 1
+        ;;
+esac
 
 echo "==> all checks passed"
