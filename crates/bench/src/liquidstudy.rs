@@ -21,14 +21,16 @@ use std::time::Duration;
 
 use bouncer_core::policy::AlwaysAccept;
 use bouncer_core::slo::{Slo, SloConfig};
-use bouncer_core::spec::{defaults, PolicyEnv, PolicySpec, ScenarioSpec, TransportSpec};
+use bouncer_core::spec::{
+    defaults, PolicyEnv, PolicySpec, ScenarioSpec, StrategySpec, TransportSpec,
+};
 use bouncer_core::types::TypeRegistry;
 use bouncer_metrics::histogram::HistogramSnapshot;
 use bouncer_metrics::time::millis_f64;
 use bouncer_workload::dist::{Exponential, LogNormal};
 use bouncer_workload::generator::{LoadReport, TypeReport};
 use bouncer_workload::mix::{QueryClass, QueryMix, LIQUID_MIX_PROPORTIONS};
-use liquid::broker::{kind_type_id, liquid_registry, ClientOutcome};
+use liquid::broker::{kind_type_id, liquid_registry, ClientOutcome, RouteStrategy};
 use liquid::cluster::{Cluster, ClusterConfig, TransportKind};
 use liquid::query::{Query, QueryKind};
 
@@ -89,6 +91,12 @@ impl LiquidStudy {
                 ),
             },
             shard_max_utilization: liquid.shard_max_utilization,
+            replicas: liquid.replicas as usize,
+            strategy: match liquid.strategy {
+                StrategySpec::PrimaryOnly => RouteStrategy::PrimaryOnly,
+                StrategySpec::LoadBalanced => RouteStrategy::LoadBalanced,
+                StrategySpec::Hedged => RouteStrategy::Hedged,
+            },
             ..ClusterConfig::default()
         };
         cluster_cfg.broker.batch_fanout = liquid.batch_fanout;

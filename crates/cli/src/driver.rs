@@ -623,6 +623,9 @@ where
             counters.as_ref(),
             None,
             Some(&sampler.health_counters(dropped_writes)),
+            // The simulator has no replica tier; hedge counters are a
+            // cluster-side export.
+            None,
         );
         std::fs::write(path, text)
             .map_err(|e| ParseError(format!("--metrics-out `{path}`: {e}")))?;

@@ -59,8 +59,8 @@ pub mod prelude {
     pub use crate::framework::{Discipline, Gate, GateConfig, ServerStats, StatsSnapshot};
     pub use crate::obs::{
         null_sink, render_prometheus, render_prometheus_full, render_prometheus_with_traces, Event,
-        EventSink, JsonlSink, MemorySink, NullSink, PoolCounters, TraceContext, TraceCounters,
-        Tracer, TracerConfig,
+        EventSink, HedgeCounters, JsonlSink, MemorySink, NullSink, PoolCounters, TraceContext,
+        TraceCounters, Tracer, TracerConfig,
     };
     pub use crate::policy::{
         AcceptFraction, AcceptFractionConfig, AcceptanceAllowance, AdmissionPolicy, AlwaysAccept,
@@ -72,7 +72,7 @@ pub mod prelude {
     pub use crate::spec::{
         BouncerParams, ClassSpec, ControllerSpec, DisciplineSpec, HistogramSpec, LawKind,
         LiquidSpec, PolicyEnv, PolicySpec, RuleSpec, RuntimeSpec, ScenarioSpec, SimSpec,
-        SloEntrySpec, TransportSpec, WorkloadSpec,
+        SloEntrySpec, StrategySpec, TransportSpec, WorkloadSpec,
     };
     pub use crate::types::{TypeId, TypeRegistry, DEFAULT_TYPE};
 }

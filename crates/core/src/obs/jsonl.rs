@@ -217,6 +217,25 @@ impl Event {
                     escape(reason)
                 );
             }
+            Event::ReplicaRouted { shard, replica, .. } => {
+                let _ = write!(s, ",\"shard\":{shard},\"replica\":{replica}");
+            }
+            Event::HedgeFired {
+                shard,
+                primary,
+                hedge,
+                delay,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"shard\":{shard},\"primary\":{primary},\"hedge\":{hedge},\
+                     \"delay_ns\":{delay}"
+                );
+            }
+            Event::HedgeCancelled { shard, replica, .. } => {
+                let _ = write!(s, ",\"shard\":{shard},\"replica\":{replica}");
+            }
         }
         s.push('}');
         s
@@ -469,6 +488,23 @@ mod tests {
                 reason: "rejection_spike",
                 records: 4096,
             },
+            Event::ReplicaRouted {
+                at: 90,
+                shard: 2,
+                replica: 1,
+            },
+            Event::HedgeFired {
+                at: 91,
+                shard: 2,
+                primary: 0,
+                hedge: 1,
+                delay: 350_000,
+            },
+            Event::HedgeCancelled {
+                at: 92,
+                shard: 2,
+                replica: 0,
+            },
         ]
     }
 
@@ -596,6 +632,46 @@ mod tests {
             Some("controller_backoff")
         );
         assert_eq!(v.get("records").and_then(|x| x.as_u64()), Some(7));
+    }
+
+    #[test]
+    fn hedge_payload_fields_survive() {
+        let line = Event::HedgeFired {
+            at: 91,
+            shard: 2,
+            primary: 0,
+            hedge: 1,
+            delay: 350_000,
+        }
+        .to_json();
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("shard").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(v.get("primary").and_then(|x| x.as_u64()), Some(0));
+        assert_eq!(v.get("hedge").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("delay_ns").and_then(|x| x.as_u64()), Some(350_000));
+
+        let v = parse_json(
+            &Event::HedgeCancelled {
+                at: 92,
+                shard: 2,
+                replica: 0,
+            }
+            .to_json(),
+        )
+        .unwrap();
+        assert_eq!(v.get("replica").and_then(|x| x.as_u64()), Some(0));
+
+        let v = parse_json(
+            &Event::ReplicaRouted {
+                at: 90,
+                shard: 1,
+                replica: 1,
+            }
+            .to_json(),
+        )
+        .unwrap();
+        assert_eq!(v.get("shard").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("replica").and_then(|x| x.as_u64()), Some(1));
     }
 
     /// A writer that fails every write, to exercise the dropped-write

@@ -41,7 +41,7 @@ pub use json::{parse_json, JsonValue};
 pub use jsonl::JsonlSink;
 pub use prometheus::{
     render_prometheus, render_prometheus_full, render_prometheus_with_traces, validate_prometheus,
-    HealthCounters, PoolCounters, TraceCounters, TypeRates,
+    HealthCounters, HedgeCounters, PoolCounters, TraceCounters, TypeRates,
 };
 pub use recorder::{Record, RecordKind, Recorder, RecorderDump, RecorderSink};
 pub use trace::{
@@ -352,6 +352,41 @@ pub enum Event {
         /// Flight-recorder records written into the dump.
         records: u64,
     },
+    /// A broker routed one round's per-shard sub-query batch to a replica.
+    /// Emitted only on replicated clusters (R > 1), so unreplicated event
+    /// streams are byte-identical to pre-replication ones.
+    ReplicaRouted {
+        /// Routing time (the send).
+        at: Nanos,
+        /// The logical shard the batch targets.
+        shard: u32,
+        /// The replica chosen by the routing strategy.
+        replica: u32,
+    },
+    /// The hedged routing strategy fired a duplicate sub-query to a second
+    /// replica after the primary outlived the quantile-based hedge delay.
+    HedgeFired {
+        /// Fire time.
+        at: Nanos,
+        /// The logical shard being hedged.
+        shard: u32,
+        /// The replica the original sub-query went to.
+        primary: u32,
+        /// The replica the duplicate went to.
+        hedge: u32,
+        /// How long the broker waited before hedging.
+        delay: Nanos,
+    },
+    /// A hedge race resolved: the first reply won and the loser was sent a
+    /// cancel (honored at dequeue, refunding its queued demand).
+    HedgeCancelled {
+        /// Cancel time (the winner's arrival).
+        at: Nanos,
+        /// The logical shard that was hedged.
+        shard: u32,
+        /// The replica whose in-flight duplicate was cancelled.
+        replica: u32,
+    },
 }
 
 impl Event {
@@ -380,6 +415,9 @@ impl Event {
             Event::EngineState { .. } => "engine_state",
             Event::GraphStats { .. } => "graph_stats",
             Event::Incident { .. } => "incident",
+            Event::ReplicaRouted { .. } => "replica_routed",
+            Event::HedgeFired { .. } => "hedge_fired",
+            Event::HedgeCancelled { .. } => "hedge_cancelled",
         }
     }
 
@@ -407,7 +445,10 @@ impl Event {
             | Event::TypeHealth { at, .. }
             | Event::EngineState { at, .. }
             | Event::GraphStats { at, .. }
-            | Event::Incident { at, .. } => at,
+            | Event::Incident { at, .. }
+            | Event::ReplicaRouted { at, .. }
+            | Event::HedgeFired { at, .. }
+            | Event::HedgeCancelled { at, .. } => at,
         }
     }
 
@@ -435,7 +476,10 @@ impl Event {
             | Event::HealthSample { .. }
             | Event::EngineState { .. }
             | Event::GraphStats { .. }
-            | Event::Incident { .. } => None,
+            | Event::Incident { .. }
+            | Event::ReplicaRouted { .. }
+            | Event::HedgeFired { .. }
+            | Event::HedgeCancelled { .. } => None,
         }
     }
 }

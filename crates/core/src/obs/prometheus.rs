@@ -52,6 +52,17 @@ pub struct TypeRates {
     pub rejection: f64,
 }
 
+/// Replica-routing totals, exported so dashboards can see how often the
+/// hedged strategy duplicated work and how much of it was clawed back by
+/// cancellation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HedgeCounters {
+    /// Hedge duplicates fired at a second replica.
+    pub hedges: u64,
+    /// Hedge losers cancelled after the race resolved.
+    pub cancels: u64,
+}
+
 /// Health-sampler gauges, exported so scrapes see the episode-explaining
 /// signals — queue depth, in-flight work, transport ring occupancy, and
 /// per-type attainment/rejection — not just end-of-run latency summaries.
@@ -88,7 +99,7 @@ pub fn render_prometheus_with_traces(
     type_names: &[&str],
     traces: Option<&TraceCounters>,
 ) -> String {
-    render_prometheus_full(snap, type_names, traces, None, None)
+    render_prometheus_full(snap, type_names, traces, None, None, None)
 }
 
 /// [`render_prometheus_with_traces`], optionally also appending the
@@ -97,13 +108,16 @@ pub fn render_prometheus_with_traces(
 /// gauge, and the health-sampler gauge families (`bouncer_queue_depth`,
 /// `bouncer_in_flight`, `bouncer_ring_occupancy`,
 /// `bouncer_events_dropped_total`, `bouncer_incidents_total`,
-/// `bouncer_slo_attainment_ratio`, `bouncer_rejection_ratio`).
+/// `bouncer_slo_attainment_ratio`, `bouncer_rejection_ratio`), and the
+/// replica-routing counter pair (`bouncer_hedges_total` /
+/// `bouncer_hedge_cancels_total`).
 pub fn render_prometheus_full(
     snap: &StatsSnapshot,
     type_names: &[&str],
     traces: Option<&TraceCounters>,
     pool: Option<&PoolCounters>,
     health: Option<&HealthCounters>,
+    hedges: Option<&HedgeCounters>,
 ) -> String {
     let name_of = |i: usize| -> String {
         type_names
@@ -324,6 +338,21 @@ pub fn render_prometheus_full(
                 );
             }
         }
+    }
+
+    if let Some(hg) = hedges {
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_hedges_total Hedge duplicates fired at a second replica."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_hedges_total counter");
+        let _ = writeln!(out, "bouncer_hedges_total {}", hg.hedges);
+        let _ = writeln!(
+            out,
+            "# HELP bouncer_hedge_cancels_total Hedge losers cancelled after the race resolved."
+        );
+        let _ = writeln!(out, "# TYPE bouncer_hedge_cancels_total counter");
+        let _ = writeln!(out, "bouncer_hedge_cancels_total {}", hg.cancels);
     }
 
     out
@@ -560,7 +589,7 @@ mod tests {
             pooled: 4,
         };
         let text =
-            render_prometheus_full(&populated_snapshot(), &["fast"], None, Some(&pool), None);
+            render_prometheus_full(&populated_snapshot(), &["fast"], None, Some(&pool), None, None);
         validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
         assert!(text.contains("# TYPE bouncer_buffer_pool_hits_total counter"));
         assert!(text.contains("bouncer_buffer_pool_hits_total 90"));
@@ -600,6 +629,7 @@ mod tests {
             None,
             None,
             Some(&health),
+            None,
         );
         validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
         // Every new family is declared and sampled.
@@ -642,11 +672,43 @@ mod tests {
             queue_depth: 1,
             ..HealthCounters::default()
         };
-        let text =
-            render_prometheus_full(&populated_snapshot(), &["fast"], None, None, Some(&health));
+        let text = render_prometheus_full(
+            &populated_snapshot(),
+            &["fast"],
+            None,
+            None,
+            Some(&health),
+            None,
+        );
         validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
         assert!(!text.contains("bouncer_ring_occupancy"));
         assert!(!text.contains("bouncer_slo_attainment_ratio"));
         assert!(text.contains("bouncer_queue_depth 1"));
+    }
+
+    #[test]
+    fn hedge_counters_render_and_validate() {
+        let hedges = HedgeCounters {
+            hedges: 42,
+            cancels: 37,
+        };
+        let text = render_prometheus_full(
+            &populated_snapshot(),
+            &["fast"],
+            None,
+            None,
+            None,
+            Some(&hedges),
+        );
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(text.contains("# TYPE bouncer_hedges_total counter"));
+        assert!(text.contains("bouncer_hedges_total 42"));
+        assert!(text.contains("# TYPE bouncer_hedge_cancels_total counter"));
+        assert!(text.contains("bouncer_hedge_cancels_total 37"));
+        // Without hedge counters the pair is absent and output validates.
+        let text = render_prometheus(&populated_snapshot(), &["fast"]);
+        validate_prometheus(&text).unwrap();
+        assert!(!text.contains("bouncer_hedges_total"));
+        assert!(!text.contains("bouncer_hedge_cancels_total"));
     }
 }

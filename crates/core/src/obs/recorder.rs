@@ -110,6 +110,13 @@ pub enum RecordKind {
     Incident = 22,
     /// [`Event::GraphStats`]; `a` = edges, `b` = heap bytes.
     GraphStats = 23,
+    /// [`Event::ReplicaRouted`]; `a` = shard, `b` = replica.
+    ReplicaRouted = 24,
+    /// [`Event::HedgeFired`]; `a` = shard (hi 32) | primary (lo 32),
+    /// `b` = hedge replica (hi 32) | delay ns clamped to 32 bits (lo 32).
+    HedgeFired = 25,
+    /// [`Event::HedgeCancelled`]; `a` = shard, `b` = cancelled replica.
+    HedgeCancelled = 26,
 }
 
 impl RecordKind {
@@ -141,6 +148,9 @@ impl RecordKind {
             RecordKind::EngineState => "engine_state",
             RecordKind::Incident => "incident",
             RecordKind::GraphStats => "graph_stats",
+            RecordKind::ReplicaRouted => "replica_routed",
+            RecordKind::HedgeFired => "hedge_fired",
+            RecordKind::HedgeCancelled => "hedge_cancelled",
         }
     }
 
@@ -169,13 +179,16 @@ impl RecordKind {
             21 => RecordKind::EngineState,
             22 => RecordKind::Incident,
             23 => RecordKind::GraphStats,
+            24 => RecordKind::ReplicaRouted,
+            25 => RecordKind::HedgeFired,
+            26 => RecordKind::HedgeCancelled,
             _ => RecordKind::Empty,
         }
     }
 
     /// Parses a [`RecordKind::name`] back, for dump readers.
     pub fn from_name(name: &str) -> Option<Self> {
-        (1..=23u8)
+        (1..=26u8)
             .map(RecordKind::from_u8)
             .find(|k| k.name() == name)
     }
@@ -363,6 +376,33 @@ impl Record {
                 heap_bytes,
                 ..
             } => Record::new(at, RecordKind::GraphStats, TY_NONE, edges, heap_bytes),
+            Event::ReplicaRouted { at, shard, replica } => Record::new(
+                at,
+                RecordKind::ReplicaRouted,
+                TY_NONE,
+                u64::from(shard),
+                u64::from(replica),
+            ),
+            Event::HedgeFired {
+                at,
+                shard,
+                primary,
+                hedge,
+                delay,
+            } => Record::new(
+                at,
+                RecordKind::HedgeFired,
+                TY_NONE,
+                (u64::from(shard) << 32) | u64::from(primary),
+                (u64::from(hedge) << 32) | delay.min(u32::MAX as u64),
+            ),
+            Event::HedgeCancelled { at, shard, replica } => Record::new(
+                at,
+                RecordKind::HedgeCancelled,
+                TY_NONE,
+                u64::from(shard),
+                u64::from(replica),
+            ),
         }
     }
 
@@ -915,8 +955,38 @@ mod tests {
     }
 
     #[test]
+    fn hedge_records_pack_their_payloads() {
+        let fired = Record::from_event(&Event::HedgeFired {
+            at: 7,
+            shard: 3,
+            primary: 0,
+            hedge: 1,
+            delay: 250_000,
+        });
+        assert_eq!(fired.kind, RecordKind::HedgeFired);
+        assert_eq!(fired.a >> 32, 3);
+        assert_eq!(fired.a & 0xFFFF_FFFF, 0);
+        assert_eq!(fired.b >> 32, 1);
+        assert_eq!(fired.b & 0xFFFF_FFFF, 250_000);
+        let routed = Record::from_event(&Event::ReplicaRouted {
+            at: 8,
+            shard: 2,
+            replica: 1,
+        });
+        assert_eq!(routed.kind, RecordKind::ReplicaRouted);
+        assert_eq!((routed.a, routed.b), (2, 1));
+        let cancelled = Record::from_event(&Event::HedgeCancelled {
+            at: 9,
+            shard: 2,
+            replica: 0,
+        });
+        assert_eq!(cancelled.kind, RecordKind::HedgeCancelled);
+        assert_eq!((cancelled.a, cancelled.b), (2, 0));
+    }
+
+    #[test]
     fn kind_names_round_trip() {
-        for v in 1..=22u8 {
+        for v in 1..=26u8 {
             let k = RecordKind::from_u8(v);
             assert_ne!(k, RecordKind::Empty);
             assert_eq!(RecordKind::from_name(k.name()), Some(k));

@@ -114,6 +114,14 @@ pub enum SpanKind {
         /// The shard the sub-query was routed to.
         shard: u16,
     },
+    /// A hedged duplicate sub-query that *lost* the race: send to the
+    /// moment the broker cancelled it. The winning copy is recorded as a
+    /// plain [`SpanKind::SubQuery`], so a round with hedging shows the
+    /// winner and the cancelled loser side by side.
+    HedgeSubQuery {
+        /// The shard the hedged duplicate was routed to.
+        shard: u16,
+    },
     /// Waiting in the shard host's queue.
     ShardQueue {
         /// The shard that queued the sub-query.
@@ -141,6 +149,7 @@ impl SpanKind {
             SpanKind::BrokerService => "broker_service",
             SpanKind::Round(_) => "round",
             SpanKind::SubQuery { .. } => "subquery",
+            SpanKind::HedgeSubQuery { .. } => "hedge_subquery",
             SpanKind::ShardQueue { .. } => "shard_queue",
             SpanKind::ShardService { .. } => "shard_service",
             SpanKind::Aggregation(_) => "aggregation",
@@ -159,6 +168,7 @@ impl SpanKind {
     pub fn shard(&self) -> Option<u16> {
         match *self {
             SpanKind::SubQuery { shard }
+            | SpanKind::HedgeSubQuery { shard }
             | SpanKind::ShardQueue { shard }
             | SpanKind::ShardService { shard } => Some(shard),
             _ => None,

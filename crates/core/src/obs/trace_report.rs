@@ -211,6 +211,12 @@ pub struct Breakdown {
     pub other: Nanos,
     /// Number of fan-out rounds observed.
     pub rounds: usize,
+    /// Hedged duplicate sub-queries that lost the race and were cancelled.
+    /// Losers never sit on the critical path (the winner's `subquery` span
+    /// does), so they are reported, not attributed.
+    pub hedge_losers: usize,
+    /// Total time the cancelled losers were in flight (send to cancel).
+    pub hedge_loser_time: Nanos,
     /// `(round, shard)` of the straggler in each round — the critical path.
     pub stragglers: Vec<(u16, u16)>,
     /// Root status label.
@@ -259,6 +265,10 @@ pub fn breakdown(tree: &TraceTree) -> Option<Breakdown> {
             "broker_queue" => b.broker_queue += s.dur(),
             "broker_service" => service_total += s.dur(),
             "aggregation" => b.aggregation += s.dur(),
+            "hedge_subquery" => {
+                b.hedge_losers += 1;
+                b.hedge_loser_time += s.dur();
+            }
             "query" if b.ty.is_none() => b.ty = s.ty,
             _ => {}
         }
@@ -474,6 +484,17 @@ pub fn render_report(report: &TraceReport) -> String {
             .collect();
         let _ = writeln!(out, "  critical-path stragglers: {}", tags.join(", "));
     }
+    let losers: usize = report.breakdowns.iter().map(|b| b.hedge_losers).sum();
+    if losers > 0 {
+        let loser_time: Nanos = report.breakdowns.iter().map(|b| b.hedge_loser_time).sum();
+        let _ = writeln!(
+            out,
+            "  hedged sub-queries: {} cancelled losers (winners attributed above), \
+             {:.3} ms mean in flight before cancel",
+            losers,
+            ms(loser_time) / losers as f64
+        );
+    }
     out
 }
 
@@ -585,6 +606,29 @@ mod tests {
         // total 1000 - admission 10 - queue 100 - service 890 = 0.
         assert_eq!(b.other, 0);
         assert_eq!(b.component_sum(), b.total);
+    }
+
+    #[test]
+    fn hedge_losers_are_reported_but_stay_off_the_critical_path() {
+        let mut records = sample_trace();
+        // A hedged duplicate of round 0 that lost: sent at 130, cancelled at
+        // 530 — later than the straggler's reply, which must NOT make it the
+        // straggler (it is not a `subquery` span).
+        let mut hedge = span(1, 30, Some(14), "hedge_subquery", 130, 530);
+        hedge.shard = Some(0);
+        records.push(hedge);
+        let a = assemble(records.clone());
+        let b = breakdown(&a.traces[0]).unwrap();
+        assert_eq!(b.hedge_losers, 1);
+        assert_eq!(b.hedge_loser_time, 400);
+        assert_eq!(b.stragglers, vec![(0, 1), (1, 0)], "loser not on critical path");
+        assert_eq!(b.component_sum(), b.total, "losers are not attributed");
+        let report = analyze(records);
+        let text = render_report(&report);
+        assert!(text.contains("hedged sub-queries: 1 cancelled losers"));
+        // Without hedge spans the line is absent.
+        let plain = render_report(&analyze(sample_trace()));
+        assert!(!plain.contains("hedged sub-queries"));
     }
 
     #[test]

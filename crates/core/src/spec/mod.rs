@@ -45,7 +45,9 @@ mod workload;
 
 pub use controller::{ControllerSpec, LawKind};
 pub use policy::{BouncerParams, HistogramSpec, PolicyEnv, PolicySpec, RuleSpec};
-pub use runtime::{DisciplineSpec, LiquidSpec, RuntimeSpec, SimSpec, TransportSpec};
+pub use runtime::{
+    DisciplineSpec, LiquidSpec, RuntimeSpec, SimSpec, StrategySpec, TransportSpec,
+};
 pub use workload::{ClassSpec, WorkloadSpec};
 
 use crate::slo::{Percentile, Slo, SloConfig};

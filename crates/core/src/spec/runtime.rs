@@ -102,12 +102,52 @@ pub enum TransportSpec {
     Tcp,
 }
 
+/// Broker→replica routing strategy in spec form (`liquid.strategy`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StrategySpec {
+    /// Every sub-query goes to the shard's primary replica.
+    #[default]
+    PrimaryOnly,
+    /// Route to the replica with the fewest in-flight sub-queries.
+    LoadBalanced,
+    /// Primary first, then a duplicate to a second replica after a
+    /// quantile-based delay; first reply wins, the loser is cancelled.
+    Hedged,
+}
+
+impl StrategySpec {
+    /// The canonical spec spelling.
+    pub fn render(self) -> &'static str {
+        match self {
+            StrategySpec::PrimaryOnly => "primary-only",
+            StrategySpec::LoadBalanced => "load-balanced",
+            StrategySpec::Hedged => "hedged",
+        }
+    }
+
+    fn parse(value: &str) -> Result<Self, SpecError> {
+        match value {
+            "primary-only" => Ok(StrategySpec::PrimaryOnly),
+            "load-balanced" => Ok(StrategySpec::LoadBalanced),
+            "hedged" => Ok(StrategySpec::Hedged),
+            other => Err(SpecError(format!(
+                "liquid.strategy must be `primary-only`, `load-balanced`, or \
+                 `hedged`, got `{other}`"
+            ))),
+        }
+    }
+}
+
 /// The mini-LIquid cluster runtime (`runtime = liquid`) and its
 /// `liquid.*` keys.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LiquidSpec {
     /// Number of shard hosts (`liquid.shards`).
     pub shards: u32,
+    /// Replicas per shard group (`liquid.replicas`); 1 = unreplicated.
+    pub replicas: u32,
+    /// Broker→replica routing strategy (`liquid.strategy`).
+    pub strategy: StrategySpec,
     /// Number of broker hosts (`liquid.brokers`).
     pub brokers: u32,
     /// Broker→shard transport (`liquid.transport = channels | rings | tcp`).
@@ -131,6 +171,8 @@ impl Default for LiquidSpec {
     fn default() -> Self {
         Self {
             shards: 2,
+            replicas: 1,
+            strategy: StrategySpec::PrimaryOnly,
             brokers: 1,
             transport: TransportSpec::Channels,
             batch_fanout: true,
@@ -297,6 +339,8 @@ impl LiquidSpec {
     fn apply_key(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
         match key {
             "shards" => self.shards = parse_pos_u32("liquid.shards", value)?,
+            "replicas" => self.replicas = parse_pos_u32("liquid.replicas", value)?,
+            "strategy" => self.strategy = StrategySpec::parse(value)?,
             "brokers" => self.brokers = parse_pos_u32("liquid.brokers", value)?,
             "transport" => {
                 self.transport = match value {
@@ -354,9 +398,9 @@ impl LiquidSpec {
             }
             other => {
                 return Err(SpecError(format!(
-                    "unknown key `liquid.{other}` (shards, brokers, transport, \
-                     batch_fanout, shard_max_utilization, rate_factors, \
-                     graph_vertices, graph_edges_per_vertex)"
+                    "unknown key `liquid.{other}` (shards, replicas, strategy, \
+                     brokers, transport, batch_fanout, shard_max_utilization, \
+                     rate_factors, graph_vertices, graph_edges_per_vertex)"
                 )))
             }
         }
@@ -367,6 +411,12 @@ impl LiquidSpec {
         let d = LiquidSpec::default();
         if self.shards != d.shards {
             out.push(format!("liquid.shards = {}", self.shards));
+        }
+        if self.replicas != d.replicas {
+            out.push(format!("liquid.replicas = {}", self.replicas));
+        }
+        if self.strategy != d.strategy {
+            out.push(format!("liquid.strategy = {}", self.strategy.render()));
         }
         if self.brokers != d.brokers {
             out.push(format!("liquid.brokers = {}", self.brokers));
@@ -495,6 +545,8 @@ mod tests {
         let mut rt = RuntimeSpec::Liquid(LiquidSpec::default());
         for (k, v) in [
             ("liquid.shards", "4"),
+            ("liquid.replicas", "2"),
+            ("liquid.strategy", "hedged"),
             ("liquid.transport", "tcp"),
             ("liquid.batch_fanout", "false"),
             ("liquid.rate_factors", "low:0.5 high:1.5"),
@@ -505,6 +557,8 @@ mod tests {
         }
         let liquid = rt.as_liquid().unwrap();
         assert_eq!(liquid.shards, 4);
+        assert_eq!(liquid.replicas, 2);
+        assert_eq!(liquid.strategy, StrategySpec::Hedged);
         assert_eq!(liquid.transport, TransportSpec::Tcp);
         assert!(!liquid.batch_fanout);
         assert_eq!(
@@ -568,5 +622,41 @@ mod tests {
         let mut liquid = RuntimeSpec::Liquid(LiquidSpec::default());
         assert!(liquid.apply_key("sim.parallelism", "8").is_err());
         assert!(liquid.apply_key("liquid.transport", "carrier-pigeon").is_err());
+        assert!(liquid.apply_key("liquid.replicas", "0").is_err());
+        assert!(liquid.apply_key("liquid.strategy", "round-robin").is_err());
+        // The unknown-key message advertises the replica keys.
+        let err = liquid.apply_key("liquid.bogus", "1").unwrap_err();
+        assert!(err.to_string().contains("replicas"), "{err}");
+        assert!(err.to_string().contains("strategy"), "{err}");
+    }
+
+    #[test]
+    fn liquid_strategy_spellings_and_render() {
+        let mut rt = RuntimeSpec::Liquid(LiquidSpec::default());
+        for (spelling, want) in [
+            ("primary-only", StrategySpec::PrimaryOnly),
+            ("load-balanced", StrategySpec::LoadBalanced),
+            ("hedged", StrategySpec::Hedged),
+        ] {
+            rt.apply_key("liquid.strategy", spelling).unwrap();
+            assert_eq!(rt.as_liquid().unwrap().strategy, want, "{spelling}");
+            assert_eq!(want.render(), spelling);
+        }
+        // Defaults (replicas = 1, primary-only) render no lines; non-default
+        // values render canonically.
+        let mut lines = Vec::new();
+        RuntimeSpec::Liquid(LiquidSpec::default()).render_lines(&mut lines);
+        assert!(lines
+            .iter()
+            .all(|l| !l.contains("replicas") && !l.contains("strategy")));
+        let mut lines = Vec::new();
+        RuntimeSpec::Liquid(LiquidSpec {
+            replicas: 3,
+            strategy: StrategySpec::LoadBalanced,
+            ..LiquidSpec::default()
+        })
+        .render_lines(&mut lines);
+        assert!(lines.contains(&"liquid.replicas = 3".to_string()));
+        assert!(lines.contains(&"liquid.strategy = load-balanced".to_string()));
     }
 }

@@ -8,8 +8,8 @@
 
 use bouncer_core::spec::{
     BouncerParams, ClassSpec, ControllerSpec, DisciplineSpec, HistogramSpec, LawKind, LiquidSpec,
-    PolicySpec, RuleSpec, RuntimeSpec, ScenarioSpec, SimSpec, SloEntrySpec, TransportSpec,
-    WorkloadSpec,
+    PolicySpec, RuleSpec, RuntimeSpec, ScenarioSpec, SimSpec, SloEntrySpec, StrategySpec,
+    TransportSpec, WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -166,15 +166,26 @@ fn arb_liquid() -> BoxedStrategy<LiquidSpec> {
         (
             (ident(), prop::collection::vec(pos_frac(), 1..6)),
             (1u32..2_000_000, 1u32..32),
+            (
+                1u32..4,
+                prop_oneof![
+                    Just(StrategySpec::PrimaryOnly),
+                    Just(StrategySpec::LoadBalanced),
+                    Just(StrategySpec::Hedged)
+                ],
+            ),
         ),
     )
         .prop_map(
             |(shards, brokers, transport, batch_fanout, shard_max_utilization, extra)| {
-                let (points, graph) = extra;
+                let (points, graph, replication) = extra;
                 let (prefix, factors) = points;
                 let (graph_vertices, graph_edges_per_vertex) = graph;
+                let (replicas, strategy) = replication;
                 LiquidSpec {
                     shards,
+                    replicas,
+                    strategy,
                     brokers,
                     transport,
                     batch_fanout,

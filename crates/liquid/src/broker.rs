@@ -13,28 +13,28 @@
 //! time rise with load on the real system but not in the ideal simulator.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bouncer_core::framework::{Gate, GateConfig, ServerStats, TakeOutcome, Ticker};
 use bouncer_core::obs::{
-    new_span_id, null_sink, Event, EventSink, QueryTrace, SpanId, SpanKind, SpanStatus,
-    TraceContext, Tracer,
+    new_span_id, null_sink, Event, EventSink, HedgeCounters, QueryTrace, SpanId, SpanKind,
+    SpanStatus, TraceContext, Tracer,
 };
 use bouncer_core::policy::{AdmissionPolicy, RejectReason};
 use bouncer_core::types::{TypeId, TypeRegistry};
 use bouncer_metrics::spsc::{RingProbe, Waker};
 use bouncer_metrics::{Clock, Nanos};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use crate::graph::VertexId;
 use crate::query::{Query, QueryKind, RepBatch, RepStatus, SubQuery, SubResponse};
 use crate::rings::{BrokerEngineRig, BrokerRig, LaneReq, LaneSet, ShardPortRings};
 use crate::shard::{ShardHost, SubOutcome};
-use crate::transport::ShardClient;
+use crate::transport::{CancelHandle, ShardClient};
 
 /// Builds the type registry for the LIquid workload: `default` plus
 /// QT1..QT11 in cost order (ids 1..=11).
@@ -106,6 +106,223 @@ struct Job {
     trace: Option<QueryTrace>,
 }
 
+/// How a broker routes each round's per-shard sub-query group among that
+/// shard's replicas. With one replica per shard every strategy degenerates
+/// to the flat (pre-replication) cluster, and the broker normalizes the
+/// strategy to [`RouteStrategy::PrimaryOnly`] so the R=1 data path — and
+/// its event stream — is byte-identical to the unreplicated one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteStrategy {
+    /// Always the shard's *primary* replica, `s mod R`. Staggering the
+    /// primary across groups spreads distinct shards over distinct replica
+    /// groups, so even primary-only routing uses the whole cluster.
+    #[default]
+    PrimaryOnly,
+    /// The replica with the fewest in-flight sub-query groups from this
+    /// broker (ties break to the primary). Purely local accounting: no
+    /// coordination with other brokers, like the paper's per-broker
+    /// admission state.
+    LoadBalanced,
+    /// Send to the primary; if no reply arrives within a quantile-based
+    /// hedge delay, duplicate the group to the next replica and take
+    /// whichever reply lands first. The loser is cancelled: a cancel
+    /// honored at dequeue refunds its queued demand, so hedging charges
+    /// the extra replica's gate only while the duplicate is actually
+    /// queued (replication-aware admission).
+    Hedged,
+}
+
+/// Shared routing state for one broker's engines: the replica layout, the
+/// per-replica in-flight counters behind [`RouteStrategy::LoadBalanced`],
+/// and the hedge telemetry counters.
+struct Router {
+    /// Replicas per logical shard (R). Physical index = `s * R + r`.
+    replicas: usize,
+    strategy: RouteStrategy,
+    /// In-flight sub-query groups per *physical* replica, `[s * R + r]`.
+    in_flight: Vec<AtomicUsize>,
+    hedges: AtomicU64,
+    hedge_cancels: AtomicU64,
+    /// The gate's sink; routing events ride the same stream as lifecycle
+    /// events.
+    sink: Arc<dyn EventSink>,
+}
+
+impl Router {
+    fn new(
+        n_shards: usize,
+        replicas: usize,
+        strategy: RouteStrategy,
+        sink: Arc<dyn EventSink>,
+    ) -> Self {
+        // R=1 makes every strategy PrimaryOnly; normalizing keeps the flat
+        // path free of hedge plumbing (and provably event-identical).
+        let strategy = if replicas == 1 { RouteStrategy::PrimaryOnly } else { strategy };
+        Self {
+            replicas,
+            strategy,
+            in_flight: (0..n_shards * replicas).map(|_| AtomicUsize::new(0)).collect(),
+            hedges: AtomicU64::new(0),
+            hedge_cancels: AtomicU64::new(0),
+            sink,
+        }
+    }
+
+    /// Shard `s`'s primary replica.
+    #[inline]
+    fn primary(&self, s: usize) -> usize {
+        s % self.replicas
+    }
+
+    /// Physical index of `(shard, replica)` in the flattened client/port
+    /// vectors.
+    #[inline]
+    fn phys(&self, s: usize, r: usize) -> usize {
+        s * self.replicas + r
+    }
+
+    /// Whether this broker races hedged duplicates (R > 1 and hedged).
+    #[inline]
+    fn hedging(&self) -> bool {
+        self.strategy == RouteStrategy::Hedged && self.replicas > 1
+    }
+
+    /// The replica the *first* send of a group goes to, per strategy.
+    fn pick(&self, s: usize) -> usize {
+        match self.strategy {
+            RouteStrategy::PrimaryOnly | RouteStrategy::Hedged => self.primary(s),
+            RouteStrategy::LoadBalanced => {
+                let primary = self.primary(s);
+                let mut best = primary;
+                let mut best_load = self.in_flight[self.phys(s, primary)].load(Ordering::Relaxed);
+                for r in 0..self.replicas {
+                    if r == primary {
+                        continue;
+                    }
+                    let load = self.in_flight[self.phys(s, r)].load(Ordering::Relaxed);
+                    // Strict `<`: ties (including the all-idle case) keep
+                    // the primary.
+                    if load < best_load {
+                        best = r;
+                        best_load = load;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    #[inline]
+    fn begin(&self, s: usize, r: usize) {
+        self.in_flight[self.phys(s, r)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn end(&self, s: usize, r: usize) {
+        self.in_flight[self.phys(s, r)].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Emits `replica_routed` — only on replicated clusters, so R=1 event
+    /// streams stay byte-identical to pre-replication ones (the clock is
+    /// not even read on the flat path).
+    fn note_routed(&self, clock: &Arc<dyn Clock>, s: usize, r: usize) {
+        if self.replicas > 1 && self.sink.enabled() {
+            self.sink.emit(&Event::ReplicaRouted {
+                at: clock.now(),
+                shard: s as u32,
+                replica: r as u32,
+            });
+        }
+    }
+
+    fn note_hedge_fired(&self, at: Nanos, s: usize, primary: usize, hedge: usize, delay: Nanos) {
+        self.hedges.fetch_add(1, Ordering::Relaxed);
+        if self.sink.enabled() {
+            self.sink.emit(&Event::HedgeFired {
+                at,
+                shard: s as u32,
+                primary: primary as u32,
+                hedge: hedge as u32,
+                delay,
+            });
+        }
+    }
+
+    fn note_hedge_cancelled(&self, at: Nanos, s: usize, replica: usize) {
+        self.hedge_cancels.fetch_add(1, Ordering::Relaxed);
+        if self.sink.enabled() {
+            self.sink.emit(&Event::HedgeCancelled {
+                at,
+                shard: s as u32,
+                replica: replica as u32,
+            });
+        }
+    }
+}
+
+/// Hedge-delay window size (samples of batch round-trip latency).
+const HEDGE_WINDOW: usize = 128;
+/// Below this many samples the window is too noisy; use the default delay.
+const HEDGE_MIN_SAMPLES: usize = 32;
+/// Hedge delay until the window warms up: 1ms.
+const HEDGE_DELAY_DEFAULT: Nanos = 1_000_000;
+/// Clamp floor: hedging under 200µs would duplicate healthy traffic.
+const HEDGE_DELAY_MIN: Nanos = 200_000;
+/// Clamp ceiling: past 5ms a straggler is better served by the sub-query
+/// timeout machinery than by a duplicate.
+const HEDGE_DELAY_MAX: Nanos = 5_000_000;
+
+/// Per-engine estimator of the hedge delay: a ring of recent sub-query
+/// batch round-trip latencies whose p95 (clamped to
+/// [`HEDGE_DELAY_MIN`], [`HEDGE_DELAY_MAX`]) is the wait before firing a
+/// duplicate. Engine-private — no locks on the data path; each engine
+/// adapts to the latency it actually observes.
+struct HedgeDelay {
+    samples: Vec<Nanos>,
+    /// Next write slot (ring).
+    next: usize,
+    /// Lifetime samples recorded (saturating at usize::MAX is fine).
+    seen: usize,
+    /// Scratch for the quantile sort.
+    sorted: Vec<Nanos>,
+}
+
+impl Default for HedgeDelay {
+    fn default() -> Self {
+        Self {
+            samples: Vec::with_capacity(HEDGE_WINDOW),
+            next: 0,
+            seen: 0,
+            sorted: Vec::with_capacity(HEDGE_WINDOW),
+        }
+    }
+}
+
+impl HedgeDelay {
+    fn record(&mut self, latency: Nanos) {
+        if self.samples.len() < HEDGE_WINDOW {
+            self.samples.push(latency);
+        } else {
+            self.samples[self.next] = latency;
+        }
+        self.next = (self.next + 1) % HEDGE_WINDOW;
+        self.seen = self.seen.saturating_add(1);
+    }
+
+    /// The current hedge delay.
+    fn current(&mut self) -> Duration {
+        if self.seen < HEDGE_MIN_SAMPLES {
+            return Duration::from_nanos(HEDGE_DELAY_DEFAULT);
+        }
+        self.sorted.clear();
+        self.sorted.extend_from_slice(&self.samples);
+        self.sorted.sort_unstable();
+        let idx = (self.sorted.len() * 95) / 100;
+        let p95 = self.sorted[idx.min(self.sorted.len() - 1)];
+        Duration::from_nanos(p95.clamp(HEDGE_DELAY_MIN, HEDGE_DELAY_MAX))
+    }
+}
+
 /// Broker configuration.
 #[derive(Debug, Clone)]
 pub struct BrokerConfig {
@@ -162,6 +379,8 @@ pub struct Broker {
     parallelism: u32,
     query_deadline: Option<Duration>,
     tracer: Option<Arc<Tracer>>,
+    /// Replica routing state shared by the engines.
+    router: Arc<Router>,
     /// Present iff the broker was spawned in rings mode
     /// ([`Broker::spawn_rings`]): the client-facing lane set plus the
     /// engine stop/wake plumbing. `None` = channel mode.
@@ -186,16 +405,42 @@ const RINGS_CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
 
 impl Broker {
     /// Spawns a broker over the given shard connections, gating admissions
-    /// with `policy` (the policy under evaluation in §5.4).
+    /// with `policy` (the policy under evaluation in §5.4). The flat,
+    /// unreplicated entry point: one client per logical shard. Delegates to
+    /// [`Broker::spawn_replicated`] with one replica per shard, which is
+    /// byte-identical to the pre-replication data path.
     pub fn spawn(
         shards: Vec<Arc<dyn ShardClient>>,
         policy: Arc<dyn AdmissionPolicy>,
         clock: Arc<dyn Clock>,
         cfg: BrokerConfig,
     ) -> Arc<Self> {
+        let groups = shards.into_iter().map(|c| vec![c]).collect();
+        Self::spawn_replicated(groups, RouteStrategy::PrimaryOnly, policy, clock, cfg)
+    }
+
+    /// Spawns a broker over replica groups: `shard_groups[s]` holds the R
+    /// clients materializing logical shard `s` (every group the same
+    /// length), and `strategy` picks which replica services each round's
+    /// per-shard sub-query group.
+    pub fn spawn_replicated(
+        shard_groups: Vec<Vec<Arc<dyn ShardClient>>>,
+        strategy: RouteStrategy,
+        policy: Arc<dyn AdmissionPolicy>,
+        clock: Arc<dyn Clock>,
+        cfg: BrokerConfig,
+    ) -> Arc<Self> {
         assert!(cfg.engines > 0);
-        assert!(!shards.is_empty());
+        assert!(!shard_groups.is_empty());
+        let replicas = shard_groups[0].len();
+        assert!(replicas > 0, "a shard needs at least one replica");
+        assert!(
+            shard_groups.iter().all(|g| g.len() == replicas),
+            "every logical shard must have the same replica count"
+        );
+        let n_shards = shard_groups.len();
         let registry = liquid_registry();
+        let sink = cfg.sink.clone().unwrap_or_else(null_sink);
         let gate: Arc<Gate<Job>> = Arc::new(Gate::new_with_sink(
             policy.clone(),
             registry.len(),
@@ -204,21 +449,27 @@ impl Broker {
                 max_queue_len: cfg.max_queue_len,
                 ..GateConfig::default()
             },
-            cfg.sink.clone().unwrap_or_else(null_sink),
+            sink.clone(),
         ));
+        // Flatten replica-major: physical index `s * R + r`.
+        let shards: Vec<Arc<dyn ShardClient>> = shard_groups.into_iter().flatten().collect();
         let shards = Arc::new(shards);
+        let router = Arc::new(Router::new(n_shards, replicas, strategy, sink));
         // A tracer whose sink is disabled behaves as no tracer at all.
         let tracer = cfg.tracer.filter(|t| t.enabled());
         let engines = (0..cfg.engines)
             .map(|i| {
                 let gate = Arc::clone(&gate);
                 let shards = Arc::clone(&shards);
+                let router = Arc::clone(&router);
                 let timeout = cfg.subquery_timeout;
                 let tracer = tracer.clone();
                 let batch = cfg.batch_fanout;
                 std::thread::Builder::new()
                     .name(format!("broker-engine{i}"))
-                    .spawn(move || engine_loop(&gate, &shards, timeout, batch, tracer.as_deref()))
+                    .spawn(move || {
+                        engine_loop(&gate, &shards, &router, timeout, batch, tracer.as_deref())
+                    })
                     .expect("failed to spawn broker engine")
             })
             .collect();
@@ -230,6 +481,7 @@ impl Broker {
             parallelism: cfg.engines,
             query_deadline: cfg.query_deadline,
             tracer,
+            router,
             rings: None,
         })
     }
@@ -249,8 +501,13 @@ impl Broker {
     /// pops. One caveat follows from this: queue-length-based policies see
     /// the (tiny, bounded) ring depth rather than a broker-wide queue
     /// length, so `MaxQL`-style limits are not meaningful in rings mode.
+    /// `hosts` are the *physical* in-process shard hosts in replica-major
+    /// `[s * replicas + r]` order (matching the rig from
+    /// [`crate::rings::build_topology`] with the same `replicas`).
     pub(crate) fn spawn_rings(
         hosts: Vec<Arc<ShardHost>>,
+        replicas: usize,
+        strategy: RouteStrategy,
         policy: Arc<dyn AdmissionPolicy>,
         clock: Arc<dyn Clock>,
         cfg: BrokerConfig,
@@ -258,12 +515,20 @@ impl Broker {
     ) -> Arc<Self> {
         assert!(cfg.engines > 0);
         assert!(!hosts.is_empty());
+        assert!(replicas > 0);
+        assert_eq!(
+            hosts.len() % replicas,
+            0,
+            "physical host count must be a multiple of the replica count"
+        );
         assert_eq!(
             rig.engines.len(),
             cfg.engines as usize,
             "ring topology engine count must match BrokerConfig.engines"
         );
+        let n_shards = hosts.len() / replicas;
         let registry = liquid_registry();
+        let sink = cfg.sink.clone().unwrap_or_else(null_sink);
         let gate: Arc<Gate<Job>> = Arc::new(Gate::new_with_sink(
             policy.clone(),
             registry.len(),
@@ -272,9 +537,10 @@ impl Broker {
                 max_queue_len: cfg.max_queue_len,
                 ..GateConfig::default()
             },
-            cfg.sink.clone().unwrap_or_else(null_sink),
+            sink.clone(),
         ));
         let hosts = Arc::new(hosts);
+        let router = Arc::new(Router::new(n_shards, replicas, strategy, sink));
         let tracer = cfg.tracer.filter(|t| t.enabled());
         let stop = Arc::new(AtomicBool::new(false));
         let wakers: Vec<Arc<Waker>> = rig.engines.iter().map(|e| Arc::clone(&e.waker)).collect();
@@ -286,6 +552,7 @@ impl Broker {
             .map(|(i, engine_rig)| {
                 let gate = Arc::clone(&gate);
                 let hosts = Arc::clone(&hosts);
+                let router = Arc::clone(&router);
                 let timeout = cfg.subquery_timeout;
                 let deadline = cfg.query_deadline;
                 let tracer = tracer.clone();
@@ -298,6 +565,7 @@ impl Broker {
                             i as u32,
                             engine_rig,
                             &hosts,
+                            &router,
                             timeout,
                             deadline,
                             &stop,
@@ -315,6 +583,7 @@ impl Broker {
             parallelism: cfg.engines,
             query_deadline: cfg.query_deadline,
             tracer,
+            router,
             rings: Some(RingsFront {
                 lanes: rig.lanes,
                 stop,
@@ -476,6 +745,26 @@ impl Broker {
         self.parallelism
     }
 
+    /// Replicas per logical shard (R; 1 on a flat broker).
+    pub fn replicas(&self) -> usize {
+        self.router.replicas
+    }
+
+    /// The routing strategy in effect (normalized to
+    /// [`RouteStrategy::PrimaryOnly`] at R=1).
+    pub fn strategy(&self) -> RouteStrategy {
+        self.router.strategy
+    }
+
+    /// Hedge telemetry: duplicates fired and losers cancelled by this
+    /// broker's engines since spawn.
+    pub fn hedge_counters(&self) -> HedgeCounters {
+        HedgeCounters {
+            hedges: self.router.hedges.load(Ordering::Relaxed),
+            cancels: self.router.hedge_cancels.load(Ordering::Relaxed),
+        }
+    }
+
     /// Current FIFO queue length.
     pub fn queue_len(&self) -> usize {
         self.gate.queue_len()
@@ -520,6 +809,7 @@ impl Broker {
 fn engine_loop(
     gate: &Gate<Job>,
     shards: &[Arc<dyn ShardClient>],
+    router: &Arc<Router>,
     timeout: Duration,
     batch: bool,
     tracer: Option<&Tracer>,
@@ -527,7 +817,15 @@ fn engine_loop(
     // One executor per engine thread: its scratch buffers (sub-query
     // batches, reply accumulators, plan frontiers) live for the thread's
     // lifetime and are reused across queries.
-    let mut exec = Exec::new(Port::Channels(shards), shards.len(), timeout, batch, gate.clock());
+    let n_shards = shards.len() / router.replicas;
+    let mut exec = Exec::new(
+        Port::Channels(shards),
+        n_shards,
+        router,
+        timeout,
+        batch,
+        gate.clock(),
+    );
     loop {
         match gate.take(Some(Duration::from_millis(100))) {
             TakeOutcome::Query(admitted) => {
@@ -597,6 +895,7 @@ fn rings_engine_loop(
     engine: u32,
     rig: BrokerEngineRig,
     hosts: &[Arc<ShardHost>],
+    router: &Arc<Router>,
     timeout: Duration,
     query_deadline: Option<Duration>,
     stop: &AtomicBool,
@@ -609,7 +908,7 @@ fn rings_engine_loop(
         waker,
     } = rig;
     waker.register_current();
-    assert_eq!(ports.len(), hosts.len(), "one ring port per shard host");
+    assert_eq!(ports.len(), hosts.len(), "one ring port per physical shard host");
     let mut ports: Vec<RingPort> = ports
         .into_iter()
         .zip(hosts.iter())
@@ -619,10 +918,17 @@ fn rings_engine_loop(
             poisoned: false,
         })
         .collect();
-    let n_shards = ports.len();
+    let n_shards = ports.len() / router.replicas;
     // Rings mode is always batched: the ring slot carries the whole
     // per-shard group.
-    let mut exec = Exec::new(Port::Rings(&mut ports), n_shards, timeout, true, gate.clock());
+    let mut exec = Exec::new(
+        Port::Rings(&mut ports),
+        n_shards,
+        router,
+        timeout,
+        true,
+        gate.clock(),
+    );
     // Flight-recorder breadcrumb state: emit `engine_state` only on
     // park/resume *transitions* (a 1ms park timeout re-park is not one),
     // so an idle cluster leaves two records, not a 1kHz stream.
@@ -791,6 +1097,23 @@ impl PlanTrace {
         }
     }
 
+    /// Records the span of a hedged duplicate that lost its race, covering
+    /// send → cancel. Recorded eagerly at cancel time under the open round
+    /// (the winner's [`SpanKind::SubQuery`] span closes separately via
+    /// [`PlanTrace::on_recv`]), so losers are visible in traces without
+    /// ever landing on the critical path.
+    fn on_hedge_cancel(&mut self, shard: u16, sent_at: Nanos, now: Nanos) {
+        if let Some((round_span, _)) = self.round {
+            self.qt.record(
+                SpanKind::HedgeSubQuery { shard },
+                new_span_id(),
+                round_span,
+                sent_at,
+                now,
+            );
+        }
+    }
+
     fn close_round(&mut self, now: Nanos) {
         if let Some((round_span, round_start)) = self.round.take() {
             self.qt.record(
@@ -915,8 +1238,21 @@ struct Scratch {
     /// Owning shard per staged item, in staging order.
     slots: Vec<usize>,
     /// Groups actually sent this round (rings mode), as
-    /// `(shard, sub-query span)`.
-    sent: Vec<(usize, Option<SpanId>)>,
+    /// `(shard, replica, sub-query span, sent-at)`.
+    sent: Vec<(usize, usize, Option<SpanId>, Nanos)>,
+    /// Per-engine hedge-delay estimator (hedged strategy only).
+    hedge: HedgeDelay,
+    /// Retained copies of each sent group's sub-queries, parallel to
+    /// `sent` (rings hedged mode: the originals are swapped into the
+    /// primary's ring slot, so a later duplicate needs its own buffer).
+    hedge_copies: Vec<Vec<SubQuery>>,
+    /// Cancel flags planted in the primary sends, parallel to `sent`
+    /// (rings hedged mode; flipped when the hedge wins the race).
+    hedge_flags: Vec<Option<Arc<AtomicBool>>>,
+    /// Discard buffers for draining a hedge loser's reply without
+    /// clobbering the winner's response (rings mode).
+    discard_batch: RepBatch,
+    discard_subs: Vec<SubQuery>,
     /// Per-shard responses for the round just run.
     resp: Vec<RepBatch>,
     /// Per-shard read cursors into `resp`.
@@ -980,6 +1316,7 @@ impl Scratch {
 struct Exec<'a> {
     port: Port<'a>,
     n_shards: usize,
+    router: &'a Router,
     timeout: Duration,
     /// Coalesce per-shard fan-out into batches (see
     /// [`BrokerConfig::batch_fanout`]); always `true` in rings mode.
@@ -1024,6 +1361,10 @@ fn stage_outcome(rep: &mut RepBatch, tag: SubTag, outcome: SubOutcome) -> Result
             rep.status.push(RepStatus::Error);
             return Ok(());
         }
+        SubOutcome::Cancelled => {
+            rep.status.push(RepStatus::Cancelled);
+            return Ok(());
+        }
         SubOutcome::Ok(resp) => resp,
     };
     match (tag, resp) {
@@ -1054,12 +1395,16 @@ fn reject_group(sc: &mut Scratch, s: usize) {
 
 /// Runs one staged round over channel-mode shard clients: fan out every
 /// group (or item, unbatched) before waiting any, then demultiplex the
-/// outcomes into the per-shard [`RepBatch`]es.
+/// outcomes into the per-shard [`RepBatch`]es. Every send is routed to a
+/// replica by the broker's [`RouteStrategy`]; at R=1 the routing collapses
+/// to the identity (`phys(s, 0) == s`) and the path is byte-identical to
+/// the pre-replication one.
 fn run_round_channels(
     sc: &mut Scratch,
     trace: &mut Option<PlanTrace>,
     clock: &Arc<dyn Clock>,
     clients: &[Arc<dyn ShardClient>],
+    router: &Router,
     timeout: Duration,
     batch: bool,
 ) -> Result<(), PlanError> {
@@ -1068,19 +1413,25 @@ fn run_round_channels(
         // one message and one reply channel per sub-query, each carrying
         // its own copy of any shared payload (the old `n.clone()` per
         // `CountIntersect` target) — so the `liquid_datapath` bench
-        // measures an honest before/after.
-        let mut pendings: Vec<(usize, SubTag, PendingSub)> = Vec::with_capacity(sc.slots.len());
+        // measures an honest before/after. Routing applies per item;
+        // hedging never does (it is a batch-path feature).
+        let mut pendings: Vec<(usize, usize, SubTag, PendingSub)> =
+            Vec::with_capacity(sc.slots.len());
         for oi in 0..sc.shard_order.len() {
             let s = sc.shard_order[oi];
             for idx in 0..sc.per_shard[s].len() {
                 let sub = deep_copy_payload(sc.per_shard[s][idx].clone());
                 let tag = sc.tags[s][idx];
+                let r = router.pick(s);
                 let (ctx, sub_span) = trace_send(trace, clock, s);
+                router.begin(s, r);
+                router.note_routed(clock, s, r);
                 pendings.push((
                     s,
+                    r,
                     tag,
                     PendingSub {
-                        rx: clients[s].submit(sub, ctx),
+                        rx: clients[router.phys(s, r)].submit(sub, ctx),
                         sub_span,
                     },
                 ));
@@ -1088,8 +1439,9 @@ fn run_round_channels(
             sc.per_shard[s].clear();
         }
         let mut first_err = None;
-        for (s, tag, pending) in pendings {
+        for (s, r, tag, pending) in pendings {
             let result = pending.rx.recv_timeout(timeout);
+            router.end(s, r);
             trace_recv(trace, clock, pending.sub_span);
             match result {
                 Ok(outcome) => {
@@ -1105,35 +1457,48 @@ fn run_round_channels(
             Some(e) => Err(e),
         };
     }
-    if sc.slots.len() == 1 {
+    if sc.slots.len() == 1 && !router.hedging() {
         // Single-item fast path: most rounds of the cheap templates carry
         // exactly one sub-query, and wrapping it in a batch costs a `Vec`
         // build broker-side and a reply-vector build shard-side. Send it
         // as a plain message instead (still one admission decision either
-        // way, so batched and unbatched stay decision-equivalent).
+        // way, so batched and unbatched stay decision-equivalent). In
+        // hedged mode the round takes the batch path instead, so every
+        // round — single-item included — is hedgeable and cancellable.
         let s = sc.slots[0];
         let sub = sc.per_shard[s].pop().expect("one staged item");
         let tag = sc.tags[s][0];
+        let r = router.pick(s);
         let (ctx, sub_span) = trace_send(trace, clock, s);
-        let rx = clients[s].submit(sub, ctx);
+        router.begin(s, r);
+        router.note_routed(clock, s, r);
+        let rx = clients[router.phys(s, r)].submit(sub, ctx);
         let result = rx.recv_timeout(timeout);
+        router.end(s, r);
         trace_recv(trace, clock, sub_span);
         return match result {
             Ok(outcome) => stage_outcome(&mut sc.resp[s], tag, outcome),
             Err(_) => Err(PlanError::ShardFailed),
         };
     }
+    if router.hedging() {
+        return run_round_channels_hedged(sc, trace, clock, clients, router, timeout);
+    }
     // Fan out every group before waiting on any...
-    let mut groups: Vec<(usize, PendingBatch)> = Vec::with_capacity(sc.shard_order.len());
+    let mut groups: Vec<(usize, usize, PendingBatch)> = Vec::with_capacity(sc.shard_order.len());
     for oi in 0..sc.shard_order.len() {
         let s = sc.shard_order[oi];
         let subs = std::mem::take(&mut sc.per_shard[s]);
         let n = subs.len();
+        let r = router.pick(s);
         let (ctx, sub_span) = trace_send(trace, clock, s);
+        router.begin(s, r);
+        router.note_routed(clock, s, r);
         groups.push((
             s,
+            r,
             PendingBatch {
-                rx: clients[s].submit_batch(subs, ctx),
+                rx: clients[router.phys(s, r)].submit_batch(subs, ctx),
                 n,
                 sub_span,
             },
@@ -1142,8 +1507,9 @@ fn run_round_channels(
     // ...then gather every group even after an error, so the round's spans
     // close and no receiver is abandoned mid-flight.
     let mut first_err = None;
-    for (s, pending) in groups {
+    for (s, r, pending) in groups {
         let result = pending.rx.recv_timeout(timeout);
+        router.end(s, r);
         trace_recv(trace, clock, pending.sub_span);
         match result {
             // A reply of the wrong width is a protocol violation.
@@ -1164,6 +1530,209 @@ fn run_round_channels(
     }
 }
 
+/// An in-flight hedgeable batch: the primary's reply channel and cancel
+/// handle, plus a retained copy of the sub-queries in case the hedge fires.
+struct HedgedPending {
+    s: usize,
+    /// Primary replica the first send went to.
+    r: usize,
+    rx: Receiver<Vec<SubOutcome>>,
+    cancel: CancelHandle,
+    n: usize,
+    sub_span: Option<SpanId>,
+    subs: Vec<SubQuery>,
+    sent_at: Nanos,
+}
+
+/// The hedged batch path: fan out every group to its primary replica
+/// (cancellably), then per group wait up to the engine's quantile hedge
+/// delay; a straggler gets a duplicate on the next replica and the two
+/// race — first reply wins, the loser is cancelled (its queued demand is
+/// refunded at dequeue shard-side) and recorded as a
+/// [`SpanKind::HedgeSubQuery`] loser span.
+fn run_round_channels_hedged(
+    sc: &mut Scratch,
+    trace: &mut Option<PlanTrace>,
+    clock: &Arc<dyn Clock>,
+    clients: &[Arc<dyn ShardClient>],
+    router: &Router,
+    timeout: Duration,
+) -> Result<(), PlanError> {
+    let mut groups: Vec<HedgedPending> = Vec::with_capacity(sc.shard_order.len());
+    for oi in 0..sc.shard_order.len() {
+        let s = sc.shard_order[oi];
+        let subs = std::mem::take(&mut sc.per_shard[s]);
+        let n = subs.len();
+        // The copy is cheap: sub-queries share payloads via `Arc`.
+        let copy = subs.clone();
+        let r = router.pick(s);
+        let (ctx, sub_span) = trace_send(trace, clock, s);
+        let sent_at = clock.now();
+        router.begin(s, r);
+        router.note_routed(clock, s, r);
+        let (rx, cancel) = clients[router.phys(s, r)].submit_batch_cancellable(subs, ctx);
+        groups.push(HedgedPending {
+            s,
+            r,
+            rx,
+            cancel,
+            n,
+            sub_span,
+            subs: copy,
+            sent_at,
+        });
+    }
+    let delay = sc.hedge.current();
+    let first_wait = delay.min(timeout);
+    let mut first_err = None;
+    for pending in groups {
+        let HedgedPending {
+            s,
+            r,
+            rx,
+            cancel,
+            n,
+            sub_span,
+            subs,
+            sent_at,
+        } = pending;
+        let resolution: Result<Vec<SubOutcome>, PlanError> = match rx.recv_timeout(first_wait) {
+            Ok(outcomes) => {
+                // Primary answered inside the hedge delay: no duplicate.
+                router.end(s, r);
+                sc.hedge.record(clock.now().saturating_sub(sent_at));
+                Ok(outcomes)
+            }
+            Err(RecvTimeoutError::Timeout) if first_wait < timeout => race_hedge(
+                sc, trace, clock, clients, router, timeout, s, r, &rx, cancel, subs, sent_at,
+                delay,
+            ),
+            Err(_) => {
+                router.end(s, r);
+                Err(PlanError::ShardFailed)
+            }
+        };
+        trace_recv(trace, clock, sub_span);
+        match resolution {
+            Ok(outcomes) if outcomes.len() == n => {
+                for (idx, outcome) in outcomes.into_iter().enumerate() {
+                    let tag = sc.tags[s][idx];
+                    if let Err(e) = stage_outcome(&mut sc.resp[s], tag, outcome) {
+                        first_err = first_err.or(Some(e));
+                    }
+                }
+            }
+            Ok(_) => first_err = first_err.or(Some(PlanError::ShardFailed)),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Fires the duplicate for a straggling primary and races the two replies.
+/// Returns the winner's outcomes; the loser is cancelled. The race is
+/// bounded by the full sub-query `timeout` from the hedge fire, so a
+/// hedged group never waits less than an unhedged one would have.
+#[allow(clippy::too_many_arguments)]
+fn race_hedge(
+    sc: &mut Scratch,
+    trace: &mut Option<PlanTrace>,
+    clock: &Arc<dyn Clock>,
+    clients: &[Arc<dyn ShardClient>],
+    router: &Router,
+    timeout: Duration,
+    s: usize,
+    r: usize,
+    primary_rx: &Receiver<Vec<SubOutcome>>,
+    primary_cancel: CancelHandle,
+    subs: Vec<SubQuery>,
+    sent_at: Nanos,
+    delay: Duration,
+) -> Result<Vec<SubOutcome>, PlanError> {
+    let hr = (r + 1) % router.replicas;
+    let fired_at = clock.now();
+    router.begin(s, hr);
+    // The duplicate is untraced (ctx `None`): the loser appears only as the
+    // broker-side `hedge_subquery` span, never as shard-side spans that
+    // would pollute the winner's attribution.
+    let (hedge_rx, hedge_cancel) =
+        clients[router.phys(s, hr)].submit_batch_cancellable(subs, None);
+    router.note_hedge_fired(fired_at, s, r, hr, delay.as_nanos() as Nanos);
+    let mut primary_cancel = Some(primary_cancel);
+    let mut hedge_cancel = Some(hedge_cancel);
+    let mut primary_dead = false;
+    let mut hedge_dead = false;
+    let deadline = fired_at + timeout.as_nanos() as Nanos;
+    loop {
+        if primary_dead && hedge_dead {
+            router.end(s, r);
+            router.end(s, hr);
+            return Err(PlanError::ShardFailed);
+        }
+        let now = clock.now();
+        if now >= deadline {
+            // Nobody answered within the full timeout: cancel both (best
+            // effort) and fail the group like an unhedged timeout would.
+            if let Some(c) = primary_cancel.take() {
+                c.cancel();
+            }
+            if let Some(c) = hedge_cancel.take() {
+                c.cancel();
+            }
+            router.end(s, r);
+            router.end(s, hr);
+            return Err(PlanError::ShardFailed);
+        }
+        // The channel shim has no `select`; poll both replicas instead. The
+        // 20us nap between polls adds latency well under the minimum hedge
+        // delay (200us), and a race lives at most one sub-query timeout.
+        if !primary_dead {
+            match primary_rx.try_recv() {
+                Ok(outcomes) => {
+                    let now = clock.now();
+                    if let Some(c) = hedge_cancel.take() {
+                        c.cancel();
+                    }
+                    router.end(s, r);
+                    router.end(s, hr);
+                    router.note_hedge_cancelled(now, s, hr);
+                    if let Some(pt) = trace.as_mut() {
+                        pt.on_hedge_cancel(s as u16, fired_at, now);
+                    }
+                    sc.hedge.record(now.saturating_sub(sent_at));
+                    return Ok(outcomes);
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => primary_dead = true,
+            }
+        }
+        if !hedge_dead {
+            match hedge_rx.try_recv() {
+                Ok(outcomes) => {
+                    let now = clock.now();
+                    if let Some(c) = primary_cancel.take() {
+                        c.cancel();
+                    }
+                    router.end(s, r);
+                    router.end(s, hr);
+                    router.note_hedge_cancelled(now, s, r);
+                    if let Some(pt) = trace.as_mut() {
+                        pt.on_hedge_cancel(s as u16, sent_at, now);
+                    }
+                    sc.hedge.record(now.saturating_sub(fired_at));
+                    return Ok(outcomes);
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => hedge_dead = true,
+            }
+        }
+        std::thread::sleep(Duration::from_micros(20));
+    }
+}
+
 /// Runs one staged round over this engine's shard rings: per group, admit
 /// at the shard's gate, then *swap* the staged sub-query vector into the
 /// ring slot (no copy, no allocation); per reply, swap the response batch
@@ -1175,13 +1744,16 @@ fn run_round_rings(
     trace: &mut Option<PlanTrace>,
     clock: &Arc<dyn Clock>,
     ports: &mut [RingPort],
+    router: &Router,
     timeout: Duration,
 ) -> Result<(), PlanError> {
     debug_assert!(sc.sent.is_empty());
+    let hedging = router.hedging();
     let mut first_err = None;
     for oi in 0..sc.shard_order.len() {
         let s = sc.shard_order[oi];
-        let port = &mut ports[s];
+        let r = router.pick(s);
+        let port = &mut ports[router.phys(s, r)];
         if port.poisoned {
             sc.per_shard[s].clear();
             first_err = first_err.or(Some(PlanError::ShardFailed));
@@ -1190,15 +1762,31 @@ fn run_round_rings(
         let (ctx, sub_span) = trace_send(trace, clock, s);
         match port.host.ring_admit() {
             Ok(now) => {
+                // Hedged: retain a copy of the group (the original buffer
+                // is about to be swapped into the ring slot) and plant a
+                // cancel flag the broker can flip if a duplicate wins.
+                let (copy, flag) = if hedging {
+                    (sc.per_shard[s].clone(), Some(Arc::new(AtomicBool::new(false))))
+                } else {
+                    (Vec::new(), None)
+                };
                 let per_shard = &mut sc.per_shard[s];
+                let planted = flag.clone();
                 let pushed = port.rings.req.try_push(|slot| {
                     std::mem::swap(&mut slot.subs, per_shard);
                     slot.enqueued_at = now;
                     slot.ctx = ctx;
+                    slot.cancel = planted;
                 });
                 if pushed {
                     port.host.ring_enqueued(now, port.rings.req.len());
-                    sc.sent.push((s, sub_span));
+                    router.begin(s, r);
+                    router.note_routed(clock, s, r);
+                    sc.sent.push((s, r, sub_span, now));
+                    if hedging {
+                        sc.hedge_copies.push(copy);
+                        sc.hedge_flags.push(flag);
+                    }
                 } else {
                     // A full request ring is the shard refusing work at
                     // its (bounded) queue: account it as a full-queue
@@ -1214,25 +1802,197 @@ fn run_round_rings(
             }
         }
     }
+    let delay = if hedging { sc.hedge.current() } else { Duration::ZERO };
     for si in 0..sc.sent.len() {
-        let (s, sub_span) = sc.sent[si];
-        let port = &mut ports[s];
-        let resp = &mut sc.resp[s];
-        let hand_back = &mut sc.per_shard[s];
-        let popped = port.rings.rep.pop_wait(timeout, |out| {
-            std::mem::swap(&mut out.batch, resp);
-            std::mem::swap(&mut out.subs, hand_back);
-        });
-        trace_recv(trace, clock, sub_span);
-        if popped.is_none() {
-            port.poisoned = true;
-            first_err = first_err.or(Some(PlanError::ShardFailed));
+        let (s, r, sub_span, sent_at) = sc.sent[si];
+        let p = router.phys(s, r);
+        if !hedging {
+            let port = &mut ports[p];
+            let resp = &mut sc.resp[s];
+            let hand_back = &mut sc.per_shard[s];
+            let popped = port.rings.rep.pop_wait(timeout, |out| {
+                std::mem::swap(&mut out.batch, resp);
+                std::mem::swap(&mut out.subs, hand_back);
+            });
+            router.end(s, r);
+            trace_recv(trace, clock, sub_span);
+            if popped.is_none() {
+                port.poisoned = true;
+                first_err = first_err.or(Some(PlanError::ShardFailed));
+            }
+            // Drop the handed-back sub-queries now (releasing their payload
+            // `Arc`s back to the pool deterministically) but keep the buffer.
+            sc.per_shard[s].clear();
+            continue;
         }
-        // Drop the handed-back sub-queries now (releasing their payload
-        // `Arc`s back to the pool deterministically) but keep the buffer.
+        // Hedged wait: give the primary the quantile delay first.
+        let first_wait = delay.min(timeout);
+        let popped = {
+            let resp = &mut sc.resp[s];
+            let hand_back = &mut sc.per_shard[s];
+            ports[p].rings.rep.pop_wait(first_wait, |out| {
+                std::mem::swap(&mut out.batch, resp);
+                std::mem::swap(&mut out.subs, hand_back);
+            })
+        };
+        if popped.is_some() {
+            router.end(s, r);
+            sc.hedge.record(clock.now().saturating_sub(sent_at));
+            trace_recv(trace, clock, sub_span);
+            sc.per_shard[s].clear();
+            continue;
+        }
+        // Straggler: try to fire the duplicate on the next replica's own
+        // ring port, charging *its* gate (incremental demand).
+        let hr = (r + 1) % router.replicas;
+        let hp = router.phys(s, hr);
+        let mut fired_at = 0;
+        let mut hedge_flag: Option<Arc<AtomicBool>> = None;
+        if first_wait < timeout && !ports[hp].poisoned {
+            if let Ok(now) = ports[hp].host.ring_admit() {
+                let flag = Arc::new(AtomicBool::new(false));
+                let copy = &mut sc.hedge_copies[si];
+                let planted = Some(Arc::clone(&flag));
+                let pushed = ports[hp].rings.req.try_push(|slot| {
+                    std::mem::swap(&mut slot.subs, copy);
+                    slot.enqueued_at = now;
+                    slot.ctx = None;
+                    slot.cancel = planted;
+                });
+                if pushed {
+                    ports[hp].host.ring_enqueued(now, ports[hp].rings.req.len());
+                    router.begin(s, hr);
+                    router.note_hedge_fired(now, s, r, hr, delay.as_nanos() as Nanos);
+                    fired_at = now;
+                    hedge_flag = Some(flag);
+                } else {
+                    ports[hp].host.ring_reject_full(now);
+                }
+            }
+        }
+        let Some(hedge_flag) = hedge_flag else {
+            // Couldn't hedge (admission refused / ring full / poisoned):
+            // keep waiting on the primary like an unhedged round.
+            let popped = {
+                let resp = &mut sc.resp[s];
+                let hand_back = &mut sc.per_shard[s];
+                ports[p].rings.rep.pop_wait(timeout, |out| {
+                    std::mem::swap(&mut out.batch, resp);
+                    std::mem::swap(&mut out.subs, hand_back);
+                })
+            };
+            router.end(s, r);
+            trace_recv(trace, clock, sub_span);
+            if popped.is_none() {
+                ports[p].poisoned = true;
+                first_err = first_err.or(Some(PlanError::ShardFailed));
+            }
+            sc.per_shard[s].clear();
+            continue;
+        };
+        // Race: busy-poll both reply rings (the engine owns both ports, so
+        // a blocking wait on one could miss the other's earlier reply).
+        let deadline = fired_at + timeout.as_nanos() as Nanos;
+        // 0 = pending, 1 = primary won, 2 = hedge won, 3 = timeout.
+        let mut outcome = 0u8;
+        while outcome == 0 {
+            let got = {
+                let resp = &mut sc.resp[s];
+                let hand_back = &mut sc.per_shard[s];
+                ports[p].rings.rep.try_pop(|out| {
+                    std::mem::swap(&mut out.batch, resp);
+                    std::mem::swap(&mut out.subs, hand_back);
+                })
+            };
+            if got.is_some() {
+                outcome = 1;
+                break;
+            }
+            let got = {
+                let resp = &mut sc.resp[s];
+                let hand_back = &mut sc.hedge_copies[si];
+                ports[hp].rings.rep.try_pop(|out| {
+                    std::mem::swap(&mut out.batch, resp);
+                    std::mem::swap(&mut out.subs, hand_back);
+                })
+            };
+            if got.is_some() {
+                outcome = 2;
+                break;
+            }
+            if clock.now() >= deadline {
+                outcome = 3;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        match outcome {
+            1 => {
+                // Primary won: cancel the duplicate, then drain its reply
+                // (the one-outstanding ring invariant requires it; a
+                // cancelled-at-dequeue loser answers immediately).
+                let now = clock.now();
+                hedge_flag.store(true, Ordering::Release);
+                router.note_hedge_cancelled(now, s, hr);
+                if let Some(pt) = trace.as_mut() {
+                    pt.on_hedge_cancel(s as u16, fired_at, now);
+                }
+                sc.hedge.record(now.saturating_sub(sent_at));
+                let drained = {
+                    let batch = &mut sc.discard_batch;
+                    let subs = &mut sc.discard_subs;
+                    ports[hp].rings.rep.pop_wait(timeout, |out| {
+                        std::mem::swap(&mut out.batch, batch);
+                        std::mem::swap(&mut out.subs, subs);
+                    })
+                };
+                sc.discard_batch.clear();
+                sc.discard_subs.clear();
+                if drained.is_none() {
+                    ports[hp].poisoned = true;
+                }
+            }
+            2 => {
+                // Hedge won: flip the primary's planted flag and drain it.
+                let now = clock.now();
+                if let Some(flag) = sc.hedge_flags[si].as_ref() {
+                    flag.store(true, Ordering::Release);
+                }
+                router.note_hedge_cancelled(now, s, r);
+                if let Some(pt) = trace.as_mut() {
+                    pt.on_hedge_cancel(s as u16, sent_at, now);
+                }
+                sc.hedge.record(now.saturating_sub(fired_at));
+                let drained = {
+                    let batch = &mut sc.discard_batch;
+                    let subs = &mut sc.discard_subs;
+                    ports[p].rings.rep.pop_wait(timeout, |out| {
+                        std::mem::swap(&mut out.batch, batch);
+                        std::mem::swap(&mut out.subs, subs);
+                    })
+                };
+                sc.discard_batch.clear();
+                sc.discard_subs.clear();
+                if drained.is_none() {
+                    ports[p].poisoned = true;
+                }
+            }
+            _ => {
+                // Neither replied within the timeout: both ports have an
+                // outstanding request and can never be trusted again.
+                ports[p].poisoned = true;
+                ports[hp].poisoned = true;
+                first_err = first_err.or(Some(PlanError::ShardFailed));
+            }
+        }
+        router.end(s, r);
+        router.end(s, hr);
+        trace_recv(trace, clock, sub_span);
         sc.per_shard[s].clear();
     }
     sc.sent.clear();
+    sc.hedge_copies.clear();
+    sc.hedge_flags.clear();
     match first_err {
         None => Ok(()),
         Some(e) => Err(e),
@@ -1243,6 +2003,7 @@ impl<'a> Exec<'a> {
     fn new(
         port: Port<'a>,
         n_shards: usize,
+        router: &'a Router,
         timeout: Duration,
         batch: bool,
         clock: &'a Arc<dyn Clock>,
@@ -1250,6 +2011,7 @@ impl<'a> Exec<'a> {
         Self {
             port,
             n_shards,
+            router,
             timeout,
             batch,
             clock,
@@ -1302,6 +2064,7 @@ impl<'a> Exec<'a> {
                 &mut self.trace,
                 self.clock,
                 clients,
+                self.router,
                 self.timeout,
                 self.batch,
             )?,
@@ -1310,6 +2073,7 @@ impl<'a> Exec<'a> {
                 &mut self.trace,
                 self.clock,
                 ports,
+                self.router,
                 self.timeout,
             )?,
         }
@@ -1321,7 +2085,11 @@ impl<'a> Exec<'a> {
             match sc.resp[s].status.get(k).copied() {
                 Some(RepStatus::Ok) => {}
                 Some(RepStatus::Rejected) => return Err(PlanError::ShardRejected),
-                Some(RepStatus::Error) | None => return Err(PlanError::ShardFailed),
+                // A `Cancelled` status on the winning reply would mean the
+                // broker raced its own cancel — treat it like an error.
+                Some(RepStatus::Error) | Some(RepStatus::Cancelled) | None => {
+                    return Err(PlanError::ShardFailed)
+                }
             }
         }
         Ok(())
@@ -1736,7 +2504,7 @@ mod tests {
         let hosts: Vec<Arc<ShardHost>> = (0..n_shards)
             .map(|s| {
                 ShardHost::spawn(
-                    g.shard_slice(s, n_shards),
+                    Arc::new(g.shard_slice(s, n_shards)),
                     Arc::new(AlwaysAccept::new()),
                     clock.clone(),
                     ShardConfig::default(),

@@ -22,7 +22,7 @@ use bouncer_metrics::{Clock, MonotonicClock, Nanos};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::broker::{liquid_registry, Broker, BrokerConfig, ClientOutcome};
+use crate::broker::{liquid_registry, Broker, BrokerConfig, ClientOutcome, RouteStrategy};
 use crate::graph::{Graph, GraphConfig, GraphStats};
 use crate::query::Query;
 use crate::shard::{ShardConfig, ShardHost};
@@ -67,8 +67,18 @@ pub struct ClusterController {
 /// Cluster parameters.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Number of shard hosts.
+    /// Number of *logical* shards (graph partitions).
     pub n_shards: usize,
+    /// Replicas per logical shard (R). Each replica is a full engine group
+    /// (its own host, gate and engine threads) materializing the same
+    /// partition; all R replicas share one `Arc`'d CSR build, so memory
+    /// grows with partitions, not with R. Physical hosts are laid out
+    /// replica-major: host `s * R + r` is replica `r` of shard `s`.
+    pub replicas: usize,
+    /// How brokers route each round's per-shard batch among the shard's
+    /// replicas. Normalized to [`RouteStrategy::PrimaryOnly`] when
+    /// `replicas == 1`.
+    pub strategy: RouteStrategy,
     /// Number of broker hosts.
     pub n_brokers: usize,
     /// Synthetic graph parameters.
@@ -111,6 +121,8 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         Self {
             n_shards: 2,
+            replicas: 1,
+            strategy: RouteStrategy::PrimaryOnly,
             n_brokers: 1,
             graph: GraphConfig::default(),
             shard: ShardConfig::default(),
@@ -164,11 +176,17 @@ impl Cluster {
         broker_policy: impl Fn(&TypeRegistry, u32) -> Arc<dyn AdmissionPolicy>,
     ) -> Self {
         assert!(cfg.n_shards > 0 && cfg.n_brokers > 0);
+        assert!(cfg.replicas > 0, "a shard needs at least one replica");
         let registry = liquid_registry();
         let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
         let graph = Graph::generate(&cfg.graph);
         let vertices = graph.vertex_count();
         let graph_stats = graph.stats();
+        // One CSR build per logical partition, shared by that shard's R
+        // replica hosts — replication multiplies engines, not storage.
+        let slices: Vec<Arc<crate::graph::ShardData>> = (0..cfg.n_shards)
+            .map(|s| Arc::new(graph.shard_slice(s, cfg.n_shards)))
+            .collect();
 
         let mut shard_cfg = cfg.shard.clone();
         if shard_cfg.tracer.is_none() {
@@ -233,20 +251,24 @@ impl Cluster {
                 cfg.shard.engines,
             )))
         };
+        // The physical shard tier: `n_shards * replicas` hosts in
+        // replica-major order, host `s * R + r` cloning shard `s`'s Arc'd
+        // slice. At R=1 this is exactly the old flat tier.
         let shards: Vec<Arc<ShardHost>> = if cfg.transport == TransportKind::Rings {
             let (brigs, srigs) = crate::rings::build_topology(
                 cfg.n_brokers,
                 cfg.broker.engines as usize,
                 cfg.n_shards,
                 cfg.shard.engines as usize,
+                cfg.replicas,
             );
             broker_rigs = brigs;
             srigs
                 .into_iter()
                 .enumerate()
-                .map(|(s, rig)| {
+                .map(|(p, rig)| {
                     ShardHost::spawn_rings(
-                        graph.shard_slice(s, cfg.n_shards),
+                        Arc::clone(&slices[p / cfg.replicas]),
                         shard_policy(),
                         clock.clone(),
                         shard_cfg.clone(),
@@ -255,10 +277,10 @@ impl Cluster {
                 })
                 .collect()
         } else {
-            (0..cfg.n_shards)
-                .map(|s| {
+            (0..cfg.n_shards * cfg.replicas)
+                .map(|p| {
                     ShardHost::spawn(
-                        graph.shard_slice(s, cfg.n_shards),
+                        Arc::clone(&slices[p / cfg.replicas]),
                         shard_policy(),
                         clock.clone(),
                         shard_cfg.clone(),
@@ -269,10 +291,12 @@ impl Cluster {
 
         let mut servers = Vec::new();
         let mut pools: Vec<Arc<BufferPool>> = Vec::new();
-        let make_clients = |servers: &mut Vec<TcpShardServer>,
-                            pools: &mut Vec<Arc<BufferPool>>|
-         -> Vec<Arc<dyn ShardClient>> {
-            match cfg.transport {
+        // One client per *physical* host, regrouped into per-logical-shard
+        // replica groups for the broker's routing layer.
+        let make_client_groups = |servers: &mut Vec<TcpShardServer>,
+                                  pools: &mut Vec<Arc<BufferPool>>|
+         -> Vec<Vec<Arc<dyn ShardClient>>> {
+            let physical: Vec<Arc<dyn ShardClient>> = match cfg.transport {
                 TransportKind::InProc => shards
                     .iter()
                     .map(|h| {
@@ -301,7 +325,11 @@ impl Cluster {
                         .collect()
                 }
                 TransportKind::Rings => unreachable!("rings mode does not use shard clients"),
-            }
+            };
+            physical
+                .chunks(cfg.replicas)
+                .map(|group| group.to_vec())
+                .collect()
         };
 
         let mut broker_rigs = broker_rigs.into_iter();
@@ -314,14 +342,17 @@ impl Cluster {
                 if cfg.transport == TransportKind::Rings {
                     Broker::spawn_rings(
                         shards.clone(),
+                        cfg.replicas,
+                        cfg.strategy,
                         policy,
                         clock.clone(),
                         broker_cfg.clone(),
                         broker_rigs.next().expect("one rig per broker"),
                     )
                 } else {
-                    Broker::spawn(
-                        make_clients(&mut servers, &mut pools),
+                    Broker::spawn_replicated(
+                        make_client_groups(&mut servers, &mut pools),
+                        cfg.strategy,
                         policy,
                         clock.clone(),
                         broker_cfg.clone(),
@@ -485,9 +516,24 @@ impl Cluster {
         &self.brokers
     }
 
-    /// The shard hosts.
+    /// The *physical* shard hosts, replica-major (`[s * R + r]`; with
+    /// `replicas == 1` this is one host per logical shard, as before).
     pub fn shards(&self) -> &[Arc<ShardHost>] {
         &self.shards
+    }
+
+    /// Cluster-wide hedge telemetry, summed over the brokers (all zeros
+    /// under non-hedged strategies). Feed to
+    /// [`bouncer_core::obs::render_prometheus_full`] for the
+    /// `bouncer_hedges_total` / `bouncer_hedge_cancels_total` counters.
+    pub fn hedge_counters(&self) -> bouncer_core::obs::HedgeCounters {
+        let mut agg = bouncer_core::obs::HedgeCounters::default();
+        for b in &self.brokers {
+            let c = b.hedge_counters();
+            agg.hedges += c.hedges;
+            agg.cancels += c.cancels;
+        }
+        agg
     }
 
     /// Resets statistics on every host (e.g. after warm-up).

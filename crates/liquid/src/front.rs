@@ -226,7 +226,10 @@ impl TcpBrokerClient {
                     let outcome = match status {
                         Status::Ok => RemoteOutcome::Ok(value),
                         Status::Rejected => RemoteOutcome::Rejected,
-                        Status::Error => RemoteOutcome::Error,
+                        // Cancellation is a broker↔shard affair; a client
+                        // query never resolves as cancelled, so treat a
+                        // stray status as a failure.
+                        Status::Error | Status::Cancelled => RemoteOutcome::Error,
                     };
                     emit_client_root(&reader_trace, span, client_status(outcome));
                     let _ = tx.send(outcome);
@@ -340,7 +343,7 @@ mod tests {
         });
         let clock: Arc<MonotonicClock> = Arc::new(MonotonicClock::new());
         let shard = ShardHost::spawn(
-            g.shard_slice(0, 1),
+            Arc::new(g.shard_slice(0, 1)),
             Arc::new(AlwaysAccept::new()),
             clock.clone(),
             ShardConfig::default(),

@@ -34,7 +34,7 @@ pub mod shard;
 pub mod transport;
 pub mod wire;
 
-pub use broker::Broker;
+pub use broker::{Broker, RouteStrategy};
 pub use front::{RemoteOutcome, TcpBrokerClient, TcpBrokerServer};
 pub use cluster::{Cluster, ClusterConfig, TransportKind};
 pub use graph::{Graph, GraphConfig};

@@ -275,6 +275,9 @@ pub enum RepStatus {
     /// The item referenced a vertex the shard does not own (or otherwise
     /// failed); it contributes no payload.
     Error,
+    /// The round was cancelled by the broker (a hedged duplicate whose
+    /// twin won) before an engine executed it; it contributes no payload.
+    Cancelled,
 }
 
 /// A shard's reply to one round's batch of sub-queries, staged into flat

@@ -87,6 +87,10 @@ pub(crate) struct ShardReq {
     /// Shard-gate admission timestamp, taken producer-side by the broker.
     pub enqueued_at: Nanos,
     pub ctx: Option<TraceContext>,
+    /// Cancellation token for hedged duplicates: the shard engine takes it
+    /// at dequeue and, when set, replies per-item `Cancelled` without
+    /// executing. `None` (the default) for ordinary rounds.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 /// A shard→broker reply: the round's staged batch (same swap discipline),
@@ -214,16 +218,26 @@ pub(crate) struct ShardRig {
 }
 
 /// Builds the full ring topology for `n_brokers × broker_engines` broker
-/// threads and `n_shards × shard_engines` shard threads. Every ring gets
-/// exactly one producer and one consumer thread by construction.
+/// threads and `n_shards × replicas × shard_engines` shard threads. Every
+/// ring gets exactly one producer and one consumer thread by construction.
+///
+/// With `replicas > 1` each logical shard is materialized `replicas`
+/// times; the returned shard rigs (and every broker engine's `ports`) are
+/// in replica-major order: physical index `s * replicas + r` is replica
+/// `r` of logical shard `s`. At `replicas == 1` this collapses to the flat
+/// `[s]` layout, so unreplicated wiring is unchanged byte for byte.
 pub(crate) fn build_topology(
     n_brokers: usize,
     broker_engines: usize,
     n_shards: usize,
     shard_engines: usize,
+    replicas: usize,
 ) -> (Vec<BrokerRig>, Vec<ShardRig>) {
-    assert!(n_brokers > 0 && broker_engines > 0 && n_shards > 0 && shard_engines > 0);
-    let mut shard_rigs: Vec<ShardRig> = (0..n_shards)
+    assert!(
+        n_brokers > 0 && broker_engines > 0 && n_shards > 0 && shard_engines > 0 && replicas > 0
+    );
+    let n_physical = n_shards * replicas;
+    let mut shard_rigs: Vec<ShardRig> = (0..n_physical)
         .map(|_| ShardRig {
             engines: (0..shard_engines)
                 .map(|_| ShardEngineRig {
@@ -242,7 +256,7 @@ pub(crate) fn build_topology(
         for e in 0..broker_engines {
             let engine_waker = Waker::new();
             let g = b * broker_engines + e;
-            let mut ports = Vec::with_capacity(n_shards);
+            let mut ports = Vec::with_capacity(n_physical);
             for shard_rig in shard_rigs.iter_mut() {
                 let f = g % shard_engines;
                 let shard_engine = &mut shard_rig.engines[f];
@@ -305,7 +319,7 @@ mod tests {
 
     #[test]
     fn topology_shapes_match_engine_counts() {
-        let (brokers, shards) = build_topology(2, 3, 4, 2);
+        let (brokers, shards) = build_topology(2, 3, 4, 2, 1);
         assert_eq!(brokers.len(), 2);
         assert_eq!(shards.len(), 4);
         for rig in &brokers {
@@ -327,8 +341,28 @@ mod tests {
     }
 
     #[test]
+    fn replicated_topology_lays_ports_out_replica_major() {
+        let (brokers, shards) = build_topology(1, 2, 3, 2, 2);
+        // 3 logical shards x 2 replicas = 6 physical shard rigs, each with
+        // its own engines; every broker engine has one port per physical
+        // shard, in `s * replicas + r` order.
+        assert_eq!(shards.len(), 6);
+        for rig in &brokers {
+            for engine in &rig.engines {
+                assert_eq!(engine.ports.len(), 6);
+            }
+        }
+        for shard in &shards {
+            assert_eq!(shard.engines.len(), 2);
+            // 1 broker x 2 engines, g % 2 == f: one port each.
+            assert_eq!(shard.engines[0].ports.len(), 1);
+            assert_eq!(shard.engines[1].ports.len(), 1);
+        }
+    }
+
+    #[test]
     fn lane_claim_is_exclusive_and_released_on_drop() {
-        let (brokers, _shards) = build_topology(1, 1, 1, 1);
+        let (brokers, _shards) = build_topology(1, 1, 1, 1, 1);
         let lanes = Arc::clone(&brokers[0].lanes);
         let mut guards: Vec<LaneGuard<'_>> = (0..LANES_PER_BROKER).map(|_| lanes.claim()).collect();
         // All lanes claimed; verify each guard references a distinct lane.
@@ -345,7 +379,7 @@ mod tests {
 
     #[test]
     fn lane_round_trip_carries_a_query() {
-        let (mut brokers, _shards) = build_topology(1, 1, 1, 1);
+        let (mut brokers, _shards) = build_topology(1, 1, 1, 1, 1);
         let rig = brokers.remove(0);
         let lanes = rig.lanes;
         let mut engine = rig.engines.into_iter().next().unwrap();

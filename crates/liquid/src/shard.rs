@@ -34,6 +34,10 @@ pub enum SubOutcome {
     Rejected,
     /// The shard failed to process it (bad vertex, internal error).
     Error,
+    /// The caller cancelled it (a hedged duplicate whose twin won) before
+    /// an engine executed it. The dequeue already refunded the batch's
+    /// demand, and no processing time is recorded.
+    Cancelled,
 }
 
 /// A unit of admitted work: one sub-query, or a round's whole batch from
@@ -52,6 +56,10 @@ enum Job {
         reply: Sender<Vec<SubOutcome>>,
         /// Trace context of the parent (per-shard) sub-query span.
         ctx: Option<TraceContext>,
+        /// Cancellation token, set by the broker when a hedged twin won.
+        /// Checked once, at dequeue — after the demand refund, before any
+        /// execution.
+        cancel: Option<Arc<AtomicBool>>,
     },
 }
 
@@ -121,9 +129,10 @@ pub struct ShardHost {
 
 impl ShardHost {
     /// Spawns the shard's engine threads over `data`, gating admissions
-    /// with `policy`.
+    /// with `policy`. `data` is shared, not owned: replica hosts of the
+    /// same logical shard pass clones of one `Arc` and serve one CSR build.
     pub fn spawn(
-        data: ShardData,
+        data: Arc<ShardData>,
         policy: Arc<dyn AdmissionPolicy>,
         clock: Arc<dyn Clock>,
         cfg: ShardConfig,
@@ -139,7 +148,6 @@ impl ShardHost {
             },
             cfg.sink.clone().unwrap_or_else(null_sink),
         ));
-        let data = Arc::new(data);
         let tracer = cfg.tracer.filter(|t| t.enabled());
         let engines = (0..cfg.engines)
             .map(|i| {
@@ -169,7 +177,7 @@ impl ShardHost {
     /// (admission and dequeue are driven through the gate's external
     /// hooks, producer-side by the broker and consumer-side here).
     pub(crate) fn spawn_rings(
-        data: ShardData,
+        data: Arc<ShardData>,
         policy: Arc<dyn AdmissionPolicy>,
         clock: Arc<dyn Clock>,
         cfg: ShardConfig,
@@ -190,7 +198,6 @@ impl ShardHost {
             },
             cfg.sink.clone().unwrap_or_else(null_sink),
         ));
-        let data = Arc::new(data);
         let tracer = cfg.tracer.filter(|t| t.enabled());
         let stop = Arc::new(AtomicBool::new(false));
         let wakers: Vec<Arc<Waker>> = rig.engines.iter().map(|e| Arc::clone(&e.waker)).collect();
@@ -278,15 +285,46 @@ impl ShardHost {
         subs: Vec<SubQuery>,
         ctx: Option<TraceContext>,
     ) -> Receiver<Vec<SubOutcome>> {
+        self.submit_batch_inner(subs, ctx, None)
+    }
+
+    /// [`ShardHost::submit_batch`] plus a cancellation token. Setting the
+    /// returned flag before an engine dequeues the batch makes the engine
+    /// skip execution and reply [`SubOutcome::Cancelled`] per item — the
+    /// dequeue's demand refund still happens, and no processing time is
+    /// recorded, so cancelled work never pollutes the policy's estimates.
+    /// Setting the flag after dequeue is a harmless no-op (the batch
+    /// executes and replies normally); a reply always arrives either way.
+    pub fn submit_batch_cancellable(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+    ) -> (Receiver<Vec<SubOutcome>>, Arc<AtomicBool>) {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let rx = self.submit_batch_inner(subs, ctx, Some(Arc::clone(&cancel)));
+        (rx, cancel)
+    }
+
+    fn submit_batch_inner(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+        cancel: Option<Arc<AtomicBool>>,
+    ) -> Receiver<Vec<SubOutcome>> {
         let (tx, rx) = bounded(1);
         if subs.is_empty() {
             let _ = tx.send(Vec::new());
             return rx;
         }
-        if let Err((_reason, job)) = self
-            .gate
-            .offer(DEFAULT_TYPE, Job::Batch { subs, reply: tx, ctx })
-        {
+        if let Err((_reason, job)) = self.gate.offer(
+            DEFAULT_TYPE,
+            Job::Batch {
+                subs,
+                reply: tx,
+                ctx,
+                cancel,
+            },
+        ) {
             job.reject();
         }
         rx
@@ -374,7 +412,20 @@ fn engine_loop(gate: &Gate<Job>, data: &ShardData, tracer: Option<&Tracer>) {
                         emit_spans(ctx, enqueued_at, dequeued_at);
                         let _ = reply.send(outcome);
                     }
-                    Job::Batch { subs, reply, ctx } => {
+                    Job::Batch {
+                        subs,
+                        reply,
+                        ctx,
+                        cancel,
+                    } => {
+                        // A cancelled batch stops here: the dequeue above
+                        // already refunded its demand, and skipping
+                        // `complete` keeps it out of the processing-time
+                        // average — the same shape as the expiry path.
+                        if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+                            let _ = reply.send(vec![SubOutcome::Cancelled; subs.len()]);
+                            continue;
+                        }
                         // Items run sequentially in submission order, as if
                         // submitted back-to-back to an idle FIFO.
                         let outcomes: Vec<SubOutcome> = subs
@@ -475,20 +526,37 @@ fn rings_engine_loop(
                 let subs = std::mem::take(&mut slot.subs);
                 let enqueued_at = slot.enqueued_at;
                 let ctx = slot.ctx;
+                let cancelled = slot
+                    .cancel
+                    .take()
+                    .is_some_and(|c| c.load(Ordering::Acquire));
                 let (dequeued_at, _expired) =
                     gate.dequeued_external(DEFAULT_TYPE, enqueued_at, None);
                 let pushed = rep.try_push(|out| {
                     out.batch.clear();
-                    for sub in &subs {
-                        execute_into(data, sub, &mut out.batch);
+                    if cancelled {
+                        // Cancelled after the demand refund, before any
+                        // execution: per-item Cancelled statuses, no
+                        // payload (the RepBatch layout contract), and no
+                        // `complete` below so the processing-time average
+                        // never sees the batch.
+                        out.batch
+                            .status
+                            .resize(subs.len(), RepStatus::Cancelled);
+                    } else {
+                        for sub in &subs {
+                            execute_into(data, sub, &mut out.batch);
+                        }
                     }
                     out.subs = subs;
                 });
                 // Reply capacity == request capacity and the broker pops
                 // every reply before reusing the pair, so this cannot fail.
                 assert!(pushed, "shard reply ring full");
-                gate.complete(DEFAULT_TYPE, enqueued_at, dequeued_at);
-                emit_spans(ctx, enqueued_at, dequeued_at);
+                if !cancelled {
+                    gate.complete(DEFAULT_TYPE, enqueued_at, dequeued_at);
+                    emit_spans(ctx, enqueued_at, dequeued_at);
+                }
             });
             worked |= serviced.is_some();
         }
@@ -655,7 +723,7 @@ mod tests {
     fn spawn_shard(shard: usize, n_shards: usize) -> (Graph, Arc<ShardHost>) {
         let g = graph();
         let host = ShardHost::spawn(
-            g.shard_slice(shard, n_shards),
+            Arc::new(g.shard_slice(shard, n_shards)),
             Arc::new(AlwaysAccept::new()),
             Arc::new(MonotonicClock::new()),
             ShardConfig::default(),
@@ -732,7 +800,7 @@ mod tests {
     fn rejected_batch_rejects_every_item() {
         let g = graph();
         let host = ShardHost::spawn(
-            g.shard_slice(0, 1),
+            Arc::new(g.shard_slice(0, 1)),
             Arc::new(MaxQueueLength::new(1)),
             Arc::new(MonotonicClock::new()),
             ShardConfig {
@@ -761,6 +829,58 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_batch_replies_cancelled_without_executing() {
+        let g = graph();
+        let host = ShardHost::spawn(
+            Arc::new(g.shard_slice(0, 1)),
+            Arc::new(AlwaysAccept::new()),
+            Arc::new(MonotonicClock::new()),
+            ShardConfig {
+                engines: 1,
+                ..ShardConfig::default()
+            },
+        );
+        // Park heavy batches in front of the single engine so the
+        // cancellable batches sit queued long after their flags are set.
+        let heavy: Vec<_> = (0..8)
+            .map(|_| {
+                host.submit_batch(
+                    vec![SubQuery::NeighborsMany(Arc::new((0..1000).collect())); 32],
+                    None,
+                )
+            })
+            .collect();
+        let pending: Vec<_> = (0..4)
+            .map(|_| host.submit_batch_cancellable(vec![SubQuery::Degree(0); 3], None))
+            .collect();
+        for (_, cancel) in &pending {
+            cancel.store(true, Ordering::Release);
+        }
+        for rx in heavy {
+            assert!(rx.recv().unwrap().iter().all(|o| matches!(o, SubOutcome::Ok(_))));
+        }
+        for (rx, _) in pending {
+            assert_eq!(rx.recv().unwrap(), vec![SubOutcome::Cancelled; 3]);
+        }
+        // Cancelled batches never reach `complete`: only the heavy ones
+        // count as completed work.
+        let snap = host.stats().snapshot(1_000_000_000, host.parallelism());
+        assert_eq!(snap.per_type[0].completed, 8);
+        host.shutdown();
+    }
+
+    #[test]
+    fn uncancelled_cancellable_batch_executes_normally() {
+        let (g, host) = spawn_shard(0, 1);
+        let (rx, _cancel) = host.submit_batch_cancellable(vec![SubQuery::Degree(2)], None);
+        assert_eq!(
+            rx.recv().unwrap(),
+            vec![SubOutcome::Ok(SubResponse::Count(g.degree(2) as u64))]
+        );
+        host.shutdown();
+    }
+
+    #[test]
     fn count_intersect_matches_bruteforce() {
         let (g, host) = spawn_shard(0, 1);
         let v = 10;
@@ -779,7 +899,7 @@ mod tests {
         // plus a pre-filled queue instead: simplest is MaxQL(1) and two
         // rapid submissions).
         let host = ShardHost::spawn(
-            g.shard_slice(0, 1),
+            Arc::new(g.shard_slice(0, 1)),
             Arc::new(MaxQueueLength::new(1)),
             Arc::new(MonotonicClock::new()),
             ShardConfig {

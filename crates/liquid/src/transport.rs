@@ -27,9 +27,9 @@ use parking_lot::Mutex;
 use crate::query::SubQuery;
 use crate::shard::{ShardHost, SubOutcome};
 use crate::wire::{
-    begin_frame, decode_subreply_any, decode_subrequest, encode_subquery_batch_into,
-    encode_subquery_into, encode_subreply_batch_into, encode_subreply_into, end_frame,
-    read_frame_into, BufferPool, Status, SubReplyBody, SubRequest,
+    begin_frame, decode_subreply_any, decode_subrequest, encode_cancel_into,
+    encode_subquery_batch_into, encode_subquery_into, encode_subreply_batch_into,
+    encode_subreply_into, end_frame, read_frame_into, BufferPool, Status, SubReplyBody, SubRequest,
 };
 
 /// A handle a broker uses to reach one shard.
@@ -47,6 +47,62 @@ pub trait ShardClient: Send + Sync {
         subs: Vec<SubQuery>,
         ctx: Option<TraceContext>,
     ) -> Receiver<Vec<SubOutcome>>;
+
+    /// [`ShardClient::submit_batch`] plus a [`CancelHandle`] for hedged
+    /// fan-out: cancelling before the shard dequeues the batch makes it
+    /// reply per-item `Cancelled` without executing (and without charging
+    /// processing time); cancelling later is a harmless no-op. A reply
+    /// always arrives either way. The default implementation has no cancel
+    /// path and returns a no-op handle.
+    fn submit_batch_cancellable(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+    ) -> (Receiver<Vec<SubOutcome>>, CancelHandle) {
+        (self.submit_batch(subs, ctx), CancelHandle::noop())
+    }
+}
+
+/// Best-effort cancellation of one in-flight batch (see
+/// [`ShardClient::submit_batch_cancellable`]). In process it flips the
+/// shard host's cancel flag directly; over TCP it writes a cancel frame
+/// carrying the batch's correlation id.
+pub struct CancelHandle(CancelInner);
+
+enum CancelInner {
+    /// Nothing to cancel.
+    Noop,
+    /// In-process / rings: the shard-side cancel flag.
+    Flag(Arc<AtomicBool>),
+    /// TCP: tell the server to flip the flag on its side.
+    Tcp { conn: Arc<TcpConn>, id: u64 },
+}
+
+impl CancelHandle {
+    /// A handle that cancels nothing.
+    pub fn noop() -> Self {
+        Self(CancelInner::Noop)
+    }
+
+    pub(crate) fn flag(flag: Arc<AtomicBool>) -> Self {
+        Self(CancelInner::Flag(flag))
+    }
+
+    /// Requests cancellation. Consumes the handle — cancel is one-shot.
+    pub fn cancel(self) {
+        match self.0 {
+            CancelInner::Noop => {}
+            CancelInner::Flag(flag) => flag.store(true, Ordering::Release),
+            CancelInner::Tcp { conn, id } => {
+                let mut frame = Vec::with_capacity(13);
+                let start = begin_frame(&mut frame);
+                encode_cancel_into(&mut frame, id);
+                end_frame(&mut frame, start);
+                let mut writer = conn.writer.lock();
+                let _ = writer.write_all(&frame).and_then(|_| writer.flush());
+            }
+        }
+    }
 }
 
 /// Same-process transport: calls into the shard host directly.
@@ -72,6 +128,15 @@ impl ShardClient for InProcShardClient {
         ctx: Option<TraceContext>,
     ) -> Receiver<Vec<SubOutcome>> {
         self.host.submit_batch(subs, ctx)
+    }
+
+    fn submit_batch_cancellable(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+    ) -> (Receiver<Vec<SubOutcome>>, CancelHandle) {
+        let (rx, flag) = self.host.submit_batch_cancellable(subs, ctx);
+        (rx, CancelHandle::flag(flag))
     }
 }
 
@@ -140,6 +205,12 @@ fn spawn_connection(host: Arc<ShardHost>, stream: TcpStream) {
         Err(_) => return,
     };
     let (tx, rx): (Sender<PendingReply>, Receiver<PendingReply>) = unbounded();
+    // Cancel tokens of this connection's in-flight batches, by correlation
+    // id. The reader inserts before handing the reply off; the responder
+    // removes once the reply is written; a cancel frame in between flips
+    // the flag the shard engine checks at dequeue.
+    let cancels: Arc<Mutex<HashMap<u64, Arc<AtomicBool>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let reader_cancels = Arc::clone(&cancels);
 
     std::thread::spawn(move || {
         let mut scratch = Vec::new();
@@ -153,9 +224,18 @@ fn spawn_connection(host: Arc<ShardHost>, stream: TcpStream) {
                 }
                 Ok((id, SubRequest::Batch(subs), ctx)) => {
                     let len = subs.len();
-                    let outcome_rx = host.submit_batch(subs, ctx);
+                    let (outcome_rx, cancel) = host.submit_batch_cancellable(subs, ctx);
+                    reader_cancels.lock().insert(id, cancel);
                     if tx.send(PendingReply::Batch(id, len, outcome_rx)).is_err() {
                         break;
+                    }
+                }
+                Ok((id, SubRequest::Cancel, _)) => {
+                    // Best-effort; a cancel for an id already replied to
+                    // (or never seen) is silently ignored, and cancel
+                    // frames never get a reply of their own.
+                    if let Some(flag) = reader_cancels.lock().get(&id) {
+                        flag.store(true, Ordering::Release);
                     }
                 }
                 Err(_) => break, // protocol violation: drop the connection
@@ -174,6 +254,7 @@ fn spawn_connection(host: Arc<ShardHost>, stream: TcpStream) {
                     let (status, resp) = match outcome_rx.recv() {
                         Ok(SubOutcome::Ok(resp)) => (Status::Ok, Some(resp)),
                         Ok(SubOutcome::Rejected) => (Status::Rejected, None),
+                        Ok(SubOutcome::Cancelled) => (Status::Cancelled, None),
                         Ok(SubOutcome::Error) | Err(_) => (Status::Error, None),
                     };
                     encode_subreply_into(&mut frame, id, status, resp.as_ref());
@@ -183,6 +264,7 @@ fn spawn_connection(host: Arc<ShardHost>, stream: TcpStream) {
                         .recv()
                         .unwrap_or_else(|_| vec![SubOutcome::Error; len]);
                     encode_subreply_batch_into(&mut frame, id, &outcomes);
+                    cancels.lock().remove(&id);
                 }
             }
             end_frame(&mut frame, start);
@@ -226,7 +308,7 @@ struct TcpConn {
 /// TCP client to one shard, multiplexing requests over a small pool of
 /// connections by correlation id.
 pub struct TcpShardClient {
-    conns: Vec<TcpConn>,
+    conns: Vec<Arc<TcpConn>>,
     next_conn: AtomicUsize,
     next_id: AtomicU64,
     /// Recycled encode buffers for submitter threads (see [`BufferPool`]).
@@ -275,10 +357,10 @@ impl TcpShardClient {
                     tx.fail();
                 }
             });
-            conns.push(TcpConn {
+            conns.push(Arc::new(TcpConn {
                 writer: Mutex::new(stream),
                 pending,
-            });
+            }));
         }
         Ok(Self {
             conns,
@@ -306,7 +388,7 @@ impl TcpShardClient {
         }
     }
 
-    fn next_conn(&self) -> &TcpConn {
+    fn next_conn(&self) -> &Arc<TcpConn> {
         &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()]
     }
 }
@@ -347,6 +429,29 @@ impl ShardClient for TcpShardClient {
         self.send_frame(id, conn, &frame);
         rx
     }
+
+    fn submit_batch_cancellable(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+    ) -> (Receiver<Vec<SubOutcome>>, CancelHandle) {
+        let (tx, rx) = bounded(1);
+        if subs.is_empty() {
+            let _ = tx.send(Vec::new());
+            return (rx, CancelHandle::noop());
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::clone(self.next_conn());
+        conn.pending
+            .lock()
+            .insert(id, PendingTx::Batch(tx, subs.len()));
+        let mut frame = self.pool.get();
+        let start = begin_frame(&mut frame);
+        encode_subquery_batch_into(&mut frame, id, &subs, ctx.as_ref());
+        end_frame(&mut frame, start);
+        self.send_frame(id, &conn, &frame);
+        (rx, CancelHandle(CancelInner::Tcp { conn, id }))
+    }
 }
 
 #[cfg(test)]
@@ -365,7 +470,7 @@ mod tests {
             seed: 9,
         });
         let host = ShardHost::spawn(
-            g.shard_slice(0, 1),
+            Arc::new(g.shard_slice(0, 1)),
             Arc::new(AlwaysAccept::new()),
             Arc::new(MonotonicClock::new()),
             ShardConfig::default(),
@@ -420,6 +525,50 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        server.stop();
+        host.shutdown();
+    }
+
+    #[test]
+    fn tcp_cancel_frame_cancels_a_queued_batch() {
+        let g = Graph::generate(&GraphConfig {
+            vertices: 500,
+            edges_per_vertex: 3,
+            seed: 9,
+        });
+        let host = ShardHost::spawn(
+            Arc::new(g.shard_slice(0, 1)),
+            Arc::new(AlwaysAccept::new()),
+            Arc::new(MonotonicClock::new()),
+            ShardConfig {
+                engines: 1,
+                ..ShardConfig::default()
+            },
+        );
+        let server = TcpShardServer::serve(Arc::clone(&host), "127.0.0.1:0").unwrap();
+        let client = TcpShardClient::connect(server.addr(), 1).unwrap();
+        // Park heavy work in front of the single engine, then cancel a
+        // batch queued behind it before the engine can reach it.
+        let heavy: Vec<_> = (0..8)
+            .map(|_| {
+                client.submit_batch(
+                    vec![SubQuery::NeighborsMany(Arc::new((0..500).collect())); 32],
+                    None,
+                )
+            })
+            .collect();
+        let (rx, handle) = client.submit_batch_cancellable(vec![SubQuery::Degree(0); 3], None);
+        handle.cancel();
+        for h in heavy {
+            assert!(h.recv().unwrap().iter().all(|o| matches!(o, SubOutcome::Ok(_))));
+        }
+        assert_eq!(rx.recv().unwrap(), vec![SubOutcome::Cancelled; 3]);
+        // An uncancelled cancellable batch executes normally.
+        let (rx, _handle) = client.submit_batch_cancellable(vec![SubQuery::Degree(2)], None);
+        assert_eq!(
+            rx.recv().unwrap(),
+            vec![SubOutcome::Ok(SubResponse::Count(g.degree(2) as u64))]
+        );
         server.stop();
         host.shutdown();
     }

@@ -76,6 +76,13 @@ pub const TAG_SUBQUERY_BATCH: u8 = 6;
 /// Reply tag marking a batched sub-reply body.
 pub const TAG_SUBREPLY_BATCH: u8 = 5;
 
+/// Request tag asking the shard to cancel the in-flight request whose
+/// correlation id is the envelope id. Best-effort: honored only if the
+/// target is still queued when an engine dequeues it. Cancel frames carry
+/// no body and produce **no reply** — the cancelled request itself replies
+/// (with [`Status::Cancelled`] items) or already did.
+pub const TAG_CANCEL: u8 = 7;
+
 /// Decode failure: malformed or truncated payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError(pub &'static str);
@@ -98,6 +105,9 @@ pub enum Status {
     Rejected,
     /// The host failed to process the request.
     Error,
+    /// The request was cancelled by the caller (a hedged duplicate whose
+    /// twin won the race) before an engine executed it.
+    Cancelled,
 }
 
 impl Status {
@@ -106,6 +116,7 @@ impl Status {
             Status::Ok => 0,
             Status::Rejected => 1,
             Status::Error => 2,
+            Status::Cancelled => 3,
         }
     }
 
@@ -114,6 +125,7 @@ impl Status {
             0 => Ok(Status::Ok),
             1 => Ok(Status::Rejected),
             2 => Ok(Status::Error),
+            3 => Ok(Status::Cancelled),
             _ => Err(DecodeError("bad status byte")),
         }
     }
@@ -248,13 +260,17 @@ pub fn encode_subquery(id: u64, sub: &SubQuery, ctx: Option<&TraceContext>) -> B
     Bytes::from(buf)
 }
 
-/// A decoded shard-bound request: a single sub-query or a whole batch.
+/// A decoded shard-bound request: a single sub-query, a whole batch, or a
+/// cancellation of an earlier request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubRequest {
     /// One sub-query (request tags 0..=5).
     Single(SubQuery),
     /// A round's coalesced sub-queries (request tag [`TAG_SUBQUERY_BATCH`]).
     Batch(Vec<SubQuery>),
+    /// Cancel the in-flight request whose correlation id is this envelope's
+    /// id (request tag [`TAG_CANCEL`]). No body, no reply of its own.
+    Cancel,
 }
 
 /// Decodes a shard-bound request envelope, batched or single (trailing
@@ -267,6 +283,9 @@ pub fn decode_subrequest<B: Buf>(
     }
     let id = buf.get_u64();
     let tag = buf.get_u8();
+    if tag == TAG_CANCEL {
+        return Ok((id, SubRequest::Cancel, None));
+    }
     if tag == TAG_SUBQUERY_BATCH {
         if buf.remaining() < 4 {
             return Err(DecodeError("truncated batch count"));
@@ -329,7 +348,16 @@ pub fn decode_subquery<B: Buf>(
     match decode_subrequest(buf)? {
         (id, SubRequest::Single(sub), ctx) => Ok((id, sub, ctx)),
         (_, SubRequest::Batch(_), _) => Err(DecodeError("unexpected sub-query batch")),
+        (_, SubRequest::Cancel, _) => Err(DecodeError("unexpected cancel request")),
     }
+}
+
+/// Appends a cancel request envelope to `buf`: the envelope id *is* the
+/// correlation id of the request being cancelled.
+pub fn encode_cancel_into(buf: &mut Vec<u8>, target_id: u64) {
+    buf.reserve(9);
+    buf.put_u64(target_id);
+    buf.put_u8(TAG_CANCEL);
 }
 
 // ---------------------------------------------------------------------------
@@ -443,6 +471,7 @@ pub fn encode_subreply_batch_into(buf: &mut Vec<u8>, id: u64, outcomes: &[SubOut
             }
             SubOutcome::Rejected => buf.put_u8(Status::Rejected.to_u8()),
             SubOutcome::Error => buf.put_u8(Status::Error.to_u8()),
+            SubOutcome::Cancelled => buf.put_u8(Status::Cancelled.to_u8()),
         }
     }
 }
@@ -495,6 +524,7 @@ pub fn decode_subreply_any<B: Buf>(mut buf: B) -> Result<(u64, SubReplyBody), De
                 }
                 Status::Rejected => outcomes.push(SubOutcome::Rejected),
                 Status::Error => outcomes.push(SubOutcome::Error),
+                Status::Cancelled => outcomes.push(SubOutcome::Cancelled),
             }
         }
         return Ok((id, SubReplyBody::Batch(outcomes)));
@@ -842,11 +872,24 @@ mod tests {
     }
 
     #[test]
+    fn cancel_request_round_trips() {
+        let mut buf = Vec::new();
+        encode_cancel_into(&mut buf, 0xDEAD_BEEF);
+        let (id, req, ctx) = decode_subrequest(&buf[..]).unwrap();
+        assert_eq!(id, 0xDEAD_BEEF);
+        assert_eq!(req, SubRequest::Cancel);
+        assert_eq!(ctx, None);
+        // The single-only decoder refuses cancels.
+        assert!(decode_subquery(&buf[..]).is_err());
+    }
+
+    #[test]
     fn subreply_batch_round_trips() {
         let outcomes = vec![
             SubOutcome::Ok(SubResponse::Count(7)),
             SubOutcome::Rejected,
             SubOutcome::Error,
+            SubOutcome::Cancelled,
             SubOutcome::Ok(SubResponse::IdLists(
                 [vec![1u32, 2], vec![3]].into_iter().collect(),
             )),

@@ -186,3 +186,70 @@ fn rings_equals_channels_across_seeds() {
         channels.shutdown();
     }
 }
+
+/// The replica-group invariant: replication must never change what a
+/// client observes. At `R = 1` the router normalizes every strategy to
+/// primary-only — provably the flat data path — and at `R = 2` the
+/// replicas materialize the same partition, so the per-query outcome
+/// sequence (results *and* admission decisions, `ClientOutcome` derives
+/// `Eq` over the full payload) must be byte-identical to the unreplicated
+/// baseline under every routing strategy. Hedges may or may not fire on a
+/// given round; either way the winner carries the same answer.
+fn assert_replication_transparent(transport: TransportKind, seeds: &[u64]) {
+    use liquid::broker::RouteStrategy;
+    let policy = |_reg: &_, _p: u32| -> Arc<dyn AdmissionPolicy> {
+        Arc::new(RejectEveryNth {
+            n: 5,
+            calls: AtomicU64::new(0),
+        })
+    };
+    for &seed in seeds {
+        let flat = Cluster::spawn(&config(transport, true), policy);
+        let queries = random_mix_seeded(seed, flat.vertices(), 2);
+        let want = run_mix(&flat, &queries);
+        flat.shutdown();
+        // The baseline itself must exercise both admission branches.
+        assert!(want.iter().any(|o| matches!(o, ClientOutcome::Rejected(_))));
+        assert!(want.iter().any(|o| matches!(o, ClientOutcome::Ok(_))));
+
+        for (replicas, strategy) in [
+            (1, RouteStrategy::LoadBalanced),
+            (1, RouteStrategy::Hedged),
+            (2, RouteStrategy::PrimaryOnly),
+            (2, RouteStrategy::LoadBalanced),
+            (2, RouteStrategy::Hedged),
+        ] {
+            let cfg = ClusterConfig {
+                replicas,
+                strategy,
+                ..config(transport, true)
+            };
+            let cluster = Cluster::spawn(&cfg, policy);
+            let got = run_mix(&cluster, &queries);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g, w,
+                    "query #{i} {:?} diverged from the flat baseline \
+                     (R={replicas}, {strategy:?}, {transport:?}, seed {seed:#x})",
+                    queries[i]
+                );
+            }
+            cluster.shutdown();
+        }
+    }
+}
+
+#[test]
+fn replication_transparent_in_proc() {
+    assert_replication_transparent(TransportKind::InProc, &[0xA11CE, 0x0B0B, 0xC0FFEE]);
+}
+
+#[test]
+fn replication_transparent_over_rings() {
+    assert_replication_transparent(TransportKind::Rings, &[0xA11CE, 0x0B0B, 0xC0FFEE]);
+}
+
+#[test]
+fn replication_transparent_over_tcp() {
+    assert_replication_transparent(TransportKind::Tcp, &[0xA11CE, 0x0B0B, 0xC0FFEE]);
+}

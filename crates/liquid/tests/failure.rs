@@ -9,13 +9,17 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use bouncer_core::obs::TraceContext;
 use bouncer_core::policy::AlwaysAccept;
 use bouncer_metrics::MonotonicClock;
-use liquid::broker::{Broker, BrokerConfig, ClientOutcome};
+use crossbeam::channel::Receiver;
+use liquid::broker::{Broker, BrokerConfig, ClientOutcome, RouteStrategy};
 use liquid::graph::{Graph, GraphConfig};
 use liquid::query::{Query, QueryKind, SubQuery};
 use liquid::shard::{ShardConfig, ShardHost, SubOutcome};
-use liquid::transport::{InProcShardClient, ShardClient, TcpShardClient, TcpShardServer};
+use liquid::transport::{
+    CancelHandle, InProcShardClient, ShardClient, TcpShardClient, TcpShardServer,
+};
 
 fn graph() -> Graph {
     Graph::generate(&GraphConfig {
@@ -30,7 +34,7 @@ fn spawn_shards(g: &Graph, n: usize) -> Vec<Arc<ShardHost>> {
     (0..n)
         .map(|s| {
             ShardHost::spawn(
-                g.shard_slice(s, n),
+                Arc::new(g.shard_slice(s, n)),
                 Arc::new(AlwaysAccept::new()),
                 clock.clone(),
                 ShardConfig::default(),
@@ -131,6 +135,120 @@ fn tcp_disconnect_fails_pending_requests() {
         Ok(SubOutcome::Error) | Ok(SubOutcome::Rejected) => {}
         Ok(other) => panic!("unexpected outcome after disconnect: {other:?}"),
         Err(_) => panic!("request hung after server shutdown"),
+    }
+}
+
+/// A client wrapper that delays every batch reply by `delay`, turning the
+/// wrapped replica into a straggler. The submission still reaches the real
+/// host immediately (the queue and cancel bookkeeping stay honest); only
+/// the broker-visible reply is late.
+struct StragglerClient {
+    inner: Arc<dyn ShardClient>,
+    delay: Duration,
+}
+
+impl ShardClient for StragglerClient {
+    fn submit(&self, sub: SubQuery, ctx: Option<TraceContext>) -> Receiver<SubOutcome> {
+        self.inner.submit(sub, ctx)
+    }
+
+    fn submit_batch(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+    ) -> Receiver<Vec<SubOutcome>> {
+        self.submit_batch_cancellable(subs, ctx).0
+    }
+
+    fn submit_batch_cancellable(
+        &self,
+        subs: Vec<SubQuery>,
+        ctx: Option<TraceContext>,
+    ) -> (Receiver<Vec<SubOutcome>>, CancelHandle) {
+        let (inner_rx, handle) = self.inner.submit_batch_cancellable(subs, ctx);
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let delay = self.delay;
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            if let Ok(outcomes) = inner_rx.recv() {
+                let _ = tx.send(outcomes);
+            }
+        });
+        (rx, handle)
+    }
+}
+
+/// Hedged fan-out masks a straggling replica: with every primary reply
+/// held back far beyond the hedge delay, queries complete through the
+/// second replica well inside the sub-query timeout, and the broker both
+/// fires and resolves hedges (cancelling the losers).
+#[test]
+fn hedged_fanout_masks_a_straggling_replica() {
+    let g = graph();
+    let n_shards = 2;
+    let replicas = 2;
+    let clock: Arc<MonotonicClock> = Arc::new(MonotonicClock::new());
+    let slices: Vec<_> = (0..n_shards)
+        .map(|s| Arc::new(g.shard_slice(s, n_shards)))
+        .collect();
+    // Physical hosts, replica-major: both replicas of a shard share the
+    // same Arc'd partition.
+    let hosts: Vec<Arc<ShardHost>> = (0..n_shards * replicas)
+        .map(|p| {
+            ShardHost::spawn(
+                Arc::clone(&slices[p / replicas]),
+                Arc::new(AlwaysAccept::new()),
+                clock.clone(),
+                ShardConfig::default(),
+            )
+        })
+        .collect();
+    // The primary of shard `s` is replica `s % R`; wrap exactly that one
+    // in a straggler so every hedged round must win through the other.
+    let groups: Vec<Vec<Arc<dyn ShardClient>>> = (0..n_shards)
+        .map(|s| {
+            (0..replicas)
+                .map(|r| {
+                    let inner: Arc<dyn ShardClient> =
+                        Arc::new(InProcShardClient::new(Arc::clone(&hosts[s * replicas + r])));
+                    if r == s % replicas {
+                        Arc::new(StragglerClient {
+                            inner,
+                            delay: Duration::from_millis(80),
+                        }) as Arc<dyn ShardClient>
+                    } else {
+                        inner
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let broker = Broker::spawn_replicated(
+        groups,
+        RouteStrategy::Hedged,
+        Arc::new(AlwaysAccept::new()),
+        Arc::new(MonotonicClock::new()),
+        BrokerConfig {
+            subquery_timeout: Duration::from_secs(2),
+            ..BrokerConfig::default()
+        },
+    );
+
+    for u in 0..20 {
+        let got = broker.execute(Query {
+            kind: QueryKind::Qt1Degree,
+            u,
+            v: 0,
+        });
+        assert!(matches!(got, ClientOutcome::Ok(_)), "u={u}: {got:?}");
+    }
+    let hc = broker.hedge_counters();
+    assert!(hc.hedges >= 20, "expected a hedge per query, got {hc:?}");
+    assert!(hc.cancels >= 20, "every hedge resolves by cancelling: {hc:?}");
+
+    broker.shutdown();
+    for h in hosts {
+        h.shutdown();
     }
 }
 

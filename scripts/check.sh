@@ -430,6 +430,83 @@ printf '%s\n' "$ADAPTIVE_OUT" | grep -q '^adaptive_shift/verdict .*wins=true$' |
     exit 1
 }
 
+echo "==> study smoke: replication_study (R=2 routing-strategy crossover)"
+# The replica-group headline (DESIGN.md S38): the same cluster at R = 2
+# under primary-only / load-balanced / hedged routing at a low and a high
+# capacity-relative point. The bench emits per-point rejection % and
+# client RT quantiles plus a verdict line; the gate fails unless the
+# underload↔overload crossover reproduces — hedged p99 beats primary-only
+# at low load AND primary-only sheds no more than hedged (plus a noise
+# allowance) at high load. Results land in BENCH_replication.json at the
+# repo root.
+replication_gate() {
+    grep -q '"crossover": true' "$1"
+}
+REPLICATION_OUT=$(cargo bench -q --offline -p bouncer-bench --bench replication_study 2>&1 \
+    | grep '^replication_study/') || {
+    echo "replication_study bench produced no output" >&2
+    exit 1
+}
+printf '%s\n' "$REPLICATION_OUT" | awk '
+    # Lines look like:
+    #   replication_study/hedged/low rej=1.3758 p50=0.5652 p99=16.3840
+    #   replication_study/verdict hedged_p99_low=16.38 ... crossover=true
+    # Emit one JSON object with per-(strategy, point) stats + the verdict.
+    $1 == "replication_study/verdict" {
+        for (i = 2; i <= NF; i++) {
+            split($i, kv, "=")
+            verdict[kv[1]] = kv[2]
+        }
+        next
+    }
+    {
+        split($1, path, "/")
+        key = path[2] "/" path[3]
+        keys[++n] = key
+        for (i = 2; i <= NF; i++) {
+            split($i, kv, "=")
+            vals[key "/" kv[1]] = kv[2]
+        }
+    }
+    END {
+        printf "{\n  \"bench\": \"replication_study\",\n"
+        printf "  \"unit\": \"rej = %%, p50/p99 = ms\",\n"
+        printf "  \"note\": \"R=2 replica groups; hedged = duplicate stragglers after a learned p95 delay, losers cancelled at dequeue (after); primary-only = deterministic flat routing (before)\",\n"
+        printf "  \"results\": {\n"
+        for (i = 1; i <= n; i++) {
+            k = keys[i]
+            printf "    \"%s\": {\"rej_pct\": %s, \"p50_ms\": %s, \"p99_ms\": %s}%s\n", \
+                k, vals[k "/rej"], vals[k "/p50"], vals[k "/p99"], (i < n ? "," : "")
+        }
+        printf "  },\n"
+        printf "  \"verdict\": {\"hedged_p99_low\": %s, \"primary_p99_low\": %s, \"primary_rej_high\": %s, \"hedged_rej_high\": %s, \"crossover\": %s}\n}\n", \
+            verdict["hedged_p99_low"], verdict["primary_p99_low"], \
+            verdict["primary_rej_high"], verdict["hedged_rej_high"], \
+            verdict["crossover"]
+    }
+' > BENCH_replication.json
+echo "    wrote BENCH_replication.json:"
+sed 's/^/    /' BENCH_replication.json
+replication_gate BENCH_replication.json || {
+    echo "replication crossover did not reproduce:" >&2
+    printf '%s\n' "$REPLICATION_OUT" >&2
+    exit 1
+}
+
+echo "==> replication gate self-test: a sabotaged crossover verdict must FAIL"
+# Flip the verdict in a scratch copy and require the gate to reject it.
+# If the sed pattern ever stops matching, the copy equals the original,
+# the gate passes, and this self-test fails — pattern drift is caught too.
+SABOTAGE_REP=$(mktemp -t bouncer-sabotage-rep.XXXXXX.json)
+sed 's/"crossover": true/"crossover": false/' BENCH_replication.json > "$SABOTAGE_REP"
+if replication_gate "$SABOTAGE_REP"; then
+    echo "replication gate did not flag a sabotaged crossover verdict" >&2
+    rm -f "$SABOTAGE_REP"
+    exit 1
+fi
+rm -f "$SABOTAGE_REP"
+echo "    sabotage flagged as expected"
+
 echo "==> tracing smoke: traced cluster -> trace-report --strict"
 # A small traced in-process cluster writes its span JSONL, and the
 # trace-report subcommand re-assembles the trees; --strict makes any
